@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the execution engine: hash-join throughput,
+//! full SPJ execution, and the memoized cardinality oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sqe_bench::{Setup, SetupConfig};
+use sqe_engine::{execute, execute_connected, CardinalityOracle};
+
+fn bench_execution(c: &mut Criterion) {
+    let setup = Setup::new(SetupConfig {
+        scale: 0.01,
+        queries: 2,
+        ..SetupConfig::default()
+    });
+    let db = &setup.snowflake.db;
+    let wl3 = setup.workload(3);
+    let wl7 = setup.workload(7);
+
+    let mut group = c.benchmark_group("engine_execute");
+    group.sample_size(20);
+    group.bench_function("three_way_join_query", |b| {
+        let q = &wl3[0];
+        b.iter(|| black_box(execute(db, &q.tables, &q.predicates).unwrap()))
+    });
+    group.bench_function("seven_way_join_query", |b| {
+        let q = &wl7[0];
+        b.iter(|| black_box(execute(db, &q.tables, &q.predicates).unwrap()))
+    });
+    group.bench_function("single_fk_join_materialized", |b| {
+        let e = setup.snowflake.join_edges[0];
+        let tables = [e.fk.table, e.pk.table];
+        let preds = [e.predicate()];
+        b.iter(|| black_box(execute_connected(db, &tables, &preds).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let setup = Setup::new(SetupConfig {
+        scale: 0.005,
+        queries: 2,
+        ..SetupConfig::default()
+    });
+    let db = &setup.snowflake.db;
+    let wl = setup.workload(4);
+    let q = &wl[0];
+
+    let mut group = c.benchmark_group("cardinality_oracle");
+    group.sample_size(10);
+    // Cold: every subset executed from scratch (fresh oracle).
+    group.bench_function("all_subsets_cold", |b| {
+        b.iter(|| {
+            let mut oracle = CardinalityOracle::new(db);
+            let n = q.predicates.len();
+            for mask in 1u32..(1 << n) {
+                let preds: Vec<_> = q
+                    .predicates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, p)| *p)
+                    .collect();
+                black_box(oracle.cardinality(&q.tables, &preds).unwrap());
+            }
+        })
+    });
+    // Warm: the memo already has every component.
+    group.bench_function("all_subsets_warm", |b| {
+        let mut oracle = CardinalityOracle::new(db);
+        let n = q.predicates.len();
+        let all_subsets: Vec<Vec<_>> = (1u32..(1 << n))
+            .map(|mask| {
+                q.predicates
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, p)| *p)
+                    .collect()
+            })
+            .collect();
+        for preds in &all_subsets {
+            oracle.cardinality(&q.tables, preds).unwrap();
+        }
+        b.iter(|| {
+            for preds in &all_subsets {
+                black_box(oracle.cardinality(&q.tables, preds).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the histogram substrate: construction
+//! (maxDiff vs equi-depth vs equi-width), range estimation, the histogram
+//! equi-join of §3.3, and the `diff` metric of §3.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqe_histogram::{
+    build_equi_depth, build_equi_width, build_exact, build_maxdiff, diff_exact,
+    diff_from_histograms, Hist2d, Histogram, Sample, WaveletSynopsis,
+};
+
+fn zipfish_values(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            // Inverse-power sample: heavy head, long tail.
+            (1000.0 * u.powf(2.0)) as i64
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_build");
+    for &n in &[10_000usize, 100_000] {
+        let values = zipfish_values(n, 1);
+        group.bench_with_input(BenchmarkId::new("maxdiff", n), &values, |b, v| {
+            b.iter(|| build_maxdiff(black_box(v), 0, 200))
+        });
+        group.bench_with_input(BenchmarkId::new("equi_depth", n), &values, |b, v| {
+            b.iter(|| build_equi_depth(black_box(v), 0, 200))
+        });
+        group.bench_with_input(BenchmarkId::new("equi_width", n), &values, |b, v| {
+            b.iter(|| build_equi_width(black_box(v), 0, 200))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let values = zipfish_values(100_000, 2);
+    let h = build_maxdiff(&values, 0, 200);
+    let mut group = c.benchmark_group("histogram_estimate");
+    group.bench_function("range_selectivity", |b| {
+        b.iter(|| h.range_selectivity(black_box(100), black_box(500)))
+    });
+    group.bench_function("eq_selectivity", |b| {
+        b.iter(|| h.eq_selectivity(black_box(42)))
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let a = build_maxdiff(&zipfish_values(100_000, 3), 0, 200);
+    let b_hist = build_maxdiff(&zipfish_values(100_000, 4), 0, 200);
+    c.bench_function("histogram_join_200x200", |b| {
+        b.iter(|| {
+            let r = black_box(&a).join(black_box(&b_hist));
+            black_box(r.selectivity)
+        })
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let base = zipfish_values(100_000, 5);
+    let expr: Vec<i64> = base.iter().map(|v| v / 2).collect();
+    let hb: Histogram = build_exact(&base, 0);
+    let he: Histogram = build_exact(&expr, 0);
+    let mut group = c.benchmark_group("diff_metric");
+    group.bench_function("exact_100k", |b| {
+        b.iter(|| diff_exact(black_box(&base), black_box(&expr)))
+    });
+    group.bench_function("from_histograms", |b| {
+        b.iter(|| diff_from_histograms(black_box(&hb), black_box(&he)))
+    });
+    group.finish();
+}
+
+fn bench_alternative_statistics(c: &mut Criterion) {
+    let values = zipfish_values(100_000, 6);
+    let mut group = c.benchmark_group("alternative_statistics");
+    group.bench_function("sample_build_200", |b| {
+        b.iter(|| Sample::build(black_box(&values), 0, 200, 7))
+    });
+    let sample = Sample::build(&values, 0, 200, 7);
+    group.bench_function("sample_range_estimate", |b| {
+        b.iter(|| sample.range_selectivity(black_box(10), black_box(200)))
+    });
+    group.bench_function("wavelet_build_200", |b| {
+        b.iter(|| WaveletSynopsis::build(black_box(&values), 0, 200))
+    });
+    let wavelet = WaveletSynopsis::build(&values, 0, 200);
+    group.bench_function("wavelet_range_estimate", |b| {
+        b.iter(|| wavelet.range_selectivity(black_box(10), black_box(200)))
+    });
+    group.finish();
+}
+
+fn bench_hist2d(c: &mut Criterion) {
+    let pairs: Vec<(i64, i64)> = zipfish_values(100_000, 8)
+        .into_iter()
+        .zip(zipfish_values(100_000, 9))
+        .collect();
+    let mut group = c.benchmark_group("hist2d");
+    group.sample_size(20);
+    group.bench_function("build_128x32", |b| {
+        b.iter(|| Hist2d::build(black_box(&pairs), 0, 128, 32))
+    });
+    let grid = Hist2d::build(&pairs, 0, 128, 32);
+    let other = build_maxdiff(&zipfish_values(50_000, 10), 0, 200);
+    group.bench_function("join_carry", |b| {
+        b.iter(|| black_box(grid.join_carry(black_box(&other))).0)
+    });
+    group.bench_function("conditional_y", |b| {
+        b.iter(|| grid.conditional_y(black_box(10), black_box(300)).valid_rows())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_estimate,
+    bench_join,
+    bench_diff,
+    bench_alternative_statistics,
+    bench_hist2d
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the mini-Cascades optimizer: memo exploration,
+//! coupled estimation (§4.2), and plan extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sqe_bench::{Setup, SetupConfig};
+use sqe_core::ErrorMode;
+use sqe_optimizer::{explore, extract_best_plan, Memo, MemoEstimator};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let setup = Setup::new(SetupConfig {
+        scale: 0.003,
+        queries: 2,
+        ..SetupConfig::default()
+    });
+    let db = &setup.snowflake.db;
+    let wl = setup.workload(5);
+    let q = &wl[0];
+    let pool = setup.pool(&wl, 2);
+
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(20);
+    group.bench_function("memo_seed", |b| {
+        b.iter(|| black_box(Memo::new(db, q).group_count()))
+    });
+    group.bench_function("explore_to_fixpoint", |b| {
+        b.iter(|| {
+            let mut memo = Memo::new(db, q);
+            black_box(explore(&mut memo))
+        })
+    });
+    group.bench_function("coupled_estimation", |b| {
+        let mut memo = Memo::new(db, q);
+        explore(&mut memo);
+        b.iter(|| {
+            let mut est = MemoEstimator::new(db, q, &pool, ErrorMode::Diff);
+            est.estimate_memo(&memo);
+            black_box(est.group_estimate(memo.root()))
+        })
+    });
+    group.bench_function("plan_extraction", |b| {
+        let mut memo = Memo::new(db, q);
+        explore(&mut memo);
+        let mut est = MemoEstimator::new(db, q, &pool, ErrorMode::Diff);
+        est.estimate_memo(&memo);
+        b.iter(|| black_box(extract_best_plan(&memo, &est)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

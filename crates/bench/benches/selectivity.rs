@@ -1,0 +1,134 @@
+//! Criterion benchmarks for `getSelectivity` itself: scaling with the
+//! number of predicates (the `O(3ⁿ)` subset walk), the error-function
+//! ablation (nInd vs Diff), memo reuse across sub-query requests, and the
+//! GVM baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sqe_bench::{Setup, SetupConfig};
+use sqe_core::{ErrorMode, GreedyViewMatching, SelectivityEstimator, SitCatalog};
+use sqe_engine::SpjQuery;
+
+struct Fixture {
+    setup: Setup,
+    workloads: Vec<(usize, Vec<SpjQuery>)>,
+    pools: Vec<(usize, SitCatalog)>,
+}
+
+fn fixture() -> Fixture {
+    let setup = Setup::new(SetupConfig {
+        scale: 0.003,
+        queries: 4,
+        ..SetupConfig::default()
+    });
+    let workloads: Vec<(usize, Vec<SpjQuery>)> = [3usize, 5, 7]
+        .into_iter()
+        .map(|j| (j, setup.workload(j)))
+        .collect();
+    let pools = workloads
+        .iter()
+        .map(|(j, wl)| (*j, setup.pool(wl, 2)))
+        .collect();
+    Fixture {
+        setup,
+        workloads,
+        pools,
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("get_selectivity_scaling");
+    group.sample_size(20);
+    for ((j, wl), (_, pool)) in f.workloads.iter().zip(&f.pools) {
+        // n = j joins + 3 filters predicates.
+        group.bench_with_input(BenchmarkId::new("full_query", j + 3), &(), |b, _| {
+            b.iter(|| {
+                let mut est = SelectivityEstimator::new(
+                    &f.setup.snowflake.db,
+                    &wl[0],
+                    pool,
+                    ErrorMode::NInd,
+                );
+                black_box(est.selectivity())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_modes(c: &mut Criterion) {
+    let f = fixture();
+    let (_, wl) = &f.workloads[1]; // 5-way joins
+    let (_, pool) = &f.pools[1];
+    let mut group = c.benchmark_group("error_mode_ablation");
+    group.sample_size(20);
+    for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let mut est =
+                    SelectivityEstimator::new(&f.setup.snowflake.db, &wl[0], pool, mode);
+                black_box(est.selectivity())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memo_reuse(c: &mut Criterion) {
+    let f = fixture();
+    let (_, wl) = &f.workloads[1];
+    let (_, pool) = &f.pools[1];
+    let db = &f.setup.snowflake.db;
+    let mut group = c.benchmark_group("memo_reuse");
+    group.sample_size(20);
+    // Cold: fresh estimator per request (what a naive integration does).
+    group.bench_function("cold_per_request", |b| {
+        b.iter(|| {
+            let mut est = SelectivityEstimator::new(db, &wl[0], pool, ErrorMode::NInd);
+            let all = est.context().all();
+            for p in all.subsets().take(64) {
+                black_box(est.get_selectivity(p));
+            }
+        })
+    });
+    // Warm: one estimator answering all requests (the §4 integration).
+    group.bench_function("warm_shared_memo", |b| {
+        b.iter(|| {
+            let mut est = SelectivityEstimator::new(db, &wl[0], pool, ErrorMode::NInd);
+            black_box(est.selectivity());
+            let all = est.context().all();
+            for p in all.subsets().take(64) {
+                black_box(est.get_selectivity(p));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_gvm(c: &mut Criterion) {
+    let f = fixture();
+    let (_, wl) = &f.workloads[1];
+    let (_, pool) = &f.pools[1];
+    let db = &f.setup.snowflake.db;
+    let mut group = c.benchmark_group("gvm_baseline");
+    group.sample_size(20);
+    group.bench_function("gvm_full_query", |b| {
+        b.iter(|| {
+            let mut gvm = GreedyViewMatching::new(db, &wl[0], pool);
+            let all = gvm.context().all();
+            black_box(gvm.selectivity(all))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_error_modes,
+    bench_memo_reuse,
+    bench_gvm
+);
+criterion_main!(benches);

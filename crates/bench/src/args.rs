@@ -1,0 +1,95 @@
+//! Minimal command-line parsing for the experiment binaries (no external
+//! dependency): `--key value` pairs with typed accessors.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments. Unknown keys are kept (callers decide
+    /// what they use); a dangling `--key` without value becomes `"true"`.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list (tests).
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
+            values.insert(key.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// Typed accessor with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String accessor with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Flag accessor.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.get(key).is_some_and(|v| v != "false")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_typed_values() {
+        let a = args(&["--queries", "50", "--scale", "0.5", "--tag", "x"]);
+        assert_eq!(a.get("queries", 100usize), 50);
+        assert_eq!(a.get("scale", 1.0f64), 0.5);
+        assert_eq!(a.get_str("tag", "d"), "x");
+        assert_eq!(a.get("missing", 7u32), 7);
+        assert_eq!(a.get_str("missing", "d"), "d");
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = args(&["--verbose", "--queries", "10"]);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get("queries", 0usize), 10);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_default() {
+        let a = args(&["--queries", "banana"]);
+        assert_eq!(a.get("queries", 42usize), 42);
+    }
+
+    #[test]
+    fn non_flag_tokens_are_ignored() {
+        let a = args(&["stray", "--k", "v"]);
+        assert_eq!(a.get_str("k", ""), "v");
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 6 — efficiency: average number of view-matching calls per query,
+//! `getSelectivity` (GS-nInd) vs `GVM`, for 3- to 7-way join workloads.
+//!
+//! Both share the same candidate-matching subroutine; `getSelectivity`
+//! memoizes across the sub-queries of one query while `GVM` re-runs its
+//! greedy pass per request, so the paper reports GVM issuing up to ~5× as
+//! many calls.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin fig6 [-- --queries 100 --pool 2]
+//! ```
+
+use serde::Serialize;
+use sqe_bench::report::{render_table, write_json};
+use sqe_bench::{eval_query, Args, Setup, SetupConfig, Technique};
+use sqe_core::ErrorMode;
+use sqe_engine::CardinalityOracle;
+
+#[derive(Serialize)]
+struct Row {
+    joins: usize,
+    gs_calls: f64,
+    gvm_calls: f64,
+    ratio: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = Setup::new(SetupConfig::from_args(&args));
+    let pool_i: usize = args.get("pool", 2);
+    let db = &setup.snowflake.db;
+
+    let mut rows = Vec::new();
+    for joins in 3..=7 {
+        eprintln!("J = {joins}: generating workload and J{pool_i} pool ...");
+        let workload = setup.workload(joins);
+        let pool = setup.pool(&workload, pool_i.min(joins));
+        let mut oracle = CardinalityOracle::new(db);
+        let (mut gs_total, mut gvm_total) = (0u64, 0u64);
+        for q in &workload {
+            gs_total +=
+                eval_query(db, &mut oracle, q, &pool, Technique::Gs(ErrorMode::NInd)).vm_calls;
+            gvm_total += eval_query(db, &mut oracle, q, &pool, Technique::Gvm).vm_calls;
+        }
+        let n = workload.len() as f64;
+        rows.push(Row {
+            joins,
+            gs_calls: gs_total as f64 / n,
+            gvm_calls: gvm_total as f64 / n,
+            ratio: gvm_total as f64 / gs_total.max(1) as f64,
+        });
+    }
+
+    println!("Figure 6 — avg view-matching calls per query (all sub-queries requested)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}-way", r.joins),
+                format!("{:.0}", r.gs_calls),
+                format!("{:.0}", r.gvm_calls),
+                format!("{:.1}x", r.ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["workload", "getSelectivity", "GVM", "GVM/GS"], &table)
+    );
+    println!("\npaper shape: GVM issues multiples (up to ~5x) of GS's calls, growing with J");
+
+    match write_json("fig6", &rows) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 7 (a, b, c) — average absolute cardinality error for 3-, 5- and
+//! 7-way join workloads, across SIT pools `J0..J7`, for the five
+//! techniques `noSit`, `GVM`, `GS-nInd`, `GS-Diff`, `GS-Opt`.
+//!
+//! Expected shape (the paper's): errors collapse as join-expression SITs
+//! become available; `GS-Diff` tracks `GS-Opt` closely and beats `GS-nInd`;
+//! the biggest marginal gains come from `J1`/`J2`; `noSit` stays flat.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin fig7 [-- --queries 100 --max-pool 7]
+//! ```
+
+use serde::Serialize;
+use sqe_bench::report::{fmt_num, render_table, write_json};
+use sqe_bench::run::eval_workload;
+use sqe_bench::{Args, Setup, SetupConfig, Technique};
+use sqe_engine::CardinalityOracle;
+
+#[derive(Serialize)]
+struct PoolRow {
+    pool: String,
+    sits: usize,
+    errors: Vec<(String, f64)>,
+}
+
+#[derive(Serialize)]
+struct Panel {
+    joins: usize,
+    rows: Vec<PoolRow>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = Setup::new(SetupConfig::from_args(&args));
+    let max_pool: usize = args.get("max-pool", 7);
+    let db = &setup.snowflake.db;
+    let techniques = Technique::all();
+
+    let mut panels = Vec::new();
+    for (panel_idx, joins) in [3usize, 5, 7].into_iter().enumerate() {
+        eprintln!("=== Figure 7({}) — {joins}-way joins ===", (b'a' + panel_idx as u8) as char);
+        let workload = setup.workload(joins);
+        let mut oracle = CardinalityOracle::new(db);
+        let mut rows = Vec::new();
+        for i in 0..=max_pool.min(joins) {
+            eprintln!("  building pool J{i} ...");
+            let pool = setup.pool(&workload, i);
+            let mut errors = Vec::new();
+            for t in techniques {
+                let (mean, _) = eval_workload(db, &mut oracle, &workload, &pool, t);
+                errors.push((t.label().to_string(), mean));
+                eprintln!("    {:8} : {}", t.label(), fmt_num(mean));
+            }
+            rows.push(PoolRow {
+                pool: format!("J{i}"),
+                sits: pool.len(),
+                errors,
+            });
+        }
+        panels.push(Panel { joins, rows });
+    }
+
+    for (panel_idx, panel) in panels.iter().enumerate() {
+        println!(
+            "\nFigure 7({}) — {}-way join queries: avg absolute cardinality error",
+            (b'a' + panel_idx as u8) as char,
+            panel.joins
+        );
+        let mut headers: Vec<&str> = vec!["pool", "#SITs"];
+        for t in &techniques {
+            headers.push(t.label());
+        }
+        let table: Vec<Vec<String>> = panel
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.pool.clone(), r.sits.to_string()];
+                row.extend(r.errors.iter().map(|(_, e)| fmt_num(*e)));
+                row
+            })
+            .collect();
+        println!("{}", render_table(&headers, &table));
+    }
+    println!("\npaper shape: error collapses with larger pools; GS-Diff ≈ GS-Opt < GS-nInd < GVM; noSit flat");
+
+    match write_json("fig7", &panels) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

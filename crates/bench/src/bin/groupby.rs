@@ -1,0 +1,110 @@
+//! Group-By cardinality estimation — the extension the paper defers to \[3\].
+//!
+//! For a workload of join queries, estimate the number of groups of
+//! `Γ_a(σ_P)` for every filter attribute `a` of each query, with base
+//! statistics vs a `J2` SIT pool, against the exact group count.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin groupby [-- --queries 30]
+//! ```
+
+use serde::Serialize;
+use sqe_bench::report::{fmt_num, render_table, write_json};
+use sqe_bench::{Args, Setup, SetupConfig};
+use sqe_core::{true_group_count, ErrorMode, NoSitEstimator, SelectivityEstimator};
+
+#[derive(Serialize)]
+struct Row {
+    joins: usize,
+    cases: usize,
+    nosit_q_error: f64,
+    sit_q_error: f64,
+}
+
+/// Symmetric ratio error (q-error): max(est/true, true/est) ≥ 1.
+fn q_error(est: f64, truth: f64) -> f64 {
+    let (e, t) = (est.max(1.0), truth.max(1.0));
+    (e / t).max(t / e)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut config = SetupConfig::from_args(&args);
+    if config.queries == SetupConfig::default().queries {
+        config.queries = 30;
+    }
+    let setup = Setup::new(config);
+    let db = &setup.snowflake.db;
+
+    let mut rows = Vec::new();
+    for joins in [3usize, 5] {
+        eprintln!("=== {joins}-way joins ===");
+        let workload = setup.workload(joins);
+        let pool = setup.pool(&workload, 2);
+        let nosit = NoSitEstimator::from_catalog(&pool);
+        let (mut qe_base, mut qe_sit) = (0.0f64, 0.0f64);
+        let mut cases = 0usize;
+        for q in &workload {
+            // Group by each filter attribute of the query.
+            for pred in q.filters() {
+                let attr = pred.columns().iter().next().expect("filter has a column");
+                // Grouping query: the joins only (drop the filters so the
+                // group count is about join survivors).
+                let joins_only: Vec<_> = q.joins().copied().collect();
+                let gq = sqe_engine::SpjQuery::new(q.tables.clone(), joins_only.clone())
+                    .expect("join-only query");
+                let truth = match true_group_count(db, &gq.tables, &gq.predicates, attr) {
+                    Ok(t) => t as f64,
+                    Err(_) => continue,
+                };
+                if truth == 0.0 {
+                    continue;
+                }
+                let mut base = nosit.estimator(db, &gq);
+                let all = base.context().all();
+                let est_base = base.group_count(attr, all);
+                let mut sit = SelectivityEstimator::new(db, &gq, &pool, ErrorMode::Diff);
+                let est_sit = sit.group_count(attr, all);
+                qe_base += q_error(est_base, truth);
+                qe_sit += q_error(est_sit, truth);
+                cases += 1;
+            }
+        }
+        rows.push(Row {
+            joins,
+            cases,
+            nosit_q_error: qe_base / cases.max(1) as f64,
+            sit_q_error: qe_sit / cases.max(1) as f64,
+        });
+        eprintln!(
+            "  {} cases: noSit q-error {:.2}, SIT q-error {:.2}",
+            cases,
+            rows.last().unwrap().nosit_q_error,
+            rows.last().unwrap().sit_q_error
+        );
+    }
+
+    println!("\nGroup-By estimation — mean q-error of group counts (1.0 = exact)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}-way", r.joins),
+                r.cases.to_string(),
+                fmt_num(r.nosit_q_error),
+                fmt_num(r.sit_q_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["workload", "cases", "noSit", "with SITs"], &table)
+    );
+    println!("\nSITs tighten group counts because the distinct-value pool is taken from");
+    println!("the distribution over the join expression, not extrapolated from base tables");
+
+    match write_json("groupby", &rows) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,66 @@
+//! Lemma 1: the number of decompositions `T(n)` against its factorial
+//! bounds and the dynamic program's `O(3ⁿ)` state count.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin lemma1 [-- --max-n 14]
+//! ```
+
+use serde::Serialize;
+use sqe_bench::report::{render_table, write_json};
+use sqe_bench::Args;
+use sqe_core::{count_decompositions, decomposition_bounds};
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    lower_bound: u128,
+    t_n: u128,
+    upper_bound: u128,
+    dp_states: u128,
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_n: usize = args.get("max-n", 14);
+
+    let rows: Vec<Row> = (1..=max_n)
+        .map(|n| {
+            let (lo, hi) = decomposition_bounds(n);
+            Row {
+                n,
+                lower_bound: lo,
+                t_n: count_decompositions(n),
+                upper_bound: hi,
+                dp_states: 3u128.saturating_pow(n as u32),
+            }
+        })
+        .collect();
+
+    println!("Lemma 1 — decompositions of Sel(p1..pn): 0.5·(n+1)! <= T(n) <= 1.5^n·n!");
+    println!("getSelectivity explores O(3^n) states instead.\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.lower_bound.to_string(),
+                r.t_n.to_string(),
+                r.upper_bound.to_string(),
+                r.dp_states.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["n", "0.5·(n+1)!", "T(n)", "1.5^n·n!", "3^n"], &table)
+    );
+
+    for r in &rows {
+        assert!(r.lower_bound <= r.t_n && r.t_n <= r.upper_bound, "n={}", r.n);
+    }
+    println!("bounds verified for n = 1..={max_n}");
+    match write_json("lemma1", &rows) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,27 @@
+//! # sqe-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5) plus
+//! the motivating example of §1:
+//!
+//! | binary           | paper artifact |
+//! |------------------|----------------|
+//! | `motivating`     | Figures 1–2: the skewed lineitem/orders/customer scenario |
+//! | `lemma1`         | Lemma 1: decomposition counts vs bounds |
+//! | `fig5`           | Figure 5: per-query error, GVM vs GS-nInd scatter |
+//! | `fig6`           | Figure 6: view-matching calls, GS vs GVM |
+//! | `fig7`           | Figure 7(a–c): avg absolute error by technique × SIT pool |
+//! | `fig8`           | Figure 8(a–c): `getSelectivity` runtime split |
+//! | `optimizer_demo` | §4: memo-coupled estimation changing chosen plans |
+//!
+//! Shared infrastructure lives here: the standard experimental [`setup`],
+//! the per-technique sub-query evaluation [`run`], tiny [`args`] parsing,
+//! and table/JSON [`report`]ing.
+
+pub mod args;
+pub mod report;
+pub mod run;
+pub mod setup;
+
+pub use args::Args;
+pub use run::{eval_query, QueryEval, Technique};
+pub use setup::{Setup, SetupConfig};

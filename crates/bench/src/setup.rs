@@ -1,0 +1,164 @@
+//! The standard experimental setup of §5: snowflake database, random SPJ
+//! workloads, and `J_i` SIT pools.
+
+use sqe_core::{build_pool, PoolSpec, SitCatalog};
+use sqe_datagen::{generate_workload, Snowflake, SnowflakeConfig, WorkloadConfig};
+use sqe_engine::SpjQuery;
+
+/// Knobs for the shared setup (defaults follow the paper, scaled down so
+/// experiments run in minutes on a laptop; pass `--scale 1.0` for the
+/// paper's 1K–1M table sizes).
+#[derive(Debug, Clone, Copy)]
+pub struct SetupConfig {
+    /// Database scale factor (1.0 = paper sizes).
+    pub scale: f64,
+    /// Queries per workload (paper: 100).
+    pub queries: usize,
+    /// Filter predicates per query (paper: 3).
+    pub filters: usize,
+    /// Target filter selectivity (paper: 0.05).
+    pub target_selectivity: f64,
+    /// Zipf exponent of the generated skew.
+    pub theta: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SetupConfig {
+    fn default() -> Self {
+        SetupConfig {
+            scale: 0.01,
+            queries: 100,
+            filters: 3,
+            target_selectivity: 0.05,
+            theta: 1.0,
+            seed: 0x51_2004,
+        }
+    }
+}
+
+impl SetupConfig {
+    /// Builds a config from parsed [`crate::Args`].
+    pub fn from_args(args: &crate::Args) -> Self {
+        let d = SetupConfig::default();
+        SetupConfig {
+            scale: args.get("scale", d.scale),
+            queries: args.get("queries", d.queries),
+            filters: args.get("filters", d.filters),
+            target_selectivity: args.get("selectivity", d.target_selectivity),
+            theta: args.get("theta", d.theta),
+            seed: args.get("seed", d.seed),
+        }
+    }
+}
+
+/// The generated database plus helpers to derive workloads and pools.
+pub struct Setup {
+    /// The snowflake database and schema metadata.
+    pub snowflake: Snowflake,
+    config: SetupConfig,
+}
+
+impl Setup {
+    /// Generates the snowflake database.
+    pub fn new(config: SetupConfig) -> Self {
+        let snowflake = Snowflake::generate(SnowflakeConfig {
+            scale: config.scale,
+            theta: config.theta,
+            seed: config.seed,
+            ..SnowflakeConfig::default()
+        });
+        Setup { snowflake, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> SetupConfig {
+        self.config
+    }
+
+    /// A workload of `J`-way-join queries (J join predicates each).
+    pub fn workload(&self, joins: usize) -> Vec<SpjQuery> {
+        generate_workload(
+            &self.snowflake.db,
+            &self.snowflake.join_edges,
+            &self.snowflake.filter_columns,
+            WorkloadConfig {
+                queries: self.config.queries,
+                joins,
+                filters: self.config.filters,
+                target_selectivity: self.config.target_selectivity,
+                seed: self.config.seed ^ (joins as u64).wrapping_mul(0x9E37_79B9),
+            },
+        )
+    }
+
+    /// A mixed workload: equal shares of `J ∈ joins` queries (Figure 5's
+    /// "3- to 7-way join queries").
+    pub fn mixed_workload(&self, joins: &[usize]) -> Vec<SpjQuery> {
+        let per = (self.config.queries / joins.len()).max(1);
+        let mut out = Vec::with_capacity(per * joins.len());
+        for &j in joins {
+            out.extend(generate_workload(
+                &self.snowflake.db,
+                &self.snowflake.join_edges,
+                &self.snowflake.filter_columns,
+                WorkloadConfig {
+                    queries: per,
+                    joins: j,
+                    filters: self.config.filters,
+                    target_selectivity: self.config.target_selectivity,
+                    seed: self.config.seed ^ (j as u64).wrapping_mul(0x1234_5677),
+                },
+            ));
+        }
+        out
+    }
+
+    /// The `J_i` SIT pool for a workload.
+    pub fn pool(&self, workload: &[SpjQuery], i: usize) -> SitCatalog {
+        build_pool(&self.snowflake.db, workload, PoolSpec::ji(i))
+            .expect("pool construction over generated data succeeds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Setup {
+        Setup::new(SetupConfig {
+            scale: 0.002,
+            queries: 4,
+            ..SetupConfig::default()
+        })
+    }
+
+    #[test]
+    fn workloads_have_requested_join_count() {
+        let s = tiny();
+        for j in [3, 5, 7] {
+            let wl = s.workload(j);
+            assert_eq!(wl.len(), 4);
+            assert!(wl.iter().all(|q| q.join_count() == j));
+        }
+    }
+
+    #[test]
+    fn mixed_workload_covers_all_sizes() {
+        let s = tiny();
+        let wl = s.mixed_workload(&[3, 4]);
+        assert_eq!(wl.len(), 4);
+        let mut sizes: Vec<usize> = wl.iter().map(|q| q.join_count()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn pools_grow_monotonically() {
+        let s = tiny();
+        let wl = s.workload(3);
+        let sizes: Vec<usize> = (0..=3).map(|i| s.pool(&wl, i).len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+        assert!(sizes[0] < sizes[1]);
+    }
+}

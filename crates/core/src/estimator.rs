@@ -1,0 +1,1174 @@
+//! Algorithm `getSelectivity` (Figure 3): the memoized dynamic program that
+//! returns the most accurate decomposition of `Sel_R(P)` for a monotonic,
+//! algebraic error function.
+//!
+//! ## Structure
+//!
+//! `get_selectivity(P)` follows the paper line by line:
+//!
+//! 1. memo lookup (lines 1–2);
+//! 2. if `Sel(P)` is *separable*, recurse on the factors of its standard
+//!    decomposition and combine (lines 3–7);
+//! 3. otherwise enumerate every atomic decomposition `Sel(P′|Q)·Sel(Q)`
+//!    with `P′ ⊆ P`, recursively solve `Sel(Q)`, locally pick the best SITs
+//!    for the conditional factor, and keep the decomposition minimizing the
+//!    merged error (lines 8–17);
+//! 4. memoize and return (lines 18–19).
+//!
+//! ## Unidimensional factors
+//!
+//! Like the paper's own experiments, this reproduction uses unidimensional
+//! SITs, so a factor `Sel(P′|Q)` with several predicates is approximated by
+//! expanding it into the implicit chain
+//! `Sel(p₁|p₂…pₘ,Q) · Sel(p₂|p₃…pₘ,Q) · … · Sel(pₘ|Q)` (Example 3's
+//! "implicitly applying an atomic decomposition"; joins first, then
+//! filters), each link estimated with its own best SIT. Per-link results
+//! are memoized on `(predicate, conditioning-set)`, which keeps the `O(3ⁿ)`
+//! subset walk cheap: each of the at most `n·2ⁿ` links is estimated once.
+//!
+//! The `H3` mechanism of §3.3 is supported: a filter on a join attribute
+//! may be estimated from the *result histogram* of joining the two side
+//! SITs, which covers the join predicate in the conditioning set without
+//! any independence assumption.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sqe_engine::{CardinalityOracle, Database, Predicate, SpjQuery};
+use sqe_histogram::Histogram;
+
+use crate::error::ErrorMode;
+use crate::matcher::SitMatcher;
+use crate::predset::{PredSet, QueryContext};
+use crate::sit::{SitCatalog, SitId};
+use crate::sit2::{Sit2Catalog, Sit2Id};
+
+/// Default equality selectivity when no statistic exists (System R lore).
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Default range / inequality selectivity when no statistic exists.
+const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+/// Floor for degenerate estimates, avoiding hard zeros that would wipe out
+/// entire decompositions.
+const MIN_SEL: f64 = 1e-12;
+/// Default group-count cap when no statistic exists for a grouping
+/// attribute.
+pub(crate) const DEFAULT_GROUPS: f64 = 100.0;
+
+/// Instrumentation counters exposed by the estimator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EstimatorStats {
+    /// View-matching calls issued (Figure 6's unit of work).
+    pub vm_calls: u64,
+    /// Entries in the subset memo (`Sel(P)` values computed).
+    pub memo_entries: usize,
+    /// Entries in the per-link memo (single-predicate conditional factors).
+    pub peel_entries: usize,
+    /// Time spent manipulating histograms (Figure 8's "histogram
+    /// manipulation" component; the rest of wall time is "decomposition
+    /// analysis").
+    pub histogram_time: Duration,
+}
+
+/// The `getSelectivity` dynamic program for one query.
+///
+/// The estimator is stateful: the memoization table persists across
+/// requests, so during the optimization of a single query every sub-plan's
+/// selectivity request after the first reuses prior work (the integration
+/// property §4 relies on).
+pub struct SelectivityEstimator<'a> {
+    db: &'a Database,
+    ctx: QueryContext,
+    matcher: SitMatcher<'a>,
+    mode: ErrorMode,
+    memo: HashMap<u32, (f64, f64)>,
+    peel_memo: HashMap<(u32, u32), (f64, f64)>,
+    /// Join selectivity per SIT pair: the same pair is picked for many
+    /// conditioning sets, so this collapses the histogram-join work from
+    /// `O(n·2ⁿ)` to the number of distinct pairs.
+    join_cache: HashMap<(SitId, SitId), f64>,
+    /// Joined result histogram (`H3`, §3.3) and its divergence estimate per
+    /// SIT pair.
+    h3_cache: HashMap<(SitId, SitId), (Histogram, f64)>,
+    oracle: Option<CardinalityOracle<'a>>,
+    hist_time: Duration,
+    /// Optional multidimensional SITs (§3.3's `SIT(x, X|Q)`), consulted by
+    /// filter peels for carried-`H3` and filter-on-filter estimates.
+    sit2: Option<&'a Sit2Catalog>,
+    /// Carried-H3 cache per (grid, other-side SIT): estimated join
+    /// selectivity, carried histogram, divergence.
+    carry_cache: HashMap<(Sit2Id, SitId), (Histogram, f64)>,
+    /// Conditional-y cache per (grid, x-range).
+    cond2_cache: HashMap<(Sit2Id, i64, i64), (Histogram, f64)>,
+    /// §3.4's optional SIT-driven pruning: when set, the subset loop skips
+    /// atomic decompositions that no available SIT could improve.
+    sit_driven: Option<Vec<(u32, u32)>>,
+}
+
+impl<'a> SelectivityEstimator<'a> {
+    /// Creates an estimator for `query` using the SITs in `catalog` ranked
+    /// by `mode`. `ErrorMode::Opt` constructs an internal true-cardinality
+    /// oracle (it is only of theoretical interest, per §5).
+    pub fn new(
+        db: &'a Database,
+        query: &SpjQuery,
+        catalog: &'a SitCatalog,
+        mode: ErrorMode,
+    ) -> Self {
+        let oracle = matches!(mode, ErrorMode::Opt).then(|| CardinalityOracle::new(db));
+        SelectivityEstimator {
+            db,
+            ctx: QueryContext::new(db, query),
+            matcher: SitMatcher::new(catalog),
+            mode,
+            memo: HashMap::new(),
+            peel_memo: HashMap::new(),
+            join_cache: HashMap::new(),
+            h3_cache: HashMap::new(),
+            oracle,
+            hist_time: Duration::ZERO,
+            sit2: None,
+            carry_cache: HashMap::new(),
+            cond2_cache: HashMap::new(),
+            sit_driven: None,
+        }
+    }
+
+    /// Attaches a catalog of two-attribute SITs (§3.3's multidimensional
+    /// generalization). Filter peels gain two extra option families: the
+    /// carried-`H3` path (grid joined against the far side of a join in
+    /// the conditioning set) and filter-conditioned-on-filter estimates.
+    pub fn with_sit2_catalog(mut self, catalog: &'a Sit2Catalog) -> Self {
+        self.sit2 = Some(catalog);
+        self
+    }
+
+    /// Enables the §3.4 SIT-driven pruning: "if the number of available
+    /// SITs is small, those SITs can drive the search for the best
+    /// decomposition instead of blindly trying a large number of atomic
+    /// decompositions that are known not to be successful". The subset loop
+    /// then only explores decompositions `Sel(P′|Q)·Sel(Q)` for which some
+    /// available non-base SIT has its attribute inside `P′` and its
+    /// expression inside `Q` — plus the always-valid `P′ = P` fallback.
+    ///
+    /// Pruning never changes which SITs are *usable*; it may merely skip
+    /// orderings whose estimates coincide with unpruned ones, so accuracy
+    /// is preserved in practice while the explored space shrinks sharply.
+    pub fn with_sit_driven_pruning(mut self) -> Self {
+        // Precompute, per usable non-base SIT, (attribute-predicate mask,
+        // condition mask) over this query's predicate indices. SITs whose
+        // expression mentions predicates outside the query can never apply.
+        let mut masks: Vec<(u32, u32)> = Vec::new();
+        let preds = self.ctx.predicates().to_vec();
+        for (_, sit) in self.matcher.catalog().iter() {
+            if sit.is_base() {
+                continue;
+            }
+            let mut cond_mask = 0u32;
+            let mut usable = true;
+            for c in &sit.cond {
+                match preds.iter().position(|p| p == c) {
+                    Some(i) => cond_mask |= 1 << i,
+                    None => {
+                        usable = false;
+                        break;
+                    }
+                }
+            }
+            if !usable {
+                continue;
+            }
+            let mut attr_mask = 0u32;
+            for (i, p) in preds.iter().enumerate() {
+                if p.columns().iter().any(|c| c == sit.attr) {
+                    attr_mask |= 1 << i;
+                }
+            }
+            if attr_mask != 0 {
+                masks.push((attr_mask, cond_mask));
+            }
+        }
+        masks.sort_unstable();
+        masks.dedup();
+        self.sit_driven = Some(masks);
+        self
+    }
+
+    /// The query context (predicate indexing).
+    pub fn context(&self) -> &QueryContext {
+        &self.ctx
+    }
+
+    /// Instrumentation snapshot.
+    pub fn stats(&self) -> EstimatorStats {
+        EstimatorStats {
+            vm_calls: self.matcher.calls(),
+            memo_entries: self.memo.len(),
+            peel_entries: self.peel_memo.len(),
+            histogram_time: self.hist_time,
+        }
+    }
+
+    /// Most accurate selectivity estimate for the full query.
+    pub fn selectivity(&mut self) -> f64 {
+        let all = self.ctx.all();
+        self.get_selectivity(all).0
+    }
+
+    /// Estimated cardinality of the sub-query `σ_P(tables(P)^×)`.
+    pub fn cardinality(&mut self, p: PredSet) -> f64 {
+        let (sel, _) = self.get_selectivity(p);
+        sel * self.ctx.cross_product_size(p) as f64
+    }
+
+    /// Algorithm `getSelectivity` (Figure 3): returns `(selectivity,
+    /// error)` for the most accurate non-separable decomposition of
+    /// `Sel(P)`.
+    pub fn get_selectivity(&mut self, p: PredSet) -> (f64, f64) {
+        if p.is_empty() {
+            return (1.0, 0.0);
+        }
+        if let Some(&r) = self.memo.get(&p.0) {
+            return r;
+        }
+        let comps = self.ctx.standard_decomposition(p);
+        let result = if comps.len() > 1 {
+            // Lines 4-7: separable — solve each non-separable factor of the
+            // standard decomposition independently (exact by Property 2).
+            let mut sel = 1.0;
+            let mut err = 0.0;
+            for c in comps {
+                let (s, e) = self.get_selectivity(c);
+                sel *= s;
+                err += e;
+            }
+            (sel, err)
+        } else {
+            // Lines 9-17: non-separable — try every atomic decomposition
+            // Sel(P′|Q)·Sel(Q).
+            let mut best_err = f64::INFINITY;
+            let mut best_sel = DEFAULT_RANGE_SEL.powi(p.len() as i32);
+            for p_prime in p.subsets() {
+                let q = p.minus(p_prime);
+                if let Some(masks) = &self.sit_driven {
+                    // §3.4: skip decompositions no SIT could improve. The
+                    // full-set factor (Q = ∅) always stays as fallback.
+                    let keep = p_prime == p
+                        || masks.iter().any(|&(a, c)| {
+                            a & p_prime.0 != 0 && c & !q.0 == 0
+                        });
+                    if !keep {
+                        continue;
+                    }
+                }
+                let (sel_q, err_q) = self.get_selectivity(q);
+                let (sel_f, err_f) = self.factor(p_prime, q);
+                let total = err_f + err_q;
+                if total < best_err {
+                    best_err = total;
+                    best_sel = (sel_f * sel_q).clamp(0.0, 1.0);
+                }
+            }
+            (best_sel, best_err)
+        };
+        self.memo.insert(p.0, result);
+        result
+    }
+
+    /// Approximates the single conditional factor `Sel(P′|Q)` with the best
+    /// available SITs, returning `(selectivity, error)`. This is the
+    /// building block a Cascades-coupled optimizer calls for each memo
+    /// entry (§4.2), where the entry's operator parameters form `P′` and
+    /// its inputs form `Q`.
+    pub fn conditional_factor(&mut self, p_prime: PredSet, q: PredSet) -> (f64, f64) {
+        self.factor(p_prime, q)
+    }
+
+    /// Approximates the conditional factor `Sel(P′|Q)` with available SITs
+    /// by expanding it into the implicit single-predicate chain.
+    fn factor(&mut self, p_prime: PredSet, q: PredSet) -> (f64, f64) {
+        let order: Vec<usize> = self
+            .ctx
+            .joins_in(p_prime)
+            .iter()
+            .chain(self.ctx.filters_in(p_prime).iter())
+            .collect();
+        let mut remaining = p_prime;
+        let mut sel = 1.0;
+        let mut err = 0.0;
+        for i in order {
+            remaining = remaining.minus(PredSet::singleton(i));
+            let cset = q.union(remaining);
+            let (s, e) = self.peel(i, cset);
+            sel *= s;
+            err += e;
+        }
+        (sel.clamp(0.0, 1.0), err)
+    }
+
+    /// Estimates the single-predicate conditional factor `Sel(pᵢ | cset)`,
+    /// memoized on `(i, cset)`.
+    fn peel(&mut self, i: usize, cset: PredSet) -> (f64, f64) {
+        let key = (i as u32, cset.0);
+        if let Some(&r) = self.peel_memo.get(&key) {
+            return r;
+        }
+        let pred = *self.ctx.predicate(i);
+        let result = match pred {
+            Predicate::Join { .. } => self.peel_join(i, &pred, cset),
+            _ => self.peel_filter(i, &pred, cset),
+        };
+        debug_assert!(result.0.is_finite() && result.1.is_finite());
+        self.peel_memo.insert(key, result);
+        result
+    }
+
+    /// `Sel(x = y | cset)`: join the best SITs for both sides.
+    fn peel_join(&mut self, i: usize, pred: &Predicate, cset: PredSet) -> (f64, f64) {
+        let Predicate::Join { left, right } = *pred else {
+            unreachable!("peel_join only receives joins")
+        };
+        let cond_preds = self.ctx.predicates_of(cset);
+        let cand_l = self.matcher.candidates(left, &cond_preds);
+        let cand_r = self.matcher.candidates(right, &cond_preds);
+        if cand_l.is_empty() || cand_r.is_empty() {
+            // No statistics at all: classic 1/max(|L|,|R|) default.
+            let nl = self.db.row_count(left.table).unwrap_or(1).max(1);
+            let nr = self.db.row_count(right.table).unwrap_or(1).max(1);
+            let est = (1.0 / nl.max(nr) as f64).max(MIN_SEL);
+            let err = self.fallback_error(i, est, cset);
+            return (est, err);
+        }
+        match self.mode {
+            ErrorMode::NInd | ErrorMode::Diff => {
+                let (l, el) = self.pick_best(&cand_l, cset);
+                let (r, er) = self.pick_best(&cand_r, cset);
+                let est = self.join_selectivity(l, r);
+                // A join uses two statistics; each side's uncovered
+                // conditioning (or divergence shortfall) is its own set of
+                // independence assumptions, so side errors add.
+                (est, el + er)
+            }
+            ErrorMode::Opt => {
+                // Oracle mode: try every candidate pair, score by true
+                // deviation.
+                let truth = self.true_conditional(i, cset);
+                let mut best = (f64::INFINITY, MIN_SEL);
+                for &l in &cand_l {
+                    for &r in &cand_r {
+                        let est = self.join_selectivity(l, r);
+                        let dev = opt_deviation(est, truth);
+                        if dev < best.0 {
+                            best = (dev, est);
+                        }
+                    }
+                }
+                (best.1, best.0)
+            }
+        }
+    }
+
+    /// `Sel(filter | cset)`: best own-attribute SIT, or the §3.3 `H3`
+    /// mechanism when the filter sits on a join attribute of `cset`.
+    fn peel_filter(&mut self, i: usize, pred: &Predicate, cset: PredSet) -> (f64, f64) {
+        let col = match pred.columns() {
+            sqe_engine::predicate::PredColumns::One(c) => c,
+            sqe_engine::predicate::PredColumns::Two(c, _) => c,
+        };
+        let cond_preds = self.ctx.predicates_of(cset);
+        let truth = matches!(self.mode, ErrorMode::Opt).then(|| self.true_conditional(i, cset));
+
+        // Option set: (error, coverage, estimate). Larger coverage wins
+        // ties; first occurrence wins remaining ties.
+        let mut options: Vec<(f64, usize, f64)> = Vec::new();
+
+        let catalog = self.matcher.catalog();
+        for id in self.matcher.candidates(col, &cond_preds) {
+            let sit = catalog.get(id);
+            let start = Instant::now();
+            let est = filter_selectivity(&sit.histogram, pred);
+            self.hist_time += start.elapsed();
+            let err = match (self.mode, truth) {
+                (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
+                _ => self.mode.sit_error(cset.len(), sit.cond.len(), sit.diff),
+            };
+            options.push((err, sit.cond.len(), est));
+        }
+
+        // H3: for a join j = (col = other) in cset, join the two sides'
+        // SITs (conditioned on cset − j) and range over the result
+        // histogram. Covers j plus both SIT conditions.
+        for j in self.ctx.joins_in(cset).iter() {
+            let Predicate::Join { left, right } = *self.ctx.predicate(j) else {
+                continue;
+            };
+            let other = if left == col {
+                right
+            } else if right == col {
+                left
+            } else {
+                continue;
+            };
+            let sub = cset.minus(PredSet::singleton(j));
+            let sub_preds = self.ctx.predicates_of(sub);
+            let cand_c = self.matcher.candidates(col, &sub_preds);
+            let cand_o = self.matcher.candidates(other, &sub_preds);
+            let (Some((sc, _)), Some((so, _))) = (
+                self.pick_best_opt(&cand_c, sub),
+                self.pick_best_opt(&cand_o, sub),
+            ) else {
+                continue;
+            };
+            // H3's divergence from the attribute's original distribution:
+            // at least the attribute-side SIT's own divergence, plus
+            // whatever the join itself adds.
+            let (h3_hist, h3_diff) = {
+                let (h, d) = self.h3_join(sc, so);
+                (h.clone(), *d)
+            };
+            let start = Instant::now();
+            let est = filter_selectivity(&h3_hist, pred);
+            self.hist_time += start.elapsed();
+            let (sit_c, sit_o) = (catalog.get(sc), catalog.get(so));
+            // Coverage: the join predicate itself plus both conditions.
+            let mut covered: Vec<&Predicate> = sit_c.cond.iter().chain(&sit_o.cond).collect();
+            covered.sort_unstable();
+            covered.dedup();
+            let coverage = (1 + covered.len()).min(cset.len());
+            let err = match (self.mode, truth) {
+                (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
+                (ErrorMode::Diff, _) => 1.0 - h3_diff.clamp(0.0, 1.0),
+                _ => (cset.len() - coverage) as f64,
+            };
+            options.push((err, coverage, est));
+        }
+
+        self.push_sit2_options(&mut options, col, pred, cset, truth);
+
+        match options
+            .into_iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| {
+                a.0.total_cmp(&b.0)
+                    .then(b.1.cmp(&a.1))
+                    .then(ia.cmp(ib))
+            })
+            .map(|(_, o)| o)
+        {
+            Some((err, _, est)) => (est.max(MIN_SEL), err),
+            None => {
+                let est = default_filter_selectivity(pred);
+                let err = self.fallback_error(i, est, cset);
+                (est, err)
+            }
+        }
+    }
+
+    /// Adds the multidimensional-SIT options (§3.3) for a filter peel:
+    /// carried-`H3` distributions through joins in the conditioning set,
+    /// and conditionals on co-located filters.
+    fn push_sit2_options(
+        &mut self,
+        options: &mut Vec<(f64, usize, f64)>,
+        col: sqe_engine::ColRef,
+        pred: &Predicate,
+        cset: PredSet,
+        truth: Option<f64>,
+    ) {
+        let Some(sit2s) = self.sit2 else {
+            return;
+        };
+        // (a) Carried H3: a join j ∈ cset with its near side on col's
+        // table, a grid over (near, col), and a 1-D SIT for the far side.
+        // The grid path is a *fallback*: when a direct 1-D SIT already
+        // conditions on j (it is finer — 200 buckets vs a 32-wide grid
+        // dimension), the multidimensional detour only adds resolution
+        // noise, so skip it (the maximality spirit of §3.3's rule 3).
+        let direct = self
+            .matcher
+            .candidates(col, &self.ctx.predicates_of(cset));
+        let catalog = self.matcher.catalog();
+        // Both grid paths are *fallbacks*: a join-conditioned 1-D SIT for
+        // the attribute is built on the exact expression at 200-bucket
+        // resolution and captures the dominant join interaction; the grid
+        // detour (32-wide carried dimension, containment assumptions in
+        // the grid join) only competes when no such SIT exists.
+        if direct
+            .iter()
+            .any(|&id| !catalog.get(id).cond.is_empty())
+        {
+            return;
+        }
+        for j in self.ctx.joins_in(cset).iter() {
+            let jpred = *self.ctx.predicate(j);
+            let Predicate::Join { left, right } = jpred else {
+                continue;
+            };
+            for (near, far) in [(left, right), (right, left)] {
+                if near.table != col.table {
+                    continue;
+                }
+                let sub = cset.minus(PredSet::singleton(j));
+                let sub_preds = self.ctx.predicates_of(sub);
+                let candidates: Vec<Sit2Id> = sit2s
+                    .for_y(col)
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let s2 = sit2s.get(id);
+                        s2.x == near && s2.cond.iter().all(|p| sub_preds.contains(p))
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let cand_far = self.matcher.candidates(far, &sub_preds);
+                let Some((far_id, _)) = self.pick_best_opt(&cand_far, sub) else {
+                    continue;
+                };
+                for s2_id in candidates {
+                    let (carried, divergence) = self.carried_h3(sit2s, s2_id, far_id);
+                    if carried.total_rows() <= 0.0 {
+                        continue;
+                    }
+                    let s2 = sit2s.get(s2_id);
+                    let start = Instant::now();
+                    let gated = shrink_conditional(&carried, &s2.y_marginal, pred, divergence);
+                    self.hist_time += start.elapsed();
+                    let Some((est, divergence)) = gated else {
+                        continue;
+                    };
+                    let far_cond = &self.matcher.catalog().get(far_id).cond;
+                    let coverage = (1 + s2.cond.len() + far_cond.len()).min(cset.len());
+                    let err = match (self.mode, truth) {
+                        (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
+                        (ErrorMode::Diff, _) => 1.0 - divergence,
+                        _ => (cset.len() - coverage) as f64,
+                    };
+                    options.push((err, coverage, est));
+                }
+            }
+        }
+        // (b) Filter-conditioned-on-filter: another filter g ∈ cset on the
+        // same table with a grid over (attr(g), col).
+        for g in self.ctx.filters_in(cset).iter() {
+            let gpred = *self.ctx.predicate(g);
+            let gcol = match gpred.columns() {
+                sqe_engine::predicate::PredColumns::One(c) => c,
+                sqe_engine::predicate::PredColumns::Two(c, _) => c,
+            };
+            if gcol.table != col.table || gcol == col {
+                continue;
+            }
+            let Some((glo, ghi)) = filter_bounds(&gpred) else {
+                continue;
+            };
+            let sub = cset.minus(PredSet::singleton(g));
+            let sub_preds = self.ctx.predicates_of(sub);
+            let candidates: Vec<Sit2Id> = sit2s
+                .for_y(col)
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let s2 = sit2s.get(id);
+                    s2.x == gcol && s2.cond.iter().all(|p| sub_preds.contains(p))
+                })
+                .collect();
+            for s2_id in candidates {
+                let (conditional, divergence) = self.conditional2(sit2s, s2_id, glo, ghi);
+                if conditional.total_rows() <= 0.0 {
+                    continue;
+                }
+                let s2 = sit2s.get(s2_id);
+                let start = Instant::now();
+                let gated = shrink_conditional(&conditional, &s2.y_marginal, pred, divergence);
+                self.hist_time += start.elapsed();
+                let Some((est, divergence)) = gated else {
+                    continue;
+                };
+                let coverage = (1 + s2.cond.len()).min(cset.len());
+                let err = match (self.mode, truth) {
+                    (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
+                    (ErrorMode::Diff, _) => 1.0 - divergence,
+                    _ => (cset.len() - coverage) as f64,
+                };
+                options.push((err, coverage, est));
+            }
+        }
+    }
+
+    /// Carried-`H3` histogram of a grid joined against a 1-D SIT (cached).
+    fn carried_h3(
+        &mut self,
+        sit2s: &Sit2Catalog,
+        s2_id: Sit2Id,
+        far_id: SitId,
+    ) -> (Histogram, f64) {
+        if let Some(hit) = self.carry_cache.get(&(s2_id, far_id)) {
+            return hit.clone();
+        }
+        let s2 = sit2s.get(s2_id);
+        let far = self.matcher.catalog().get(far_id);
+        let start = Instant::now();
+        let (_, carried) = s2.grid.join_carry(&far.histogram);
+        let divergence = s2.conditional_divergence(&carried).max(far.diff);
+        self.hist_time += start.elapsed();
+        self.carry_cache
+            .insert((s2_id, far_id), (carried.clone(), divergence));
+        (carried, divergence)
+    }
+
+    /// Conditional-`y` histogram of a grid restricted to an x-range
+    /// (cached).
+    fn conditional2(
+        &mut self,
+        sit2s: &Sit2Catalog,
+        s2_id: Sit2Id,
+        lo: i64,
+        hi: i64,
+    ) -> (Histogram, f64) {
+        if let Some(hit) = self.cond2_cache.get(&(s2_id, lo, hi)) {
+            return hit.clone();
+        }
+        let s2 = sit2s.get(s2_id);
+        let start = Instant::now();
+        let conditional = s2.grid.conditional_y(lo, hi);
+        let divergence = s2.conditional_divergence(&conditional);
+        self.hist_time += start.elapsed();
+        self.cond2_cache
+            .insert((s2_id, lo, hi), (conditional.clone(), divergence));
+        (conditional, divergence)
+    }
+
+    /// Best SIT among candidates under the mode's SIT error; returns the
+    /// SIT and its error contribution.
+    fn pick_best(&self, candidates: &[SitId], cset: PredSet) -> (SitId, f64) {
+        self.pick_best_opt(candidates, cset)
+            .expect("pick_best requires non-empty candidates")
+    }
+
+    fn pick_best_opt(&self, candidates: &[SitId], cset: PredSet) -> Option<(SitId, f64)> {
+        candidates
+            .iter()
+            .map(|&id| {
+                let sit = self.matcher.catalog().get(id);
+                let e = self
+                    .mode
+                    .sit_error(cset.len(), sit.cond.len(), sit.diff);
+                (id, e)
+            })
+            .min_by(|a, b| {
+                a.1.total_cmp(&b.1).then_with(|| {
+                    // Tie: larger coverage, then smaller id.
+                    let ca = self.matcher.catalog().get(a.0).cond.len();
+                    let cb = self.matcher.catalog().get(b.0).cond.len();
+                    cb.cmp(&ca).then(a.0.cmp(&b.0))
+                })
+            })
+    }
+
+    /// Histogram join selectivity of two SITs (timed, cached per pair).
+    fn join_selectivity(&mut self, l: SitId, r: SitId) -> f64 {
+        if let Some(&sel) = self.join_cache.get(&(l, r)) {
+            return sel;
+        }
+        let hl = &self.matcher.catalog().get(l).histogram;
+        let hr = &self.matcher.catalog().get(r).histogram;
+        let start = Instant::now();
+        let sel = hl.join(hr).selectivity.max(MIN_SEL);
+        self.hist_time += start.elapsed();
+        self.join_cache.insert((l, r), sel);
+        sel
+    }
+
+    /// The `H3` result histogram of joining two SITs plus its divergence
+    /// from the attribute side's original distribution (timed, cached).
+    fn h3_join(&mut self, attr_side: SitId, other_side: SitId) -> &(Histogram, f64) {
+        if !self.h3_cache.contains_key(&(attr_side, other_side)) {
+            let sit_c = self.matcher.catalog().get(attr_side);
+            let sit_o = self.matcher.catalog().get(other_side);
+            let start = Instant::now();
+            let joined = sit_c.histogram.join(&sit_o.histogram);
+            let h3_diff =
+                sqe_histogram::diff_from_histograms(&sit_c.histogram, &joined.histogram)
+                    .max(sit_c.diff);
+            self.hist_time += start.elapsed();
+            self.h3_cache
+                .insert((attr_side, other_side), (joined.histogram, h3_diff));
+        }
+        &self.h3_cache[&(attr_side, other_side)]
+    }
+
+    /// The best applicable SIT histogram for `attr` under a predicate
+    /// context (used by Group-By estimation). Counts a view-matching call.
+    pub(crate) fn best_histogram_for(
+        &self,
+        attr: sqe_engine::ColRef,
+        preds: &[Predicate],
+    ) -> Option<&'a Histogram> {
+        let candidates = self.matcher.candidates(attr, preds);
+        let cset = PredSet::full(preds.len().min(crate::predset::MAX_PREDICATES));
+        let (id, _) = self.pick_best_opt(&candidates, cset)?;
+        Some(&self.matcher.catalog().get(id).histogram)
+    }
+
+    /// True `Sel(pᵢ | cset)` from the oracle (Opt mode only).
+    fn true_conditional(&mut self, i: usize, cset: PredSet) -> f64 {
+        let all = cset.union(PredSet::singleton(i));
+        let tables = self.ctx.tables_of(all);
+        let p = [*self.ctx.predicate(i)];
+        let q = self.ctx.predicates_of(cset);
+        self.oracle
+            .as_mut()
+            .expect("oracle present in Opt mode")
+            .conditional_selectivity(&tables, &p, &q)
+            .unwrap_or(0.0)
+    }
+
+    /// Error charged for a default (statistics-free) estimate.
+    fn fallback_error(&mut self, i: usize, est: f64, cset: PredSet) -> f64 {
+        match self.mode {
+            ErrorMode::Opt => {
+                let t = self.true_conditional(i, cset);
+                opt_deviation(est, t)
+            }
+            mode => mode.fallback_error(cset.len()),
+        }
+    }
+}
+
+/// `Opt`'s per-factor deviation: the absolute log-ratio between estimate
+/// and truth. Factor selectivities multiply, so log deviations *add* — the
+/// sum over a decomposition's factors bounds the log error of the final
+/// product, which makes the oracle ranking compose correctly (a plain
+/// absolute difference would let many tiny-but-relatively-wrong factors
+/// outrank one accurate large factor).
+fn opt_deviation(est: f64, truth: f64) -> f64 {
+    if truth <= MIN_SEL && est <= MIN_SEL {
+        return 0.0;
+    }
+    (est.max(MIN_SEL).ln() - truth.max(MIN_SEL).ln()).abs()
+}
+
+/// Histogram estimate for a filter predicate.
+fn filter_selectivity(h: &Histogram, pred: &Predicate) -> f64 {
+    use sqe_engine::CmpOp;
+    let sel = match *pred {
+        Predicate::Range { lo, hi, .. } => h.range_selectivity(lo, hi),
+        Predicate::Filter { op, value, .. } => match op {
+            CmpOp::Lt => h.cmp_selectivity(value, true, true),
+            CmpOp::Le => h.cmp_selectivity(value, true, false),
+            CmpOp::Gt => h.cmp_selectivity(value, false, true),
+            CmpOp::Ge => h.cmp_selectivity(value, false, false),
+            CmpOp::Eq => h.eq_selectivity(value),
+            CmpOp::Neq => 1.0 - h.eq_selectivity(value),
+        },
+        Predicate::Join { .. } => unreachable!("filter_selectivity on join"),
+    };
+    sel.clamp(0.0, 1.0)
+}
+
+/// Gates a grid-derived conditional estimate on *local* statistical
+/// significance. Total-variation divergence is global — a predicate range
+/// holding 5% of the mass can double its conditional share while barely
+/// moving the TV distance — so the gate tests the predicate's own range:
+/// with `m` rows behind the conditional, the range's conditional row count
+/// must deviate from its marginal expectation by more than ~1.5 Poisson
+/// standard deviations, otherwise the shift is sampling noise (the failure
+/// mode observed on small dimension tables) and the option is withdrawn.
+fn shrink_conditional(
+    conditional: &Histogram,
+    marginal: &Histogram,
+    pred: &Predicate,
+    divergence: f64,
+) -> Option<(f64, f64)> {
+    const Z_THRESHOLD: f64 = 1.5;
+    let m = conditional.valid_rows().max(1.0);
+    let est_cond = filter_selectivity(conditional, pred);
+    let est_marg = filter_selectivity(marginal, pred);
+    let observed = est_cond * m;
+    let expected = est_marg * m;
+    let z = (observed - expected) / expected.max(1.0).sqrt();
+    if z.abs() < Z_THRESHOLD {
+        return None;
+    }
+    Some((est_cond, divergence.clamp(0.0, 1.0)))
+}
+
+/// The value range a filter predicate admits, when expressible (None for
+/// `<>`). Open sides use wide sentinels that stay overflow-safe in bucket
+/// arithmetic.
+pub(crate) fn filter_bounds(pred: &Predicate) -> Option<(i64, i64)> {
+    use sqe_engine::CmpOp;
+    const LO: i64 = i64::MIN / 4;
+    const HI: i64 = i64::MAX / 4;
+    match *pred {
+        Predicate::Range { lo, hi, .. } => Some((lo, hi)),
+        Predicate::Filter { op, value, .. } => match op {
+            CmpOp::Lt => Some((LO, value - 1)),
+            CmpOp::Le => Some((LO, value)),
+            CmpOp::Gt => Some((value + 1, HI)),
+            CmpOp::Ge => Some((value, HI)),
+            CmpOp::Eq => Some((value, value)),
+            CmpOp::Neq => None,
+        },
+        Predicate::Join { .. } => None,
+    }
+}
+
+/// Magic-constant estimate when no statistic exists.
+fn default_filter_selectivity(pred: &Predicate) -> f64 {
+    use sqe_engine::CmpOp;
+    match *pred {
+        Predicate::Range { .. } => DEFAULT_RANGE_SEL,
+        Predicate::Filter { op, .. } => match op {
+            CmpOp::Eq => DEFAULT_EQ_SEL,
+            CmpOp::Neq => 1.0 - DEFAULT_EQ_SEL,
+            _ => DEFAULT_RANGE_SEL,
+        },
+        Predicate::Join { .. } => DEFAULT_EQ_SEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sit::Sit;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{CmpOp, ColRef, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    /// r(a, x) ⋈ s(y, b): r.a correlated with fan-out (a=1 rows match 4×).
+    fn skewed_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 1, 2, 2, 3, 3])
+                .column("x", vec![10, 10, 20, 20, 30, 30])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![10, 10, 10, 10, 20, 30])
+                .column("b", vec![1, 2, 3, 4, 5, 6])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn full_catalog(db: &Database) -> SitCatalog {
+        let join = Predicate::join(c(0, 1), c(1, 0));
+        let mut cat = SitCatalog::new();
+        for col in [c(0, 0), c(0, 1), c(1, 0), c(1, 1)] {
+            cat.add(Sit::build_base(db, col).unwrap());
+            cat.add(Sit::build(db, col, vec![join]).unwrap());
+        }
+        cat
+    }
+
+    fn base_catalog(db: &Database) -> SitCatalog {
+        let mut cat = SitCatalog::new();
+        for col in [c(0, 0), c(0, 1), c(1, 0), c(1, 1)] {
+            cat.add(Sit::build_base(db, col).unwrap());
+        }
+        cat
+    }
+
+    fn query(_db: &Database) -> SpjQuery {
+        SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_set_is_identity() {
+        let db = skewed_db();
+        let cat = base_catalog(&db);
+        let q = query(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        assert_eq!(est.get_selectivity(PredSet::EMPTY), (1.0, 0.0));
+    }
+
+    #[test]
+    fn single_filter_matches_base_histogram() {
+        let db = skewed_db();
+        let cat = base_catalog(&db);
+        let q = query(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        // p1 = (r.a = 1): true selectivity 2/6.
+        let (sel, err) = est.get_selectivity(PredSet::singleton(1));
+        assert!((sel - 1.0 / 3.0).abs() < 1e-9, "sel {sel}");
+        assert_eq!(err, 0.0, "unconditioned base estimate has no assumptions");
+    }
+
+    #[test]
+    fn sits_fix_the_skewed_conditional() {
+        // True Sel(a=1 ∧ join) = 8/36. Independence says (1/3)·(6/36)=2/36.
+        // With SIT(a|join), getSelectivity should find ≈ 8/36.
+        let db = skewed_db();
+        let q = query(&db);
+
+        let base_cat = base_catalog(&db);
+        let mut base_est = SelectivityEstimator::new(&db, &q, &base_cat, ErrorMode::NInd);
+        let base = base_est.selectivity();
+
+        let full_cat = full_catalog(&db);
+        let mut sit_est = SelectivityEstimator::new(&db, &q, &full_cat, ErrorMode::NInd);
+        let with_sits = sit_est.selectivity();
+
+        let truth = 8.0 / 36.0;
+        assert!(
+            (with_sits - truth).abs() < (base - truth).abs(),
+            "SITs must improve: base {base}, sits {with_sits}, truth {truth}"
+        );
+        assert!((with_sits - truth).abs() < 0.02, "sit estimate {with_sits}");
+    }
+
+    #[test]
+    fn error_zero_when_sits_cover_everything() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        let (_, err) = est.get_selectivity(est.context().all());
+        // Decomposition Sel(a=1|join)·Sel(join) with SIT(a|join): the
+        // filter link is fully covered and the join link unconditioned.
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn memoization_reuses_subset_work() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        est.selectivity();
+        let calls_after_first = est.stats().vm_calls;
+        // Every subset of the query is already memoized: further requests
+        // are free.
+        est.get_selectivity(PredSet::singleton(0));
+        est.get_selectivity(PredSet::singleton(1));
+        est.selectivity();
+        assert_eq!(est.stats().vm_calls, calls_after_first);
+    }
+
+    #[test]
+    fn separable_sets_multiply() {
+        // Two filters on different tables, no join: Sel must factor.
+        let db = skewed_db();
+        let q = SpjQuery::from_predicates(vec![
+            Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+            Predicate::filter(c(1, 1), CmpOp::Le, 2),
+        ])
+        .unwrap();
+        let cat = base_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        let (s01, _) = est.get_selectivity(est.context().all());
+        let (s0, _) = est.get_selectivity(PredSet::singleton(0));
+        let (s1, _) = est.get_selectivity(PredSet::singleton(1));
+        assert!((s01 - s0 * s1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cardinality_scales_by_cross_product() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        let all = est.context().all();
+        let card = est.cardinality(all);
+        let (sel, _) = est.get_selectivity(all);
+        assert!((card - sel * 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_mode_beats_or_matches_nind() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let truth = 8.0 / 36.0;
+        let mut nind = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        let mut opt = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Opt);
+        let e_nind = (nind.selectivity() - truth).abs();
+        let e_opt = (opt.selectivity() - truth).abs();
+        assert!(
+            e_opt <= e_nind + 1e-9,
+            "Opt ({e_opt}) must not lose to nInd ({e_nind})"
+        );
+    }
+
+    #[test]
+    fn diff_mode_prefers_divergent_sits() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        let truth = 8.0 / 36.0;
+        let sel = est.selectivity();
+        assert!((sel - truth).abs() < 0.02, "diff-mode estimate {sel}");
+    }
+
+    #[test]
+    fn fallback_without_any_statistics() {
+        let db = skewed_db();
+        let q = query(&db);
+        let empty = SitCatalog::new();
+        let mut est = SelectivityEstimator::new(&db, &q, &empty, ErrorMode::NInd);
+        let (sel, err) = est.get_selectivity(est.context().all());
+        assert!(sel > 0.0 && sel <= 1.0);
+        assert!(err > 0.0, "defaults must carry positive error");
+    }
+
+    #[test]
+    fn h3_mechanism_estimates_filter_on_join_attribute() {
+        // Filter on r.x (the join attribute): H3 = join of SIT(x|·) with
+        // SIT(y|·) gives the x-distribution over the join; the estimate is
+        // conditioned on the join without extra assumptions.
+        let db = skewed_db();
+        let q = SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(0, 1), CmpOp::Eq, 10),
+        ])
+        .unwrap();
+        let cat = base_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        let (sel, err) = est.get_selectivity(est.context().all());
+        // Truth: join is 8 of 36 tuples; among them x=10 in 8 → Sel=8/36·1
+        // ... join tuples with x=10: r rows {0,1} × s rows {0,1,2,3} = 8.
+        let truth = 8.0 / 36.0;
+        assert!((sel - truth).abs() < 0.05, "H3 estimate {sel} vs {truth}");
+        assert_eq!(err, 0.0, "H3 covers the entire conditioning set");
+    }
+
+    #[test]
+    fn sit_driven_pruning_preserves_sit_usage() {
+        // §3.4: with pruning, the decomposition that exploits the SIT must
+        // still be found.
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut full = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        let mut pruned =
+            SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff).with_sit_driven_pruning();
+        let all = full.context().all();
+        let (sel_full, _) = full.get_selectivity(all);
+        let (sel_pruned, _) = pruned.get_selectivity(all);
+        assert!(
+            (sel_full - sel_pruned).abs() < 1e-9,
+            "pruned {sel_pruned} vs full {sel_full}"
+        );
+        // And the pruned search does no more work than the full one.
+        assert!(pruned.stats().peel_entries <= full.stats().peel_entries);
+    }
+
+    #[test]
+    fn sit_driven_pruning_with_empty_catalog_still_estimates() {
+        let db = skewed_db();
+        let q = query(&db);
+        let empty = SitCatalog::new();
+        let mut est =
+            SelectivityEstimator::new(&db, &q, &empty, ErrorMode::NInd).with_sit_driven_pruning();
+        let all = est.context().all();
+        let (sel, _) = est.get_selectivity(all);
+        assert!(sel > 0.0 && sel <= 1.0);
+    }
+
+    #[test]
+    fn sit_driven_pruning_ignores_foreign_sits() {
+        // A SIT over predicates not in this query must not enter the
+        // pruning mask set.
+        let db = skewed_db();
+        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 1)])
+            .unwrap();
+        let cat = full_catalog(&db); // contains join-conditioned SITs
+        let est =
+            SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd).with_sit_driven_pruning();
+        let masks = est.sit_driven.as_ref().unwrap();
+        assert!(masks.is_empty(), "join SITs are unusable for a join-free query");
+    }
+
+    #[test]
+    fn sit2_carried_h3_fixes_filter_through_join() {
+        // Filter on r.a, joined through r.x = s.y: the 2-D grid over
+        // (r.x, r.a) carries the true conditional, even with only base 1-D
+        // statistics available.
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = base_catalog(&db);
+        let mut sit2s = crate::sit2::Sit2Catalog::new();
+        sit2s.add(crate::sit2::Sit2::build(&db, c(0, 1), c(0, 0), vec![], 16).unwrap());
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_sit2_catalog(&sit2s);
+        let all = est.context().all();
+        let (sel, _) = est.get_selectivity(all);
+        let truth = 8.0 / 36.0;
+        assert!((sel - truth).abs() < 0.01, "2-D estimate {sel} vs truth {truth}");
+        // Without the grid the same catalog underestimates.
+        let mut base_only = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        let (base_sel, _) = base_only.get_selectivity(all);
+        assert!((base_sel - truth).abs() > (sel - truth).abs());
+    }
+
+    #[test]
+    fn sit2_filter_on_filter_captures_correlation() {
+        // r.a and r.x are perfectly correlated; a query with filters on
+        // both is mis-estimated under independence but exact with the grid.
+        // (Rows are replicated so the correlation clears the estimator's
+        // statistical-significance gate.)
+        let mut db = Database::new();
+        let rep = |v: &[i64]| -> Vec<i64> {
+            v.iter().flat_map(|&x| std::iter::repeat_n(x, 20)).collect()
+        };
+        db.add_table(
+            sqe_engine::table::TableBuilder::new("r")
+                .column("a", rep(&[1, 1, 2, 2, 3, 3]))
+                .column("x", rep(&[10, 10, 20, 20, 30, 30]))
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            sqe_engine::table::TableBuilder::new("s")
+                .column("y", rep(&[10, 10, 10, 10, 20, 30]))
+                .column("b", rep(&[1, 2, 3, 4, 5, 6]))
+                .build()
+                .unwrap(),
+        );
+        let q = SpjQuery::from_predicates(vec![
+            Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+            Predicate::filter(c(0, 1), CmpOp::Eq, 10),
+        ])
+        .unwrap();
+        let cat = base_catalog(&db);
+        let mut sit2s = crate::sit2::Sit2Catalog::new();
+        sit2s.add(crate::sit2::Sit2::build(&db, c(0, 1), c(0, 0), vec![], 16).unwrap());
+        let truth = 2.0 / 6.0; // both filters select the same two rows
+        let mut with_grid = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_sit2_catalog(&sit2s);
+        let all = with_grid.context().all();
+        let (sel2, _) = with_grid.get_selectivity(all);
+        assert!((sel2 - truth).abs() < 0.01, "grid estimate {sel2}");
+        let mut indep = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        let (sel1, _) = indep.get_selectivity(all);
+        // Independence: (1/3)·(1/3) = 1/9 ≠ 1/3.
+        assert!((sel1 - 1.0 / 9.0).abs() < 0.01, "independence {sel1}");
+    }
+
+    #[test]
+    fn stats_track_timing_and_memo_sizes() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        est.selectivity();
+        let stats = est.stats();
+        assert!(stats.memo_entries >= 3);
+        assert!(stats.peel_entries >= 2);
+        assert!(stats.vm_calls > 0);
+    }
+}

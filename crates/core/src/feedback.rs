@@ -1,0 +1,334 @@
+//! LEO-style execution feedback (related work \[25\], Stillger et al.).
+//!
+//! The paper contrasts SITs with DB2's learning optimizer: LEO monitors
+//! executed queries and *adjusts base statistics* so the observed query
+//! would have been estimated correctly, while still assuming independence
+//! for everything else. This module implements that comparison point:
+//!
+//! * [`FeedbackStore`] records `(query, observed cardinality)` pairs;
+//! * [`FeedbackStore::adjust_catalog`] rescales the filter ranges of base
+//!   histograms so each remembered query's estimate matches its
+//!   observation (most recent observation wins per adjusted range).
+//!
+//! The key limitation the paper points out — "a single adjusted histogram
+//! per attribute, still relying on the independence assumption" — falls out
+//! naturally: an adjustment that fixes one query's plan context can *worsen*
+//! another context, whereas SITs keep one statistic per context; the
+//! `feedback_fixes_one_context_but_not_another` test demonstrates it.
+
+use sqe_engine::{Predicate, SpjQuery};
+use sqe_histogram::{Bucket, Histogram};
+
+use crate::sit::{Sit, SitCatalog};
+
+/// One observation: a query ran and produced `cardinality` rows.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The executed query.
+    pub query: SpjQuery,
+    /// Its true (observed) output cardinality.
+    pub cardinality: u64,
+}
+
+/// A store of execution feedback.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackStore {
+    observations: Vec<Observation>,
+}
+
+impl FeedbackStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed query with its observed cardinality.
+    pub fn record(&mut self, query: SpjQuery, cardinality: u64) {
+        self.observations.push(Observation { query, cardinality });
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Produces an adjusted copy of the base histograms in `catalog`:
+    /// for each observation whose query is a single-filter scan (the case
+    /// LEO handles directly), the filter's range is rescaled so the
+    /// histogram reproduces the observed count exactly. Multi-predicate
+    /// observations adjust the filter whose estimate is most at fault,
+    /// assuming independence among the rest — LEO's central simplification.
+    pub fn adjust_catalog(&self, catalog: &SitCatalog) -> SitCatalog {
+        let mut out = SitCatalog::new();
+        for (_, sit) in catalog.iter() {
+            if sit.is_base() {
+                out.add(sit.clone());
+            }
+        }
+        for obs in &self.observations {
+            let filters: Vec<&Predicate> = obs.query.filters().collect();
+            let joins = obs.query.join_count();
+            // Only the directly-attributable case: one filter, no joins.
+            if joins != 0 || filters.len() != 1 {
+                continue;
+            }
+            let pred = filters[0];
+            let col = pred.columns().iter().next().expect("filter has a column");
+            let Some((lo, hi)) = crate::estimator::filter_bounds(pred) else {
+                continue;
+            };
+            let ids: Vec<_> = out.for_attr(col).to_vec();
+            for id in ids {
+                let sit = out.get(id).clone();
+                let adjusted = rescale_range(&sit.histogram, lo, hi, obs.cardinality as f64);
+                let replaced = out.replace(id, Sit { histogram: adjusted, ..sit });
+                debug_assert!(replaced, "attribute unchanged, replace succeeds");
+            }
+        }
+        out
+    }
+}
+
+/// Rescales the histogram mass inside `[lo, hi]` so it totals `target`
+/// rows, *shifting* mass from the rest of the histogram so the overall
+/// total is preserved (the estimate's denominator must keep matching the
+/// table's row count). The adjusted histogram's range estimate for
+/// `[lo, hi]` becomes exact for the observed predicate.
+fn rescale_range(h: &Histogram, lo: i64, hi: i64, target: f64) -> Histogram {
+    let current = h.range_rows(lo, hi);
+    let total = h.valid_rows();
+    // Mass conservation: what the range gains, the rest loses.
+    let outside = total - current;
+    let outside_factor = if outside > 0.0 {
+        ((total - target) / outside).max(0.0)
+    } else {
+        1.0
+    };
+    if current <= 0.0 {
+        // Nothing to scale: inject a bucket carrying the observed mass and
+        // shrink the rest to conserve the total.
+        let mut buckets: Vec<Bucket> = h
+            .buckets()
+            .iter()
+            .map(|b| Bucket {
+                freq: b.freq * outside_factor,
+                ..*b
+            })
+            .collect();
+        if target > 0.0 {
+            buckets.push(Bucket {
+                lo,
+                hi: hi.max(lo),
+                freq: target,
+                distinct: 1.0,
+            });
+            buckets.sort_by_key(|b| b.lo);
+        }
+        return Histogram::new(merge_overlaps(buckets), h.null_count());
+    }
+    let factor = target / current;
+    let mut buckets = Vec::with_capacity(h.buckets().len() + 2);
+    for b in h.buckets() {
+        let o_lo = b.lo.max(lo);
+        let o_hi = b.hi.min(hi);
+        if o_lo > o_hi {
+            buckets.push(Bucket {
+                freq: b.freq * outside_factor,
+                ..*b
+            });
+            continue;
+        }
+        // Split the bucket into (below·out, inside·factor, above·out).
+        let width = (b.hi - b.lo) as f64 + 1.0;
+        if b.lo < o_lo {
+            let w = (o_lo - b.lo) as f64;
+            buckets.push(Bucket {
+                lo: b.lo,
+                hi: o_lo - 1,
+                freq: b.freq * w / width * outside_factor,
+                distinct: (b.distinct * w / width).max(1.0),
+            });
+        }
+        let w_in = (o_hi - o_lo) as f64 + 1.0;
+        buckets.push(Bucket {
+            lo: o_lo,
+            hi: o_hi,
+            freq: b.freq * w_in / width * factor,
+            distinct: (b.distinct * w_in / width).max(1.0),
+        });
+        if b.hi > o_hi {
+            let w = (b.hi - o_hi) as f64;
+            buckets.push(Bucket {
+                lo: o_hi + 1,
+                hi: b.hi,
+                freq: b.freq * w / width * outside_factor,
+                distinct: (b.distinct * w / width).max(1.0),
+            });
+        }
+    }
+    Histogram::new(buckets, h.null_count())
+}
+
+fn merge_overlaps(mut buckets: Vec<Bucket>) -> Vec<Bucket> {
+    buckets.sort_by_key(|b| b.lo);
+    let mut out: Vec<Bucket> = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        match out.last_mut() {
+            Some(prev) if prev.hi >= b.lo => {
+                prev.hi = prev.hi.max(b.hi);
+                prev.freq += b.freq;
+                prev.distinct += b.distinct;
+            }
+            _ => out.push(b),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorMode;
+    use crate::estimator::SelectivityEstimator;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{CardinalityOracle, CmpOp, ColRef, Database, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    /// r(a, x) with a↔fan-out correlation through r.x = s.y, as in the
+    /// estimator tests, but with 20× rows.
+    fn db() -> Database {
+        let rep = |v: &[i64]| -> Vec<i64> {
+            v.iter().flat_map(|&x| std::iter::repeat_n(x, 20)).collect()
+        };
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", rep(&[1, 1, 2, 2, 3, 3]))
+                .column("x", rep(&[10, 10, 20, 20, 30, 30]))
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", rep(&[10, 10, 10, 10, 20, 30]))
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn base_catalog(db: &Database) -> SitCatalog {
+        let mut cat = SitCatalog::new();
+        for col in [c(0, 0), c(0, 1), c(1, 0)] {
+            cat.add(Sit::build_base(db, col).unwrap());
+        }
+        cat
+    }
+
+    #[test]
+    fn single_filter_observation_becomes_exact() {
+        let db = db();
+        let cat = base_catalog(&db);
+        // Pretend the histogram was badly off by observing a "surprising"
+        // count: claim a=1 actually returned 90 rows (it returns 40, but
+        // feedback trusts execution, not statistics).
+        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 1)])
+            .unwrap();
+        let mut store = FeedbackStore::new();
+        store.record(q.clone(), 90);
+        let adjusted = store.adjust_catalog(&cat);
+        let mut est = SelectivityEstimator::new(&db, &q, &adjusted, ErrorMode::NInd);
+        let all = est.context().all();
+        assert!(
+            (est.cardinality(all) - 90.0).abs() < 1.0,
+            "adjusted estimate must reproduce the observation"
+        );
+    }
+
+    #[test]
+    fn feedback_fixes_one_context_but_not_another() {
+        // The paper's criticism of per-attribute adjustment: after fixing
+        // the filter marginal, the join context is still estimated under
+        // independence, while a SIT fixes the join context directly.
+        let db = db();
+        let cat = base_catalog(&db);
+        let mut oracle = CardinalityOracle::new(&db);
+
+        let filter = Predicate::filter(c(0, 0), CmpOp::Eq, 1);
+        let join = Predicate::join(c(0, 1), c(1, 0));
+        let filter_q = SpjQuery::from_predicates(vec![filter]).unwrap();
+        let join_q = SpjQuery::from_predicates(vec![join, filter]).unwrap();
+
+        // Observe the plain filter (already correct — marginals are exact).
+        let obs = oracle
+            .cardinality(&filter_q.tables, &filter_q.predicates)
+            .unwrap() as u64;
+        let mut store = FeedbackStore::new();
+        store.record(filter_q, obs);
+        let adjusted = store.adjust_catalog(&cat);
+
+        // The joined query stays mis-estimated under feedback...
+        let truth = oracle
+            .cardinality(&join_q.tables, &join_q.predicates)
+            .unwrap() as f64;
+        let mut fb = SelectivityEstimator::new(&db, &join_q, &adjusted, ErrorMode::NInd);
+        let all = fb.context().all();
+        let fb_est = fb.cardinality(all);
+        assert!(
+            (fb_est - truth).abs() / truth > 0.3,
+            "feedback cannot fix the join context: est {fb_est}, truth {truth}"
+        );
+
+        // ...while a SIT on the join expression fixes it.
+        let mut with_sit = cat.clone();
+        with_sit.add(Sit::build(&db, c(0, 0), vec![join]).unwrap());
+        let mut sit = SelectivityEstimator::new(&db, &join_q, &with_sit, ErrorMode::Diff);
+        let sit_est = sit.cardinality(all);
+        assert!(
+            (sit_est - truth).abs() / truth < 0.05,
+            "the SIT fixes the same context: est {sit_est}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn observations_on_empty_ranges_inject_mass() {
+        let db = db();
+        let cat = base_catalog(&db);
+        // Observe a value outside the histogram's domain.
+        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 99)])
+            .unwrap();
+        let mut store = FeedbackStore::new();
+        store.record(q.clone(), 7);
+        let adjusted = store.adjust_catalog(&cat);
+        let mut est = SelectivityEstimator::new(&db, &q, &adjusted, ErrorMode::NInd);
+        let all = est.context().all();
+        assert!((est.cardinality(all) - 7.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn multi_predicate_observations_are_skipped() {
+        let db = db();
+        let cat = base_catalog(&db);
+        let q = SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+        ])
+        .unwrap();
+        let mut store = FeedbackStore::new();
+        store.record(q, 123);
+        assert_eq!(store.len(), 1);
+        let adjusted = store.adjust_catalog(&cat);
+        // No adjustment applied: histograms identical to the originals.
+        for ((_, a), (_, b)) in cat.iter().zip(adjusted.iter()) {
+            assert_eq!(a.histogram, b.histogram);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # sqe-core — conditional selectivity and statistics on query expressions
+//!
+//! The primary contribution of Bruno & Chaudhuri, *"Conditional Selectivity
+//! for Statistics on Query Expressions"* (SIGMOD 2004), implemented as a
+//! reusable library:
+//!
+//! * [`predset`] — predicate subsets of a query as bitsets, with the
+//!   separability test (Definition 2) and the unique *standard
+//!   decomposition* into non-separable factors (Lemma 2);
+//! * [`decomposition`] — the decomposition-count recurrence `T(n)` and the
+//!   bounds of Lemma 1, plus an exhaustive enumerator used to validate the
+//!   dynamic program on small inputs;
+//! * [`sit`] — SITs (statistics on query expressions): a histogram over an
+//!   attribute of the result of a join query expression, together with the
+//!   §3.5 `diff` value, and the [`sit::SitCatalog`];
+//! * [`pool`] — the `J_i` SIT pools of §5 (all SITs whose expression has at
+//!   most `i` join predicates syntactically present in a workload);
+//! * [`matcher`] — candidate-SIT identification for a conditional factor
+//!   (§3.3), instrumented with the view-matching call counter used by
+//!   Figure 6;
+//! * [`error`] — the error functions: `nInd` (§3.2), `Diff` (§3.5), and the
+//!   oracle `Opt` (§5);
+//! * [`estimator`] — the [`estimator::SelectivityEstimator`] implementing
+//!   algorithm `getSelectivity` (Figure 3): a memoized dynamic program over
+//!   predicate subsets returning the most accurate decomposition;
+//! * [`gvm`] — the greedy view-matching baseline of \[4\] (SIGMOD 2002),
+//!   including its laminar compatibility restriction that prevents it from
+//!   combining overlapping SITs (the limitation that motivates this paper);
+//! * [`baseline`] — the `noSit` estimator (base-table statistics only,
+//!   mirroring a conventional optimizer).
+
+pub mod baseline;
+pub mod decomposition;
+pub mod error;
+pub mod estimator;
+pub mod feedback;
+pub mod groupby;
+pub mod gvm;
+pub mod matcher;
+pub mod persist;
+pub mod pool;
+pub mod predset;
+pub mod sit;
+pub mod sit2;
+
+pub use baseline::NoSitEstimator;
+pub use decomposition::{count_decompositions, decomposition_bounds};
+pub use error::ErrorMode;
+pub use estimator::{EstimatorStats, SelectivityEstimator};
+pub use feedback::{FeedbackStore, Observation};
+pub use groupby::{cardenas, true_group_count};
+pub use gvm::GreedyViewMatching;
+pub use persist::{load_catalog, save_catalog};
+pub use pool::{build_pool, build_pool_with, PoolSpec};
+pub use predset::{PredSet, QueryContext};
+pub use sit::{Sit, SitCatalog, SitId, SitOptions};
+pub use sit2::{build_pool2, Sit2, Sit2Catalog, Sit2Id};

@@ -1,0 +1,220 @@
+//! Candidate-SIT identification (§3.3), instrumented for Figure 6.
+//!
+//! Given a conditional factor `Sel(P' | Q)`, the candidate SITs for an
+//! attribute `a` of `P'` are the available `SIT(A | Q′)` with:
+//!
+//! 1. `a ∈ A` (unidimensional here, so `A = {a}`),
+//! 2. `Q′ ⊆ Q` (the SIT's expression is consistent with the query — its
+//!    missing conditioning `Q − Q′` is *assumed independent*), and
+//! 3. `Q′` maximal (no other available SIT covers strictly more of `Q`).
+//!
+//! Every lookup is one **view-matching call** — the unit both this paper
+//! and \[4\] count when comparing estimator overhead (Figure 6). The counter
+//! lives in a `Cell` so estimators can expose it without threading `&mut`
+//! everywhere.
+
+use std::cell::Cell;
+
+use sqe_engine::{ColRef, Predicate};
+
+use crate::sit::{SitCatalog, SitId};
+
+/// Candidate lookup over a [`SitCatalog`] with a view-matching call counter.
+#[derive(Debug)]
+pub struct SitMatcher<'a> {
+    catalog: &'a SitCatalog,
+    calls: Cell<u64>,
+}
+
+impl<'a> SitMatcher<'a> {
+    /// Creates a matcher over a catalog.
+    pub fn new(catalog: &'a SitCatalog) -> Self {
+        SitMatcher {
+            catalog,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &'a SitCatalog {
+        self.catalog
+    }
+
+    /// Number of view-matching calls issued so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Resets the call counter.
+    pub fn reset_calls(&self) {
+        self.calls.set(0);
+    }
+
+    /// Candidate SITs for `attr` conditioned on `cond`: applicable
+    /// (`sit.cond ⊆ cond`) and maximal among the applicable ones. Counts
+    /// one view-matching call.
+    pub fn candidates(&self, attr: ColRef, cond: &[Predicate]) -> Vec<SitId> {
+        self.calls.set(self.calls.get() + 1);
+        let applicable: Vec<SitId> = self
+            .catalog
+            .for_attr(attr)
+            .iter()
+            .copied()
+            .filter(|&id| {
+                self.catalog
+                    .get(id)
+                    .cond
+                    .iter()
+                    .all(|p| cond.contains(p))
+            })
+            .collect();
+        // Maximality: drop SITs whose condition is a strict subset of
+        // another applicable SIT's condition.
+        applicable
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let c = &self.catalog.get(id).cond;
+                !applicable.iter().any(|&other| {
+                    other != id && {
+                        let oc = &self.catalog.get(other).cond;
+                        oc.len() > c.len() && c.iter().all(|p| oc.contains(p))
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Like [`Self::candidates`] but without the maximality filter — used
+    /// by the `GVM` baseline, whose greedy procedure ranks all applicable
+    /// SITs itself. Counts one view-matching call.
+    pub fn applicable(&self, attr: ColRef, cond: &[Predicate]) -> Vec<SitId> {
+        self.calls.set(self.calls.get() + 1);
+        self.catalog
+            .for_attr(attr)
+            .iter()
+            .copied()
+            .filter(|&id| {
+                self.catalog
+                    .get(id)
+                    .cond
+                    .iter()
+                    .all(|p| cond.contains(p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sit::Sit;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{Database, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    /// Three chained tables so two distinct join predicates exist.
+    fn db3() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3, 4])
+                .column("x", vec![1, 1, 2, 2])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![1, 2, 2])
+                .column("z", vec![7, 8, 9])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("t")
+                .column("w", vec![7, 7, 8])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn catalog(db: &Database) -> (SitCatalog, Predicate, Predicate) {
+        let j_rs = Predicate::join(c(0, 1), c(1, 0));
+        let j_st = Predicate::join(c(1, 1), c(2, 0));
+        let mut cat = SitCatalog::new();
+        cat.add(Sit::build_base(db, c(0, 0)).unwrap());
+        cat.add(Sit::build(db, c(0, 0), vec![j_rs]).unwrap());
+        cat.add(Sit::build(db, c(0, 0), vec![j_rs, j_st]).unwrap());
+        (cat, j_rs, j_st)
+    }
+
+    #[test]
+    fn candidates_respect_condition_subset() {
+        let db = db3();
+        let (cat, j_rs, j_st) = catalog(&db);
+        let m = SitMatcher::new(&cat);
+        // cond = {j_rs}: SIT(a|j_rs) applies and dominates the base SIT;
+        // SIT(a|j_rs,j_st) does not apply (extra predicate).
+        let cands = m.candidates(c(0, 0), &[j_rs]);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cat.get(cands[0]).cond, vec![j_rs]);
+        // cond = {}: only the base SIT.
+        let cands = m.candidates(c(0, 0), &[]);
+        assert_eq!(cands.len(), 1);
+        assert!(cat.get(cands[0]).is_base());
+        // cond = {j_rs, j_st}: the two-join SIT dominates everything.
+        let cands = m.candidates(c(0, 0), &[j_rs, j_st]);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cat.get(cands[0]).cond.len(), 2);
+    }
+
+    #[test]
+    fn maximality_keeps_incomparable_sits() {
+        let db = db3();
+        let j_rs = Predicate::join(c(0, 1), c(1, 0));
+        let j_st = Predicate::join(c(1, 1), c(2, 0));
+        let mut cat = SitCatalog::new();
+        cat.add(Sit::build(&db, c(1, 1), vec![j_rs]).unwrap());
+        cat.add(Sit::build(&db, c(1, 1), vec![j_st]).unwrap());
+        let m = SitMatcher::new(&cat);
+        // Example 2's shape: two maximal incomparable candidates survive.
+        let cands = m.candidates(c(1, 1), &[j_rs, j_st]);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn applicable_skips_maximality() {
+        let db = db3();
+        let (cat, j_rs, _) = catalog(&db);
+        let m = SitMatcher::new(&cat);
+        let all = m.applicable(c(0, 0), &[j_rs]);
+        assert_eq!(all.len(), 2, "base + joined, no maximality filter");
+    }
+
+    #[test]
+    fn calls_are_counted_and_resettable() {
+        let db = db3();
+        let (cat, j_rs, _) = catalog(&db);
+        let m = SitMatcher::new(&cat);
+        assert_eq!(m.calls(), 0);
+        m.candidates(c(0, 0), &[]);
+        m.candidates(c(0, 0), &[j_rs]);
+        m.applicable(c(0, 0), &[]);
+        assert_eq!(m.calls(), 3);
+        m.reset_calls();
+        assert_eq!(m.calls(), 0);
+    }
+
+    #[test]
+    fn unknown_attribute_has_no_candidates() {
+        let db = db3();
+        let (cat, _, _) = catalog(&db);
+        let m = SitMatcher::new(&cat);
+        assert!(m.candidates(c(2, 0), &[]).is_empty());
+        assert_eq!(m.calls(), 1, "a miss still counts as a call");
+    }
+}

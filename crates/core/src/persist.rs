@@ -1,0 +1,116 @@
+//! SIT catalog persistence.
+//!
+//! Real optimizers persist their statistics in the system catalog; this
+//! module serializes a [`SitCatalog`] (with every histogram, expression,
+//! and stored `diff`) to JSON and back, so pools built by an expensive
+//! offline pass can be reused across sessions. The attribute index is
+//! rebuilt on load, so files stay a plain list of SITs.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::sit::SitCatalog;
+
+/// Saves a catalog as pretty-printed JSON.
+pub fn save_catalog(catalog: &SitCatalog, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(catalog)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads a catalog saved by [`save_catalog`], rebuilding its indexes.
+pub fn load_catalog(path: impl AsRef<Path>) -> io::Result<SitCatalog> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sit::Sit;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{ColRef, Database, Predicate, TableId};
+
+    fn sample_catalog() -> (Database, SitCatalog) {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 1, 2, 3])
+                .column("x", vec![10, 10, 20, 30])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![10, 20, 20])
+                .build()
+                .unwrap(),
+        );
+        let join = Predicate::join(ColRef::new(TableId(0), 1), ColRef::new(TableId(1), 0));
+        let mut cat = SitCatalog::new();
+        cat.add(Sit::build_base(&db, ColRef::new(TableId(0), 0)).unwrap());
+        cat.add(Sit::build(&db, ColRef::new(TableId(0), 0), vec![join]).unwrap());
+        (db, cat)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (_, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        save_catalog(&cat, &path).unwrap();
+        let loaded = load_catalog(&path).unwrap();
+        assert_eq!(loaded.len(), cat.len());
+        for ((_, a), (_, b)) in cat.iter().zip(loaded.iter()) {
+            assert_eq!(a.attr, b.attr);
+            assert_eq!(a.cond, b.cond);
+            assert_eq!(a.diff, b.diff);
+            assert_eq!(a.histogram, b.histogram);
+        }
+        // The rebuilt index answers lookups identically.
+        let attr = ColRef::new(TableId(0), 0);
+        assert_eq!(loaded.for_attr(attr).len(), cat.for_attr(attr).len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn loaded_catalog_estimates_identically() {
+        let (db, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        save_catalog(&cat, &path).unwrap();
+        let loaded = load_catalog(&path).unwrap();
+
+        let q = sqe_engine::SpjQuery::from_predicates(vec![
+            Predicate::join(ColRef::new(TableId(0), 1), ColRef::new(TableId(1), 0)),
+            Predicate::filter(ColRef::new(TableId(0), 0), sqe_engine::CmpOp::Eq, 1),
+        ])
+        .unwrap();
+        let mut a =
+            crate::SelectivityEstimator::new(&db, &q, &cat, crate::ErrorMode::Diff);
+        let mut b =
+            crate::SelectivityEstimator::new(&db, &q, &loaded, crate::ErrorMode::Diff);
+        assert_eq!(a.selectivity(), b.selectivity());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = load_catalog("/nonexistent/sqe/catalog.json").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn corrupt_file_reports_data_error() {
+        let dir = std::env::temp_dir().join("sqe_persist_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = load_catalog(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
+    }
+}

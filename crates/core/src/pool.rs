@@ -1,0 +1,284 @@
+//! SIT pool construction — the `J_i` pools of §5 ("Available SITs").
+//!
+//! Pool `J_i` contains every SIT of the form `SIT_R(a | Q)` where `Q`
+//! consists of **at most `i` join predicates** and both `Q` and `a` are
+//! *syntactically present in some query of the workload*. `J_0` is the set
+//! of base-table histograms.
+//!
+//! Two refinements keep pools meaningful (and match the minimality
+//! assumption of §3.1):
+//!
+//! * `Q` must form a *connected* join subgraph, and
+//! * `Q` must reference the table of `a` — otherwise `σ_Q(…) × table(a)`
+//!   is separable and the SIT provably adds nothing over the base
+//!   histogram.
+//!
+//! SITs sharing the same expression are built from a single execution of
+//! that expression.
+
+use std::collections::HashMap;
+
+use sqe_engine::dsu::Dsu;
+use sqe_engine::{
+    execute_connected, ColRef, Database, Predicate, Result as EngineResult, SpjQuery, TableId,
+};
+
+use crate::sit::{Sit, SitCatalog, SitOptions};
+
+/// Specification of a pool to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Maximum number of join predicates per SIT expression (the `i` of
+    /// `J_i`). 0 builds base histograms only.
+    pub max_join_preds: usize,
+}
+
+impl PoolSpec {
+    /// The `J_i` pool spec.
+    pub fn ji(i: usize) -> Self {
+        PoolSpec { max_join_preds: i }
+    }
+}
+
+/// Builds the `J_i` SIT pool for a workload (paper defaults: maxDiff, 200
+/// buckets).
+pub fn build_pool(
+    db: &Database,
+    workload: &[SpjQuery],
+    spec: PoolSpec,
+) -> EngineResult<SitCatalog> {
+    build_pool_with(db, workload, spec, SitOptions::default())
+}
+
+/// [`build_pool`] with explicit histogram construction options (ablation).
+pub fn build_pool_with(
+    db: &Database,
+    workload: &[SpjQuery],
+    spec: PoolSpec,
+    opts: SitOptions,
+) -> EngineResult<SitCatalog> {
+    // 1. Collect SIT definitions (attr, cond) from every query.
+    let mut defs: HashMap<(ColRef, Vec<Predicate>), ()> = HashMap::new();
+    for query in workload {
+        let joins: Vec<Predicate> = query.joins().copied().collect();
+        let attrs: Vec<ColRef> = query
+            .predicates
+            .iter()
+            .flat_map(|p| p.columns().iter())
+            .collect();
+        for &attr in &attrs {
+            // Base histogram (J_0 and up).
+            defs.entry((attr, Vec::new())).or_default();
+            if spec.max_join_preds == 0 || joins.is_empty() {
+                continue;
+            }
+            // Connected join subsets touching attr's table.
+            for mask in 1u32..(1 << joins.len()) {
+                if (mask.count_ones() as usize) > spec.max_join_preds {
+                    continue;
+                }
+                let subset: Vec<Predicate> = joins
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| mask & (1 << k) != 0)
+                    .map(|(_, p)| *p)
+                    .collect();
+                if !subset_connected_with(&subset, attr.table) {
+                    continue;
+                }
+                let mut cond = subset;
+                cond.sort_unstable();
+                defs.entry((attr, cond)).or_default();
+            }
+        }
+    }
+
+    // 2. Group definitions by expression so each expression executes once.
+    let mut by_cond: HashMap<Vec<Predicate>, Vec<ColRef>> = HashMap::new();
+    for (attr, cond) in defs.into_keys() {
+        by_cond.entry(cond).or_default().push(attr);
+    }
+
+    // 3. Build.
+    let mut catalog = SitCatalog::new();
+    let mut conds: Vec<(Vec<Predicate>, Vec<ColRef>)> = by_cond.into_iter().collect();
+    conds.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then(a.0.cmp(&b.0)));
+    for (cond, mut attrs) in conds {
+        attrs.sort_unstable();
+        attrs.dedup();
+        if cond.is_empty() {
+            for attr in attrs {
+                catalog.add(Sit::build_base_with(db, attr, opts)?);
+            }
+            continue;
+        }
+        let mut tables: Vec<TableId> = cond.iter().flat_map(|p| p.tables().iter()).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let rows = execute_connected(db, &tables, &cond)?;
+        for attr in attrs {
+            catalog.add(Sit::from_rowset_with(db, attr, cond.clone(), &rows, opts)?);
+        }
+    }
+    Ok(catalog)
+}
+
+/// True when the join predicates form one connected component that includes
+/// `anchor`.
+fn subset_connected_with(joins: &[Predicate], anchor: TableId) -> bool {
+    let mut tables: Vec<TableId> = joins.iter().flat_map(|p| p.tables().iter()).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    let Ok(anchor_idx) = tables.binary_search(&anchor) else {
+        return false;
+    };
+    let mut dsu = Dsu::new(tables.len());
+    for p in joins {
+        let ts: Vec<usize> = p
+            .tables()
+            .iter()
+            .map(|t| tables.binary_search(&t).expect("table collected above"))
+            .collect();
+        for w in ts.windows(2) {
+            dsu.union(w[0], w[1]);
+        }
+    }
+    (0..tables.len()).all(|i| dsu.same(i, anchor_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{CmpOp, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    /// Chain r — s — t.
+    fn db3() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3, 4])
+                .column("x", vec![1, 1, 2, 2])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![1, 2, 2])
+                .column("z", vec![7, 8, 9])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("t")
+                .column("w", vec![7, 7, 8])
+                .column("v", vec![1, 2, 3])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn workload(db: &Database) -> Vec<SpjQuery> {
+        let _ = db;
+        vec![SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::join(c(1, 1), c(2, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Le, 2),
+            Predicate::filter(c(2, 1), CmpOp::Ge, 2),
+        ])
+        .unwrap()]
+    }
+
+    #[test]
+    fn j0_contains_only_base_histograms() {
+        let db = db3();
+        let pool = build_pool(&db, &workload(&db), PoolSpec::ji(0)).unwrap();
+        assert!(pool.iter().all(|(_, s)| s.is_base()));
+        // Attributes: r.a, r.x, s.y, s.z, t.w, t.v — all referenced.
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn pools_grow_with_i() {
+        let db = db3();
+        let wl = workload(&db);
+        let p0 = build_pool(&db, &wl, PoolSpec::ji(0)).unwrap();
+        let p1 = build_pool(&db, &wl, PoolSpec::ji(1)).unwrap();
+        let p2 = build_pool(&db, &wl, PoolSpec::ji(2)).unwrap();
+        assert!(p0.len() < p1.len());
+        assert!(p1.len() < p2.len());
+    }
+
+    #[test]
+    fn conditions_are_connected_and_anchored() {
+        let db = db3();
+        let pool = build_pool(&db, &workload(&db), PoolSpec::ji(2)).unwrap();
+        for (_, sit) in pool.iter() {
+            if sit.is_base() {
+                continue;
+            }
+            assert!(
+                subset_connected_with(&sit.cond, sit.attr.table),
+                "{sit} must anchor its attribute's table"
+            );
+        }
+        // SIT(r.a | s ⋈ t) must NOT exist: r.a's table is not in the
+        // expression.
+        let j_st = Predicate::join(c(1, 1), c(2, 0));
+        assert!(
+            !pool
+                .iter()
+                .any(|(_, s)| s.attr == c(0, 0) && s.cond == vec![j_st]),
+            "separable SIT should be pruned"
+        );
+        // SIT(r.a | r ⋈ s) must exist.
+        let j_rs = Predicate::join(c(0, 1), c(1, 0));
+        assert!(pool
+            .iter()
+            .any(|(_, s)| s.attr == c(0, 0) && s.cond == vec![j_rs]));
+    }
+
+    #[test]
+    fn two_join_pool_contains_full_expression_sits() {
+        let db = db3();
+        let pool = build_pool(&db, &workload(&db), PoolSpec::ji(2)).unwrap();
+        // SIT(s.z | r⋈s ∧ s⋈t) should exist (s touches both joins).
+        assert!(pool
+            .iter()
+            .any(|(_, s)| s.attr == c(1, 1) && s.cond.len() == 2));
+        // r.a anchored: r⋈s alone, or both joins (connected through s).
+        assert!(pool
+            .iter()
+            .any(|(_, s)| s.attr == c(0, 0) && s.cond.len() == 2));
+    }
+
+    #[test]
+    fn subset_connectivity_helper() {
+        let j_rs = Predicate::join(c(0, 1), c(1, 0));
+        let j_st = Predicate::join(c(1, 1), c(2, 0));
+        assert!(subset_connected_with(&[j_rs], TableId(0)));
+        assert!(subset_connected_with(&[j_rs], TableId(1)));
+        assert!(!subset_connected_with(&[j_rs], TableId(2)));
+        assert!(subset_connected_with(&[j_rs, j_st], TableId(2)));
+        assert!(!subset_connected_with(&[], TableId(0)));
+    }
+
+    #[test]
+    fn pool_is_deterministic() {
+        let db = db3();
+        let wl = workload(&db);
+        let a = build_pool(&db, &wl, PoolSpec::ji(2)).unwrap();
+        let b = build_pool(&db, &wl, PoolSpec::ji(2)).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((_, sa), (_, sb)) in a.iter().zip(b.iter()) {
+            assert_eq!(sa.attr, sb.attr);
+            assert_eq!(sa.cond, sb.cond);
+            assert_eq!(sa.diff, sb.diff);
+        }
+    }
+}

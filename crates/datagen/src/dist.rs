@@ -1,0 +1,212 @@
+//! Random distributions used by the generators.
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n`: rank `k` has probability
+/// proportional to `1/(k+1)^theta`. `theta = 0` degenerates to uniform;
+/// larger values concentrate mass on the first ranks.
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // `new` guarantees n > 0; kept for API symmetry with len().
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// A noisy monotone map used to generate *correlated* attributes: the output
+/// is an affine function of the input plus bounded uniform noise. Feeding a
+/// rank (e.g. a Zipf popularity rank) through the map produces an attribute
+/// whose value is correlated with that rank.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedMap {
+    /// Output at input 0.
+    pub base: i64,
+    /// Output increase per unit of input.
+    pub slope: f64,
+    /// Half-width of the uniform noise added to the output.
+    pub noise: i64,
+}
+
+impl CorrelatedMap {
+    /// Creates a map `x ↦ base + slope·x ± noise`.
+    pub fn new(base: i64, slope: f64, noise: i64) -> Self {
+        CorrelatedMap { base, slope, noise }
+    }
+
+    /// Applies the map to `x` with fresh noise.
+    pub fn apply<R: Rng + ?Sized>(&self, x: i64, rng: &mut R) -> i64 {
+        let noiseless = self.base + (self.slope * x as f64).round() as i64;
+        if self.noise == 0 {
+            noiseless
+        } else {
+            noiseless + rng.gen_range(-self.noise..=self.noise)
+        }
+    }
+}
+
+/// Pearson correlation of two equally-long samples; used by tests to verify
+/// the generators produce the advertised correlation structure.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let sum: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.5);
+        for k in 1..50 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u64; 20];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_high_skew_concentrates_head() {
+        let z = Zipf::new(1000, 2.0);
+        assert!(z.pmf(0) > 0.5, "theta=2 head mass {}", z.pmf(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn correlated_map_is_noisily_monotone() {
+        let m = CorrelatedMap::new(100, 2.0, 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..500).map(f64::from).collect();
+        let ys: Vec<f64> = (0..500)
+            .map(|x| m.apply(x as i64, &mut rng) as f64)
+            .collect();
+        let r = pearson(&xs, &ys);
+        assert!(r > 0.99, "correlation too weak: {r}");
+    }
+
+    #[test]
+    fn correlated_map_zero_noise_is_deterministic() {
+        let m = CorrelatedMap::new(10, 3.0, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.apply(4, &mut rng), 22);
+        assert_eq!(m.apply(4, &mut rng), 22);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_zero_correlation() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        let constant = vec![5.0; 100];
+        assert_eq!(pearson(&xs, &constant), 0.0);
+    }
+}

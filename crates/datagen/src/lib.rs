@@ -1,0 +1,30 @@
+//! # sqe-datagen — synthetic data and workload generation
+//!
+//! Reproduces the experimental setting of §5 of the paper:
+//!
+//! * a **snowflake-schema** database of 8 tables with 1K–1M tuples
+//!   (adjustable via a scale factor) and 4–8 attributes per table,
+//! * attribute values with configurable **skew** (Zipfian foreign-key fan
+//!   out) and **correlation** (dimension attributes correlated with join fan
+//!   out — the pattern that makes SITs valuable: "expensive orders consist
+//!   of many line-items"),
+//! * **dangling foreign keys**: 5–20% of fact-side join attributes replaced
+//!   by NULL, chosen either at random or correlated with attribute values,
+//! * a random **SPJ workload generator**: queries with `J` join predicates
+//!   over a connected subgraph of the schema's join graph and `F` filter
+//!   predicates with target selectivity ≈ 0.05, ranges stretched until the
+//!   query result is non-empty,
+//! * the **motivating scenario** of Figures 1–2 (skewed
+//!   lineitem/orders/customer).
+//!
+//! Everything is deterministic given a `u64` seed.
+
+pub mod dist;
+pub mod scenarios;
+pub mod snowflake;
+pub mod workload;
+
+pub use dist::{CorrelatedMap, Zipf};
+pub use scenarios::{motivating_scenario, MotivatingConfig, MotivatingScenario};
+pub use snowflake::{JoinEdge, Snowflake, SnowflakeConfig};
+pub use workload::{generate_workload, WorkloadConfig};

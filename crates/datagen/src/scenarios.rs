@@ -1,0 +1,270 @@
+//! The motivating scenario of §1 (Figures 1 and 2).
+//!
+//! A TPC-H-flavoured `lineitem ⋈ orders ⋈ customer` database where
+//!
+//! * the number of line-items per order is **Zipfian**, and
+//! * `orders.total_price` is **correlated with the line-item count**
+//!   (expensive orders consist of many line-items), and
+//! * most customers live in one nation (`nation = 0`, "USA").
+//!
+//! Under these conditions the classic estimate for
+//! `σ(total_price > c ∧ nation = USA)(L ⋈ O ⋈ C)` — multiply base-table
+//! filter selectivities into the join cardinality — is a severe
+//! *underestimate*: the few expensive orders carry a disproportionate share
+//! of the join. `SIT(total_price | L ⋈ O)` and `SIT(nation | O ⋈ C)` each
+//! fix one of the two independence errors; only the conditional-selectivity
+//! framework can use both simultaneously (Figure 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqe_engine::{CmpOp, ColRef, Column, Database, Predicate, SpjQuery, Table, TableSchema};
+
+use crate::dist::Zipf;
+
+/// Configuration knobs for the motivating scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct MotivatingConfig {
+    /// Number of orders.
+    pub orders: usize,
+    /// Number of customers.
+    pub customers: usize,
+    /// Average line-items per order (total line-items = orders × this).
+    pub lineitems_per_order: usize,
+    /// Zipf exponent of the line-items-per-order distribution.
+    pub theta: f64,
+    /// Fraction of customers in the dominant nation.
+    pub usa_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MotivatingConfig {
+    fn default() -> Self {
+        MotivatingConfig {
+            orders: 5_000,
+            customers: 1_000,
+            lineitems_per_order: 6,
+            theta: 1.2,
+            usa_fraction: 0.75,
+            seed: 0x0F16_0001,
+        }
+    }
+}
+
+/// The generated motivating database plus the query of Figure 1(a).
+#[derive(Debug)]
+pub struct MotivatingScenario {
+    /// Tables: `lineitem(id, order_fk, quantity)`,
+    /// `orders(id, cust_fk, total_price)`, `customer(id, nation, balance)`.
+    pub db: Database,
+    /// `lineitem.order_fk = orders.id`.
+    pub join_lo: Predicate,
+    /// `orders.cust_fk = customer.id`.
+    pub join_oc: Predicate,
+    /// `orders.total_price > threshold` — selects the few expensive orders.
+    pub filter_price: Predicate,
+    /// `customer.nation = 0` ("USA").
+    pub filter_nation: Predicate,
+    /// The full query of Figure 1(a).
+    pub query: SpjQuery,
+    /// `orders.total_price` column (the attribute of the first SIT).
+    pub col_price: ColRef,
+    /// `customer.nation` column (the attribute of the second SIT).
+    pub col_nation: ColRef,
+}
+
+/// Generates the motivating scenario with default knobs.
+pub fn motivating_scenario(config: MotivatingConfig) -> MotivatingScenario {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Customers: most in nation 0 ("USA"), and *popular* customers (low
+    // rank — they receive disproportionately many orders below) are even
+    // more likely to be in the USA. This makes `nation = USA` interact
+    // with the O ⋈ C join, the second independence violation of §1.
+    let n_cust = config.customers;
+    let customer = Table::new(
+        TableSchema::new("customer", &["id", "nation", "balance"]),
+        vec![
+            Column::from_values((0..n_cust as i64).collect()),
+            Column::from_values(
+                (0..n_cust)
+                    .map(|rank| {
+                        let boost = if rank < n_cust / 4 { 0.22 } else { -0.08 };
+                        let p = (config.usa_fraction + boost).clamp(0.0, 1.0);
+                        if rng.gen_bool(p) {
+                            0
+                        } else {
+                            rng.gen_range(1..=24)
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_values((0..n_cust).map(|_| rng.gen_range(0..=10_000)).collect()),
+        ],
+    )
+    .expect("customer table is consistent");
+
+    // Orders: line-item count per order is Zipfian over a random order
+    // permutation; total_price grows with the count (plus noise).
+    let n_orders = config.orders;
+    let total_items = n_orders * config.lineitems_per_order;
+    let zipf = Zipf::new(n_orders, config.theta);
+    let mut items_per_order = vec![0u32; n_orders];
+    let mut order_fk: Vec<i64> = Vec::with_capacity(total_items);
+    for _ in 0..total_items {
+        let o = zipf.sample(&mut rng);
+        items_per_order[o] += 1;
+        order_fk.push(o as i64);
+    }
+    // Orders are assigned to customers with Zipfian skew, so low-rank
+    // customers are "popular" and carry most of the O ⋈ C join.
+    let zipf_cust = Zipf::new(n_cust, config.theta * 0.7);
+    let orders = Table::new(
+        TableSchema::new("orders", &["id", "cust_fk", "total_price"]),
+        vec![
+            Column::from_values((0..n_orders as i64).collect()),
+            Column::from_values(
+                (0..n_orders)
+                    .map(|_| zipf_cust.sample(&mut rng) as i64)
+                    .collect(),
+            ),
+            Column::from_values(
+                items_per_order
+                    .iter()
+                    .map(|&k| 1_000 * k as i64 + rng.gen_range(0..1_000))
+                    .collect(),
+            ),
+        ],
+    )
+    .expect("orders table is consistent");
+
+    // Line-items referencing the sampled orders.
+    let lineitem = Table::new(
+        TableSchema::new("lineitem", &["id", "order_fk", "quantity"]),
+        vec![
+            Column::from_values((0..total_items as i64).collect()),
+            Column::from_values(order_fk),
+            Column::from_values((0..total_items).map(|_| rng.gen_range(1..=50)).collect()),
+        ],
+    )
+    .expect("lineitem table is consistent");
+
+    let mut db = Database::new();
+    db.add_table(lineitem);
+    db.add_table(orders);
+    db.add_table(customer);
+    let col = |q: &str| db.col(q).expect("scenario column exists");
+
+    // Price threshold: the 95th percentile of total_price (≈ the paper's
+    // "total_price > 100K", selecting few but join-heavy orders).
+    let mut prices = db
+        .column(col("orders.total_price"))
+        .expect("price column")
+        .valid_values();
+    prices.sort_unstable();
+    let threshold = prices[(prices.len() as f64 * 0.95) as usize];
+
+    let join_lo = Predicate::join(col("lineitem.order_fk"), col("orders.id"));
+    let join_oc = Predicate::join(col("orders.cust_fk"), col("customer.id"));
+    let filter_price = Predicate::filter(col("orders.total_price"), CmpOp::Gt, threshold);
+    let filter_nation = Predicate::filter(col("customer.nation"), CmpOp::Eq, 0);
+    let query = SpjQuery::from_predicates(vec![join_lo, join_oc, filter_price, filter_nation])
+        .expect("motivating query is well-formed");
+    let col_price = col("orders.total_price");
+    let col_nation = col("customer.nation");
+
+    MotivatingScenario {
+        db,
+        join_lo,
+        join_oc,
+        filter_price,
+        filter_nation,
+        query,
+        col_price,
+        col_nation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::CardinalityOracle;
+
+    fn scenario() -> MotivatingScenario {
+        motivating_scenario(MotivatingConfig {
+            orders: 1_000,
+            customers: 300,
+            ..MotivatingConfig::default()
+        })
+    }
+
+    #[test]
+    fn query_shape_matches_figure_1a() {
+        let s = scenario();
+        assert_eq!(s.query.tables.len(), 3);
+        assert_eq!(s.query.join_count(), 2);
+        assert_eq!(s.query.filter_count(), 2);
+    }
+
+    #[test]
+    fn price_filter_is_selective_but_join_heavy() {
+        let s = scenario();
+        let mut oracle = CardinalityOracle::new(&s.db);
+        let orders_t = s.col_price.table;
+        let price_sel = oracle.selectivity(&[orders_t], &[s.filter_price]).unwrap();
+        assert!(price_sel < 0.10, "price filter too wide: {price_sel}");
+
+        // Fraction of the L ⋈ O join carried by expensive orders must far
+        // exceed the base-table fraction of expensive orders: that is the
+        // independence violation the SIT corrects.
+        let li = s.query.tables[0];
+        let cond = oracle
+            .conditional_selectivity(&[li, orders_t], &[s.filter_price], &[s.join_lo])
+            .unwrap();
+        assert!(
+            cond > 2.0 * price_sel,
+            "join share {cond} not amplified vs base selectivity {price_sel}"
+        );
+    }
+
+    #[test]
+    fn independence_underestimates_true_cardinality() {
+        let s = scenario();
+        let mut oracle = CardinalityOracle::new(&s.db);
+        let tables = &s.query.tables;
+        let joins = [s.join_lo, s.join_oc];
+        let join_card = oracle.cardinality(tables, &joins).unwrap() as f64;
+        let p_price = oracle
+            .selectivity(&[s.col_price.table], &[s.filter_price])
+            .unwrap();
+        let p_nation = oracle
+            .selectivity(&[s.col_nation.table], &[s.filter_nation])
+            .unwrap();
+        let independent_estimate = join_card * p_price * p_nation;
+        let truth = oracle.cardinality(tables, &s.query.predicates).unwrap() as f64;
+        assert!(
+            independent_estimate < 0.7 * truth,
+            "independence estimate {independent_estimate} vs truth {truth} — skew too weak"
+        );
+    }
+
+    #[test]
+    fn usa_dominates_customers() {
+        let s = scenario();
+        let mut oracle = CardinalityOracle::new(&s.db);
+        let sel = oracle
+            .selectivity(&[s.col_nation.table], &[s.filter_nation])
+            .unwrap();
+        assert!(sel > 0.6, "USA fraction {sel}");
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = scenario();
+        let b = scenario();
+        let (ta, _) = a.db.table_by_name("orders").unwrap();
+        let (tb, _) = b.db.table_by_name("orders").unwrap();
+        assert_eq!(ta.columns(), tb.columns());
+    }
+}

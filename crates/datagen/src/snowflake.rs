@@ -1,0 +1,563 @@
+//! Snowflake-schema database generator (§5 "Data Sets").
+//!
+//! Eight tables arranged as a snowflake around a `sales` fact table:
+//!
+//! ```text
+//! sales ──< customer ──< nation
+//!   │ ╲──< store    ──< region
+//!   ╰───< product   ──< category
+//!                    ╲─< supplier
+//! ```
+//!
+//! * Table sizes span 1K–1M at scale 1.0 (the paper's range) and shrink
+//!   proportionally with the scale factor.
+//! * Foreign keys are sampled from a **Zipfian** distribution over the
+//!   referenced table, so join fan-out is skewed.
+//! * Selected dimension attributes are **correlated with the Zipf
+//!   popularity rank** of their row — exactly the structure that breaks the
+//!   independence assumption (a filter on such an attribute selects rows
+//!   with systematically higher/lower join fan-out).
+//! * Two join edges violate referential integrity: a configurable fraction
+//!   of `sales.cust_fk` is NULLed at random, and of `product.supp_fk`
+//!   correlated with `product.price` (the paper's "random or correlated"
+//!   dangling tuples).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqe_engine::{ColRef, Column, Database, Predicate, Table, TableId, TableSchema};
+
+use crate::dist::{CorrelatedMap, Zipf};
+
+/// One foreign-key join edge of the schema: `fk` references `pk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Referencing (fact-side) column.
+    pub fk: ColRef,
+    /// Referenced (dimension-side) key column.
+    pub pk: ColRef,
+}
+
+impl JoinEdge {
+    /// The equi-join predicate for this edge.
+    pub fn predicate(&self) -> Predicate {
+        Predicate::join(self.fk, self.pk)
+    }
+}
+
+/// Configuration for the snowflake generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SnowflakeConfig {
+    /// Multiplier on the paper's table sizes (1.0 → 1K–1M rows). The
+    /// default keeps experiments laptop-friendly.
+    pub scale: f64,
+    /// Zipf exponent for foreign-key fan-out (0 = uniform; the paper's
+    /// motivating example wants noticeable skew).
+    pub theta: f64,
+    /// Fraction of dangling (NULL) foreign keys on the affected edges,
+    /// 0.05–0.20 in the paper.
+    pub dangling_frac: f64,
+    /// RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+    /// Minimum rows per table after scaling.
+    pub min_rows: usize,
+}
+
+impl Default for SnowflakeConfig {
+    fn default() -> Self {
+        SnowflakeConfig {
+            scale: 0.01,
+            theta: 1.0,
+            dangling_frac: 0.10,
+            seed: 0x5157_4531,
+            min_rows: 200,
+        }
+    }
+}
+
+/// A generated snowflake database with its schema metadata.
+#[derive(Debug)]
+pub struct Snowflake {
+    /// The populated database.
+    pub db: Database,
+    /// The seven foreign-key edges of the snowflake.
+    pub join_edges: Vec<JoinEdge>,
+    /// Non-key columns suitable for filter predicates.
+    pub filter_columns: Vec<ColRef>,
+    /// Table ids in generation order:
+    /// `sales, customer, nation, product, category, supplier, store, region`.
+    pub tables: Vec<TableId>,
+}
+
+impl Snowflake {
+    /// Looks up a table id by name.
+    pub fn table(&self, name: &str) -> TableId {
+        self.db
+            .catalog()
+            .table_id(name)
+            .unwrap_or_else(|| panic!("snowflake table {name} exists"))
+    }
+
+    /// Looks up a column by `"table.column"`.
+    pub fn col(&self, qualified: &str) -> ColRef {
+        self.db
+            .col(qualified)
+            .unwrap_or_else(|| panic!("snowflake column {qualified} exists"))
+    }
+
+    /// Generates the database.
+    pub fn generate(config: SnowflakeConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let size = |base: usize| -> usize {
+            ((base as f64 * config.scale) as usize).max(config.min_rows)
+        };
+
+        let mut db = Database::new();
+        let mut filter_columns = Vec::new();
+        let mut tables = Vec::new();
+
+        // --- Leaf dimensions -------------------------------------------
+        // nation(id, continent, gdp, population)
+        let n_nation = size(1_000);
+        let nation = build_dim(
+            "nation",
+            n_nation,
+            &[
+                ("continent", AttrKind::Uniform { lo: 0, hi: 7 }),
+                ("gdp", AttrKind::RankCorrelated { map: CorrelatedMap::new(1_000, 9.0, 40) }),
+                ("population", AttrKind::Zipfy { domain: 5_000, theta: config.theta }),
+            ],
+            &mut rng,
+        );
+        // region(id, climate, density, wealth)
+        let n_region = size(1_000);
+        let region = build_dim(
+            "region",
+            n_region,
+            &[
+                ("climate", AttrKind::Uniform { lo: 0, hi: 4 }),
+                ("density", AttrKind::Zipfy { domain: 2_000, theta: config.theta }),
+                ("wealth", AttrKind::RankCorrelated { map: CorrelatedMap::new(500, 4.0, 25) }),
+            ],
+            &mut rng,
+        );
+        // category(id, margin, popularity, tax)
+        let n_category = size(1_000);
+        let category = build_dim(
+            "category",
+            n_category,
+            &[
+                ("margin", AttrKind::RankCorrelated { map: CorrelatedMap::new(100, 2.0, 10) }),
+                ("popularity", AttrKind::Zipfy { domain: 1_000, theta: config.theta }),
+                ("tax", AttrKind::Uniform { lo: 0, hi: 25 }),
+            ],
+            &mut rng,
+        );
+        // supplier(id, quality, capacity, rating)
+        let n_supplier = size(10_000);
+        let supplier = build_dim(
+            "supplier",
+            n_supplier,
+            &[
+                ("quality", AttrKind::RankCorrelated { map: CorrelatedMap::new(0, 0.01, 3) }),
+                ("capacity", AttrKind::Uniform { lo: 100, hi: 10_000 }),
+                ("rating", AttrKind::Zipfy { domain: 10, theta: config.theta }),
+            ],
+            &mut rng,
+        );
+
+        // --- Mid dimensions (with their own FKs) ------------------------
+        // customer(id, nation_fk, balance, age, segment)
+        let n_customer = size(100_000);
+        let customer = build_dim_with_fks(
+            "customer",
+            n_customer,
+            &[("nation_fk", n_nation)],
+            &[
+                // balance grows with customer popularity rank: popular
+                // customers (low rank = low id) have *low* balance, so a
+                // high-balance filter selects low-fan-out customers.
+                ("balance", AttrKind::RankCorrelated { map: CorrelatedMap::new(0, 0.5, 50) }),
+                ("age", AttrKind::Uniform { lo: 18, hi: 90 }),
+                ("segment", AttrKind::Zipfy { domain: 8, theta: config.theta }),
+            ],
+            config.theta,
+            &mut rng,
+        );
+        // product(id, cat_fk, supp_fk, price, weight, rating)
+        let n_product = size(50_000);
+        let mut product = build_dim_with_fks(
+            "product",
+            n_product,
+            &[("cat_fk", n_category), ("supp_fk", n_supplier)],
+            &[
+                // price anti-correlated with popularity: cheap products are
+                // the popular (low-rank) ones.
+                ("price", AttrKind::RankCorrelated { map: CorrelatedMap::new(100, 0.8, 60) }),
+                ("weight", AttrKind::Uniform { lo: 1, hi: 500 }),
+                ("rating", AttrKind::Zipfy { domain: 10, theta: config.theta }),
+            ],
+            config.theta,
+            &mut rng,
+        );
+        // Correlated dangling FKs: expensive products lose their supplier.
+        make_dangling_correlated(
+            &mut product,
+            "supp_fk",
+            "price",
+            config.dangling_frac,
+            &mut rng,
+        );
+        // store(id, region_fk, size, revenue, staff)
+        let n_store = size(5_000);
+        let store = build_dim_with_fks(
+            "store",
+            n_store,
+            &[("region_fk", n_region)],
+            &[
+                ("size", AttrKind::Uniform { lo: 50, hi: 5_000 }),
+                ("revenue", AttrKind::RankCorrelated { map: CorrelatedMap::new(1_000, 3.0, 200) }),
+                ("staff", AttrKind::Zipfy { domain: 100, theta: config.theta }),
+            ],
+            config.theta,
+            &mut rng,
+        );
+
+        // --- Fact table --------------------------------------------------
+        // sales(id, cust_fk, prod_fk, store_fk, quantity, amount, discount,
+        // priority)
+        let n_sales = size(1_000_000);
+        let zipf_cust = Zipf::new(n_customer, config.theta);
+        let zipf_prod = Zipf::new(n_product, config.theta);
+        let zipf_store = Zipf::new(n_store, config.theta * 0.5);
+        let mut id = Vec::with_capacity(n_sales);
+        let mut cust_fk = Vec::with_capacity(n_sales);
+        let mut prod_fk = Vec::with_capacity(n_sales);
+        let mut store_fk = Vec::with_capacity(n_sales);
+        let mut quantity = Vec::with_capacity(n_sales);
+        let mut amount = Vec::with_capacity(n_sales);
+        let mut discount = Vec::with_capacity(n_sales);
+        let mut priority = Vec::with_capacity(n_sales);
+        let amount_map = CorrelatedMap::new(10, 0.02, 20);
+        for i in 0..n_sales {
+            id.push(i as i64);
+            // Random dangling on cust_fk.
+            if rng.gen_bool(config.dangling_frac) {
+                cust_fk.push(None);
+            } else {
+                cust_fk.push(Some(zipf_cust.sample(&mut rng) as i64));
+            }
+            let prod = zipf_prod.sample(&mut rng);
+            prod_fk.push(Some(prod as i64));
+            store_fk.push(Some(zipf_store.sample(&mut rng) as i64));
+            let qty = rng.gen_range(1..=50);
+            quantity.push(qty);
+            // amount correlated with product rank (popular product → cheap).
+            amount.push(amount_map.apply(prod as i64, &mut rng).max(1));
+            // discount correlated with quantity (bulk discounts): the
+            // in-table correlation that multidimensional SITs capture.
+            discount.push((qty * 3 / 5 + rng.gen_range(0..=4)).min(30));
+            priority.push(rng.gen_range(0..=4));
+        }
+        let sales = Table::new(
+            TableSchema::new(
+                "sales",
+                &[
+                    "id", "cust_fk", "prod_fk", "store_fk", "quantity", "amount", "discount",
+                    "priority",
+                ],
+            ),
+            vec![
+                Column::from_values(id),
+                Column::from_options(cust_fk),
+                Column::from_options(prod_fk),
+                Column::from_options(store_fk),
+                Column::from_values(quantity),
+                Column::from_values(amount),
+                Column::from_values(discount),
+                Column::from_values(priority),
+            ],
+        )
+        .expect("consistent sales table");
+
+        // --- Register everything ---------------------------------------
+        for t in [sales, customer, nation, product, category, supplier, store, region] {
+            tables.push(db.add_table(t));
+        }
+        let col = |q: &str| db.col(q).expect("generated column exists");
+        let join_edges = vec![
+            JoinEdge { fk: col("sales.cust_fk"), pk: col("customer.id") },
+            JoinEdge { fk: col("sales.prod_fk"), pk: col("product.id") },
+            JoinEdge { fk: col("sales.store_fk"), pk: col("store.id") },
+            JoinEdge { fk: col("customer.nation_fk"), pk: col("nation.id") },
+            JoinEdge { fk: col("product.cat_fk"), pk: col("category.id") },
+            JoinEdge { fk: col("product.supp_fk"), pk: col("supplier.id") },
+            JoinEdge { fk: col("store.region_fk"), pk: col("region.id") },
+        ];
+        // `sales.discount` is deliberately NOT a default filter column: it
+        // is generated correlated with `sales.quantity`, an *intra-table*
+        // correlation that no unidimensional SIT can capture (the paper's
+        // setting). Workloads that want it (e.g. the multidimensional-SIT
+        // experiment) add it explicitly.
+        for q in [
+            "sales.quantity",
+            "sales.amount",
+            "sales.priority",
+            "customer.balance",
+            "customer.age",
+            "customer.segment",
+            "nation.continent",
+            "nation.gdp",
+            "nation.population",
+            "product.price",
+            "product.weight",
+            "product.rating",
+            "category.margin",
+            "category.popularity",
+            "category.tax",
+            "supplier.quality",
+            "supplier.capacity",
+            "supplier.rating",
+            "store.size",
+            "store.revenue",
+            "store.staff",
+            "region.climate",
+            "region.density",
+            "region.wealth",
+        ] {
+            filter_columns.push(col(q));
+        }
+
+        Snowflake {
+            db,
+            join_edges,
+            filter_columns,
+            tables,
+        }
+    }
+}
+
+/// How a non-key attribute is generated.
+#[derive(Debug, Clone, Copy)]
+enum AttrKind {
+    /// Uniform over `[lo, hi]`.
+    Uniform { lo: i64, hi: i64 },
+    /// Zipf-distributed over `0..domain` (value skew, not rank skew).
+    Zipfy { domain: usize, theta: f64 },
+    /// Correlated with the row's id (= its Zipf popularity rank).
+    RankCorrelated { map: CorrelatedMap },
+}
+
+fn gen_attr(kind: AttrKind, row: usize, rng: &mut StdRng, zipf_cache: &mut Option<Zipf>) -> i64 {
+    match kind {
+        AttrKind::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        AttrKind::Zipfy { domain, theta } => {
+            let z = zipf_cache.get_or_insert_with(|| Zipf::new(domain, theta));
+            z.sample(rng) as i64
+        }
+        AttrKind::RankCorrelated { map } => map.apply(row as i64, rng),
+    }
+}
+
+fn build_dim(name: &str, rows: usize, attrs: &[(&str, AttrKind)], rng: &mut StdRng) -> Table {
+    build_dim_with_fks(name, rows, &[], attrs, 0.0, rng)
+}
+
+fn build_dim_with_fks(
+    name: &str,
+    rows: usize,
+    fks: &[(&str, usize)],
+    attrs: &[(&str, AttrKind)],
+    theta: f64,
+    rng: &mut StdRng,
+) -> Table {
+    let mut names: Vec<&str> = vec!["id"];
+    names.extend(fks.iter().map(|(n, _)| *n));
+    names.extend(attrs.iter().map(|(n, _)| *n));
+
+    let mut columns: Vec<Column> = Vec::with_capacity(names.len());
+    columns.push(Column::from_values((0..rows as i64).collect()));
+    for &(_, target) in fks {
+        let z = Zipf::new(target, theta);
+        let vals: Vec<Option<i64>> = (0..rows).map(|_| Some(z.sample(rng) as i64)).collect();
+        columns.push(Column::from_options(vals));
+    }
+    for &(_, kind) in attrs {
+        let mut cache = None;
+        let vals: Vec<i64> = (0..rows).map(|r| gen_attr(kind, r, rng, &mut cache)).collect();
+        columns.push(Column::from_values(vals));
+    }
+    Table::new(TableSchema::new(name, &names), columns).expect("consistent dimension table")
+}
+
+/// NULLs out `frac` of `fk_col`, preferring rows with the highest values of
+/// `corr_col` (the paper's "correlated with attribute values" variant).
+fn make_dangling_correlated(
+    table: &mut Table,
+    fk_col: &str,
+    corr_col: &str,
+    frac: f64,
+    _rng: &mut StdRng,
+) {
+    let rows = table.row_count();
+    let k = (rows as f64 * frac) as usize;
+    if k == 0 {
+        return;
+    }
+    let corr = table
+        .column_by_name(corr_col)
+        .expect("correlation column exists")
+        .clone();
+    let mut order: Vec<usize> = (0..rows).collect();
+    order.sort_by_key(|&r| std::cmp::Reverse(corr.get(r).unwrap_or(i64::MIN)));
+    let drop: std::collections::HashSet<usize> = order.into_iter().take(k).collect();
+
+    let fk_idx = table
+        .schema()
+        .column_index(fk_col)
+        .expect("fk column exists");
+    let old = table.column(fk_idx).expect("fk column exists").clone();
+    let new_vals: Vec<Option<i64>> = (0..rows)
+        .map(|r| if drop.contains(&r) { None } else { old.get(r) })
+        .collect();
+    let replaced = table.replace_column(fk_idx, Column::from_options(new_vals));
+    debug_assert!(replaced, "fk column replacement preserves length");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::execute;
+
+    fn small() -> Snowflake {
+        Snowflake::generate(SnowflakeConfig {
+            scale: 0.002,
+            min_rows: 100,
+            ..SnowflakeConfig::default()
+        })
+    }
+
+    #[test]
+    fn has_eight_tables_with_expected_arity() {
+        let sf = small();
+        assert_eq!(sf.db.table_count(), 8);
+        for (name, arity) in [
+            ("sales", 8),
+            ("customer", 5),
+            ("nation", 4),
+            ("product", 6),
+            ("category", 4),
+            ("supplier", 4),
+            ("store", 5),
+            ("region", 4),
+        ] {
+            let (t, _) = sf.db.table_by_name(name).unwrap();
+            assert_eq!(t.schema().arity(), arity, "{name}");
+            assert!(t.row_count() >= 100, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        for name in ["sales", "customer", "product"] {
+            let (ta, _) = a.db.table_by_name(name).unwrap();
+            let (tb, _) = b.db.table_by_name(name).unwrap();
+            assert_eq!(ta.columns(), tb.columns(), "{name} differs across runs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = Snowflake::generate(SnowflakeConfig {
+            seed: 999,
+            scale: 0.002,
+            min_rows: 100,
+            ..SnowflakeConfig::default()
+        });
+        let (ta, _) = a.db.table_by_name("sales").unwrap();
+        let (tb, _) = b.db.table_by_name("sales").unwrap();
+        assert_ne!(ta.columns(), tb.columns());
+    }
+
+    #[test]
+    fn dangling_fraction_is_respected() {
+        let sf = small();
+        let (sales, _) = sf.db.table_by_name("sales").unwrap();
+        let nulls = sales.column_by_name("cust_fk").unwrap().null_count();
+        let frac = nulls as f64 / sales.row_count() as f64;
+        assert!((frac - 0.10).abs() < 0.03, "cust_fk dangling frac {frac}");
+        let (product, _) = sf.db.table_by_name("product").unwrap();
+        let nulls = product.column_by_name("supp_fk").unwrap().null_count();
+        let frac = nulls as f64 / product.row_count() as f64;
+        assert!((frac - 0.10).abs() < 0.02, "supp_fk dangling frac {frac}");
+    }
+
+    #[test]
+    fn correlated_dangling_hits_expensive_products() {
+        let sf = small();
+        let (product, _) = sf.db.table_by_name("product").unwrap();
+        let price = product.column_by_name("price").unwrap();
+        let supp = product.column_by_name("supp_fk").unwrap();
+        // Mean price of dangling rows must exceed mean price of intact rows.
+        let (mut sum_d, mut n_d, mut sum_i, mut n_i) = (0f64, 0f64, 0f64, 0f64);
+        for r in 0..product.row_count() {
+            let p = price.get(r).unwrap() as f64;
+            if supp.get(r).is_none() {
+                sum_d += p;
+                n_d += 1.0;
+            } else {
+                sum_i += p;
+                n_i += 1.0;
+            }
+        }
+        assert!(sum_d / n_d > sum_i / n_i, "dangling not price-correlated");
+    }
+
+    #[test]
+    fn fk_fanout_is_skewed() {
+        let sf = small();
+        let (sales, _) = sf.db.table_by_name("sales").unwrap();
+        let prod_fk = sales.column_by_name("prod_fk").unwrap();
+        let mut counts: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
+        for v in prod_fk.iter_valid() {
+            *counts.entry(v).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap() as f64;
+        let avg = sales.row_count() as f64 / counts.len() as f64;
+        assert!(max > 5.0 * avg, "fan-out not skewed: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn all_fks_reference_valid_rows() {
+        let sf = small();
+        for e in &sf.join_edges {
+            let fk = sf.db.column(e.fk).unwrap();
+            let target_rows = sf.db.row_count(e.pk.table).unwrap() as i64;
+            for v in fk.iter_valid() {
+                assert!((0..target_rows).contains(&v), "fk {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn joins_execute_and_are_nonempty() {
+        let sf = small();
+        for e in &sf.join_edges {
+            let tables = [e.fk.table, e.pk.table];
+            let card = execute(&sf.db, &tables, &[e.predicate()]).unwrap();
+            assert!(card > 0, "join edge produced empty result");
+        }
+    }
+
+    #[test]
+    fn filter_columns_resolve() {
+        let sf = small();
+        assert_eq!(sf.filter_columns.len(), 24);
+        for &c in &sf.filter_columns {
+            assert!(sf.db.column(c).is_ok());
+        }
+    }
+}

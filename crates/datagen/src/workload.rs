@@ -1,0 +1,319 @@
+//! Random SPJ workload generation (§5 "Workloads").
+//!
+//! Each query draws a connected subgraph with `J` edges from the schema's
+//! join graph and adds `F` filter predicates whose individual selectivity is
+//! close to a target (0.05 in the paper). If the query result is empty, the
+//! filter ranges are progressively stretched until at least one tuple
+//! qualifies, exactly as the paper describes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use sqe_engine::{execute, ColRef, Database, Predicate, SpjQuery, TableId};
+
+use crate::snowflake::JoinEdge;
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Join predicates per query (the paper varies `J` from 3 to 7).
+    pub joins: usize,
+    /// Filter predicates per query (the paper fixes `F` = 3).
+    pub filters: usize,
+    /// Target selectivity of each filter (≈ 0.05 in the paper; 0.5 in its
+    /// sensitivity check).
+    pub target_selectivity: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 100,
+            joins: 3,
+            filters: 3,
+            target_selectivity: 0.05,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Generates a workload of non-empty SPJ queries over the given join graph.
+///
+/// `filter_columns` lists the columns eligible for filter predicates.
+/// Queries whose filters cannot be stretched into a non-empty result (rare)
+/// are regenerated with fresh randomness, so exactly `config.queries`
+/// queries are returned.
+pub fn generate_workload(
+    db: &Database,
+    join_edges: &[JoinEdge],
+    filter_columns: &[ColRef],
+    config: WorkloadConfig,
+) -> Vec<SpjQuery> {
+    assert!(
+        config.joins <= join_edges.len(),
+        "cannot use {} joins: schema has {} edges",
+        config.joins,
+        join_edges.len()
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.queries);
+    let mut attempts = 0usize;
+    while out.len() < config.queries {
+        attempts += 1;
+        assert!(
+            attempts < config.queries * 100,
+            "workload generation not converging; filters too selective?"
+        );
+        if let Some(q) = try_generate_query(db, join_edges, filter_columns, &config, &mut rng) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+fn try_generate_query(
+    db: &Database,
+    join_edges: &[JoinEdge],
+    filter_columns: &[ColRef],
+    config: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> Option<SpjQuery> {
+    let edges = connected_edge_subset(join_edges, config.joins, rng)?;
+    let mut tables: Vec<TableId> = edges
+        .iter()
+        .flat_map(|e| [e.fk.table, e.pk.table])
+        .collect();
+    tables.sort_unstable();
+    tables.dedup();
+
+    // Candidate filter columns restricted to the chosen tables.
+    let mut candidates: Vec<ColRef> = filter_columns
+        .iter()
+        .copied()
+        .filter(|c| tables.contains(&c.table))
+        .collect();
+    candidates.shuffle(rng);
+    if candidates.len() < config.filters {
+        return None;
+    }
+    candidates.truncate(config.filters);
+
+    let join_preds: Vec<Predicate> = edges.iter().map(JoinEdge::predicate).collect();
+    let mut ranges: Vec<(ColRef, i64, i64)> = Vec::with_capacity(candidates.len());
+    for col in candidates {
+        ranges.push(random_range(db, col, config.target_selectivity, rng)?);
+    }
+
+    // Stretch until non-empty (paper: "progressively stretch the filter
+    // ranges until at least one tuple is present").
+    for _ in 0..16 {
+        let mut preds = join_preds.clone();
+        preds.extend(
+            ranges
+                .iter()
+                .map(|&(col, lo, hi)| Predicate::range(col, lo, hi)),
+        );
+        let card = execute(db, &tables, &preds).ok()?;
+        if card > 0 {
+            return SpjQuery::new(tables.clone(), preds).ok();
+        }
+        for r in &mut ranges {
+            let width = (r.2 - r.1).max(1);
+            r.1 = r.1.saturating_sub(width);
+            r.2 = r.2.saturating_add(width);
+        }
+    }
+    None
+}
+
+/// Picks a uniformly random connected subgraph with `k` edges by growing
+/// from a random seed edge.
+fn connected_edge_subset(edges: &[JoinEdge], k: usize, rng: &mut StdRng) -> Option<Vec<JoinEdge>> {
+    if k == 0 || k > edges.len() {
+        return None;
+    }
+    let mut chosen: Vec<JoinEdge> = vec![*edges.choose(rng)?];
+    let mut tables: Vec<TableId> = chosen
+        .iter()
+        .flat_map(|e| [e.fk.table, e.pk.table])
+        .collect();
+    while chosen.len() < k {
+        let frontier: Vec<JoinEdge> = edges
+            .iter()
+            .filter(|e| !chosen.contains(e))
+            .filter(|e| tables.contains(&e.fk.table) || tables.contains(&e.pk.table))
+            .copied()
+            .collect();
+        let next = *frontier.choose(rng)?;
+        tables.push(next.fk.table);
+        tables.push(next.pk.table);
+        chosen.push(next);
+    }
+    Some(chosen)
+}
+
+/// Chooses a value range on `col` covering roughly `target` of its rows,
+/// positioned uniformly at random: a window of the sorted value list.
+fn random_range(
+    db: &Database,
+    col: ColRef,
+    target: f64,
+    rng: &mut StdRng,
+) -> Option<(ColRef, i64, i64)> {
+    let column = db.column(col).ok()?;
+    let mut vals = column.valid_values();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_unstable();
+    let n = vals.len();
+    let window = ((n as f64 * target).ceil() as usize).clamp(1, n);
+    let start = rng.gen_range(0..=n - window);
+    Some((col, vals[start], vals[start + window - 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snowflake::{Snowflake, SnowflakeConfig};
+    use sqe_engine::CardinalityOracle;
+
+    fn small_snowflake() -> Snowflake {
+        Snowflake::generate(SnowflakeConfig {
+            scale: 0.002,
+            min_rows: 100,
+            ..SnowflakeConfig::default()
+        })
+    }
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let sf = small_snowflake();
+        let cfg = WorkloadConfig {
+            queries: 10,
+            joins: 3,
+            filters: 3,
+            ..WorkloadConfig::default()
+        };
+        let wl = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        assert_eq!(wl.len(), 10);
+        for q in &wl {
+            assert_eq!(q.join_count(), 3);
+            assert_eq!(q.filter_count(), 3);
+            assert_eq!(q.tables.len(), 4, "J joins span J+1 tables (tree schema)");
+        }
+    }
+
+    #[test]
+    fn queries_are_nonempty() {
+        let sf = small_snowflake();
+        let cfg = WorkloadConfig {
+            queries: 8,
+            joins: 4,
+            ..WorkloadConfig::default()
+        };
+        let wl = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        let mut oracle = CardinalityOracle::new(&sf.db);
+        for q in &wl {
+            let card = oracle.cardinality(&q.tables, &q.predicates).unwrap();
+            assert!(card > 0, "query produced empty result");
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let sf = small_snowflake();
+        let cfg = WorkloadConfig {
+            queries: 5,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        let b = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        assert_eq!(a, b);
+        let c = generate_workload(
+            &sf.db,
+            &sf.join_edges,
+            &sf.filter_columns,
+            WorkloadConfig { seed: 1, ..cfg },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn filter_selectivity_is_near_target() {
+        let sf = small_snowflake();
+        let cfg = WorkloadConfig {
+            queries: 20,
+            joins: 3,
+            filters: 2,
+            target_selectivity: 0.05,
+            ..WorkloadConfig::default()
+        };
+        let wl = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        let mut oracle = CardinalityOracle::new(&sf.db);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for q in &wl {
+            for p in q.filters() {
+                let t = p.tables().iter().next().unwrap();
+                sum += oracle.selectivity(&[t], &[*p]).unwrap();
+                n += 1;
+            }
+        }
+        let avg = sum / n as f64;
+        // Stretching can push individual filters above the target, but the
+        // average should remain in the right ballpark.
+        assert!(avg > 0.01 && avg < 0.35, "avg filter selectivity {avg}");
+    }
+
+    #[test]
+    fn seven_way_joins_span_whole_snowflake() {
+        let sf = small_snowflake();
+        let cfg = WorkloadConfig {
+            queries: 3,
+            joins: 7,
+            ..WorkloadConfig::default()
+        };
+        let wl = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        for q in &wl {
+            assert_eq!(q.tables.len(), 8);
+        }
+    }
+
+    #[test]
+    fn connected_subsets_are_connected() {
+        let sf = small_snowflake();
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 1..=7 {
+            for _ in 0..20 {
+                let edges = connected_edge_subset(&sf.join_edges, k, &mut rng).unwrap();
+                assert_eq!(edges.len(), k);
+                // Tables touched must form one connected component: J edges
+                // over a tree subgraph touch exactly J+1 tables.
+                let mut tables: Vec<TableId> = edges
+                    .iter()
+                    .flat_map(|e| [e.fk.table, e.pk.table])
+                    .collect();
+                tables.sort_unstable();
+                tables.dedup();
+                assert_eq!(tables.len(), k + 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot use")]
+    fn too_many_joins_panics() {
+        let sf = small_snowflake();
+        let cfg = WorkloadConfig {
+            joins: 99,
+            ..WorkloadConfig::default()
+        };
+        generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+    }
+}

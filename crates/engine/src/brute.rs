@@ -1,0 +1,188 @@
+//! Brute-force nested-loop evaluation over the full cartesian product.
+//!
+//! Only usable on tiny inputs; serves as the correctness oracle for the hash
+//! join executor and for the conditional-selectivity properties (atomic and
+//! separable decomposition are *exact*, so tests can verify them against
+//! brute-forced counts).
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::predicate::Predicate;
+use crate::schema::TableId;
+
+/// Default cap on the cross-product size the brute-force evaluator accepts.
+pub const DEFAULT_LIMIT: u128 = 20_000_000;
+
+/// Counts the tuples of `R1 × … × Rn` that satisfy every predicate, by full
+/// enumeration. Fails when the cross product exceeds `limit` rows.
+pub fn count_brute_force(
+    db: &Database,
+    tables: &[TableId],
+    preds: &[Predicate],
+    limit: u128,
+) -> Result<u64> {
+    if tables.is_empty() {
+        return Err(EngineError::EmptyTableSet);
+    }
+    let mut sorted: Vec<TableId> = tables.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let total = db.cross_product_size(&sorted)?;
+    if total > limit {
+        return Err(EngineError::CrossProductTooLarge {
+            estimated_rows: total,
+            limit,
+        });
+    }
+    let sizes: Vec<usize> = sorted
+        .iter()
+        .map(|&t| db.row_count(t))
+        .collect::<Result<_>>()?;
+    if sizes.contains(&0) {
+        return Ok(0);
+    }
+
+    // Resolve predicate columns to (table slot, column) once.
+    struct Resolved {
+        pred: Predicate,
+        slots: Vec<usize>,
+    }
+    let slot_of = |t: TableId| sorted.binary_search(&t).map_err(|_| EngineError::PredicateOutOfScope { table: t });
+    let mut resolved = Vec::with_capacity(preds.len());
+    for p in preds {
+        let slots: Vec<usize> = match p {
+            Predicate::Filter { col, .. } | Predicate::Range { col, .. } => {
+                vec![slot_of(col.table)?]
+            }
+            Predicate::Join { left, right } => {
+                vec![slot_of(left.table)?, slot_of(right.table)?]
+            }
+        };
+        resolved.push(Resolved { pred: *p, slots });
+    }
+
+    let mut idx = vec![0usize; sorted.len()];
+    let mut count = 0u64;
+    'outer: loop {
+        let ok = resolved.iter().all(|r| match &r.pred {
+            Predicate::Filter { col, op, value } => db
+                .column(*col)
+                .ok()
+                .and_then(|c| c.get(idx[r.slots[0]]))
+                .is_some_and(|v| op.eval(v, *value)),
+            Predicate::Range { col, lo, hi } => db
+                .column(*col)
+                .ok()
+                .and_then(|c| c.get(idx[r.slots[0]]))
+                .is_some_and(|v| *lo <= v && v <= *hi),
+            Predicate::Join { left, right } => {
+                let lv = db.column(*left).ok().and_then(|c| c.get(idx[r.slots[0]]));
+                let rv = db.column(*right).ok().and_then(|c| c.get(idx[r.slots[1]]));
+                matches!((lv, rv), (Some(a), Some(b)) if a == b)
+            }
+        });
+        if ok {
+            count += 1;
+        }
+        // Odometer increment.
+        for slot in (0..idx.len()).rev() {
+            idx[slot] += 1;
+            if idx[slot] < sizes[slot] {
+                continue 'outer;
+            }
+            idx[slot] = 0;
+        }
+        break;
+    }
+    Ok(count)
+}
+
+/// Exact selectivity `Sel_R(P)` by brute force.
+pub fn selectivity_brute_force(
+    db: &Database,
+    tables: &[TableId],
+    preds: &[Predicate],
+    limit: u128,
+) -> Result<f64> {
+    let total = db.cross_product_size(tables)?;
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let count = count_brute_force(db, tables, preds, limit)?;
+    Ok(count as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::predicate::{CmpOp, ColRef};
+    use crate::table::TableBuilder;
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3, 4, 5])
+                .column("x", vec![1, 1, 2, 2, 3])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .nullable_column("y", vec![Some(1), Some(2), None, Some(2)])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn brute_force_counts_join() {
+        let db = db();
+        let preds = [Predicate::join(c(0, 1), c(1, 0))];
+        let n = count_brute_force(&db, &[TableId(0), TableId(1)], &preds, DEFAULT_LIMIT).unwrap();
+        // x=[1,1,2,2,3], y=[1,2,NULL,2]: matches 1×1(×2 rows) + 2×2(2 rows × 2) = 2 + 4
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_executor() {
+        let db = db();
+        let preds = [
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Le, 3),
+        ];
+        let tables = [TableId(0), TableId(1)];
+        let bf = count_brute_force(&db, &tables, &preds, DEFAULT_LIMIT).unwrap();
+        let ex = execute(&db, &tables, &preds).unwrap();
+        assert_eq!(bf as u128, ex);
+    }
+
+    #[test]
+    fn selectivity_matches_fraction() {
+        let db = db();
+        let preds = [Predicate::filter(c(0, 0), CmpOp::Le, 2)];
+        let s = selectivity_brute_force(&db, &[TableId(0)], &preds, DEFAULT_LIMIT).unwrap();
+        assert!((s - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let db = db();
+        let err =
+            count_brute_force(&db, &[TableId(0), TableId(1)], &[], 3).unwrap_err();
+        assert!(matches!(err, EngineError::CrossProductTooLarge { .. }));
+    }
+
+    #[test]
+    fn no_predicates_counts_cross_product() {
+        let db = db();
+        let n = count_brute_force(&db, &[TableId(0), TableId(1)], &[], DEFAULT_LIMIT).unwrap();
+        assert_eq!(n, 20);
+    }
+}

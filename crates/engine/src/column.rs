@@ -1,0 +1,269 @@
+//! Nullable `i64` column storage.
+//!
+//! Values are stored densely in a `Vec<i64>`; nullability is tracked by an
+//! optional validity bitmap (one bit per row, `1` = valid). Columns that
+//! contain no NULLs carry no bitmap at all, so the common case costs nothing.
+
+/// A nullable column of `i64` values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Column {
+    values: Vec<i64>,
+    /// `None` means every row is valid. Otherwise one bit per row, LSB-first
+    /// within each `u64` word; bit set = valid (non-NULL).
+    validity: Option<Vec<u64>>,
+    null_count: usize,
+}
+
+impl Column {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a column from non-null values.
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Column {
+            values,
+            validity: None,
+            null_count: 0,
+        }
+    }
+
+    /// Creates a column from optional values (NULL = `None`).
+    pub fn from_options(values: Vec<Option<i64>>) -> Self {
+        let mut col = Column::with_capacity(values.len());
+        for v in values {
+            col.push(v);
+        }
+        col
+    }
+
+    /// Creates an empty column with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Column {
+            values: Vec::with_capacity(capacity),
+            validity: None,
+            null_count: 0,
+        }
+    }
+
+    /// Number of rows (including NULLs).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Appends a value (or NULL).
+    pub fn push(&mut self, value: Option<i64>) {
+        let row = self.values.len();
+        match value {
+            Some(v) => {
+                self.values.push(v);
+                if let Some(bits) = &mut self.validity {
+                    Self::grow_bitmap(bits, row + 1);
+                    bits[row / 64] |= 1 << (row % 64);
+                }
+            }
+            None => {
+                self.values.push(0);
+                let bits = match &mut self.validity {
+                    Some(bits) => bits,
+                    None => {
+                        // Materialize an all-valid bitmap for the prefix.
+                        let words = (row + 64) / 64;
+                        let mut bits = vec![u64::MAX; words];
+                        // Clear trailing bits beyond `row`.
+                        for i in row..words * 64 {
+                            bits[i / 64] &= !(1 << (i % 64));
+                        }
+                        for i in 0..row {
+                            bits[i / 64] |= 1 << (i % 64);
+                        }
+                        self.validity = Some(bits);
+                        self.validity.as_mut().expect("just set")
+                    }
+                };
+                Self::grow_bitmap(bits, row + 1);
+                bits[row / 64] &= !(1 << (row % 64));
+                self.null_count += 1;
+            }
+        }
+    }
+
+    fn grow_bitmap(bits: &mut Vec<u64>, rows: usize) {
+        let words = rows.div_ceil(64);
+        if bits.len() < words {
+            bits.resize(words, 0);
+        }
+    }
+
+    /// True if the row holds a non-NULL value.
+    #[inline]
+    pub fn is_valid(&self, row: usize) -> bool {
+        debug_assert!(row < self.values.len());
+        match &self.validity {
+            None => true,
+            Some(bits) => bits[row / 64] & (1 << (row % 64)) != 0,
+        }
+    }
+
+    /// Returns the value at `row`, or `None` for NULL.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<i64> {
+        if self.is_valid(row) {
+            Some(self.values[row])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the raw value at `row` without checking validity. Only
+    /// meaningful when `is_valid(row)`.
+    #[inline]
+    pub fn value_unchecked(&self, row: usize) -> i64 {
+        self.values[row]
+    }
+
+    /// Iterates over all rows as `Option<i64>`.
+    pub fn iter(&self) -> impl Iterator<Item = Option<i64>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Iterates over the non-NULL values.
+    pub fn iter_valid(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.len()).filter_map(move |i| self.get(i))
+    }
+
+    /// Collects the non-NULL values into a vector.
+    pub fn valid_values(&self) -> Vec<i64> {
+        self.iter_valid().collect()
+    }
+
+    /// Gathers the values at `rows` (preserving order, NULLs skipped).
+    pub fn gather_valid(&self, rows: &[u32]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(rows.len());
+        for &r in rows {
+            if let Some(v) = self.get(r as usize) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Minimum and maximum of the non-NULL values, or `None` when all rows
+    /// are NULL (or the column is empty).
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        let mut it = self.iter_valid();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+}
+
+impl FromIterator<i64> for Column {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        Column::from_values(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<Option<i64>> for Column {
+    fn from_iter<T: IntoIterator<Item = Option<i64>>>(iter: T) -> Self {
+        Column::from_options(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_null_column_has_no_bitmap() {
+        let c = Column::from_values(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 0);
+        assert!(c.validity.is_none());
+        assert_eq!(c.get(1), Some(2));
+    }
+
+    #[test]
+    fn push_null_materializes_bitmap() {
+        let mut c = Column::from_values(vec![10, 20]);
+        c.push(None);
+        c.push(Some(40));
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Some(10));
+        assert_eq!(c.get(1), Some(20));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(3), Some(40));
+    }
+
+    #[test]
+    fn bitmap_handles_word_boundaries() {
+        let mut c = Column::new();
+        for i in 0..200 {
+            if i % 3 == 0 {
+                c.push(None);
+            } else {
+                c.push(Some(i));
+            }
+        }
+        for i in 0..200 {
+            if i % 3 == 0 {
+                assert_eq!(c.get(i as usize), None, "row {i}");
+            } else {
+                assert_eq!(c.get(i as usize), Some(i), "row {i}");
+            }
+        }
+        assert_eq!(c.null_count(), 67);
+    }
+
+    #[test]
+    fn from_options_round_trips() {
+        let vals = vec![Some(1), None, Some(-5), None, Some(i64::MAX)];
+        let c = Column::from_options(vals.clone());
+        assert_eq!(c.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn iter_valid_skips_nulls() {
+        let c = Column::from_options(vec![Some(1), None, Some(3)]);
+        assert_eq!(c.valid_values(), vec![1, 3]);
+    }
+
+    #[test]
+    fn gather_valid_respects_order_and_nulls() {
+        let c = Column::from_options(vec![Some(5), None, Some(7), Some(9)]);
+        assert_eq!(c.gather_valid(&[3, 1, 0]), vec![9, 5]);
+    }
+
+    #[test]
+    fn min_max_ignores_nulls() {
+        let c = Column::from_options(vec![None, Some(4), Some(-2), None]);
+        assert_eq!(c.min_max(), Some((-2, 4)));
+        let all_null = Column::from_options(vec![None, None]);
+        assert_eq!(all_null.min_max(), None);
+        assert_eq!(Column::new().min_max(), None);
+    }
+
+    #[test]
+    fn collects_from_iterators() {
+        let c: Column = (0..5).collect();
+        assert_eq!(c.len(), 5);
+        let c: Column = vec![Some(1), None].into_iter().collect();
+        assert_eq!(c.null_count(), 1);
+    }
+}

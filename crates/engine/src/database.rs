@@ -1,0 +1,159 @@
+//! Database: a catalog plus table storage.
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::predicate::ColRef;
+use crate::schema::{Catalog, TableId, TableSchema};
+use crate::table::Table;
+
+/// An in-memory database: schemas plus table data, addressed by [`TableId`].
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table, returning its id.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        let id = self.catalog.add(table.schema().clone());
+        self.tables.push(table);
+        id
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Table data by id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or(EngineError::UnknownTable(id))
+    }
+
+    /// Table data by name.
+    pub fn table_by_name(&self, name: &str) -> Option<(&Table, TableId)> {
+        let id = self.catalog.table_id(name)?;
+        Some((&self.tables[id.0 as usize], id))
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, id: TableId) -> Result<&TableSchema> {
+        self.catalog
+            .schema(id)
+            .ok_or(EngineError::UnknownTable(id))
+    }
+
+    /// The column a [`ColRef`] points at.
+    pub fn column(&self, col: ColRef) -> Result<&Column> {
+        let table = self.table(col.table)?;
+        table.column(col.column).ok_or(EngineError::UnknownColumn {
+            table: col.table,
+            column: col.column,
+        })
+    }
+
+    /// Resolves a `"table.column"` string to a [`ColRef`].
+    pub fn col(&self, qualified: &str) -> Option<ColRef> {
+        let (t, c) = qualified.split_once('.')?;
+        let id = self.catalog.table_id(t)?;
+        let column = self.catalog.schema(id)?.column_index(c)?;
+        Some(ColRef { table: id, column })
+    }
+
+    /// Number of rows in the table.
+    pub fn row_count(&self, id: TableId) -> Result<usize> {
+        Ok(self.table(id)?.row_count())
+    }
+
+    /// Cardinality of the cartesian product of a set of tables, as `u128`
+    /// (the paper's `|R1 × … × Rn|` denominator).
+    pub fn cross_product_size(&self, tables: &[TableId]) -> Result<u128> {
+        let mut prod: u128 = 1;
+        for &t in tables {
+            prod = prod.saturating_mul(self.row_count(t)? as u128);
+        }
+        Ok(prod)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3])
+                .column("x", vec![10, 20, 30])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![10, 10])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let db = sample_db();
+        assert_eq!(db.table_count(), 2);
+        let (t, id) = db.table_by_name("s").unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(id, TableId(1));
+        assert!(db.table(TableId(9)).is_err());
+    }
+
+    #[test]
+    fn qualified_column_resolution() {
+        let db = sample_db();
+        let c = db.col("r.x").unwrap();
+        assert_eq!(c.table, TableId(0));
+        assert_eq!(c.column, 1);
+        assert!(db.col("r.nope").is_none());
+        assert!(db.col("nope.x").is_none());
+        assert!(db.col("malformed").is_none());
+        assert_eq!(db.column(c).unwrap().get(1), Some(20));
+    }
+
+    #[test]
+    fn cross_product_size_multiplies() {
+        let db = sample_db();
+        let n = db
+            .cross_product_size(&[TableId(0), TableId(1)])
+            .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(db.cross_product_size(&[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let db = sample_db();
+        let bad = ColRef {
+            table: TableId(0),
+            column: 42,
+        };
+        assert!(matches!(
+            db.column(bad),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+}

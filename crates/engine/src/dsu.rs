@@ -1,0 +1,155 @@
+//! Disjoint-set union (union-find) used for separability checks.
+//!
+//! The separability test of Definition 2 asks whether a predicate set splits
+//! into parts referencing disjoint table sets; treating predicates as
+//! hyperedges over tables, the non-separable factors of the standard
+//! decomposition (Lemma 2) are exactly the connected components of that
+//! hypergraph. This tiny DSU with path compression and union-by-size backs
+//! both computations here and in `sqe-core`.
+
+/// Disjoint-set union over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns true when they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Groups elements by component, in first-seen order. Each group is
+    /// sorted ascending.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut order: Vec<Option<usize>> = vec![None; n];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let r = self.find(i);
+            match order[r] {
+                Some(g) => out[g].push(i),
+                None => {
+                    order[r] = Some(out.len());
+                    out.push(vec![i]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.component_count(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(3, 4));
+        assert!(!d.union(1, 0), "repeated union is a no-op");
+        assert_eq!(d.component_count(), 3);
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+        assert!(d.same(4, 3));
+    }
+
+    #[test]
+    fn groups_partition_all_elements() {
+        let mut d = Dsu::new(6);
+        d.union(0, 2);
+        d.union(2, 4);
+        d.union(1, 5);
+        let groups = d.groups();
+        assert_eq!(groups.len(), 3);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        assert!(groups.contains(&vec![0, 2, 4]));
+        assert!(groups.contains(&vec![1, 5]));
+        assert!(groups.contains(&vec![3]));
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut d = Dsu::new(4);
+        d.union(0, 1);
+        d.union(1, 2);
+        d.union(2, 3);
+        let r = d.find(3);
+        assert_eq!(d.find(0), r);
+        // After compression every node points (at most one hop) to the root.
+        for i in 0..4 {
+            let p = d.parent[i] as usize;
+            assert_eq!(d.parent[p] as usize, p);
+        }
+    }
+
+    #[test]
+    fn empty_dsu() {
+        let mut d = Dsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.groups().len(), 0);
+        assert_eq!(d.component_count(), 0);
+    }
+}

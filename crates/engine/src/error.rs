@@ -1,0 +1,93 @@
+//! Error type shared by all engine operations.
+
+use std::fmt;
+
+use crate::schema::TableId;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised by the engine substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced table id is not present in the database.
+    UnknownTable(TableId),
+    /// A referenced column index is out of range for its table.
+    UnknownColumn { table: TableId, column: u16 },
+    /// A predicate references a table that is not part of the query's
+    /// table set.
+    PredicateOutOfScope { table: TableId },
+    /// Columns of a table have inconsistent lengths.
+    RaggedTable { table: String },
+    /// A query (or predicate component) spans disconnected tables and the
+    /// requested operation cannot handle cross products of this size.
+    CrossProductTooLarge { estimated_rows: u128, limit: u128 },
+    /// A range predicate with `lo > hi`.
+    EmptyRange { lo: i64, hi: i64 },
+    /// The operation needs at least one table.
+    EmptyTableSet,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table id {}", t.0),
+            EngineError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {} of table id {}", column, table.0)
+            }
+            EngineError::PredicateOutOfScope { table } => write!(
+                f,
+                "predicate references table id {} outside the query's table set",
+                table.0
+            ),
+            EngineError::RaggedTable { table } => {
+                write!(f, "table '{table}' has columns of differing lengths")
+            }
+            EngineError::CrossProductTooLarge {
+                estimated_rows,
+                limit,
+            } => write!(
+                f,
+                "cross product of {estimated_rows} rows exceeds the materialization limit {limit}"
+            ),
+            EngineError::EmptyRange { lo, hi } => {
+                write!(f, "range predicate with lo {lo} > hi {hi}")
+            }
+            EngineError::EmptyTableSet => write!(f, "operation requires at least one table"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::UnknownTable(TableId(7));
+        assert!(e.to_string().contains('7'));
+        let e = EngineError::CrossProductTooLarge {
+            estimated_rows: 1_000_000,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("1000000"));
+        let e = EngineError::RaggedTable {
+            table: "orders".into(),
+        };
+        assert!(e.to_string().contains("orders"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            EngineError::EmptyTableSet,
+            EngineError::EmptyTableSet.clone()
+        );
+        assert_ne!(
+            EngineError::UnknownTable(TableId(1)),
+            EngineError::UnknownTable(TableId(2))
+        );
+    }
+}

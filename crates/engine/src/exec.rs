@@ -1,0 +1,617 @@
+//! SPJ execution: filters and hash joins over row-id sets.
+//!
+//! The executor materializes results as [`RowSet`]s: for each result tuple it
+//! stores one row index per participating base table (struct-of-arrays).
+//! This is exactly what the rest of the system needs — true cardinalities
+//! come from `RowSet::len`, and SITs are built by gathering a single column
+//! over the row set.
+//!
+//! [`execute_connected`] evaluates a *connected* predicate set (no cross
+//! products) by filtering base tables first and then greedily hash-joining,
+//! smallest input first. [`execute`] evaluates arbitrary predicate sets by
+//! splitting them into non-separable components (Property 2 of the paper
+//! makes the product of component cardinalities exact) so cross products are
+//! never materialized.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::database::Database;
+use crate::dsu::Dsu;
+use crate::error::{EngineError, Result};
+use crate::predicate::{ColRef, PredTables, Predicate};
+use crate::schema::TableId;
+
+/// A materialized SPJ result: row indices into each participating table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSet {
+    tables: Vec<TableId>,
+    /// `rows[t]` has one entry per result tuple: the row index into
+    /// `tables[t]`. All inner vectors share the same length.
+    rows: Vec<Vec<u32>>,
+}
+
+impl RowSet {
+    /// A row set over a single base table containing the given rows.
+    pub fn from_rows(table: TableId, rows: Vec<u32>) -> Self {
+        RowSet {
+            tables: vec![table],
+            rows: vec![rows],
+        }
+    }
+
+    /// A row set containing every row of a base table.
+    pub fn base(db: &Database, table: TableId) -> Result<Self> {
+        let n = db.row_count(table)?;
+        Ok(Self::from_rows(table, (0..n as u32).collect()))
+    }
+
+    /// Participating tables (ascending order).
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Position of `table` within this row set.
+    fn slot(&self, table: TableId) -> Option<usize> {
+        self.tables.iter().position(|&t| t == table)
+    }
+
+    /// Row indices into `table` for each result tuple.
+    pub fn rows_of(&self, table: TableId) -> Option<&[u32]> {
+        self.slot(table).map(|s| self.rows[s].as_slice())
+    }
+
+    /// Gathers the values of `col` across the result tuples, preserving
+    /// NULLs. Fails when the column's table is not part of the result.
+    pub fn gather(&self, db: &Database, col: ColRef) -> Result<Column> {
+        let slot = self
+            .slot(col.table)
+            .ok_or(EngineError::PredicateOutOfScope { table: col.table })?;
+        let base = db.column(col)?;
+        let mut out = Column::with_capacity(self.len());
+        for &r in &self.rows[slot] {
+            out.push(base.get(r as usize));
+        }
+        Ok(out)
+    }
+
+    /// Retains only the tuples at the given positions.
+    fn select_positions(&mut self, keep: &[u32]) {
+        for rows in &mut self.rows {
+            let mut out = Vec::with_capacity(keep.len());
+            for &k in keep {
+                out.push(rows[k as usize]);
+            }
+            *rows = out;
+        }
+    }
+
+    /// Applies a predicate to the tuples of this row set. Join predicates
+    /// must reference tables already present (i.e. act as residual filters).
+    pub fn filter(&mut self, db: &Database, pred: &Predicate) -> Result<()> {
+        let keep: Vec<u32> = match pred {
+            Predicate::Filter { col, op, value } => {
+                let vals = self.gather(db, *col)?;
+                (0..self.len() as u32)
+                    .filter(|&i| vals.get(i as usize).is_some_and(|v| op.eval(v, *value)))
+                    .collect()
+            }
+            Predicate::Range { col, lo, hi } => {
+                let vals = self.gather(db, *col)?;
+                (0..self.len() as u32)
+                    .filter(|&i| {
+                        vals.get(i as usize)
+                            .is_some_and(|v| *lo <= v && v <= *hi)
+                    })
+                    .collect()
+            }
+            Predicate::Join { left, right } => {
+                let lv = self.gather(db, *left)?;
+                let rv = self.gather(db, *right)?;
+                (0..self.len() as u32)
+                    .filter(|&i| {
+                        matches!(
+                            (lv.get(i as usize), rv.get(i as usize)),
+                            (Some(a), Some(b)) if a == b
+                        )
+                    })
+                    .collect()
+            }
+        };
+        self.select_positions(&keep);
+        Ok(())
+    }
+
+    /// Hash-joins two row sets on `left_col = right_col` (columns belong to
+    /// `self` and `other` respectively). Builds on the smaller side.
+    pub fn join(&self, other: &RowSet, db: &Database, left_col: ColRef, right_col: ColRef) -> Result<RowSet> {
+        debug_assert!(self.slot(left_col.table).is_some());
+        debug_assert!(other.slot(right_col.table).is_some());
+        // Always *build* on the smaller input, *probe* with the larger.
+        let (build, probe, build_col, probe_col, build_is_self) = if self.len() <= other.len() {
+            (self, other, left_col, right_col, true)
+        } else {
+            (other, self, right_col, left_col, false)
+        };
+
+        let build_vals = build.gather(db, build_col)?;
+        let mut ht: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build.len());
+        for i in 0..build.len() {
+            if let Some(v) = build_vals.get(i) {
+                ht.entry(v).or_default().push(i as u32);
+            }
+        }
+
+        let probe_vals = probe.gather(db, probe_col)?;
+        let mut build_pos: Vec<u32> = Vec::new();
+        let mut probe_pos: Vec<u32> = Vec::new();
+        for i in 0..probe.len() {
+            if let Some(v) = probe_vals.get(i) {
+                if let Some(matches) = ht.get(&v) {
+                    for &b in matches {
+                        build_pos.push(b);
+                        probe_pos.push(i as u32);
+                    }
+                }
+            }
+        }
+
+        // Assemble the output with tables in ascending-id order.
+        let mut pairs: Vec<(TableId, Vec<u32>)> =
+            Vec::with_capacity(self.tables.len() + other.tables.len());
+        for (slot, &t) in build.tables.iter().enumerate() {
+            let src = &build.rows[slot];
+            pairs.push((t, build_pos.iter().map(|&p| src[p as usize]).collect()));
+        }
+        let probe_side = if build_is_self { other } else { self };
+        for (slot, &t) in probe_side.tables.iter().enumerate() {
+            let src = &probe_side.rows[slot];
+            pairs.push((t, probe_pos.iter().map(|&p| src[p as usize]).collect()));
+        }
+        pairs.sort_by_key(|(t, _)| *t);
+        let tables = pairs.iter().map(|(t, _)| *t).collect();
+        let rows = pairs.into_iter().map(|(_, r)| r).collect();
+        Ok(RowSet { tables, rows })
+    }
+}
+
+/// Splits `(tables, predicates)` into the connected components of the
+/// predicate hypergraph. Tables referenced by no predicate form singleton
+/// components with an empty predicate list. Component order follows the
+/// (sorted) table order; predicates keep their input order.
+pub fn components(
+    tables: &[TableId],
+    preds: &[Predicate],
+) -> Vec<(Vec<TableId>, Vec<Predicate>)> {
+    let mut sorted: Vec<TableId> = tables.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let index_of = |t: TableId| sorted.binary_search(&t).expect("table in scope");
+    let mut dsu = Dsu::new(sorted.len());
+    for p in preds {
+        if let PredTables::Two(a, b) = p.tables() {
+            dsu.union(index_of(a), index_of(b));
+        }
+    }
+    let groups = dsu.groups();
+    let mut out: Vec<(Vec<TableId>, Vec<Predicate>)> = groups
+        .iter()
+        .map(|g| (g.iter().map(|&i| sorted[i]).collect(), Vec::new()))
+        .collect();
+    // Map each table to its component.
+    let mut comp_of = vec![0usize; sorted.len()];
+    for (ci, g) in groups.iter().enumerate() {
+        for &i in g {
+            comp_of[i] = ci;
+        }
+    }
+    for p in preds {
+        let t = p
+            .tables()
+            .iter()
+            .next()
+            .expect("predicate references a table");
+        out[comp_of[index_of(t)]].1.push(*p);
+    }
+    out
+}
+
+/// Evaluates a *connected* predicate set over its tables, producing the
+/// materialized result. All tables must be reachable from each other through
+/// join predicates; otherwise a [`EngineError::CrossProductTooLarge`] is
+/// reported (the caller should decompose with [`components`] or use
+/// [`execute`]).
+pub fn execute_connected(
+    db: &Database,
+    tables: &[TableId],
+    preds: &[Predicate],
+) -> Result<RowSet> {
+    if tables.is_empty() {
+        return Err(EngineError::EmptyTableSet);
+    }
+    let mut sorted: Vec<TableId> = tables.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    // 1. Per-table filtered row sets (single-table predicates applied).
+    let mut base: HashMap<TableId, RowSet> = HashMap::with_capacity(sorted.len());
+    for &t in &sorted {
+        base.insert(t, RowSet::base(db, t)?);
+    }
+    let mut cross_joins: Vec<&Predicate> = Vec::new();
+    for p in preds {
+        match p.tables() {
+            PredTables::One(t) => {
+                let rs = base.get_mut(&t).ok_or(EngineError::PredicateOutOfScope { table: t })?;
+                rs.filter(db, p)?;
+            }
+            PredTables::Two(a, b) => {
+                if !base.contains_key(&a) {
+                    return Err(EngineError::PredicateOutOfScope { table: a });
+                }
+                if !base.contains_key(&b) {
+                    return Err(EngineError::PredicateOutOfScope { table: b });
+                }
+                cross_joins.push(p);
+            }
+        }
+    }
+
+    // 2. Greedy join order: start from the smallest filtered table and
+    //    repeatedly join in the neighbour producing the smallest input.
+    let mut current = {
+        let start = *sorted
+            .iter()
+            .min_by_key(|t| base[t].len())
+            .expect("non-empty table set");
+        base.remove(&start).expect("present")
+    };
+    let mut pending: Vec<&Predicate> = cross_joins;
+    while !pending.is_empty() {
+        // Residual joins: both sides already joined in. Expansion joins:
+        // exactly one side joined in; pick the one whose new table is
+        // smallest after base filtering.
+        let mut residual = Vec::new();
+        let mut next: Option<(usize, ColRef, ColRef, usize)> = None;
+        for (i, p) in pending.iter().enumerate() {
+            let Predicate::Join { left, right } = p else {
+                unreachable!("pending holds joins only")
+            };
+            let l_in = current.slot(left.table).is_some();
+            let r_in = current.slot(right.table).is_some();
+            let candidate = match (l_in, r_in) {
+                (true, true) => {
+                    residual.push(i);
+                    continue;
+                }
+                (true, false) => Some((*left, *right, base[&right.table].len())),
+                (false, true) => Some((*right, *left, base[&left.table].len())),
+                (false, false) => None,
+            };
+            if let Some((cur_col, new_col, size)) = candidate {
+                if next.is_none_or(|(_, _, _, best)| size < best) {
+                    next = Some((i, cur_col, new_col, size));
+                }
+            }
+        }
+        // Apply residual predicates first (cheap, shrinks the intermediate).
+        if !residual.is_empty() {
+            for &i in residual.iter().rev() {
+                let p = pending.remove(i);
+                current.filter(db, p)?;
+            }
+            continue;
+        }
+        let Some((idx, cur_col, new_col, _)) = next else {
+            // No join touches the current component: the query is
+            // disconnected.
+            let est = db.cross_product_size(&sorted)?;
+            return Err(EngineError::CrossProductTooLarge {
+                estimated_rows: est,
+                limit: 0,
+            });
+        };
+        pending.remove(idx);
+        let other = base.remove(&new_col.table).expect("unjoined table present");
+        current = current.join(&other, db, cur_col, new_col)?;
+    }
+
+    if !base.is_empty() {
+        // Tables never referenced by a join: disconnected query.
+        let est = db.cross_product_size(&sorted)?;
+        return Err(EngineError::CrossProductTooLarge {
+            estimated_rows: est,
+            limit: 0,
+        });
+    }
+    Ok(current)
+}
+
+/// Exact cardinality of `σ_P(R1 × … × Rn)`, decomposing into non-separable
+/// components (never materializing cross products).
+pub fn execute(db: &Database, tables: &[TableId], preds: &[Predicate]) -> Result<u128> {
+    if tables.is_empty() {
+        return Err(EngineError::EmptyTableSet);
+    }
+    let mut card: u128 = 1;
+    for (comp_tables, comp_preds) in components(tables, preds) {
+        let c = if comp_preds.is_empty() {
+            debug_assert_eq!(comp_tables.len(), 1);
+            db.row_count(comp_tables[0])? as u128
+        } else {
+            execute_connected(db, &comp_tables, &comp_preds)?.len() as u128
+        };
+        card = card.saturating_mul(c);
+        if card == 0 {
+            return Ok(0);
+        }
+    }
+    Ok(card)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::table::TableBuilder;
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    fn db3() -> Database {
+        let mut db = Database::new();
+        // r(a, x): 4 rows
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3, 4])
+                .column("x", vec![10, 10, 20, 30])
+                .build()
+                .unwrap(),
+        );
+        // s(y, b): 5 rows, y has a NULL
+        db.add_table(
+            TableBuilder::new("s")
+                .nullable_column("y", vec![Some(10), Some(20), Some(20), None, Some(40)])
+                .column("b", vec![100, 200, 300, 400, 500])
+                .build()
+                .unwrap(),
+        );
+        // t(z): 3 rows
+        db.add_table(
+            TableBuilder::new("t")
+                .column("z", vec![100, 100, 300])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn base_rowset_covers_all_rows() {
+        let db = db3();
+        let rs = RowSet::base(&db, TableId(0)).unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.rows_of(TableId(0)).unwrap(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn filter_respects_nulls() {
+        let db = db3();
+        let mut rs = RowSet::base(&db, TableId(1)).unwrap();
+        rs.filter(&db, &Predicate::filter(c(1, 0), CmpOp::Ge, 0)).unwrap();
+        // NULL row dropped even though the comparison is `>= 0`.
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn range_filter_is_inclusive() {
+        let db = db3();
+        let mut rs = RowSet::base(&db, TableId(0)).unwrap();
+        rs.filter(&db, &Predicate::range(c(0, 0), 2, 3)).unwrap();
+        assert_eq!(rs.rows_of(TableId(0)).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn hash_join_matches_expected_pairs() {
+        let db = db3();
+        // r.x = s.y: x=[10,10,20,30], y=[10,20,20,NULL,40]
+        // matches: (r0,s0),(r1,s0),(r2,s1),(r2,s2)
+        let rs = execute_connected(
+            &db,
+            &[TableId(0), TableId(1)],
+            &[Predicate::join(c(0, 1), c(1, 0))],
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 4);
+        let mut pairs: Vec<(u32, u32)> = rs
+            .rows_of(TableId(0))
+            .unwrap()
+            .iter()
+            .zip(rs.rows_of(TableId(1)).unwrap())
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn three_way_join_with_filter() {
+        let db = db3();
+        // r ⋈ s on x=y, s ⋈ t on b=z, filter r.a <= 2.
+        let preds = vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::join(c(1, 1), c(2, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Le, 2),
+        ];
+        let rs = execute_connected(&db, &[TableId(0), TableId(1), TableId(2)], &preds).unwrap();
+        // r rows {0,1} join s0 (y=10,b=100); s.b=100 joins t rows {0,1}.
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.tables(), &[TableId(0), TableId(1), TableId(2)]);
+    }
+
+    #[test]
+    fn disconnected_execution_errors_but_execute_multiplies() {
+        let db = db3();
+        let tables = [TableId(0), TableId(2)];
+        let err = execute_connected(&db, &tables, &[]).unwrap_err();
+        assert!(matches!(err, EngineError::CrossProductTooLarge { .. }));
+        assert_eq!(execute(&db, &tables, &[]).unwrap(), 12);
+        // One filter on r only: still disconnected from t.
+        let preds = [Predicate::filter(c(0, 0), CmpOp::Le, 2)];
+        assert_eq!(execute(&db, &tables, &preds).unwrap(), 6);
+    }
+
+    #[test]
+    fn components_split_by_join_graph() {
+        let tables = [TableId(0), TableId(1), TableId(2)];
+        let preds = vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(2, 0), CmpOp::Eq, 100),
+        ];
+        let comps = components(&tables, &preds);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].0, vec![TableId(0), TableId(1)]);
+        assert_eq!(comps[0].1.len(), 1);
+        assert_eq!(comps[1].0, vec![TableId(2)]);
+        assert_eq!(comps[1].1.len(), 1);
+    }
+
+    #[test]
+    fn residual_join_in_cycle() {
+        // r ⋈ s on x=y AND a=b would be a cycle of multiplicity 2 between
+        // the same tables; the second predicate must be applied as residual.
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2])
+                .column("x", vec![7, 7])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("b", vec![1, 9])
+                .column("y", vec![7, 7])
+                .build()
+                .unwrap(),
+        );
+        let preds = vec![
+            Predicate::join(c(0, 1), c(1, 1)),
+            Predicate::join(c(0, 0), c(1, 0)),
+        ];
+        let rs = execute_connected(&db, &[TableId(0), TableId(1)], &preds).unwrap();
+        assert_eq!(rs.len(), 1); // only (a=1, b=1) survives
+    }
+
+    #[test]
+    fn gather_preserves_order_and_nulls() {
+        let db = db3();
+        let rs = execute_connected(
+            &db,
+            &[TableId(0), TableId(1)],
+            &[Predicate::join(c(0, 1), c(1, 0))],
+        )
+        .unwrap();
+        let col = rs.gather(&db, c(1, 1)).unwrap();
+        assert_eq!(col.len(), rs.len());
+        assert_eq!(col.null_count(), 0);
+    }
+
+    #[test]
+    fn execute_multiplies_multiple_join_components() {
+        // Two independent joined pairs: (r ⋈ s) × (t filtered) — execute()
+        // must multiply component cardinalities without materializing the
+        // product.
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("x", vec![1, 2, 2])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![2, 2, 3])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("t")
+                .column("z", vec![5, 6, 7, 8])
+                .build()
+                .unwrap(),
+        );
+        let preds = vec![
+            Predicate::join(c(0, 0), c(1, 0)),
+            Predicate::range(c(2, 0), 6, 7),
+        ];
+        let tables = [TableId(0), TableId(1), TableId(2)];
+        // join: x=2 twice × y=2 twice = 4; filter keeps 2 of t → 8.
+        assert_eq!(execute(&db, &tables, &preds).unwrap(), 8);
+    }
+
+    #[test]
+    fn join_keys_with_nulls_never_match() {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .nullable_column("x", vec![Some(1), None, Some(2)])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .nullable_column("y", vec![None, Some(1), Some(1)])
+                .build()
+                .unwrap(),
+        );
+        let rs = execute_connected(
+            &db,
+            &[TableId(0), TableId(1)],
+            &[Predicate::join(c(0, 0), c(1, 0))],
+        )
+        .unwrap();
+        // Only r0 (x=1) matches s1 and s2; NULLs on either side drop out.
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn filter_after_join_on_carried_table() {
+        let db = db3();
+        // Join r ⋈ s, then filter s.b — the filter applies to the joined
+        // row set, exercising gather over a non-first table slot.
+        let preds = vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(1, 1), CmpOp::Le, 200),
+        ];
+        let rs = execute_connected(&db, &[TableId(0), TableId(1)], &preds).unwrap();
+        // Matches: (r0,s0),(r1,s0) have b=100; (r2,s1) b=200; (r2,s2) b=300.
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn empty_result_propagates() {
+        let db = db3();
+        let preds = vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Gt, 100),
+        ];
+        let rs = execute_connected(&db, &[TableId(0), TableId(1)], &preds).unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(
+            execute(&db, &[TableId(0), TableId(1)], &preds).unwrap(),
+            0
+        );
+    }
+}

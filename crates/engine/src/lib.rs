@@ -1,0 +1,46 @@
+//! # sqe-engine — in-memory relational substrate
+//!
+//! A small, self-contained column-store execution engine used as the
+//! substrate for the conditional-selectivity framework of Bruno & Chaudhuri
+//! (SIGMOD 2004). It provides:
+//!
+//! * a catalog of tables with typed (`i64`, nullable) columns,
+//! * select-project-join (SPJ) predicates and queries in the paper's
+//!   canonical form `σ_{p1 ∧ … ∧ pk}(R1 × … × Rn)`,
+//! * a hash-join based executor that materializes query results as row-id
+//!   sets (used both to compute *true* cardinalities and to build SITs over
+//!   query expressions),
+//! * a brute-force cross-product evaluator used as a test oracle, and
+//! * a memoized [`oracle::CardinalityOracle`] that returns the exact
+//!   cardinality/selectivity of *any* predicate subset of a query, exploiting
+//!   the separable-decomposition property (Property 2 in the paper) so that
+//!   disconnected predicate sets never materialize a cross product.
+//!
+//! Values are `i64` with SQL-ish NULL semantics: any comparison involving
+//! NULL is false, so NULLs never satisfy filters and never join (this is how
+//! the paper models "dangling" foreign keys that break referential
+//! integrity).
+
+pub mod brute;
+pub mod column;
+pub mod database;
+pub mod dsu;
+pub mod error;
+pub mod exec;
+pub mod oracle;
+pub mod parser;
+pub mod predicate;
+pub mod query;
+pub mod schema;
+pub mod table;
+
+pub use column::Column;
+pub use database::Database;
+pub use error::{EngineError, Result};
+pub use exec::{execute, execute_connected, RowSet};
+pub use oracle::CardinalityOracle;
+pub use parser::{parse_query, ParseError};
+pub use predicate::{CmpOp, ColRef, Predicate};
+pub use query::SpjQuery;
+pub use schema::{Catalog, ColumnSchema, TableId, TableSchema};
+pub use table::Table;

@@ -1,0 +1,237 @@
+//! Memoized *true* cardinality / selectivity oracle.
+//!
+//! The paper's evaluation metric (§5) needs the actual cardinality of every
+//! sub-query of every workload query, and the `GS-Opt` error function needs
+//! true conditional selectivities. Evaluating each of the `2ⁿ` predicate
+//! subsets independently would be wasteful: the oracle decomposes every
+//! request into the non-separable components of its predicate hypergraph
+//! (the product of component cardinalities is exact by Property 2) and
+//! memoizes per component, so the subsets of one query share almost all
+//! execution work.
+
+use std::collections::HashMap;
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::exec::{components, execute_connected};
+use crate::predicate::Predicate;
+use crate::schema::TableId;
+
+type ComponentKey = (Vec<TableId>, Vec<Predicate>);
+
+/// Memoizing oracle for exact cardinalities and selectivities.
+pub struct CardinalityOracle<'a> {
+    db: &'a Database,
+    memo: HashMap<ComponentKey, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> CardinalityOracle<'a> {
+    /// Creates an oracle over a database.
+    pub fn new(db: &'a Database) -> Self {
+        CardinalityOracle {
+            db,
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// `(memo hits, memo misses)` — for tests and diagnostics.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Exact `|σ_P(R1 × … × Rn)|`.
+    pub fn cardinality(&mut self, tables: &[TableId], preds: &[Predicate]) -> Result<u128> {
+        let mut card: u128 = 1;
+        for (comp_tables, comp_preds) in components(tables, preds) {
+            card = card.saturating_mul(self.component_count(comp_tables, comp_preds)? as u128);
+            if card == 0 {
+                return Ok(0);
+            }
+        }
+        Ok(card)
+    }
+
+    fn component_count(
+        &mut self,
+        comp_tables: Vec<TableId>,
+        mut comp_preds: Vec<Predicate>,
+    ) -> Result<u64> {
+        comp_preds.sort_unstable();
+        comp_preds.dedup();
+        let key = (comp_tables, comp_preds);
+        if let Some(&c) = self.memo.get(&key) {
+            self.hits += 1;
+            return Ok(c);
+        }
+        self.misses += 1;
+        let (comp_tables, comp_preds) = &key;
+        let count = if comp_preds.is_empty() {
+            debug_assert_eq!(comp_tables.len(), 1);
+            self.db.row_count(comp_tables[0])? as u64
+        } else {
+            execute_connected(self.db, comp_tables, comp_preds)?.len() as u64
+        };
+        self.memo.insert(key, count);
+        Ok(count)
+    }
+
+    /// Exact selectivity `Sel_R(P) = |σ_P(R^×)| / |R^×|`.
+    pub fn selectivity(&mut self, tables: &[TableId], preds: &[Predicate]) -> Result<f64> {
+        let total = self.db.cross_product_size(tables)?;
+        if total == 0 {
+            return Ok(0.0);
+        }
+        let card = self.cardinality(tables, preds)?;
+        Ok(card as f64 / total as f64)
+    }
+
+    /// Exact conditional selectivity `Sel_R(P|Q) = |σ_{P∧Q}(R^×)| /
+    /// |σ_Q(R^×)|` (Definition 1). When `σ_Q` is empty the factor is
+    /// reported as 0 — any decomposition containing it multiplies against a
+    /// zero `Sel(Q)`, so the overall product is 0 either way.
+    pub fn conditional_selectivity(
+        &mut self,
+        tables: &[TableId],
+        p: &[Predicate],
+        q: &[Predicate],
+    ) -> Result<f64> {
+        let denom = self.cardinality(tables, q)?;
+        if denom == 0 {
+            return Ok(0.0);
+        }
+        let mut all: Vec<Predicate> = p.to_vec();
+        all.extend_from_slice(q);
+        let num = self.cardinality(tables, &all)?;
+        Ok(num as f64 / denom as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::{count_brute_force, DEFAULT_LIMIT};
+    use crate::predicate::{CmpOp, ColRef};
+    use crate::table::TableBuilder;
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3, 4])
+                .column("x", vec![1, 1, 2, 3])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![1, 2, 2])
+                .column("b", vec![5, 6, 7])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn cardinality_matches_brute_force_on_all_subsets() {
+        let db = db();
+        let tables = [TableId(0), TableId(1)];
+        let preds = [
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::range(c(0, 0), 1, 2),
+            Predicate::filter(c(1, 1), CmpOp::Ge, 6),
+        ];
+        let mut oracle = CardinalityOracle::new(&db);
+        for mask in 0u32..8 {
+            let sub: Vec<Predicate> = preds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, p)| *p)
+                .collect();
+            let got = oracle.cardinality(&tables, &sub).unwrap();
+            let want = count_brute_force(&db, &tables, &sub, DEFAULT_LIMIT).unwrap();
+            assert_eq!(got, want as u128, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn memoization_reuses_components() {
+        let db = db();
+        let tables = [TableId(0), TableId(1)];
+        let j = Predicate::join(c(0, 1), c(1, 0));
+                let mut oracle = CardinalityOracle::new(&db);
+        oracle.cardinality(&tables, &[j]).unwrap();
+        let (h0, m0) = oracle.stats();
+        // {j} plus a separable filter reuses the {j} component and the
+        // lone-filter component is new.
+        oracle.cardinality(&tables, &[j]).unwrap();
+        let (h1, m1) = oracle.stats();
+        assert!(h1 > h0);
+        assert_eq!(m1, m0);
+    }
+
+    #[test]
+    fn atomic_decomposition_property_holds_exactly() {
+        // Sel(P,Q) = Sel(P|Q)·Sel(Q) — Property 1 is assumption-free.
+        let db = db();
+        let tables = [TableId(0), TableId(1)];
+        let p = [Predicate::range(c(0, 0), 1, 2)];
+        let q = [Predicate::join(c(0, 1), c(1, 0))];
+        let mut oracle = CardinalityOracle::new(&db);
+        let all: Vec<Predicate> = p.iter().chain(q.iter()).copied().collect();
+        let joint = oracle.selectivity(&tables, &all).unwrap();
+        let cond = oracle.conditional_selectivity(&tables, &p, &q).unwrap();
+        let marginal = oracle.selectivity(&tables, &q).unwrap();
+        assert!((joint - cond * marginal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_on_empty_condition_is_plain_selectivity() {
+        let db = db();
+        let tables = [TableId(0)];
+        let p = [Predicate::range(c(0, 0), 1, 2)];
+        let mut oracle = CardinalityOracle::new(&db);
+        let cond = oracle.conditional_selectivity(&tables, &p, &[]).unwrap();
+        let plain = oracle.selectivity(&tables, &p).unwrap();
+        assert_eq!(cond, plain);
+    }
+
+    #[test]
+    fn empty_denominator_reports_zero() {
+        let db = db();
+        let tables = [TableId(0)];
+        let q = [Predicate::filter(c(0, 0), CmpOp::Gt, 1000)];
+        let p = [Predicate::range(c(0, 0), 1, 2)];
+        let mut oracle = CardinalityOracle::new(&db);
+        assert_eq!(
+            oracle.conditional_selectivity(&tables, &p, &q).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn duplicate_predicates_share_memo_entries() {
+        let db = db();
+        let tables = [TableId(0)];
+        let f = Predicate::range(c(0, 0), 1, 2);
+        let mut oracle = CardinalityOracle::new(&db);
+        let a = oracle.cardinality(&tables, &[f, f]).unwrap();
+        let b = oracle.cardinality(&tables, &[f]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(oracle.stats().0, 1, "second call hits the memo");
+    }
+}

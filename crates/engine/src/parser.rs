@@ -1,0 +1,474 @@
+//! A small SQL-ish parser for SPJ queries.
+//!
+//! The library's canonical query form is programmatic
+//! (`SpjQuery::from_predicates`), but a textual form makes examples, tests,
+//! and interactive exploration far more pleasant:
+//!
+//! ```
+//! use sqe_engine::{parse_query, Database, table::TableBuilder};
+//! let mut db = Database::new();
+//! db.add_table(TableBuilder::new("orders")
+//!     .column("id", vec![1, 2]).column("price", vec![10, 20])
+//!     .build().unwrap());
+//! db.add_table(TableBuilder::new("lineitem")
+//!     .column("order_fk", vec![1, 1, 2]).build().unwrap());
+//!
+//! let q = parse_query(
+//!     &db,
+//!     "select * from orders, lineitem \
+//!      where lineitem.order_fk = orders.id and orders.price > 15",
+//! ).unwrap();
+//! assert_eq!(q.join_count(), 1);
+//! assert_eq!(q.filter_count(), 1);
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query  := SELECT '*' FROM table (',' table)* [WHERE conj]
+//! conj   := pred (AND pred)*
+//! pred   := col op const | const op col | col '=' col
+//!         | col BETWEEN const AND const
+//! col    := ident '.' ident
+//! op     := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Projections are accepted only as `*` (the estimation problem ignores
+//! them); string literals, OR, and nesting are intentionally out of scope.
+
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::predicate::{CmpOp, ColRef, Predicate};
+use crate::query::SpjQuery;
+use crate::schema::TableId;
+
+/// Parse failure, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an SPJ query against a database's catalog.
+pub fn parse_query(db: &Database, sql: &str) -> std::result::Result<SpjQuery, ParseError> {
+    Parser::new(db, sql).parse()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(i64),
+    Symbol(String),
+    Star,
+    Comma,
+}
+
+struct Parser<'a> {
+    db: &'a Database,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+fn err<T>(message: impl Into<String>) -> std::result::Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+    })
+}
+
+impl<'a> Parser<'a> {
+    fn new(db: &'a Database, sql: &str) -> Self {
+        Parser {
+            db,
+            tokens: tokenize(sql),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> std::result::Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => err(format!("expected `{kw}`, found {other:?}")),
+        }
+    }
+
+    fn parse(&mut self) -> std::result::Result<SpjQuery, ParseError> {
+        self.expect_keyword("select")?;
+        match self.next() {
+            Some(Token::Star) => {}
+            other => return err(format!("only `select *` is supported, found {other:?}")),
+        }
+        self.expect_keyword("from")?;
+
+        // Table list.
+        let mut tables: Vec<TableId> = Vec::new();
+        loop {
+            match self.next() {
+                Some(Token::Ident(name)) => {
+                    let id = self
+                        .db
+                        .catalog()
+                        .table_id(&name)
+                        .ok_or_else(|| ParseError {
+                            message: format!("unknown table `{name}`"),
+                        })?;
+                    tables.push(id);
+                }
+                other => return err(format!("expected table name, found {other:?}")),
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // Optional WHERE conjunction.
+        let mut predicates = Vec::new();
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case("where") {
+                self.pos += 1;
+                loop {
+                    predicates.push(self.parse_predicate()?);
+                    match self.peek() {
+                        Some(Token::Ident(w)) if w.eq_ignore_ascii_case("and") => {
+                            self.pos += 1;
+                        }
+                        None => break,
+                        other => {
+                            return err(format!("expected `and` or end of query, found {other:?}"))
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(t) = self.peek() {
+            return err(format!("unexpected trailing token {t:?}"));
+        }
+
+        SpjQuery::new(tables, predicates).map_err(|e: EngineError| ParseError {
+            message: e.to_string(),
+        })
+    }
+
+    fn parse_predicate(&mut self) -> std::result::Result<Predicate, ParseError> {
+        // Left operand: column or number.
+        enum Side {
+            Col(ColRef),
+            Num(i64),
+        }
+        let operand = |p: &mut Self| -> std::result::Result<Side, ParseError> {
+            match p.next() {
+                Some(Token::Number(n)) => Ok(Side::Num(n)),
+                Some(Token::Ident(table)) => {
+                    match p.next() {
+                        Some(Token::Symbol(dot)) if dot == "." => {}
+                        other => return err(format!("expected `.` after `{table}`, found {other:?}")),
+                    }
+                    let column = match p.next() {
+                        Some(Token::Ident(c)) => c,
+                        other => return err(format!("expected column name, found {other:?}")),
+                    };
+                    p.resolve(&table, &column).map(Side::Col)
+                }
+                other => err(format!("expected column or constant, found {other:?}")),
+            }
+        };
+
+        let lhs = operand(self)?;
+
+        // BETWEEN form (column only).
+        if let Side::Col(col) = &lhs {
+            if let Some(Token::Ident(w)) = self.peek() {
+                if w.eq_ignore_ascii_case("between") {
+                    self.pos += 1;
+                    let lo = self.expect_number()?;
+                    self.expect_keyword("and")?;
+                    let hi = self.expect_number()?;
+                    if lo > hi {
+                        return err(format!("between bounds inverted: {lo} > {hi}"));
+                    }
+                    return Ok(Predicate::range(*col, lo, hi));
+                }
+            }
+        }
+
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => s,
+            other => return err(format!("expected comparison operator, found {other:?}")),
+        };
+        let rhs = operand(self)?;
+
+        let cmp = |s: &str| -> std::result::Result<CmpOp, ParseError> {
+            Ok(match s {
+                "=" => CmpOp::Eq,
+                "<>" | "!=" => CmpOp::Neq,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => return err(format!("unknown operator `{s}`"))?,
+            })
+        };
+        let flip = |c: CmpOp| match c {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        };
+
+        match (lhs, rhs) {
+            (Side::Col(l), Side::Col(r)) => {
+                if op == "=" {
+                    Ok(Predicate::join(l, r))
+                } else {
+                    err("column-to-column predicates must be equi-joins (`=`)")
+                }
+            }
+            (Side::Col(c), Side::Num(n)) => Ok(Predicate::filter(c, cmp(&op)?, n)),
+            (Side::Num(n), Side::Col(c)) => Ok(Predicate::filter(c, flip(cmp(&op)?), n)),
+            (Side::Num(_), Side::Num(_)) => err("constant-to-constant predicates are pointless"),
+        }
+    }
+
+    fn expect_number(&mut self) -> std::result::Result<i64, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn resolve(&self, table: &str, column: &str) -> std::result::Result<ColRef, ParseError> {
+        let id = self
+            .db
+            .catalog()
+            .table_id(table)
+            .ok_or_else(|| ParseError {
+                message: format!("unknown table `{table}`"),
+            })?;
+        let col = self
+            .db
+            .catalog()
+            .schema(id)
+            .and_then(|s| s.column_index(column))
+            .ok_or_else(|| ParseError {
+                message: format!("unknown column `{table}.{column}`"),
+            })?;
+        Ok(ColRef::new(id, col))
+    }
+}
+
+fn tokenize(sql: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(".".into()));
+                i += 1;
+            }
+            '<' | '>' | '=' | '!' => {
+                let mut sym = String::from(c);
+                if i + 1 < chars.len() && matches!(chars[i + 1], '=' | '>') {
+                    sym.push(chars[i + 1]);
+                    i += 1;
+                }
+                out.push(Token::Symbol(sym));
+                i += 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                match text.parse() {
+                    Ok(n) => out.push(Token::Number(n)),
+                    Err(_) => out.push(Token::Symbol(text)),
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                out.push(Token::Symbol(other.to_string()));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("orders")
+                .column("id", vec![1, 2, 3])
+                .column("price", vec![10, 20, 30])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("lineitem")
+                .column("order_fk", vec![1, 1, 2])
+                .column("qty", vec![5, 6, 7])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn parses_joins_filters_and_between() {
+        let db = db();
+        let q = parse_query(
+            &db,
+            "SELECT * FROM orders, lineitem \
+             WHERE lineitem.order_fk = orders.id \
+             AND orders.price >= 15 \
+             AND lineitem.qty BETWEEN 5 AND 6",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.join_count(), 1);
+        assert_eq!(q.filter_count(), 2);
+        assert!(q
+            .predicates
+            .contains(&Predicate::range(db.col("lineitem.qty").unwrap(), 5, 6)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let db = db();
+        let q = parse_query(&db, "select * from orders where orders.price < 25").unwrap();
+        assert_eq!(q.filter_count(), 1);
+    }
+
+    #[test]
+    fn flipped_comparisons_normalize() {
+        let db = db();
+        let q = parse_query(&db, "select * from orders where 15 <= orders.price").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::filter(db.col("orders.price").unwrap(), CmpOp::Ge, 15)
+        );
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let db = db();
+        let q =
+            parse_query(&db, "select * from orders where orders.price > -5").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            Predicate::filter(db.col("orders.price").unwrap(), CmpOp::Gt, -5)
+        );
+    }
+
+    #[test]
+    fn no_where_clause_is_fine() {
+        let db = db();
+        let q = parse_query(&db, "select * from orders").unwrap();
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn neq_both_spellings() {
+        let db = db();
+        for opstr in ["<>", "!="] {
+            let q = parse_query(
+                &db,
+                &format!("select * from orders where orders.price {opstr} 20"),
+            )
+            .unwrap();
+            assert_eq!(
+                q.predicates[0],
+                Predicate::filter(db.col("orders.price").unwrap(), CmpOp::Neq, 20)
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let db = db();
+        for (sql, needle) in [
+            ("select id from orders", "select *"),
+            ("select * from nosuch", "unknown table"),
+            ("select * from orders where orders.nope = 1", "unknown column"),
+            ("select * from orders where orders.price < orders.id", "equi-joins"),
+            ("select * from orders where orders.price", "comparison operator"),
+            ("select * from orders where 1 = 2", "pointless"),
+            (
+                "select * from orders where orders.price between 9 and 3",
+                "inverted",
+            ),
+            ("select * from orders extra", "trailing"),
+        ] {
+            let e = parse_query(&db, sql).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{sql} → {e} (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn non_equi_join_on_distinct_tables_rejected() {
+        let db = db();
+        let e = parse_query(
+            &db,
+            "select * from orders, lineitem where lineitem.order_fk < orders.id",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("equi-joins"));
+    }
+
+    #[test]
+    fn where_table_must_be_in_from() {
+        let db = db();
+        let e = parse_query(&db, "select * from orders where lineitem.qty = 5").unwrap_err();
+        assert!(e.to_string().contains("outside the query"), "{e}");
+    }
+}

@@ -1,0 +1,306 @@
+//! SPJ predicates over the canonical form `σ_{p1 ∧ … ∧ pk}(R1 × … × Rn)`.
+//!
+//! The paper works with two predicate shapes: *filter* predicates comparing
+//! one column against a constant (or a constant range), and equi-*join*
+//! predicates between two columns. NULL semantics are SQL-like: a NULL never
+//! satisfies any predicate.
+
+use std::fmt;
+
+use crate::schema::TableId;
+
+/// A reference to a column of a base table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ColRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column index within the table.
+    pub column: u16,
+}
+
+impl ColRef {
+    /// Creates a column reference.
+    pub fn new(table: TableId, column: u16) -> Self {
+        ColRef { table, column }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.column)
+    }
+}
+
+/// Comparison operator for filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Neq => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A predicate over the cartesian product of a query's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Predicate {
+    /// `col op constant`.
+    Filter {
+        /// Column being filtered.
+        col: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: i64,
+    },
+    /// `lo <= col <= hi` (both inclusive). This is the shape the workload
+    /// generator produces (the paper stretches ranges until non-empty).
+    Range {
+        /// Column being filtered.
+        col: ColRef,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Equi-join `left = right` between columns of two tables.
+    Join {
+        /// Left column.
+        left: ColRef,
+        /// Right column.
+        right: ColRef,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor for a filter.
+    pub fn filter(col: ColRef, op: CmpOp, value: i64) -> Self {
+        Predicate::Filter { col, op, value }
+    }
+
+    /// Convenience constructor for an inclusive range.
+    pub fn range(col: ColRef, lo: i64, hi: i64) -> Self {
+        Predicate::Range { col, lo, hi }
+    }
+
+    /// Convenience constructor for an equi-join. The two sides are stored in
+    /// canonical (sorted) order so structurally equal joins compare equal.
+    pub fn join(a: ColRef, b: ColRef) -> Self {
+        if a <= b {
+            Predicate::Join { left: a, right: b }
+        } else {
+            Predicate::Join { left: b, right: a }
+        }
+    }
+
+    /// True for join predicates.
+    pub fn is_join(&self) -> bool {
+        matches!(self, Predicate::Join { .. })
+    }
+
+    /// True for filter (including range) predicates.
+    pub fn is_filter(&self) -> bool {
+        !self.is_join()
+    }
+
+    /// The set of tables referenced, as one or two ids (the paper's
+    /// `tables(p)`).
+    pub fn tables(&self) -> PredTables {
+        match self {
+            Predicate::Filter { col, .. } | Predicate::Range { col, .. } => {
+                PredTables::One(col.table)
+            }
+            Predicate::Join { left, right } => {
+                if left.table == right.table {
+                    PredTables::One(left.table)
+                } else {
+                    PredTables::Two(left.table, right.table)
+                }
+            }
+        }
+    }
+
+    /// The columns referenced (the paper's `attr(p)`).
+    pub fn columns(&self) -> PredColumns {
+        match self {
+            Predicate::Filter { col, .. } | Predicate::Range { col, .. } => {
+                PredColumns::One(*col)
+            }
+            Predicate::Join { left, right } => PredColumns::Two(*left, *right),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Filter { col, op, value } => write!(f, "{col} {op} {value}"),
+            Predicate::Range { col, lo, hi } => write!(f, "{lo} <= {col} <= {hi}"),
+            Predicate::Join { left, right } => write!(f, "{left} = {right}"),
+        }
+    }
+}
+
+/// One or two table ids referenced by a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredTables {
+    /// Single-table predicate.
+    One(TableId),
+    /// Cross-table join.
+    Two(TableId, TableId),
+}
+
+impl PredTables {
+    /// Iterates over the referenced tables.
+    pub fn iter(self) -> impl Iterator<Item = TableId> {
+        let (a, b) = match self {
+            PredTables::One(a) => (a, None),
+            PredTables::Two(a, b) => (a, Some(b)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+/// One or two column refs referenced by a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredColumns {
+    /// Single column.
+    One(ColRef),
+    /// Two columns (join).
+    Two(ColRef, ColRef),
+}
+
+impl PredColumns {
+    /// Iterates over the referenced columns.
+    pub fn iter(self) -> impl Iterator<Item = ColRef> {
+        let (a, b) = match self {
+            PredColumns::One(a) => (a, None),
+            PredColumns::Two(a, b) => (a, Some(b)),
+        };
+        std::iter::once(a).chain(b)
+    }
+}
+
+/// Collects the distinct tables referenced by a slice of predicates (the
+/// paper's `tables(P)`), in ascending id order.
+pub fn tables_of(preds: &[Predicate]) -> Vec<TableId> {
+    let mut out: Vec<TableId> = preds.iter().flat_map(|p| p.tables().iter()).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    #[test]
+    fn cmp_ops_evaluate() {
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(CmpOp::Eq.eval(2, 2));
+        assert!(CmpOp::Neq.eval(1, 2));
+    }
+
+    #[test]
+    fn join_is_canonicalized() {
+        let p1 = Predicate::join(c(1, 0), c(0, 2));
+        let p2 = Predicate::join(c(0, 2), c(1, 0));
+        assert_eq!(p1, p2);
+        match p1 {
+            Predicate::Join { left, right } => {
+                assert!(left <= right);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tables_and_columns_of_predicates() {
+        let f = Predicate::range(c(2, 1), 0, 9);
+        assert_eq!(f.tables().iter().collect::<Vec<_>>(), vec![TableId(2)]);
+        assert_eq!(f.columns().iter().count(), 1);
+        let j = Predicate::join(c(0, 0), c(1, 1));
+        assert_eq!(
+            j.tables().iter().collect::<Vec<_>>(),
+            vec![TableId(0), TableId(1)]
+        );
+        assert_eq!(j.columns().iter().count(), 2);
+        // self-join on the same table counts one table
+        let sj = Predicate::join(c(3, 0), c(3, 1));
+        assert_eq!(sj.tables().iter().collect::<Vec<_>>(), vec![TableId(3)]);
+    }
+
+    #[test]
+    fn tables_of_dedups_and_sorts() {
+        let preds = vec![
+            Predicate::join(c(2, 0), c(1, 0)),
+            Predicate::range(c(1, 1), 0, 5),
+            Predicate::filter(c(0, 0), CmpOp::Eq, 7),
+        ];
+        assert_eq!(
+            tables_of(&preds),
+            vec![TableId(0), TableId(1), TableId(2)]
+        );
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let p = Predicate::filter(c(0, 1), CmpOp::Lt, 10);
+        assert_eq!(p.to_string(), "T0.c1 < 10");
+        let r = Predicate::range(c(0, 1), 2, 8);
+        assert_eq!(r.to_string(), "2 <= T0.c1 <= 8");
+        let j = Predicate::join(c(0, 1), c(1, 0));
+        assert_eq!(j.to_string(), "T0.c1 = T1.c0");
+    }
+
+    #[test]
+    fn filter_vs_join_classification() {
+        assert!(Predicate::filter(c(0, 0), CmpOp::Eq, 1).is_filter());
+        assert!(Predicate::range(c(0, 0), 1, 2).is_filter());
+        assert!(Predicate::join(c(0, 0), c(1, 0)).is_join());
+    }
+}

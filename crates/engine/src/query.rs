@@ -1,0 +1,184 @@
+//! SPJ queries in the paper's canonical form.
+
+use std::fmt;
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::predicate::{tables_of, Predicate};
+use crate::schema::TableId;
+
+/// An SPJ query in canonical form: the cartesian product of `tables`
+/// filtered by the conjunction of `predicates` (§2 of the paper). Projection
+/// is irrelevant for cardinality estimation and therefore omitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpjQuery {
+    /// Tables forming the cartesian product, in ascending id order.
+    pub tables: Vec<TableId>,
+    /// Conjunctive predicates over the product.
+    pub predicates: Vec<Predicate>,
+}
+
+impl SpjQuery {
+    /// Creates a query, normalizing the table order and validating that
+    /// every predicate references only tables in the set.
+    pub fn new(mut tables: Vec<TableId>, predicates: Vec<Predicate>) -> Result<Self> {
+        tables.sort_unstable();
+        tables.dedup();
+        if tables.is_empty() {
+            return Err(EngineError::EmptyTableSet);
+        }
+        for p in &predicates {
+            for t in p.tables().iter() {
+                if !tables.contains(&t) {
+                    return Err(EngineError::PredicateOutOfScope { table: t });
+                }
+            }
+        }
+        Ok(SpjQuery { tables, predicates })
+    }
+
+    /// Creates a query whose table set is exactly the tables referenced by
+    /// the predicates.
+    pub fn from_predicates(predicates: Vec<Predicate>) -> Result<Self> {
+        let tables = tables_of(&predicates);
+        Self::new(tables, predicates)
+    }
+
+    /// Number of join predicates (the paper's parameter `J`).
+    pub fn join_count(&self) -> usize {
+        self.predicates.iter().filter(|p| p.is_join()).count()
+    }
+
+    /// Number of filter predicates (the paper's parameter `F`).
+    pub fn filter_count(&self) -> usize {
+        self.predicates.iter().filter(|p| p.is_filter()).count()
+    }
+
+    /// The join predicates.
+    pub fn joins(&self) -> impl Iterator<Item = &Predicate> {
+        self.predicates.iter().filter(|p| p.is_join())
+    }
+
+    /// The filter predicates.
+    pub fn filters(&self) -> impl Iterator<Item = &Predicate> {
+        self.predicates.iter().filter(|p| p.is_filter())
+    }
+
+    /// `|R1 × … × Rn|`: the denominator of the selectivity definition.
+    pub fn cross_product_size(&self, db: &Database) -> Result<u128> {
+        db.cross_product_size(&self.tables)
+    }
+
+    /// Renders the query using catalog names, for logs and examples.
+    pub fn display<'a>(&'a self, db: &'a Database) -> QueryDisplay<'a> {
+        QueryDisplay { query: self, db }
+    }
+}
+
+/// Pretty-printer for queries with resolved names.
+pub struct QueryDisplay<'a> {
+    query: &'a SpjQuery,
+    db: &'a Database,
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ[")?;
+        for (i, p) in self.query.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "](")?;
+        for (i, t) in self.query.tables.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            match self.db.schema(*t) {
+                Ok(s) => write!(f, "{}", s.name)?,
+                Err(_) => write!(f, "{t}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, ColRef};
+    use crate::table::TableBuilder;
+
+    fn db2() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("b", vec![1, 2, 3])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn tables_are_normalized() {
+        let q = SpjQuery::new(vec![TableId(1), TableId(0), TableId(1)], vec![]).unwrap();
+        assert_eq!(q.tables, vec![TableId(0), TableId(1)]);
+    }
+
+    #[test]
+    fn out_of_scope_predicate_rejected() {
+        let p = Predicate::filter(ColRef::new(TableId(5), 0), CmpOp::Eq, 1);
+        let err = SpjQuery::new(vec![TableId(0)], vec![p]).unwrap_err();
+        assert!(matches!(err, EngineError::PredicateOutOfScope { .. }));
+    }
+
+    #[test]
+    fn empty_table_set_rejected() {
+        assert!(matches!(
+            SpjQuery::new(vec![], vec![]),
+            Err(EngineError::EmptyTableSet)
+        ));
+    }
+
+    #[test]
+    fn from_predicates_infers_tables() {
+        let j = Predicate::join(ColRef::new(TableId(0), 0), ColRef::new(TableId(1), 0));
+        let q = SpjQuery::from_predicates(vec![j]).unwrap();
+        assert_eq!(q.tables, vec![TableId(0), TableId(1)]);
+        assert_eq!(q.join_count(), 1);
+        assert_eq!(q.filter_count(), 0);
+    }
+
+    #[test]
+    fn counts_and_iterators_agree() {
+        let j = Predicate::join(ColRef::new(TableId(0), 0), ColRef::new(TableId(1), 0));
+        let f = Predicate::range(ColRef::new(TableId(0), 0), 0, 1);
+        let q = SpjQuery::from_predicates(vec![j, f]).unwrap();
+        assert_eq!(q.joins().count(), q.join_count());
+        assert_eq!(q.filters().count(), q.filter_count());
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let db = db2();
+        let j = Predicate::join(ColRef::new(TableId(0), 0), ColRef::new(TableId(1), 0));
+        let q = SpjQuery::from_predicates(vec![j]).unwrap();
+        let s = q.display(&db).to_string();
+        assert!(s.contains('r') && s.contains('s'), "{s}");
+    }
+
+    #[test]
+    fn cross_product_size_from_db() {
+        let db = db2();
+        let q = SpjQuery::new(vec![TableId(0), TableId(1)], vec![]).unwrap();
+        assert_eq!(q.cross_product_size(&db).unwrap(), 6);
+    }
+}

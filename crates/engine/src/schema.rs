@@ -1,0 +1,149 @@
+//! Schema and catalog types.
+
+use std::fmt;
+
+/// Identifier of a table within a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Schema of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSchema {
+    /// Human-readable column name (unique within its table).
+    pub name: String,
+}
+
+impl ColumnSchema {
+    /// Creates a column schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        ColumnSchema { name: name.into() }
+    }
+}
+
+/// Schema of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Human-readable table name (unique within the catalog).
+    pub name: String,
+    /// Ordered column schemas.
+    pub columns: Vec<ColumnSchema>,
+}
+
+impl TableSchema {
+    /// Creates a table schema from a name and column names.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: columns.iter().map(|c| ColumnSchema::new(*c)).collect(),
+        }
+    }
+
+    /// Index of the column with the given name.
+    pub fn column_index(&self, name: &str) -> Option<u16> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A catalog: the ordered collection of table schemas in a database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    schemas: Vec<TableSchema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a schema, returning the new table's id.
+    pub fn add(&mut self, schema: TableSchema) -> TableId {
+        let id = TableId(self.schemas.len() as u32);
+        self.schemas.push(schema);
+        id
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, id: TableId) -> Option<&TableSchema> {
+        self.schemas.get(id.0 as usize)
+    }
+
+    /// Id of the table with the given name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.schemas
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| TableId(i as u32))
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterates over `(id, schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableSchema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TableId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_assigns_sequential_ids() {
+        let mut cat = Catalog::new();
+        let a = cat.add(TableSchema::new("a", &["x"]));
+        let b = cat.add(TableSchema::new("b", &["y", "z"]));
+        assert_eq!(a, TableId(0));
+        assert_eq!(b, TableId(1));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.table_id("b"), Some(b));
+        assert_eq!(cat.table_id("missing"), None);
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = TableSchema::new("orders", &["o_id", "total_price", "date"]);
+        assert_eq!(s.column_index("total_price"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn table_id_displays_compactly() {
+        assert_eq!(TableId(3).to_string(), "T3");
+    }
+
+    #[test]
+    fn catalog_iteration_pairs_ids() {
+        let mut cat = Catalog::new();
+        cat.add(TableSchema::new("a", &["x"]));
+        cat.add(TableSchema::new("b", &["y"]));
+        let names: Vec<_> = cat.iter().map(|(id, s)| (id.0, s.name.clone())).collect();
+        assert_eq!(names, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

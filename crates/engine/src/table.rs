@@ -1,0 +1,178 @@
+//! Physical table storage.
+
+use crate::column::Column;
+use crate::error::{EngineError, Result};
+use crate::schema::TableSchema;
+
+/// A physical table: a schema plus one [`Column`] per schema column, all of
+/// equal length.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates a table, validating that all columns have the same length and
+    /// that the column count matches the schema arity.
+    pub fn new(schema: TableSchema, columns: Vec<Column>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(EngineError::RaggedTable {
+                table: schema.name.clone(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(EngineError::RaggedTable {
+                table: schema.name.clone(),
+            });
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: u16) -> Option<&Column> {
+        self.columns.get(idx as usize)
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema
+            .column_index(name)
+            .and_then(|i| self.column(i))
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Replaces the column at `idx` with `column` (same length required).
+    /// Used by generators that post-process a built table (e.g. NULLing out
+    /// dangling foreign keys).
+    pub fn replace_column(&mut self, idx: u16, column: Column) -> bool {
+        if column.len() != self.rows {
+            return false;
+        }
+        match self.columns.get_mut(idx as usize) {
+            Some(slot) => {
+                *slot = column;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Convenience builder for constructing small tables in tests and examples.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            names: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a non-nullable column.
+    pub fn column(mut self, name: impl Into<String>, values: Vec<i64>) -> Self {
+        self.names.push(name.into());
+        self.columns.push(Column::from_values(values));
+        self
+    }
+
+    /// Adds a nullable column.
+    pub fn nullable_column(mut self, name: impl Into<String>, values: Vec<Option<i64>>) -> Self {
+        self.names.push(name.into());
+        self.columns.push(Column::from_options(values));
+        self
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> Result<Table> {
+        let refs: Vec<&str> = self.names.iter().map(String::as_str).collect();
+        Table::new(TableSchema::new(self.name, &refs), self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_consistent_table() {
+        let t = TableBuilder::new("orders")
+            .column("o_id", vec![1, 2, 3])
+            .nullable_column("cust", vec![Some(10), None, Some(30)])
+            .build()
+            .unwrap();
+        assert_eq!(t.name(), "orders");
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_by_name("cust").unwrap().null_count(), 1);
+        assert_eq!(t.column(0).unwrap().get(2), Some(3));
+        assert!(t.column(9).is_none());
+    }
+
+    #[test]
+    fn ragged_columns_are_rejected() {
+        let err = TableBuilder::new("bad")
+            .column("a", vec![1, 2])
+            .column("b", vec![1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::RaggedTable { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let schema = TableSchema::new("t", &["a", "b"]);
+        let err = Table::new(schema, vec![Column::from_values(vec![1])]).unwrap_err();
+        assert!(matches!(err, EngineError::RaggedTable { .. }));
+    }
+
+    #[test]
+    fn replace_column_checks_length_and_index() {
+        let mut t = TableBuilder::new("t")
+            .column("a", vec![1, 2, 3])
+            .build()
+            .unwrap();
+        assert!(t.replace_column(0, Column::from_values(vec![7, 8, 9])));
+        assert_eq!(t.column(0).unwrap().get(0), Some(7));
+        assert!(!t.replace_column(0, Column::from_values(vec![1])));
+        assert!(!t.replace_column(5, Column::from_values(vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn empty_table_is_valid() {
+        let t = TableBuilder::new("empty").column("a", vec![]).build().unwrap();
+        assert_eq!(t.row_count(), 0);
+    }
+}

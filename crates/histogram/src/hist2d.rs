@@ -1,0 +1,351 @@
+//! Two-dimensional grid histograms — the substrate for multidimensional
+//! SITs (§3.3's `SIT(x, X | Q)`).
+//!
+//! The paper's factor-approximation mechanism is stated for
+//! multi-attribute SITs: joining `H1 = SIT(x, X|Q)` with `H2 = SIT(y, Y|Q)`
+//! yields both the join selectivity and `H3 = SIT(x, X, Y | x=y, Q)`, whose
+//! carried attributes estimate the remaining predicates *without further
+//! independence assumptions*. A [`Hist2d`] over `(x, a)` supports exactly
+//! that:
+//!
+//! * [`Hist2d::join_carry`] — equi-join the `x` dimension against a 1-D
+//!   histogram and return the carried distribution of `a` over the join
+//!   result (Example 3's `H3`);
+//! * [`Hist2d::conditional_y`] — the distribution of `a` restricted to an
+//!   `x` range (a filter-conditioned-on-filter estimate, no independence
+//!   assumption);
+//! * joint and marginal range selectivities.
+//!
+//! The grid uses maxDiff boundaries on each dimension's marginal, so skewed
+//! values get their own rows/columns.
+
+use crate::build::build_maxdiff;
+use crate::histogram::{Bucket, Histogram};
+
+/// A fixed-grid two-dimensional histogram over `(x, y)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist2d {
+    /// X-dimension bucket ranges (sorted, disjoint).
+    x_bounds: Vec<(i64, i64)>,
+    /// Y-dimension bucket ranges (sorted, disjoint).
+    y_bounds: Vec<(i64, i64)>,
+    /// Row-major cell counts: `cells[xi * y_bounds.len() + yi]`.
+    cells: Vec<f64>,
+    /// Distinct x values per x-bucket (for join estimation).
+    x_distinct: Vec<f64>,
+    /// Rows where either coordinate is NULL.
+    null_count: f64,
+}
+
+impl Hist2d {
+    /// Builds a grid over the `(x, y)` pairs with at most
+    /// `x_buckets × y_buckets` cells. Boundaries come from maxDiff on the
+    /// marginals. `null_count` counts pairs where either side was NULL.
+    pub fn build(pairs: &[(i64, i64)], null_count: usize, x_buckets: usize, y_buckets: usize) -> Self {
+        let xs: Vec<i64> = pairs.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<i64> = pairs.iter().map(|&(_, y)| y).collect();
+        let hx = build_maxdiff(&xs, 0, x_buckets.max(1));
+        let hy = build_maxdiff(&ys, 0, y_buckets.max(1));
+        let x_bounds: Vec<(i64, i64)> = hx.buckets().iter().map(|b| (b.lo, b.hi)).collect();
+        let y_bounds: Vec<(i64, i64)> = hy.buckets().iter().map(|b| (b.lo, b.hi)).collect();
+        let mut cells = vec![0.0f64; x_bounds.len() * y_bounds.len()];
+        // Distinct x per (x-bucket): track per-bucket value sets compactly
+        // by sorting pairs by x.
+        let mut sorted: Vec<(i64, i64)> = pairs.to_vec();
+        sorted.sort_unstable();
+        let mut x_distinct = vec![0.0f64; x_bounds.len()];
+        let mut last_x: Option<i64> = None;
+        for &(x, y) in &sorted {
+            let (Some(xi), Some(yi)) = (bucket_of(&x_bounds, x), bucket_of(&y_bounds, y)) else {
+                continue;
+            };
+            cells[xi * y_bounds.len() + yi] += 1.0;
+            if last_x != Some(x) {
+                x_distinct[xi] += 1.0;
+                last_x = Some(x);
+            }
+        }
+        Hist2d {
+            x_bounds,
+            y_bounds,
+            cells,
+            x_distinct,
+            null_count: null_count as f64,
+        }
+    }
+
+    /// Total (non-NULL-pair) rows.
+    pub fn valid_rows(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Total rows described.
+    pub fn total_rows(&self) -> f64 {
+        self.valid_rows() + self.null_count
+    }
+
+    /// Grid dimensions `(x buckets, y buckets)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.x_bounds.len(), self.y_bounds.len())
+    }
+
+    fn cell(&self, xi: usize, yi: usize) -> f64 {
+        self.cells[xi * self.y_bounds.len() + yi]
+    }
+
+    /// Joint selectivity of `x ∈ [xlo, xhi] ∧ y ∈ [ylo, yhi]` over all
+    /// rows, with continuous interpolation at partial cell overlaps.
+    pub fn joint_selectivity(&self, xlo: i64, xhi: i64, ylo: i64, yhi: i64) -> f64 {
+        let total = self.total_rows();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut mass = 0.0;
+        for (xi, &(bxl, bxh)) in self.x_bounds.iter().enumerate() {
+            let fx = overlap_fraction(bxl, bxh, xlo, xhi);
+            if fx == 0.0 {
+                continue;
+            }
+            for (yi, &(byl, byh)) in self.y_bounds.iter().enumerate() {
+                let fy = overlap_fraction(byl, byh, ylo, yhi);
+                if fy > 0.0 {
+                    mass += self.cell(xi, yi) * fx * fy;
+                }
+            }
+        }
+        (mass / total).clamp(0.0, 1.0)
+    }
+
+    /// The marginal distribution of `y`, as a 1-D histogram.
+    pub fn y_marginal(&self) -> Histogram {
+        let buckets = self
+            .y_bounds
+            .iter()
+            .enumerate()
+            .map(|(yi, &(lo, hi))| {
+                let freq: f64 = (0..self.x_bounds.len()).map(|xi| self.cell(xi, yi)).sum();
+                Bucket {
+                    lo,
+                    hi,
+                    freq,
+                    distinct: ((hi as i128 - lo as i128 + 1) as f64).min(freq.max(1.0)),
+                }
+            })
+            .filter(|b| b.freq > 0.0)
+            .collect();
+        Histogram::new(buckets, self.null_count)
+    }
+
+    /// Distribution of `y` restricted to rows with `x ∈ [xlo, xhi]` — the
+    /// conditional `y | x-filter` with **no independence assumption**.
+    pub fn conditional_y(&self, xlo: i64, xhi: i64) -> Histogram {
+        let mut buckets = Vec::new();
+        for (yi, &(lo, hi)) in self.y_bounds.iter().enumerate() {
+            let mut freq = 0.0;
+            for (xi, &(bxl, bxh)) in self.x_bounds.iter().enumerate() {
+                let fx = overlap_fraction(bxl, bxh, xlo, xhi);
+                if fx > 0.0 {
+                    freq += self.cell(xi, yi) * fx;
+                }
+            }
+            if freq > 0.0 {
+                buckets.push(Bucket {
+                    lo,
+                    hi,
+                    freq,
+                    distinct: ((hi as i128 - lo as i128 + 1) as f64).min(freq.max(1.0)),
+                });
+            }
+        }
+        Histogram::new(buckets, 0.0)
+    }
+
+    /// Equi-joins the `x` dimension against a 1-D histogram of the other
+    /// side and returns `(join selectivity, carried distribution of y over
+    /// the join result)` — the multidimensional `H3` of §3.3. Selectivity
+    /// is relative to `total_rows × other.total_rows`.
+    pub fn join_carry(&self, other: &Histogram) -> (f64, Histogram) {
+        let mut carried: Vec<Bucket> = self
+            .y_bounds
+            .iter()
+            .map(|&(lo, hi)| Bucket {
+                lo,
+                hi,
+                freq: 0.0,
+                distinct: 0.0,
+            })
+            .collect();
+        let mut join_rows = 0.0f64;
+        for (xi, &(bxl, bxh)) in self.x_bounds.iter().enumerate() {
+            let d1 = self.x_distinct[xi];
+            if d1 <= 0.0 {
+                continue;
+            }
+            let f1: f64 = (0..self.y_bounds.len()).map(|yi| self.cell(xi, yi)).sum();
+            // Other side's mass and distinct count within this x range.
+            let f2 = other.range_rows(bxl, bxh);
+            let d2 = distinct_in_range(other, bxl, bxh);
+            if f1 <= 0.0 || f2 <= 0.0 || d2 <= 0.0 {
+                continue;
+            }
+            // Containment assumption, as in the 1-D histogram join: each of
+            // min(d1, d2) matching values carries f1/d1 × f2/d2 rows.
+            let multiplier = d1.min(d2) / d1 * (f2 / d2);
+            join_rows += f1 * multiplier;
+            for (yi, b) in carried.iter_mut().enumerate() {
+                let add = self.cell(xi, yi) * multiplier;
+                if add > 0.0 {
+                    b.freq += add;
+                    b.distinct = b.distinct.max(1.0).min((b.hi - b.lo) as f64 + 1.0);
+                }
+            }
+        }
+        carried.retain(|b| b.freq > 0.0);
+        let denom = self.total_rows() * other.total_rows();
+        let sel = if denom == 0.0 {
+            0.0
+        } else {
+            (join_rows / denom).clamp(0.0, 1.0)
+        };
+        (sel, Histogram::new(carried, 0.0))
+    }
+}
+
+fn bucket_of(bounds: &[(i64, i64)], v: i64) -> Option<usize> {
+    let idx = bounds.partition_point(|&(_, hi)| hi < v);
+    match bounds.get(idx) {
+        Some(&(lo, hi)) if lo <= v && v <= hi => Some(idx),
+        _ => None,
+    }
+}
+
+fn overlap_fraction(blo: i64, bhi: i64, lo: i64, hi: i64) -> f64 {
+    let o_lo = blo.max(lo);
+    let o_hi = bhi.min(hi);
+    if o_lo > o_hi {
+        0.0
+    } else {
+        (o_hi as i128 - o_lo as i128 + 1) as f64 / (bhi as i128 - blo as i128 + 1) as f64
+    }
+}
+
+fn distinct_in_range(h: &Histogram, lo: i64, hi: i64) -> f64 {
+    h.buckets()
+        .iter()
+        .map(|b| {
+            let f = overlap_fraction(b.lo, b.hi, lo, hi);
+            b.distinct * f
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_exact;
+
+    /// Correlated pairs: y = 10·x, x ∈ 0..10 each appearing (x+1) times.
+    fn correlated_pairs() -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        for x in 0..10i64 {
+            for _ in 0..=x {
+                out.push((x, 10 * x));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let pairs = correlated_pairs();
+        let h = Hist2d::build(&pairs, 3, 8, 8);
+        assert!((h.valid_rows() - pairs.len() as f64).abs() < 1e-9);
+        assert_eq!(h.total_rows(), pairs.len() as f64 + 3.0);
+        let (bx, by) = h.shape();
+        assert!(bx <= 8 && by <= 8);
+    }
+
+    #[test]
+    fn joint_selectivity_exact_on_fine_grid() {
+        let pairs = correlated_pairs(); // 55 pairs
+        let h = Hist2d::build(&pairs, 0, 16, 16);
+        // x in [0,4] ∧ y in [0,49]: pairs with x ≤ 4 → 1+2+3+4+5 = 15.
+        let sel = h.joint_selectivity(0, 4, 0, 49);
+        assert!((sel - 15.0 / 55.0).abs() < 1e-9, "sel {sel}");
+        // Anti-diagonal region is empty (correlation!).
+        let sel = h.joint_selectivity(0, 2, 80, 90);
+        assert_eq!(sel, 0.0);
+    }
+
+    #[test]
+    fn conditional_y_captures_correlation() {
+        let pairs = correlated_pairs();
+        let h = Hist2d::build(&pairs, 0, 16, 16);
+        // Conditioned on x ∈ [8, 9], y must be in {80, 90}.
+        let cond = h.conditional_y(8, 9);
+        assert!((cond.valid_rows() - 19.0).abs() < 1e-9); // 9 + 10 rows
+        assert!(cond.range_selectivity(80, 90) > 0.99);
+        assert_eq!(cond.range_selectivity(0, 50), 0.0);
+        // The unconditional marginal is spread out instead.
+        let marg = h.y_marginal();
+        assert!(marg.range_selectivity(0, 50) > 0.2);
+    }
+
+    #[test]
+    fn y_marginal_matches_direct_histogram() {
+        let pairs = correlated_pairs();
+        let h = Hist2d::build(&pairs, 0, 16, 16);
+        let ys: Vec<i64> = pairs.iter().map(|&(_, y)| y).collect();
+        let direct = build_exact(&ys, 0);
+        let marg = h.y_marginal();
+        for probe in [(0, 30), (40, 90), (0, 90)] {
+            let a = marg.range_selectivity(probe.0, probe.1);
+            let b = direct.range_selectivity(probe.0, probe.1);
+            assert!((a - b).abs() < 1e-9, "probe {probe:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn join_carry_reproduces_fanout_weighting() {
+        // Fact side: x = order id, y = price; order x appears (x+1) times
+        // (fan-in skew) and price = 10·x. Other side: one row per order id
+        // (a key). Joining must preserve the fact-side distribution.
+        let pairs = correlated_pairs();
+        let h = Hist2d::build(&pairs, 0, 16, 16);
+        let key_side = build_exact(&(0..10i64).collect::<Vec<_>>(), 0);
+        let (sel, carried) = h.join_carry(&key_side);
+        // |join| = 55 (every fact row matches exactly one key row);
+        // denom = 55 × 10.
+        assert!((sel - 0.1).abs() < 0.02, "sel {sel}");
+        assert!((carried.valid_rows() - 55.0).abs() < 2.0);
+        // The carried distribution keeps the y-skew: y ≥ 80 carries 19/55.
+        let frac = carried.range_selectivity(80, 90);
+        assert!((frac - 19.0 / 55.0).abs() < 0.05, "carried skew {frac}");
+    }
+
+    #[test]
+    fn join_carry_against_skewed_other_side() {
+        // Other side concentrated on x = 9: carried distribution must
+        // concentrate on y = 90.
+        let pairs = correlated_pairs();
+        let h = Hist2d::build(&pairs, 0, 16, 16);
+        let other = build_exact(&vec![9i64; 100], 0);
+        let (sel, carried) = h.join_carry(&other);
+        assert!(sel > 0.0);
+        assert!(
+            carried.range_selectivity(90, 90) > 0.99,
+            "carried should be all y=90"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_harmless() {
+        let h = Hist2d::build(&[], 0, 8, 8);
+        assert_eq!(h.valid_rows(), 0.0);
+        assert_eq!(h.joint_selectivity(0, 10, 0, 10), 0.0);
+        let (sel, carried) = h.join_carry(&build_exact(&[1, 2], 0));
+        assert_eq!(sel, 0.0);
+        assert!(carried.buckets().is_empty());
+        assert!(h.y_marginal().buckets().is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! Histogram representation, estimation, and the histogram join.
+
+/// One histogram bucket over the inclusive value range `[lo, hi]`.
+///
+/// `freq` is the (possibly fractional, after scaling) number of rows falling
+/// in the range; `distinct` the estimated number of distinct values present.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound (`hi >= lo`).
+    pub hi: i64,
+    /// Row count in the bucket.
+    pub freq: f64,
+    /// Distinct-value count in the bucket (`0 < distinct <= width`).
+    pub distinct: f64,
+}
+
+/// Number of integer values in the inclusive range `[lo, hi]`, as `f64`,
+/// overflow-safe for the full `i64` domain.
+pub(crate) fn span_f64(lo: i64, hi: i64) -> f64 {
+    (hi as i128 - lo as i128 + 1) as f64
+}
+
+impl Bucket {
+    /// Number of integer values covered by the bucket.
+    pub fn width(&self) -> f64 {
+        span_f64(self.lo, self.hi)
+    }
+
+    /// Fraction of this bucket's value range that overlaps `[lo, hi]`
+    /// (inclusive), under the continuous-values assumption.
+    fn overlap_fraction(&self, lo: i64, hi: i64) -> f64 {
+        let o_lo = self.lo.max(lo);
+        let o_hi = self.hi.min(hi);
+        if o_lo > o_hi {
+            0.0
+        } else {
+            span_f64(o_lo, o_hi) / self.width()
+        }
+    }
+}
+
+/// A unidimensional histogram over an `i64` attribute.
+///
+/// Bucket ranges are disjoint and sorted ascending; gaps between buckets
+/// denote value ranges with no rows. `null_count` rows have NULL in the
+/// attribute and live outside every bucket.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    buckets: Vec<Bucket>,
+    null_count: f64,
+}
+
+/// Result of a histogram equi-join (§3.3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinResult {
+    /// `Sel(x = y)` relative to the cross product of the two inputs: the
+    /// estimated join output size divided by `|H1 rows| · |H2 rows|`.
+    pub selectivity: f64,
+    /// `H3`: distribution of the (shared) join attribute over the join
+    /// output — usable to estimate further predicates on that attribute.
+    pub histogram: Histogram,
+}
+
+impl Histogram {
+    /// Creates a histogram from buckets (must be sorted, disjoint, and
+    /// well-formed; checked with debug assertions) and a NULL count.
+    pub fn new(buckets: Vec<Bucket>, null_count: f64) -> Self {
+        debug_assert!(buckets.iter().all(|b| b.lo <= b.hi));
+        debug_assert!(buckets.iter().all(|b| b.freq >= 0.0 && b.distinct >= 0.0));
+        debug_assert!(buckets.windows(2).all(|w| w[0].hi < w[1].lo));
+        Histogram {
+            buckets,
+            null_count,
+        }
+    }
+
+    /// An empty histogram (no rows at all).
+    pub fn empty() -> Self {
+        Histogram::default()
+    }
+
+    /// The buckets, ascending.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Rows with a NULL attribute value.
+    pub fn null_count(&self) -> f64 {
+        self.null_count
+    }
+
+    /// Rows with a non-NULL attribute value.
+    pub fn valid_rows(&self) -> f64 {
+        self.buckets.iter().map(|b| b.freq).sum()
+    }
+
+    /// Total rows described (valid + NULL) — the denominator of every
+    /// selectivity this histogram reports.
+    pub fn total_rows(&self) -> f64 {
+        self.valid_rows() + self.null_count
+    }
+
+    /// Total distinct values represented.
+    pub fn distinct_values(&self) -> f64 {
+        self.buckets.iter().map(|b| b.distinct).sum()
+    }
+
+    /// Smallest and largest covered values.
+    pub fn bounds(&self) -> Option<(i64, i64)> {
+        Some((self.buckets.first()?.lo, self.buckets.last()?.hi))
+    }
+
+    /// Estimated number of rows with value in `[lo, hi]` (inclusive).
+    pub fn range_rows(&self, lo: i64, hi: i64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        self.buckets
+            .iter()
+            .map(|b| b.freq * b.overlap_fraction(lo, hi))
+            .sum()
+    }
+
+    /// Estimated selectivity of `lo <= value <= hi`, as a fraction of all
+    /// rows (NULLs never qualify). Returns 0 for an empty histogram.
+    pub fn range_selectivity(&self, lo: i64, hi: i64) -> f64 {
+        let total = self.total_rows();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.range_rows(lo, hi) / total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated number of rows with value exactly `v` (freq/distinct within
+    /// the covering bucket — the standard uniform-frequency assumption).
+    pub fn eq_rows(&self, v: i64) -> f64 {
+        match self
+            .buckets
+            .iter()
+            .find(|b| b.lo <= v && v <= b.hi)
+        {
+            Some(b) if b.distinct > 0.0 => b.freq / b.distinct.max(1.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Estimated selectivity of `value = v`.
+    pub fn eq_selectivity(&self, v: i64) -> f64 {
+        let total = self.total_rows();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.eq_rows(v) / total).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of a one-sided comparison. `strict` excludes
+    /// the boundary (`<` / `>` vs `<=` / `>=`); `less` selects the lower
+    /// side.
+    pub fn cmp_selectivity(&self, v: i64, less: bool, strict: bool) -> f64 {
+        let Some((lo, hi)) = self.bounds() else {
+            return 0.0;
+        };
+        if less {
+            let end = if strict { v.saturating_sub(1) } else { v };
+            self.range_selectivity(lo.min(end), end)
+        } else {
+            let start = if strict { v.saturating_add(1) } else { v };
+            self.range_selectivity(start, hi.max(start))
+        }
+    }
+
+    /// Multiplies every frequency by `factor` (NULLs included). Used when a
+    /// histogram is rescaled to model a filtered/joined population.
+    pub fn scale(&self, factor: f64) -> Histogram {
+        debug_assert!(factor >= 0.0);
+        Histogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| {
+                    let freq = b.freq * factor;
+                    Bucket {
+                        freq,
+                        // Distinct values never grow and cannot exceed the
+                        // remaining (possibly fractional) rows.
+                        distinct: b.distinct.min(freq),
+                        ..*b
+                    }
+                })
+                .collect(),
+            null_count: self.null_count * factor,
+        }
+    }
+
+    /// Restricts the histogram to `[lo, hi]`, keeping only (parts of)
+    /// buckets that overlap. Frequencies and distinct counts are reduced
+    /// proportionally to the overlap.
+    pub fn restrict(&self, lo: i64, hi: i64) -> Histogram {
+        let mut buckets = Vec::new();
+        for b in &self.buckets {
+            let o_lo = b.lo.max(lo);
+            let o_hi = b.hi.min(hi);
+            if o_lo > o_hi {
+                continue;
+            }
+            let frac = b.overlap_fraction(lo, hi);
+            buckets.push(Bucket {
+                lo: o_lo,
+                hi: o_hi,
+                freq: b.freq * frac,
+                distinct: (b.distinct * frac).max(1.0).min(span_f64(o_lo, o_hi)),
+            });
+        }
+        Histogram {
+            buckets,
+            null_count: 0.0,
+        }
+    }
+
+    /// Histogram equi-join (§3.3). Aligns the two bucket sequences on the
+    /// union of their boundaries; within each aligned segment the estimated
+    /// number of matching distinct values is `min(d1, d2)` and each matching
+    /// value contributes `(f1/d1)·(f2/d2)` output rows (uniform-frequency
+    /// within segments, containment of the rarer value set).
+    ///
+    /// Returns the join selectivity relative to `|H1| · |H2|` (NULL rows
+    /// never join, but they stay in the denominators) and the result
+    /// distribution `H3` of the join attribute.
+    pub fn join(&self, other: &Histogram) -> JoinResult {
+        let mut out_buckets: Vec<Bucket> = Vec::new();
+        let mut out_rows = 0.0f64;
+        for (lo, hi) in segment_boundaries(&self.buckets, &other.buckets) {
+            let (f1, d1) = segment_mass(&self.buckets, lo, hi);
+            let (f2, d2) = segment_mass(&other.buckets, lo, hi);
+            if f1 <= 0.0 || f2 <= 0.0 || d1 <= 0.0 || d2 <= 0.0 {
+                continue;
+            }
+            let matching = d1.min(d2);
+            let rows = matching * (f1 / d1) * (f2 / d2);
+            if rows <= 0.0 {
+                continue;
+            }
+            out_rows += rows;
+            out_buckets.push(Bucket {
+                lo,
+                hi,
+                freq: rows,
+                distinct: matching,
+            });
+        }
+        let denom = self.total_rows() * other.total_rows();
+        let selectivity = if denom == 0.0 {
+            0.0
+        } else {
+            (out_rows / denom).clamp(0.0, 1.0)
+        };
+        JoinResult {
+            selectivity,
+            histogram: Histogram::new(merge_adjacent(out_buckets), 0.0),
+        }
+    }
+}
+
+/// Computes the sorted, disjoint segments covering the union of two bucket
+/// lists, split at every boundary of either.
+fn segment_boundaries(a: &[Bucket], b: &[Bucket]) -> Vec<(i64, i64)> {
+    let mut cuts: Vec<i64> = Vec::with_capacity(2 * (a.len() + b.len()));
+    for bucket in a.iter().chain(b) {
+        cuts.push(bucket.lo);
+        // Segment ends are exclusive at `hi + 1` so both `lo` starts and
+        // post-`hi` starts become cut points.
+        cuts.push(bucket.hi.saturating_add(1));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut segs = Vec::with_capacity(cuts.len());
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1] - 1);
+        if lo <= hi {
+            segs.push((lo, hi));
+        }
+    }
+    segs
+}
+
+/// Frequency and distinct mass of the (single, by construction) bucket
+/// overlapping `[lo, hi]`, scaled by the overlap fraction.
+fn segment_mass(buckets: &[Bucket], lo: i64, hi: i64) -> (f64, f64) {
+    // Segments never straddle a bucket boundary, so at most one bucket
+    // overlaps. Binary search for it.
+    let idx = buckets.partition_point(|b| b.hi < lo);
+    match buckets.get(idx) {
+        Some(b) if b.lo <= hi => {
+            let frac = b.overlap_fraction(lo, hi);
+            (b.freq * frac, (b.distinct * frac).min(span_f64(lo, hi)))
+        }
+        _ => (0.0, 0.0),
+    }
+}
+
+/// Merges adjacent output buckets to bound the result size (keeps result
+/// histograms from growing unboundedly through chains of joins).
+fn merge_adjacent(buckets: Vec<Bucket>) -> Vec<Bucket> {
+    const MAX_BUCKETS: usize = 512;
+    if buckets.len() <= MAX_BUCKETS {
+        return buckets;
+    }
+    let group = buckets.len().div_ceil(MAX_BUCKETS);
+    buckets
+        .chunks(group)
+        .map(|chunk| Bucket {
+            lo: chunk[0].lo,
+            hi: chunk[chunk.len() - 1].hi,
+            freq: chunk.iter().map(|b| b.freq).sum(),
+            distinct: chunk.iter().map(|b| b.distinct).sum(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist(lo: i64, hi: i64, rows: f64) -> Histogram {
+        Histogram::new(
+            vec![Bucket {
+                lo,
+                hi,
+                freq: rows,
+                distinct: (hi - lo + 1) as f64,
+            }],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn range_selectivity_on_uniform_data() {
+        let h = uniform_hist(1, 100, 1000.0);
+        assert!((h.range_selectivity(1, 100) - 1.0).abs() < 1e-12);
+        assert!((h.range_selectivity(1, 50) - 0.5).abs() < 1e-12);
+        assert!((h.range_selectivity(26, 50) - 0.25).abs() < 1e-12);
+        assert_eq!(h.range_selectivity(200, 300), 0.0);
+        assert_eq!(h.range_selectivity(50, 40), 0.0, "inverted range");
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distinct_counts() {
+        let h = Histogram::new(
+            vec![Bucket {
+                lo: 0,
+                hi: 9,
+                freq: 100.0,
+                distinct: 5.0,
+            }],
+            0.0,
+        );
+        assert!((h.eq_selectivity(3) - 0.2).abs() < 1e-12); // 100/5 / 100
+        assert_eq!(h.eq_selectivity(42), 0.0);
+    }
+
+    #[test]
+    fn nulls_dilute_selectivity() {
+        let mut h = uniform_hist(1, 10, 50.0);
+        assert!((h.range_selectivity(1, 10) - 1.0).abs() < 1e-12);
+        h = Histogram::new(h.buckets().to_vec(), 50.0);
+        assert!((h.range_selectivity(1, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(h.total_rows(), 100.0);
+        assert_eq!(h.valid_rows(), 50.0);
+    }
+
+    #[test]
+    fn cmp_selectivity_strict_vs_inclusive() {
+        let h = uniform_hist(1, 10, 10.0);
+        assert!((h.cmp_selectivity(5, true, false) - 0.5).abs() < 1e-12); // <= 5
+        assert!((h.cmp_selectivity(5, true, true) - 0.4).abs() < 1e-12); // < 5
+        assert!((h.cmp_selectivity(5, false, false) - 0.6).abs() < 1e-12); // >= 5
+        assert!((h.cmp_selectivity(5, false, true) - 0.5).abs() < 1e-12); // > 5
+    }
+
+    #[test]
+    fn join_of_identical_uniform_hists() {
+        // 100 rows over 100 distinct values each side: each value matches,
+        // output = 100 values × 1 × 1 = 100 rows; selectivity = 100/10000.
+        let h = uniform_hist(1, 100, 100.0);
+        let r = h.join(&h);
+        assert!((r.selectivity - 0.01).abs() < 1e-12);
+        assert!((r.histogram.valid_rows() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_respects_disjoint_domains() {
+        let a = uniform_hist(1, 10, 10.0);
+        let b = uniform_hist(100, 110, 10.0);
+        let r = a.join(&b);
+        assert_eq!(r.selectivity, 0.0);
+        assert!(r.histogram.buckets().is_empty());
+    }
+
+    #[test]
+    fn join_with_skewed_side() {
+        // Left: 1000 rows all with value 5. Right: uniform 1..=10.
+        let a = Histogram::new(
+            vec![Bucket {
+                lo: 5,
+                hi: 5,
+                freq: 1000.0,
+                distinct: 1.0,
+            }],
+            0.0,
+        );
+        let b = uniform_hist(1, 10, 10.0);
+        let r = a.join(&b);
+        // value 5 matches: 1000 × 1 = 1000 rows; sel = 1000/(1000·10) = 0.1
+        assert!((r.selectivity - 0.1).abs() < 1e-12);
+        let h3 = &r.histogram;
+        assert_eq!(h3.buckets().len(), 1);
+        assert!((h3.valid_rows() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_null_rows_do_not_match_but_stay_in_denominator() {
+        let a = Histogram::new(
+            vec![Bucket {
+                lo: 1,
+                hi: 10,
+                freq: 50.0,
+                distinct: 10.0,
+            }],
+            50.0,
+        );
+        let b = uniform_hist(1, 10, 10.0);
+        let r = a.join(&b);
+        // matches: 10 values × 5 × 1 = 50 rows; denom = 100 × 10.
+        assert!((r.selectivity - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_keeps_only_overlap() {
+        let h = uniform_hist(1, 100, 1000.0);
+        let r = h.restrict(41, 60);
+        assert_eq!(r.buckets().len(), 1);
+        assert!((r.valid_rows() - 200.0).abs() < 1e-9);
+        assert_eq!(r.bounds(), Some((41, 60)));
+        assert_eq!(r.null_count(), 0.0);
+    }
+
+    #[test]
+    fn scale_halves_mass() {
+        let h = Histogram::new(
+            vec![Bucket {
+                lo: 1,
+                hi: 10,
+                freq: 100.0,
+                distinct: 10.0,
+            }],
+            20.0,
+        );
+        let s = h.scale(0.5);
+        assert!((s.valid_rows() - 50.0).abs() < 1e-9);
+        assert!((s.null_count() - 10.0).abs() < 1e-9);
+        // Distinct cannot exceed remaining rows.
+        assert!(s.buckets()[0].distinct <= 50.0);
+    }
+
+    #[test]
+    fn empty_histogram_estimates_zero() {
+        let h = Histogram::empty();
+        assert_eq!(h.range_selectivity(0, 10), 0.0);
+        assert_eq!(h.eq_selectivity(0), 0.0);
+        assert_eq!(h.cmp_selectivity(0, true, false), 0.0);
+        assert_eq!(h.join(&h).selectivity, 0.0);
+        assert_eq!(h.bounds(), None);
+    }
+
+    #[test]
+    fn segments_split_at_all_boundaries() {
+        let a = vec![Bucket {
+            lo: 0,
+            hi: 9,
+            freq: 1.0,
+            distinct: 1.0,
+        }];
+        let b = vec![Bucket {
+            lo: 5,
+            hi: 14,
+            freq: 1.0,
+            distinct: 1.0,
+        }];
+        let segs = segment_boundaries(&a, &b);
+        assert_eq!(segs, vec![(0, 4), (5, 9), (10, 14)]);
+    }
+
+    #[test]
+    fn merge_adjacent_preserves_mass() {
+        let buckets: Vec<Bucket> = (0..2000)
+            .map(|i| Bucket {
+                lo: 2 * i,
+                hi: 2 * i + 1,
+                freq: 1.0,
+                distinct: 1.0,
+            })
+            .collect();
+        let merged = merge_adjacent(buckets);
+        assert!(merged.len() <= 512);
+        let mass: f64 = merged.iter().map(|b| b.freq).sum();
+        assert!((mass - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Sample-based statistics.
+//!
+//! The paper notes that "although in this paper we focus on SITs as
+//! histograms, the same ideas can be applied to other statistical
+//! estimators, such as wavelets or samples". This module provides the
+//! sample estimator: a fixed-size uniform **reservoir sample** of an
+//! attribute over a query expression's result, with the same estimation
+//! operations as a histogram (range/equality selectivity, equi-join) and a
+//! conversion to a scaled [`Histogram`] so samples can flow through the SIT
+//! machinery unchanged.
+//!
+//! Sampling is deterministic given a seed (a self-contained xorshift64*
+//! keeps this crate dependency-free).
+
+use crate::histogram::{Bucket, Histogram};
+
+/// A uniform fixed-capacity sample of a value population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    values: Vec<i64>,
+    population: f64,
+    null_count: f64,
+}
+
+/// Minimal xorshift64* PRNG (Marsaglia); good enough for reservoir
+/// positions, zero dependencies.
+#[derive(Debug, Clone)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        // SplitMix64 scramble so that nearby seeds yield unrelated states
+        // (and the state is never zero).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+impl Sample {
+    /// Draws a uniform reservoir sample of at most `capacity` of the
+    /// non-NULL `values` (Algorithm R), deterministically for a given
+    /// `seed`.
+    pub fn build(values: &[i64], null_count: usize, capacity: usize, seed: u64) -> Self {
+        let capacity = capacity.max(1);
+        let mut rng = XorShift64::new(seed ^ 0x5EED_5A4D_1E5A_4D1Eu64);
+        let mut reservoir: Vec<i64> = Vec::with_capacity(capacity.min(values.len()));
+        for (i, &v) in values.iter().enumerate() {
+            if reservoir.len() < capacity {
+                reservoir.push(v);
+            } else {
+                let j = rng.below(i as u64 + 1) as usize;
+                if j < capacity {
+                    reservoir[j] = v;
+                }
+            }
+        }
+        Sample {
+            values: reservoir,
+            population: values.len() as f64,
+            null_count: null_count as f64,
+        }
+    }
+
+    /// Number of sampled values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Size of the sampled (non-NULL) population.
+    pub fn population(&self) -> f64 {
+        self.population
+    }
+
+    /// Total rows described (valid + NULL).
+    pub fn total_rows(&self) -> f64 {
+        self.population + self.null_count
+    }
+
+    /// The sampled values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Estimated selectivity of `lo <= value <= hi` as a fraction of all
+    /// rows (NULLs never qualify).
+    pub fn range_selectivity(&self, lo: i64, hi: i64) -> f64 {
+        if self.values.is_empty() || self.total_rows() == 0.0 {
+            return 0.0;
+        }
+        let hits = self.values.iter().filter(|&&v| lo <= v && v <= hi).count();
+        let frac_valid = hits as f64 / self.values.len() as f64;
+        (frac_valid * self.population / self.total_rows()).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `value = v`.
+    pub fn eq_selectivity(&self, v: i64) -> f64 {
+        self.range_selectivity(v, v)
+    }
+
+    /// Estimated join selectivity against another sample: the classic
+    /// sample-join estimate `|S1 ⋈ S2| · (N1/n1) · (N2/n2) / (N1·N2)` —
+    /// match counts in the samples, scaled to the populations.
+    pub fn join_selectivity(&self, other: &Sample) -> f64 {
+        if self.values.is_empty() || other.values.is_empty() {
+            return 0.0;
+        }
+        let mut counts = std::collections::HashMap::with_capacity(self.values.len());
+        for &v in &self.values {
+            *counts.entry(v).or_insert(0u64) += 1;
+        }
+        let matches: u64 = other
+            .values
+            .iter()
+            .map(|v| counts.get(v).copied().unwrap_or(0))
+            .sum();
+        let denom = self.total_rows() * other.total_rows();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let scale =
+            (self.population / self.values.len() as f64) * (other.population / other.values.len() as f64);
+        (matches as f64 * scale / denom).clamp(0.0, 1.0)
+    }
+
+    /// Converts the sample into a scaled exact histogram (each sampled
+    /// value represents `population / len` rows), so samples plug into any
+    /// histogram-based consumer.
+    pub fn to_histogram(&self) -> Histogram {
+        if self.values.is_empty() {
+            return Histogram::new(Vec::new(), self.null_count);
+        }
+        let weight = self.population / self.values.len() as f64;
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let mut buckets: Vec<Bucket> = Vec::new();
+        for v in sorted {
+            match buckets.last_mut() {
+                Some(b) if b.lo == v => b.freq += weight,
+                _ => buckets.push(Bucket {
+                    lo: v,
+                    hi: v,
+                    freq: weight,
+                    distinct: 1.0,
+                }),
+            }
+        }
+        Histogram::new(buckets, self.null_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: i64) -> Vec<i64> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn small_populations_are_kept_verbatim() {
+        let s = Sample::build(&[3, 1, 2], 0, 10, 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.population(), 3.0);
+        let mut vals = s.values().to_vec();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn capacity_is_respected_and_deterministic() {
+        let vals = uniform(10_000);
+        let a = Sample::build(&vals, 0, 200, 42);
+        let b = Sample::build(&vals, 0, 200, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        let c = Sample::build(&vals, 0, 200, 43);
+        assert_ne!(a, c, "different seeds produce different samples");
+    }
+
+    #[test]
+    fn range_estimates_are_close_on_uniform_data() {
+        let vals = uniform(100_000);
+        let s = Sample::build(&vals, 0, 2_000, 1);
+        let est = s.range_selectivity(0, 24_999);
+        assert!((est - 0.25).abs() < 0.05, "estimate {est}");
+        assert_eq!(s.range_selectivity(200_000, 300_000), 0.0);
+    }
+
+    #[test]
+    fn nulls_dilute_sample_estimates() {
+        let vals = uniform(1_000);
+        let s = Sample::build(&vals, 1_000, 100, 1);
+        let est = s.range_selectivity(0, 999);
+        assert!((est - 0.5).abs() < 0.05, "estimate {est}");
+        assert_eq!(s.total_rows(), 2_000.0);
+    }
+
+    #[test]
+    fn join_selectivity_matches_truth_on_keys() {
+        // Key-key join of identical domains: |join| = N, sel = 1/N.
+        let vals = uniform(10_000);
+        let a = Sample::build(&vals, 0, 1_500, 3);
+        let b = Sample::build(&vals, 0, 1_500, 4);
+        let est = a.join_selectivity(&b);
+        let truth = 1.0 / 10_000.0;
+        assert!(
+            est > 0.0 && (est / truth) < 10.0 && (truth / est) < 10.0,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn join_of_disjoint_samples_is_zero() {
+        let a = Sample::build(&uniform(100), 0, 50, 1);
+        let b = Sample::build(&(1000..1100).collect::<Vec<_>>(), 0, 50, 2);
+        assert_eq!(a.join_selectivity(&b), 0.0);
+    }
+
+    #[test]
+    fn to_histogram_preserves_mass_and_estimates() {
+        let vals = uniform(50_000);
+        let s = Sample::build(&vals, 10, 500, 9);
+        let h = s.to_histogram();
+        assert!((h.valid_rows() - 50_000.0).abs() < 1e-6);
+        assert!((h.null_count() - 10.0).abs() < 1e-9);
+        let hs = h.range_selectivity(0, 9_999);
+        let ss = s.range_selectivity(0, 9_999);
+        assert!((hs - ss).abs() < 0.02, "histogram {hs} vs sample {ss}");
+    }
+
+    #[test]
+    fn empty_sample_estimates_zero() {
+        let s = Sample::build(&[], 5, 100, 1);
+        assert!(s.is_empty());
+        assert_eq!(s.range_selectivity(0, 10), 0.0);
+        assert_eq!(s.join_selectivity(&s), 0.0);
+        assert!(s.to_histogram().buckets().is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_statistically_uniform() {
+        // Sample 1 of {0,1,2,3}: each value should appear ~25% of the time
+        // across seeds.
+        let vals = vec![0i64, 1, 2, 3];
+        let mut counts = [0u32; 4];
+        for seed in 0..4_000u64 {
+            let s = Sample::build(&vals, 0, 1, seed);
+            counts[s.values()[0] as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 / 4_000.0 - 0.25).abs() < 0.05,
+                "value {v} sampled {c}/4000 times"
+            );
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Haar-wavelet synopses.
+//!
+//! The second "other statistical estimator" the paper mentions alongside
+//! samples: a thresholded **Haar wavelet decomposition** of the cumulative
+//! frequency function. The synopsis keeps the `b` largest (normalized)
+//! coefficients; range-count queries are answered by reconstructing the
+//! cumulative counts at the two range endpoints — `O(log n)` per endpoint,
+//! touching only retained coefficients.
+//!
+//! Like [`crate::sample::Sample`], a synopsis converts to an ordinary
+//! [`Histogram`] so it can flow through the SIT machinery for ablation
+//! experiments.
+
+use crate::histogram::{Bucket, Histogram};
+
+/// A thresholded Haar wavelet synopsis of a value distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletSynopsis {
+    /// Retained coefficients: `(index, value)` in the standard Haar basis
+    /// over the frequency vector; index 0 is the overall average.
+    coefficients: Vec<(u32, f64)>,
+    /// Length of the (padded) frequency vector — a power of two.
+    n: u32,
+    /// Smallest domain value (frequency vector position 0).
+    domain_lo: i64,
+    /// Width of each frequency-vector cell (domain compression for huge
+    /// domains).
+    cell_width: i64,
+    population: f64,
+    null_count: f64,
+}
+
+impl WaveletSynopsis {
+    /// Builds a synopsis over the non-NULL `values`, retaining at most
+    /// `budget` coefficients (largest by normalized magnitude, the standard
+    /// deterministic thresholding).
+    pub fn build(values: &[i64], null_count: usize, budget: usize) -> Self {
+        if values.is_empty() {
+            return WaveletSynopsis {
+                coefficients: Vec::new(),
+                n: 1,
+                domain_lo: 0,
+                cell_width: 1,
+                population: 0.0,
+                null_count: null_count as f64,
+            };
+        }
+        let lo = *values.iter().min().expect("non-empty");
+        let hi = *values.iter().max().expect("non-empty");
+        // Frequency vector over at most 4096 cells (wavelets need a dyadic
+        // domain; wide domains are compressed into equal-width cells).
+        const MAX_CELLS: u128 = 4096;
+        let span = (hi as i128 - lo as i128) as u128 + 1;
+        let cell_width = span.div_ceil(MAX_CELLS).max(1) as i64;
+        let cells = span.div_ceil(cell_width as u128) as u32;
+        let n = cells.next_power_of_two().max(1);
+
+        let mut freq = vec![0.0f64; n as usize];
+        for &v in values {
+            freq[((v as i128 - lo as i128) / cell_width as i128) as usize] += 1.0;
+        }
+
+        // Standard Haar decomposition with per-level normalization weights
+        // so thresholding keeps the coefficients that matter most in L2.
+        let mut data = freq;
+        let mut coeffs = vec![0.0f64; n as usize];
+        let mut len = n as usize;
+        while len > 1 {
+            let half = len / 2;
+            let mut avg = vec![0.0; half];
+            for i in 0..half {
+                avg[i] = (data[2 * i] + data[2 * i + 1]) / 2.0;
+                coeffs[half + i] = (data[2 * i] - data[2 * i + 1]) / 2.0;
+            }
+            data[..half].copy_from_slice(&avg);
+            len = half;
+        }
+        coeffs[0] = data[0];
+
+        // Threshold: keep `budget` coefficients with largest normalized
+        // magnitude (|c| · sqrt(support length)). The average (index 0) is
+        // always kept — dropping it loses the total mass.
+        let mut ranked: Vec<(u32, f64)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0.0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        let weight = |i: u32| -> f64 {
+            if i == 0 {
+                f64::INFINITY // always keep the average
+            } else {
+                let level_size = (i + 1).next_power_of_two() / 2; // coefficients at this level
+                let support = n as f64 / level_size as f64;
+                c_abs_weight(support)
+            }
+        };
+        ranked.sort_by(|a, b| {
+            (b.1.abs() * weight(b.0))
+                .total_cmp(&(a.1.abs() * weight(a.0)))
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(budget.max(1));
+        ranked.sort_by_key(|&(i, _)| i);
+
+        WaveletSynopsis {
+            coefficients: ranked,
+            n,
+            domain_lo: lo,
+            cell_width,
+            population: values.len() as f64,
+            null_count: null_count as f64,
+        }
+    }
+
+    /// Number of retained coefficients.
+    pub fn len(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.coefficients.is_empty()
+    }
+
+    /// Total rows described (valid + NULL).
+    pub fn total_rows(&self) -> f64 {
+        self.population + self.null_count
+    }
+
+    /// Reconstructs the (approximate) frequency of cell `i` from the
+    /// retained coefficients: walk the Haar tree root-to-leaf.
+    fn cell_frequency(&self, cell: u32) -> f64 {
+        let mut value = self.coeff(0);
+        // Descend: at each level the detail coefficient for the block
+        // containing `cell` adds (+) for the left half, (−) for the right.
+        let mut level_size = 1u32;
+        while level_size < self.n {
+            let block_cells = self.n / level_size;
+            let block = cell / block_cells;
+            let c = self.coeff(level_size + block);
+            if c != 0.0 {
+                let left_half = cell % block_cells < block_cells / 2;
+                value += if left_half { c } else { -c };
+            }
+            level_size *= 2;
+        }
+        value.max(0.0)
+    }
+
+    /// Retained coefficient at `idx` (0 when thresholded away).
+    /// `coefficients` is sorted by index, so this is a binary search.
+    fn coeff(&self, idx: u32) -> f64 {
+        match self.coefficients.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.coefficients[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Estimated number of rows with value in `[lo, hi]` (inclusive).
+    pub fn range_rows(&self, lo: i64, hi: i64) -> f64 {
+        if lo > hi || self.population == 0.0 {
+            return 0.0;
+        }
+        let max_cell = self.n as i128 - 1;
+        let w = self.cell_width as i128;
+        let c_lo = ((lo as i128 - self.domain_lo as i128) / w).clamp(0, max_cell);
+        let c_hi = ((hi as i128 - self.domain_lo as i128) / w).clamp(0, max_cell);
+        if (hi as i128) < self.domain_lo as i128
+            || lo as i128 > self.domain_lo as i128 + w * self.n as i128
+        {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for cell in c_lo..=c_hi {
+            total += self.cell_frequency(cell as u32);
+        }
+        total.max(0.0)
+    }
+
+    /// Estimated selectivity of `lo <= value <= hi` over all rows.
+    pub fn range_selectivity(&self, lo: i64, hi: i64) -> f64 {
+        let t = self.total_rows();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.range_rows(lo, hi) / t).clamp(0.0, 1.0)
+    }
+
+    /// Converts the synopsis into a histogram (one bucket per reconstructed
+    /// cell with non-zero mass, rescaled to the true population).
+    pub fn to_histogram(&self) -> Histogram {
+        let mut buckets = Vec::new();
+        let mut mass = 0.0;
+        for cell in 0..self.n {
+            let f = self.cell_frequency(cell);
+            if f <= 0.0 {
+                continue;
+            }
+            let lo = self.domain_lo + cell as i64 * self.cell_width;
+            let hi = lo + self.cell_width - 1;
+            buckets.push(Bucket {
+                lo,
+                hi,
+                freq: f,
+                distinct: f.min(self.cell_width as f64).max(1.0),
+            });
+            mass += f;
+        }
+        // Rescale reconstruction error so the histogram mass matches the
+        // population exactly.
+        if mass > 0.0 {
+            let scale = self.population / mass;
+            for b in &mut buckets {
+                b.freq *= scale;
+                b.distinct = b.distinct.min(b.freq).max(1.0f64.min(b.freq));
+            }
+        }
+        Histogram::new(buckets, self.null_count)
+    }
+}
+
+/// Normalization weight for a coefficient whose support covers `support`
+/// cells (the L2 contribution of dropping it scales with √support).
+fn c_abs_weight(support: f64) -> f64 {
+    support.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_budget_reconstructs_exactly() {
+        let values = vec![0, 0, 1, 2, 2, 2, 3, 5, 5, 7];
+        let w = WaveletSynopsis::build(&values, 0, 1_000);
+        for v in 0..=7 {
+            let expected = values.iter().filter(|&&x| x == v).count() as f64;
+            let got = w.range_rows(v, v);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "value {v}: got {got}, expected {expected}"
+            );
+        }
+        assert!((w.range_rows(0, 7) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholding_respects_budget_and_keeps_average() {
+        let values: Vec<i64> = (0..4096).map(|i| i % 64).collect();
+        let w = WaveletSynopsis::build(&values, 0, 10);
+        assert!(w.len() <= 10);
+        assert!(
+            w.coefficients.iter().any(|&(i, _)| i == 0),
+            "average coefficient must always be retained"
+        );
+        // Uniform data: 10 coefficients suffice for a near-exact answer.
+        let est = w.range_selectivity(0, 31);
+        assert!((est - 0.5).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn skewed_spike_survives_thresholding() {
+        // Heavy spike at one value; the wavelet should spend coefficients
+        // on it.
+        let mut values: Vec<i64> = (0..512).collect();
+        values.extend(std::iter::repeat_n(100i64, 5_000));
+        let w = WaveletSynopsis::build(&values, 0, 30);
+        let est = w.range_rows(100, 100);
+        assert!(
+            est > 2_500.0,
+            "spike mass lost by thresholding: estimated {est}"
+        );
+    }
+
+    #[test]
+    fn wide_domains_are_compressed() {
+        let values = vec![i64::MIN / 4, 0, i64::MAX / 4];
+        let w = WaveletSynopsis::build(&values, 0, 100);
+        assert!(w.n <= 4096);
+        assert!((w.range_rows(i64::MIN / 4, i64::MAX / 4) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_histogram_preserves_population() {
+        let values: Vec<i64> = (0..2_000).map(|i| (i * 7) % 300).collect();
+        let w = WaveletSynopsis::build(&values, 13, 50);
+        let h = w.to_histogram();
+        assert!((h.valid_rows() - 2_000.0).abs() < 1e-6);
+        assert_eq!(h.null_count(), 13.0);
+        // Estimates agree between synopsis and histogram rendering.
+        let ws = w.range_selectivity(0, 149);
+        let hs = h.range_selectivity(0, 149);
+        assert!((ws - hs).abs() < 0.1, "synopsis {ws} vs histogram {hs}");
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let w = WaveletSynopsis::build(&[], 4, 10);
+        assert!(w.is_empty());
+        assert_eq!(w.range_selectivity(0, 100), 0.0);
+        assert_eq!(w.total_rows(), 4.0);
+        assert!(w.to_histogram().buckets().is_empty());
+    }
+
+    #[test]
+    fn nulls_enter_the_denominator() {
+        let values = vec![1i64; 50];
+        let w = WaveletSynopsis::build(&values, 50, 10);
+        let sel = w.range_selectivity(1, 1);
+        assert!((sel - 0.5).abs() < 1e-9, "sel {sel}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Coupling `getSelectivity` with the memo (§4.2).
+//!
+//! Every memo entry `E` in the group for `Sel_R(P)` splits `P` into (i) its
+//! own parameters `p_E` and (ii) the predicates `Q_E = P − p_E` contributed
+//! by its inputs, inducing the atomic decomposition
+//!
+//! ```text
+//! Sel_R(P) = Sel_R(p_E | Q_E) · Sel_R(Q_E)
+//! ```
+//!
+//! `Sel(p_E|Q_E)` is approximated with the best available SITs (reusing the
+//! core estimator's factor machinery, which in a production system would be
+//! the optimizer's view-matching subroutine); `Sel(Q_E)` is the product of
+//! the *input groups'* current estimates, which for every operator is
+//! separable into per-input factors (§4.2's closing observation). Each
+//! group keeps the most accurate alternative seen so far, so the set of
+//! decompositions explored is exactly the set of entries the optimizer's
+//! own search creates — a pruned, nearly-free approximation of the full
+//! `getSelectivity` search.
+
+use std::collections::HashMap;
+
+use sqe_core::{ErrorMode, PredSet, SelectivityEstimator, SitCatalog};
+use sqe_engine::{Database, SpjQuery};
+
+use crate::memo::{GroupId, Memo};
+
+/// Per-group estimation state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupEstimate {
+    /// Estimated selectivity of the group's predicate set.
+    pub selectivity: f64,
+    /// Estimated error (same scale as the core error functions).
+    pub error: f64,
+    /// Estimated output cardinality.
+    pub cardinality: f64,
+}
+
+/// Memo-coupled selectivity estimation.
+pub struct MemoEstimator<'a> {
+    inner: SelectivityEstimator<'a>,
+    estimates: HashMap<GroupId, GroupEstimate>,
+}
+
+impl<'a> MemoEstimator<'a> {
+    /// Creates the coupled estimator for one query.
+    pub fn new(
+        db: &'a Database,
+        query: &SpjQuery,
+        catalog: &'a SitCatalog,
+        mode: ErrorMode,
+    ) -> Self {
+        MemoEstimator {
+            inner: SelectivityEstimator::new(db, query, catalog, mode),
+            estimates: HashMap::new(),
+        }
+    }
+
+    /// Estimates every group of the memo, processing entries bottom-up and
+    /// keeping, per group, the most accurate decomposition induced by its
+    /// entries. Iterates to fixpoint (new entries from later exploration
+    /// rounds can be folded in by calling this again).
+    pub fn estimate_memo(&mut self, memo: &Memo) {
+        // Bottom-up: iterate until every group has an estimate and no
+        // estimate improves. Group graphs are acyclic, so this terminates
+        // in at most `group_count` rounds; in practice 2–3.
+        let ids: Vec<GroupId> = memo.group_ids().collect();
+        loop {
+            let mut changed = false;
+            for &gid in &ids {
+                let group = memo.group(gid);
+                for entry in &group.entries {
+                    let inputs = entry.op.inputs();
+                    // All inputs must be estimated first.
+                    let input_est: Option<Vec<GroupEstimate>> = inputs
+                        .iter()
+                        .map(|g| self.estimates.get(g).copied())
+                        .collect();
+                    let Some(input_est) = input_est else {
+                        continue;
+                    };
+                    let (sel_q, err_q) = input_est
+                        .iter()
+                        .fold((1.0, 0.0), |(s, e), g| (s * g.selectivity, e + g.error));
+                    let (sel, err) = match entry.op.own_pred() {
+                        None => (1.0, 0.0),
+                        Some(p) => {
+                            let q_e = group.preds.minus(PredSet::singleton(p));
+                            self.inner
+                                .conditional_factor(PredSet::singleton(p), q_e)
+                        }
+                    };
+                    let candidate = GroupEstimate {
+                        selectivity: (sel * sel_q).clamp(0.0, 1.0),
+                        error: err + err_q,
+                        cardinality: 0.0,
+                    };
+                    let better = match self.estimates.get(&gid) {
+                        None => true,
+                        Some(cur) => candidate.error < cur.error,
+                    };
+                    if better {
+                        self.estimates.insert(gid, candidate);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Fill cardinalities.
+        for &gid in &ids {
+            if let Some(est) = self.estimates.get(&gid).copied() {
+                let group = memo.group(gid);
+                let card = est.selectivity
+                    * cross_product_of_mask(memo, group.table_mask) as f64;
+                self.estimates.insert(
+                    gid,
+                    GroupEstimate {
+                        cardinality: card,
+                        ..est
+                    },
+                );
+            }
+        }
+    }
+
+    /// The estimate for a group, if computed.
+    pub fn group_estimate(&self, id: GroupId) -> Option<GroupEstimate> {
+        self.estimates.get(&id).copied()
+    }
+
+    /// The full (uncoupled) `getSelectivity` answer for the same query —
+    /// used to quantify what the memo-pruned search loses.
+    pub fn full_get_selectivity(&mut self, p: PredSet) -> (f64, f64) {
+        self.inner.get_selectivity(p)
+    }
+
+    /// Access to the inner estimator (for stats).
+    pub fn inner(&self) -> &SelectivityEstimator<'a> {
+        &self.inner
+    }
+}
+
+/// Cross-product size of the tables in `mask` (group table slots align with
+/// the context's table list).
+fn cross_product_of_mask(memo: &Memo, mask: u32) -> u128 {
+    memo.context().cross_product_of_table_mask(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::explore;
+    use sqe_core::Sit;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{CardinalityOracle, CmpOp, ColRef, Predicate, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    fn skewed_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 1, 2, 2, 3, 3])
+                .column("x", vec![10, 10, 20, 20, 30, 30])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![10, 10, 10, 10, 20, 30])
+                .column("b", vec![1, 2, 3, 4, 5, 6])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn catalog(db: &Database) -> SitCatalog {
+        let join = Predicate::join(c(0, 1), c(1, 0));
+        let mut cat = SitCatalog::new();
+        for col in [c(0, 0), c(0, 1), c(1, 0), c(1, 1)] {
+            cat.add(Sit::build_base(db, col).unwrap());
+            cat.add(Sit::build(db, col, vec![join]).unwrap());
+        }
+        cat
+    }
+
+    fn query(db: &Database) -> SpjQuery {
+        let _ = db;
+        SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn every_group_gets_an_estimate() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = catalog(&db);
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        let mut est = MemoEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        est.estimate_memo(&memo);
+        for gid in memo.group_ids() {
+            let e = est.group_estimate(gid).expect("group estimated");
+            assert!((0.0..=1.0).contains(&e.selectivity), "{gid}: {e:?}");
+            assert!(e.cardinality >= 0.0);
+        }
+    }
+
+    #[test]
+    fn coupled_estimate_fixes_skew_through_exploration() {
+        // After filter pull-up, the root group contains the entry
+        // σ_{a=1}(r ⋈ s) whose decomposition Sel(a=1|join)·Sel(join) uses
+        // SIT(a|join) — the accurate alternative.
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = catalog(&db);
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        let mut est = MemoEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        est.estimate_memo(&memo);
+        let root = est.group_estimate(memo.root()).unwrap();
+        let mut oracle = CardinalityOracle::new(&db);
+        let truth = oracle
+            .selectivity(&q.tables, &q.predicates)
+            .unwrap();
+        assert!(
+            (root.selectivity - truth).abs() < 0.05,
+            "coupled estimate {} vs truth {truth}",
+            root.selectivity
+        );
+    }
+
+    #[test]
+    fn repeated_estimation_is_idempotent() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = catalog(&db);
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        let mut est = MemoEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        est.estimate_memo(&memo);
+        let first = est.group_estimate(memo.root()).unwrap();
+        est.estimate_memo(&memo);
+        let second = est.group_estimate(memo.root()).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn estimates_are_monotone_under_more_exploration() {
+        // More entries = more decompositions = the per-group error can only
+        // stay equal or improve.
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = catalog(&db);
+        let mut memo = Memo::new(&db, &q);
+        let mut seed_est = MemoEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        seed_est.estimate_memo(&memo);
+        let seed_err = seed_est.group_estimate(memo.root()).unwrap().error;
+        explore(&mut memo);
+        let mut full_est = MemoEstimator::new(&db, &q, &cat, ErrorMode::Diff);
+        full_est.estimate_memo(&memo);
+        let full_err = full_est.group_estimate(memo.root()).unwrap().error;
+        assert!(full_err <= seed_err + 1e-9, "{full_err} vs {seed_err}");
+    }
+
+    #[test]
+    fn coupled_never_beats_full_search() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = catalog(&db);
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        let mut est = MemoEstimator::new(&db, &q, &cat, ErrorMode::NInd);
+        est.estimate_memo(&memo);
+        let root = est.group_estimate(memo.root()).unwrap();
+        let all = memo.context().all();
+        let (_, full_err) = est.full_get_selectivity(all);
+        assert!(
+            full_err <= root.error + 1e-9,
+            "full search error {full_err} must be ≤ coupled {}",
+            root.error
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # sqe-optimizer — a mini Cascades-style optimizer with coupled
+//! `getSelectivity` estimation (§4 of the paper)
+//!
+//! A Cascades-based optimizer keeps logically equivalent sub-plans grouped
+//! in a *memo*: each group is an equivalence class of expressions; each
+//! entry is `[op, {params}, {inputs}]` where inputs point at other groups
+//! (§4.1, Figure 4). This crate implements:
+//!
+//! * [`memo`] — the memo structure: groups keyed by `(tables, applied
+//!   predicates)`, logical operators (scan / select / join), and initial
+//!   plan construction from an SPJ query;
+//! * [`rules`] — transformation rules (join commutativity, join
+//!   associativity, filter push-down and pull-up) applied to fixpoint;
+//! * [`estimate`] — the §4.2 coupling: each memo entry `E` in the group for
+//!   `Sel(P)` induces the atomic decomposition `Sel(p_E|Q_E)·Sel(Q_E)`
+//!   (its parameters conditioned on its inputs); the group keeps the most
+//!   accurate alternative seen so far. The search is thus pruned by the
+//!   optimizer's own exploration, trading a little accuracy for a trivial
+//!   integration;
+//! * [`cost`] — a simple cost model (sum of intermediate cardinalities),
+//!   best-plan extraction, and true-cost evaluation against the engine's
+//!   cardinality oracle, which lets experiments show that SIT-aware
+//!   estimates change the chosen plan.
+
+pub mod cost;
+pub mod estimate;
+pub mod memo;
+pub mod rules;
+
+pub use cost::{evaluate_true_cost, extract_best_plan, PlanNode};
+pub use estimate::MemoEstimator;
+pub use memo::{Entry, Group, GroupId, LogicalOp, Memo};
+pub use rules::explore;

@@ -1,0 +1,408 @@
+//! Transformation rules and exploration to fixpoint (§4.1).
+//!
+//! Three classic rule families populate the memo:
+//!
+//! * **Join commutativity**: `A ⋈ B ⇒ B ⋈ A`.
+//! * **Join associativity**: `(A ⋈_{p2} B) ⋈_{p1} C ⇒ A ⋈_{p2} (B ⋈_{p1}
+//!   C)` whenever `p1`'s tables are available in `B ∪ C`.
+//! * **Filter pull-up / push-down**: `σ_f(A) ⋈ B ⇔ σ_f(A ⋈ B)` (the
+//!   paper's example rule `[T1] ⋈ (σ_P[T2]) ⇒ σ_P([T1] ⋈ [T2])` and its
+//!   inverse).
+//!
+//! Exploration repeatedly applies every rule to every entry until no new
+//! entry or group appears. Each new entry is exactly one new atomic
+//! decomposition for the §4.2 coupled estimator.
+
+use sqe_core::PredSet;
+
+use crate::memo::{GroupId, LogicalOp, Memo};
+
+/// Applies all transformation rules to fixpoint. Returns the number of
+/// entries added.
+pub fn explore(memo: &mut Memo) -> usize {
+    let mut added_total = 0;
+    loop {
+        let mut added = 0;
+        for gid in memo.group_ids().collect::<Vec<_>>() {
+            let entries: Vec<LogicalOp> =
+                memo.group(gid).entries.iter().map(|e| e.op).collect();
+            for op in entries {
+                added += apply_rules(memo, gid, op);
+            }
+        }
+        if added == 0 {
+            return added_total;
+        }
+        added_total += added;
+    }
+}
+
+fn apply_rules(memo: &mut Memo, gid: GroupId, op: LogicalOp) -> usize {
+    let mut added = 0;
+    match op {
+        LogicalOp::Join { pred, left, right } => {
+            // Commutativity.
+            if memo.add_entry(
+                gid,
+                LogicalOp::Join {
+                    pred,
+                    left: right,
+                    right: left,
+                },
+            ) {
+                added += 1;
+            }
+            added += associate(memo, gid, pred, left, right);
+            added += pull_filter_above_join(memo, gid, pred, left, right);
+        }
+        LogicalOp::Select { pred, input } => {
+            added += push_filter_below_join(memo, gid, pred, input);
+        }
+        LogicalOp::Scan { .. } => {}
+    }
+    added
+}
+
+/// `(A ⋈_{p2} B) ⋈_{p1} C ⇒ A ⋈_{p2} (B ⋈_{p1} C)` when valid.
+fn associate(memo: &mut Memo, gid: GroupId, p1: usize, left: GroupId, right: GroupId) -> usize {
+    let mut added = 0;
+    let inner_ops: Vec<LogicalOp> = memo.group(left).entries.iter().map(|e| e.op).collect();
+    for inner in inner_ops {
+        let LogicalOp::Join {
+            pred: p2,
+            left: a,
+            right: b,
+        } = inner
+        else {
+            continue;
+        };
+        // New right side: B ⋈_{p1} C. Valid when p1's tables are all within
+        // B ∪ C.
+        let (b_mask, b_preds) = {
+            let g = memo.group(b);
+            (g.table_mask, g.preds)
+        };
+        let (c_mask, c_preds) = {
+            let g = memo.group(right);
+            (g.table_mask, g.preds)
+        };
+        let p1_mask = memo.context().table_mask(PredSet::singleton(p1));
+        if p1_mask & !(b_mask | c_mask) != 0 {
+            continue;
+        }
+        let bc_mask = b_mask | c_mask;
+        let bc_preds = b_preds.union(c_preds).union(PredSet::singleton(p1));
+        let bc = memo.intern_group(bc_mask, bc_preds);
+        if memo.add_entry(
+            bc,
+            LogicalOp::Join {
+                pred: p1,
+                left: b,
+                right,
+            },
+        ) {
+            added += 1;
+        }
+        // p2 must span A ∪ (B ∪ C) — it already did (it spanned A ∪ B).
+        if memo.add_entry(
+            gid,
+            LogicalOp::Join {
+                pred: p2,
+                left: a,
+                right: bc,
+            },
+        ) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// `σ_f(A) ⋈ B ⇒ σ_f(A ⋈ B)`: filters on a join input move above the join.
+fn pull_filter_above_join(
+    memo: &mut Memo,
+    gid: GroupId,
+    pred: usize,
+    left: GroupId,
+    right: GroupId,
+) -> usize {
+    let mut added = 0;
+    for (filtered, other, is_left) in [(left, right, true), (right, left, false)] {
+        let ops: Vec<LogicalOp> = memo.group(filtered).entries.iter().map(|e| e.op).collect();
+        for op in ops {
+            let LogicalOp::Select {
+                pred: f,
+                input: below,
+            } = op
+            else {
+                continue;
+            };
+            // New join without the filter...
+            let below_info = {
+                let g = memo.group(below);
+                (g.table_mask, g.preds)
+            };
+            let other_info = {
+                let g = memo.group(other);
+                (g.table_mask, g.preds)
+            };
+            let join_mask = below_info.0 | other_info.0;
+            let join_preds = below_info
+                .1
+                .union(other_info.1)
+                .union(PredSet::singleton(pred));
+            let join_group = memo.intern_group(join_mask, join_preds);
+            let join_op = if is_left {
+                LogicalOp::Join {
+                    pred,
+                    left: below,
+                    right: other,
+                }
+            } else {
+                LogicalOp::Join {
+                    pred,
+                    left: other,
+                    right: below,
+                }
+            };
+            if memo.add_entry(join_group, join_op) {
+                added += 1;
+            }
+            // ... and the filter on top, landing in this group.
+            if memo.add_entry(
+                gid,
+                LogicalOp::Select {
+                    pred: f,
+                    input: join_group,
+                },
+            ) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// `σ_f(A ⋈ B) ⇒ σ_f(A) ⋈ B` when `f` only references tables of `A`.
+fn push_filter_below_join(memo: &mut Memo, gid: GroupId, f: usize, input: GroupId) -> usize {
+    let mut added = 0;
+    let f_mask = memo.context().table_mask(PredSet::singleton(f));
+    let ops: Vec<LogicalOp> = memo.group(input).entries.iter().map(|e| e.op).collect();
+    for op in ops {
+        let LogicalOp::Join { pred, left, right } = op else {
+            continue;
+        };
+        for (side, other, is_left) in [(left, right, true), (right, left, false)] {
+            let side_info = {
+                let g = memo.group(side);
+                (g.table_mask, g.preds)
+            };
+            if f_mask & !side_info.0 != 0 {
+                continue;
+            }
+            let filtered_preds = side_info.1.union(PredSet::singleton(f));
+            let filtered = memo.intern_group(side_info.0, filtered_preds);
+            if memo.add_entry(
+                filtered,
+                LogicalOp::Select {
+                    pred: f,
+                    input: side,
+                },
+            ) {
+                added += 1;
+            }
+            let join_op = if is_left {
+                LogicalOp::Join {
+                    pred,
+                    left: filtered,
+                    right: other,
+                }
+            } else {
+                LogicalOp::Join {
+                    pred,
+                    left: other,
+                    right: filtered,
+                }
+            };
+            if memo.add_entry(gid, join_op) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{CmpOp, ColRef, Database, Predicate, SpjQuery, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    fn db3() -> Database {
+        let mut db = Database::new();
+        for name in ["r", "s", "t"] {
+            db.add_table(
+                TableBuilder::new(name)
+                    .column("a", vec![1, 2, 3])
+                    .column("b", vec![1, 2, 3])
+                    .build()
+                    .unwrap(),
+            );
+        }
+        db
+    }
+
+    fn chain_query() -> SpjQuery {
+        SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::join(c(1, 1), c(2, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Le, 2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exploration_reaches_fixpoint_and_grows_memo() {
+        let db = db3();
+        let q = chain_query();
+        let mut memo = Memo::new(&db, &q);
+        let before_entries = memo.entry_count();
+        let added = explore(&mut memo);
+        assert!(added > 0);
+        assert_eq!(memo.entry_count(), before_entries + added);
+        // Idempotent: a second exploration adds nothing.
+        assert_eq!(explore(&mut memo), 0);
+    }
+
+    #[test]
+    fn commutativity_doubles_join_entries() {
+        let db = db3();
+        let q = SpjQuery::from_predicates(vec![Predicate::join(c(0, 1), c(1, 0))]).unwrap();
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        let root = memo.group(memo.root());
+        let joins = root
+            .entries
+            .iter()
+            .filter(|e| matches!(e.op, LogicalOp::Join { .. }))
+            .count();
+        assert_eq!(joins, 2, "A⋈B and B⋈A");
+    }
+
+    #[test]
+    fn associativity_creates_alternative_join_orders() {
+        let db = db3();
+        let q = SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::join(c(1, 1), c(2, 0)),
+        ])
+        .unwrap();
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        // Some group must represent s ⋈ t (mask 0b110) — the alternative
+        // inner join the seed plan (left-deep from r) never built.
+        let exists = memo
+            .group_ids()
+            .any(|g| memo.group(g).table_mask == 0b110 && !memo.group(g).entries.is_empty());
+        assert!(exists, "associativity must expose the s⋈t sub-join");
+    }
+
+    #[test]
+    fn filter_pull_up_materializes_paper_example() {
+        // The paper's example rule: [T1] ⋈ (σ_P [T2]) ⇒ σ_P([T1] ⋈ [T2]).
+        let db = db3();
+        let q = chain_query();
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        // The group for {join0, filter2} over tables {r,s} must now contain
+        // BOTH a join entry (filter pushed) and a select entry (filter
+        // pulled above the join).
+        let ctx_all = memo.context().all();
+        let _ = ctx_all;
+        let target = memo.group_ids().find(|&g| {
+            let gr = memo.group(g);
+            gr.table_mask == 0b011 && gr.preds.len() == 2
+        });
+        let gr = memo.group(target.expect("joint group exists"));
+        let has_join = gr
+            .entries
+            .iter()
+            .any(|e| matches!(e.op, LogicalOp::Join { .. }));
+        let has_select = gr
+            .entries
+            .iter()
+            .any(|e| matches!(e.op, LogicalOp::Select { .. }));
+        assert!(has_join && has_select, "both alternatives must coexist");
+    }
+
+    #[test]
+    fn exploration_preserves_root_semantics() {
+        // Every entry of every group must decompose the group's predicate
+        // set into its own predicate plus its inputs' sets — the invariant
+        // the §4.2 coupled estimator relies on.
+        let db = db3();
+        let q = SpjQuery::from_predicates(vec![
+            Predicate::join(c(0, 1), c(1, 0)),
+            Predicate::join(c(1, 1), c(2, 0)),
+            Predicate::filter(c(0, 0), CmpOp::Le, 2),
+            Predicate::filter(c(2, 1), CmpOp::Ge, 2),
+        ])
+        .unwrap();
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        let root = memo.group(memo.root());
+        assert_eq!(root.preds, memo.context().all());
+        // Exploration must have created several alternatives at the root.
+        assert!(root.entries.len() >= 3, "root entries: {}", root.entries.len());
+    }
+
+    #[test]
+    fn two_table_query_explores_minimal_space() {
+        let db = db3();
+        let q = SpjQuery::from_predicates(vec![Predicate::join(c(0, 1), c(1, 0))]).unwrap();
+        let mut memo = Memo::new(&db, &q);
+        let added = explore(&mut memo);
+        // Only commutativity applies: one new entry.
+        assert_eq!(added, 1);
+        assert_eq!(memo.group_count(), 3, "two scans + the join group");
+    }
+
+    #[test]
+    fn groups_stay_consistent_after_exploration() {
+        let db = db3();
+        let q = chain_query();
+        let mut memo = Memo::new(&db, &q);
+        explore(&mut memo);
+        for gid in memo.group_ids() {
+            let g = memo.group(gid);
+            for e in &g.entries {
+                // Entry inputs must compose to exactly the group's content.
+                let (mut mask, mut preds) = (0u32, PredSet::EMPTY);
+                for input in e.op.inputs() {
+                    let ig = memo.group(input);
+                    mask |= ig.table_mask;
+                    preds = preds.union(ig.preds);
+                }
+                match e.op {
+                    LogicalOp::Scan { table_slot } => {
+                        assert_eq!(g.table_mask, 1 << table_slot);
+                        assert!(g.preds.is_empty());
+                    }
+                    LogicalOp::Select { pred, .. } | LogicalOp::Join { pred, .. } => {
+                        assert_eq!(
+                            g.preds,
+                            preds.union(PredSet::singleton(pred)),
+                            "group {gid} entry {:?}",
+                            e.op
+                        );
+                        assert_eq!(g.table_mask, mask, "group {gid} entry {:?}", e.op);
+                    }
+                }
+            }
+        }
+    }
+}

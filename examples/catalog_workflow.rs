@@ -1,0 +1,106 @@
+//! End-to-end catalog workflow: parse textual queries, build a SIT pool,
+//! persist it, reload it, estimate, and fold in execution feedback.
+//!
+//! This is the "day in the life" of the statistics subsystem a downstream
+//! user would actually run:
+//!
+//! 1. a workload arrives as SQL-ish text;
+//! 2. an offline pass builds the `J2` SIT pool and saves it to disk;
+//! 3. the optimizer process loads the pool and estimates;
+//! 4. executed queries feed observed cardinalities back, adjusting base
+//!    statistics LEO-style — and the example shows why that is weaker than
+//!    SITs for join contexts.
+//!
+//! ```text
+//! cargo run --release --example catalog_workflow
+//! ```
+
+use sqe::core::feedback::FeedbackStore;
+use sqe::core::{load_catalog, save_catalog};
+use sqe::engine::parse_query;
+use sqe::prelude::*;
+
+fn main() {
+    // --- 1. Database + a textual workload ------------------------------
+    let sf = Snowflake::generate(SnowflakeConfig {
+        scale: 0.01,
+        ..Default::default()
+    });
+    let db = &sf.db;
+    let sql_workload = [
+        "select * from sales, customer \
+         where sales.cust_fk = customer.id and customer.balance > 380",
+        "select * from sales, product \
+         where sales.prod_fk = product.id and product.price between 100 and 160",
+        "select * from sales, customer, nation \
+         where sales.cust_fk = customer.id and customer.nation_fk = nation.id \
+         and nation.gdp > 1500",
+    ];
+    let workload: Vec<SpjQuery> = sql_workload
+        .iter()
+        .map(|sql| parse_query(db, sql).expect("workload parses"))
+        .collect();
+    println!("parsed {} queries from SQL text", workload.len());
+
+    // --- 2. Offline pass: build the pool and persist it ----------------
+    let pool = build_pool(db, &workload, PoolSpec::ji(2)).expect("pool builds");
+    let path = std::env::temp_dir().join("sqe_catalog_workflow.json");
+    save_catalog(&pool, &path).expect("catalog saves");
+    println!(
+        "built and saved {} SITs ({} bytes of JSON)",
+        pool.len(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // --- 3. "Optimizer process": load and estimate ----------------------
+    let loaded = load_catalog(&path).expect("catalog loads");
+    let mut oracle = CardinalityOracle::new(db);
+    println!("\n{:>4}  {:>12}  {:>12}  {:>12}", "q", "noSit", "with SITs", "truth");
+    for (i, q) in workload.iter().enumerate() {
+        let truth = oracle.cardinality(&q.tables, &q.predicates).unwrap() as f64;
+        let nosit = NoSitEstimator::from_catalog(&loaded);
+        let mut base = nosit.estimator(db, q);
+        let all = base.context().all();
+        let mut sits = SelectivityEstimator::new(db, q, &loaded, ErrorMode::Diff);
+        println!(
+            "{i:>4}  {:>12.0}  {:>12.0}  {:>12.0}",
+            base.cardinality(all),
+            sits.cardinality(all),
+            truth
+        );
+    }
+
+    // --- 4. Execution feedback, and its limits --------------------------
+    // Observe a single-filter query; LEO-style adjustment makes *that*
+    // estimate exact...
+    let filter_q = parse_query(db, "select * from customer where customer.balance > 380")
+        .expect("filter query parses");
+    let observed = oracle
+        .cardinality(&filter_q.tables, &filter_q.predicates)
+        .unwrap();
+    let mut store = FeedbackStore::new();
+    store.record(filter_q.clone(), observed as u64);
+    let adjusted = store.adjust_catalog(&loaded);
+    let mut fb = SelectivityEstimator::new(db, &filter_q, &adjusted, ErrorMode::NInd);
+    let all = fb.context().all();
+    println!(
+        "\nfeedback: observed {} rows for the balance filter; adjusted estimate {:.0}",
+        observed,
+        fb.cardinality(all)
+    );
+    // ...but the joined context still needs the SIT.
+    let join_q = &workload[0];
+    let truth = oracle.cardinality(&join_q.tables, &join_q.predicates).unwrap() as f64;
+    let mut fb_join = SelectivityEstimator::new(db, join_q, &adjusted, ErrorMode::NInd);
+    let all = fb_join.context().all();
+    let mut sit_join = SelectivityEstimator::new(db, join_q, &loaded, ErrorMode::Diff);
+    println!(
+        "join context: feedback-adjusted {:.0} vs SIT {:.0} vs truth {:.0}",
+        fb_join.cardinality(all),
+        sit_join.cardinality(all),
+        truth
+    );
+    println!("feedback repairs marginals; SITs repair the *context* — the paper's point");
+
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,71 @@
+//! §4 integration: `getSelectivity` coupled with a Cascades-style memo.
+//!
+//! Builds a memo for one snowflake query, explores it with transformation
+//! rules, estimates every group twice (base statistics vs a SIT pool),
+//! extracts the cheapest plan under each estimate, and replays both plans
+//! against the exact cardinality oracle.
+//!
+//! ```text
+//! cargo run --release --example optimizer_integration
+//! ```
+
+use sqe::prelude::*;
+
+fn main() {
+    // A small snowflake database and a 4-way-join workload.
+    let sf = Snowflake::generate(SnowflakeConfig {
+        scale: 0.01,
+        ..Default::default()
+    });
+    let workload = generate_workload(
+        &sf.db,
+        &sf.join_edges,
+        &sf.filter_columns,
+        WorkloadConfig {
+            queries: 8,
+            joins: 4,
+            ..Default::default()
+        },
+    );
+    let pool = build_pool(&sf.db, &workload, PoolSpec::ji(2)).expect("pool builds");
+    let nosit = NoSitEstimator::from_catalog(&pool);
+    println!("J2 pool: {} SITs over the workload\n", pool.len());
+
+    let mut oracle = CardinalityOracle::new(&sf.db);
+    let mut improved = 0usize;
+    for (i, query) in workload.iter().enumerate() {
+        // 1. Memo + exploration (§4.1).
+        let mut memo = Memo::new(&sf.db, query);
+        let added = explore(&mut memo);
+        println!(
+            "q{i}: memo has {} groups / {} entries ({added} from rules)",
+            memo.group_count(),
+            memo.entry_count()
+        );
+
+        // 2. Coupled estimation (§4.2) under both catalogs.
+        let mut base_est = MemoEstimator::new(&sf.db, query, nosit.catalog(), ErrorMode::NInd);
+        base_est.estimate_memo(&memo);
+        let mut sit_est = MemoEstimator::new(&sf.db, query, &pool, ErrorMode::Diff);
+        sit_est.estimate_memo(&memo);
+
+        // 3. Best plan under each estimate, scored by true cost.
+        let (plan_base, _) = extract_best_plan(&memo, &base_est).expect("base plan");
+        let (plan_sit, _) = extract_best_plan(&memo, &sit_est).expect("SIT plan");
+        let cost_base = sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan_base)
+            .expect("true cost");
+        let cost_sit =
+            sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan_sit).expect("true cost");
+        println!("    noSit plan: {plan_base}");
+        println!("    SIT   plan: {plan_sit}");
+        println!("    true cost:  {cost_base:.0} (noSit) vs {cost_sit:.0} (SITs)");
+        if cost_sit < cost_base {
+            improved += 1;
+        }
+        assert!(
+            cost_sit <= cost_base * 1.05,
+            "SIT-guided plans should never be much worse"
+        );
+    }
+    println!("\nSIT-guided optimization strictly improved {improved} of {} plans", workload.len());
+}

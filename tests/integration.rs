@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through pools, estimation, and the optimizer.
+
+use sqe::prelude::*;
+
+fn small_setup() -> (Snowflake, Vec<SpjQuery>) {
+    let sf = Snowflake::generate(SnowflakeConfig {
+        scale: 0.002,
+        min_rows: 100,
+        ..Default::default()
+    });
+    let wl = generate_workload(
+        &sf.db,
+        &sf.join_edges,
+        &sf.filter_columns,
+        WorkloadConfig {
+            queries: 6,
+            joins: 3,
+            ..Default::default()
+        },
+    );
+    (sf, wl)
+}
+
+#[test]
+fn pipeline_produces_usable_estimates_for_all_techniques() {
+    let (sf, wl) = small_setup();
+    let pool = build_pool(&sf.db, &wl, PoolSpec::ji(2)).unwrap();
+    let mut oracle = CardinalityOracle::new(&sf.db);
+    for q in &wl {
+        let truth = oracle.cardinality(&q.tables, &q.predicates).unwrap() as f64;
+        for mode in [ErrorMode::NInd, ErrorMode::Diff, ErrorMode::Opt] {
+            let mut est = SelectivityEstimator::new(&sf.db, q, &pool, mode);
+            let all = est.context().all();
+            let card = est.cardinality(all);
+            assert!(card.is_finite() && card >= 0.0, "{mode:?}");
+            // Estimates live within a broad sanity corridor of the truth.
+            let cross = q.cross_product_size(&sf.db).unwrap() as f64;
+            assert!(card <= cross, "{mode:?}: estimate above cross product");
+            let _ = truth;
+        }
+        let mut gvm = GreedyViewMatching::new(&sf.db, q, &pool);
+        let all = gvm.context().all();
+        assert!(gvm.cardinality(all).is_finite());
+    }
+}
+
+#[test]
+fn sits_improve_over_base_statistics_on_workload_average() {
+    let (sf, wl) = small_setup();
+    let pool = build_pool(&sf.db, &wl, PoolSpec::ji(3)).unwrap();
+    let nosit = NoSitEstimator::from_catalog(&pool);
+    let mut oracle = CardinalityOracle::new(&sf.db);
+    // The §5 metric: average absolute error over every sub-query.
+    let (mut err_base, mut err_sits) = (0.0f64, 0.0f64);
+    for q in &wl {
+        let ctx = QueryContext::new(&sf.db, q);
+        let mut base = nosit.estimator(&sf.db, q);
+        let mut sit = SelectivityEstimator::new(&sf.db, q, &pool, ErrorMode::Diff);
+        for p in ctx.all().subsets() {
+            let truth = oracle
+                .cardinality(&ctx.tables_of(p), &ctx.predicates_of(p))
+                .unwrap() as f64;
+            err_base += (base.cardinality(p) - truth).abs();
+            err_sits += (sit.cardinality(p) - truth).abs();
+        }
+    }
+    assert!(
+        err_sits < err_base,
+        "SITs ({err_sits}) must beat base stats ({err_base})"
+    );
+}
+
+#[test]
+fn estimator_answers_every_subquery_consistently() {
+    let (sf, wl) = small_setup();
+    let pool = build_pool(&sf.db, &wl, PoolSpec::ji(2)).unwrap();
+    let q = &wl[0];
+    let mut est = SelectivityEstimator::new(&sf.db, q, &pool, ErrorMode::Diff);
+    let all = est.context().all();
+    // Selectivity is a probability, monotone under adding predicates along
+    // chains: Sel(P) <= Sel(P') for P' ⊆ P does NOT hold for arbitrary
+    // estimates, but bounds do.
+    for p in all.subsets() {
+        let (sel, err) = est.get_selectivity(p);
+        assert!((0.0..=1.0).contains(&sel), "{p}: sel {sel}");
+        assert!(err >= 0.0 && err.is_finite());
+        // Deterministic: asking twice yields the identical answer.
+        assert_eq!(est.get_selectivity(p), (sel, err));
+    }
+}
+
+#[test]
+fn optimizer_pipeline_extracts_valid_plans() {
+    let (sf, wl) = small_setup();
+    let pool = build_pool(&sf.db, &wl, PoolSpec::ji(2)).unwrap();
+    let mut oracle = CardinalityOracle::new(&sf.db);
+    for q in &wl {
+        let mut memo = Memo::new(&sf.db, q);
+        explore(&mut memo);
+        let mut est = MemoEstimator::new(&sf.db, q, &pool, ErrorMode::Diff);
+        est.estimate_memo(&memo);
+        let (plan, cost) = extract_best_plan(&memo, &est).expect("plan extracted");
+        assert_eq!(plan.preds(), memo.context().all(), "plan applies all predicates");
+        assert!(cost.is_finite() && cost > 0.0);
+        let true_cost =
+            sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan).unwrap();
+        assert!(true_cost > 0.0);
+    }
+}
+
+#[test]
+fn motivating_scenario_reproduces_figure_1_and_2_ordering() {
+    let s = motivating_scenario(Default::default());
+    let db = &s.db;
+    let q = &s.query;
+    let mut oracle = CardinalityOracle::new(db);
+    let truth = oracle.cardinality(&q.tables, &q.predicates).unwrap() as f64;
+
+    let mut base = SitCatalog::new();
+    for p in &q.predicates {
+        for col in p.columns().iter() {
+            base.add(Sit::build_base(db, col).unwrap());
+        }
+    }
+    let sit_price = Sit::build(db, s.col_price, vec![s.join_lo]).unwrap();
+    let sit_nation = Sit::build(db, s.col_nation, vec![s.join_oc]).unwrap();
+    let mut both = base.clone();
+    both.add(sit_price.clone());
+    both.add(sit_nation.clone());
+    let mut price_only = base.clone();
+    price_only.add(sit_price);
+
+    let est = |cat: &SitCatalog| {
+        let mut e = SelectivityEstimator::new(db, q, cat, ErrorMode::Diff);
+        let all = e.context().all();
+        e.cardinality(all)
+    };
+    let e_base = est(&base);
+    let e_price = est(&price_only);
+    let e_both = est(&both);
+
+    // noSit underestimates badly; one SIT helps; both SITs help most.
+    assert!(e_base < 0.2 * truth, "noSit {e_base} vs truth {truth}");
+    assert!((e_price - truth).abs() < (e_base - truth).abs());
+    assert!((e_both - truth).abs() < (e_price - truth).abs());
+
+    // View matching (GVM) cannot beat single-SIT accuracy: the two SITs
+    // overlap without nesting.
+    let mut gvm = GreedyViewMatching::new(db, q, &both);
+    let all = gvm.context().all();
+    let e_gvm = gvm.cardinality(all);
+    assert!(
+        (e_both - truth).abs() < (e_gvm - truth).abs(),
+        "getSelectivity ({e_both}) must beat GVM ({e_gvm}); truth {truth}"
+    );
+}
+
+#[test]
+fn pool_sizes_grow_and_are_bounded() {
+    let (sf, wl) = small_setup();
+    let mut prev = 0usize;
+    for i in 0..=3 {
+        let pool = build_pool(&sf.db, &wl, PoolSpec::ji(i)).unwrap();
+        assert!(pool.len() >= prev, "pool J{i} shrank");
+        prev = pool.len();
+        for (_, sit) in pool.iter() {
+            assert!(sit.cond.len() <= i, "SIT exceeds pool bound: {sit}");
+            assert!((0.0..=1.0).contains(&sit.diff));
+        }
+    }
+}
+
+#[test]
+fn base_histograms_reproduce_base_table_counts() {
+    let (sf, _) = small_setup();
+    for &col in sf.filter_columns.iter().take(6) {
+        let sit = Sit::build_base(&sf.db, col).unwrap();
+        let column = sf.db.column(col).unwrap();
+        let expected = (column.len() - column.null_count()) as f64;
+        assert!(
+            (sit.histogram.valid_rows() - expected).abs() < 1e-6,
+            "histogram mass mismatch for {col}"
+        );
+    }
+}
