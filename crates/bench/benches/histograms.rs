@@ -115,7 +115,10 @@ fn bench_hist2d(c: &mut Criterion) {
         b.iter(|| black_box(grid.join_carry(black_box(&other))).0)
     });
     group.bench_function("conditional_y", |b| {
-        b.iter(|| grid.conditional_y(black_box(10), black_box(300)).valid_rows())
+        b.iter(|| {
+            grid.conditional_y(black_box(10), black_box(300))
+                .valid_rows()
+        })
     });
     group.finish();
 }

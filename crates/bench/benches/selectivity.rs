@@ -45,12 +45,8 @@ fn bench_scaling(c: &mut Criterion) {
         // n = j joins + 3 filters predicates.
         group.bench_with_input(BenchmarkId::new("full_query", j + 3), &(), |b, _| {
             b.iter(|| {
-                let mut est = SelectivityEstimator::new(
-                    &f.setup.snowflake.db,
-                    &wl[0],
-                    pool,
-                    ErrorMode::NInd,
-                );
+                let mut est =
+                    SelectivityEstimator::new(&f.setup.snowflake.db, &wl[0], pool, ErrorMode::NInd);
                 black_box(est.selectivity())
             })
         });
@@ -67,8 +63,7 @@ fn bench_error_modes(c: &mut Criterion) {
     for mode in [ErrorMode::NInd, ErrorMode::Diff] {
         group.bench_function(mode.label(), |b| {
             b.iter(|| {
-                let mut est =
-                    SelectivityEstimator::new(&f.setup.snowflake.db, &wl[0], pool, mode);
+                let mut est = SelectivityEstimator::new(&f.setup.snowflake.db, &wl[0], pool, mode);
                 black_box(est.selectivity())
             })
         });

@@ -50,13 +50,9 @@ fn main() {
         BuilderKind::Wavelet,
     ] {
         for buckets in [20usize, 50, 200] {
-            let pool = build_pool_with(
-                db,
-                &workload,
-                PoolSpec::ji(2),
-                SitOptions { kind, buckets },
-            )
-            .expect("pool builds");
+            let pool =
+                build_pool_with(db, &workload, PoolSpec::ji(2), SitOptions { kind, buckets })
+                    .expect("pool builds");
             let (err, _) = eval_workload(
                 db,
                 &mut oracle,
@@ -69,7 +65,11 @@ fn main() {
                 setting: format!("{} / {buckets} buckets", kind.label()),
                 avg_abs_error: err,
             });
-            eprintln!("  {:10} {buckets:>4} buckets: {}", kind.label(), fmt_num(err));
+            eprintln!(
+                "  {:10} {buckets:>4} buckets: {}",
+                kind.label(),
+                fmt_num(err)
+            );
         }
     }
 
@@ -92,9 +92,14 @@ fn main() {
     // available SITs is small, those SITs can drive the search"), so use
     // base histograms plus the five highest-diff SITs.
     eprintln!("SIT-driven pruning ablation (small catalog) ...");
-    let mut small = sqe_core::NoSitEstimator::from_catalog(&pool).catalog().clone();
-    let mut ranked: Vec<&sqe_core::Sit> =
-        pool.iter().map(|(_, s)| s).filter(|s| !s.is_base()).collect();
+    let mut small = sqe_core::NoSitEstimator::from_catalog(&pool)
+        .catalog()
+        .clone();
+    let mut ranked: Vec<&sqe_core::Sit> = pool
+        .iter()
+        .map(|(_, s)| s)
+        .filter(|s| !s.is_base())
+        .collect();
     ranked.sort_by(|a, b| b.diff.total_cmp(&a.diff));
     for sit in ranked.into_iter().take(5) {
         small.add(sit.clone());
@@ -109,8 +114,8 @@ fn main() {
         let all = full.context().all();
         full_err += (full.cardinality(all) - truth).abs();
         full_peels += full.stats().peel_entries;
-        let mut pruned = SelectivityEstimator::new(db, q, &pool, ErrorMode::Diff)
-            .with_sit_driven_pruning();
+        let mut pruned =
+            SelectivityEstimator::new(db, q, &pool, ErrorMode::Diff).with_sit_driven_pruning();
         pruned_err += (pruned.cardinality(all) - truth).abs();
         pruned_peels += pruned.stats().peel_entries;
     }

@@ -3,7 +3,10 @@ use sqe_core::{ErrorMode, GreedyViewMatching, PredSet, QueryContext, Selectivity
 use sqe_engine::CardinalityOracle;
 
 fn main() {
-    let setup = Setup::new(SetupConfig { queries: 10, ..SetupConfig::default() });
+    let setup = Setup::new(SetupConfig {
+        queries: 10,
+        ..SetupConfig::default()
+    });
     let wl = setup.mixed_workload(&[7]);
     let q = &wl[0];
     let pool = setup.pool(&wl, 2);
@@ -15,16 +18,29 @@ fn main() {
     let all = ctx.all();
     let mut worst = (0.0f64, PredSet::EMPTY, 0.0, 0.0);
     for p in all.subsets() {
-        let truth = oracle.cardinality(&ctx.tables_of(p), &ctx.predicates_of(p)).unwrap() as f64;
+        let truth = oracle
+            .cardinality(&ctx.tables_of(p), &ctx.predicates_of(p))
+            .unwrap() as f64;
         let e_gvm = gvm.cardinality(p);
         let err = (e_gvm - truth).abs();
-        if err > worst.0 { worst = (err, p, e_gvm, truth); }
+        if err > worst.0 {
+            worst = (err, p, e_gvm, truth);
+        }
     }
     let (err, p, est, truth) = worst;
     println!("worst subset {p}: gvm_est={est:.3e} truth={truth:.3e} err={err:.3e}");
-    for i in p.iter() { println!("  p{i} = {}", ctx.predicate(i)); }
-    println!("tables(P) = {:?} cross = {:.3e}", ctx.tables_of(p), ctx.cross_product_size(p) as f64);
+    for i in p.iter() {
+        println!("  p{i} = {}", ctx.predicate(i));
+    }
+    println!(
+        "tables(P) = {:?} cross = {:.3e}",
+        ctx.tables_of(p),
+        ctx.cross_product_size(p) as f64
+    );
     println!("gvm sel = {:.3e}", gvm.selectivity(p));
     let (s, e) = gs.get_selectivity(p);
-    println!("gs sel = {s:.3e} err {e}; gs est = {:.3e}", gs.cardinality(p));
+    println!(
+        "gs sel = {s:.3e} err {e}; gs est = {:.3e}",
+        gs.cardinality(p)
+    );
 }

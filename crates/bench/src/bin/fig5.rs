@@ -34,7 +34,11 @@ fn main() {
     let workload = setup.mixed_workload(&[3, 4, 5, 6, 7]);
     eprintln!("building J{pool_i} SIT pool ...");
     let pool = setup.pool(&workload, pool_i);
-    eprintln!("pool: {} SITs; evaluating {} queries", pool.len(), workload.len());
+    eprintln!(
+        "pool: {} SITs; evaluating {} queries",
+        pool.len(),
+        workload.len()
+    );
 
     let db = &setup.snowflake.db;
     let mut oracle = CardinalityOracle::new(db);

@@ -46,7 +46,10 @@ fn main() {
 
     let mut panels = Vec::new();
     for (panel_idx, joins) in [3usize, 5, 7].into_iter().enumerate() {
-        eprintln!("=== Figure 8({}) — {joins}-way joins ===", (b'a' + panel_idx as u8) as char);
+        eprintln!(
+            "=== Figure 8({}) — {joins}-way joins ===",
+            (b'a' + panel_idx as u8) as char
+        );
         let workload = setup.workload(joins);
         let mut oracle = CardinalityOracle::new(db);
         let mut rows = Vec::new();

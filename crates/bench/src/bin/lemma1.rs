@@ -56,7 +56,11 @@ fn main() {
     );
 
     for r in &rows {
-        assert!(r.lower_bound <= r.t_n && r.t_n <= r.upper_bound, "n={}", r.n);
+        assert!(
+            r.lower_bound <= r.t_n && r.t_n <= r.upper_bound,
+            "n={}",
+            r.n
+        );
     }
     println!("bounds verified for n = 1..={max_n}");
     match write_json("lemma1", &rows) {

@@ -49,10 +49,10 @@ fn main() {
             base.add(Sit::build_base(db, col).expect("base histogram"));
         }
     }
-    let sit_price = Sit::build(db, scenario.col_price, vec![scenario.join_lo])
-        .expect("SIT(total_price | L⋈O)");
-    let sit_nation = Sit::build(db, scenario.col_nation, vec![scenario.join_oc])
-        .expect("SIT(nation | O⋈C)");
+    let sit_price =
+        Sit::build(db, scenario.col_price, vec![scenario.join_lo]).expect("SIT(total_price | L⋈O)");
+    let sit_nation =
+        Sit::build(db, scenario.col_nation, vec![scenario.join_oc]).expect("SIT(nation | O⋈C)");
 
     let with = |sits: &[&Sit]| -> SitCatalog {
         let mut c = base.clone();
@@ -77,7 +77,11 @@ fn main() {
             setting: setting.to_string(),
             estimate,
             truth,
-            ratio: if truth > 0.0 { estimate / truth } else { f64::NAN },
+            ratio: if truth > 0.0 {
+                estimate / truth
+            } else {
+                f64::NAN
+            },
         });
     };
     push("noSit (independence)", estimate(&base));
@@ -95,13 +99,7 @@ fn main() {
     println!("true cardinality: {truth}\n");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.setting.clone(),
-                fmt_num(r.estimate),
-                fmt_num(r.ratio),
-            ]
-        })
+        .map(|r| vec![r.setting.clone(), fmt_num(r.estimate), fmt_num(r.ratio)])
         .collect();
     println!(
         "{}",

@@ -109,7 +109,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workload", "1-D pool", "1-D only", "+2-D grids", "reduction"],
+            &[
+                "workload",
+                "1-D pool",
+                "1-D only",
+                "+2-D grids",
+                "reduction"
+            ],
             &table
         )
     );
@@ -137,8 +143,8 @@ fn main() {
     for q in &corr_queries {
         let ctx = QueryContext::new(db, q);
         let mut one_d = SelectivityEstimator::new(db, q, &pool1, ErrorMode::Diff);
-        let mut two_d = SelectivityEstimator::new(db, q, &pool1, ErrorMode::Diff)
-            .with_sit2_catalog(&pool2c);
+        let mut two_d =
+            SelectivityEstimator::new(db, q, &pool1, ErrorMode::Diff).with_sit2_catalog(&pool2c);
         for p in ctx.all().subsets() {
             let truth = oracle
                 .cardinality(&ctx.tables_of(p), &ctx.predicates_of(p))

@@ -89,7 +89,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["q", "groups", "entries", "noSit cost", "SIT cost", "differ?"],
+            &[
+                "q",
+                "groups",
+                "entries",
+                "noSit cost",
+                "SIT cost",
+                "differ?"
+            ],
             &table
         )
     );

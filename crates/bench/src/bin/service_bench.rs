@@ -1,0 +1,128 @@
+//! Throughput driver for the `sqe-service` estimation service: concurrent
+//! threads × query stream, estimates/sec with a cold vs. warm cross-query
+//! cache, plus the service's own metrics snapshot.
+//!
+//! Cold: every thread estimates a disjoint slice of the workload against a
+//! freshly installed snapshot (nothing cached; threads still share link /
+//! join-product work through the sharded cache as it fills). Warm: every
+//! thread then replays the *full* workload `reps` times against the now-hot
+//! snapshot, modeling concurrent sessions issuing recurring query shapes.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin service_bench \
+//!     [-- --queries 60 --joins 4 --pool 2 --threads 1,2,4,8 --reps 3]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use sqe_bench::report::{render_table, write_json};
+use sqe_bench::{Args, Setup, SetupConfig};
+use sqe_engine::SpjQuery;
+use sqe_service::{EstimationService, ServiceConfig};
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    cold_eps: f64,
+    warm_eps: f64,
+    warm_speedup_vs_1: f64,
+}
+
+/// Estimates/sec for `threads` workers each running `per_thread` streams.
+fn run(svc: &EstimationService, streams: &[Vec<&SpjQuery>], reps: usize) -> f64 {
+    let total: usize = streams.iter().map(|s| s.len() * reps).sum();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            scope.spawn(move || {
+                for _ in 0..reps {
+                    for q in stream {
+                        std::hint::black_box(svc.estimate(q));
+                    }
+                }
+            });
+        }
+    });
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = Setup::new(SetupConfig::from_args(&args));
+    let joins: usize = args.get("joins", 4);
+    let pool_i: usize = args.get("pool", 2);
+    let reps: usize = args.get("reps", 3);
+    let thread_counts: Vec<usize> = args
+        .get_str("threads", "1,2,4,8")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+
+    eprintln!("generating workload ({joins}-way joins) and J{pool_i} pool ...");
+    let workload = setup.workload(joins);
+    let pool = setup.pool(&workload, pool_i);
+    let db = Arc::new(setup.snowflake.db);
+    let svc = EstimationService::new(Arc::clone(&db), pool.clone(), ServiceConfig::default());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &thread_counts {
+        // Fresh snapshot -> cold cache. Threads split the workload.
+        svc.install(pool.clone(), None);
+        let cold_streams: Vec<Vec<&SpjQuery>> = (0..threads)
+            .map(|t| {
+                workload
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == t)
+                    .map(|(_, q)| q)
+                    .collect()
+            })
+            .collect();
+        let cold_eps = run(&svc, &cold_streams, 1);
+
+        // Same snapshot, now hot: every thread replays the full stream.
+        let warm_streams: Vec<Vec<&SpjQuery>> =
+            (0..threads).map(|_| workload.iter().collect()).collect();
+        let warm_eps = run(&svc, &warm_streams, reps);
+
+        let base = rows.first().map_or(warm_eps, |r: &Row| r.warm_eps);
+        rows.push(Row {
+            threads,
+            cold_eps,
+            warm_eps,
+            warm_speedup_vs_1: warm_eps / base,
+        });
+    }
+
+    println!("service_bench — estimates/sec, cold vs warm cross-query cache\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.0}", r.cold_eps),
+                format!("{:.0}", r.warm_eps),
+                format!("{:.2}x", r.warm_speedup_vs_1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["threads", "cold est/s", "warm est/s", "warm vs 1-thread"],
+            &table
+        )
+    );
+
+    println!("\nservice metrics after the final round:");
+    println!("{}", svc.stats());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nhost parallelism: {cores} core(s) available to this process");
+
+    match write_json("service_bench", &rows) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -171,13 +171,7 @@ mod tests {
         let wl = s.workload(3);
         let pool = s.pool(&wl, 3);
         let mut oracle = CardinalityOracle::new(&s.snowflake.db);
-        let (nosit, _) = eval_workload(
-            &s.snowflake.db,
-            &mut oracle,
-            &wl,
-            &pool,
-            Technique::NoSit,
-        );
+        let (nosit, _) = eval_workload(&s.snowflake.db, &mut oracle, &wl, &pool, Technique::NoSit);
         let (gs, _) = eval_workload(
             &s.snowflake.db,
             &mut oracle,

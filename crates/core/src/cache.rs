@@ -1,0 +1,177 @@
+//! Cross-query estimator caching: canonical cache keys and the shared
+//! cache interface.
+//!
+//! A [`crate::SelectivityEstimator`] memoizes per-query, but an estimation
+//! *service* answers streams of queries against one catalog, and most of
+//! the expensive work — per-link conditional factors and SIT-pair join
+//! products — recurs across queries. This module defines the contract
+//! between the estimator and an externally owned cache (implemented by the
+//! `sqe-service` crate):
+//!
+//! * [`CacheKey`] — a canonicalized fingerprint of a conditional
+//!   selectivity request `Sel(P' | Q)` under an [`ErrorMode`];
+//! * [`SharedEstimatorCache`] — the read-through/write-through interface
+//!   the estimator consults on local-memo misses.
+//!
+//! ## Validity contract
+//!
+//! Cached values are raw estimator outputs, so a shared cache is only valid
+//! for estimators with an **identical configuration**: same database, same
+//! SIT catalogs (1-D and 2-D), and same pruning setting. Join-product and
+//! `H3` entries are keyed by [`SitId`], which is only meaningful within one
+//! catalog; a cache must therefore never outlive the catalog it was filled
+//! against (the service keeps the cache inside its catalog snapshot for
+//! exactly this reason). Error modes may share a cache: the mode is part of
+//! every key.
+
+use sqe_engine::Predicate;
+use sqe_histogram::Histogram;
+
+use crate::error::ErrorMode;
+use crate::sit::SitId;
+
+/// Canonical fingerprint of a conditional selectivity request
+/// `Sel(P' | Q)` under an error mode.
+///
+/// Construction canonicalizes both predicate lists (sorted, deduplicated),
+/// so any two requests over the same predicate *sets* — regardless of the
+/// within-query predicate indexing that produced them — map to the same
+/// key. Distinct `(P', Q, mode)` triples map to distinct keys (the keys
+/// store the full predicates, not a lossy hash).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    mode: ErrorMode,
+    /// The estimated predicates `P'`, canonicalized.
+    preds: Vec<Predicate>,
+    /// The conditioning set `Q`, canonicalized. For sequence-sensitive
+    /// entries ([`CacheKey::query`]) this instead preserves the caller's
+    /// order.
+    cond: Vec<Predicate>,
+    /// True for order-preserving whole-query keys.
+    sequenced: bool,
+}
+
+impl CacheKey {
+    /// Key for the conditional factor `Sel(preds | cond)` under `mode`.
+    pub fn conditional(mode: ErrorMode, preds: &[Predicate], cond: &[Predicate]) -> Self {
+        CacheKey {
+            mode,
+            preds: canonicalize(preds),
+            cond: canonicalize(cond),
+            sequenced: false,
+        }
+    }
+
+    /// Key for a whole-query result, preserving the query's predicate
+    /// order.
+    ///
+    /// Whole-query estimates are *not* invariant under predicate
+    /// reordering: the estimator expands multi-predicate factors into an
+    /// implicit chain whose link order follows the query's predicate
+    /// indexing (Example 3), so permuting the predicates changes the
+    /// conditioning sets of intermediate links and hence (legitimately)
+    /// the estimate. Sorting here would let one ordering's result answer
+    /// for another's; keeping the sequence makes a hit bit-identical to
+    /// recomputation.
+    pub fn query(mode: ErrorMode, preds: &[Predicate]) -> Self {
+        CacheKey {
+            mode,
+            preds: preds.to_vec(),
+            cond: Vec::new(),
+            sequenced: true,
+        }
+    }
+
+    /// The error mode this key was built under.
+    pub fn mode(&self) -> ErrorMode {
+        self.mode
+    }
+}
+
+/// Sorted + deduplicated copy of a predicate list.
+fn canonicalize(preds: &[Predicate]) -> Vec<Predicate> {
+    let mut v = preds.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// A cache shared by many estimators over one catalog snapshot.
+///
+/// All methods take `&self`: implementations are internally synchronized
+/// (the service implementation shards its state under mutexes). The
+/// estimator consults the shared cache *after* its own per-query memo
+/// misses and writes every freshly computed value back, so a hot cache
+/// converges to answering most link work without any histogram
+/// manipulation.
+///
+/// See the module docs for the validity contract (one cache per estimator
+/// configuration and catalog snapshot).
+pub trait SharedEstimatorCache: Send + Sync {
+    /// Cached `(selectivity, error)` for a conditional factor.
+    fn get_link(&self, key: &CacheKey) -> Option<(f64, f64)>;
+    /// Stores a conditional factor result.
+    fn put_link(&self, key: CacheKey, value: (f64, f64));
+    /// Cached join selectivity of a SIT pair.
+    fn get_join(&self, pair: (SitId, SitId)) -> Option<f64>;
+    /// Stores a SIT-pair join selectivity.
+    fn put_join(&self, pair: (SitId, SitId), selectivity: f64);
+    /// Cached `H3` result histogram and divergence of a SIT pair (§3.3).
+    fn get_h3(&self, pair: (SitId, SitId)) -> Option<(Histogram, f64)>;
+    /// Stores a SIT-pair `H3` result.
+    fn put_h3(&self, pair: (SitId, SitId), value: (Histogram, f64));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::{CmpOp, ColRef, TableId};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    #[test]
+    fn conditional_keys_are_order_insensitive() {
+        let p1 = Predicate::filter(c(0, 0), CmpOp::Eq, 1);
+        let p2 = Predicate::join(c(0, 1), c(1, 0));
+        let p3 = Predicate::filter(c(1, 1), CmpOp::Le, 5);
+        let a = CacheKey::conditional(ErrorMode::NInd, &[p1], &[p2, p3]);
+        let b = CacheKey::conditional(ErrorMode::NInd, &[p1], &[p3, p2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conditional_keys_dedup() {
+        let p1 = Predicate::filter(c(0, 0), CmpOp::Eq, 1);
+        let p2 = Predicate::join(c(0, 1), c(1, 0));
+        let a = CacheKey::conditional(ErrorMode::Diff, &[p1], &[p2, p2]);
+        let b = CacheKey::conditional(ErrorMode::Diff, &[p1], &[p2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_inputs_make_distinct_keys() {
+        let p1 = Predicate::filter(c(0, 0), CmpOp::Eq, 1);
+        let p2 = Predicate::join(c(0, 1), c(1, 0));
+        let base = CacheKey::conditional(ErrorMode::NInd, &[p1], &[p2]);
+        assert_ne!(base, CacheKey::conditional(ErrorMode::Diff, &[p1], &[p2]));
+        assert_ne!(base, CacheKey::conditional(ErrorMode::NInd, &[p2], &[p1]));
+        assert_ne!(base, CacheKey::conditional(ErrorMode::NInd, &[p1], &[]));
+    }
+
+    #[test]
+    fn query_keys_preserve_order() {
+        let p1 = Predicate::filter(c(0, 0), CmpOp::Eq, 1);
+        let p2 = Predicate::join(c(0, 1), c(1, 0));
+        assert_ne!(
+            CacheKey::query(ErrorMode::NInd, &[p1, p2]),
+            CacheKey::query(ErrorMode::NInd, &[p2, p1])
+        );
+        // And never collide with canonicalized conditional keys.
+        assert_ne!(
+            CacheKey::query(ErrorMode::NInd, &[p1]),
+            CacheKey::conditional(ErrorMode::NInd, &[p1], &[])
+        );
+    }
+}

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 use sqe_engine::{CardinalityOracle, Database, Predicate, SpjQuery};
 use sqe_histogram::Histogram;
 
+use crate::cache::{CacheKey, SharedEstimatorCache};
 use crate::error::ErrorMode;
 use crate::matcher::SitMatcher;
 use crate::predset::{PredSet, QueryContext};
@@ -102,6 +103,10 @@ pub struct SelectivityEstimator<'a> {
     /// §3.4's optional SIT-driven pruning: when set, the subset loop skips
     /// atomic decompositions that no available SIT could improve.
     sit_driven: Option<Vec<(u32, u32)>>,
+    /// Optional cross-query cache, consulted after the per-query memos
+    /// miss and written back on every computed link / join product (see
+    /// [`crate::cache`] for the validity contract).
+    shared: Option<&'a dyn SharedEstimatorCache>,
 }
 
 impl<'a> SelectivityEstimator<'a> {
@@ -130,7 +135,20 @@ impl<'a> SelectivityEstimator<'a> {
             carry_cache: HashMap::new(),
             cond2_cache: HashMap::new(),
             sit_driven: None,
+            shared: None,
         }
+    }
+
+    /// Attaches a cross-query shared cache. The estimator consults it when
+    /// its own memos miss and writes every freshly computed per-link factor
+    /// and SIT join product back, so concurrent and successive estimators
+    /// over the same catalog snapshot reuse each other's work.
+    ///
+    /// The cache must only be shared among estimators with an identical
+    /// configuration (database, catalogs, pruning) — see [`crate::cache`].
+    pub fn with_shared_cache(mut self, cache: &'a dyn SharedEstimatorCache) -> Self {
+        self.shared = Some(cache);
+        self
     }
 
     /// Attaches a catalog of two-attribute SITs (§3.3's multidimensional
@@ -253,9 +271,9 @@ impl<'a> SelectivityEstimator<'a> {
                     // §3.4: skip decompositions no SIT could improve. The
                     // full-set factor (Q = ∅) always stays as fallback.
                     let keep = p_prime == p
-                        || masks.iter().any(|&(a, c)| {
-                            a & p_prime.0 != 0 && c & !q.0 == 0
-                        });
+                        || masks
+                            .iter()
+                            .any(|&(a, c)| a & p_prime.0 != 0 && c & !q.0 == 0);
                     if !keep {
                         continue;
                     }
@@ -313,11 +331,27 @@ impl<'a> SelectivityEstimator<'a> {
             return r;
         }
         let pred = *self.ctx.predicate(i);
+        // Cross-query lookup: the link's value depends only on the
+        // predicate, the conditioning *set*, and the mode (every in-link
+        // choice below breaks ties by value, never by within-query
+        // ordering), so the canonicalized key is exact.
+        let shared_key = self
+            .shared
+            .map(|_| CacheKey::conditional(self.mode, &[pred], &self.ctx.predicates_of(cset)));
+        if let (Some(cache), Some(k)) = (self.shared, &shared_key) {
+            if let Some(r) = cache.get_link(k) {
+                self.peel_memo.insert(key, r);
+                return r;
+            }
+        }
         let result = match pred {
             Predicate::Join { .. } => self.peel_join(i, &pred, cset),
             _ => self.peel_filter(i, &pred, cset),
         };
         debug_assert!(result.0.is_finite() && result.1.is_finite());
+        if let (Some(cache), Some(k)) = (self.shared, shared_key) {
+            cache.put_link(k, result);
+        }
         self.peel_memo.insert(key, result);
         result
     }
@@ -378,7 +412,11 @@ impl<'a> SelectivityEstimator<'a> {
         let truth = matches!(self.mode, ErrorMode::Opt).then(|| self.true_conditional(i, cset));
 
         // Option set: (error, coverage, estimate). Larger coverage wins
-        // ties; first occurrence wins remaining ties.
+        // ties; smaller estimate wins remaining ties. Every criterion is a
+        // property of the option itself — never its position — so the
+        // choice is invariant under predicate reordering, which cross-query
+        // link caching relies on (two queries listing the same conditioning
+        // set in different orders assemble this vector in different orders).
         let mut options: Vec<(f64, usize, f64)> = Vec::new();
 
         let catalog = self.matcher.catalog();
@@ -444,16 +482,11 @@ impl<'a> SelectivityEstimator<'a> {
 
         self.push_sit2_options(&mut options, col, pred, cset, truth);
 
-        match options
-            .into_iter()
-            .enumerate()
-            .min_by(|(ia, a), (ib, b)| {
-                a.0.total_cmp(&b.0)
-                    .then(b.1.cmp(&a.1))
-                    .then(ia.cmp(ib))
-            })
-            .map(|(_, o)| o)
-        {
+        match options.into_iter().min_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(b.1.cmp(&a.1))
+                .then(a.2.total_cmp(&b.2))
+        }) {
             Some((err, _, est)) => (est.max(MIN_SEL), err),
             None => {
                 let est = default_filter_selectivity(pred);
@@ -483,19 +516,14 @@ impl<'a> SelectivityEstimator<'a> {
         // conditions on j (it is finer — 200 buckets vs a 32-wide grid
         // dimension), the multidimensional detour only adds resolution
         // noise, so skip it (the maximality spirit of §3.3's rule 3).
-        let direct = self
-            .matcher
-            .candidates(col, &self.ctx.predicates_of(cset));
+        let direct = self.matcher.candidates(col, &self.ctx.predicates_of(cset));
         let catalog = self.matcher.catalog();
         // Both grid paths are *fallbacks*: a join-conditioned 1-D SIT for
         // the attribute is built on the exact expression at 200-bucket
         // resolution and captures the dominant join interaction; the grid
         // detour (32-wide carried dimension, containment assumptions in
         // the grid join) only competes when no such SIT exists.
-        if direct
-            .iter()
-            .any(|&id| !catalog.get(id).cond.is_empty())
-        {
+        if direct.iter().any(|&id| !catalog.get(id).cond.is_empty()) {
             return;
         }
         for j in self.ctx.joins_in(cset).iter() {
@@ -651,9 +679,7 @@ impl<'a> SelectivityEstimator<'a> {
             .iter()
             .map(|&id| {
                 let sit = self.matcher.catalog().get(id);
-                let e = self
-                    .mode
-                    .sit_error(cset.len(), sit.cond.len(), sit.diff);
+                let e = self.mode.sit_error(cset.len(), sit.cond.len(), sit.diff);
                 (id, e)
             })
             .min_by(|a, b| {
@@ -671,11 +697,20 @@ impl<'a> SelectivityEstimator<'a> {
         if let Some(&sel) = self.join_cache.get(&(l, r)) {
             return sel;
         }
+        if let Some(cache) = self.shared {
+            if let Some(sel) = cache.get_join((l, r)) {
+                self.join_cache.insert((l, r), sel);
+                return sel;
+            }
+        }
         let hl = &self.matcher.catalog().get(l).histogram;
         let hr = &self.matcher.catalog().get(r).histogram;
         let start = Instant::now();
         let sel = hl.join(hr).selectivity.max(MIN_SEL);
         self.hist_time += start.elapsed();
+        if let Some(cache) = self.shared {
+            cache.put_join((l, r), sel);
+        }
         self.join_cache.insert((l, r), sel);
         sel
     }
@@ -684,14 +719,23 @@ impl<'a> SelectivityEstimator<'a> {
     /// from the attribute side's original distribution (timed, cached).
     fn h3_join(&mut self, attr_side: SitId, other_side: SitId) -> &(Histogram, f64) {
         if !self.h3_cache.contains_key(&(attr_side, other_side)) {
+            if let Some(hit) = self
+                .shared
+                .and_then(|cache| cache.get_h3((attr_side, other_side)))
+            {
+                self.h3_cache.insert((attr_side, other_side), hit);
+                return &self.h3_cache[&(attr_side, other_side)];
+            }
             let sit_c = self.matcher.catalog().get(attr_side);
             let sit_o = self.matcher.catalog().get(other_side);
             let start = Instant::now();
             let joined = sit_c.histogram.join(&sit_o.histogram);
-            let h3_diff =
-                sqe_histogram::diff_from_histograms(&sit_c.histogram, &joined.histogram)
-                    .max(sit_c.diff);
+            let h3_diff = sqe_histogram::diff_from_histograms(&sit_c.histogram, &joined.histogram)
+                .max(sit_c.diff);
             self.hist_time += start.elapsed();
+            if let Some(cache) = self.shared {
+                cache.put_h3((attr_side, other_side), (joined.histogram.clone(), h3_diff));
+            }
             self.h3_cache
                 .insert((attr_side, other_side), (joined.histogram, h3_diff));
         }
@@ -1084,13 +1128,15 @@ mod tests {
         // A SIT over predicates not in this query must not enter the
         // pruning mask set.
         let db = skewed_db();
-        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 1)])
-            .unwrap();
+        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 1)]).unwrap();
         let cat = full_catalog(&db); // contains join-conditioned SITs
         let est =
             SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd).with_sit_driven_pruning();
         let masks = est.sit_driven.as_ref().unwrap();
-        assert!(masks.is_empty(), "join SITs are unusable for a join-free query");
+        assert!(
+            masks.is_empty(),
+            "join SITs are unusable for a join-free query"
+        );
     }
 
     #[test]
@@ -1103,12 +1149,15 @@ mod tests {
         let cat = base_catalog(&db);
         let mut sit2s = crate::sit2::Sit2Catalog::new();
         sit2s.add(crate::sit2::Sit2::build(&db, c(0, 1), c(0, 0), vec![], 16).unwrap());
-        let mut est = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
-            .with_sit2_catalog(&sit2s);
+        let mut est =
+            SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff).with_sit2_catalog(&sit2s);
         let all = est.context().all();
         let (sel, _) = est.get_selectivity(all);
         let truth = 8.0 / 36.0;
-        assert!((sel - truth).abs() < 0.01, "2-D estimate {sel} vs truth {truth}");
+        assert!(
+            (sel - truth).abs() < 0.01,
+            "2-D estimate {sel} vs truth {truth}"
+        );
         // Without the grid the same catalog underestimates.
         let mut base_only = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff);
         let (base_sel, _) = base_only.get_selectivity(all);
@@ -1148,8 +1197,8 @@ mod tests {
         let mut sit2s = crate::sit2::Sit2Catalog::new();
         sit2s.add(crate::sit2::Sit2::build(&db, c(0, 1), c(0, 0), vec![], 16).unwrap());
         let truth = 2.0 / 6.0; // both filters select the same two rows
-        let mut with_grid = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
-            .with_sit2_catalog(&sit2s);
+        let mut with_grid =
+            SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff).with_sit2_catalog(&sit2s);
         let all = with_grid.context().all();
         let (sel2, _) = with_grid.get_selectivity(all);
         assert!((sel2 - truth).abs() < 0.01, "grid estimate {sel2}");

@@ -86,7 +86,13 @@ impl FeedbackStore {
             for id in ids {
                 let sit = out.get(id).clone();
                 let adjusted = rescale_range(&sit.histogram, lo, hi, obs.cardinality as f64);
-                let replaced = out.replace(id, Sit { histogram: adjusted, ..sit });
+                let replaced = out.replace(
+                    id,
+                    Sit {
+                        histogram: adjusted,
+                        ..sit
+                    },
+                );
                 debug_assert!(replaced, "attribute unchanged, replace succeeds");
             }
         }
@@ -240,8 +246,7 @@ mod tests {
         // Pretend the histogram was badly off by observing a "surprising"
         // count: claim a=1 actually returned 90 rows (it returns 40, but
         // feedback trusts execution, not statistics).
-        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 1)])
-            .unwrap();
+        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 1)]).unwrap();
         let mut store = FeedbackStore::new();
         store.record(q.clone(), 90);
         let adjusted = store.adjust_catalog(&cat);
@@ -303,8 +308,7 @@ mod tests {
         let db = db();
         let cat = base_catalog(&db);
         // Observe a value outside the histogram's domain.
-        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 99)])
-            .unwrap();
+        let q = SpjQuery::from_predicates(vec![Predicate::filter(c(0, 0), CmpOp::Eq, 99)]).unwrap();
         let mut store = FeedbackStore::new();
         store.record(q.clone(), 7);
         let adjusted = store.adjust_catalog(&cat);

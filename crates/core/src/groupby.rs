@@ -54,11 +54,7 @@ impl SelectivityEstimator<'_> {
         // Restrict the distinct pool by filters on the grouping attribute.
         let mut d = hist.distinct_values();
         for pred in &preds {
-            if !pred
-                .columns()
-                .iter()
-                .any(|c| c == attr && pred.is_filter())
-            {
+            if !pred.columns().iter().any(|c| c == attr && pred.is_filter()) {
                 continue;
             }
             if let Some((lo, hi)) = crate::estimator::filter_bounds(pred) {
@@ -153,8 +149,7 @@ mod tests {
         let all = est.context().all();
         let estimated = est.group_count(c(0, 0), all);
         // Join keeps x ∈ {10, 20}: g ∈ {1, 2} → 2 true groups.
-        let truth =
-            true_group_count(&db, &q.tables, &q.predicates, c(0, 0)).unwrap() as f64;
+        let truth = true_group_count(&db, &q.tables, &q.predicates, c(0, 0)).unwrap() as f64;
         assert_eq!(truth, 2.0);
         assert!(
             (estimated - truth).abs() <= 1.0,

@@ -92,9 +92,7 @@ impl<'a> GreedyViewMatching<'a> {
                     let hl = assignment.get(&(i, 0)).map(|&id| catalog.get(id));
                     let hr = assignment.get(&(i, 1)).map(|&id| catalog.get(id));
                     match (hl, hr) {
-                        (Some(l), Some(r)) => {
-                            l.histogram.join(&r.histogram).selectivity.max(1e-12)
-                        }
+                        (Some(l), Some(r)) => l.histogram.join(&r.histogram).selectivity.max(1e-12),
                         _ => {
                             let nl = self.db.row_count(left.table).unwrap_or(1).max(1);
                             let nr = self.db.row_count(right.table).unwrap_or(1).max(1);
@@ -160,8 +158,7 @@ impl<'a> GreedyViewMatching<'a> {
                     let better = match &best {
                         None => true,
                         Some((s, bslot, bid)) => {
-                            score > *s
-                                || (score == *s && (*slot, id) < (*bslot, *bid))
+                            score > *s || (score == *s && (*slot, id) < (*bslot, *bid))
                         }
                     };
                     if better {
@@ -366,11 +363,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&s));
         }
         // nation = 0 selects 1 of 2 customers.
-        let nation_idx = q
-            .predicates
-            .iter()
-            .position(|p| *p == f_nation)
-            .unwrap();
+        let nation_idx = q.predicates.iter().position(|p| *p == f_nation).unwrap();
         let s = gvm.selectivity(PredSet::singleton(nation_idx));
         assert!((s - 0.5).abs() < 1e-9, "nation selectivity {s}");
     }

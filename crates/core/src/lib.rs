@@ -23,6 +23,8 @@
 //! * [`estimator`] — the [`estimator::SelectivityEstimator`] implementing
 //!   algorithm `getSelectivity` (Figure 3): a memoized dynamic program over
 //!   predicate subsets returning the most accurate decomposition;
+//! * [`cache`] — canonical cache keys and the cross-query shared-cache
+//!   interface consumed by the `sqe-service` estimation service;
 //! * [`gvm`] — the greedy view-matching baseline of \[4\] (SIGMOD 2002),
 //!   including its laminar compatibility restriction that prevents it from
 //!   combining overlapping SITs (the limitation that motivates this paper);
@@ -30,6 +32,7 @@
 //!   mirroring a conventional optimizer).
 
 pub mod baseline;
+pub mod cache;
 pub mod decomposition;
 pub mod error;
 pub mod estimator;
@@ -44,6 +47,7 @@ pub mod sit;
 pub mod sit2;
 
 pub use baseline::NoSitEstimator;
+pub use cache::{CacheKey, SharedEstimatorCache};
 pub use decomposition::{count_decompositions, decomposition_bounds};
 pub use error::ErrorMode;
 pub use estimator::{EstimatorStats, SelectivityEstimator};
@@ -51,7 +55,7 @@ pub use feedback::{FeedbackStore, Observation};
 pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
 pub use persist::{load_catalog, save_catalog};
-pub use pool::{build_pool, build_pool_with, PoolSpec};
+pub use pool::{build_pool, build_pool_threaded, build_pool_with, PoolSpec};
 pub use predset::{PredSet, QueryContext};
 pub use sit::{Sit, SitCatalog, SitId, SitOptions};
 pub use sit2::{build_pool2, Sit2, Sit2Catalog, Sit2Id};

@@ -60,13 +60,7 @@ impl<'a> SitMatcher<'a> {
             .for_attr(attr)
             .iter()
             .copied()
-            .filter(|&id| {
-                self.catalog
-                    .get(id)
-                    .cond
-                    .iter()
-                    .all(|p| cond.contains(p))
-            })
+            .filter(|&id| self.catalog.get(id).cond.iter().all(|p| cond.contains(p)))
             .collect();
         // Maximality: drop SITs whose condition is a strict subset of
         // another applicable SIT's condition.
@@ -94,13 +88,7 @@ impl<'a> SitMatcher<'a> {
             .for_attr(attr)
             .iter()
             .copied()
-            .filter(|&id| {
-                self.catalog
-                    .get(id)
-                    .cond
-                    .iter()
-                    .all(|p| cond.contains(p))
-            })
+            .filter(|&id| self.catalog.get(id).cond.iter().all(|p| cond.contains(p)))
             .collect()
     }
 }

@@ -9,14 +9,43 @@
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::sit::SitCatalog;
 
 /// Saves a catalog as pretty-printed JSON.
+///
+/// The write is atomic with respect to readers: the JSON is written to a
+/// uniquely named temporary file in the target's directory (same
+/// filesystem, so the final step is a true rename) and renamed over `path`
+/// only once complete. A crash mid-save leaves any previous catalog at
+/// `path` untouched, and a concurrent [`load_catalog`] never observes a
+/// half-written file.
 pub fn save_catalog(catalog: &SitCatalog, path: impl AsRef<Path>) -> io::Result<()> {
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
     let json = serde_json::to_string_pretty(catalog)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    // Unique per process + call, so concurrent saves to the same target
+    // never clobber each other's temporaries.
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
 /// Loads a catalog saved by [`save_catalog`], rebuilding its indexes.
@@ -89,12 +118,45 @@ mod tests {
             Predicate::filter(ColRef::new(TableId(0), 0), sqe_engine::CmpOp::Eq, 1),
         ])
         .unwrap();
-        let mut a =
-            crate::SelectivityEstimator::new(&db, &q, &cat, crate::ErrorMode::Diff);
-        let mut b =
-            crate::SelectivityEstimator::new(&db, &q, &loaded, crate::ErrorMode::Diff);
+        let mut a = crate::SelectivityEstimator::new(&db, &q, &cat, crate::ErrorMode::Diff);
+        let mut b = crate::SelectivityEstimator::new(&db, &q, &loaded, crate::ErrorMode::Diff);
         assert_eq!(a.selectivity(), b.selectivity());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_leaves_no_temporaries_and_overwrites_atomically() {
+        let (_, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        save_catalog(&cat, &path).unwrap();
+        // Overwrite in place: the second save must go through a rename,
+        // not truncate-then-write.
+        save_catalog(&cat, &path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert!(load_catalog(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_into_current_directory_relative_path_works() {
+        let (_, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test_rel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rel_catalog.json");
+        // Bare-file-name path (no parent component).
+        save_catalog(&cat, &path).unwrap();
+        assert!(load_catalog(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

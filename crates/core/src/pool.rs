@@ -14,9 +14,16 @@
 //!   histogram.
 //!
 //! SITs sharing the same expression are built from a single execution of
-//! that expression.
+//! that expression, and distinct expressions execute **in parallel**
+//! across threads (pool construction is the system's dominant offline
+//! cost; the expressions are independent joins over a shared read-only
+//! database). The resulting catalog is assembled in a deterministic order,
+//! so parallel and sequential builds produce identical catalogs.
 
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use sqe_engine::dsu::Dsu;
 use sqe_engine::{
@@ -51,11 +58,27 @@ pub fn build_pool(
 }
 
 /// [`build_pool`] with explicit histogram construction options (ablation).
+/// Fans expression executions across all available cores; use
+/// [`build_pool_threaded`] to control the thread count.
 pub fn build_pool_with(
     db: &Database,
     workload: &[SpjQuery],
     spec: PoolSpec,
     opts: SitOptions,
+) -> EngineResult<SitCatalog> {
+    let threads = std::thread::available_parallelism()
+        .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
+    build_pool_threaded(db, workload, spec, opts, threads)
+}
+
+/// [`build_pool_with`] with an explicit worker-thread count. `threads = 1`
+/// builds strictly sequentially; any count produces the identical catalog.
+pub fn build_pool_threaded(
+    db: &Database,
+    workload: &[SpjQuery],
+    spec: PoolSpec,
+    opts: SitOptions,
+    threads: NonZeroUsize,
 ) -> EngineResult<SitCatalog> {
     // 1. Collect SIT definitions (attr, cond) from every query.
     let mut defs: HashMap<(ColRef, Vec<Predicate>), ()> = HashMap::new();
@@ -99,25 +122,74 @@ pub fn build_pool_with(
         by_cond.entry(cond).or_default().push(attr);
     }
 
-    // 3. Build.
-    let mut catalog = SitCatalog::new();
+    // 3. Build. Each (expression, attrs) group is independent — it executes
+    // its expression once and derives one SIT per attribute — so groups are
+    // fanned across worker threads pulling from a shared index. Results
+    // land in per-group slots and are assembled in group order, making the
+    // catalog identical to a sequential build regardless of thread count
+    // or scheduling.
     let mut conds: Vec<(Vec<Predicate>, Vec<ColRef>)> = by_cond.into_iter().collect();
     conds.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then(a.0.cmp(&b.0)));
-    for (cond, mut attrs) in conds {
+    for (_, attrs) in &mut conds {
         attrs.sort_unstable();
         attrs.dedup();
+    }
+
+    let build_group = |cond: &[Predicate], attrs: &[ColRef]| -> EngineResult<Vec<Sit>> {
         if cond.is_empty() {
-            for attr in attrs {
-                catalog.add(Sit::build_base_with(db, attr, opts)?);
-            }
-            continue;
+            return attrs
+                .iter()
+                .map(|&attr| Sit::build_base_with(db, attr, opts))
+                .collect();
         }
         let mut tables: Vec<TableId> = cond.iter().flat_map(|p| p.tables().iter()).collect();
         tables.sort_unstable();
         tables.dedup();
-        let rows = execute_connected(db, &tables, &cond)?;
-        for attr in attrs {
-            catalog.add(Sit::from_rowset_with(db, attr, cond.clone(), &rows, opts)?);
+        let rows = execute_connected(db, &tables, cond)?;
+        attrs
+            .iter()
+            .map(|&attr| Sit::from_rowset_with(db, attr, cond.to_vec(), &rows, opts))
+            .collect()
+    };
+
+    let workers = threads.get().min(conds.len());
+    let built: Vec<EngineResult<Vec<Sit>>> = if workers <= 1 {
+        conds
+            .iter()
+            .map(|(cond, attrs)| build_group(cond, attrs))
+            .collect()
+    } else {
+        let slots: Vec<Mutex<Option<EngineResult<Vec<Sit>>>>> =
+            conds.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((cond, attrs)) = conds.get(i) else {
+                        break;
+                    };
+                    let result = build_group(cond, attrs);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every group index was claimed by a worker")
+            })
+            .collect()
+    };
+
+    let mut catalog = SitCatalog::new();
+    for group in built {
+        for sit in group? {
+            catalog.add(sit);
         }
     }
     Ok(catalog)
@@ -266,6 +338,29 @@ mod tests {
         assert!(!subset_connected_with(&[j_rs], TableId(2)));
         assert!(subset_connected_with(&[j_rs, j_st], TableId(2)));
         assert!(!subset_connected_with(&[], TableId(0)));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let db = db3();
+        let wl = workload(&db);
+        let opts = SitOptions::default();
+        let one = NonZeroUsize::new(1).unwrap();
+        let eight = NonZeroUsize::new(8).unwrap();
+        let seq = build_pool_threaded(&db, &wl, PoolSpec::ji(2), opts, one).unwrap();
+        let par = build_pool_threaded(&db, &wl, PoolSpec::ji(2), opts, eight).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for ((ia, sa), (ib, sb)) in seq.iter().zip(par.iter()) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.attr, sb.attr);
+            assert_eq!(sa.cond, sb.cond);
+            assert_eq!(
+                sa.diff.to_bits(),
+                sb.diff.to_bits(),
+                "diff must be bit-identical"
+            );
+            assert_eq!(sa.histogram, sb.histogram);
+        }
     }
 
     #[test]

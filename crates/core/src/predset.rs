@@ -376,7 +376,10 @@ mod tests {
         assert_eq!(a.minus(b).len(), 3);
         assert!(!a.minus(b).contains(2));
         assert_eq!(a.intersect(b), b);
-        assert_eq!(b.union(PredSet::singleton(0)).iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            b.union(PredSet::singleton(0)).iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
         assert!(PredSet::EMPTY.is_empty());
     }
 
@@ -416,7 +419,10 @@ mod tests {
         assert_eq!(ctx.table_mask(PredSet::singleton(0)), 0b001);
         // p1 touches T0 and T1.
         assert_eq!(ctx.table_mask(PredSet::singleton(1)), 0b011);
-        assert_eq!(ctx.tables_of(PredSet::singleton(1)), vec![TableId(0), TableId(1)]);
+        assert_eq!(
+            ctx.tables_of(PredSet::singleton(1)),
+            vec![TableId(0), TableId(1)]
+        );
         // All tables have 3 rows.
         assert_eq!(ctx.cross_product_size(PredSet::singleton(1)), 9);
         assert_eq!(ctx.cross_product_size(ctx.all()), 27);

@@ -167,11 +167,24 @@ impl fmt::Display for Sit {
 ///
 /// Serialization round-trips through the plain SIT list; the attribute
 /// index is rebuilt on load.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
-#[serde(from = "Vec<Sit>", into = "Vec<Sit>")]
+#[derive(Debug, Clone, Default)]
 pub struct SitCatalog {
     sits: Vec<Sit>,
     by_attr: HashMap<ColRef, Vec<SitId>>,
+}
+
+// Manual impls (rather than `#[serde(from/into)]`) so only the SIT list is
+// encoded; the attribute index is rebuilt on load.
+impl serde::Serialize for SitCatalog {
+    fn to_value(&self) -> serde::Value {
+        self.sits.to_value()
+    }
+}
+
+impl serde::Deserialize for SitCatalog {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SitCatalog::from(Vec::<Sit>::from_value(v)?))
+    }
 }
 
 impl From<Vec<Sit>> for SitCatalog {
@@ -199,11 +212,10 @@ impl SitCatalog {
     /// Adds a SIT, returning its id. Duplicate `(attr, cond)` pairs are
     /// rejected (returns the existing id instead).
     pub fn add(&mut self, sit: Sit) -> SitId {
-        if let Some(existing) = self
-            .by_attr
-            .get(&sit.attr)
-            .and_then(|ids| ids.iter().find(|id| self.sits[id.0 as usize].cond == sit.cond))
-        {
+        if let Some(existing) = self.by_attr.get(&sit.attr).and_then(|ids| {
+            ids.iter()
+                .find(|id| self.sits[id.0 as usize].cond == sit.cond)
+        }) {
             return *existing;
         }
         let id = SitId(self.sits.len() as u32);

@@ -220,17 +220,12 @@ pub fn build_pool2(
         let joins: Vec<Predicate> = query.joins().copied().collect();
         let filters: Vec<&Predicate> = query.filters().collect();
         // Filter attributes per table.
-        let mut filter_attrs: Vec<ColRef> = filters
-            .iter()
-            .flat_map(|p| p.columns().iter())
-            .collect();
+        let mut filter_attrs: Vec<ColRef> =
+            filters.iter().flat_map(|p| p.columns().iter()).collect();
         filter_attrs.sort_unstable();
         filter_attrs.dedup();
         // Join-side attributes.
-        let mut join_sides: Vec<ColRef> = joins
-            .iter()
-            .flat_map(|p| p.columns().iter())
-            .collect();
+        let mut join_sides: Vec<ColRef> = joins.iter().flat_map(|p| p.columns().iter()).collect();
         join_sides.sort_unstable();
         join_sides.dedup();
 
@@ -374,7 +369,10 @@ mod tests {
         let (_, sit) = pool.iter().next().unwrap();
         assert_eq!(sit.x, c(0, 1));
         assert_eq!(sit.y, c(0, 0));
-        assert!(sit.cond.is_empty(), "the only join feeds x, so no expression variant");
+        assert!(
+            sit.cond.is_empty(),
+            "the only join feeds x, so no expression variant"
+        );
     }
 
     #[test]

@@ -108,9 +108,8 @@ impl Snowflake {
     /// Generates the database.
     pub fn generate(config: SnowflakeConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let size = |base: usize| -> usize {
-            ((base as f64 * config.scale) as usize).max(config.min_rows)
-        };
+        let size =
+            |base: usize| -> usize { ((base as f64 * config.scale) as usize).max(config.min_rows) };
 
         let mut db = Database::new();
         let mut filter_columns = Vec::new();
@@ -124,8 +123,19 @@ impl Snowflake {
             n_nation,
             &[
                 ("continent", AttrKind::Uniform { lo: 0, hi: 7 }),
-                ("gdp", AttrKind::RankCorrelated { map: CorrelatedMap::new(1_000, 9.0, 40) }),
-                ("population", AttrKind::Zipfy { domain: 5_000, theta: config.theta }),
+                (
+                    "gdp",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(1_000, 9.0, 40),
+                    },
+                ),
+                (
+                    "population",
+                    AttrKind::Zipfy {
+                        domain: 5_000,
+                        theta: config.theta,
+                    },
+                ),
             ],
             &mut rng,
         );
@@ -136,8 +146,19 @@ impl Snowflake {
             n_region,
             &[
                 ("climate", AttrKind::Uniform { lo: 0, hi: 4 }),
-                ("density", AttrKind::Zipfy { domain: 2_000, theta: config.theta }),
-                ("wealth", AttrKind::RankCorrelated { map: CorrelatedMap::new(500, 4.0, 25) }),
+                (
+                    "density",
+                    AttrKind::Zipfy {
+                        domain: 2_000,
+                        theta: config.theta,
+                    },
+                ),
+                (
+                    "wealth",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(500, 4.0, 25),
+                    },
+                ),
             ],
             &mut rng,
         );
@@ -147,8 +168,19 @@ impl Snowflake {
             "category",
             n_category,
             &[
-                ("margin", AttrKind::RankCorrelated { map: CorrelatedMap::new(100, 2.0, 10) }),
-                ("popularity", AttrKind::Zipfy { domain: 1_000, theta: config.theta }),
+                (
+                    "margin",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(100, 2.0, 10),
+                    },
+                ),
+                (
+                    "popularity",
+                    AttrKind::Zipfy {
+                        domain: 1_000,
+                        theta: config.theta,
+                    },
+                ),
                 ("tax", AttrKind::Uniform { lo: 0, hi: 25 }),
             ],
             &mut rng,
@@ -159,9 +191,26 @@ impl Snowflake {
             "supplier",
             n_supplier,
             &[
-                ("quality", AttrKind::RankCorrelated { map: CorrelatedMap::new(0, 0.01, 3) }),
-                ("capacity", AttrKind::Uniform { lo: 100, hi: 10_000 }),
-                ("rating", AttrKind::Zipfy { domain: 10, theta: config.theta }),
+                (
+                    "quality",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(0, 0.01, 3),
+                    },
+                ),
+                (
+                    "capacity",
+                    AttrKind::Uniform {
+                        lo: 100,
+                        hi: 10_000,
+                    },
+                ),
+                (
+                    "rating",
+                    AttrKind::Zipfy {
+                        domain: 10,
+                        theta: config.theta,
+                    },
+                ),
             ],
             &mut rng,
         );
@@ -177,9 +226,20 @@ impl Snowflake {
                 // balance grows with customer popularity rank: popular
                 // customers (low rank = low id) have *low* balance, so a
                 // high-balance filter selects low-fan-out customers.
-                ("balance", AttrKind::RankCorrelated { map: CorrelatedMap::new(0, 0.5, 50) }),
+                (
+                    "balance",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(0, 0.5, 50),
+                    },
+                ),
                 ("age", AttrKind::Uniform { lo: 18, hi: 90 }),
-                ("segment", AttrKind::Zipfy { domain: 8, theta: config.theta }),
+                (
+                    "segment",
+                    AttrKind::Zipfy {
+                        domain: 8,
+                        theta: config.theta,
+                    },
+                ),
             ],
             config.theta,
             &mut rng,
@@ -193,9 +253,20 @@ impl Snowflake {
             &[
                 // price anti-correlated with popularity: cheap products are
                 // the popular (low-rank) ones.
-                ("price", AttrKind::RankCorrelated { map: CorrelatedMap::new(100, 0.8, 60) }),
+                (
+                    "price",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(100, 0.8, 60),
+                    },
+                ),
                 ("weight", AttrKind::Uniform { lo: 1, hi: 500 }),
-                ("rating", AttrKind::Zipfy { domain: 10, theta: config.theta }),
+                (
+                    "rating",
+                    AttrKind::Zipfy {
+                        domain: 10,
+                        theta: config.theta,
+                    },
+                ),
             ],
             config.theta,
             &mut rng,
@@ -216,8 +287,19 @@ impl Snowflake {
             &[("region_fk", n_region)],
             &[
                 ("size", AttrKind::Uniform { lo: 50, hi: 5_000 }),
-                ("revenue", AttrKind::RankCorrelated { map: CorrelatedMap::new(1_000, 3.0, 200) }),
-                ("staff", AttrKind::Zipfy { domain: 100, theta: config.theta }),
+                (
+                    "revenue",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(1_000, 3.0, 200),
+                    },
+                ),
+                (
+                    "staff",
+                    AttrKind::Zipfy {
+                        domain: 100,
+                        theta: config.theta,
+                    },
+                ),
             ],
             config.theta,
             &mut rng,
@@ -281,18 +363,41 @@ impl Snowflake {
         .expect("consistent sales table");
 
         // --- Register everything ---------------------------------------
-        for t in [sales, customer, nation, product, category, supplier, store, region] {
+        for t in [
+            sales, customer, nation, product, category, supplier, store, region,
+        ] {
             tables.push(db.add_table(t));
         }
         let col = |q: &str| db.col(q).expect("generated column exists");
         let join_edges = vec![
-            JoinEdge { fk: col("sales.cust_fk"), pk: col("customer.id") },
-            JoinEdge { fk: col("sales.prod_fk"), pk: col("product.id") },
-            JoinEdge { fk: col("sales.store_fk"), pk: col("store.id") },
-            JoinEdge { fk: col("customer.nation_fk"), pk: col("nation.id") },
-            JoinEdge { fk: col("product.cat_fk"), pk: col("category.id") },
-            JoinEdge { fk: col("product.supp_fk"), pk: col("supplier.id") },
-            JoinEdge { fk: col("store.region_fk"), pk: col("region.id") },
+            JoinEdge {
+                fk: col("sales.cust_fk"),
+                pk: col("customer.id"),
+            },
+            JoinEdge {
+                fk: col("sales.prod_fk"),
+                pk: col("product.id"),
+            },
+            JoinEdge {
+                fk: col("sales.store_fk"),
+                pk: col("store.id"),
+            },
+            JoinEdge {
+                fk: col("customer.nation_fk"),
+                pk: col("nation.id"),
+            },
+            JoinEdge {
+                fk: col("product.cat_fk"),
+                pk: col("category.id"),
+            },
+            JoinEdge {
+                fk: col("product.supp_fk"),
+                pk: col("supplier.id"),
+            },
+            JoinEdge {
+                fk: col("store.region_fk"),
+                pk: col("region.id"),
+            },
         ];
         // `sales.discount` is deliberately NOT a default filter column: it
         // is generated correlated with `sales.quantity`, an *intra-table*
@@ -384,7 +489,9 @@ fn build_dim_with_fks(
     }
     for &(_, kind) in attrs {
         let mut cache = None;
-        let vals: Vec<i64> = (0..rows).map(|r| gen_attr(kind, r, rng, &mut cache)).collect();
+        let vals: Vec<i64> = (0..rows)
+            .map(|r| gen_attr(kind, r, rng, &mut cache))
+            .collect();
         columns.push(Column::from_values(vals));
     }
     Table::new(TableSchema::new(name, &names), columns).expect("consistent dimension table")

@@ -47,7 +47,11 @@ pub fn count_brute_force(
         pred: Predicate,
         slots: Vec<usize>,
     }
-    let slot_of = |t: TableId| sorted.binary_search(&t).map_err(|_| EngineError::PredicateOutOfScope { table: t });
+    let slot_of = |t: TableId| {
+        sorted
+            .binary_search(&t)
+            .map_err(|_| EngineError::PredicateOutOfScope { table: t })
+    };
     let mut resolved = Vec::with_capacity(preds.len());
     for p in preds {
         let slots: Vec<usize> = match p {
@@ -174,8 +178,7 @@ mod tests {
     #[test]
     fn limit_is_enforced() {
         let db = db();
-        let err =
-            count_brute_force(&db, &[TableId(0), TableId(1)], &[], 3).unwrap_err();
+        let err = count_brute_force(&db, &[TableId(0), TableId(1)], &[], 3).unwrap_err();
         assert!(matches!(err, EngineError::CrossProductTooLarge { .. }));
     }
 

@@ -46,9 +46,7 @@ impl Database {
 
     /// Schema of a table.
     pub fn schema(&self, id: TableId) -> Result<&TableSchema> {
-        self.catalog
-            .schema(id)
-            .ok_or(EngineError::UnknownTable(id))
+        self.catalog.schema(id).ok_or(EngineError::UnknownTable(id))
     }
 
     /// The column a [`ColRef`] points at.
@@ -137,9 +135,7 @@ mod tests {
     #[test]
     fn cross_product_size_multiplies() {
         let db = sample_db();
-        let n = db
-            .cross_product_size(&[TableId(0), TableId(1)])
-            .unwrap();
+        let n = db.cross_product_size(&[TableId(0), TableId(1)]).unwrap();
         assert_eq!(n, 6);
         assert_eq!(db.cross_product_size(&[]).unwrap(), 1);
     }

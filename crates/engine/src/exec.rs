@@ -109,10 +109,7 @@ impl RowSet {
             Predicate::Range { col, lo, hi } => {
                 let vals = self.gather(db, *col)?;
                 (0..self.len() as u32)
-                    .filter(|&i| {
-                        vals.get(i as usize)
-                            .is_some_and(|v| *lo <= v && v <= *hi)
-                    })
+                    .filter(|&i| vals.get(i as usize).is_some_and(|v| *lo <= v && v <= *hi))
                     .collect()
             }
             Predicate::Join { left, right } => {
@@ -134,7 +131,13 @@ impl RowSet {
 
     /// Hash-joins two row sets on `left_col = right_col` (columns belong to
     /// `self` and `other` respectively). Builds on the smaller side.
-    pub fn join(&self, other: &RowSet, db: &Database, left_col: ColRef, right_col: ColRef) -> Result<RowSet> {
+    pub fn join(
+        &self,
+        other: &RowSet,
+        db: &Database,
+        left_col: ColRef,
+        right_col: ColRef,
+    ) -> Result<RowSet> {
         debug_assert!(self.slot(left_col.table).is_some());
         debug_assert!(other.slot(right_col.table).is_some());
         // Always *build* on the smaller input, *probe* with the larger.
@@ -189,10 +192,7 @@ impl RowSet {
 /// predicate hypergraph. Tables referenced by no predicate form singleton
 /// components with an empty predicate list. Component order follows the
 /// (sorted) table order; predicates keep their input order.
-pub fn components(
-    tables: &[TableId],
-    preds: &[Predicate],
-) -> Vec<(Vec<TableId>, Vec<Predicate>)> {
+pub fn components(tables: &[TableId], preds: &[Predicate]) -> Vec<(Vec<TableId>, Vec<Predicate>)> {
     let mut sorted: Vec<TableId> = tables.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
@@ -231,11 +231,7 @@ pub fn components(
 /// join predicates; otherwise a [`EngineError::CrossProductTooLarge`] is
 /// reported (the caller should decompose with [`components`] or use
 /// [`execute`]).
-pub fn execute_connected(
-    db: &Database,
-    tables: &[TableId],
-    preds: &[Predicate],
-) -> Result<RowSet> {
+pub fn execute_connected(db: &Database, tables: &[TableId], preds: &[Predicate]) -> Result<RowSet> {
     if tables.is_empty() {
         return Err(EngineError::EmptyTableSet);
     }
@@ -252,7 +248,9 @@ pub fn execute_connected(
     for p in preds {
         match p.tables() {
             PredTables::One(t) => {
-                let rs = base.get_mut(&t).ok_or(EngineError::PredicateOutOfScope { table: t })?;
+                let rs = base
+                    .get_mut(&t)
+                    .ok_or(EngineError::PredicateOutOfScope { table: t })?;
                 rs.filter(db, p)?;
             }
             PredTables::Two(a, b) => {
@@ -409,7 +407,8 @@ mod tests {
     fn filter_respects_nulls() {
         let db = db3();
         let mut rs = RowSet::base(&db, TableId(1)).unwrap();
-        rs.filter(&db, &Predicate::filter(c(1, 0), CmpOp::Ge, 0)).unwrap();
+        rs.filter(&db, &Predicate::filter(c(1, 0), CmpOp::Ge, 0))
+            .unwrap();
         // NULL row dropped even though the comparison is `>= 0`.
         assert_eq!(rs.len(), 4);
     }
@@ -609,9 +608,6 @@ mod tests {
         ];
         let rs = execute_connected(&db, &[TableId(0), TableId(1)], &preds).unwrap();
         assert!(rs.is_empty());
-        assert_eq!(
-            execute(&db, &[TableId(0), TableId(1)], &preds).unwrap(),
-            0
-        );
+        assert_eq!(execute(&db, &[TableId(0), TableId(1)], &preds).unwrap(), 0);
     }
 }

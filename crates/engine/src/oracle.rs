@@ -173,7 +173,7 @@ mod tests {
         let db = db();
         let tables = [TableId(0), TableId(1)];
         let j = Predicate::join(c(0, 1), c(1, 0));
-                let mut oracle = CardinalityOracle::new(&db);
+        let mut oracle = CardinalityOracle::new(&db);
         oracle.cardinality(&tables, &[j]).unwrap();
         let (h0, m0) = oracle.stats();
         // {j} plus a separable filter reuses the {j} component and the

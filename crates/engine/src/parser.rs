@@ -183,7 +183,9 @@ impl<'a> Parser<'a> {
                 Some(Token::Ident(table)) => {
                     match p.next() {
                         Some(Token::Symbol(dot)) if dot == "." => {}
-                        other => return err(format!("expected `.` after `{table}`, found {other:?}")),
+                        other => {
+                            return err(format!("expected `.` after `{table}`, found {other:?}"))
+                        }
                     }
                     let column = match p.next() {
                         Some(Token::Ident(c)) => c,
@@ -399,8 +401,7 @@ mod tests {
     #[test]
     fn negative_numbers_parse() {
         let db = db();
-        let q =
-            parse_query(&db, "select * from orders where orders.price > -5").unwrap();
+        let q = parse_query(&db, "select * from orders where orders.price > -5").unwrap();
         assert_eq!(
             q.predicates[0],
             Predicate::filter(db.col("orders.price").unwrap(), CmpOp::Gt, -5)
@@ -436,9 +437,18 @@ mod tests {
         for (sql, needle) in [
             ("select id from orders", "select *"),
             ("select * from nosuch", "unknown table"),
-            ("select * from orders where orders.nope = 1", "unknown column"),
-            ("select * from orders where orders.price < orders.id", "equi-joins"),
-            ("select * from orders where orders.price", "comparison operator"),
+            (
+                "select * from orders where orders.nope = 1",
+                "unknown column",
+            ),
+            (
+                "select * from orders where orders.price < orders.id",
+                "equi-joins",
+            ),
+            (
+                "select * from orders where orders.price",
+                "comparison operator",
+            ),
             ("select * from orders where 1 = 2", "pointless"),
             (
                 "select * from orders where orders.price between 9 and 3",

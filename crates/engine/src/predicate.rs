@@ -10,7 +10,9 @@ use std::fmt;
 use crate::schema::TableId;
 
 /// A reference to a column of a base table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ColRef {
     /// Owning table.
     pub table: TableId,
@@ -32,7 +34,9 @@ impl fmt::Display for ColRef {
 }
 
 /// Comparison operator for filter predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum CmpOp {
     /// `<`
     Lt,
@@ -78,7 +82,9 @@ impl fmt::Display for CmpOp {
 }
 
 /// A predicate over the cartesian product of a query's tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Predicate {
     /// `col op constant`.
     Filter {
@@ -159,9 +165,7 @@ impl Predicate {
     /// The columns referenced (the paper's `attr(p)`).
     pub fn columns(&self) -> PredColumns {
         match self {
-            Predicate::Filter { col, .. } | Predicate::Range { col, .. } => {
-                PredColumns::One(*col)
-            }
+            Predicate::Filter { col, .. } | Predicate::Range { col, .. } => PredColumns::One(*col),
             Predicate::Join { left, right } => PredColumns::Two(*left, *right),
         }
     }
@@ -281,10 +285,7 @@ mod tests {
             Predicate::range(c(1, 1), 0, 5),
             Predicate::filter(c(0, 0), CmpOp::Eq, 7),
         ];
-        assert_eq!(
-            tables_of(&preds),
-            vec![TableId(0), TableId(1), TableId(2)]
-        );
+        assert_eq!(tables_of(&preds), vec![TableId(0), TableId(1), TableId(2)]);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// Identifier of a table within a [`crate::Database`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TableId(pub u32);
 
 impl fmt::Display for TableId {

@@ -57,9 +57,7 @@ impl Table {
 
     /// Column by name.
     pub fn column_by_name(&self, name: &str) -> Option<&Column> {
-        self.schema
-            .column_index(name)
-            .and_then(|i| self.column(i))
+        self.schema.column_index(name).and_then(|i| self.column(i))
     }
 
     /// All columns in schema order.
@@ -172,7 +170,10 @@ mod tests {
 
     #[test]
     fn empty_table_is_valid() {
-        let t = TableBuilder::new("empty").column("a", vec![]).build().unwrap();
+        let t = TableBuilder::new("empty")
+            .column("a", vec![])
+            .build()
+            .unwrap();
         assert_eq!(t.row_count(), 0);
     }
 }

@@ -308,12 +308,7 @@ mod tests {
         }
         let w = crate::wavelet::WaveletSynopsis::build(&vals, 0, 100_000);
         assert!((w.range_rows(i64::MIN + 1, i64::MAX - 1) - 3.0).abs() < 1e-6);
-        let g = crate::hist2d::Hist2d::build(
-            &[(i64::MIN + 1, i64::MAX - 1), (0, 0)],
-            0,
-            2,
-            2,
-        );
+        let g = crate::hist2d::Hist2d::build(&[(i64::MIN + 1, i64::MAX - 1), (0, 0)], 0, 2, 2);
         assert!((g.valid_rows() - 2.0).abs() < 1e-9);
     }
 

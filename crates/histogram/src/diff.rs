@@ -16,7 +16,7 @@
 //!   mirroring the paper's suggestion to avoid touching base data (it is
 //!   "similar to techniques that approximate joins using histograms").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::histogram::{Bucket, Histogram};
 
@@ -28,7 +28,10 @@ pub fn diff_exact(base: &[i64], expr_result: &[i64]) -> f64 {
     if base.is_empty() || expr_result.is_empty() {
         return 0.0;
     }
-    let mut freq: HashMap<i64, (u64, u64)> = HashMap::new();
+    // BTreeMap, not HashMap: the float sum below rounds differently under
+    // different iteration orders, and SIT `diff`s must be bit-identical
+    // across runs and across threads (parallel pool builds rely on it).
+    let mut freq: BTreeMap<i64, (u64, u64)> = BTreeMap::new();
     for &v in base {
         freq.entry(v).or_default().0 += 1;
     }
@@ -160,9 +163,7 @@ mod tests {
         let b = vec![2, 9, 9, 9];
         assert!((diff_exact(&a, &b) - diff_exact(&b, &a)).abs() < 1e-12);
         let (ha, hb) = (build_exact(&a, 0), build_exact(&b, 0));
-        assert!(
-            (diff_from_histograms(&ha, &hb) - diff_from_histograms(&hb, &ha)).abs() < 1e-12
-        );
+        assert!((diff_from_histograms(&ha, &hb) - diff_from_histograms(&hb, &ha)).abs() < 1e-12);
     }
 
     #[test]

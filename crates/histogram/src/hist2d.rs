@@ -41,7 +41,12 @@ impl Hist2d {
     /// Builds a grid over the `(x, y)` pairs with at most
     /// `x_buckets × y_buckets` cells. Boundaries come from maxDiff on the
     /// marginals. `null_count` counts pairs where either side was NULL.
-    pub fn build(pairs: &[(i64, i64)], null_count: usize, x_buckets: usize, y_buckets: usize) -> Self {
+    pub fn build(
+        pairs: &[(i64, i64)],
+        null_count: usize,
+        x_buckets: usize,
+        y_buckets: usize,
+    ) -> Self {
         let xs: Vec<i64> = pairs.iter().map(|&(x, _)| x).collect();
         let ys: Vec<i64> = pairs.iter().map(|&(_, y)| y).collect();
         let hx = build_maxdiff(&xs, 0, x_buckets.max(1));

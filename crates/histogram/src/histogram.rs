@@ -136,11 +136,7 @@ impl Histogram {
     /// Estimated number of rows with value exactly `v` (freq/distinct within
     /// the covering bucket — the standard uniform-frequency assumption).
     pub fn eq_rows(&self, v: i64) -> f64 {
-        match self
-            .buckets
-            .iter()
-            .find(|b| b.lo <= v && v <= b.hi)
-        {
+        match self.buckets.iter().find(|b| b.lo <= v && v <= b.hi) {
             Some(b) if b.distinct > 0.0 => b.freq / b.distinct.max(1.0),
             _ => 0.0,
         }

@@ -138,8 +138,8 @@ impl Sample {
         if denom == 0.0 {
             return 0.0;
         }
-        let scale =
-            (self.population / self.values.len() as f64) * (other.population / other.values.len() as f64);
+        let scale = (self.population / self.values.len() as f64)
+            * (other.population / other.values.len() as f64);
         (matches as f64 * scale / denom).clamp(0.0, 1.0)
     }
 

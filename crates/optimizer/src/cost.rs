@@ -49,9 +49,7 @@ impl PlanNode {
     pub fn preds(&self) -> PredSet {
         match self {
             PlanNode::Scan { .. } => PredSet::EMPTY,
-            PlanNode::Select { pred, input } => {
-                input.preds().union(PredSet::singleton(*pred))
-            }
+            PlanNode::Select { pred, input } => input.preds().union(PredSet::singleton(*pred)),
             PlanNode::Join { pred, left, right } => left
                 .preds()
                 .union(right.preds())
@@ -110,10 +108,7 @@ fn best_plan_rec(
     let mut best: Option<(PlanNode, f64)> = None;
     for entry in &group.entries {
         let candidate = match entry.op {
-            LogicalOp::Scan { table_slot } => Some((
-                PlanNode::Scan { table_slot },
-                out_card,
-            )),
+            LogicalOp::Scan { table_slot } => Some((PlanNode::Scan { table_slot }, out_card)),
             LogicalOp::Select { pred, input } => {
                 best_plan_rec(memo, est, input, cache).map(|(plan, cost)| {
                     (
@@ -191,9 +186,7 @@ fn node_table_mask(node: &PlanNode) -> u32 {
     match node {
         PlanNode::Scan { table_slot } => 1 << table_slot,
         PlanNode::Select { input, .. } => node_table_mask(input),
-        PlanNode::Join { left, right, .. } => {
-            node_table_mask(left) | node_table_mask(right)
-        }
+        PlanNode::Join { left, right, .. } => node_table_mask(left) | node_table_mask(right),
     }
 }
 
@@ -231,11 +224,8 @@ mod tests {
 
     fn setup(db: &Database) -> (SpjQuery, SitCatalog) {
         let join = Predicate::join(c(0, 1), c(1, 0));
-        let q = SpjQuery::from_predicates(vec![
-            join,
-            Predicate::filter(c(0, 0), CmpOp::Eq, 1),
-        ])
-        .unwrap();
+        let q = SpjQuery::from_predicates(vec![join, Predicate::filter(c(0, 0), CmpOp::Eq, 1)])
+            .unwrap();
         let mut cat = SitCatalog::new();
         for col in [c(0, 0), c(0, 1), c(1, 0), c(1, 1)] {
             cat.add(Sit::build_base(db, col).unwrap());

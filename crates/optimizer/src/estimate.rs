@@ -86,8 +86,7 @@ impl<'a> MemoEstimator<'a> {
                         None => (1.0, 0.0),
                         Some(p) => {
                             let q_e = group.preds.minus(PredSet::singleton(p));
-                            self.inner
-                                .conditional_factor(PredSet::singleton(p), q_e)
+                            self.inner.conditional_factor(PredSet::singleton(p), q_e)
                         }
                     };
                     let candidate = GroupEstimate {
@@ -113,8 +112,7 @@ impl<'a> MemoEstimator<'a> {
         for &gid in &ids {
             if let Some(est) = self.estimates.get(&gid).copied() {
                 let group = memo.group(gid);
-                let card = est.selectivity
-                    * cross_product_of_mask(memo, group.table_mask) as f64;
+                let card = est.selectivity * cross_product_of_mask(memo, group.table_mask) as f64;
                 self.estimates.insert(
                     gid,
                     GroupEstimate {
@@ -229,9 +227,7 @@ mod tests {
         est.estimate_memo(&memo);
         let root = est.group_estimate(memo.root()).unwrap();
         let mut oracle = CardinalityOracle::new(&db);
-        let truth = oracle
-            .selectivity(&q.tables, &q.predicates)
-            .unwrap();
+        let truth = oracle.selectivity(&q.tables, &q.predicates).unwrap();
         assert!(
             (root.selectivity - truth).abs() < 0.05,
             "coupled estimate {} vs truth {truth}",

@@ -138,18 +138,15 @@ impl Memo {
 
     /// Finds or creates the group for `(table_mask, preds)`.
     pub fn intern_group(&mut self, table_mask: u32, preds: PredSet) -> GroupId {
-        *self
-            .index
-            .entry((table_mask, preds.0))
-            .or_insert_with(|| {
-                let id = GroupId(self.groups.len() as u32);
-                self.groups.push(Group {
-                    table_mask,
-                    preds,
-                    entries: Vec::new(),
-                });
-                id
-            })
+        *self.index.entry((table_mask, preds.0)).or_insert_with(|| {
+            let id = GroupId(self.groups.len() as u32);
+            self.groups.push(Group {
+                table_mask,
+                preds,
+                entries: Vec::new(),
+            });
+            id
+        })
     }
 
     /// Adds an entry to a group unless structurally present. Returns true
@@ -215,7 +212,13 @@ impl Memo {
                 // Both sides already joined: model as a residual select.
                 let new_preds = preds.union(PredSet::singleton(j));
                 let g = self.intern_group(mask, new_preds);
-                self.add_entry(g, LogicalOp::Select { pred: j, input: top });
+                self.add_entry(
+                    g,
+                    LogicalOp::Select {
+                        pred: j,
+                        input: top,
+                    },
+                );
                 preds = new_preds;
                 top = g;
                 continue;

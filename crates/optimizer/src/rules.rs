@@ -24,8 +24,7 @@ pub fn explore(memo: &mut Memo) -> usize {
     loop {
         let mut added = 0;
         for gid in memo.group_ids().collect::<Vec<_>>() {
-            let entries: Vec<LogicalOp> =
-                memo.group(gid).entries.iter().map(|e| e.op).collect();
+            let entries: Vec<LogicalOp> = memo.group(gid).entries.iter().map(|e| e.op).collect();
             for op in entries {
                 added += apply_rules(memo, gid, op);
             }
@@ -357,7 +356,11 @@ mod tests {
         let root = memo.group(memo.root());
         assert_eq!(root.preds, memo.context().all());
         // Exploration must have created several alternatives at the root.
-        assert!(root.entries.len() >= 3, "root entries: {}", root.entries.len());
+        assert!(
+            root.entries.len() >= 3,
+            "root entries: {}",
+            root.entries.len()
+        );
     }
 
     #[test]

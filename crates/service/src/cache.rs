@@ -1,0 +1,278 @@
+//! The sharded bounded cross-query cache behind [`crate::EstimationService`].
+//!
+//! One [`ShardedCache`] serves every estimator running against a catalog
+//! snapshot. Keys are spread across a power-of-two number of shards by
+//! hash, each shard a [`parking_lot::Mutex`] around three bounded
+//! [`LruMap`]s (conditional links, SIT-pair join selectivities, and `H3`
+//! histogram products), so concurrent estimators contend only when their
+//! keys land on the same shard. Hit/miss/insert/evict counters are relaxed
+//! atomics — they are monitoring data, not synchronization.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sqe_core::{CacheKey, SharedEstimatorCache, SitId};
+use sqe_histogram::Histogram;
+
+use crate::lru::LruMap;
+
+/// Whole-query results cached by the service itself (not the trait): the
+/// final `(selectivity, error)` of an estimate.
+pub(crate) type QueryResult = (f64, f64);
+
+/// One shard's maps, all bounded by the same per-shard capacity.
+struct Shard {
+    /// Conditional-factor results `Sel(P'|Q) -> (selectivity, error)`.
+    links: LruMap<CacheKey, (f64, f64)>,
+    /// Whole-query results, keyed by order-preserving query keys.
+    queries: LruMap<CacheKey, QueryResult>,
+    /// SIT-pair join selectivities.
+    joins: LruMap<(SitId, SitId), f64>,
+    /// SIT-pair `H3` products: result histogram + divergence.
+    h3: LruMap<(SitId, SitId), (Histogram, f64)>,
+}
+
+/// A sharded, bounded, internally synchronized estimator cache.
+///
+/// Implements [`SharedEstimatorCache`] for the estimator's link/join/`H3`
+/// traffic and additionally caches whole-query results for
+/// [`crate::EstimationService::estimate`]. Lives inside a
+/// [`crate::CatalogSnapshot`] so its [`SitId`]-keyed entries can never
+/// outlive the catalog that defines them.
+pub struct ShardedCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Fixed hasher so one key always maps to one shard.
+    hasher: RandomState,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    /// A cache of `shards` shards (rounded up to a power of two, at least
+    /// one) holding at most `capacity_per_shard` entries in each of its
+    /// per-shard maps.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards = (0..count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    links: LruMap::new(capacity_per_shard),
+                    queries: LruMap::new(capacity_per_shard),
+                    joins: LruMap::new(capacity_per_shard),
+                    h3: LruMap::new(capacity_per_shard),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedCache {
+            shards,
+            hasher: RandomState::new(),
+            mask: count - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live entries across all shards and maps.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                s.links.len() + s.queries.len() + s.joins.len() + s.h3.len()
+            })
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time hit/miss/insert/evict counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_for<K: Hash>(&self, key: &K) -> &Mutex<Shard> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & self.mask]
+    }
+
+    fn record<T>(&self, found: &Option<T>) {
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_insert(&self, evicted: bool) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cached whole-query result, if any.
+    pub(crate) fn get_query(&self, key: &CacheKey) -> Option<QueryResult> {
+        let found = self.shard_for(key).lock().queries.get(key).copied();
+        self.record(&found);
+        found
+    }
+
+    /// Stores a whole-query result.
+    pub(crate) fn put_query(&self, key: CacheKey, value: QueryResult) {
+        let evicted = self.shard_for(&key).lock().queries.insert(key, value);
+        self.record_insert(evicted);
+    }
+}
+
+impl SharedEstimatorCache for ShardedCache {
+    fn get_link(&self, key: &CacheKey) -> Option<(f64, f64)> {
+        let found = self.shard_for(key).lock().links.get(key).copied();
+        self.record(&found);
+        found
+    }
+
+    fn put_link(&self, key: CacheKey, value: (f64, f64)) {
+        let evicted = self.shard_for(&key).lock().links.insert(key, value);
+        self.record_insert(evicted);
+    }
+
+    fn get_join(&self, pair: (SitId, SitId)) -> Option<f64> {
+        let found = self.shard_for(&pair).lock().joins.get(&pair).copied();
+        self.record(&found);
+        found
+    }
+
+    fn put_join(&self, pair: (SitId, SitId), selectivity: f64) {
+        let evicted = self.shard_for(&pair).lock().joins.insert(pair, selectivity);
+        self.record_insert(evicted);
+    }
+
+    fn get_h3(&self, pair: (SitId, SitId)) -> Option<(Histogram, f64)> {
+        let found = self.shard_for(&pair).lock().h3.get(&pair).cloned();
+        self.record(&found);
+        found
+    }
+
+    fn put_h3(&self, pair: (SitId, SitId), value: (Histogram, f64)) {
+        let evicted = self.shard_for(&pair).lock().h3.insert(pair, value);
+        self.record_insert(evicted);
+    }
+}
+
+/// Point-in-time cache counters (monotone, process lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values written (fresh or overwriting).
+    pub insertions: u64,
+    /// Entries displaced by a bounded map at capacity.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_core::ErrorMode;
+    use sqe_engine::{CmpOp, ColRef, Predicate, TableId};
+
+    fn key(i: i64) -> CacheKey {
+        let p = Predicate::filter(ColRef::new(TableId(0), 0), CmpOp::Eq, i);
+        CacheKey::conditional(ErrorMode::NInd, &[p], &[])
+    }
+
+    #[test]
+    fn round_trips_links_joins_and_h3() {
+        let cache = ShardedCache::new(4, 64);
+        let k = key(1);
+        assert_eq!(cache.get_link(&k), None);
+        cache.put_link(k.clone(), (0.25, 0.5));
+        assert_eq!(cache.get_link(&k), Some((0.25, 0.5)));
+
+        let pair = (SitId(3), SitId(7));
+        assert_eq!(cache.get_join(pair), None);
+        cache.put_join(pair, 0.125);
+        assert_eq!(cache.get_join(pair), Some(0.125));
+
+        assert!(cache.get_h3(pair).is_none());
+        cache.put_h3(pair, (Histogram::default(), 0.75));
+        assert_eq!(cache.get_h3(pair).unwrap().1, 0.75);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedCache::new(0, 8).shard_count(), 1);
+        assert_eq!(ShardedCache::new(5, 8).shard_count(), 8);
+        assert_eq!(ShardedCache::new(8, 8).shard_count(), 8);
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_evictions() {
+        let cache = ShardedCache::new(1, 2);
+        assert_eq!(cache.get_link(&key(1)), None);
+        cache.put_link(key(1), (0.1, 0.0));
+        cache.put_link(key(2), (0.2, 0.0));
+        cache.put_link(key(3), (0.3, 0.0)); // evicts key(1) from the single shard
+        assert_eq!(cache.get_link(&key(1)), None);
+        assert_eq!(cache.get_link(&key(3)), Some((0.3, 0.0)));
+        let c = cache.counters();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.insertions, 3);
+        assert_eq!(c.evictions, 1);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_agree() {
+        let cache = ShardedCache::new(8, 1024);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let k = key(t * 1000 + i);
+                        cache.put_link(k.clone(), (i as f64, t as f64));
+                        assert_eq!(cache.get_link(&k), Some((i as f64, t as f64)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.counters().insertions, 1600);
+    }
+}

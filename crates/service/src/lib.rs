@@ -1,0 +1,47 @@
+//! # sqe-service — a concurrent selectivity-estimation service
+//!
+//! The library crates (`sqe-core`, `sqe-engine`, `sqe-histogram`) answer
+//! one query at a time in one thread. This crate turns them into a
+//! long-lived *service* the way a database server would host them:
+//!
+//! * [`CatalogSnapshot`] — an immutable, atomically swappable view of
+//!   `(database, SIT catalogs, cross-query cache)`. Readers pin a snapshot
+//!   with an `Arc` and are never blocked or invalidated by a concurrent
+//!   pool rebuild;
+//! * [`EstimationService`] — [`EstimationService::estimate`] /
+//!   [`EstimationService::estimate_batch`] construct per-query
+//!   [`sqe_core::SelectivityEstimator`]s against the current snapshot,
+//!   backed by a [`ShardedCache`] that reuses per-link conditional factors
+//!   and SIT join products across queries and threads;
+//! * [`ShardedCache`] — N shards of `parking_lot::Mutex` around bounded
+//!   [`lru::LruMap`]s, keyed by canonicalized
+//!   `(predicate-set, conditioning-set, error-mode)` fingerprints
+//!   ([`sqe_core::CacheKey`]);
+//! * [`ServiceStatsSnapshot`] — atomic counters and a power-of-two latency
+//!   histogram for monitoring.
+//!
+//! Correctness bar: concurrent estimates are **bit-identical** to a fresh
+//! single-threaded estimator over the same catalog — the cache only stores
+//! values that are pure functions of their canonical keys (see
+//! `sqe_core::cache` for the contract, and `tests/service.rs` at the
+//! workspace root for the 8-thread equivalence test).
+
+pub mod cache;
+pub mod lru;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheCounters, ShardedCache};
+pub use lru::LruMap;
+pub use service::{CatalogSnapshot, Estimate, EstimationService, ServiceConfig};
+pub use stats::{ServiceStatsSnapshot, LATENCY_BUCKETS};
+
+/// The whole point of the crate: everything shared is thread-safe.
+#[allow(dead_code)]
+fn static_assertions() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EstimationService>();
+    assert_send_sync::<CatalogSnapshot>();
+    assert_send_sync::<ShardedCache>();
+    assert_send_sync::<ServiceStatsSnapshot>();
+}

@@ -1,0 +1,221 @@
+//! A plain bounded LRU map.
+//!
+//! Hand-rolled (no external `lru` crate in this workspace): a `HashMap`
+//! from key to slot index into a slab of entries threaded on an intrusive
+//! doubly-linked recency list. All operations are O(1) expected.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded map evicting its least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
+    /// An empty map evicting beyond `capacity` entries (capacity 0 caches
+    /// nothing).
+    pub fn new(capacity: usize) -> Self {
+        LruMap {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Inserts or updates `key`, marking it most recently used. Returns
+    /// true when the insertion evicted a colder entry.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Unlinks slot `idx` from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            if self.head == idx {
+                self.head = next;
+            }
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == idx {
+                self.tail = prev;
+            }
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    /// Links slot `idx` as the most recently used.
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keys from most to least recently used (test-only walk).
+    fn recency<K: Hash + Eq + Clone + Copy, V>(m: &LruMap<K, V>) -> Vec<K> {
+        let mut out = Vec::new();
+        let mut at = m.head;
+        while at != NIL {
+            out.push(m.slab[at].key);
+            at = m.slab[at].next;
+        }
+        out
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut m = LruMap::new(2);
+        assert!(!m.insert(1, "a"));
+        assert!(!m.insert(2, "b"));
+        assert_eq!(m.get(&1), Some(&"a")); // 1 now hot, 2 cold
+        assert!(m.insert(3, "c"), "third insert evicts");
+        assert_eq!(m.get(&2), None, "cold entry evicted");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.get(&3), Some(&"c"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn update_refreshes_without_evicting() {
+        let mut m = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert!(!m.insert(1, 11), "update is not an eviction");
+        assert_eq!(recency(&m), vec![1, 2]);
+        assert_eq!(m.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn capacity_zero_caches_nothing() {
+        let mut m = LruMap::new(0);
+        assert!(!m.insert(1, "a"));
+        assert_eq!(m.get(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut m = LruMap::new(3);
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 3);
+        assert!(m.slab.len() <= 4, "slab must not grow unboundedly");
+        assert_eq!(m.get(&99), Some(&198));
+        assert_eq!(m.get(&97), Some(&194));
+        assert_eq!(m.get(&0), None);
+    }
+
+    #[test]
+    fn recency_order_tracks_access_pattern() {
+        let mut m = LruMap::new(4);
+        for i in 0..4 {
+            m.insert(i, ());
+        }
+        assert_eq!(recency(&m), vec![3, 2, 1, 0]);
+        m.get(&0);
+        m.get(&2);
+        assert_eq!(recency(&m), vec![2, 0, 3, 1]);
+    }
+}

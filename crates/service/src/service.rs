@@ -1,0 +1,380 @@
+//! The estimation service: catalog snapshots and the concurrent
+//! `estimate` / `estimate_batch` front end.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use sqe_core::{
+    build_pool_threaded, CacheKey, ErrorMode, PoolSpec, SelectivityEstimator, Sit2Catalog,
+    SitCatalog, SitOptions,
+};
+use sqe_engine::{Database, Result as EngineResult, SpjQuery};
+
+use crate::cache::ShardedCache;
+use crate::stats::{ServiceStats, ServiceStatsSnapshot};
+
+/// Configuration of an [`EstimationService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Error mode every estimator runs under (part of every cache key, but
+    /// fixed per service so concurrent estimates are comparable).
+    pub mode: ErrorMode,
+    /// Shard count of the cross-query cache (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Bound on each per-shard map (links, queries, joins, `H3` each hold
+    /// at most this many entries per shard).
+    pub cache_capacity_per_shard: usize,
+    /// Threads for [`EstimationService::rebuild_pool`]; `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub build_threads: Option<NonZeroUsize>,
+    /// Enables §3.4 SIT-driven pruning on every estimator. Part of the
+    /// estimator configuration, so it must be uniform across a cache.
+    pub sit_driven_pruning: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            mode: ErrorMode::Diff,
+            cache_shards: 16,
+            cache_capacity_per_shard: 4096,
+            build_threads: None,
+            sit_driven_pruning: false,
+        }
+    }
+}
+
+/// An immutable view of the statistics state at one point in time.
+///
+/// Readers obtain an `Arc<CatalogSnapshot>` and keep estimating against it
+/// for as long as they hold the `Arc`, entirely unaffected by concurrent
+/// pool rebuilds; the writer installs a *new* snapshot and never mutates a
+/// published one. The cross-query cache lives inside the snapshot because
+/// its join/`H3` entries are keyed by [`sqe_core::SitId`], which is only
+/// meaningful relative to this snapshot's catalog.
+pub struct CatalogSnapshot {
+    db: Arc<Database>,
+    sits: SitCatalog,
+    sit2: Option<Sit2Catalog>,
+    cache: ShardedCache,
+    epoch: u64,
+}
+
+impl CatalogSnapshot {
+    /// The database this snapshot estimates against.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The SIT catalog of this snapshot.
+    pub fn sits(&self) -> &SitCatalog {
+        &self.sits
+    }
+
+    /// The optional two-attribute SIT catalog.
+    pub fn sit2(&self) -> Option<&Sit2Catalog> {
+        self.sit2.as_ref()
+    }
+
+    /// The shared cross-query cache scoped to this snapshot.
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Monotone snapshot generation (0 for the service's initial catalog).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// One answered estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Selectivity of the full query (fraction of the cartesian product).
+    pub selectivity: f64,
+    /// Accumulated error score of the chosen decomposition (lower is
+    /// better; the scale depends on the service's [`ErrorMode`]).
+    pub error: f64,
+    /// `selectivity × |cartesian product|`; infinite if the product
+    /// overflows `u128`.
+    pub cardinality: f64,
+    /// Epoch of the snapshot that answered, so callers can correlate
+    /// estimates with catalog generations.
+    pub epoch: u64,
+    /// True when the whole-query cache answered without constructing an
+    /// estimator.
+    pub cached: bool,
+}
+
+/// A concurrent selectivity-estimation service over one database.
+///
+/// Shares one [`CatalogSnapshot`] among any number of estimating threads;
+/// [`EstimationService::install`] / [`EstimationService::rebuild_pool`]
+/// atomically swap in a fresh snapshot without blocking readers mid-query.
+/// Estimates are bit-identical to running a fresh single-threaded
+/// [`SelectivityEstimator`] against the same catalog: the shared cache only
+/// stores values that are pure functions of `(predicates, conditioning set,
+/// mode, snapshot)`.
+pub struct EstimationService {
+    db: Arc<Database>,
+    config: ServiceConfig,
+    current: RwLock<Arc<CatalogSnapshot>>,
+    stats: ServiceStats,
+}
+
+impl EstimationService {
+    /// A service answering with `catalog` over `db`.
+    pub fn new(db: Arc<Database>, catalog: SitCatalog, config: ServiceConfig) -> Self {
+        let snapshot = Arc::new(CatalogSnapshot {
+            db: Arc::clone(&db),
+            sits: catalog,
+            sit2: None,
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            epoch: 0,
+        });
+        EstimationService {
+            db,
+            config,
+            current: RwLock::new(snapshot),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The current snapshot. The returned `Arc` stays valid (and its cache
+    /// stays warm) even if a new snapshot is installed concurrently.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically publishes a new catalog (with an optional two-attribute
+    /// catalog) as the next snapshot, with a fresh cache and a bumped
+    /// epoch. In-flight readers keep their old snapshot; new estimates see
+    /// the new one.
+    pub fn install(&self, catalog: SitCatalog, sit2: Option<Sit2Catalog>) {
+        let epoch = self.current.read().epoch + 1;
+        let snapshot = Arc::new(CatalogSnapshot {
+            db: Arc::clone(&self.db),
+            sits: catalog,
+            sit2,
+            cache: ShardedCache::new(
+                self.config.cache_shards,
+                self.config.cache_capacity_per_shard,
+            ),
+            epoch,
+        });
+        *self.current.write() = snapshot;
+        self.stats.record_install();
+    }
+
+    /// Builds the `J_i` SIT pool for `workload` on this service's build
+    /// threads (parallel across SIT expressions) and installs it as the new
+    /// snapshot. Readers are never blocked: the build runs outside any
+    /// lock, and the final swap is [`EstimationService::install`].
+    pub fn rebuild_pool(
+        &self,
+        workload: &[SpjQuery],
+        spec: PoolSpec,
+        opts: SitOptions,
+    ) -> EngineResult<()> {
+        let threads = self.config.build_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("non-zero"))
+        });
+        let catalog = build_pool_threaded(&self.db, workload, spec, opts, threads)?;
+        self.install(catalog, None);
+        Ok(())
+    }
+
+    /// Estimates one query against the current snapshot.
+    pub fn estimate(&self, query: &SpjQuery) -> Estimate {
+        let snapshot = self.snapshot();
+        self.estimate_on(&snapshot, query)
+    }
+
+    /// Estimates a batch against one consistent snapshot: every query in
+    /// the slice is answered by the same catalog generation even if a
+    /// rebuild lands mid-batch.
+    pub fn estimate_batch(&self, queries: &[SpjQuery]) -> Vec<Estimate> {
+        self.stats.record_batch();
+        let snapshot = self.snapshot();
+        queries
+            .iter()
+            .map(|q| self.estimate_on(&snapshot, q))
+            .collect()
+    }
+
+    /// Service metrics, including the current snapshot's cache counters.
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        self.stats.snapshot(self.snapshot().cache.counters())
+    }
+
+    fn estimate_on(&self, snapshot: &CatalogSnapshot, query: &SpjQuery) -> Estimate {
+        let start = Instant::now();
+        let key = CacheKey::query(self.config.mode, &query.predicates);
+        let (result, cached) = match snapshot.cache.get_query(&key) {
+            Some(hit) => (hit, true),
+            None => {
+                let mut est = SelectivityEstimator::new(
+                    &snapshot.db,
+                    query,
+                    &snapshot.sits,
+                    self.config.mode,
+                )
+                .with_shared_cache(&snapshot.cache);
+                if let Some(sit2) = &snapshot.sit2 {
+                    est = est.with_sit2_catalog(sit2);
+                }
+                if self.config.sit_driven_pruning {
+                    est = est.with_sit_driven_pruning();
+                }
+                let all = est.context().all();
+                let result = est.get_selectivity(all);
+                snapshot.cache.put_query(key, result);
+                (result, false)
+            }
+        };
+        let cardinality = match query.cross_product_size(&snapshot.db) {
+            Ok(cross) => result.0 * cross as f64,
+            Err(_) => f64::INFINITY,
+        };
+        self.stats.record_estimate(start.elapsed(), cached);
+        Estimate {
+            selectivity: result.0,
+            error: result.1,
+            cardinality,
+            epoch: snapshot.epoch,
+            cached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{CmpOp, ColRef, Predicate, TableId};
+
+    fn small_db() -> Arc<Database> {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 1, 2, 3, 3, 3])
+                .column("x", vec![10, 10, 20, 30, 30, 40])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("y", vec![10, 20, 20, 30, 50])
+                .column("b", vec![1, 2, 2, 3, 3])
+                .build()
+                .unwrap(),
+        );
+        Arc::new(db)
+    }
+
+    fn join() -> Predicate {
+        Predicate::join(ColRef::new(TableId(0), 1), ColRef::new(TableId(1), 0))
+    }
+
+    fn filter(v: i64) -> Predicate {
+        Predicate::filter(ColRef::new(TableId(0), 0), CmpOp::Eq, v)
+    }
+
+    fn query(v: i64) -> SpjQuery {
+        SpjQuery::from_predicates(vec![join(), filter(v)]).unwrap()
+    }
+
+    fn service(db: &Arc<Database>) -> EstimationService {
+        let workload = vec![query(1)];
+        let catalog = sqe_core::build_pool(db, &workload, PoolSpec::ji(1)).expect("pool build");
+        EstimationService::new(Arc::clone(db), catalog, ServiceConfig::default())
+    }
+
+    #[test]
+    fn estimate_matches_fresh_estimator() {
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(1);
+        let got = svc.estimate(&q);
+        let snap = svc.snapshot();
+        let mut fresh = SelectivityEstimator::new(&db, &q, snap.sits(), svc.config().mode);
+        assert_eq!(got.selectivity.to_bits(), fresh.selectivity().to_bits());
+        assert!(!got.cached);
+    }
+
+    #[test]
+    fn repeat_estimates_hit_the_query_cache_bit_identically() {
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(3);
+        let cold = svc.estimate(&q);
+        let warm = svc.estimate(&q);
+        assert!(!cold.cached);
+        assert!(warm.cached);
+        assert_eq!(cold.selectivity.to_bits(), warm.selectivity.to_bits());
+        assert_eq!(cold.error.to_bits(), warm.error.to_bits());
+        assert_eq!(svc.stats().query_cache_hits, 1);
+    }
+
+    #[test]
+    fn install_bumps_epoch_and_resets_cache_without_breaking_held_snapshots() {
+        let db = small_db();
+        let svc = service(&db);
+        let held = svc.snapshot();
+        let q = query(1);
+        svc.estimate(&q);
+        assert!(!svc.snapshot().cache().is_empty());
+
+        let workload = vec![query(1)];
+        let catalog = sqe_core::build_pool(&db, &workload, PoolSpec::ji(1)).unwrap();
+        svc.install(catalog, None);
+
+        assert_eq!(held.epoch(), 0, "held snapshot untouched");
+        let now = svc.snapshot();
+        assert_eq!(now.epoch(), 1);
+        assert!(now.cache().is_empty(), "new snapshot starts cold");
+        assert_eq!(svc.estimate(&q).epoch, 1);
+        assert_eq!(svc.stats().installs, 1);
+    }
+
+    #[test]
+    fn rebuild_pool_swaps_in_a_freshly_built_catalog() {
+        let db = small_db();
+        let svc = service(&db);
+        let before = svc.snapshot().sits().len();
+        svc.rebuild_pool(&[query(1)], PoolSpec::ji(1), SitOptions::default())
+            .unwrap();
+        let snap = svc.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.sits().len(), before, "same workload, same pool");
+    }
+
+    #[test]
+    fn batch_answers_from_one_epoch() {
+        let db = small_db();
+        let svc = service(&db);
+        let queries: Vec<_> = (1..=3).map(query).collect();
+        let estimates = svc.estimate_batch(&queries);
+        assert_eq!(estimates.len(), 3);
+        assert!(estimates.iter().all(|e| e.epoch == 0));
+        assert_eq!(svc.stats().batches, 1);
+        assert_eq!(svc.stats().estimates, 3);
+    }
+
+    #[test]
+    fn cardinality_scales_selectivity_by_cross_product() {
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(1);
+        let e = svc.estimate(&q);
+        let cross = q.cross_product_size(&db).unwrap() as f64;
+        assert_eq!(e.cardinality.to_bits(), (e.selectivity * cross).to_bits());
+    }
+}

@@ -1,0 +1,169 @@
+//! Service-level metrics: relaxed atomic counters plus a power-of-two
+//! latency histogram, cheap enough to update on every estimate.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::CacheCounters;
+
+/// Number of latency buckets. Bucket `i` counts estimates with latency in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1 µs`); the last bucket
+/// absorbs everything slower.
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// Internal mutable counters (all relaxed: monitoring, not coordination).
+#[derive(Debug, Default)]
+pub(crate) struct ServiceStats {
+    estimates: AtomicU64,
+    batches: AtomicU64,
+    query_cache_hits: AtomicU64,
+    installs: AtomicU64,
+    total_latency_ns: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServiceStats {
+    pub(crate) fn record_estimate(&self, latency: Duration, query_cache_hit: bool) {
+        self.estimates.fetch_add(1, Ordering::Relaxed);
+        if query_cache_hit {
+            self.query_cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.total_latency_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_install(&self) {
+        self.installs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, cache: CacheCounters) -> ServiceStatsSnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        ServiceStatsSnapshot {
+            estimates: self.estimates.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            query_cache_hits: self.query_cache_hits.load(Ordering::Relaxed),
+            installs: self.installs.load(Ordering::Relaxed),
+            total_latency_ns: self.total_latency_ns.load(Ordering::Relaxed),
+            latency_buckets: buckets,
+            cache,
+        }
+    }
+}
+
+/// Bucket index for a latency in nanoseconds.
+fn bucket_of(ns: u64) -> usize {
+    let us = ns / 1_000;
+    let idx = (u64::BITS - us.leading_zeros()) as usize;
+    idx.min(LATENCY_BUCKETS - 1)
+}
+
+/// Point-in-time service metrics, as returned by
+/// [`crate::EstimationService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStatsSnapshot {
+    /// Estimates served (cache hits included).
+    pub estimates: u64,
+    /// `estimate_batch` calls served.
+    pub batches: u64,
+    /// Estimates answered entirely from the whole-query cache.
+    pub query_cache_hits: u64,
+    /// Catalog snapshots installed after the initial one.
+    pub installs: u64,
+    /// Sum of per-estimate latencies.
+    pub total_latency_ns: u64,
+    /// Power-of-two latency histogram; bucket `i` counts estimates in
+    /// `[2^(i-1), 2^i)` µs, last bucket is unbounded above.
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Counters of the *current* snapshot's sharded cache (reset on every
+    /// install, since the cache is per snapshot).
+    pub cache: CacheCounters,
+}
+
+impl ServiceStatsSnapshot {
+    /// Mean estimate latency; zero when nothing was served.
+    pub fn mean_latency(&self) -> Duration {
+        self.total_latency_ns
+            .checked_div(self.estimates)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+}
+
+impl fmt::Display for ServiceStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "estimates: {} ({} query-cache hits), batches: {}, installs: {}",
+            self.estimates, self.query_cache_hits, self.batches, self.installs
+        )?;
+        writeln!(f, "mean latency: {:?}", self.mean_latency())?;
+        writeln!(
+            f,
+            "shared cache: {} hits / {} misses ({:.1}% hit rate), {} insertions, {} evictions",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.insertions,
+            self.cache.evictions
+        )?;
+        write!(f, "latency histogram (µs):")?;
+        for (i, &n) in self.latency_buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if i + 1 == LATENCY_BUCKETS {
+                write!(f, " [>={}: {}]", 1u64 << (i - 1), n)?;
+            } else if i == 0 {
+                write!(f, " [<1: {n}]")?;
+            } else {
+                write!(f, " [{}-{}: {}]", 1u64 << (i - 1), 1u64 << i, n)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_of_microseconds() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(999), 0); // sub-microsecond
+        assert_eq!(bucket_of(1_000), 1); // 1 µs
+        assert_eq!(bucket_of(1_999), 1);
+        assert_eq!(bucket_of(2_000), 2);
+        assert_eq!(bucket_of(1_000_000), 10); // 1 ms = 1000 µs -> [512, 1024)
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reports_means_and_hits() {
+        let s = ServiceStats::default();
+        s.record_estimate(Duration::from_micros(10), false);
+        s.record_estimate(Duration::from_micros(30), true);
+        s.record_batch();
+        let snap = s.snapshot(CacheCounters {
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        });
+        assert_eq!(snap.estimates, 2);
+        assert_eq!(snap.query_cache_hits, 1);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.mean_latency(), Duration::from_micros(20));
+        assert_eq!(snap.latency_buckets.iter().sum::<u64>(), 2);
+        // Display must not panic and must mention the headline counter.
+        assert!(snap.to_string().contains("estimates: 2"));
+    }
+}

@@ -55,7 +55,10 @@ fn main() {
     // --- 3. "Optimizer process": load and estimate ----------------------
     let loaded = load_catalog(&path).expect("catalog loads");
     let mut oracle = CardinalityOracle::new(db);
-    println!("\n{:>4}  {:>12}  {:>12}  {:>12}", "q", "noSit", "with SITs", "truth");
+    println!(
+        "\n{:>4}  {:>12}  {:>12}  {:>12}",
+        "q", "noSit", "with SITs", "truth"
+    );
     for (i, q) in workload.iter().enumerate() {
         let truth = oracle.cardinality(&q.tables, &q.predicates).unwrap() as f64;
         let nosit = NoSitEstimator::from_catalog(&loaded);
@@ -90,7 +93,9 @@ fn main() {
     );
     // ...but the joined context still needs the SIT.
     let join_q = &workload[0];
-    let truth = oracle.cardinality(&join_q.tables, &join_q.predicates).unwrap() as f64;
+    let truth = oracle
+        .cardinality(&join_q.tables, &join_q.predicates)
+        .unwrap() as f64;
     let mut fb_join = SelectivityEstimator::new(db, join_q, &adjusted, ErrorMode::NInd);
     let all = fb_join.context().all();
     let mut sit_join = SelectivityEstimator::new(db, join_q, &loaded, ErrorMode::Diff);

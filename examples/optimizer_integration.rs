@@ -52,8 +52,8 @@ fn main() {
         // 3. Best plan under each estimate, scored by true cost.
         let (plan_base, _) = extract_best_plan(&memo, &base_est).expect("base plan");
         let (plan_sit, _) = extract_best_plan(&memo, &sit_est).expect("SIT plan");
-        let cost_base = sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan_base)
-            .expect("true cost");
+        let cost_base =
+            sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan_base).expect("true cost");
         let cost_sit =
             sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan_sit).expect("true cost");
         println!("    noSit plan: {plan_base}");
@@ -67,5 +67,8 @@ fn main() {
             "SIT-guided plans should never be much worse"
         );
     }
-    println!("\nSIT-guided optimization strictly improved {improved} of {} plans", workload.len());
+    println!(
+        "\nSIT-guided optimization strictly improved {improved} of {} plans",
+        workload.len()
+    );
 }

@@ -80,6 +80,9 @@ fn main() {
         let mut e = SelectivityEstimator::new(&db, &query, &with_sit, ErrorMode::Diff);
         (e.cardinality(all) - truth as f64).abs()
     };
-    assert!(sit_err < base_err / 2.0, "SIT should at least halve the error");
+    assert!(
+        sit_err < base_err / 2.0,
+        "SIT should at least halve the error"
+    );
     let _ = (product, sale);
 }

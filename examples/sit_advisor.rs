@@ -68,7 +68,10 @@ fn main() {
         candidates.len(),
         full.len()
     );
-    println!("{:>4}  {:>8}  {:>14}  {:>9}  sit", "step", "diff", "workload err", "vs noSit");
+    println!(
+        "{:>4}  {:>8}  {:>14}  {:>9}  sit",
+        "step", "diff", "workload err", "vs noSit"
+    );
 
     let budget = 12.min(candidates.len());
     let mut last = base_error;

@@ -39,8 +39,7 @@ fn main() {
         }
     }
     // The two SITs of the example.
-    let sit_price =
-        Sit::build(db, scenario.col_price, vec![scenario.join_lo]).expect("price SIT");
+    let sit_price = Sit::build(db, scenario.col_price, vec![scenario.join_lo]).expect("price SIT");
     let sit_nation =
         Sit::build(db, scenario.col_nation, vec![scenario.join_oc]).expect("nation SIT");
     println!("SIT(total_price | L⋈O): diff = {:.3}", sit_price.diff);

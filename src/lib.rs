@@ -42,6 +42,7 @@
 //! | [`datagen`] | `sqe-datagen` | snowflake generator, workloads, motivating scenario |
 //! | [`core`] | `sqe-core` | conditional selectivity, SITs, `getSelectivity`, GVM |
 //! | [`optimizer`] | `sqe-optimizer` | mini-Cascades memo + §4 coupled estimation |
+//! | [`service`] | `sqe-service` | concurrent estimation service: snapshots, sharded cross-query cache, metrics |
 //!
 //! Run the paper's experiments with the binaries in `sqe-bench`
 //! (`cargo run --release -p sqe-bench --bin fig7`, etc.); see
@@ -52,6 +53,7 @@ pub use sqe_datagen as datagen;
 pub use sqe_engine as engine;
 pub use sqe_histogram as histogram;
 pub use sqe_optimizer as optimizer;
+pub use sqe_service as service;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
@@ -68,4 +70,5 @@ pub mod prelude {
     };
     pub use sqe_histogram::{build_maxdiff, Histogram};
     pub use sqe_optimizer::{explore, extract_best_plan, Memo, MemoEstimator};
+    pub use sqe_service::{Estimate, EstimationService, ServiceConfig};
 }

@@ -101,10 +101,13 @@ fn optimizer_pipeline_extracts_valid_plans() {
         let mut est = MemoEstimator::new(&sf.db, q, &pool, ErrorMode::Diff);
         est.estimate_memo(&memo);
         let (plan, cost) = extract_best_plan(&memo, &est).expect("plan extracted");
-        assert_eq!(plan.preds(), memo.context().all(), "plan applies all predicates");
+        assert_eq!(
+            plan.preds(),
+            memo.context().all(),
+            "plan applies all predicates"
+        );
         assert!(cost.is_finite() && cost > 0.0);
-        let true_cost =
-            sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan).unwrap();
+        let true_cost = sqe::optimizer::evaluate_true_cost(&memo, &mut oracle, &plan).unwrap();
         assert!(true_cost > 0.0);
     }
 }

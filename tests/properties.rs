@@ -11,7 +11,14 @@ use sqe::prelude::*;
 /// narrow domain so joins actually match.
 fn small_db() -> impl Strategy<Value = Database> {
     let col = prop::collection::vec(0i64..8, 1..12);
-    (col.clone(), col.clone(), col.clone(), col.clone(), col.clone(), col)
+    (
+        col.clone(),
+        col.clone(),
+        col.clone(),
+        col.clone(),
+        col.clone(),
+        col,
+    )
         .prop_map(|(a0, b0, a1, b1, a2, b2)| {
             fn tab(name: &str, a: Vec<i64>, b: Vec<i64>) -> sqe::engine::Table {
                 let n = a.len().min(b.len());
@@ -33,9 +40,8 @@ fn small_db() -> impl Strategy<Value = Database> {
 fn pred() -> impl Strategy<Value = Predicate> {
     let colref = (0u32..3, 0u16..2).prop_map(|(t, c)| ColRef::new(TableId(t), c));
     prop_oneof![
-        (colref.clone(), 0i64..8, 0i64..8).prop_map(|(c, lo, hi)| {
-            Predicate::range(c, lo.min(hi), lo.max(hi))
-        }),
+        (colref.clone(), 0i64..8, 0i64..8)
+            .prop_map(|(c, lo, hi)| { Predicate::range(c, lo.min(hi), lo.max(hi)) }),
         (colref.clone(), 0i64..8).prop_map(|(c, v)| Predicate::filter(c, CmpOp::Eq, v)),
         (colref.clone(), colref.clone()).prop_filter_map("self-column join", |(l, r)| {
             (l != r).then(|| Predicate::join(l, r))

@@ -1,0 +1,221 @@
+//! Integration tests for the `sqe-service` estimation service: concurrent
+//! estimates must be **bit-identical** to a fresh single-threaded
+//! [`SelectivityEstimator`] over the same catalog, cold and warm, and the
+//! cache-key canonicalization must be injective on distinct
+//! `(predicate set, error mode)` inputs.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sqe::core::cache::CacheKey;
+use sqe::core::{build_pool_threaded, PoolSpec, SitOptions};
+use sqe::prelude::*;
+use sqe::service::{EstimationService, ServiceConfig};
+
+fn service_setup(mode: ErrorMode) -> (Arc<Database>, Vec<SpjQuery>, EstimationService) {
+    let sf = Snowflake::generate(SnowflakeConfig {
+        scale: 0.002,
+        min_rows: 100,
+        ..Default::default()
+    });
+    let wl = generate_workload(
+        &sf.db,
+        &sf.join_edges,
+        &sf.filter_columns,
+        WorkloadConfig {
+            queries: 12,
+            joins: 3,
+            ..Default::default()
+        },
+    );
+    let pool = build_pool(&sf.db, &wl, PoolSpec::ji(2)).unwrap();
+    let db = Arc::new(sf.db);
+    let svc = EstimationService::new(
+        Arc::clone(&db),
+        pool,
+        ServiceConfig {
+            mode,
+            ..ServiceConfig::default()
+        },
+    );
+    (db, wl, svc)
+}
+
+/// Reference results from fresh single-threaded estimators, one per query.
+fn reference(db: &Database, wl: &[SpjQuery], catalog: &SitCatalog, mode: ErrorMode) -> Vec<u64> {
+    wl.iter()
+        .map(|q| {
+            let mut est = SelectivityEstimator::new(db, q, catalog, mode);
+            est.selectivity().to_bits()
+        })
+        .collect()
+}
+
+/// 8 threads stream the whole workload through the service concurrently;
+/// every returned selectivity is compared bit-for-bit against the fresh
+/// single-threaded estimator. Runs twice without resetting the service, so
+/// the second round exercises the warm (query + link) cache.
+#[test]
+fn eight_threads_match_single_threaded_bit_for_bit_cold_and_warm() {
+    for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+        let (db, wl, svc) = service_setup(mode);
+        let expected = reference(&db, &wl, svc.snapshot().sits(), mode);
+
+        for round in ["cold", "warm"] {
+            std::thread::scope(|s| {
+                for t in 0..8 {
+                    let (svc, wl, expected) = (&svc, &wl, &expected);
+                    s.spawn(move || {
+                        // Each thread walks the stream from a different
+                        // offset so threads interleave distinct queries.
+                        for i in 0..wl.len() {
+                            let j = (i + t * 3) % wl.len();
+                            let got = svc.estimate(&wl[j]);
+                            assert_eq!(
+                                got.selectivity.to_bits(),
+                                expected[j],
+                                "{mode:?}/{round}: query {j} diverged from single-threaded"
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.estimates, 2 * 8 * wl.len() as u64);
+        assert!(
+            stats.query_cache_hits > 0,
+            "warm round must hit the whole-query cache"
+        );
+    }
+}
+
+/// Batches against a warm cache agree with per-query estimates and with the
+/// single-threaded reference.
+#[test]
+fn warm_batches_are_bit_identical_too() {
+    let (db, wl, svc) = service_setup(ErrorMode::Diff);
+    let expected = reference(&db, &wl, svc.snapshot().sits(), ErrorMode::Diff);
+    let cold: Vec<_> = svc.estimate_batch(&wl);
+    let warm: Vec<_> = svc.estimate_batch(&wl);
+    for ((c, w), e) in cold.iter().zip(&warm).zip(&expected) {
+        assert_eq!(c.selectivity.to_bits(), *e);
+        assert_eq!(w.selectivity.to_bits(), *e);
+        assert!(w.cached);
+    }
+}
+
+/// The parallel pool build feeding the service is itself bit-identical to a
+/// sequential build, so a service rebuilt on N threads answers exactly like
+/// one built on 1 thread.
+#[test]
+fn service_over_parallel_pool_matches_sequential_pool() {
+    let (db, wl, _) = service_setup(ErrorMode::Diff);
+    let seq = build_pool_threaded(
+        &db,
+        &wl,
+        PoolSpec::ji(2),
+        SitOptions::default(),
+        NonZeroUsize::new(1).unwrap(),
+    )
+    .unwrap();
+    let par = build_pool_threaded(
+        &db,
+        &wl,
+        PoolSpec::ji(2),
+        SitOptions::default(),
+        NonZeroUsize::new(8).unwrap(),
+    )
+    .unwrap();
+    let expected = reference(&db, &wl, &seq, ErrorMode::Diff);
+    let svc = EstimationService::new(Arc::clone(&db), par, ServiceConfig::default());
+    for (q, e) in wl.iter().zip(&expected) {
+        assert_eq!(svc.estimate(q).selectivity.to_bits(), *e);
+    }
+}
+
+/// A fixed universe of distinct predicates over a 3-table schema; subsets
+/// of it play the role of `PredSet`s in the injectivity property.
+fn predicate_universe() -> Vec<Predicate> {
+    let c = |t: u32, col: u16| ColRef::new(TableId(t), col);
+    vec![
+        Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+        Predicate::filter(c(0, 0), CmpOp::Eq, 2),
+        Predicate::filter(c(1, 1), CmpOp::Le, 5),
+        Predicate::join(c(0, 1), c(1, 0)),
+        Predicate::join(c(1, 1), c(2, 0)),
+        Predicate::range(c(2, 1), 0, 7),
+    ]
+}
+
+fn subset(universe: &[Predicate], mask: u8) -> Vec<Predicate> {
+    universe
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, p)| *p)
+        .collect()
+}
+
+fn mode_of(i: u8) -> ErrorMode {
+    match i % 3 {
+        0 => ErrorMode::NInd,
+        1 => ErrorMode::Diff,
+        _ => ErrorMode::Opt,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Canonicalization is injective on distinct `(PredSet, ErrorMode)`
+    /// inputs: two conditional keys collide iff their predicate *sets* and
+    /// modes coincide — permuting or duplicating list entries never
+    /// separates equal sets, and distinct sets/modes never merge.
+    #[test]
+    fn cache_key_canonicalization_is_injective(
+        mask_p1 in 0u8..64, mask_q1 in 0u8..64, m1 in 0u8..3,
+        mask_p2 in 0u8..64, mask_q2 in 0u8..64, m2 in 0u8..3,
+        shuffle in any::<u64>(),
+    ) {
+        let uni = predicate_universe();
+        let (p1, q1) = (subset(&uni, mask_p1), subset(&uni, mask_q1));
+        let (mut p2, mut q2) = (subset(&uni, mask_p2), subset(&uni, mask_q2));
+        // Permute (and sometimes duplicate an element of) the second pair:
+        // canonicalization must erase exactly this kind of difference.
+        let p2_rot = (shuffle as usize) % p2.len().max(1);
+        let q2_rot = (shuffle as usize / 7) % q2.len().max(1);
+        p2.rotate_left(p2_rot);
+        q2.rotate_left(q2_rot);
+        if shuffle.is_multiple_of(3) {
+            if let Some(&first) = p2.first() {
+                p2.push(first);
+            }
+        }
+        let k1 = CacheKey::conditional(mode_of(m1), &p1, &q1);
+        let k2 = CacheKey::conditional(mode_of(m2), &p2, &q2);
+        let same_inputs =
+            mask_p1 == mask_p2 && mask_q1 == mask_q2 && mode_of(m1) == mode_of(m2);
+        prop_assert_eq!(k1 == k2, same_inputs);
+    }
+
+    /// Equal keys as HashMap keys behave set-like: inserting under any
+    /// permutation of a predicate list finds the entry under any other.
+    #[test]
+    fn equal_sets_share_one_map_slot(
+        mask in 1u8..64, m in 0u8..3, rot in 0usize..6,
+    ) {
+        let uni = predicate_universe();
+        let preds = subset(&uni, mask);
+        let mut rotated = preds.clone();
+        let steps = rot % rotated.len();
+        rotated.rotate_left(steps);
+        let mut map = HashMap::new();
+        map.insert(CacheKey::conditional(mode_of(m), &preds, &[]), 42u32);
+        let probe = CacheKey::conditional(mode_of(m), &rotated, &[]);
+        prop_assert_eq!(map.get(&probe), Some(&42));
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides just enough of criterion's API for the workspace's benches to
+//! compile and produce meaningful wall-clock numbers: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. No statistics, plots, or
+//! baselines — each benchmark is timed over a fixed warm-up plus
+//! `sample_size` timed iterations and reported as mean ns/iter.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Bench-harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// A group of related benchmarks, printed under a shared heading.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\n== {}", name.into());
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_bench(&id.to_string(), 10, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_bench(&id.to_string(), self.sample_size, &mut f);
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_bench(&id.to_string(), self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Finishes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a warm-up pass plus `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("{name:<40} (no measurement)");
+    } else {
+        println!("{name:<40} {:>14.0} ns/iter", b.mean_ns);
+    }
+}
+
+/// Re-export matching criterion's for convenience.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

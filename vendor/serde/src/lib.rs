@@ -1,0 +1,327 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization facade under the `serde` name. Instead
+//! of serde's visitor architecture it uses a concrete value tree
+//! ([`Value`]): `Serialize` renders a type into a `Value`, `Deserialize`
+//! reads it back. The `serde_json` stand-in then prints/parses that tree
+//! as JSON text. Derive macros for structs and enums are re-exported from
+//! the sibling `serde_derive` proc-macro crate and cover named structs,
+//! tuple structs, unit enums, and struct/tuple enum variants — exactly the
+//! shapes this workspace serializes.
+//!
+//! Only the API surface the workspace actually uses is provided; this is
+//! not a general serde replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered field list (field order is preserved so output
+    /// is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object field list, when this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a field in an object's field list (derive-macro helper).
+pub fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range"))?,
+                    _ => return Err(Error::msg("expected integer")),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range"))?,
+                    _ => return Err(Error::msg("expected integer")),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+// 128-bit integers are encoded through the 64-bit value variants: values
+// beyond 64 bits fall back to a (lossy) float, which no in-repo consumer
+// produces (they carry `Duration::as_nanos()` readings).
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::UInt(n),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::UInt(n) => Ok(*n as u128),
+            Value::Int(n) => u128::try_from(*n).map_err(|_| Error::msg("integer out of range")),
+            _ => Err(Error::msg("expected integer")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(n) => Ok(*n as i128),
+            Value::UInt(n) => Ok(*n as i128),
+            _ => Err(Error::msg("expected integer")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(n) => Ok(*n as f64),
+            Value::UInt(n) => Ok(*n as f64),
+            _ => Err(Error::msg("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::msg("expected array"))?;
+                Ok(($($name::from_value(
+                    items.get($idx).ok_or_else(|| Error::msg("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,403 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Since neither `syn` nor `quote` is available offline, the item is parsed
+//! directly from the raw token stream. Supported shapes (the ones this
+//! workspace serializes):
+//!
+//! * structs with named fields → JSON object;
+//! * tuple structs with one field (newtypes) → the inner value;
+//! * tuple structs with several fields → JSON array;
+//! * enums with unit variants → the variant name as a string;
+//! * enums with struct/tuple variants → externally tagged
+//!   `{"Variant": {...}}` / `{"Variant": [...]}` objects.
+//!
+//! Generics and serde container attributes are intentionally unsupported:
+//! hitting one is a compile error rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    TupleStruct(usize),
+    /// Enum: (variant name, variant shape) pairs.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Struct(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree parsing).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type `{name}` is unsupported"));
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected item body, found {other:?}")),
+    };
+    let shape = if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Shape::Struct(parse_named_fields(body.stream())?),
+            Delimiter::Parenthesis => Shape::TupleStruct(count_tuple_fields(body.stream())),
+            d => return Err(format!("unexpected struct body delimiter {d:?}")),
+        }
+    } else {
+        Shape::Enum(parse_variants(body.stream())?)
+    };
+    Ok(Item { name, shape })
+}
+
+/// Skips leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped by
+/// consuming tokens to the next comma at zero angle-bracket depth (group
+/// tokens are opaque, so only `<`/`>` need tracking).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Number of fields of a tuple-struct `( Type, ... )` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!("discriminant on variant `{name}` is unsupported"));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),\n")
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), \
+                                     serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut inner: Vec<(String, serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             serde::Value::Object(vec![({v:?}.to_string(), \
+                             serde::Value::Object(inner))])\n}}\n"
+                        )
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Object(vec![({v:?}.to_string(), \
+                             serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(obj, {f:?})?)?,\n")
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         serde::Error::msg(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 serde::Error::msg(\"expected array for {name}\"))?;\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(\
+                                     serde::field(inner, {f:?})?)?,\n"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let inner = payload.as_object().ok_or_else(|| \
+                             serde::Error::msg(\"expected object payload\"))?;\n\
+                             return Ok({name}::{v} {{\n{inits}}});\n}}\n"
+                        ))
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                                     serde::Error::msg(\"variant payload too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                             serde::Error::msg(\"expected array payload\"))?;\n\
+                             return Ok({name}::{v}({}));\n}}\n",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 _ => return Err(serde::Error::msg(format!(\"unknown variant `{{s}}`\"))),\n}}\n}}\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 serde::Error::msg(\"expected enum object for {name}\"))?;\n\
+                 let (tag, payload) = obj.first().ok_or_else(|| \
+                 serde::Error::msg(\"empty enum object\"))?;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
