@@ -1,0 +1,150 @@
+//! Single-query `getSelectivity` latency by predicate count — the perf
+//! trajectory of the estimator's hot path.
+//!
+//! For each `n` in `--ns` the bench generates a workload whose queries have
+//! exactly `n` predicates (`min(n/2, 7)` joins, the rest filters, over the
+//! standard snowflake schema), builds one `J_i` SIT pool, and then times
+//! **cold single-query estimation**: every sample constructs a fresh
+//! [`SelectivityEstimator`] (no cross-query cache, nothing memoized) and
+//! runs `selectivity()` to completion. The reported latency is the median
+//! over `queries × reps` samples; memo/peel entry counts come from the
+//! final sample and describe the size of the subset-lattice walk.
+//!
+//! Results are printed as a table and written to **`BENCH_estimator.json`
+//! at the repo root** (committed, so the perf trajectory across PRs is
+//! diffable).
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin estimator_bench \
+//!     [-- --ns 4,8,12,16 --queries 3 --reps 3 --pool 2]
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sqe_bench::report::{render_table, write_json_root};
+use sqe_bench::{Args, Setup, SetupConfig};
+use sqe_core::{ErrorMode, SelectivityEstimator};
+use sqe_datagen::{generate_workload, WorkloadConfig};
+
+#[derive(Serialize)]
+struct Row {
+    n: usize,
+    joins: usize,
+    filters: usize,
+    queries: usize,
+    reps: usize,
+    median_us: f64,
+    min_us: f64,
+    max_us: f64,
+    memo_entries: usize,
+    peel_entries: usize,
+    vm_calls: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = Setup::new(SetupConfig::from_args(&args));
+    let pool_i: usize = args.get("pool", 2);
+    let queries: usize = args.get("queries", 3);
+    let reps: usize = args.get("reps", 3);
+    let ns: Vec<usize> = args
+        .get_str("ns", "4,8,12,16")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &ns {
+        let joins = (n / 2).min(setup.snowflake.join_edges.len());
+        let filters = n - joins;
+        eprintln!("n={n}: generating {queries} queries ({joins} joins + {filters} filters) ...");
+        let workload = generate_workload(
+            &setup.snowflake.db,
+            &setup.snowflake.join_edges,
+            &setup.snowflake.filter_columns,
+            WorkloadConfig {
+                queries,
+                joins,
+                filters,
+                target_selectivity: setup.config().target_selectivity,
+                seed: setup.config().seed ^ (n as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            },
+        );
+        eprintln!("n={n}: building J{pool_i} pool ...");
+        let pool = setup.pool(&workload, pool_i);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(queries * reps);
+        let mut memo_entries = 0;
+        let mut peel_entries = 0;
+        let mut vm_calls = 0;
+        for query in &workload {
+            for _ in 0..reps {
+                let start = Instant::now();
+                let mut est =
+                    SelectivityEstimator::new(&setup.snowflake.db, query, &pool, ErrorMode::Diff);
+                std::hint::black_box(est.selectivity());
+                samples.push(start.elapsed().as_secs_f64() * 1e6);
+                let stats = est.stats();
+                memo_entries = stats.memo_entries;
+                peel_entries = stats.peel_entries;
+                vm_calls = stats.vm_calls;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        rows.push(Row {
+            n,
+            joins,
+            filters,
+            queries,
+            reps,
+            median_us: median,
+            min_us: samples[0],
+            max_us: samples[samples.len() - 1],
+            memo_entries,
+            peel_entries,
+            vm_calls,
+        });
+        eprintln!(
+            "n={n}: median {median:.1} µs over {} samples",
+            samples.len()
+        );
+    }
+
+    println!("estimator_bench — cold single-query getSelectivity latency\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                format!("{:.1}", r.median_us),
+                format!("{:.1}", r.min_us),
+                format!("{:.1}", r.max_us),
+                r.memo_entries.to_string(),
+                r.peel_entries.to_string(),
+                r.vm_calls.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "n",
+                "median µs",
+                "min µs",
+                "max µs",
+                "memo",
+                "peel",
+                "vm calls"
+            ],
+            &table
+        )
+    );
+
+    match write_json_root("BENCH_estimator", &rows) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -75,7 +75,25 @@ pub fn results_dir() -> PathBuf {
 
 /// Writes an experiment result as pretty JSON under `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let path = results_dir().join(format!("{name}.json"));
+    write_json_to(results_dir(), name, value)
+}
+
+/// Writes a benchmark result as pretty JSON at the **repo root**
+/// (`<name>.json`), for committed perf-trajectory files like
+/// `BENCH_estimator.json` that live next to `EXPERIMENTS.md` rather than
+/// under `results/`.
+pub fn write_json_root<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if root.exists() {
+        root
+    } else {
+        PathBuf::from(".")
+    };
+    write_json_to(dir, name, value)
+}
+
+fn write_json_to<T: Serialize>(dir: PathBuf, name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     fs::write(&path, json)?;

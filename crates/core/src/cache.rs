@@ -23,6 +23,13 @@
 //! against (the service keeps the cache inside its catalog snapshot for
 //! exactly this reason). Error modes may share a cache: the mode is part of
 //! every key.
+//!
+//! The estimator's per-query memos are flat tables (see [`crate::flat`]),
+//! not `HashMap`s; the hook points are unchanged — the estimator consults
+//! this cache exactly when its flat per-link table misses and writes back
+//! every freshly computed value — and because cached values are pure
+//! functions of their key, the dense engine's different lattice visit
+//! order never changes what lands in (or comes out of) a shared cache.
 
 use sqe_engine::Predicate;
 use sqe_histogram::Histogram;

@@ -14,8 +14,13 @@
 //!
 //! The exhaustive enumerator is used by tests to validate that the dynamic
 //! program finds the true optimum on small inputs.
+//!
+//! [`ComponentTable`] is the dense DP engine's companion table: it memoizes
+//! the first standard-decomposition factor of every visited mask so that
+//! separability tests and decompositions inside the subset-lattice loop are
+//! a single indexed load instead of a fresh graph traversal.
 
-use crate::predset::PredSet;
+use crate::predset::{PredSet, QueryContext};
 
 /// `T(n)`: the number of decompositions of a selectivity value over `n`
 /// predicates, computed exactly (saturating at `u128::MAX`).
@@ -86,6 +91,83 @@ pub fn enumerate_decompositions(set: PredSet) -> Vec<Chain> {
     out
 }
 
+/// Per-mask memoized standard decompositions for the dense DP engine.
+///
+/// For every predicate-set mask `m`, `first_comp[m]` caches the connected
+/// component of `m`'s lowest predicate index within the connectivity graph
+/// restricted to `m` — the first factor of `m`'s standard decomposition
+/// (Lemma 2). The full ordered decomposition is recovered by chaining:
+/// `C₁ = first_comp[m]`, `C₂ = first_comp[m ∖ C₁]`, … This makes the two
+/// queries the subset-lattice loop issues constantly — "is `m` separable?"
+/// and "what are `m`'s factors?" — indexed loads instead of graph walks.
+///
+/// Entries are computed on demand (sentinel `0` = unset; valid entries are
+/// never `0` because a non-empty mask's first component contains its lowest
+/// bit) via the incremental rule: with `i` the lowest bit of `m`, the
+/// component of `i` is `{i}` unioned with every component of `m ∖ {i}` that
+/// touches `adjacent(i)` — components merge through `i` only.
+#[derive(Debug, Clone)]
+pub struct ComponentTable {
+    first_comp: Vec<u32>,
+}
+
+impl ComponentTable {
+    /// A table covering all `2ⁿ` subset masks of an `n`-predicate query.
+    pub fn new(n: usize) -> Self {
+        ComponentTable {
+            first_comp: vec![0u32; 1usize << n],
+        }
+    }
+
+    /// The first standard-decomposition factor of `set`, memoized. The
+    /// empty set yields itself.
+    pub fn ensure(&mut self, ctx: &QueryContext, set: PredSet) -> PredSet {
+        let m = set.0;
+        if m == 0 {
+            return PredSet::EMPTY;
+        }
+        let cached = self.first_comp[m as usize];
+        if cached != 0 {
+            return PredSet(cached);
+        }
+        let i = m.trailing_zeros() as usize;
+        let adj = ctx.adjacent(i).0;
+        let mut comp = 1u32 << i;
+        // Chain the components of m ∖ {i}; those adjacent to i merge in.
+        let mut rest = m & (m - 1);
+        while rest != 0 {
+            let c = self.ensure(ctx, PredSet(rest)).0;
+            if c & adj != 0 {
+                comp |= c;
+            }
+            rest &= !c;
+        }
+        self.first_comp[m as usize] = comp;
+        PredSet(comp)
+    }
+
+    /// True when `set` splits into ≥ 2 factors (Definition 2). Memoizes as
+    /// a side effect.
+    pub fn is_separable(&mut self, ctx: &QueryContext, set: PredSet) -> bool {
+        !set.is_empty() && self.ensure(ctx, set) != set
+    }
+
+    /// The already-memoized first factor of `set`, without computing.
+    /// Returns `None` for unvisited masks (and the empty set's factor as
+    /// `Some(EMPTY)` — it is always "known").
+    pub fn get(&self, set: PredSet) -> Option<PredSet> {
+        if set.is_empty() {
+            return Some(PredSet::EMPTY);
+        }
+        let cached = self.first_comp[set.0 as usize];
+        if cached != 0 {
+            Some(PredSet(cached))
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +230,66 @@ mod tests {
     fn empty_set_has_single_empty_decomposition() {
         let chains = enumerate_decompositions(PredSet::EMPTY);
         assert_eq!(chains, vec![Vec::<PredSet>::new()]);
+    }
+
+    fn chain_ctx() -> QueryContext {
+        use sqe_engine::table::TableBuilder;
+        use sqe_engine::{CmpOp, ColRef, Database, Predicate, SpjQuery, TableId};
+        let mut db = Database::new();
+        for i in 0..3 {
+            db.add_table(
+                TableBuilder::new(format!("t{i}"))
+                    .column("a", vec![1, 2, 3])
+                    .column("b", vec![4, 5, 6])
+                    .build()
+                    .unwrap(),
+            );
+        }
+        // p0: T0 filter, p1: T0–T1 join, p2: T1–T2 join, p3: T2 filter.
+        let preds = vec![
+            Predicate::filter(ColRef::new(TableId(0), 0), CmpOp::Lt, 5),
+            Predicate::join(ColRef::new(TableId(0), 1), ColRef::new(TableId(1), 0)),
+            Predicate::join(ColRef::new(TableId(1), 1), ColRef::new(TableId(2), 0)),
+            Predicate::filter(ColRef::new(TableId(2), 1), CmpOp::Eq, 7),
+        ];
+        let q = SpjQuery::new(vec![TableId(0), TableId(1), TableId(2)], preds).unwrap();
+        QueryContext::new(&db, &q)
+    }
+
+    #[test]
+    fn component_table_matches_standard_decomposition() {
+        let ctx = chain_ctx();
+        let mut table = ComponentTable::new(4);
+        for mask in 0u32..16 {
+            let set = PredSet(mask);
+            // Chain the table exactly the way the dense engine does.
+            let mut chained = Vec::new();
+            let mut rest = set;
+            while !rest.is_empty() {
+                let c = table.ensure(&ctx, rest);
+                chained.push(c);
+                rest = rest.minus(c);
+            }
+            assert_eq!(chained, ctx.standard_decomposition(set), "mask {mask:#b}");
+            assert_eq!(
+                table.is_separable(&ctx, set),
+                ctx.is_separable(set),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn component_table_get_reports_only_visited_masks() {
+        let ctx = chain_ctx();
+        let mut table = ComponentTable::new(4);
+        assert_eq!(table.get(PredSet::EMPTY), Some(PredSet::EMPTY));
+        assert_eq!(table.get(PredSet(0b1001)), None);
+        let c = table.ensure(&ctx, PredSet(0b1001));
+        // p0 (T0) and p3 (T2) are disconnected: first factor is {p0}.
+        assert_eq!(c, PredSet::singleton(0));
+        assert_eq!(table.get(PredSet(0b1001)), Some(PredSet::singleton(0)));
+        // ensure memoized the chain's sub-steps too.
+        assert_eq!(table.get(PredSet(0b1000)), Some(PredSet::singleton(3)));
     }
 }

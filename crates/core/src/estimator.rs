@@ -30,15 +30,40 @@
 //! may be estimated from the *result histogram* of joining the two side
 //! SITs, which covers the join predicate in the conditioning set without
 //! any independence assumption.
+//!
+//! ## The dense subset-lattice engine
+//!
+//! The DP runs in one of two modes, chosen from `n` at construction (see
+//! [`DpStrategy`]):
+//!
+//! * **Dense** (`n ≤ 16` under `Auto`): the memo is a flat `2ⁿ`-slot
+//!   [`DenseMemo`] indexed directly by mask, standard decompositions come
+//!   from a memoized per-mask [`ComponentTable`], and the lattice is filled
+//!   **bottom-up in ascending popcount order** per non-separable component
+//!   (every `Sel(Q)` a subset walk reads has fewer predicates than the mask
+//!   being solved, so it is already a plain indexed load). §3.4 pruning
+//!   becomes one AND against a subset-OR table.
+//! * **Recursive** (large `n`): the original top-down recursion, with the
+//!   `HashMap` memo replaced by an open-addressed [`FlatMemo`].
+//!
+//! Both engines are **bit-identical**: every memo state's value is a pure
+//! function of its sub-states' values, the non-separable subset walk runs
+//! the same descending-submask order with the same strict-`<` tie-break,
+//! and separable products multiply components in the same ascending order —
+//! so visiting the identical state set in a different topological order
+//! reproduces the identical `f64`s (the property `tests/dense_engine.rs`
+//! pins and the 8-thread determinism suite relies on).
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use sqe_engine::{CardinalityOracle, Database, Predicate, SpjQuery};
+use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate, SpjQuery};
 use sqe_histogram::Histogram;
 
 use crate::cache::{CacheKey, SharedEstimatorCache};
+use crate::decomposition::ComponentTable;
 use crate::error::ErrorMode;
+use crate::flat::{peel_key, DenseMemo, FlatMemo};
 use crate::matcher::SitMatcher;
 use crate::predset::{PredSet, QueryContext};
 use crate::sit::{SitCatalog, SitId};
@@ -54,6 +79,40 @@ const MIN_SEL: f64 = 1e-12;
 /// Default group-count cap when no statistic exists for a grouping
 /// attribute.
 pub(crate) const DEFAULT_GROUPS: f64 = 100.0;
+/// `Auto` uses the dense engine up to this many predicates (a `2¹⁶`-slot
+/// value table is 1 MiB — cheap next to the `3ⁿ` walk it accelerates).
+const DENSE_AUTO_MAX: usize = 16;
+/// Hard ceiling for [`DpStrategy::Dense`]: past this the `2ⁿ` tables cost
+/// real memory (2²⁰ slots ≈ 16 MiB) and the request falls back to the
+/// recursive engine.
+const DENSE_HARD_MAX: usize = 20;
+
+/// How the subset-lattice DP materializes its memo (see the module docs).
+/// Every strategy returns bit-identical results; only speed and memory
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DpStrategy {
+    /// Dense for `n ≤ 16`, recursive above — the right call unless
+    /// benchmarking one engine specifically.
+    #[default]
+    Auto,
+    /// Force the flat `2ⁿ` tables (capped at `n ≤ 20`; larger queries fall
+    /// back to recursive regardless).
+    Dense,
+    /// Force the top-down recursion with open-addressed memos.
+    Recursive,
+}
+
+impl DpStrategy {
+    /// Whether an `n`-predicate query runs on the dense tables.
+    fn use_dense(self, n: usize) -> bool {
+        match self {
+            DpStrategy::Auto => n <= DENSE_AUTO_MAX,
+            DpStrategy::Dense => n <= DENSE_HARD_MAX,
+            DpStrategy::Recursive => false,
+        }
+    }
+}
 
 /// Instrumentation counters exposed by the estimator.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -81,8 +140,37 @@ pub struct SelectivityEstimator<'a> {
     ctx: QueryContext,
     matcher: SitMatcher<'a>,
     mode: ErrorMode,
-    memo: HashMap<u32, (f64, f64)>,
-    peel_memo: HashMap<(u32, u32), (f64, f64)>,
+    /// Mask-based §3.3 candidate index: for every attribute the query's
+    /// predicates mention, the catalog's `for_attr` list restricted to SITs
+    /// whose condition lies inside this query's predicate set, each paired
+    /// with that condition as a mask over the query's predicate indices.
+    /// Applicability (`cond ⊆ cset`) and maximality then reduce to bitwise
+    /// tests — no predicate materialization or comparisons on the peel path.
+    cand_index: CandIndex,
+    /// Condition mask per usable SIT (the same masks as `cand_index`, keyed
+    /// by id for the `H3` coverage computation).
+    sit_cond_masks: HashMap<SitId, u32>,
+    /// Mask-based index over the two-attribute SITs, keyed by the `y`
+    /// attribute (built when a [`Sit2Catalog`] is attached).
+    sit2_index: HashMap<ColRef, Vec<(Sit2Id, u32)>>,
+    /// Filter selectivity per `(SIT, predicate index)` — the same SIT
+    /// histogram is ranged with the same filter under thousands of
+    /// conditioning sets, and the estimate depends on neither.
+    filter_sel_cache: HashMap<(SitId, usize), f64>,
+    /// Filter estimate and divergence per `(H3 pair, predicate index)`,
+    /// collapsing the per-option `H3` histogram walk the same way.
+    h3_sel_cache: HashMap<(SitId, SitId, usize), (f64, f64)>,
+    /// Dense subset memo (flat `2ⁿ` table), present iff the resolved
+    /// strategy is dense. Exactly one of `memo_dense`/`memo_sparse` holds
+    /// this query's `Sel(P)` values.
+    memo_dense: Option<DenseMemo>,
+    /// Subset memo of the recursive engine (open-addressed, keyed by mask).
+    memo_sparse: FlatMemo,
+    /// Per-mask standard decompositions, memoized (dense engine only).
+    comp_table: Option<ComponentTable>,
+    /// Per-link memo keyed by `peel_key(i, cset)` — open-addressed in both
+    /// engines (dense would need `n·2ⁿ` slots).
+    peel_memo: FlatMemo,
     /// Join selectivity per SIT pair: the same pair is picked for many
     /// conditioning sets, so this collapses the histogram-join work from
     /// `O(n·2ⁿ)` to the number of distinct pairs.
@@ -103,6 +191,11 @@ pub struct SelectivityEstimator<'a> {
     /// §3.4's optional SIT-driven pruning: when set, the subset loop skips
     /// atomic decompositions that no available SIT could improve.
     sit_driven: Option<Vec<(u32, u32)>>,
+    /// Subset-OR rollup of `sit_driven` (dense engine only, built lazily):
+    /// `prune_table[q]` ORs the attribute masks of every SIT whose
+    /// condition fits inside `q`, turning the §3.4 skip test into a single
+    /// AND.
+    prune_table: Option<Vec<u32>>,
     /// Optional cross-query cache, consulted after the per-query memos
     /// miss and written back on every computed link / join product (see
     /// [`crate::cache`] for the validity contract).
@@ -120,13 +213,22 @@ impl<'a> SelectivityEstimator<'a> {
         mode: ErrorMode,
     ) -> Self {
         let oracle = matches!(mode, ErrorMode::Opt).then(|| CardinalityOracle::new(db));
-        SelectivityEstimator {
+        let ctx = QueryContext::new(db, query);
+        let (cand_index, sit_cond_masks) = build_cand_index(catalog, ctx.predicates());
+        let mut est = SelectivityEstimator {
             db,
-            ctx: QueryContext::new(db, query),
+            ctx,
             matcher: SitMatcher::new(catalog),
             mode,
-            memo: HashMap::new(),
-            peel_memo: HashMap::new(),
+            cand_index,
+            sit_cond_masks,
+            sit2_index: HashMap::new(),
+            filter_sel_cache: HashMap::new(),
+            h3_sel_cache: HashMap::new(),
+            memo_dense: None,
+            memo_sparse: FlatMemo::new(),
+            comp_table: None,
+            peel_memo: FlatMemo::new(),
             join_cache: HashMap::new(),
             h3_cache: HashMap::new(),
             oracle,
@@ -135,8 +237,31 @@ impl<'a> SelectivityEstimator<'a> {
             carry_cache: HashMap::new(),
             cond2_cache: HashMap::new(),
             sit_driven: None,
+            prune_table: None,
             shared: None,
+        };
+        est.apply_strategy(DpStrategy::Auto);
+        est
+    }
+
+    /// Selects the DP engine explicitly (see [`DpStrategy`]). Resets the
+    /// subset memo; call before the first estimation.
+    pub fn with_strategy(mut self, strategy: DpStrategy) -> Self {
+        self.apply_strategy(strategy);
+        self
+    }
+
+    fn apply_strategy(&mut self, strategy: DpStrategy) {
+        let n = self.ctx.predicates().len();
+        if strategy.use_dense(n) {
+            self.memo_dense = Some(DenseMemo::new(n));
+            self.comp_table = Some(ComponentTable::new(n));
+        } else {
+            self.memo_dense = None;
+            self.comp_table = None;
         }
+        self.memo_sparse = FlatMemo::new();
+        self.prune_table = None;
     }
 
     /// Attaches a cross-query shared cache. The estimator consults it when
@@ -157,6 +282,21 @@ impl<'a> SelectivityEstimator<'a> {
     /// the conditioning set) and filter-conditioned-on-filter estimates.
     pub fn with_sit2_catalog(mut self, catalog: &'a Sit2Catalog) -> Self {
         self.sit2 = Some(catalog);
+        // Translate each grid's condition to a predicate-index mask, in
+        // `for_y` order; grids conditioned on predicates outside this query
+        // can never apply and are dropped (same rule as `cand_index`).
+        let preds = self.ctx.predicates();
+        let mut index: HashMap<ColRef, Vec<(Sit2Id, u32)>> = HashMap::new();
+        for y in query_attrs(preds) {
+            let mut list = Vec::new();
+            for &id in catalog.for_y(y) {
+                if let Some(mask) = cond_to_mask(&catalog.get(id).cond, preds) {
+                    list.push((id, mask));
+                }
+            }
+            index.insert(y, list);
+        }
+        self.sit2_index = index;
         self
     }
 
@@ -208,6 +348,7 @@ impl<'a> SelectivityEstimator<'a> {
         masks.sort_unstable();
         masks.dedup();
         self.sit_driven = Some(masks);
+        self.prune_table = None;
         self
     }
 
@@ -216,11 +357,15 @@ impl<'a> SelectivityEstimator<'a> {
         &self.ctx
     }
 
-    /// Instrumentation snapshot.
+    /// Instrumentation snapshot. Entry counts are **occupied** slots of the
+    /// flat tables, never their capacity.
     pub fn stats(&self) -> EstimatorStats {
         EstimatorStats {
             vm_calls: self.matcher.calls(),
-            memo_entries: self.memo.len(),
+            memo_entries: self
+                .memo_dense
+                .as_ref()
+                .map_or(self.memo_sparse.len(), DenseMemo::len),
             peel_entries: self.peel_memo.len(),
             histogram_time: self.hist_time,
         }
@@ -245,16 +390,183 @@ impl<'a> SelectivityEstimator<'a> {
         if p.is_empty() {
             return (1.0, 0.0);
         }
-        if let Some(&r) = self.memo.get(&p.0) {
+        if let Some(r) = self.memo_get(p) {
             return r;
         }
-        let comps = self.ctx.standard_decomposition(p);
-        let result = if comps.len() > 1 {
+        if self.memo_dense.is_some() {
+            self.fill_dense(p)
+        } else {
+            self.compute_recursive(p)
+        }
+    }
+
+    /// Memo probe across both layouts.
+    #[inline]
+    fn memo_get(&self, p: PredSet) -> Option<(f64, f64)> {
+        match &self.memo_dense {
+            Some(dense) => dense.get(p.0),
+            None => self.memo_sparse.get(p.0 as u64),
+        }
+    }
+
+    /// The memoized first standard-decomposition factor of `set` (dense
+    /// engine; computes and caches on first touch).
+    #[inline]
+    fn first_comp(&mut self, set: PredSet) -> PredSet {
+        self.comp_table
+            .as_mut()
+            .expect("first_comp is dense-engine only")
+            .ensure(&self.ctx, set)
+    }
+
+    /// Dense engine entry point: fills the flat tables bottom-up for `p`
+    /// (not yet memoized, non-empty) and returns its value.
+    fn fill_dense(&mut self, p: PredSet) -> (f64, f64) {
+        if self.sit_driven.is_some() && self.prune_table.is_none() {
+            self.build_prune_table();
+        }
+        let first = self.first_comp(p);
+        if first == p {
+            return self.fill_component(p);
+        }
+        // Separable (lines 4-7): solve each factor's sub-lattice, multiply
+        // in ascending component order — the recursion's exact arithmetic.
+        let mut sel = 1.0;
+        let mut err = 0.0;
+        let mut rest = p;
+        while !rest.is_empty() {
+            let c = self.first_comp(rest);
+            rest = rest.minus(c);
+            let (s, e) = match self.memo_get(c) {
+                Some(r) => r,
+                None => self.fill_component(c),
+            };
+            sel *= s;
+            err += e;
+        }
+        let result = (sel, err);
+        self.memo_dense
+            .as_mut()
+            .expect("dense engine active")
+            .set(p.0, result);
+        result
+    }
+
+    /// Fills every subset of the non-separable component `comp` in
+    /// ascending popcount order. Each mask's dependencies (its proper
+    /// subsets) live in earlier popcount ranks, so every `Sel(Q)` the
+    /// subset walk needs is a plain indexed load by the time it is read.
+    fn fill_component(&mut self, comp: PredSet) -> (f64, f64) {
+        for k in 1..=comp.len() {
+            for m in comp.subsets_of_size(k) {
+                if self
+                    .memo_dense
+                    .as_ref()
+                    .expect("dense engine active")
+                    .contains(m.0)
+                {
+                    continue;
+                }
+                let fc = self.first_comp(m);
+                let result = if fc != m {
+                    // Separable submask: product over its components, all
+                    // filled in earlier ranks.
+                    let mut sel = 1.0;
+                    let mut err = 0.0;
+                    let mut rest = m;
+                    while !rest.is_empty() {
+                        let c = self.first_comp(rest);
+                        rest = rest.minus(c);
+                        let (s, e) = self
+                            .memo_get(c)
+                            .expect("component filled in an earlier popcount rank");
+                        sel *= s;
+                        err += e;
+                    }
+                    (sel, err)
+                } else {
+                    self.solve_nonseparable(m)
+                };
+                self.memo_dense
+                    .as_mut()
+                    .expect("dense engine active")
+                    .set(m.0, result);
+            }
+        }
+        self.memo_get(comp)
+            .expect("comp is its own final popcount rank")
+    }
+
+    /// Lines 9-17 for a non-separable mask on the dense engine: every
+    /// atomic decomposition `Sel(P′|Q)·Sel(Q)`, with `Sel(Q)` read straight
+    /// from the flat table. Same descending-submask order and strict-`<`
+    /// tie-break as the recursion — bit-identical by construction.
+    fn solve_nonseparable(&mut self, m: PredSet) -> (f64, f64) {
+        let mut best_err = f64::INFINITY;
+        let mut best_sel = DEFAULT_RANGE_SEL.powi(m.len() as i32);
+        let pruning = self.prune_table.is_some();
+        for p_prime in m.subsets() {
+            let q = m.minus(p_prime);
+            if pruning {
+                // §3.4 as pure bitwise work: some SIT fits inside Q and
+                // touches P′ iff the rolled-up attribute mask hits P′. The
+                // full-set factor (Q = ∅) always stays as fallback.
+                let table = self.prune_table.as_ref().expect("checked above");
+                let keep = p_prime == m || table[q.0 as usize] & p_prime.0 != 0;
+                if !keep {
+                    continue;
+                }
+            }
+            let (sel_q, err_q) = if q.is_empty() {
+                (1.0, 0.0)
+            } else {
+                self.memo_get(q).expect("proper subsets fill first")
+            };
+            let (sel_f, err_f) = self.factor(p_prime, q);
+            let total = err_f + err_q;
+            if total < best_err {
+                best_err = total;
+                best_sel = (sel_f * sel_q).clamp(0.0, 1.0);
+            }
+        }
+        (best_sel, best_err)
+    }
+
+    /// Subset-OR rollup of the §3.4 masks: `prune_table[q] = ⋃ {attr mask
+    /// of SITs whose condition ⊆ q}`, built with the standard
+    /// sum-over-subsets pass (one bit per round).
+    fn build_prune_table(&mut self) {
+        let n = self.ctx.predicates().len();
+        let mut table = vec![0u32; 1usize << n];
+        if let Some(masks) = &self.sit_driven {
+            for &(a, c) in masks {
+                table[c as usize] |= a;
+            }
+        }
+        for b in 0..n {
+            let bit = 1usize << b;
+            for m in 0..table.len() {
+                if m & bit != 0 {
+                    table[m] |= table[m ^ bit];
+                }
+            }
+        }
+        self.prune_table = Some(table);
+    }
+
+    /// The original top-down recursion (large `n`), on open-addressed
+    /// memos and allocation-free decomposition chains.
+    fn compute_recursive(&mut self, p: PredSet) -> (f64, f64) {
+        let first = self.ctx.first_component(p);
+        let result = if first != p {
             // Lines 4-7: separable — solve each non-separable factor of the
             // standard decomposition independently (exact by Property 2).
             let mut sel = 1.0;
             let mut err = 0.0;
-            for c in comps {
+            let mut rest = p;
+            while !rest.is_empty() {
+                let c = self.ctx.first_component(rest);
+                rest = rest.minus(c);
                 let (s, e) = self.get_selectivity(c);
                 sel *= s;
                 err += e;
@@ -288,7 +600,7 @@ impl<'a> SelectivityEstimator<'a> {
             }
             (best_sel, best_err)
         };
-        self.memo.insert(p.0, result);
+        self.memo_sparse.insert(p.0 as u64, result);
         result
     }
 
@@ -302,32 +614,62 @@ impl<'a> SelectivityEstimator<'a> {
     }
 
     /// Approximates the conditional factor `Sel(P′|Q)` with available SITs
-    /// by expanding it into the implicit single-predicate chain.
+    /// by expanding it into the implicit single-predicate chain. Peels
+    /// joins first, then filters, each group in ascending index order —
+    /// iterating the mask bits directly (no `order` vector; this runs on
+    /// every one of the up-to-`3ⁿ` lattice visits).
     fn factor(&mut self, p_prime: PredSet, q: PredSet) -> (f64, f64) {
-        let order: Vec<usize> = self
-            .ctx
-            .joins_in(p_prime)
-            .iter()
-            .chain(self.ctx.filters_in(p_prime).iter())
-            .collect();
         let mut remaining = p_prime;
         let mut sel = 1.0;
         let mut err = 0.0;
-        for i in order {
-            remaining = remaining.minus(PredSet::singleton(i));
-            let cset = q.union(remaining);
-            let (s, e) = self.peel(i, cset);
-            sel *= s;
-            err += e;
+        for group in [self.ctx.joins_in(p_prime), self.ctx.filters_in(p_prime)] {
+            let mut bits = group.0;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                remaining = remaining.minus(PredSet::singleton(i));
+                let cset = q.union(remaining);
+                let (s, e) = self.peel(i, cset);
+                sel *= s;
+                err += e;
+            }
         }
         (sel.clamp(0.0, 1.0), err)
+    }
+
+    /// §3.3 candidate SITs through the precomputed mask index: applicable
+    /// (`cond_mask ⊆ cset`) and maximal among the applicable, in catalog
+    /// `for_attr` order — the exact set [`SitMatcher::candidates`] returns
+    /// for `predicates_of(cset)`, with both tests reduced to bitwise
+    /// operations (conditions map injectively to predicate-index masks, so
+    /// set inclusion ≡ mask inclusion). Counts one view-matching call.
+    fn mask_candidates(&self, attr: ColRef, cset: PredSet) -> Vec<SitId> {
+        self.matcher.record_call();
+        let Some(list) = self.cand_index.get(&attr) else {
+            return Vec::new();
+        };
+        let outside = !cset.0;
+        let mut out = Vec::with_capacity(list.len());
+        for (k, &(id, m)) in list.iter().enumerate() {
+            if m & outside != 0 {
+                continue;
+            }
+            let dominated = list
+                .iter()
+                .enumerate()
+                .any(|(j, &(_, om))| j != k && om & outside == 0 && om != m && m & !om == 0);
+            if !dominated {
+                out.push(id);
+            }
+        }
+        out
     }
 
     /// Estimates the single-predicate conditional factor `Sel(pᵢ | cset)`,
     /// memoized on `(i, cset)`.
     fn peel(&mut self, i: usize, cset: PredSet) -> (f64, f64) {
-        let key = (i as u32, cset.0);
-        if let Some(&r) = self.peel_memo.get(&key) {
+        let key = peel_key(i, cset.0);
+        if let Some(r) = self.peel_memo.get(key) {
             return r;
         }
         let pred = *self.ctx.predicate(i);
@@ -338,6 +680,8 @@ impl<'a> SelectivityEstimator<'a> {
         let shared_key = self
             .shared
             .map(|_| CacheKey::conditional(self.mode, &[pred], &self.ctx.predicates_of(cset)));
+        // Shared-cache hooks fire exactly on flat-table misses, as the
+        // HashMap version's did on map misses.
         if let (Some(cache), Some(k)) = (self.shared, &shared_key) {
             if let Some(r) = cache.get_link(k) {
                 self.peel_memo.insert(key, r);
@@ -361,9 +705,8 @@ impl<'a> SelectivityEstimator<'a> {
         let Predicate::Join { left, right } = *pred else {
             unreachable!("peel_join only receives joins")
         };
-        let cond_preds = self.ctx.predicates_of(cset);
-        let cand_l = self.matcher.candidates(left, &cond_preds);
-        let cand_r = self.matcher.candidates(right, &cond_preds);
+        let cand_l = self.mask_candidates(left, cset);
+        let cand_r = self.mask_candidates(right, cset);
         if cand_l.is_empty() || cand_r.is_empty() {
             // No statistics at all: classic 1/max(|L|,|R|) default.
             let nl = self.db.row_count(left.table).unwrap_or(1).max(1);
@@ -408,7 +751,6 @@ impl<'a> SelectivityEstimator<'a> {
             sqe_engine::predicate::PredColumns::One(c) => c,
             sqe_engine::predicate::PredColumns::Two(c, _) => c,
         };
-        let cond_preds = self.ctx.predicates_of(cset);
         let truth = matches!(self.mode, ErrorMode::Opt).then(|| self.true_conditional(i, cset));
 
         // Option set: (error, coverage, estimate). Larger coverage wins
@@ -420,11 +762,18 @@ impl<'a> SelectivityEstimator<'a> {
         let mut options: Vec<(f64, usize, f64)> = Vec::new();
 
         let catalog = self.matcher.catalog();
-        for id in self.matcher.candidates(col, &cond_preds) {
+        for id in self.mask_candidates(col, cset) {
             let sit = catalog.get(id);
-            let start = Instant::now();
-            let est = filter_selectivity(&sit.histogram, pred);
-            self.hist_time += start.elapsed();
+            let est = match self.filter_sel_cache.get(&(id, i)) {
+                Some(&e) => e,
+                None => {
+                    let start = Instant::now();
+                    let e = filter_selectivity(&sit.histogram, pred);
+                    self.hist_time += start.elapsed();
+                    self.filter_sel_cache.insert((id, i), e);
+                    e
+                }
+            };
             let err = match (self.mode, truth) {
                 (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
                 _ => self.mode.sit_error(cset.len(), sit.cond.len(), sit.diff),
@@ -447,9 +796,8 @@ impl<'a> SelectivityEstimator<'a> {
                 continue;
             };
             let sub = cset.minus(PredSet::singleton(j));
-            let sub_preds = self.ctx.predicates_of(sub);
-            let cand_c = self.matcher.candidates(col, &sub_preds);
-            let cand_o = self.matcher.candidates(other, &sub_preds);
+            let cand_c = self.mask_candidates(col, sub);
+            let cand_o = self.mask_candidates(other, sub);
             let (Some((sc, _)), Some((so, _))) = (
                 self.pick_best_opt(&cand_c, sub),
                 self.pick_best_opt(&cand_o, sub),
@@ -458,20 +806,27 @@ impl<'a> SelectivityEstimator<'a> {
             };
             // H3's divergence from the attribute's original distribution:
             // at least the attribute-side SIT's own divergence, plus
-            // whatever the join itself adds.
-            let (h3_hist, h3_diff) = {
-                let (h, d) = self.h3_join(sc, so);
-                (h.clone(), *d)
+            // whatever the join itself adds. The ranged estimate depends
+            // only on the pair and the filter, so it is computed once per
+            // `(pair, filter)` across all conditioning sets.
+            let (est, h3_diff) = match self.h3_sel_cache.get(&(sc, so, i)) {
+                Some(&v) => v,
+                None => {
+                    let (est, d, spent) = {
+                        let (h, d) = self.h3_join(sc, so);
+                        let start = Instant::now();
+                        (filter_selectivity(h, pred), *d, start.elapsed())
+                    };
+                    self.hist_time += spent;
+                    self.h3_sel_cache.insert((sc, so, i), (est, d));
+                    (est, d)
+                }
             };
-            let start = Instant::now();
-            let est = filter_selectivity(&h3_hist, pred);
-            self.hist_time += start.elapsed();
-            let (sit_c, sit_o) = (catalog.get(sc), catalog.get(so));
-            // Coverage: the join predicate itself plus both conditions.
-            let mut covered: Vec<&Predicate> = sit_c.cond.iter().chain(&sit_o.cond).collect();
-            covered.sort_unstable();
-            covered.dedup();
-            let coverage = (1 + covered.len()).min(cset.len());
+            // Coverage: the join predicate itself plus both conditions
+            // (condition masks are exact, so the union's popcount is the
+            // deduplicated size the predicate-set version computed).
+            let union = self.sit_cond_masks[&sc] | self.sit_cond_masks[&so];
+            let coverage = (1 + union.count_ones() as usize).min(cset.len());
             let err = match (self.mode, truth) {
                 (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
                 (ErrorMode::Diff, _) => 1.0 - h3_diff.clamp(0.0, 1.0),
@@ -516,7 +871,7 @@ impl<'a> SelectivityEstimator<'a> {
         // conditions on j (it is finer — 200 buckets vs a 32-wide grid
         // dimension), the multidimensional detour only adds resolution
         // noise, so skip it (the maximality spirit of §3.3's rule 3).
-        let direct = self.matcher.candidates(col, &self.ctx.predicates_of(cset));
+        let direct = self.mask_candidates(col, cset);
         let catalog = self.matcher.catalog();
         // Both grid paths are *fallbacks*: a join-conditioned 1-D SIT for
         // the attribute is built on the exact expression at 200-bucket
@@ -536,20 +891,20 @@ impl<'a> SelectivityEstimator<'a> {
                     continue;
                 }
                 let sub = cset.minus(PredSet::singleton(j));
-                let sub_preds = self.ctx.predicates_of(sub);
-                let candidates: Vec<Sit2Id> = sit2s
-                    .for_y(col)
-                    .iter()
-                    .copied()
-                    .filter(|&id| {
-                        let s2 = sit2s.get(id);
-                        s2.x == near && s2.cond.iter().all(|p| sub_preds.contains(p))
+                let candidates: Vec<Sit2Id> = self
+                    .sit2_index
+                    .get(&col)
+                    .map(|list| {
+                        list.iter()
+                            .filter(|&&(id, m)| m & !sub.0 == 0 && sit2s.get(id).x == near)
+                            .map(|&(id, _)| id)
+                            .collect()
                     })
-                    .collect();
+                    .unwrap_or_default();
                 if candidates.is_empty() {
                     continue;
                 }
-                let cand_far = self.matcher.candidates(far, &sub_preds);
+                let cand_far = self.mask_candidates(far, sub);
                 let Some((far_id, _)) = self.pick_best_opt(&cand_far, sub) else {
                     continue;
                 };
@@ -591,16 +946,16 @@ impl<'a> SelectivityEstimator<'a> {
                 continue;
             };
             let sub = cset.minus(PredSet::singleton(g));
-            let sub_preds = self.ctx.predicates_of(sub);
-            let candidates: Vec<Sit2Id> = sit2s
-                .for_y(col)
-                .iter()
-                .copied()
-                .filter(|&id| {
-                    let s2 = sit2s.get(id);
-                    s2.x == gcol && s2.cond.iter().all(|p| sub_preds.contains(p))
+            let candidates: Vec<Sit2Id> = self
+                .sit2_index
+                .get(&col)
+                .map(|list| {
+                    list.iter()
+                        .filter(|&&(id, m)| m & !sub.0 == 0 && sit2s.get(id).x == gcol)
+                        .map(|&(id, _)| id)
+                        .collect()
                 })
-                .collect();
+                .unwrap_or_default();
             for s2_id in candidates {
                 let (conditional, divergence) = self.conditional2(sit2s, s2_id, glo, ghi);
                 if conditional.total_rows() <= 0.0 {
@@ -778,6 +1133,54 @@ impl<'a> SelectivityEstimator<'a> {
             mode => mode.fallback_error(cset.len()),
         }
     }
+}
+
+/// The distinct attributes mentioned by a query's predicates, in first-use
+/// order.
+fn query_attrs(preds: &[Predicate]) -> Vec<ColRef> {
+    let mut attrs = Vec::new();
+    for p in preds {
+        for c in p.columns().iter() {
+            if !attrs.contains(&c) {
+                attrs.push(c);
+            }
+        }
+    }
+    attrs
+}
+
+/// Translates a SIT condition into a mask over the query's predicate
+/// indices; `None` when some condition predicate is not in the query (such
+/// a SIT can never be applicable for any conditioning subset).
+fn cond_to_mask(cond: &[Predicate], preds: &[Predicate]) -> Option<u32> {
+    let mut mask = 0u32;
+    for c in cond {
+        mask |= 1 << preds.iter().position(|p| p == c)?;
+    }
+    Some(mask)
+}
+
+/// Per-attribute candidate lists with condition masks (see
+/// [`SelectivityEstimator::mask_candidates`]).
+type CandIndex = HashMap<ColRef, Vec<(SitId, u32)>>;
+
+/// Builds the per-attribute candidate index: for every attribute the query
+/// mentions, the catalog's `for_attr` list (order preserved) restricted to
+/// usable SITs, with condition masks — plus the id → mask side table.
+fn build_cand_index(catalog: &SitCatalog, preds: &[Predicate]) -> (CandIndex, HashMap<SitId, u32>) {
+    let mut by_attr = HashMap::new();
+    let mut masks = HashMap::new();
+    for attr in query_attrs(preds) {
+        let mut list = Vec::new();
+        for &id in catalog.for_attr(attr) {
+            if let Some(mask) = cond_to_mask(&catalog.get(id).cond, preds) {
+                masks.insert(id, mask);
+                list.push((id, mask));
+            }
+        }
+        by_attr.insert(attr, list);
+    }
+    (by_attr, masks)
 }
 
 /// `Opt`'s per-factor deviation: the absolute log-ratio between estimate
@@ -1219,5 +1622,86 @@ mod tests {
         assert!(stats.memo_entries >= 3);
         assert!(stats.peel_entries >= 2);
         assert!(stats.vm_calls > 0);
+    }
+
+    #[test]
+    fn stats_report_occupied_slots_not_capacity() {
+        // The dense memo holds 2ⁿ slots and the flat peel table ≥ 64; the
+        // 2-predicate query computes exactly 3 subsets, and the counts must
+        // reflect that — identically under both engines.
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut dense = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd)
+            .with_strategy(DpStrategy::Dense);
+        dense.selectivity();
+        assert_eq!(
+            dense.stats().memo_entries,
+            3,
+            "occupied, not the 4-slot table"
+        );
+        let mut rec = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::NInd)
+            .with_strategy(DpStrategy::Recursive);
+        rec.selectivity();
+        assert_eq!(rec.stats().memo_entries, 3);
+        assert_eq!(dense.stats().peel_entries, rec.stats().peel_entries);
+        assert!(
+            dense.stats().peel_entries < 64,
+            "peel count must not report the table's minimum capacity"
+        );
+    }
+
+    #[test]
+    fn strategies_are_bit_identical_on_fixtures() {
+        // Deterministic spot-check (the broad randomized version lives in
+        // tests/dense_engine.rs): every subset of both fixture queries, all
+        // engines, identical bits.
+        let db = skewed_db();
+        let cat = full_catalog(&db);
+        for q in [
+            query(&db),
+            SpjQuery::from_predicates(vec![
+                Predicate::join(c(0, 1), c(1, 0)),
+                Predicate::filter(c(0, 0), CmpOp::Eq, 1),
+                Predicate::filter(c(1, 1), CmpOp::Le, 3),
+                Predicate::filter(c(0, 1), CmpOp::Ge, 10),
+            ])
+            .unwrap(),
+        ] {
+            for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+                let mut dense =
+                    SelectivityEstimator::new(&db, &q, &cat, mode).with_strategy(DpStrategy::Dense);
+                let mut rec = SelectivityEstimator::new(&db, &q, &cat, mode)
+                    .with_strategy(DpStrategy::Recursive);
+                let n = q.predicates.len();
+                for mask in 1u32..(1 << n) {
+                    let p = PredSet(mask);
+                    let (sd, ed) = dense.get_selectivity(p);
+                    let (sr, er) = rec.get_selectivity(p);
+                    assert_eq!(sd.to_bits(), sr.to_bits(), "sel mask {mask:#b}");
+                    assert_eq!(ed.to_bits(), er.to_bits(), "err mask {mask:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sit_driven_pruning_identical_across_strategies() {
+        // The dense engine's subset-OR prune table must keep exactly the
+        // decompositions the mask loop keeps.
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut dense = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_strategy(DpStrategy::Dense)
+            .with_sit_driven_pruning();
+        let mut rec = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_strategy(DpStrategy::Recursive)
+            .with_sit_driven_pruning();
+        let (sd, ed) = dense.get_selectivity(dense.context().all());
+        let (sr, er) = rec.get_selectivity(rec.context().all());
+        assert_eq!(sd.to_bits(), sr.to_bits());
+        assert_eq!(ed.to_bits(), er.to_bits());
+        assert_eq!(dense.stats().peel_entries, rec.stats().peel_entries);
     }
 }

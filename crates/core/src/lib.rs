@@ -22,7 +22,11 @@
 //!   oracle `Opt` (§5);
 //! * [`estimator`] — the [`estimator::SelectivityEstimator`] implementing
 //!   algorithm `getSelectivity` (Figure 3): a memoized dynamic program over
-//!   predicate subsets returning the most accurate decomposition;
+//!   predicate subsets returning the most accurate decomposition, run on a
+//!   dense flat-table subset-lattice engine (or a recursive fallback for
+//!   large queries — see [`estimator::DpStrategy`]);
+//! * [`flat`] — the flat memo tables behind the DP engine: a dense
+//!   mask-indexed value table and an open-addressed `u64`-keyed table;
 //! * [`cache`] — canonical cache keys and the cross-query shared-cache
 //!   interface consumed by the `sqe-service` estimation service;
 //! * [`gvm`] — the greedy view-matching baseline of \[4\] (SIGMOD 2002),
@@ -37,6 +41,7 @@ pub mod decomposition;
 pub mod error;
 pub mod estimator;
 pub mod feedback;
+pub mod flat;
 pub mod groupby;
 pub mod gvm;
 pub mod matcher;
@@ -48,10 +53,11 @@ pub mod sit2;
 
 pub use baseline::NoSitEstimator;
 pub use cache::{CacheKey, SharedEstimatorCache};
-pub use decomposition::{count_decompositions, decomposition_bounds};
+pub use decomposition::{count_decompositions, decomposition_bounds, ComponentTable};
 pub use error::ErrorMode;
-pub use estimator::{EstimatorStats, SelectivityEstimator};
+pub use estimator::{DpStrategy, EstimatorStats, SelectivityEstimator};
 pub use feedback::{FeedbackStore, Observation};
+pub use flat::{DenseMemo, FlatMemo};
 pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
 pub use persist::{load_catalog, save_catalog};

@@ -30,6 +30,7 @@ use sqe_engine::{
     execute_connected, ColRef, Database, Predicate, Result as EngineResult, SpjQuery, TableId,
 };
 
+use crate::predset::PredSet;
 use crate::sit::{Sit, SitCatalog, SitOptions};
 
 /// Specification of a pool to build.
@@ -95,23 +96,20 @@ pub fn build_pool_threaded(
             if spec.max_join_preds == 0 || joins.is_empty() {
                 continue;
             }
-            // Connected join subsets touching attr's table.
-            for mask in 1u32..(1 << joins.len()) {
-                if (mask.count_ones() as usize) > spec.max_join_preds {
-                    continue;
+            // Connected join subsets touching attr's table, enumerated by
+            // size (Gosper walk) — skips the ≥ i-join masks a full 2ʲ scan
+            // would visit and reject.
+            let all_joins = PredSet::full(joins.len());
+            for k in 1..=spec.max_join_preds.min(joins.len()) {
+                for subset_set in all_joins.subsets_of_size(k) {
+                    let subset: Vec<Predicate> = subset_set.iter().map(|j| joins[j]).collect();
+                    if !subset_connected_with(&subset, attr.table) {
+                        continue;
+                    }
+                    let mut cond = subset;
+                    cond.sort_unstable();
+                    defs.entry((attr, cond)).or_default();
                 }
-                let subset: Vec<Predicate> = joins
-                    .iter()
-                    .enumerate()
-                    .filter(|(k, _)| mask & (1 << k) != 0)
-                    .map(|(_, p)| *p)
-                    .collect();
-                if !subset_connected_with(&subset, attr.table) {
-                    continue;
-                }
-                let mut cond = subset;
-                cond.sort_unstable();
-                defs.entry((attr, cond)).or_default();
             }
         }
     }

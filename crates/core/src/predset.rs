@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-use sqe_engine::dsu::Dsu;
 use sqe_engine::{Database, Predicate, SpjQuery, TableId};
 
 /// Maximum number of predicates per query.
@@ -103,6 +102,29 @@ impl PredSet {
             done: self.0 == 0,
         }
     }
+
+    /// Iterates over the subsets of `self` with exactly `k` members,
+    /// allocation-free (Gosper's hack over the compressed index space, each
+    /// combination expanded back through the member positions). Yields
+    /// nothing when `k == 0` or `k > self.len()`. Together with an outer
+    /// `for k in 1..=len` loop this enumerates all subsets in ascending
+    /// popcount order — the iteration order of the dense DP engine's
+    /// bottom-up fill.
+    pub fn subsets_of_size(self, k: usize) -> FixedSizeSubsetIter {
+        let mut positions = [0u8; MAX_PREDICATES];
+        let mut count = 0usize;
+        for (slot, i) in positions.iter_mut().zip(self.iter()) {
+            *slot = i as u8;
+            count += 1;
+        }
+        let done = k == 0 || k > count;
+        FixedSizeSubsetIter {
+            positions,
+            count,
+            current: if done { 0 } else { (1u64 << k) - 1 },
+            done,
+        }
+    }
 }
 
 impl fmt::Display for PredSet {
@@ -146,6 +168,42 @@ impl Iterator for SubsetIter {
     }
 }
 
+/// Iterator over the size-`k` subsets of a [`PredSet`] (see
+/// [`PredSet::subsets_of_size`]). Combinations are generated in ascending
+/// order of their compressed (member-rank) bit pattern.
+pub struct FixedSizeSubsetIter {
+    positions: [u8; MAX_PREDICATES],
+    count: usize,
+    /// Current combination over the compressed `count`-bit index space.
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for FixedSizeSubsetIter {
+    type Item = PredSet;
+
+    fn next(&mut self) -> Option<PredSet> {
+        if self.done || self.current >= 1u64 << self.count {
+            self.done = true;
+            return None;
+        }
+        // Expand the compressed combination through the member positions.
+        let mut mask = 0u32;
+        let mut bits = self.current;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            mask |= 1 << self.positions[j];
+        }
+        // Gosper's hack: next integer with the same popcount.
+        let v = self.current;
+        let c = v & v.wrapping_neg();
+        let r = v + c;
+        self.current = (((v ^ r) >> 2) / c) | r;
+        Some(PredSet(mask))
+    }
+}
+
 /// Precomputed, per-query metadata over which the selectivity algorithms
 /// run. Borrow-free (owns copies of the predicates) so estimators can hold
 /// it alongside a database reference.
@@ -159,6 +217,12 @@ pub struct QueryContext {
     joins: PredSet,
     /// Cross product size of each table (aligned with `tables`).
     table_rows: Vec<u128>,
+    /// Predicate-connectivity adjacency: `adjacency[i]` is the mask of
+    /// predicates sharing at least one table with predicate `i` (including
+    /// `i` itself). Connected components of this graph restricted to a
+    /// subset are exactly the subset's standard-decomposition factors
+    /// (Lemma 2), so separability becomes pure bit manipulation.
+    adjacency: Vec<u32>,
 }
 
 impl QueryContext {
@@ -178,7 +242,7 @@ impl QueryContext {
                 .binary_search(&t)
                 .expect("predicate tables validated by SpjQuery") as u32
         };
-        let table_masks = query
+        let table_masks: Vec<u32> = query
             .predicates
             .iter()
             .map(|p| p.tables().iter().fold(0u32, |m, t| m | (1 << slot(t))))
@@ -193,12 +257,22 @@ impl QueryContext {
             .iter()
             .map(|&t| db.row_count(t).map(|n| n as u128).unwrap_or(0))
             .collect();
+        let adjacency = (0..query.predicates.len())
+            .map(|i| {
+                table_masks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m & table_masks[i] != 0)
+                    .fold(0u32, |acc, (j, _)| acc | (1 << j))
+            })
+            .collect();
         QueryContext {
             tables,
             predicates: query.predicates.clone(),
             table_masks,
             joins,
             table_rows,
+            adjacency,
         }
     }
 
@@ -277,11 +351,56 @@ impl QueryContext {
             .fold(1u128, |acc, (_, &n)| acc.saturating_mul(n))
     }
 
+    /// The mask of predicates sharing at least one table with predicate
+    /// `i` (including `i` itself) — the connectivity row the dense DP
+    /// engine's companion tables are derived from.
+    pub fn adjacent(&self, i: usize) -> PredSet {
+        PredSet(self.adjacency[i])
+    }
+
     /// Separability test (Definition 2): `Sel(P)` is separable iff the
     /// predicates of `P` split into two non-empty groups referencing
-    /// disjoint table sets.
+    /// disjoint table sets. Pure bit manipulation — no allocation.
     pub fn is_separable(&self, set: PredSet) -> bool {
-        self.standard_decomposition(set).len() > 1
+        !set.is_empty() && self.first_component(set) != set
+    }
+
+    /// The connected component of `set`'s lowest predicate index within the
+    /// predicate-connectivity graph restricted to `set` — the first factor
+    /// of the standard decomposition. Allocation-free frontier expansion
+    /// over the precomputed adjacency masks; the empty set yields itself.
+    pub fn first_component(&self, set: PredSet) -> PredSet {
+        if set.is_empty() {
+            return PredSet::EMPTY;
+        }
+        let mut comp = 1u32 << set.0.trailing_zeros();
+        let mut frontier = comp;
+        while frontier != 0 {
+            let mut grown = 0u32;
+            let mut bits = frontier;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                grown |= self.adjacency[i];
+            }
+            frontier = grown & set.0 & !comp;
+            comp |= frontier;
+        }
+        PredSet(comp)
+    }
+
+    /// Iterates the standard-decomposition factors of `set` in ascending
+    /// order of their smallest predicate index, without allocating.
+    pub fn components(&self, set: PredSet) -> impl Iterator<Item = PredSet> + '_ {
+        let mut rest = set;
+        std::iter::from_fn(move || {
+            if rest.is_empty() {
+                return None;
+            }
+            let c = self.first_component(rest);
+            rest = rest.minus(c);
+            Some(c)
+        })
     }
 
     /// The unique *standard decomposition* of `Sel(P)` into non-separable
@@ -290,43 +409,7 @@ impl QueryContext {
     /// components in ascending order of their smallest predicate index;
     /// singletons and the empty set yield themselves.
     pub fn standard_decomposition(&self, set: PredSet) -> Vec<PredSet> {
-        let members: Vec<usize> = set.iter().collect();
-        if members.len() <= 1 {
-            return if members.is_empty() {
-                Vec::new()
-            } else {
-                vec![set]
-            };
-        }
-        // Union-find over the query's table slots; predicates link their
-        // tables together.
-        let mut dsu = Dsu::new(self.tables.len());
-        for &i in &members {
-            let mask = self.table_masks[i];
-            let mut slots = (0..self.tables.len()).filter(|s| mask & (1 << s) != 0);
-            if let Some(first) = slots.next() {
-                for s in slots {
-                    dsu.union(first, s);
-                }
-            }
-        }
-        // Group predicates by the component of (any of) their tables.
-        let mut reps: Vec<usize> = Vec::new();
-        let mut groups: Vec<PredSet> = Vec::new();
-        for &i in &members {
-            let slot = (self.table_masks[i].trailing_zeros()) as usize;
-            let root = dsu.find(slot);
-            match reps.iter().position(|&r| r == root) {
-                Some(g) => groups[g].insert(i),
-                None => {
-                    reps.push(root);
-                    let mut s = PredSet::EMPTY;
-                    s.insert(i);
-                    groups.push(s);
-                }
-            }
-        }
-        groups
+        self.components(set).collect()
     }
 }
 

@@ -34,6 +34,7 @@ pub mod stats;
 pub use cache::{CacheCounters, ShardedCache};
 pub use lru::LruMap;
 pub use service::{CatalogSnapshot, Estimate, EstimationService, ServiceConfig};
+pub use sqe_core::DpStrategy;
 pub use stats::{ServiceStatsSnapshot, LATENCY_BUCKETS};
 
 /// The whole point of the crate: everything shared is thread-safe.

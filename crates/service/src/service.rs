@@ -7,8 +7,8 @@ use std::time::Instant;
 
 use parking_lot::RwLock;
 use sqe_core::{
-    build_pool_threaded, CacheKey, ErrorMode, PoolSpec, SelectivityEstimator, Sit2Catalog,
-    SitCatalog, SitOptions,
+    build_pool_threaded, CacheKey, DpStrategy, ErrorMode, PoolSpec, SelectivityEstimator,
+    Sit2Catalog, SitCatalog, SitOptions,
 };
 use sqe_engine::{Database, Result as EngineResult, SpjQuery};
 
@@ -32,6 +32,10 @@ pub struct ServiceConfig {
     /// Enables §3.4 SIT-driven pruning on every estimator. Part of the
     /// estimator configuration, so it must be uniform across a cache.
     pub sit_driven_pruning: bool,
+    /// Subset-lattice DP engine every estimator runs on. All strategies are
+    /// bit-identical, so mixing them across a shared cache is safe — this
+    /// knob exists for memory control and engine benchmarking.
+    pub dp_strategy: DpStrategy,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +46,7 @@ impl Default for ServiceConfig {
             cache_capacity_per_shard: 4096,
             build_threads: None,
             sit_driven_pruning: false,
+            dp_strategy: DpStrategy::Auto,
         }
     }
 }
@@ -226,6 +231,7 @@ impl EstimationService {
                     &snapshot.sits,
                     self.config.mode,
                 )
+                .with_strategy(self.config.dp_strategy)
                 .with_shared_cache(&snapshot.cache);
                 if let Some(sit2) = &snapshot.sit2 {
                     est = est.with_sit2_catalog(sit2);

@@ -58,9 +58,9 @@ pub use sqe_service as service;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use sqe_core::{
-        build_pool, build_pool2, load_catalog, save_catalog, ErrorMode, GreedyViewMatching,
-        NoSitEstimator, PoolSpec, PredSet, QueryContext, SelectivityEstimator, Sit, Sit2,
-        Sit2Catalog, SitCatalog, SitOptions,
+        build_pool, build_pool2, load_catalog, save_catalog, DpStrategy, ErrorMode,
+        GreedyViewMatching, NoSitEstimator, PoolSpec, PredSet, QueryContext, SelectivityEstimator,
+        Sit, Sit2, Sit2Catalog, SitCatalog, SitOptions,
     };
     pub use sqe_datagen::{
         generate_workload, motivating_scenario, Snowflake, SnowflakeConfig, WorkloadConfig,
