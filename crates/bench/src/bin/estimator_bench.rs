@@ -4,25 +4,28 @@
 //! For each `n` in `--ns` the bench generates a workload whose queries have
 //! exactly `n` predicates (`min(n/2, 7)` joins, the rest filters, over the
 //! standard snowflake schema), builds one `J_i` SIT pool, and then times
-//! **cold single-query estimation**: every sample constructs a fresh
-//! [`SelectivityEstimator`] (no cross-query cache, nothing memoized) and
-//! runs `selectivity()` to completion. The reported latency is the median
-//! over `queries × reps` samples; memo/peel entry counts come from the
-//! final sample and describe the size of the subset-lattice walk.
+//! **cold single-query estimation** twice per sample: once on the serial
+//! dense fill and once on the rank-parallel fill with `--threads` workers.
+//! Every sample constructs fresh [`SelectivityEstimator`]s (no cross-query
+//! cache, nothing memoized) and runs `selectivity()` to completion; the
+//! threaded run is asserted **bit-identical** to the serial run, with equal
+//! memo/peel/view-matching counts, on every sample. The reported latency is
+//! the median over `queries × reps` samples; memo/peel entry counts come
+//! from the final sample and describe the size of the subset-lattice walk.
 //!
 //! Results are printed as a table and written to **`BENCH_estimator.json`
 //! at the repo root** (committed, so the perf trajectory across PRs is
-//! diffable).
+//! diffable); microsecond fields are rounded to nanosecond precision.
 //!
 //! ```text
 //! cargo run --release -p sqe-bench --bin estimator_bench \
-//!     [-- --ns 4,8,12,16 --queries 3 --reps 3 --pool 2]
+//!     [-- --ns 4,8,12,16 --queries 3 --reps 3 --pool 2 --threads 2]
 //! ```
 
 use std::time::Instant;
 
 use serde::Serialize;
-use sqe_bench::report::{render_table, write_json_root};
+use sqe_bench::report::{render_table, round_us, write_json_root};
 use sqe_bench::{Args, Setup, SetupConfig};
 use sqe_core::{ErrorMode, SelectivityEstimator};
 use sqe_datagen::{generate_workload, WorkloadConfig};
@@ -34,12 +37,25 @@ struct Row {
     filters: usize,
     queries: usize,
     reps: usize,
-    median_us: f64,
-    min_us: f64,
-    max_us: f64,
+    /// DP worker threads of the threaded column (the serial column is
+    /// always 1).
+    threads: usize,
+    serial_median_us: f64,
+    serial_min_us: f64,
+    serial_max_us: f64,
+    threaded_median_us: f64,
+    threaded_min_us: f64,
+    threaded_max_us: f64,
+    /// `serial_median_us / threaded_median_us` (≈1 on a single-core host).
+    speedup: f64,
     memo_entries: usize,
     peel_entries: usize,
     vm_calls: u64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn main() {
@@ -48,6 +64,10 @@ fn main() {
     let pool_i: usize = args.get("pool", 2);
     let queries: usize = args.get("queries", 3);
     let reps: usize = args.get("reps", 3);
+    let threads: usize = args.get(
+        "threads",
+        std::thread::available_parallelism().map_or(2, |n| n.get()),
+    );
     let ns: Vec<usize> = args
         .get_str("ns", "4,8,12,16")
         .split(',')
@@ -74,41 +94,73 @@ fn main() {
         eprintln!("n={n}: building J{pool_i} pool ...");
         let pool = setup.pool(&workload, pool_i);
 
-        let mut samples: Vec<f64> = Vec::with_capacity(queries * reps);
+        let mut serial_samples: Vec<f64> = Vec::with_capacity(queries * reps);
+        let mut threaded_samples: Vec<f64> = Vec::with_capacity(queries * reps);
         let mut memo_entries = 0;
         let mut peel_entries = 0;
         let mut vm_calls = 0;
+        let mut last_serial_hist_us = 0.0;
+        let mut last_threaded_hist_us = 0.0;
         for query in &workload {
             for _ in 0..reps {
                 let start = Instant::now();
-                let mut est =
+                let mut serial =
                     SelectivityEstimator::new(&setup.snowflake.db, query, &pool, ErrorMode::Diff);
-                std::hint::black_box(est.selectivity());
-                samples.push(start.elapsed().as_secs_f64() * 1e6);
-                let stats = est.stats();
-                memo_entries = stats.memo_entries;
-                peel_entries = stats.peel_entries;
-                vm_calls = stats.vm_calls;
+                let serial_sel = std::hint::black_box(serial.selectivity());
+                serial_samples.push(start.elapsed().as_secs_f64() * 1e6);
+
+                let start = Instant::now();
+                let mut par =
+                    SelectivityEstimator::new(&setup.snowflake.db, query, &pool, ErrorMode::Diff)
+                        .with_dp_threads(threads);
+                let par_sel = std::hint::black_box(par.selectivity());
+                threaded_samples.push(start.elapsed().as_secs_f64() * 1e6);
+
+                // The parallel fill must reproduce the serial result bit for
+                // bit, and the same lattice/link/view-matching footprint.
+                let (ss, ps) = (serial.stats(), par.stats());
+                assert_eq!(
+                    serial_sel.to_bits(),
+                    par_sel.to_bits(),
+                    "n={n}: threaded selectivity diverged from serial"
+                );
+                assert_eq!(ss.memo_entries, ps.memo_entries, "n={n}: memo entries");
+                assert_eq!(ss.peel_entries, ps.peel_entries, "n={n}: peel entries");
+                assert_eq!(ss.vm_calls, ps.vm_calls, "n={n}: view-matching calls");
+                memo_entries = ss.memo_entries;
+                peel_entries = ss.peel_entries;
+                vm_calls = ss.vm_calls;
+                last_serial_hist_us = ss.histogram_time.as_secs_f64() * 1e6;
+                last_threaded_hist_us = ps.histogram_time.as_secs_f64() * 1e6;
             }
         }
-        samples.sort_by(f64::total_cmp);
-        let median = samples[samples.len() / 2];
+        let serial_median = median(&mut serial_samples);
+        let threaded_median = median(&mut threaded_samples);
         rows.push(Row {
             n,
             joins,
             filters,
             queries,
             reps,
-            median_us: median,
-            min_us: samples[0],
-            max_us: samples[samples.len() - 1],
+            threads,
+            serial_median_us: round_us(serial_median),
+            serial_min_us: round_us(serial_samples[0]),
+            serial_max_us: round_us(serial_samples[serial_samples.len() - 1]),
+            threaded_median_us: round_us(threaded_median),
+            threaded_min_us: round_us(threaded_samples[0]),
+            threaded_max_us: round_us(threaded_samples[threaded_samples.len() - 1]),
+            speedup: round_us(serial_median / threaded_median),
             memo_entries,
             peel_entries,
             vm_calls,
         });
         eprintln!(
-            "n={n}: median {median:.1} µs over {} samples",
-            samples.len()
+            "n={n}: serial median {serial_median:.1} µs, {threads}-thread median \
+             {threaded_median:.1} µs over {} samples each (bit-identical); \
+             last-sample histogram time {:.1} µs serial / {:.1} µs threaded (summed over workers)",
+            serial_samples.len(),
+            last_serial_hist_us,
+            last_threaded_hist_us,
         );
     }
 
@@ -118,9 +170,9 @@ fn main() {
         .map(|r| {
             vec![
                 r.n.to_string(),
-                format!("{:.1}", r.median_us),
-                format!("{:.1}", r.min_us),
-                format!("{:.1}", r.max_us),
+                format!("{:.1}", r.serial_median_us),
+                format!("{:.1}", r.threaded_median_us),
+                format!("{:.2}x", r.speedup),
                 r.memo_entries.to_string(),
                 r.peel_entries.to_string(),
                 r.vm_calls.to_string(),
@@ -132,9 +184,9 @@ fn main() {
         render_table(
             &[
                 "n",
-                "median µs",
-                "min µs",
-                "max µs",
+                "serial µs",
+                &format!("{threads}-thread µs"),
+                "speedup",
                 "memo",
                 "peel",
                 "vm calls"
@@ -142,6 +194,8 @@ fn main() {
             &table
         )
     );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {cores} core(s) available to this process\n");
 
     match write_json_root("BENCH_estimator", &rows) {
         Ok(p) => println!("results written to {}", p.display()),

@@ -55,6 +55,14 @@ pub fn fmt_num(x: f64) -> String {
     }
 }
 
+/// Rounds a microsecond latency to nanosecond precision (three decimals),
+/// so serialized timings don't carry binary-float noise like
+/// `914232.516000000003` into committed JSON — a nanosecond is already an
+/// order of magnitude below `Instant` jitter on this path.
+pub fn round_us(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
 /// Resolves the `results/` directory (repo root when run via cargo,
 /// current dir otherwise) and ensures it exists.
 pub fn results_dir() -> PathBuf {
@@ -126,6 +134,19 @@ mod tests {
         assert_eq!(fmt_num(1234.5), "1234");
         assert_eq!(fmt_num(1.5e9), "1.50e9");
         assert_eq!(fmt_num(1e-6), "1.00e-6");
+    }
+
+    #[test]
+    fn microseconds_round_to_nanosecond_precision() {
+        assert_eq!(round_us(914_232.516_000_000_003), 914_232.516);
+        assert_eq!(round_us(0.000_4), 0.0);
+        assert_eq!(round_us(0.000_6), 0.001);
+        assert_eq!(round_us(12.0), 12.0);
+        // Round-tripping through JSON keeps the short decimal form.
+        assert_eq!(
+            serde_json::to_string(&round_us(914_232.516_000_000_003)).unwrap(),
+            "914232.516"
+        );
     }
 
     #[test]

@@ -55,30 +55,34 @@
 //! pins and the 8-thread determinism suite relies on).
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate, SpjQuery};
 use sqe_histogram::Histogram;
 
-use crate::cache::{CacheKey, SharedEstimatorCache};
+use crate::cache::SharedEstimatorCache;
 use crate::decomposition::ComponentTable;
 use crate::error::ErrorMode;
 use crate::flat::{peel_key, DenseMemo, FlatMemo};
+use crate::link::{CandIndex, LinkCtx, LinkState, DEFAULT_RANGE_SEL};
 use crate::matcher::SitMatcher;
+use crate::par::{Claim, OnceMap};
 use crate::predset::{PredSet, QueryContext};
 use crate::sit::{SitCatalog, SitId};
 use crate::sit2::{Sit2Catalog, Sit2Id};
 
-/// Default equality selectivity when no statistic exists (System R lore).
-const DEFAULT_EQ_SEL: f64 = 0.1;
-/// Default range / inequality selectivity when no statistic exists.
-const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
-/// Floor for degenerate estimates, avoiding hard zeros that would wipe out
-/// entire decompositions.
-const MIN_SEL: f64 = 1e-12;
+pub(crate) use crate::link::filter_bounds;
+
 /// Default group-count cap when no statistic exists for a grouping
 /// attribute.
 pub(crate) const DEFAULT_GROUPS: f64 = 100.0;
+/// Minimum number of same-rank masks per worker before the dense fill
+/// spawns threads: below this, scope setup and link-state forking cost
+/// more than the rank's arithmetic (small components stay serial).
+const PAR_MIN_MASKS_PER_WORKER: usize = 8;
+
 /// `Auto` uses the dense engine up to this many predicates (a `2¹⁶`-slot
 /// value table is 1 MiB — cheap next to the `3ⁿ` walk it accelerates).
 const DENSE_AUTO_MAX: usize = 16;
@@ -129,6 +133,26 @@ pub struct EstimatorStats {
     pub histogram_time: Duration,
 }
 
+/// Builds a [`LinkCtx`] from the estimator's immutable fields. A macro —
+/// not a method — so every call site performs plain disjoint field
+/// accesses, leaving `links`, `oracle`, and the memo tables free for
+/// simultaneous `&mut` borrows.
+macro_rules! link_ctx {
+    ($est:expr) => {
+        LinkCtx {
+            db: $est.db,
+            ctx: &$est.ctx,
+            catalog: $est.matcher.catalog(),
+            mode: $est.mode,
+            cand_index: &$est.cand_index,
+            sit_cond_masks: &$est.sit_cond_masks,
+            sit2: $est.sit2,
+            sit2_index: &$est.sit2_index,
+            shared: $est.shared,
+        }
+    };
+}
+
 /// The `getSelectivity` dynamic program for one query.
 ///
 /// The estimator is stateful: the memoization table persists across
@@ -153,13 +177,9 @@ pub struct SelectivityEstimator<'a> {
     /// Mask-based index over the two-attribute SITs, keyed by the `y`
     /// attribute (built when a [`Sit2Catalog`] is attached).
     sit2_index: HashMap<ColRef, Vec<(Sit2Id, u32)>>,
-    /// Filter selectivity per `(SIT, predicate index)` — the same SIT
-    /// histogram is ranged with the same filter under thousands of
-    /// conditioning sets, and the estimate depends on neither.
-    filter_sel_cache: HashMap<(SitId, usize), f64>,
-    /// Filter estimate and divergence per `(H3 pair, predicate index)`,
-    /// collapsing the per-option `H3` histogram walk the same way.
-    h3_sel_cache: HashMap<(SitId, SitId, usize), (f64, f64)>,
+    /// The peel machinery's memoization state (value caches + counters),
+    /// separated so worker threads can fork it — see [`crate::link`].
+    links: LinkState,
     /// Dense subset memo (flat `2ⁿ` table), present iff the resolved
     /// strategy is dense. Exactly one of `memo_dense`/`memo_sparse` holds
     /// this query's `Sel(P)` values.
@@ -171,23 +191,14 @@ pub struct SelectivityEstimator<'a> {
     /// Per-link memo keyed by `peel_key(i, cset)` — open-addressed in both
     /// engines (dense would need `n·2ⁿ` slots).
     peel_memo: FlatMemo,
-    /// Join selectivity per SIT pair: the same pair is picked for many
-    /// conditioning sets, so this collapses the histogram-join work from
-    /// `O(n·2ⁿ)` to the number of distinct pairs.
-    join_cache: HashMap<(SitId, SitId), f64>,
-    /// Joined result histogram (`H3`, §3.3) and its divergence estimate per
-    /// SIT pair.
-    h3_cache: HashMap<(SitId, SitId), (Histogram, f64)>,
     oracle: Option<CardinalityOracle<'a>>,
-    hist_time: Duration,
     /// Optional multidimensional SITs (§3.3's `SIT(x, X|Q)`), consulted by
     /// filter peels for carried-`H3` and filter-on-filter estimates.
     sit2: Option<&'a Sit2Catalog>,
-    /// Carried-H3 cache per (grid, other-side SIT): estimated join
-    /// selectivity, carried histogram, divergence.
-    carry_cache: HashMap<(Sit2Id, SitId), (Histogram, f64)>,
-    /// Conditional-y cache per (grid, x-range).
-    cond2_cache: HashMap<(Sit2Id, i64, i64), (Histogram, f64)>,
+    /// Worker threads for the rank-parallel dense fill (1 = serial). Set
+    /// via [`Self::with_dp_threads`]; ignored by the recursive engine and
+    /// under `Opt` mode (the oracle is inherently sequential).
+    dp_threads: usize,
     /// §3.4's optional SIT-driven pruning: when set, the subset loop skips
     /// atomic decompositions that no available SIT could improve.
     sit_driven: Option<Vec<(u32, u32)>>,
@@ -223,19 +234,14 @@ impl<'a> SelectivityEstimator<'a> {
             cand_index,
             sit_cond_masks,
             sit2_index: HashMap::new(),
-            filter_sel_cache: HashMap::new(),
-            h3_sel_cache: HashMap::new(),
+            links: LinkState::new(),
             memo_dense: None,
             memo_sparse: FlatMemo::new(),
             comp_table: None,
             peel_memo: FlatMemo::new(),
-            join_cache: HashMap::new(),
-            h3_cache: HashMap::new(),
             oracle,
-            hist_time: Duration::ZERO,
             sit2: None,
-            carry_cache: HashMap::new(),
-            cond2_cache: HashMap::new(),
+            dp_threads: 1,
             sit_driven: None,
             prune_table: None,
             shared: None,
@@ -248,6 +254,21 @@ impl<'a> SelectivityEstimator<'a> {
     /// subset memo; call before the first estimation.
     pub fn with_strategy(mut self, strategy: DpStrategy) -> Self {
         self.apply_strategy(strategy);
+        self
+    }
+
+    /// Sets the worker-thread count for the dense engine's rank-parallel
+    /// lattice fill (the [`DpStrategy`]-level parallelism knob; `1` — the
+    /// default — keeps the fill serial). Each popcount rank of the subset
+    /// lattice depends only on strictly lower ranks, so its masks are
+    /// solved concurrently with per-mask result slots and committed at a
+    /// rank barrier — results are **bit-identical** to the serial fill (see
+    /// `DESIGN.md` §4e for the determinism argument). Small ranks stay
+    /// serial regardless (spawn overhead), as does `Opt` mode (its
+    /// cardinality oracle is inherently sequential) and the recursive
+    /// engine.
+    pub fn with_dp_threads(mut self, threads: usize) -> Self {
+        self.dp_threads = threads.max(1);
         self
     }
 
@@ -361,13 +382,16 @@ impl<'a> SelectivityEstimator<'a> {
     /// flat tables, never their capacity.
     pub fn stats(&self) -> EstimatorStats {
         EstimatorStats {
-            vm_calls: self.matcher.calls(),
+            // The peel path counts its view-matching calls in the link
+            // state (workers fork it); the matcher's own counter covers
+            // the remaining callers (e.g. Group-By estimation).
+            vm_calls: self.matcher.calls() + self.links.vm_calls,
             memo_entries: self
                 .memo_dense
                 .as_ref()
                 .map_or(self.memo_sparse.len(), DenseMemo::len),
             peel_entries: self.peel_memo.len(),
-            histogram_time: self.hist_time,
+            histogram_time: self.links.hist_time,
         }
     }
 
@@ -455,46 +479,149 @@ impl<'a> SelectivityEstimator<'a> {
     /// Fills every subset of the non-separable component `comp` in
     /// ascending popcount order. Each mask's dependencies (its proper
     /// subsets) live in earlier popcount ranks, so every `Sel(Q)` the
-    /// subset walk needs is a plain indexed load by the time it is read.
+    /// subset walk needs is a plain indexed load by the time it is read —
+    /// and, because masks within one rank never read each other, a rank's
+    /// masks can be solved concurrently (see [`Self::fill_rank_parallel`]).
     fn fill_component(&mut self, comp: PredSet) -> (f64, f64) {
         for k in 1..=comp.len() {
-            for m in comp.subsets_of_size(k) {
-                if self
-                    .memo_dense
-                    .as_ref()
-                    .expect("dense engine active")
-                    .contains(m.0)
-                {
-                    continue;
+            let pending: Vec<PredSet> = {
+                let memo = self.memo_dense.as_ref().expect("dense engine active");
+                comp.subsets_of_size(k)
+                    .filter(|m| !memo.contains(m.0))
+                    .collect()
+            };
+            let workers = self.rank_workers(pending.len());
+            if workers >= 2 {
+                self.fill_rank_parallel(&pending, workers);
+            } else {
+                for &m in &pending {
+                    let result = self.solve_mask(m);
+                    self.memo_dense
+                        .as_mut()
+                        .expect("dense engine active")
+                        .set(m.0, result);
                 }
-                let fc = self.first_comp(m);
-                let result = if fc != m {
-                    // Separable submask: product over its components, all
-                    // filled in earlier ranks.
-                    let mut sel = 1.0;
-                    let mut err = 0.0;
-                    let mut rest = m;
-                    while !rest.is_empty() {
-                        let c = self.first_comp(rest);
-                        rest = rest.minus(c);
-                        let (s, e) = self
-                            .memo_get(c)
-                            .expect("component filled in an earlier popcount rank");
-                        sel *= s;
-                        err += e;
-                    }
-                    (sel, err)
-                } else {
-                    self.solve_nonseparable(m)
-                };
-                self.memo_dense
-                    .as_mut()
-                    .expect("dense engine active")
-                    .set(m.0, result);
             }
         }
         self.memo_get(comp)
             .expect("comp is its own final popcount rank")
+    }
+
+    /// Worker count for one rank: the configured thread knob, scaled down
+    /// so every worker has at least [`PAR_MIN_MASKS_PER_WORKER`] masks
+    /// (tiny ranks stay serial), and forced serial in `Opt` mode — the
+    /// cardinality oracle executes queries through `&mut` state.
+    fn rank_workers(&self, pending: usize) -> usize {
+        if self.dp_threads <= 1 || self.oracle.is_some() {
+            return 1;
+        }
+        self.dp_threads
+            .min(pending / PAR_MIN_MASKS_PER_WORKER)
+            .max(1)
+    }
+
+    /// Solves one not-yet-memoized mask of the dense lattice, all proper
+    /// subsets already filled (the serial per-mask step).
+    fn solve_mask(&mut self, m: PredSet) -> (f64, f64) {
+        if self.first_comp(m) != m {
+            // Separable submask: product over its components, all filled
+            // in earlier ranks.
+            let ct = self.comp_table.as_mut().expect("dense engine active");
+            let ctx = &self.ctx;
+            let memo_dense = &self.memo_dense;
+            separable_product(
+                |rest| ct.ensure(ctx, rest),
+                |c| memo_dense.as_ref().expect("dense engine active").get(c.0),
+                m,
+            )
+        } else {
+            self.solve_nonseparable(m)
+        }
+    }
+
+    /// Solves one popcount rank of the dense lattice across scoped worker
+    /// threads — bit-identical to the serial fill by construction:
+    ///
+    /// * **per-mask ownership** — each mask's result goes to its own slot,
+    ///   claimed off an atomic cursor; no reductions, no shared
+    ///   accumulators, and the commit into the dense memo happens on this
+    ///   thread afterwards, in lattice order;
+    /// * **rank barrier** — workers only *read* the memo, which holds
+    ///   exactly the ranks `< k` (a mask's every dependency), so what a
+    ///   worker observes is independent of scheduling;
+    /// * **exactly-once peels** — new link values are computed under an
+    ///   [`OnceMap`] claim, keeping the computed-key set (and thus
+    ///   `peel_entries`/`vm_calls`) identical to the serial walk's;
+    /// * **pure link caches** — workers fork the link state; every cached
+    ///   value is a pure function of its key, so fork/absorb cannot change
+    ///   any result.
+    fn fill_rank_parallel(&mut self, pending: &[PredSet], workers: usize) {
+        // Workers probe the component table read-only: pre-ensure every
+        // standard-decomposition chain they may walk.
+        for &m in pending {
+            let mut rest = m;
+            while !rest.is_empty() {
+                rest = rest.minus(self.first_comp(rest));
+            }
+        }
+        let mut forks: Vec<LinkState> = (0..workers).map(|_| self.links.fork()).collect();
+        let slots: Vec<Mutex<Option<(f64, f64)>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let once = OnceMap::new();
+        let next = AtomicUsize::new(0);
+        {
+            let lc = link_ctx!(self);
+            let dense: &DenseMemo = self.memo_dense.as_ref().expect("dense engine active");
+            let comps: &ComponentTable = self.comp_table.as_ref().expect("dense engine active");
+            let prune: Option<&[u32]> = self.prune_table.as_deref();
+            let base_peel: &FlatMemo = &self.peel_memo;
+            let (lc, once, next, slots) = (&lc, &once, &next, &slots);
+            std::thread::scope(|s| {
+                for st in forks.iter_mut() {
+                    s.spawn(move || {
+                        // Worker-local replica of this rank's published peel
+                        // values: repeat probes of a key stay lock-free, so
+                        // the shared map is touched at most once per
+                        // (worker, key) instead of once per probe.
+                        let mut local = FlatMemo::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= pending.len() {
+                                break;
+                            }
+                            let r = par_solve_mask(
+                                lc,
+                                st,
+                                dense,
+                                comps,
+                                prune,
+                                base_peel,
+                                once,
+                                &mut local,
+                                pending[idx],
+                            );
+                            *slots[idx].lock().expect("result slot") = Some(r);
+                        }
+                    });
+                }
+            });
+        }
+        // Rank barrier: commit results in lattice order, merge worker
+        // state, move freshly computed peels into the per-query memo so
+        // later ranks read them as plain hits.
+        let memo = self.memo_dense.as_mut().expect("dense engine active");
+        for (idx, &m) in pending.iter().enumerate() {
+            let r = slots[idx]
+                .lock()
+                .expect("result slot")
+                .take()
+                .expect("every pending mask solved");
+            memo.set(m.0, r);
+        }
+        for fork in forks {
+            self.links.absorb(fork);
+        }
+        once.drain_into(&mut self.peel_memo);
     }
 
     /// Lines 9-17 for a non-separable mask on the dense engine: every
@@ -502,34 +629,32 @@ impl<'a> SelectivityEstimator<'a> {
     /// from the flat table. Same descending-submask order and strict-`<`
     /// tie-break as the recursion — bit-identical by construction.
     fn solve_nonseparable(&mut self, m: PredSet) -> (f64, f64) {
-        let mut best_err = f64::INFINITY;
-        let mut best_sel = DEFAULT_RANGE_SEL.powi(m.len() as i32);
-        let pruning = self.prune_table.is_some();
-        for p_prime in m.subsets() {
-            let q = m.minus(p_prime);
-            if pruning {
-                // §3.4 as pure bitwise work: some SIT fits inside Q and
-                // touches P′ iff the rolled-up attribute mask hits P′. The
-                // full-set factor (Q = ∅) always stays as fallback.
-                let table = self.prune_table.as_ref().expect("checked above");
-                let keep = p_prime == m || table[q.0 as usize] & p_prime.0 != 0;
-                if !keep {
-                    continue;
-                }
-            }
-            let (sel_q, err_q) = if q.is_empty() {
-                (1.0, 0.0)
-            } else {
-                self.memo_get(q).expect("proper subsets fill first")
-            };
-            let (sel_f, err_f) = self.factor(p_prime, q);
-            let total = err_f + err_q;
-            if total < best_err {
-                best_err = total;
-                best_sel = (sel_f * sel_q).clamp(0.0, 1.0);
-            }
-        }
-        (best_sel, best_err)
+        let lc = link_ctx!(self);
+        let memo_dense = &self.memo_dense;
+        let memo_sparse = &self.memo_sparse;
+        let memo = |q: PredSet| match memo_dense {
+            Some(d) => d.get(q.0),
+            None => memo_sparse.get(q.0 as u64),
+        };
+        let peel_memo = &mut self.peel_memo;
+        let links = &mut self.links;
+        let oracle = &mut self.oracle;
+        solve_nonseparable_with(m, self.prune_table.as_deref(), memo, |p_prime, q| {
+            factor_with(
+                [lc.ctx.joins_in(p_prime), lc.ctx.filters_in(p_prime)],
+                p_prime,
+                q,
+                |i, cset| {
+                    let key = peel_key(i, cset.0);
+                    if let Some(r) = peel_memo.get(key) {
+                        return r;
+                    }
+                    let result = crate::link::compute_peel(&lc, links, oracle, i, cset);
+                    peel_memo.insert(key, result);
+                    result
+                },
+            )
+        })
     }
 
     /// Subset-OR rollup of the §3.4 masks: `prune_table[q] = ⋃ {attr mask
@@ -614,487 +739,29 @@ impl<'a> SelectivityEstimator<'a> {
     }
 
     /// Approximates the conditional factor `Sel(P′|Q)` with available SITs
-    /// by expanding it into the implicit single-predicate chain. Peels
-    /// joins first, then filters, each group in ascending index order —
-    /// iterating the mask bits directly (no `order` vector; this runs on
-    /// every one of the up-to-`3ⁿ` lattice visits).
+    /// by expanding it into the implicit single-predicate chain (joins
+    /// first, then filters, ascending index — see [`factor_with`]).
     fn factor(&mut self, p_prime: PredSet, q: PredSet) -> (f64, f64) {
-        let mut remaining = p_prime;
-        let mut sel = 1.0;
-        let mut err = 0.0;
-        for group in [self.ctx.joins_in(p_prime), self.ctx.filters_in(p_prime)] {
-            let mut bits = group.0;
-            while bits != 0 {
-                let i = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                remaining = remaining.minus(PredSet::singleton(i));
-                let cset = q.union(remaining);
-                let (s, e) = self.peel(i, cset);
-                sel *= s;
-                err += e;
-            }
-        }
-        (sel.clamp(0.0, 1.0), err)
-    }
-
-    /// §3.3 candidate SITs through the precomputed mask index: applicable
-    /// (`cond_mask ⊆ cset`) and maximal among the applicable, in catalog
-    /// `for_attr` order — the exact set [`SitMatcher::candidates`] returns
-    /// for `predicates_of(cset)`, with both tests reduced to bitwise
-    /// operations (conditions map injectively to predicate-index masks, so
-    /// set inclusion ≡ mask inclusion). Counts one view-matching call.
-    fn mask_candidates(&self, attr: ColRef, cset: PredSet) -> Vec<SitId> {
-        self.matcher.record_call();
-        let Some(list) = self.cand_index.get(&attr) else {
-            return Vec::new();
-        };
-        let outside = !cset.0;
-        let mut out = Vec::with_capacity(list.len());
-        for (k, &(id, m)) in list.iter().enumerate() {
-            if m & outside != 0 {
-                continue;
-            }
-            let dominated = list
-                .iter()
-                .enumerate()
-                .any(|(j, &(_, om))| j != k && om & outside == 0 && om != m && m & !om == 0);
-            if !dominated {
-                out.push(id);
-            }
-        }
-        out
+        factor_with(
+            [self.ctx.joins_in(p_prime), self.ctx.filters_in(p_prime)],
+            p_prime,
+            q,
+            |i, cset| self.peel(i, cset),
+        )
     }
 
     /// Estimates the single-predicate conditional factor `Sel(pᵢ | cset)`,
-    /// memoized on `(i, cset)`.
+    /// memoized on `(i, cset)`. Shared-cache hooks fire exactly on
+    /// flat-table misses, as the HashMap version's did on map misses.
     fn peel(&mut self, i: usize, cset: PredSet) -> (f64, f64) {
         let key = peel_key(i, cset.0);
         if let Some(r) = self.peel_memo.get(key) {
             return r;
         }
-        let pred = *self.ctx.predicate(i);
-        // Cross-query lookup: the link's value depends only on the
-        // predicate, the conditioning *set*, and the mode (every in-link
-        // choice below breaks ties by value, never by within-query
-        // ordering), so the canonicalized key is exact.
-        let shared_key = self
-            .shared
-            .map(|_| CacheKey::conditional(self.mode, &[pred], &self.ctx.predicates_of(cset)));
-        // Shared-cache hooks fire exactly on flat-table misses, as the
-        // HashMap version's did on map misses.
-        if let (Some(cache), Some(k)) = (self.shared, &shared_key) {
-            if let Some(r) = cache.get_link(k) {
-                self.peel_memo.insert(key, r);
-                return r;
-            }
-        }
-        let result = match pred {
-            Predicate::Join { .. } => self.peel_join(i, &pred, cset),
-            _ => self.peel_filter(i, &pred, cset),
-        };
-        debug_assert!(result.0.is_finite() && result.1.is_finite());
-        if let (Some(cache), Some(k)) = (self.shared, shared_key) {
-            cache.put_link(k, result);
-        }
+        let lc = link_ctx!(self);
+        let result = crate::link::compute_peel(&lc, &mut self.links, &mut self.oracle, i, cset);
         self.peel_memo.insert(key, result);
         result
-    }
-
-    /// `Sel(x = y | cset)`: join the best SITs for both sides.
-    fn peel_join(&mut self, i: usize, pred: &Predicate, cset: PredSet) -> (f64, f64) {
-        let Predicate::Join { left, right } = *pred else {
-            unreachable!("peel_join only receives joins")
-        };
-        let cand_l = self.mask_candidates(left, cset);
-        let cand_r = self.mask_candidates(right, cset);
-        if cand_l.is_empty() || cand_r.is_empty() {
-            // No statistics at all: classic 1/max(|L|,|R|) default.
-            let nl = self.db.row_count(left.table).unwrap_or(1).max(1);
-            let nr = self.db.row_count(right.table).unwrap_or(1).max(1);
-            let est = (1.0 / nl.max(nr) as f64).max(MIN_SEL);
-            let err = self.fallback_error(i, est, cset);
-            return (est, err);
-        }
-        match self.mode {
-            ErrorMode::NInd | ErrorMode::Diff => {
-                let (l, el) = self.pick_best(&cand_l, cset);
-                let (r, er) = self.pick_best(&cand_r, cset);
-                let est = self.join_selectivity(l, r);
-                // A join uses two statistics; each side's uncovered
-                // conditioning (or divergence shortfall) is its own set of
-                // independence assumptions, so side errors add.
-                (est, el + er)
-            }
-            ErrorMode::Opt => {
-                // Oracle mode: try every candidate pair, score by true
-                // deviation.
-                let truth = self.true_conditional(i, cset);
-                let mut best = (f64::INFINITY, MIN_SEL);
-                for &l in &cand_l {
-                    for &r in &cand_r {
-                        let est = self.join_selectivity(l, r);
-                        let dev = opt_deviation(est, truth);
-                        if dev < best.0 {
-                            best = (dev, est);
-                        }
-                    }
-                }
-                (best.1, best.0)
-            }
-        }
-    }
-
-    /// `Sel(filter | cset)`: best own-attribute SIT, or the §3.3 `H3`
-    /// mechanism when the filter sits on a join attribute of `cset`.
-    fn peel_filter(&mut self, i: usize, pred: &Predicate, cset: PredSet) -> (f64, f64) {
-        let col = match pred.columns() {
-            sqe_engine::predicate::PredColumns::One(c) => c,
-            sqe_engine::predicate::PredColumns::Two(c, _) => c,
-        };
-        let truth = matches!(self.mode, ErrorMode::Opt).then(|| self.true_conditional(i, cset));
-
-        // Option set: (error, coverage, estimate). Larger coverage wins
-        // ties; smaller estimate wins remaining ties. Every criterion is a
-        // property of the option itself — never its position — so the
-        // choice is invariant under predicate reordering, which cross-query
-        // link caching relies on (two queries listing the same conditioning
-        // set in different orders assemble this vector in different orders).
-        let mut options: Vec<(f64, usize, f64)> = Vec::new();
-
-        let catalog = self.matcher.catalog();
-        for id in self.mask_candidates(col, cset) {
-            let sit = catalog.get(id);
-            let est = match self.filter_sel_cache.get(&(id, i)) {
-                Some(&e) => e,
-                None => {
-                    let start = Instant::now();
-                    let e = filter_selectivity(&sit.histogram, pred);
-                    self.hist_time += start.elapsed();
-                    self.filter_sel_cache.insert((id, i), e);
-                    e
-                }
-            };
-            let err = match (self.mode, truth) {
-                (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
-                _ => self.mode.sit_error(cset.len(), sit.cond.len(), sit.diff),
-            };
-            options.push((err, sit.cond.len(), est));
-        }
-
-        // H3: for a join j = (col = other) in cset, join the two sides'
-        // SITs (conditioned on cset − j) and range over the result
-        // histogram. Covers j plus both SIT conditions.
-        for j in self.ctx.joins_in(cset).iter() {
-            let Predicate::Join { left, right } = *self.ctx.predicate(j) else {
-                continue;
-            };
-            let other = if left == col {
-                right
-            } else if right == col {
-                left
-            } else {
-                continue;
-            };
-            let sub = cset.minus(PredSet::singleton(j));
-            let cand_c = self.mask_candidates(col, sub);
-            let cand_o = self.mask_candidates(other, sub);
-            let (Some((sc, _)), Some((so, _))) = (
-                self.pick_best_opt(&cand_c, sub),
-                self.pick_best_opt(&cand_o, sub),
-            ) else {
-                continue;
-            };
-            // H3's divergence from the attribute's original distribution:
-            // at least the attribute-side SIT's own divergence, plus
-            // whatever the join itself adds. The ranged estimate depends
-            // only on the pair and the filter, so it is computed once per
-            // `(pair, filter)` across all conditioning sets.
-            let (est, h3_diff) = match self.h3_sel_cache.get(&(sc, so, i)) {
-                Some(&v) => v,
-                None => {
-                    let (est, d, spent) = {
-                        let (h, d) = self.h3_join(sc, so);
-                        let start = Instant::now();
-                        (filter_selectivity(h, pred), *d, start.elapsed())
-                    };
-                    self.hist_time += spent;
-                    self.h3_sel_cache.insert((sc, so, i), (est, d));
-                    (est, d)
-                }
-            };
-            // Coverage: the join predicate itself plus both conditions
-            // (condition masks are exact, so the union's popcount is the
-            // deduplicated size the predicate-set version computed).
-            let union = self.sit_cond_masks[&sc] | self.sit_cond_masks[&so];
-            let coverage = (1 + union.count_ones() as usize).min(cset.len());
-            let err = match (self.mode, truth) {
-                (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
-                (ErrorMode::Diff, _) => 1.0 - h3_diff.clamp(0.0, 1.0),
-                _ => (cset.len() - coverage) as f64,
-            };
-            options.push((err, coverage, est));
-        }
-
-        self.push_sit2_options(&mut options, col, pred, cset, truth);
-
-        match options.into_iter().min_by(|a, b| {
-            a.0.total_cmp(&b.0)
-                .then(b.1.cmp(&a.1))
-                .then(a.2.total_cmp(&b.2))
-        }) {
-            Some((err, _, est)) => (est.max(MIN_SEL), err),
-            None => {
-                let est = default_filter_selectivity(pred);
-                let err = self.fallback_error(i, est, cset);
-                (est, err)
-            }
-        }
-    }
-
-    /// Adds the multidimensional-SIT options (§3.3) for a filter peel:
-    /// carried-`H3` distributions through joins in the conditioning set,
-    /// and conditionals on co-located filters.
-    fn push_sit2_options(
-        &mut self,
-        options: &mut Vec<(f64, usize, f64)>,
-        col: sqe_engine::ColRef,
-        pred: &Predicate,
-        cset: PredSet,
-        truth: Option<f64>,
-    ) {
-        let Some(sit2s) = self.sit2 else {
-            return;
-        };
-        // (a) Carried H3: a join j ∈ cset with its near side on col's
-        // table, a grid over (near, col), and a 1-D SIT for the far side.
-        // The grid path is a *fallback*: when a direct 1-D SIT already
-        // conditions on j (it is finer — 200 buckets vs a 32-wide grid
-        // dimension), the multidimensional detour only adds resolution
-        // noise, so skip it (the maximality spirit of §3.3's rule 3).
-        let direct = self.mask_candidates(col, cset);
-        let catalog = self.matcher.catalog();
-        // Both grid paths are *fallbacks*: a join-conditioned 1-D SIT for
-        // the attribute is built on the exact expression at 200-bucket
-        // resolution and captures the dominant join interaction; the grid
-        // detour (32-wide carried dimension, containment assumptions in
-        // the grid join) only competes when no such SIT exists.
-        if direct.iter().any(|&id| !catalog.get(id).cond.is_empty()) {
-            return;
-        }
-        for j in self.ctx.joins_in(cset).iter() {
-            let jpred = *self.ctx.predicate(j);
-            let Predicate::Join { left, right } = jpred else {
-                continue;
-            };
-            for (near, far) in [(left, right), (right, left)] {
-                if near.table != col.table {
-                    continue;
-                }
-                let sub = cset.minus(PredSet::singleton(j));
-                let candidates: Vec<Sit2Id> = self
-                    .sit2_index
-                    .get(&col)
-                    .map(|list| {
-                        list.iter()
-                            .filter(|&&(id, m)| m & !sub.0 == 0 && sit2s.get(id).x == near)
-                            .map(|&(id, _)| id)
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                if candidates.is_empty() {
-                    continue;
-                }
-                let cand_far = self.mask_candidates(far, sub);
-                let Some((far_id, _)) = self.pick_best_opt(&cand_far, sub) else {
-                    continue;
-                };
-                for s2_id in candidates {
-                    let (carried, divergence) = self.carried_h3(sit2s, s2_id, far_id);
-                    if carried.total_rows() <= 0.0 {
-                        continue;
-                    }
-                    let s2 = sit2s.get(s2_id);
-                    let start = Instant::now();
-                    let gated = shrink_conditional(&carried, &s2.y_marginal, pred, divergence);
-                    self.hist_time += start.elapsed();
-                    let Some((est, divergence)) = gated else {
-                        continue;
-                    };
-                    let far_cond = &self.matcher.catalog().get(far_id).cond;
-                    let coverage = (1 + s2.cond.len() + far_cond.len()).min(cset.len());
-                    let err = match (self.mode, truth) {
-                        (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
-                        (ErrorMode::Diff, _) => 1.0 - divergence,
-                        _ => (cset.len() - coverage) as f64,
-                    };
-                    options.push((err, coverage, est));
-                }
-            }
-        }
-        // (b) Filter-conditioned-on-filter: another filter g ∈ cset on the
-        // same table with a grid over (attr(g), col).
-        for g in self.ctx.filters_in(cset).iter() {
-            let gpred = *self.ctx.predicate(g);
-            let gcol = match gpred.columns() {
-                sqe_engine::predicate::PredColumns::One(c) => c,
-                sqe_engine::predicate::PredColumns::Two(c, _) => c,
-            };
-            if gcol.table != col.table || gcol == col {
-                continue;
-            }
-            let Some((glo, ghi)) = filter_bounds(&gpred) else {
-                continue;
-            };
-            let sub = cset.minus(PredSet::singleton(g));
-            let candidates: Vec<Sit2Id> = self
-                .sit2_index
-                .get(&col)
-                .map(|list| {
-                    list.iter()
-                        .filter(|&&(id, m)| m & !sub.0 == 0 && sit2s.get(id).x == gcol)
-                        .map(|&(id, _)| id)
-                        .collect()
-                })
-                .unwrap_or_default();
-            for s2_id in candidates {
-                let (conditional, divergence) = self.conditional2(sit2s, s2_id, glo, ghi);
-                if conditional.total_rows() <= 0.0 {
-                    continue;
-                }
-                let s2 = sit2s.get(s2_id);
-                let start = Instant::now();
-                let gated = shrink_conditional(&conditional, &s2.y_marginal, pred, divergence);
-                self.hist_time += start.elapsed();
-                let Some((est, divergence)) = gated else {
-                    continue;
-                };
-                let coverage = (1 + s2.cond.len()).min(cset.len());
-                let err = match (self.mode, truth) {
-                    (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
-                    (ErrorMode::Diff, _) => 1.0 - divergence,
-                    _ => (cset.len() - coverage) as f64,
-                };
-                options.push((err, coverage, est));
-            }
-        }
-    }
-
-    /// Carried-`H3` histogram of a grid joined against a 1-D SIT (cached).
-    fn carried_h3(
-        &mut self,
-        sit2s: &Sit2Catalog,
-        s2_id: Sit2Id,
-        far_id: SitId,
-    ) -> (Histogram, f64) {
-        if let Some(hit) = self.carry_cache.get(&(s2_id, far_id)) {
-            return hit.clone();
-        }
-        let s2 = sit2s.get(s2_id);
-        let far = self.matcher.catalog().get(far_id);
-        let start = Instant::now();
-        let (_, carried) = s2.grid.join_carry(&far.histogram);
-        let divergence = s2.conditional_divergence(&carried).max(far.diff);
-        self.hist_time += start.elapsed();
-        self.carry_cache
-            .insert((s2_id, far_id), (carried.clone(), divergence));
-        (carried, divergence)
-    }
-
-    /// Conditional-`y` histogram of a grid restricted to an x-range
-    /// (cached).
-    fn conditional2(
-        &mut self,
-        sit2s: &Sit2Catalog,
-        s2_id: Sit2Id,
-        lo: i64,
-        hi: i64,
-    ) -> (Histogram, f64) {
-        if let Some(hit) = self.cond2_cache.get(&(s2_id, lo, hi)) {
-            return hit.clone();
-        }
-        let s2 = sit2s.get(s2_id);
-        let start = Instant::now();
-        let conditional = s2.grid.conditional_y(lo, hi);
-        let divergence = s2.conditional_divergence(&conditional);
-        self.hist_time += start.elapsed();
-        self.cond2_cache
-            .insert((s2_id, lo, hi), (conditional.clone(), divergence));
-        (conditional, divergence)
-    }
-
-    /// Best SIT among candidates under the mode's SIT error; returns the
-    /// SIT and its error contribution.
-    fn pick_best(&self, candidates: &[SitId], cset: PredSet) -> (SitId, f64) {
-        self.pick_best_opt(candidates, cset)
-            .expect("pick_best requires non-empty candidates")
-    }
-
-    fn pick_best_opt(&self, candidates: &[SitId], cset: PredSet) -> Option<(SitId, f64)> {
-        candidates
-            .iter()
-            .map(|&id| {
-                let sit = self.matcher.catalog().get(id);
-                let e = self.mode.sit_error(cset.len(), sit.cond.len(), sit.diff);
-                (id, e)
-            })
-            .min_by(|a, b| {
-                a.1.total_cmp(&b.1).then_with(|| {
-                    // Tie: larger coverage, then smaller id.
-                    let ca = self.matcher.catalog().get(a.0).cond.len();
-                    let cb = self.matcher.catalog().get(b.0).cond.len();
-                    cb.cmp(&ca).then(a.0.cmp(&b.0))
-                })
-            })
-    }
-
-    /// Histogram join selectivity of two SITs (timed, cached per pair).
-    fn join_selectivity(&mut self, l: SitId, r: SitId) -> f64 {
-        if let Some(&sel) = self.join_cache.get(&(l, r)) {
-            return sel;
-        }
-        if let Some(cache) = self.shared {
-            if let Some(sel) = cache.get_join((l, r)) {
-                self.join_cache.insert((l, r), sel);
-                return sel;
-            }
-        }
-        let hl = &self.matcher.catalog().get(l).histogram;
-        let hr = &self.matcher.catalog().get(r).histogram;
-        let start = Instant::now();
-        let sel = hl.join(hr).selectivity.max(MIN_SEL);
-        self.hist_time += start.elapsed();
-        if let Some(cache) = self.shared {
-            cache.put_join((l, r), sel);
-        }
-        self.join_cache.insert((l, r), sel);
-        sel
-    }
-
-    /// The `H3` result histogram of joining two SITs plus its divergence
-    /// from the attribute side's original distribution (timed, cached).
-    fn h3_join(&mut self, attr_side: SitId, other_side: SitId) -> &(Histogram, f64) {
-        if !self.h3_cache.contains_key(&(attr_side, other_side)) {
-            if let Some(hit) = self
-                .shared
-                .and_then(|cache| cache.get_h3((attr_side, other_side)))
-            {
-                self.h3_cache.insert((attr_side, other_side), hit);
-                return &self.h3_cache[&(attr_side, other_side)];
-            }
-            let sit_c = self.matcher.catalog().get(attr_side);
-            let sit_o = self.matcher.catalog().get(other_side);
-            let start = Instant::now();
-            let joined = sit_c.histogram.join(&sit_o.histogram);
-            let h3_diff = sqe_histogram::diff_from_histograms(&sit_c.histogram, &joined.histogram)
-                .max(sit_c.diff);
-            self.hist_time += start.elapsed();
-            if let Some(cache) = self.shared {
-                cache.put_h3((attr_side, other_side), (joined.histogram.clone(), h3_diff));
-            }
-            self.h3_cache
-                .insert((attr_side, other_side), (joined.histogram, h3_diff));
-        }
-        &self.h3_cache[&(attr_side, other_side)]
     }
 
     /// The best applicable SIT histogram for `attr` under a predicate
@@ -1106,33 +773,165 @@ impl<'a> SelectivityEstimator<'a> {
     ) -> Option<&'a Histogram> {
         let candidates = self.matcher.candidates(attr, preds);
         let cset = PredSet::full(preds.len().min(crate::predset::MAX_PREDICATES));
-        let (id, _) = self.pick_best_opt(&candidates, cset)?;
+        let (id, _) =
+            crate::link::pick_best_opt(self.matcher.catalog(), self.mode, &candidates, cset)?;
         Some(&self.matcher.catalog().get(id).histogram)
     }
+}
 
-    /// True `Sel(pᵢ | cset)` from the oracle (Opt mode only).
-    fn true_conditional(&mut self, i: usize, cset: PredSet) -> f64 {
-        let all = cset.union(PredSet::singleton(i));
-        let tables = self.ctx.tables_of(all);
-        let p = [*self.ctx.predicate(i)];
-        let q = self.ctx.predicates_of(cset);
-        self.oracle
-            .as_mut()
-            .expect("oracle present in Opt mode")
-            .conditional_selectivity(&tables, &p, &q)
-            .unwrap_or(0.0)
-    }
-
-    /// Error charged for a default (statistics-free) estimate.
-    fn fallback_error(&mut self, i: usize, est: f64, cset: PredSet) -> f64 {
-        match self.mode {
-            ErrorMode::Opt => {
-                let t = self.true_conditional(i, cset);
-                opt_deviation(est, t)
+/// Maximizes over every submask decomposition `m = P′ ∪ Q` (paper Fig. 3):
+/// best_err/best_sel over `factor(P′, Q) · memo(Q)`, with the same
+/// descending-submask walk, pruning test, and strict-`<` tie-break as the
+/// historical inline loop — shared verbatim by the serial and parallel
+/// fills so they cannot drift.
+fn solve_nonseparable_with(
+    m: PredSet,
+    prune: Option<&[u32]>,
+    memo: impl Fn(PredSet) -> Option<(f64, f64)>,
+    mut factor: impl FnMut(PredSet, PredSet) -> (f64, f64),
+) -> (f64, f64) {
+    let mut best_err = f64::INFINITY;
+    let mut best_sel = DEFAULT_RANGE_SEL.powi(m.len() as i32);
+    for p_prime in m.subsets() {
+        let q = m.minus(p_prime);
+        if let Some(table) = prune {
+            let keep = p_prime == m || table[q.0 as usize] & p_prime.0 != 0;
+            if !keep {
+                continue;
             }
-            mode => mode.fallback_error(cset.len()),
+        }
+        let (sel_q, err_q) = if q.is_empty() {
+            (1.0, 0.0)
+        } else {
+            memo(q).expect("proper subsets fill in earlier ranks")
+        };
+        let (sel_f, err_f) = factor(p_prime, q);
+        let total = err_f + err_q;
+        if total < best_err {
+            best_err = total;
+            best_sel = (sel_f * sel_q).clamp(0.0, 1.0);
         }
     }
+    (best_sel, best_err)
+}
+
+/// Expands `Sel(P′|Q)` into the implicit single-predicate chain: peels
+/// joins first, then filters, each group in ascending index order —
+/// iterating the mask bits directly. `groups` is
+/// `[joins_in(P′), filters_in(P′)]`, passed pre-split so callers borrow the
+/// query context outside the `peel` closure.
+fn factor_with(
+    groups: [PredSet; 2],
+    p_prime: PredSet,
+    q: PredSet,
+    mut peel: impl FnMut(usize, PredSet) -> (f64, f64),
+) -> (f64, f64) {
+    let mut remaining = p_prime;
+    let mut sel = 1.0;
+    let mut err = 0.0;
+    for group in groups {
+        let mut bits = group.0;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            remaining = remaining.minus(PredSet::singleton(i));
+            let cset = q.union(remaining);
+            let (s, e) = peel(i, cset);
+            sel *= s;
+            err += e;
+        }
+    }
+    (sel.clamp(0.0, 1.0), err)
+}
+
+/// Multiplies the memoized results of a separable mask's connected
+/// components, in ascending first-component order — the product order both
+/// fills share.
+fn separable_product(
+    mut first: impl FnMut(PredSet) -> PredSet,
+    memo: impl Fn(PredSet) -> Option<(f64, f64)>,
+    m: PredSet,
+) -> (f64, f64) {
+    let mut sel = 1.0;
+    let mut err = 0.0;
+    let mut rest = m;
+    while !rest.is_empty() {
+        let c = first(rest);
+        rest = rest.minus(c);
+        let (s, e) = memo(c).expect("component filled in an earlier popcount rank");
+        sel *= s;
+        err += e;
+    }
+    (sel, err)
+}
+
+/// One worker's computation of one rank mask: the same
+/// separable-product / nonseparable-decomposition split as
+/// [`SelectivityEstimator::solve_mask`], reading only rank-lower memo
+/// entries (published before the rank started) and routing peel links
+/// through the exactly-once [`OnceMap`].
+#[allow(clippy::too_many_arguments)]
+fn par_solve_mask(
+    lc: &LinkCtx,
+    st: &mut LinkState,
+    dense: &crate::flat::DenseMemo,
+    comps: &crate::decomposition::ComponentTable,
+    prune: Option<&[u32]>,
+    base_peel: &FlatMemo,
+    once: &OnceMap,
+    local: &mut FlatMemo,
+    m: PredSet,
+) -> (f64, f64) {
+    let memo = |q: PredSet| dense.get(q.0);
+    let fc = comps.get(m).expect("chain pre-ensured before the rank");
+    if fc != m {
+        separable_product(
+            |rest| comps.get(rest).expect("chain pre-ensured before the rank"),
+            memo,
+            m,
+        )
+    } else {
+        solve_nonseparable_with(m, prune, memo, |p_prime, q| {
+            factor_with(
+                [lc.ctx.joins_in(p_prime), lc.ctx.filters_in(p_prime)],
+                p_prime,
+                q,
+                |i, cset| par_peel(lc, st, base_peel, once, local, i, cset),
+            )
+        })
+    }
+}
+
+/// Parallel peel: rank-start memo snapshot first, then the worker-local
+/// replica (both lock-free), then the rank's [`OnceMap`] — the claiming
+/// worker computes, everyone else reuses, so the set of computed peel keys
+/// matches the serial fill exactly.
+fn par_peel(
+    lc: &LinkCtx,
+    st: &mut LinkState,
+    base_peel: &FlatMemo,
+    once: &OnceMap,
+    local: &mut FlatMemo,
+    i: usize,
+    cset: PredSet,
+) -> (f64, f64) {
+    let key = peel_key(i, cset.0);
+    if let Some(r) = base_peel.get(key) {
+        return r;
+    }
+    if let Some(r) = local.get(key) {
+        return r;
+    }
+    let result = match once.claim(key) {
+        Claim::Ready(v) => v,
+        Claim::Owned => {
+            let result = crate::link::compute_peel(lc, st, &mut None, i, cset);
+            once.publish(key, result);
+            result
+        }
+    };
+    local.insert(key, result);
+    result
 }
 
 /// The distinct attributes mentioned by a query's predicates, in first-use
@@ -1160,13 +959,10 @@ fn cond_to_mask(cond: &[Predicate], preds: &[Predicate]) -> Option<u32> {
     Some(mask)
 }
 
-/// Per-attribute candidate lists with condition masks (see
-/// [`SelectivityEstimator::mask_candidates`]).
-type CandIndex = HashMap<ColRef, Vec<(SitId, u32)>>;
-
-/// Builds the per-attribute candidate index: for every attribute the query
-/// mentions, the catalog's `for_attr` list (order preserved) restricted to
-/// usable SITs, with condition masks — plus the id → mask side table.
+/// Builds the per-attribute candidate index (consumed by
+/// `link::mask_candidates`): for every attribute the query mentions, the
+/// catalog's `for_attr` list (order preserved) restricted to usable SITs,
+/// with condition masks — plus the id → mask side table.
 fn build_cand_index(catalog: &SitCatalog, preds: &[Predicate]) -> (CandIndex, HashMap<SitId, u32>) {
     let mut by_attr = HashMap::new();
     let mut masks = HashMap::new();
@@ -1181,99 +977,6 @@ fn build_cand_index(catalog: &SitCatalog, preds: &[Predicate]) -> (CandIndex, Ha
         by_attr.insert(attr, list);
     }
     (by_attr, masks)
-}
-
-/// `Opt`'s per-factor deviation: the absolute log-ratio between estimate
-/// and truth. Factor selectivities multiply, so log deviations *add* — the
-/// sum over a decomposition's factors bounds the log error of the final
-/// product, which makes the oracle ranking compose correctly (a plain
-/// absolute difference would let many tiny-but-relatively-wrong factors
-/// outrank one accurate large factor).
-fn opt_deviation(est: f64, truth: f64) -> f64 {
-    if truth <= MIN_SEL && est <= MIN_SEL {
-        return 0.0;
-    }
-    (est.max(MIN_SEL).ln() - truth.max(MIN_SEL).ln()).abs()
-}
-
-/// Histogram estimate for a filter predicate.
-fn filter_selectivity(h: &Histogram, pred: &Predicate) -> f64 {
-    use sqe_engine::CmpOp;
-    let sel = match *pred {
-        Predicate::Range { lo, hi, .. } => h.range_selectivity(lo, hi),
-        Predicate::Filter { op, value, .. } => match op {
-            CmpOp::Lt => h.cmp_selectivity(value, true, true),
-            CmpOp::Le => h.cmp_selectivity(value, true, false),
-            CmpOp::Gt => h.cmp_selectivity(value, false, true),
-            CmpOp::Ge => h.cmp_selectivity(value, false, false),
-            CmpOp::Eq => h.eq_selectivity(value),
-            CmpOp::Neq => 1.0 - h.eq_selectivity(value),
-        },
-        Predicate::Join { .. } => unreachable!("filter_selectivity on join"),
-    };
-    sel.clamp(0.0, 1.0)
-}
-
-/// Gates a grid-derived conditional estimate on *local* statistical
-/// significance. Total-variation divergence is global — a predicate range
-/// holding 5% of the mass can double its conditional share while barely
-/// moving the TV distance — so the gate tests the predicate's own range:
-/// with `m` rows behind the conditional, the range's conditional row count
-/// must deviate from its marginal expectation by more than ~1.5 Poisson
-/// standard deviations, otherwise the shift is sampling noise (the failure
-/// mode observed on small dimension tables) and the option is withdrawn.
-fn shrink_conditional(
-    conditional: &Histogram,
-    marginal: &Histogram,
-    pred: &Predicate,
-    divergence: f64,
-) -> Option<(f64, f64)> {
-    const Z_THRESHOLD: f64 = 1.5;
-    let m = conditional.valid_rows().max(1.0);
-    let est_cond = filter_selectivity(conditional, pred);
-    let est_marg = filter_selectivity(marginal, pred);
-    let observed = est_cond * m;
-    let expected = est_marg * m;
-    let z = (observed - expected) / expected.max(1.0).sqrt();
-    if z.abs() < Z_THRESHOLD {
-        return None;
-    }
-    Some((est_cond, divergence.clamp(0.0, 1.0)))
-}
-
-/// The value range a filter predicate admits, when expressible (None for
-/// `<>`). Open sides use wide sentinels that stay overflow-safe in bucket
-/// arithmetic.
-pub(crate) fn filter_bounds(pred: &Predicate) -> Option<(i64, i64)> {
-    use sqe_engine::CmpOp;
-    const LO: i64 = i64::MIN / 4;
-    const HI: i64 = i64::MAX / 4;
-    match *pred {
-        Predicate::Range { lo, hi, .. } => Some((lo, hi)),
-        Predicate::Filter { op, value, .. } => match op {
-            CmpOp::Lt => Some((LO, value - 1)),
-            CmpOp::Le => Some((LO, value)),
-            CmpOp::Gt => Some((value + 1, HI)),
-            CmpOp::Ge => Some((value, HI)),
-            CmpOp::Eq => Some((value, value)),
-            CmpOp::Neq => None,
-        },
-        Predicate::Join { .. } => None,
-    }
-}
-
-/// Magic-constant estimate when no statistic exists.
-fn default_filter_selectivity(pred: &Predicate) -> f64 {
-    use sqe_engine::CmpOp;
-    match *pred {
-        Predicate::Range { .. } => DEFAULT_RANGE_SEL,
-        Predicate::Filter { op, .. } => match op {
-            CmpOp::Eq => DEFAULT_EQ_SEL,
-            CmpOp::Neq => 1.0 - DEFAULT_EQ_SEL,
-            _ => DEFAULT_RANGE_SEL,
-        },
-        Predicate::Join { .. } => DEFAULT_EQ_SEL,
-    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,9 @@ pub mod feedback;
 pub mod flat;
 pub mod groupby;
 pub mod gvm;
+mod link;
 pub mod matcher;
+mod par;
 pub mod persist;
 pub mod pool;
 pub mod predset;

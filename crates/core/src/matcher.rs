@@ -50,14 +50,6 @@ impl<'a> SitMatcher<'a> {
         self.calls.set(0);
     }
 
-    /// Counts one view-matching call issued by a caller that resolved the
-    /// candidates itself (the estimator's mask-based fast path performs the
-    /// same §3.3 applicability + maximality test with bitwise operations
-    /// but must still account for it as a view-matching call).
-    pub(crate) fn record_call(&self) {
-        self.calls.set(self.calls.get() + 1);
-    }
-
     /// Candidate SITs for `attr` conditioned on `cond`: applicable
     /// (`sit.cond ⊆ cond`) and maximal among the applicable ones. Counts
     /// one view-matching call.

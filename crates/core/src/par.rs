@@ -1,0 +1,162 @@
+//! Concurrency primitives for the rank-synchronous parallel dense fill.
+//!
+//! [`OnceMap`] guarantees **exactly-once** evaluation of peel links within
+//! one popcount rank: the first worker to touch a key claims it and
+//! computes; every other worker blocks until the value is published and
+//! then reuses it. This keeps the parallel fill's instrumentation honest —
+//! the set of *computed* peel keys (and therefore `peel_entries` and
+//! `vm_calls`, both pure functions of that set) is identical to the serial
+//! fill's, not merely the values.
+//!
+//! One `OnceMap` lives for one rank; at the rank barrier the estimator
+//! drains it into the per-query peel memo so later ranks (and later serial
+//! work) read the values as plain memo hits.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+use crate::flat::FlatMemo;
+
+/// Shard count (power of two). Contention is per-key-claim, not per-probe —
+/// workers consult the read-only rank-start memo snapshot first — so a
+/// modest shard count suffices.
+const SHARDS: usize = 64;
+
+/// Outcome of [`OnceMap::claim`].
+pub(crate) enum Claim {
+    /// The caller owns the key: compute the value, then
+    /// [`OnceMap::publish`] it. Failing to publish deadlocks waiters — the
+    /// compute path must be infallible (and is: peel evaluation returns
+    /// plain floats).
+    Owned,
+    /// Another worker already published the value.
+    Ready((f64, f64)),
+}
+
+struct Shard {
+    /// `None` = claimed but not yet published; `Some(v)` = published.
+    entries: Mutex<HashMap<u64, Option<(f64, f64)>>>,
+    published: Condvar,
+}
+
+/// A sharded claim-then-publish map keyed by peel keys.
+pub(crate) struct OnceMap {
+    shards: Vec<Shard>,
+}
+
+impl OnceMap {
+    pub fn new() -> Self {
+        OnceMap {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    entries: Mutex::new(HashMap::new()),
+                    published: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &Shard {
+        // Fibonacci hash, top bits — same mixing as the flat memo.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 58) as usize & (SHARDS - 1)]
+    }
+
+    /// Claims `key` for computation, or waits for (and returns) the value
+    /// if another worker claimed it first.
+    pub fn claim(&self, key: u64) -> Claim {
+        let shard = self.shard(key);
+        let mut entries = shard.entries.lock().expect("once-map shard poisoned");
+        loop {
+            match entries.get(&key) {
+                None => {
+                    entries.insert(key, None);
+                    return Claim::Owned;
+                }
+                Some(Some(v)) => return Claim::Ready(*v),
+                Some(None) => {
+                    entries = shard
+                        .published
+                        .wait(entries)
+                        .expect("once-map shard poisoned");
+                }
+            }
+        }
+    }
+
+    /// Publishes the value for a key previously claimed as [`Claim::Owned`]
+    /// and wakes every waiter.
+    pub fn publish(&self, key: u64, value: (f64, f64)) {
+        let shard = self.shard(key);
+        shard
+            .entries
+            .lock()
+            .expect("once-map shard poisoned")
+            .insert(key, Some(value));
+        shard.published.notify_all();
+    }
+
+    /// Moves every published value into `memo` (the rank barrier). Consumes
+    /// the map; every claimed key must have been published by now.
+    pub fn drain_into(self, memo: &mut FlatMemo) {
+        for shard in self.shards {
+            let entries = shard.entries.into_inner().expect("once-map shard poisoned");
+            for (key, value) in entries {
+                memo.insert(
+                    key,
+                    value.expect("claimed key published before the rank barrier"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn first_claim_owns_then_ready_after_publish() {
+        let map = OnceMap::new();
+        assert!(matches!(map.claim(42), Claim::Owned));
+        map.publish(42, (0.5, 1.0));
+        match map.claim(42) {
+            Claim::Ready(v) => assert_eq!(v, (0.5, 1.0)),
+            Claim::Owned => panic!("published key must be ready"),
+        }
+    }
+
+    #[test]
+    fn concurrent_claims_compute_each_key_exactly_once() {
+        let map = OnceMap::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for key in 0u64..200 {
+                        match map.claim(key) {
+                            Claim::Owned => {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                map.publish(key, (key as f64, 0.0));
+                            }
+                            Claim::Ready(v) => assert_eq!(v.0, key as f64),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            200,
+            "exactly once per key"
+        );
+        let mut memo = FlatMemo::new();
+        map.drain_into(&mut memo);
+        assert_eq!(memo.len(), 200);
+        for key in 0u64..200 {
+            assert_eq!(memo.get(key), Some((key as f64, 0.0)));
+        }
+    }
+}

@@ -46,10 +46,60 @@ impl Bucket {
 /// Bucket ranges are disjoint and sorted ascending; gaps between buckets
 /// denote value ranges with no rows. `null_count` rows have NULL in the
 /// attribute and live outside every bucket.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Alongside the buckets the histogram carries prefix-sum CDFs of the
+/// frequency and distinct counts, so every range/equality kernel is a
+/// binary search plus two CDF lookups instead of an `O(b)` bucket scan —
+/// these kernels sit under every peel, view-match filter estimate, and
+/// `H3` join of the estimator. The CDFs are derived state: they are
+/// rebuilt by [`Histogram::new`], excluded from equality, and never
+/// serialized (the wire format stays `{buckets, null_count}`).
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<Bucket>,
     null_count: f64,
+    /// `freq_cdf[k]` = Σ `buckets[..k].freq` (length `buckets.len() + 1`,
+    /// accumulated left to right so `freq_cdf.last()` is bit-identical to
+    /// the former `iter().sum()` walk).
+    freq_cdf: Vec<f64>,
+    /// `distinct_cdf[k]` = Σ `buckets[..k].distinct`, same layout.
+    distinct_cdf: Vec<f64>,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        // The CDFs are a pure function of the buckets; comparing them
+        // would be redundant.
+        self.buckets == other.buckets && self.null_count == other.null_count
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(Vec::new(), 0.0)
+    }
+}
+
+impl serde::Serialize for Histogram {
+    fn to_value(&self) -> serde::Value {
+        // Manual impl (the derive would add the derived CDF fields): same
+        // `{buckets, null_count}` object the former derive produced.
+        serde::Value::Object(vec![
+            ("buckets".to_string(), self.buckets.to_value()),
+            ("null_count".to_string(), self.null_count.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Histogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("Histogram: expected object"))?;
+        let buckets = Vec::<Bucket>::from_value(serde::field(fields, "buckets")?)?;
+        let null_count = f64::from_value(serde::field(fields, "null_count")?)?;
+        Ok(Histogram::new(buckets, null_count))
+    }
 }
 
 /// Result of a histogram equi-join (§3.3 of the paper).
@@ -70,9 +120,22 @@ impl Histogram {
         debug_assert!(buckets.iter().all(|b| b.lo <= b.hi));
         debug_assert!(buckets.iter().all(|b| b.freq >= 0.0 && b.distinct >= 0.0));
         debug_assert!(buckets.windows(2).all(|w| w[0].hi < w[1].lo));
+        let mut freq_cdf = Vec::with_capacity(buckets.len() + 1);
+        let mut distinct_cdf = Vec::with_capacity(buckets.len() + 1);
+        let (mut f, mut d) = (0.0f64, 0.0f64);
+        freq_cdf.push(f);
+        distinct_cdf.push(d);
+        for b in &buckets {
+            f += b.freq;
+            d += b.distinct;
+            freq_cdf.push(f);
+            distinct_cdf.push(d);
+        }
         Histogram {
             buckets,
             null_count,
+            freq_cdf,
+            distinct_cdf,
         }
     }
 
@@ -91,9 +154,10 @@ impl Histogram {
         self.null_count
     }
 
-    /// Rows with a non-NULL attribute value.
+    /// Rows with a non-NULL attribute value. `O(1)`: the last CDF entry is
+    /// the same left-to-right sum the bucket scan produced.
     pub fn valid_rows(&self) -> f64 {
-        self.buckets.iter().map(|b| b.freq).sum()
+        *self.freq_cdf.last().expect("CDF always has a zero entry")
     }
 
     /// Total rows described (valid + NULL) — the denominator of every
@@ -102,9 +166,12 @@ impl Histogram {
         self.valid_rows() + self.null_count
     }
 
-    /// Total distinct values represented.
+    /// Total distinct values represented (`O(1)`, from the distinct CDF).
     pub fn distinct_values(&self) -> f64 {
-        self.buckets.iter().map(|b| b.distinct).sum()
+        *self
+            .distinct_cdf
+            .last()
+            .expect("CDF always has a zero entry")
     }
 
     /// Smallest and largest covered values.
@@ -113,14 +180,33 @@ impl Histogram {
     }
 
     /// Estimated number of rows with value in `[lo, hi]` (inclusive).
+    ///
+    /// Binary search locates the overlapping bucket run; the two edge
+    /// buckets contribute their overlap fraction and the fully-covered
+    /// middle comes from one frequency-CDF subtraction. Versus the former
+    /// full scan the result can differ by the usual prefix-subtraction
+    /// rounding (≲ `b·ε` relative — pinned by the kernel tests); fully
+    /// covered edge buckets still contribute `freq` exactly because
+    /// `overlap_fraction` is exactly `1.0` there.
     pub fn range_rows(&self, lo: i64, hi: i64) -> f64 {
         if lo > hi {
             return 0.0;
         }
-        self.buckets
-            .iter()
-            .map(|b| b.freq * b.overlap_fraction(lo, hi))
-            .sum()
+        // First bucket not entirely below the range, first bucket entirely
+        // above it: buckets[a..b] are exactly the overlapping ones.
+        let a = self.buckets.partition_point(|bk| bk.hi < lo);
+        let b = self.buckets.partition_point(|bk| bk.lo <= hi);
+        if a >= b {
+            return 0.0;
+        }
+        let first = &self.buckets[a];
+        if b - a == 1 {
+            return first.freq * first.overlap_fraction(lo, hi);
+        }
+        let last = &self.buckets[b - 1];
+        first.freq * first.overlap_fraction(lo, hi)
+            + (self.freq_cdf[b - 1] - self.freq_cdf[a + 1])
+            + last.freq * last.overlap_fraction(lo, hi)
     }
 
     /// Estimated selectivity of `lo <= value <= hi`, as a fraction of all
@@ -133,10 +219,20 @@ impl Histogram {
         (self.range_rows(lo, hi) / total).clamp(0.0, 1.0)
     }
 
+    /// The bucket whose range contains `v`, by binary search (buckets are
+    /// sorted and disjoint, so the first bucket with `hi >= v` is the only
+    /// candidate). Shared by [`Histogram::eq_rows`] and — through
+    /// [`Histogram::range_rows`] — every [`Histogram::cmp_selectivity`]
+    /// call.
+    fn covering_bucket(&self, v: i64) -> Option<&Bucket> {
+        let i = self.buckets.partition_point(|b| b.hi < v);
+        self.buckets.get(i).filter(|b| b.lo <= v)
+    }
+
     /// Estimated number of rows with value exactly `v` (freq/distinct within
     /// the covering bucket — the standard uniform-frequency assumption).
     pub fn eq_rows(&self, v: i64) -> f64 {
-        match self.buckets.iter().find(|b| b.lo <= v && v <= b.hi) {
+        match self.covering_bucket(v) {
             Some(b) if b.distinct > 0.0 => b.freq / b.distinct.max(1.0),
             _ => 0.0,
         }
@@ -153,7 +249,8 @@ impl Histogram {
 
     /// Estimated selectivity of a one-sided comparison. `strict` excludes
     /// the boundary (`<` / `>` vs `<=` / `>=`); `less` selects the lower
-    /// side.
+    /// side. Runs on the same binary-search range kernel as `eq_rows`
+    /// (through [`Histogram::range_selectivity`]), so it is `O(log b)`.
     pub fn cmp_selectivity(&self, v: i64, less: bool, strict: bool) -> f64 {
         let Some((lo, hi)) = self.bounds() else {
             return 0.0;
@@ -171,9 +268,8 @@ impl Histogram {
     /// histogram is rescaled to model a filtered/joined population.
     pub fn scale(&self, factor: f64) -> Histogram {
         debug_assert!(factor >= 0.0);
-        Histogram {
-            buckets: self
-                .buckets
+        Histogram::new(
+            self.buckets
                 .iter()
                 .map(|b| {
                     let freq = b.freq * factor;
@@ -186,8 +282,8 @@ impl Histogram {
                     }
                 })
                 .collect(),
-            null_count: self.null_count * factor,
-        }
+            self.null_count * factor,
+        )
     }
 
     /// Restricts the histogram to `[lo, hi]`, keeping only (parts of)
@@ -209,10 +305,7 @@ impl Histogram {
                 distinct: (b.distinct * frac).max(1.0).min(span_f64(o_lo, o_hi)),
             });
         }
-        Histogram {
-            buckets,
-            null_count: 0.0,
-        }
+        Histogram::new(buckets, 0.0)
     }
 
     /// Histogram equi-join (§3.3). Aligns the two bucket sequences on the
@@ -486,6 +579,121 @@ mod tests {
         }];
         let segs = segment_boundaries(&a, &b);
         assert_eq!(segs, vec![(0, 4), (5, 9), (10, 14)]);
+    }
+
+    /// Reference implementations of the kernels as the pre-CDF full scans,
+    /// for pinning the binary-search + CDF rewrite against.
+    fn range_rows_scan(h: &Histogram, lo: i64, hi: i64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        h.buckets
+            .iter()
+            .map(|b| b.freq * b.overlap_fraction(lo, hi))
+            .sum()
+    }
+
+    fn eq_rows_scan(h: &Histogram, v: i64) -> f64 {
+        match h.buckets.iter().find(|b| b.lo <= v && v <= b.hi) {
+            Some(b) if b.distinct > 0.0 => b.freq / b.distinct.max(1.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Deterministic pseudo-random histogram: sorted disjoint buckets with
+    /// gaps, fractional freqs, occasional zero-freq buckets.
+    fn lcg_hist(state: &mut u64, max_buckets: usize) -> Histogram {
+        let next = move |s: &mut u64| {
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*s >> 33) as i64
+        };
+        let nb = (next(state).unsigned_abs() as usize) % max_buckets + 1;
+        let mut buckets = Vec::with_capacity(nb);
+        let mut lo = -(next(state).rem_euclid(50));
+        for _ in 0..nb {
+            let width = next(state).rem_euclid(20) + 1;
+            let hi = lo + width - 1;
+            let freq = (next(state).rem_euclid(10_000) as f64) / 3.0;
+            let distinct = ((next(state).rem_euclid(width) + 1) as f64).min(freq.max(1.0));
+            buckets.push(Bucket {
+                lo,
+                hi,
+                freq,
+                distinct,
+            });
+            lo = hi + 1 + next(state).rem_euclid(7);
+        }
+        Histogram::new(buckets, (next(state).rem_euclid(100) as f64) / 2.0)
+    }
+
+    /// CDF `range_rows` vs the full-scan reference: deviation is bounded by
+    /// prefix-subtraction rounding (≲ `b·ε` relative), pinned here at a
+    /// 1e-12 relative tolerance. Totals and `eq_rows` must be exact.
+    #[test]
+    fn cdf_kernels_match_scan_reference_within_summation_order() {
+        let mut state = 0x5EED_1234_ABCD_0001u64;
+        for case in 0..400 {
+            let h = lcg_hist(&mut state, 40);
+            let (dom_lo, dom_hi) = h.bounds().expect("non-empty by construction");
+            // Totals are bit-identical: the CDF accumulates in scan order.
+            let freq_scan: f64 = h.buckets.iter().map(|b| b.freq).sum();
+            let distinct_scan: f64 = h.buckets.iter().map(|b| b.distinct).sum();
+            assert_eq!(h.valid_rows().to_bits(), freq_scan.to_bits(), "case {case}");
+            assert_eq!(
+                h.distinct_values().to_bits(),
+                distinct_scan.to_bits(),
+                "case {case}"
+            );
+            for probe in 0..40 {
+                let span = dom_hi - dom_lo;
+                let a = dom_lo - 3 + (probe * 7919) % (span + 7);
+                let b = dom_lo - 3 + (probe * 104729) % (span + 7);
+                let (lo, hi) = (a.min(b), a.max(b));
+                let fast = h.range_rows(lo, hi);
+                let slow = range_rows_scan(&h, lo, hi);
+                let tol = 1e-12 * slow.abs().max(1.0);
+                assert!(
+                    (fast - slow).abs() <= tol,
+                    "case {case} range [{lo},{hi}]: fast {fast} vs scan {slow}"
+                );
+                // Equality kernel has no arithmetic change: exact bits.
+                assert_eq!(
+                    h.eq_rows(a).to_bits(),
+                    eq_rows_scan(&h, a).to_bits(),
+                    "case {case} eq {a}"
+                );
+            }
+            // Degenerate probes: outside the domain, inverted, single value.
+            assert_eq!(h.range_rows(dom_hi + 10, dom_hi + 20), 0.0);
+            assert_eq!(h.range_rows(5, 4), 0.0);
+            assert_eq!(
+                h.range_rows(dom_lo, dom_lo).to_bits(),
+                range_rows_scan(&h, dom_lo, dom_lo).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_wire_format_is_buckets_and_null_count_only() {
+        let h = uniform_hist(1, 10, 40.0);
+        let v = serde::Serialize::to_value(&h);
+        let fields = v.as_object().expect("object");
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            ["buckets", "null_count"],
+            "derived CDFs stay off the wire"
+        );
+        let back = <Histogram as serde::Deserialize>::from_value(&v).expect("roundtrip");
+        assert_eq!(back, h);
+        // The roundtripped histogram rebuilt its CDFs.
+        assert_eq!(back.valid_rows().to_bits(), h.valid_rows().to_bits());
+        assert_eq!(
+            back.range_rows(2, 9).to_bits(),
+            h.range_rows(2, 9).to_bits()
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! `estimate` / `estimate_batch` front end.
 
 use std::num::NonZeroUsize;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use parking_lot::RwLock;
@@ -36,6 +37,16 @@ pub struct ServiceConfig {
     /// bit-identical, so mixing them across a shared cache is safe — this
     /// knob exists for memory control and engine benchmarking.
     pub dp_strategy: DpStrategy,
+    /// Worker threads for [`EstimationService::estimate_batch`]; `None`
+    /// uses [`std::thread::available_parallelism`], `Some(1)` forces the
+    /// sequential path. Parallel batches are bit-identical to sequential
+    /// ones (see the `estimate_batch` docs).
+    pub batch_threads: Option<NonZeroUsize>,
+    /// Threads for each estimator's rank-parallel dense DP fill
+    /// (`SelectivityEstimator::with_dp_threads`); `None` keeps the serial
+    /// fill, which is usually right when `batch_threads` already saturates
+    /// the host — the two layers multiply.
+    pub dp_threads: Option<NonZeroUsize>,
 }
 
 impl Default for ServiceConfig {
@@ -47,6 +58,8 @@ impl Default for ServiceConfig {
             build_threads: None,
             sit_driven_pruning: false,
             dp_strategy: DpStrategy::Auto,
+            batch_threads: None,
+            dp_threads: None,
         }
     }
 }
@@ -205,13 +218,62 @@ impl EstimationService {
     /// Estimates a batch against one consistent snapshot: every query in
     /// the slice is answered by the same catalog generation even if a
     /// rebuild lands mid-batch.
+    ///
+    /// With [`ServiceConfig::batch_threads`] > 1 the batch fans out over a
+    /// scoped worker pool sharing that one snapshot (and its cross-query
+    /// cache). Each worker writes its query's [`Estimate`] into a dedicated
+    /// output slot claimed through an atomic cursor, so the returned vector
+    /// is always in input order and every `selectivity` / `error` /
+    /// `cardinality` / `epoch` is bit-identical to the sequential path —
+    /// estimates are pure functions of `(query, snapshot)` and the shared
+    /// cache only memoizes such values. The sole scheduling-dependent field
+    /// is the [`Estimate::cached`] flag (two workers can race the same
+    /// whole-query key and both compute it). Per-query latency stats are
+    /// recorded from the workers as usual.
     pub fn estimate_batch(&self, queries: &[SpjQuery]) -> Vec<Estimate> {
         self.stats.record_batch();
         let snapshot = self.snapshot();
-        queries
+        let workers = self.batch_workers(queries.len());
+        if workers < 2 {
+            return queries
+                .iter()
+                .map(|q| self.estimate_on(&snapshot, q))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<Estimate>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let (snapshot, next, slots) = (&snapshot, &next, &slots);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= queries.len() {
+                        break;
+                    }
+                    let e = self.estimate_on(snapshot, &queries[idx]);
+                    *slots[idx].lock().expect("estimate slot poisoned") = Some(e);
+                });
+            }
+        });
+        slots
             .iter()
-            .map(|q| self.estimate_on(&snapshot, q))
+            .map(|slot| {
+                slot.lock()
+                    .expect("estimate slot poisoned")
+                    .expect("every batch index claimed by exactly one worker")
+            })
             .collect()
+    }
+
+    /// Worker count for a batch: the configured `batch_threads` (default:
+    /// host parallelism), never more than one worker per query.
+    fn batch_workers(&self, queries: usize) -> usize {
+        let configured = self.config.batch_threads.map_or_else(
+            || std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            NonZeroUsize::get,
+        );
+        configured.min(queries).max(1)
     }
 
     /// Service metrics, including the current snapshot's cache counters.
@@ -232,6 +294,7 @@ impl EstimationService {
                     self.config.mode,
                 )
                 .with_strategy(self.config.dp_strategy)
+                .with_dp_threads(self.config.dp_threads.map_or(1, NonZeroUsize::get))
                 .with_shared_cache(&snapshot.cache);
                 if let Some(sit2) = &snapshot.sit2 {
                     est = est.with_sit2_catalog(sit2);

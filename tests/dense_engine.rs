@@ -67,7 +67,24 @@ fn lattice_bits(
     cache: Option<&ShardedCache>,
     pruning: bool,
 ) -> Vec<(u64, u64)> {
-    let mut est = SelectivityEstimator::new(db, q, catalog, mode).with_strategy(strategy);
+    lattice_bits_threaded(db, q, catalog, mode, strategy, cache, pruning, 1)
+}
+
+/// [`lattice_bits`] with an explicit DP thread count for the dense fill.
+#[allow(clippy::too_many_arguments)]
+fn lattice_bits_threaded(
+    db: &Database,
+    q: &SpjQuery,
+    catalog: &SitCatalog,
+    mode: ErrorMode,
+    strategy: DpStrategy,
+    cache: Option<&ShardedCache>,
+    pruning: bool,
+    threads: usize,
+) -> Vec<(u64, u64)> {
+    let mut est = SelectivityEstimator::new(db, q, catalog, mode)
+        .with_strategy(strategy)
+        .with_dp_threads(threads);
     if let Some(c) = cache {
         est = est.with_shared_cache(c);
     }
@@ -105,6 +122,31 @@ proptest! {
             // Auto must coincide with whichever engine it picked.
             let auto = lattice_bits(&db, &q, &catalog, mode, DpStrategy::Auto, None, pruning);
             prop_assert_eq!(&auto, &dense, "auto, mode {:?}", mode);
+        }
+    }
+
+    /// Rank-parallel dense fill ≡ serial dense fill, bit for bit, across
+    /// thread counts, error modes, and §3.4 pruning. Worker threads own
+    /// disjoint result slots and peel links evaluate exactly once through
+    /// the rank's claim-then-publish map, so scheduling cannot perturb a
+    /// single bit (DESIGN.md §4e).
+    #[test]
+    fn rank_parallel_fill_is_bit_identical(
+        db in small_db(),
+        q in query(),
+        pool_i in 0usize..3,
+        pruning in any::<bool>(),
+    ) {
+        let catalog = build_pool(&db, std::slice::from_ref(&q), PoolSpec::ji(pool_i))
+            .expect("pool build");
+        for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+            let serial = lattice_bits(&db, &q, &catalog, mode, DpStrategy::Dense, None, pruning);
+            for threads in [2, 8] {
+                let par = lattice_bits_threaded(
+                    &db, &q, &catalog, mode, DpStrategy::Dense, None, pruning, threads,
+                );
+                prop_assert_eq!(&par, &serial, "threads {}, mode {:?}", threads, mode);
+            }
         }
     }
 
@@ -184,5 +226,31 @@ fn dense_engine_matches_recursive_at_n12() {
             "both engines visit the identical state set"
         );
         assert_eq!(dense.stats().peel_entries, rec.stats().peel_entries);
+
+        // The rank-parallel fill (large ranks here: C(12,6) = 924 masks)
+        // must reproduce the serial answer bit for bit AND the serial
+        // instrumentation exactly — same memo states, same computed peel
+        // links, same view-matching call count — because per-mask slots and
+        // the exactly-once link map make the computed-key set, not just the
+        // values, scheduling-independent.
+        for threads in [2, 8] {
+            let mut par = SelectivityEstimator::new(&db, &q, &catalog, mode)
+                .with_strategy(DpStrategy::Dense)
+                .with_dp_threads(threads);
+            let (sp, ep) = par.get_selectivity(par.context().all());
+            assert_eq!(
+                sp.to_bits(),
+                sd.to_bits(),
+                "sel, {threads} threads, mode {mode:?}"
+            );
+            assert_eq!(
+                ep.to_bits(),
+                ed.to_bits(),
+                "err, {threads} threads, mode {mode:?}"
+            );
+            assert_eq!(par.stats().memo_entries, dense.stats().memo_entries);
+            assert_eq!(par.stats().peel_entries, dense.stats().peel_entries);
+            assert_eq!(par.stats().vm_calls, dense.stats().vm_calls);
+        }
     }
 }

@@ -137,6 +137,61 @@ fn service_over_parallel_pool_matches_sequential_pool() {
     }
 }
 
+/// The value fields of an [`sqe::service::Estimate`] as raw bits — every
+/// deterministic field, i.e. all but the scheduling-dependent `cached` flag.
+fn estimate_bits(e: &sqe::service::Estimate) -> (u64, u64, u64, u64) {
+    (
+        e.selectivity.to_bits(),
+        e.error.to_bits(),
+        e.cardinality.to_bits(),
+        e.epoch,
+    )
+}
+
+/// A catalog `install` landing mid-batch must not tear a batch: the batch
+/// pinned its snapshot up front, so every estimate reports one epoch and
+/// the same bits as a quiet-service batch. Runs the race once per worker
+/// configuration, with the installer un-synchronized (whichever side wins,
+/// the invariants hold — both epochs carry the identical catalog here, so
+/// bit-identity to the reference is checkable in every interleaving).
+#[test]
+fn install_landing_mid_batch_never_tears_a_parallel_batch() {
+    let (db, wl, _) = service_setup(ErrorMode::Diff);
+    let pool = || build_pool(&db, &wl, PoolSpec::ji(2)).unwrap();
+    let expected: Vec<_> = {
+        let svc = EstimationService::new(Arc::clone(&db), pool(), ServiceConfig::default());
+        svc.estimate_batch(&wl).iter().map(estimate_bits).collect()
+    };
+    for threads in [1usize, 2, 8] {
+        let svc = EstimationService::new(
+            Arc::clone(&db),
+            pool(),
+            ServiceConfig {
+                batch_threads: Some(NonZeroUsize::new(threads).unwrap()),
+                ..ServiceConfig::default()
+            },
+        );
+        let batch = std::thread::scope(|s| {
+            let batch = s.spawn(|| svc.estimate_batch(&wl));
+            s.spawn(|| svc.install(pool(), None));
+            batch.join().expect("batch thread")
+        });
+        let epoch = batch[0].epoch;
+        for (got, want) in batch.iter().zip(&expected) {
+            assert_eq!(got.epoch, epoch, "one snapshot answers the whole batch");
+            assert_eq!(
+                (
+                    got.selectivity.to_bits(),
+                    got.error.to_bits(),
+                    got.cardinality.to_bits()
+                ),
+                (want.0, want.1, want.2),
+                "{threads} batch threads"
+            );
+        }
+    }
+}
+
 /// A fixed universe of distinct predicates over a 3-table schema; subsets
 /// of it play the role of `PredSet`s in the injectivity property.
 fn predicate_universe() -> Vec<Predicate> {
@@ -217,5 +272,90 @@ proptest! {
         map.insert(CacheKey::conditional(mode_of(m), &preds, &[]), 42u32);
         let probe = CacheKey::conditional(mode_of(m), &rotated, &[]);
         prop_assert_eq!(map.get(&probe), Some(&42));
+    }
+}
+
+/// Strategy: a 4-table database with 2 columns each, narrow value domain so
+/// joins match and histograms are non-trivial (mirrors the dense-engine
+/// property tests).
+fn gen_db() -> impl Strategy<Value = Database> {
+    use sqe::engine::table::TableBuilder;
+    prop::collection::vec(prop::collection::vec(0i64..8, 2..14), 8).prop_map(|cols| {
+        let mut db = Database::new();
+        for (t, pair) in cols.chunks(2).enumerate() {
+            let n = pair[0].len().min(pair[1].len());
+            db.add_table(
+                TableBuilder::new(format!("t{t}"))
+                    .column("a", pair[0][..n].to_vec())
+                    .column("b", pair[1][..n].to_vec())
+                    .build()
+                    .expect("consistent"),
+            );
+        }
+        db
+    })
+}
+
+/// Strategy: a random workload of 2–7 queries over the 4-table schema.
+fn gen_workload() -> impl Strategy<Value = Vec<SpjQuery>> {
+    let colref = (0u32..4, 0u16..2).prop_map(|(t, c)| ColRef::new(TableId(t), c));
+    let pred = prop_oneof![
+        (colref.clone(), 0i64..8, 0i64..8).prop_map(|(c, lo, hi)| Predicate::range(
+            c,
+            lo.min(hi),
+            lo.max(hi)
+        )),
+        (colref.clone(), 0i64..8).prop_map(|(c, v)| Predicate::filter(c, CmpOp::Eq, v)),
+        (colref.clone(), 0i64..8).prop_map(|(c, v)| Predicate::filter(c, CmpOp::Le, v)),
+        (colref.clone(), colref).prop_filter_map("self-column join", |(l, r)| {
+            (l.table != r.table).then(|| Predicate::join(l, r))
+        }),
+    ];
+    let query = prop::collection::vec(pred, 1..6).prop_filter_map("degenerate query", |mut p| {
+        p.sort_unstable();
+        p.dedup();
+        SpjQuery::from_predicates(p).ok()
+    });
+    prop::collection::vec(query, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel `estimate_batch` is bit-identical and order-stable vs the
+    /// sequential path across worker counts {1, 2, 8} — comparing every
+    /// deterministic `Estimate` field (the `cached` flag is scheduling-
+    /// dependent by design). The 8-worker service also stacks the
+    /// rank-parallel DP fill (2 DP threads per estimator) to cover the two
+    /// parallel layers composed.
+    #[test]
+    fn parallel_batches_are_bit_identical_and_order_stable(
+        db in gen_db(),
+        wl in gen_workload(),
+        pool_i in 0usize..3,
+        mode_i in 0u8..2,
+    ) {
+        let mode = mode_of(mode_i);
+        let db = Arc::new(db);
+        let pool = || build_pool(&db, &wl, PoolSpec::ji(pool_i)).expect("pool build");
+        let config = |batch: usize, dp: usize| ServiceConfig {
+            mode,
+            batch_threads: Some(NonZeroUsize::new(batch).unwrap()),
+            dp_threads: Some(NonZeroUsize::new(dp).unwrap()),
+            ..ServiceConfig::default()
+        };
+        let sequential = EstimationService::new(Arc::clone(&db), pool(), config(1, 1));
+        let expected: Vec<_> = sequential.estimate_batch(&wl).iter().map(estimate_bits).collect();
+        for (batch, dp) in [(2, 1), (8, 2)] {
+            let svc = EstimationService::new(Arc::clone(&db), pool(), config(batch, dp));
+            // Two rounds: cold caches, then warm (whole-query hits).
+            for round in ["cold", "warm"] {
+                let got: Vec<_> = svc.estimate_batch(&wl).iter().map(estimate_bits).collect();
+                prop_assert_eq!(
+                    &got, &expected,
+                    "{} batch threads, {} dp threads, {}", batch, dp, round
+                );
+            }
+        }
     }
 }
