@@ -1,0 +1,71 @@
+//! Accuracy measurement against ground truth (`sqe-oracle`).
+//!
+//! Runs the differential accuracy harness over the seeded oracle scenarios
+//! and writes the committed report:
+//!
+//! * `ACCURACY.json` (repo root) — the current run, uploaded by CI;
+//! * `results/ACCURACY.baseline.json` — only with `--write-baseline`, the
+//!   reference the `accuracy_gate` binary compares against.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin accuracy [-- --tier smoke|full --write-baseline]
+//! ```
+
+use sqe_bench::report::{fmt_num, render_table, write_json, write_json_root};
+use sqe_bench::Args;
+use sqe_oracle::{measure_accuracy, OracleTier};
+
+fn main() {
+    let args = Args::parse();
+    let tier_str = args.get_str("tier", "smoke");
+    let Some(tier) = OracleTier::parse(&tier_str) else {
+        eprintln!("unknown --tier '{tier_str}' (expected 'smoke' or 'full')");
+        std::process::exit(2);
+    };
+
+    eprintln!("measuring estimator accuracy, {} tier ...", tier.label());
+    let report = measure_accuracy(tier);
+
+    println!(
+        "Estimator accuracy vs ground truth ({} tier)\n",
+        report.tier
+    );
+    let mut rows = Vec::new();
+    for sc in &report.scenarios {
+        for v in &sc.variants {
+            rows.push(vec![
+                sc.scenario.to_string(),
+                v.variant.clone(),
+                v.queries.to_string(),
+                fmt_num(v.median_q_error),
+                fmt_num(v.p95_q_error),
+                fmt_num(v.max_q_error),
+                fmt_num(v.median_rel_error),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "variant", "q", "med qerr", "p95 qerr", "max qerr", "med rel",],
+            &rows,
+        )
+    );
+
+    match write_json_root("ACCURACY", &report) {
+        Ok(p) => println!("report written to {}", p.display()),
+        Err(e) => {
+            eprintln!("could not write ACCURACY.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if args.flag("write-baseline") {
+        match write_json("ACCURACY.baseline", &report) {
+            Ok(p) => println!("baseline written to {}", p.display()),
+            Err(e) => {
+                eprintln!("could not write baseline: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

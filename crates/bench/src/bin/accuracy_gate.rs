@@ -1,0 +1,69 @@
+//! CI accuracy-regression gate.
+//!
+//! Compares a fresh `ACCURACY.json` (from the `accuracy` binary) against
+//! the committed baseline and exits non-zero when any gated metric
+//! regressed beyond tolerance — see `sqe_oracle::gate` for the tolerance
+//! model and `EXPERIMENTS.md` ("Accuracy methodology") for how to
+//! re-baseline after an intentional change.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin accuracy_gate \
+//!     [-- --baseline results/ACCURACY.baseline.json --current ACCURACY.json \
+//!         --ratio 1.10 --slack 0.05]
+//! ```
+
+use std::path::Path;
+
+use sqe_bench::Args;
+use sqe_oracle::{compare_reports, AccuracyReport, GateConfig};
+
+fn load(path: &str) -> AccuracyReport {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read report '{path}': {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&body).unwrap_or_else(|e| {
+        eprintln!("cannot parse report '{path}': {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    // Resolve relative to the repo root so the gate works from any cwd
+    // cargo uses.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let resolve = |p: String| {
+        if Path::new(&p).exists() {
+            p
+        } else {
+            root.join(&p).to_string_lossy().into_owned()
+        }
+    };
+    let baseline_path = resolve(args.get_str("baseline", "results/ACCURACY.baseline.json"));
+    let current_path = resolve(args.get_str("current", "ACCURACY.json"));
+    let cfg = GateConfig {
+        max_ratio: args.get("ratio", GateConfig::default().max_ratio),
+        abs_slack: args.get("slack", GateConfig::default().abs_slack),
+    };
+
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+    let violations = compare_reports(&baseline, &current, cfg);
+    if violations.is_empty() {
+        println!(
+            "accuracy gate PASS: {} within ratio {} + slack {} of {}",
+            current_path, cfg.max_ratio, cfg.abs_slack, baseline_path
+        );
+        return;
+    }
+    eprintln!(
+        "accuracy gate FAIL ({} violation(s) vs {}):",
+        violations.len(),
+        baseline_path
+    );
+    for v in &violations {
+        eprintln!("  - {v}");
+    }
+    std::process::exit(1);
+}

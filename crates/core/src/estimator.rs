@@ -750,6 +750,89 @@ impl<'a> SelectivityEstimator<'a> {
         )
     }
 
+    /// The atomic decomposition chain `getSelectivity` chose for `p` — a
+    /// diagnostics / test hook (the differential accuracy harness reads it
+    /// to verify the DP against an exhaustive enumeration of Lemma 1's
+    /// decomposition space).
+    ///
+    /// Solves `p` if it has not been solved yet, then *replays* the
+    /// memoized lattice: the same descending-submask walk, §3.4 pruning
+    /// test, and strict-`<` tie-break as the fill, reading `Sel(Q)` values
+    /// straight from the memo and factors from the peel memo — so the
+    /// replay reconstructs exactly the argmin the fill committed, without
+    /// re-estimating anything.
+    ///
+    /// The returned links are in evaluation order: each entry `(P′, Q)` is
+    /// one conditional factor `Sel(P′|Q)`, where `Q` is that link's full
+    /// conditioning set. Separable sets contribute the concatenation of
+    /// their components' chains (Property 2 multiplies the factors, so the
+    /// flattened chain is the complete decomposition). Invariants the
+    /// harness relies on, for `links = chosen_decomposition(p)`:
+    ///
+    /// * the `P′` masks partition `p`;
+    /// * `Σ conditional_factor(P′,Q).1` over the links equals
+    ///   `get_selectivity(p).1` (same additions, same order);
+    /// * every link's `Q` is the union of later `P′`s within its component.
+    pub fn chosen_decomposition(&mut self, p: PredSet) -> Vec<(PredSet, PredSet)> {
+        self.get_selectivity(p);
+        let mut links = Vec::new();
+        self.replay(p, &mut links);
+        links
+    }
+
+    /// Replay step: standard decomposition first (lines 4–7), then the
+    /// non-separable argmin walk per component (lines 9–17).
+    fn replay(&mut self, p: PredSet, out: &mut Vec<(PredSet, PredSet)>) {
+        if p.is_empty() {
+            return;
+        }
+        let mut rest = p;
+        while !rest.is_empty() {
+            let c = self.ctx.first_component(rest);
+            rest = rest.minus(c);
+            self.replay_nonseparable(c, out);
+        }
+    }
+
+    /// Replays the subset walk of one solved non-separable mask and
+    /// recurses into the chosen conditioning set.
+    fn replay_nonseparable(&mut self, m: PredSet, out: &mut Vec<(PredSet, PredSet)>) {
+        let sit_driven = self.sit_driven.clone();
+        let mut best_err = f64::INFINITY;
+        let mut best = None;
+        for p_prime in m.subsets() {
+            let q = m.minus(p_prime);
+            if let Some(masks) = &sit_driven {
+                // Same keep test as both engines (the dense prune table is
+                // the subset-OR rollup of exactly this predicate).
+                let keep = p_prime == m
+                    || masks
+                        .iter()
+                        .any(|&(a, c)| a & p_prime.0 != 0 && c & !q.0 == 0);
+                if !keep {
+                    continue;
+                }
+            }
+            let (_, err_q) = if q.is_empty() {
+                (1.0, 0.0)
+            } else {
+                self.memo_get(q)
+                    .expect("replay runs on a solved lattice: every Q is memoized")
+            };
+            let (_, err_f) = self.factor(p_prime, q);
+            let total = err_f + err_q;
+            if total < best_err {
+                best_err = total;
+                best = Some((p_prime, q));
+            }
+        }
+        let (p_prime, q) = best.expect("a non-empty mask always has the P′ = P decomposition");
+        out.push((p_prime, q));
+        if !q.is_empty() {
+            self.replay(q, out);
+        }
+    }
+
     /// Estimates the single-predicate conditional factor `Sel(pᵢ | cset)`,
     /// memoized on `(i, cset)`. Shared-cache hooks fire exactly on
     /// flat-table misses, as the HashMap version's did on map misses.
@@ -1406,5 +1489,75 @@ mod tests {
         assert_eq!(sd.to_bits(), sr.to_bits());
         assert_eq!(ed.to_bits(), er.to_bits());
         assert_eq!(dense.stats().peel_entries, rec.stats().peel_entries);
+    }
+
+    #[test]
+    fn chosen_decomposition_partitions_and_reproduces_the_error() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        for strategy in [DpStrategy::Dense, DpStrategy::Recursive] {
+            for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+                let mut est =
+                    SelectivityEstimator::new(&db, &q, &cat, mode).with_strategy(strategy);
+                let all = est.context().all();
+                let (_, err) = est.get_selectivity(all);
+                let links = est.chosen_decomposition(all);
+                // The P′ masks partition the query's predicate set.
+                let mut union = PredSet::EMPTY;
+                for &(p_prime, _) in &links {
+                    assert!(!p_prime.is_empty());
+                    assert!(union.intersect(p_prime).is_empty(), "links overlap");
+                    union = union.union(p_prime);
+                }
+                assert_eq!(union, all);
+                // Summing the memoized factor errors reproduces the DP's
+                // total error.
+                let replay_err: f64 = links
+                    .iter()
+                    .map(|&(p_prime, q)| est.conditional_factor(p_prime, q).1)
+                    .sum();
+                assert!(
+                    (replay_err - err).abs() < 1e-12,
+                    "{mode:?}/{strategy:?}: replay {replay_err} vs dp {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_decomposition_is_stable_across_engines() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut dense = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_strategy(DpStrategy::Dense);
+        let mut rec = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_strategy(DpStrategy::Recursive);
+        let all = dense.context().all();
+        assert_eq!(
+            dense.chosen_decomposition(all),
+            rec.chosen_decomposition(all),
+            "both engines commit the identical argmin chain"
+        );
+    }
+
+    #[test]
+    fn chosen_decomposition_respects_pruning() {
+        let db = skewed_db();
+        let q = query(&db);
+        let cat = full_catalog(&db);
+        let mut pruned = SelectivityEstimator::new(&db, &q, &cat, ErrorMode::Diff)
+            .with_strategy(DpStrategy::Dense)
+            .with_sit_driven_pruning();
+        let all = pruned.context().all();
+        let (sel, err) = pruned.get_selectivity(all);
+        let links = pruned.chosen_decomposition(all);
+        let replay_err: f64 = links
+            .iter()
+            .map(|&(p_prime, q)| pruned.conditional_factor(p_prime, q).1)
+            .sum();
+        assert!((replay_err - err).abs() < 1e-12);
+        assert!(sel > 0.0);
     }
 }

@@ -62,7 +62,7 @@ pub use feedback::{FeedbackStore, Observation};
 pub use flat::{DenseMemo, FlatMemo};
 pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
-pub use persist::{load_catalog, save_catalog};
+pub use persist::{clean_stale_temps, load_catalog, save_catalog, stale_temp_files};
 pub use pool::{build_pool, build_pool_threaded, build_pool_with, PoolSpec};
 pub use predset::{PredSet, QueryContext};
 pub use sit::{Sit, SitCatalog, SitId, SitOptions};

@@ -128,6 +128,78 @@ mod tests {
         }
     }
 
+    /// 8 workers race claim/publish over a key space crafted to interleave
+    /// shard access: half the workers walk keys ascending, half descending,
+    /// and keys are spaced so consecutive probes hit different shards. The
+    /// owner of each key sleeps before publishing, so losers genuinely
+    /// block on the condvar instead of winning a fast-path read — the test
+    /// then asserts every key was computed exactly once, every waiter
+    /// observed the owner's published value (never a default or a torn
+    /// one), and the scope joins (no deadlock).
+    #[test]
+    fn contended_claims_block_waiters_until_publish_without_deadlock() {
+        const KEYS: u64 = 96;
+        let map = OnceMap::new();
+        let computed = AtomicUsize::new(0);
+        let observed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for worker in 0..8usize {
+                let (map, computed, observed) = (&map, &computed, &observed);
+                s.spawn(move || {
+                    for step in 0..KEYS {
+                        // Ascending for even workers, descending for odd:
+                        // two workers meet on every key from opposite ends,
+                        // and the ×37 stride scatters neighbours across
+                        // shards (37 is odd, so the Fibonacci-hash shard
+                        // sequence decorrelates between directions).
+                        let k = if worker % 2 == 0 {
+                            step
+                        } else {
+                            KEYS - 1 - step
+                        };
+                        let key = k * 37;
+                        match map.claim(key) {
+                            Claim::Owned => {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                // Hold the claim long enough that at least
+                                // some other worker reaches the wait path.
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                                map.publish(key, (key as f64 + 0.5, -(key as f64)));
+                            }
+                            Claim::Ready(v) => {
+                                observed.fetch_add(1, Ordering::Relaxed);
+                                assert_eq!(
+                                    v,
+                                    (key as f64 + 0.5, -(key as f64)),
+                                    "waiter observed a value other than the published one"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            KEYS as usize,
+            "every key computed exactly once"
+        );
+        // 8 workers × 96 keys = 768 claims; all non-owning claims resolve
+        // to Ready with the published value.
+        assert_eq!(
+            computed.load(Ordering::Relaxed) + observed.load(Ordering::Relaxed),
+            8 * KEYS as usize
+        );
+        // The barrier drain sees exactly one published value per key.
+        let mut memo = FlatMemo::new();
+        map.drain_into(&mut memo);
+        assert_eq!(memo.len(), KEYS as usize);
+        for k in 0..KEYS {
+            let key = k * 37;
+            assert_eq!(memo.get(key), Some((key as f64 + 0.5, -(key as f64))));
+        }
+    }
+
     #[test]
     fn concurrent_claims_compute_each_key_exactly_once() {
         let map = OnceMap::new();

@@ -22,8 +22,19 @@ use crate::sit::SitCatalog;
 /// `path` untouched, and a concurrent [`load_catalog`] never observes a
 /// half-written file.
 pub fn save_catalog(catalog: &SitCatalog, path: impl AsRef<Path>) -> io::Result<()> {
+    let tmp = write_temp(catalog, path.as_ref())?;
+    fs::rename(&tmp, path.as_ref()).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+/// Serializes `catalog` into a fresh uniquely-named temporary file next to
+/// `path` and returns the temporary's location — the first half of
+/// [`save_catalog`], split out so the crash-safety tests can stop exactly
+/// between the write and the rename (the widest window a real crash can
+/// hit).
+fn write_temp(catalog: &SitCatalog, path: &Path) -> io::Result<std::path::PathBuf> {
     static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
-    let path = path.as_ref();
     let json = serde_json::to_string_pretty(catalog)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
@@ -43,9 +54,46 @@ pub fn save_catalog(catalog: &SitCatalog, path: impl AsRef<Path>) -> io::Result<
         None => Path::new(&tmp_name).to_path_buf(),
     };
     fs::write(&tmp, json)?;
-    fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = fs::remove_file(&tmp);
-    })
+    Ok(tmp)
+}
+
+/// Temporary files that a crashed [`save_catalog`] targeting `path` may
+/// have left behind: `.{name}.tmp.{pid}.{seq}` siblings of `path`. A
+/// healthy save leaves none (the temp is renamed away or removed), so
+/// anything matching is garbage from an interrupted process and is safe to
+/// delete — the rename-last protocol guarantees `path` itself is either
+/// the old complete catalog or the new complete catalog, never a partial.
+pub fn stale_temp_files(path: impl AsRef<Path>) -> io::Result<Vec<std::path::PathBuf>> {
+    let path = path.as_ref();
+    let dir = match path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        Some(d) => d.to_path_buf(),
+        None => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let prefix = format!(".{}.tmp.", file_name.to_string_lossy());
+    let mut found = Vec::new();
+    for entry in fs::read_dir(&dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().starts_with(&prefix) {
+            found.push(entry.path());
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Deletes every stale temporary detected by [`stale_temp_files`] and
+/// returns how many were removed. Call on startup before the first
+/// [`load_catalog`] to reclaim space after a crash.
+pub fn clean_stale_temps(path: impl AsRef<Path>) -> io::Result<usize> {
+    let stale = stale_temp_files(&path)?;
+    let n = stale.len();
+    for tmp in stale {
+        fs::remove_file(tmp)?;
+    }
+    Ok(n)
 }
 
 /// Loads a catalog saved by [`save_catalog`], rebuilding its indexes.
@@ -156,6 +204,80 @@ mod tests {
         // Bare-file-name path (no parent component).
         save_catalog(&cat, &path).unwrap();
         assert!(load_catalog(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_between_write_and_rename_leaves_original_intact() {
+        let (db, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test_crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+
+        // A complete catalog is on disk; a later save crashes between the
+        // temp-file write and the rename (simulated by running exactly the
+        // first half of `save_catalog` and never renaming).
+        save_catalog(&cat, &path).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+        let mut bigger = SitCatalog::new();
+        for (_, s) in cat.iter() {
+            bigger.add(s.clone());
+        }
+        bigger.add(Sit::build_base(&db, ColRef::new(TableId(1), 0)).unwrap());
+        let tmp = write_temp(&bigger, &path).unwrap();
+        assert!(tmp.exists(), "crash leaves the temporary behind");
+
+        // The original catalog is byte-for-byte untouched and still loads.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let loaded = load_catalog(&path).unwrap();
+        assert_eq!(loaded.len(), cat.len());
+
+        // The orphan is detectable and cleanable; the catalog survives the
+        // cleanup.
+        let stale = stale_temp_files(&path).unwrap();
+        assert_eq!(stale, vec![tmp.clone()]);
+        assert_eq!(clean_stale_temps(&path).unwrap(), 1);
+        assert!(!tmp.exists());
+        assert!(stale_temp_files(&path).unwrap().is_empty());
+        assert!(load_catalog(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_any_catalog_exists_is_recoverable() {
+        // First-ever save crashes: no catalog at `path`, one orphan temp.
+        let (_, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test_crash_first");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        let tmp = write_temp(&cat, &path).unwrap();
+        assert!(!path.exists(), "no partial catalog ever appears at `path`");
+        assert_eq!(stale_temp_files(&path).unwrap(), vec![tmp]);
+        assert_eq!(clean_stale_temps(&path).unwrap(), 1);
+        // A retried save then succeeds normally.
+        save_catalog(&cat, &path).unwrap();
+        assert!(load_catalog(&path).is_ok());
+        assert!(stale_temp_files(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_detection_ignores_unrelated_files() {
+        let (_, cat) = sample_catalog();
+        let dir = std::env::temp_dir().join("sqe_persist_test_stale_scope");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        save_catalog(&cat, &path).unwrap();
+        // Unrelated siblings: another catalog's temp, a plain file, and a
+        // name that merely contains ".tmp.".
+        std::fs::write(dir.join(".other.json.tmp.1.0"), "x").unwrap();
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        std::fs::write(dir.join("catalog.json.tmp.backup"), "x").unwrap();
+        assert!(stale_temp_files(&path).unwrap().is_empty());
+        assert_eq!(clean_stale_temps(&path).unwrap(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,134 @@
+//! Seeded, deterministic database export.
+//!
+//! The accuracy harness pins its ground truth to *exact bytes*: a scenario
+//! is regenerated from `(generator version, seed)` on every run, and this
+//! module renders the resulting [`Database`] into a canonical JSON document
+//! so two runs (or two machines) can assert they measured the very same
+//! data before comparing accuracy numbers. The format is also the escape
+//! hatch for debugging a regression: dump the offending scenario once and
+//! inspect it without re-running the generator.
+//!
+//! The rendering is canonical by construction — tables in id order, columns
+//! in schema order, rows in storage order, NULLs as JSON `null` — so equal
+//! databases always produce byte-equal documents.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use sqe_engine::{Database, TableId};
+
+/// Renders `db` as a canonical JSON document.
+///
+/// Shape: `{"tables": [{"name": …, "columns": [{"name": …, "values":
+/// […, null, …]}]}]}`, everything in deterministic order. Integers only —
+/// the engine's storage model — so the document round-trips exactly.
+pub fn export_database_json(db: &Database) -> String {
+    let mut out = String::new();
+    out.push_str("{\"tables\":[");
+    for t in 0..db.table_count() {
+        if t > 0 {
+            out.push(',');
+        }
+        let id = TableId(t as u32);
+        let table = db.table(id).expect("table ids are dense");
+        let schema = db.schema(id).expect("table ids are dense");
+        write!(out, "{{\"name\":{:?},\"columns\":[", schema.name).expect("string write");
+        for (c, col_schema) in schema.columns.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            write!(out, "{{\"name\":{:?},\"values\":[", col_schema.name).expect("string write");
+            let column = table.column(c as u16).expect("schema arity matches");
+            for (r, v) in column.iter().enumerate() {
+                if r > 0 {
+                    out.push(',');
+                }
+                match v {
+                    Some(x) => write!(out, "{x}").expect("string write"),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A short stable fingerprint of [`export_database_json`]'s output (FNV-1a
+/// over the canonical bytes), cheap enough to log per scenario. Two
+/// databases with equal fingerprints are — for harness purposes — the same
+/// generated dataset.
+pub fn database_fingerprint(db: &Database) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in export_database_json(db).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes the canonical export to `path`.
+pub fn save_database_json(db: &Database, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, export_database_json(db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snowflake::{Snowflake, SnowflakeConfig};
+    use sqe_engine::table::TableBuilder;
+
+    fn tiny_config() -> SnowflakeConfig {
+        SnowflakeConfig {
+            scale: 0.0,
+            min_rows: 30,
+            ..SnowflakeConfig::default()
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_per_seed() {
+        let a = Snowflake::generate(tiny_config());
+        let b = Snowflake::generate(tiny_config());
+        assert_eq!(export_database_json(&a.db), export_database_json(&b.db));
+        assert_eq!(database_fingerprint(&a.db), database_fingerprint(&b.db));
+
+        let c = Snowflake::generate(SnowflakeConfig {
+            seed: 7,
+            ..tiny_config()
+        });
+        assert_ne!(database_fingerprint(&a.db), database_fingerprint(&c.db));
+    }
+
+    #[test]
+    fn export_renders_nulls_and_values() {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("t")
+                .nullable_column("a", vec![Some(1), None, Some(-3)])
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(
+            export_database_json(&db),
+            "{\"tables\":[{\"name\":\"t\",\"columns\":[{\"name\":\"a\",\"values\":[1,null,-3]}]}]}"
+        );
+    }
+
+    #[test]
+    fn save_round_trips_through_the_filesystem() {
+        let sf = Snowflake::generate(tiny_config());
+        let dir = std::env::temp_dir().join("sqe_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        save_database_json(&sf.db, &path).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            export_database_json(&sf.db)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -57,6 +57,15 @@ pub struct SnowflakeConfig {
     /// Fraction of dangling (NULL) foreign keys on the affected edges,
     /// 0.05–0.20 in the paper.
     pub dangling_frac: f64,
+    /// Strength of the rank–attribute correlations, `0.0..=1.0`: every
+    /// rank-correlated attribute's slope is scaled by this factor, so `1.0`
+    /// (the default) keeps the paper's full correlation structure —
+    /// bit-identical to the pre-knob generator — while `0.0` flattens every
+    /// such attribute into pure noise around its base value (independence
+    /// holds, SITs should stop mattering). Intermediate values
+    /// interpolate; the accuracy harness sweeps this knob to verify the
+    /// estimator's advantage grows with the correlation it exploits.
+    pub correlation: f64,
     /// RNG seed; everything is deterministic given the seed.
     pub seed: u64,
     /// Minimum rows per table after scaling.
@@ -69,6 +78,7 @@ impl Default for SnowflakeConfig {
             scale: 0.01,
             theta: 1.0,
             dangling_frac: 0.10,
+            correlation: 1.0,
             seed: 0x5157_4531,
             min_rows: 200,
         }
@@ -110,6 +120,13 @@ impl Snowflake {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let size =
             |base: usize| -> usize { ((base as f64 * config.scale) as usize).max(config.min_rows) };
+        // Every rank-correlated attribute routes through this constructor
+        // so `config.correlation` scales its slope; at the default `1.0`
+        // the multiplication is exact and the generator stays bit-identical
+        // to the pre-knob output (the RNG consumption never changes).
+        let corr_map = |base: i64, slope: f64, noise: i64| {
+            CorrelatedMap::new(base, slope * config.correlation, noise)
+        };
 
         let mut db = Database::new();
         let mut filter_columns = Vec::new();
@@ -126,7 +143,7 @@ impl Snowflake {
                 (
                     "gdp",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(1_000, 9.0, 40),
+                        map: corr_map(1_000, 9.0, 40),
                     },
                 ),
                 (
@@ -156,7 +173,7 @@ impl Snowflake {
                 (
                     "wealth",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(500, 4.0, 25),
+                        map: corr_map(500, 4.0, 25),
                     },
                 ),
             ],
@@ -171,7 +188,7 @@ impl Snowflake {
                 (
                     "margin",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(100, 2.0, 10),
+                        map: corr_map(100, 2.0, 10),
                     },
                 ),
                 (
@@ -194,7 +211,7 @@ impl Snowflake {
                 (
                     "quality",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(0, 0.01, 3),
+                        map: corr_map(0, 0.01, 3),
                     },
                 ),
                 (
@@ -229,7 +246,7 @@ impl Snowflake {
                 (
                     "balance",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(0, 0.5, 50),
+                        map: corr_map(0, 0.5, 50),
                     },
                 ),
                 ("age", AttrKind::Uniform { lo: 18, hi: 90 }),
@@ -256,7 +273,7 @@ impl Snowflake {
                 (
                     "price",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(100, 0.8, 60),
+                        map: corr_map(100, 0.8, 60),
                     },
                 ),
                 ("weight", AttrKind::Uniform { lo: 1, hi: 500 }),
@@ -290,7 +307,7 @@ impl Snowflake {
                 (
                     "revenue",
                     AttrKind::RankCorrelated {
-                        map: CorrelatedMap::new(1_000, 3.0, 200),
+                        map: corr_map(1_000, 3.0, 200),
                     },
                 ),
                 (
@@ -320,7 +337,7 @@ impl Snowflake {
         let mut amount = Vec::with_capacity(n_sales);
         let mut discount = Vec::with_capacity(n_sales);
         let mut priority = Vec::with_capacity(n_sales);
-        let amount_map = CorrelatedMap::new(10, 0.02, 20);
+        let amount_map = corr_map(10, 0.02, 20);
         for i in 0..n_sales {
             id.push(i as i64);
             // Random dangling on cust_fk.
@@ -534,6 +551,7 @@ fn make_dangling_correlated(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dist::pearson;
     use sqe_engine::execute;
 
     fn small() -> Snowflake {
@@ -542,6 +560,47 @@ mod tests {
             min_rows: 100,
             ..SnowflakeConfig::default()
         })
+    }
+
+    #[test]
+    fn correlation_knob_default_is_bit_identical() {
+        let implicit = small();
+        let explicit = Snowflake::generate(SnowflakeConfig {
+            scale: 0.002,
+            min_rows: 100,
+            correlation: 1.0,
+            ..SnowflakeConfig::default()
+        });
+        assert_eq!(
+            crate::export::export_database_json(&implicit.db),
+            crate::export::export_database_json(&explicit.db),
+            "correlation = 1.0 must not perturb a single byte"
+        );
+    }
+
+    #[test]
+    fn correlation_zero_flattens_rank_correlated_attributes() {
+        let balances = |sf: &Snowflake| -> Vec<f64> {
+            let col = sf.db.column(sf.col("customer.balance")).unwrap();
+            col.iter().map(|v| v.unwrap_or(0) as f64).collect()
+        };
+        let corr_of = |sf: &Snowflake| -> f64 {
+            let ys = balances(sf);
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            pearson(&xs, &ys)
+        };
+        let full = corr_of(&small());
+        let flat = corr_of(&Snowflake::generate(SnowflakeConfig {
+            scale: 0.002,
+            min_rows: 100,
+            correlation: 0.0,
+            ..SnowflakeConfig::default()
+        }));
+        assert!(full > 0.5, "full correlation structure present: r = {full}");
+        assert!(
+            flat.abs() < 0.2,
+            "correlation = 0 flattens the map: r = {flat}"
+        );
     }
 
     #[test]

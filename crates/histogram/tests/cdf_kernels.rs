@@ -1,0 +1,350 @@
+//! Property tests pinning the `O(log b)` CDF kernels (`eq_rows`,
+//! `range_rows`, `join`) to naive `O(b)` bucket scans on random histograms.
+//!
+//! The contract per kernel:
+//!
+//! * `eq_rows` — **bit-identical** to a linear search for the covering
+//!   bucket: the rewrite only changed how the bucket is located, not the
+//!   `freq / distinct` arithmetic.
+//! * `range_rows` — **bit-identical** to a linear scan that finds the
+//!   overlap run by walking the buckets, accumulates the same left-to-right
+//!   prefix sums `Histogram::new` builds, and applies the same three-term
+//!   formula. Versus a *pure* sum-of-overlaps scan the prefix subtraction
+//!   can differ by accumulated rounding, so that comparison gets a `1e-12`
+//!   relative tolerance (the documented caveat on `range_rows`).
+//! * `join` — **bit-identical** to a segment-walk that locates each
+//!   segment's (single, by construction) overlapping bucket by linear scan
+//!   instead of binary search: same cut points, same per-segment arithmetic,
+//!   same accumulation order.
+//!
+//! Histograms are generated with gaps, adjacent buckets, zero-frequency
+//! buckets, fractional frequencies, and NULL rows; the empty histogram and
+//! the single-bucket histogram are both reachable by the strategy and
+//! pinned again by dedicated edge-case tests.
+
+use proptest::prelude::*;
+use sqe_histogram::{Bucket, Histogram};
+
+/// Overflow-safe count of integer values in `[lo, hi]`, mirroring the
+/// crate-private `span_f64`.
+fn span(lo: i64, hi: i64) -> f64 {
+    (hi as i128 - lo as i128 + 1) as f64
+}
+
+/// Mirror of the private `Bucket::overlap_fraction` — the naive references
+/// must use the exact same arithmetic for bit-identity claims to be
+/// meaningful.
+fn overlap_fraction(b: &Bucket, lo: i64, hi: i64) -> f64 {
+    let o_lo = b.lo.max(lo);
+    let o_hi = b.hi.min(hi);
+    if o_lo > o_hi {
+        0.0
+    } else {
+        span(o_lo, o_hi) / span(b.lo, b.hi)
+    }
+}
+
+/// Naive `eq_rows`: linear search for the covering bucket.
+fn eq_rows_naive(h: &Histogram, v: i64) -> f64 {
+    match h.buckets().iter().find(|b| b.lo <= v && v <= b.hi) {
+        Some(b) if b.distinct > 0.0 => b.freq / b.distinct.max(1.0),
+        _ => 0.0,
+    }
+}
+
+/// Naive `range_rows`: locates the overlap run by walking the buckets,
+/// rebuilds the frequency prefix sums with the same left-to-right
+/// accumulation as `Histogram::new`, and applies the same three-term
+/// formula as the kernel. `O(b)` and bit-identical.
+fn range_rows_naive(h: &Histogram, lo: i64, hi: i64) -> f64 {
+    if lo > hi {
+        return 0.0;
+    }
+    let bs = h.buckets();
+    let a = bs.iter().take_while(|b| b.hi < lo).count();
+    let b = bs.iter().take_while(|b| b.lo <= hi).count();
+    if a >= b {
+        return 0.0;
+    }
+    let first = &bs[a];
+    if b - a == 1 {
+        return first.freq * overlap_fraction(first, lo, hi);
+    }
+    let mut cdf = Vec::with_capacity(bs.len() + 1);
+    let mut acc = 0.0f64;
+    cdf.push(acc);
+    for bucket in bs {
+        acc += bucket.freq;
+        cdf.push(acc);
+    }
+    let last = &bs[b - 1];
+    first.freq * overlap_fraction(first, lo, hi)
+        + (cdf[b - 1] - cdf[a + 1])
+        + last.freq * overlap_fraction(last, lo, hi)
+}
+
+/// Pure sum-of-overlaps scan — the textbook `O(b)` kernel without any
+/// prefix-sum structure. Only tolerance-equal to the CDF kernel.
+fn range_rows_overlap_sum(h: &Histogram, lo: i64, hi: i64) -> f64 {
+    if lo > hi {
+        return 0.0;
+    }
+    h.buckets()
+        .iter()
+        .map(|b| b.freq * overlap_fraction(b, lo, hi))
+        .sum()
+}
+
+/// Naive histogram join: same union-of-boundaries segmentation and the same
+/// per-segment containment arithmetic as `Histogram::join`, with the
+/// segment's overlapping bucket found by linear scan.
+fn join_naive(h1: &Histogram, h2: &Histogram) -> (f64, Vec<Bucket>) {
+    let mut cuts: Vec<i64> = Vec::new();
+    for b in h1.buckets().iter().chain(h2.buckets()) {
+        cuts.push(b.lo);
+        cuts.push(b.hi.saturating_add(1));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mass = |buckets: &[Bucket], lo: i64, hi: i64| -> (f64, f64) {
+        match buckets.iter().find(|b| b.lo <= hi && lo <= b.hi) {
+            Some(b) => {
+                let frac = overlap_fraction(b, lo, hi);
+                (b.freq * frac, (b.distinct * frac).min(span(lo, hi)))
+            }
+            None => (0.0, 0.0),
+        }
+    };
+
+    let mut out_buckets = Vec::new();
+    let mut out_rows = 0.0f64;
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1] - 1);
+        if lo > hi {
+            continue;
+        }
+        let (f1, d1) = mass(h1.buckets(), lo, hi);
+        let (f2, d2) = mass(h2.buckets(), lo, hi);
+        if f1 <= 0.0 || f2 <= 0.0 || d1 <= 0.0 || d2 <= 0.0 {
+            continue;
+        }
+        let matching = d1.min(d2);
+        let rows = matching * (f1 / d1) * (f2 / d2);
+        if rows <= 0.0 {
+            continue;
+        }
+        out_rows += rows;
+        out_buckets.push(Bucket {
+            lo,
+            hi,
+            freq: rows,
+            distinct: matching,
+        });
+    }
+    let denom = h1.total_rows() * h2.total_rows();
+    let selectivity = if denom == 0.0 {
+        0.0
+    } else {
+        (out_rows / denom).clamp(0.0, 1.0)
+    };
+    (selectivity, out_buckets)
+}
+
+/// Strategy: a random well-formed histogram. `0..n` buckets (so the empty
+/// and single-bucket cases are generated, not just hand-pinned), gaps of
+/// `0..8` (gap 0 = adjacent buckets), widths `1..20`, fractional
+/// frequencies including exact zeros, `distinct` clamped to the bucket
+/// width, and a fractional NULL count.
+fn arb_hist() -> impl Strategy<Value = Histogram> {
+    (
+        prop::collection::vec((0i64..8, 1i64..20, 0u32..30_000u32, 0u32..32u32), 0..8),
+        -50i64..50,
+        0u32..100u32,
+    )
+        .prop_map(|(specs, start, nulls)| {
+            let mut lo = start;
+            let mut buckets = Vec::with_capacity(specs.len());
+            for (gap, width, freq_thirds, distinct_seed) in specs {
+                lo += gap;
+                let hi = lo + width - 1;
+                let freq = freq_thirds as f64 / 3.0;
+                let distinct = (distinct_seed as i64 % width + 1) as f64;
+                buckets.push(Bucket {
+                    lo,
+                    hi,
+                    freq,
+                    distinct,
+                });
+                lo = hi + 1;
+            }
+            Histogram::new(buckets, nulls as f64 / 2.0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `eq_rows` is bit-identical to the linear covering-bucket scan, for
+    /// probes inside buckets, in gaps, and outside the domain.
+    #[test]
+    fn eq_rows_bit_identical_to_linear_scan(
+        h in arb_hist(),
+        probes in prop::collection::vec(-80i64..260, 1..24),
+    ) {
+        for v in probes {
+            prop_assert_eq!(
+                h.eq_rows(v).to_bits(),
+                eq_rows_naive(&h, v).to_bits(),
+                "eq_rows({}) diverged from the O(b) scan", v
+            );
+        }
+        // Bucket boundaries are the interesting probe set: hit every one.
+        for b in h.buckets() {
+            for v in [b.lo, b.hi, b.lo - 1, b.hi + 1] {
+                prop_assert_eq!(h.eq_rows(v).to_bits(), eq_rows_naive(&h, v).to_bits());
+            }
+        }
+    }
+
+    /// `range_rows` is bit-identical to the naive prefix-sum scan, and
+    /// within 1e-12 relative of the pure sum-of-overlaps scan.
+    #[test]
+    fn range_rows_bit_identical_to_prefix_scan(
+        h in arb_hist(),
+        probes in prop::collection::vec((-80i64..260, -80i64..260), 1..24),
+    ) {
+        let mut endpoints: Vec<(i64, i64)> = probes
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        // Inverted ranges and exact bucket-boundary ranges too.
+        endpoints.extend(probes.iter().map(|&(a, b)| (a.max(b), a.min(b) - 1)));
+        for b in h.buckets() {
+            endpoints.push((b.lo, b.hi));
+            endpoints.push((b.lo + 1, b.hi - 1));
+            endpoints.push((b.hi, b.hi));
+        }
+        for (lo, hi) in endpoints {
+            let fast = h.range_rows(lo, hi);
+            let naive = range_rows_naive(&h, lo, hi);
+            prop_assert_eq!(
+                fast.to_bits(),
+                naive.to_bits(),
+                "range_rows({}, {}) diverged from the O(b) prefix scan: {} vs {}",
+                lo, hi, fast, naive
+            );
+            let summed = range_rows_overlap_sum(&h, lo, hi);
+            let tol = 1e-12 * summed.abs().max(1.0);
+            prop_assert!(
+                (fast - summed).abs() <= tol,
+                "range_rows({}, {}) drifted past rounding from the overlap sum: {} vs {}",
+                lo, hi, fast, summed
+            );
+        }
+    }
+
+    /// The histogram join (selectivity *and* the `H3` result buckets) is
+    /// bit-identical to the linear segment walk.
+    #[test]
+    fn join_bit_identical_to_linear_segment_walk(
+        h1 in arb_hist(),
+        h2 in arb_hist(),
+    ) {
+        let fast = h1.join(&h2);
+        let (naive_sel, naive_buckets) = join_naive(&h1, &h2);
+        prop_assert_eq!(
+            fast.selectivity.to_bits(),
+            naive_sel.to_bits(),
+            "join selectivity diverged: {} vs {}", fast.selectivity, naive_sel
+        );
+        let fast_buckets = fast.histogram.buckets();
+        prop_assert_eq!(fast_buckets.len(), naive_buckets.len());
+        for (f, n) in fast_buckets.iter().zip(&naive_buckets) {
+            prop_assert_eq!(f.lo, n.lo);
+            prop_assert_eq!(f.hi, n.hi);
+            prop_assert_eq!(f.freq.to_bits(), n.freq.to_bits());
+            prop_assert_eq!(f.distinct.to_bits(), n.distinct.to_bits());
+        }
+        // Join is symmetric in selectivity denominator shape but not
+        // necessarily in bits — pin the swapped call against its own naive
+        // walk rather than against the forward call.
+        let back = h2.join(&h1);
+        let (back_sel, _) = join_naive(&h2, &h1);
+        prop_assert_eq!(back.selectivity.to_bits(), back_sel.to_bits());
+    }
+}
+
+#[test]
+fn empty_histogram_kernels_agree_with_scans() {
+    let h = Histogram::empty();
+    assert_eq!(h.eq_rows(0).to_bits(), eq_rows_naive(&h, 0).to_bits());
+    assert_eq!(
+        h.range_rows(-5, 5).to_bits(),
+        range_rows_naive(&h, -5, 5).to_bits()
+    );
+    assert_eq!(h.range_rows(-5, 5), 0.0);
+    let (sel, buckets) = join_naive(&h, &h);
+    let fast = h.join(&h);
+    assert_eq!(fast.selectivity.to_bits(), sel.to_bits());
+    assert!(fast.histogram.buckets().is_empty() && buckets.is_empty());
+}
+
+#[test]
+fn zero_frequency_bucket_estimates_zero_everywhere() {
+    let h = Histogram::new(
+        vec![Bucket {
+            lo: 10,
+            hi: 19,
+            freq: 0.0,
+            distinct: 1.0,
+        }],
+        0.0,
+    );
+    for v in 9..=20 {
+        assert_eq!(h.eq_rows(v).to_bits(), eq_rows_naive(&h, v).to_bits());
+        assert_eq!(h.eq_rows(v), 0.0);
+    }
+    assert_eq!(
+        h.range_rows(10, 19).to_bits(),
+        range_rows_naive(&h, 10, 19).to_bits()
+    );
+    assert_eq!(h.range_rows(10, 19), 0.0);
+}
+
+#[test]
+fn single_bucket_boundaries_are_exact() {
+    let h = Histogram::new(
+        vec![Bucket {
+            lo: -3,
+            hi: 6,
+            freq: 100.0 / 3.0,
+            distinct: 7.0,
+        }],
+        5.0,
+    );
+    for (lo, hi) in [
+        (-3, 6),
+        (-3, -3),
+        (6, 6),
+        (-10, 10),
+        (0, 3),
+        (7, 9),
+        (-5, -4),
+    ] {
+        assert_eq!(
+            h.range_rows(lo, hi).to_bits(),
+            range_rows_naive(&h, lo, hi).to_bits(),
+            "range [{lo},{hi}]"
+        );
+        // One bucket: the prefix-sum and overlap-sum paths coincide exactly.
+        assert_eq!(
+            h.range_rows(lo, hi).to_bits(),
+            range_rows_overlap_sum(&h, lo, hi).to_bits(),
+            "range [{lo},{hi}]"
+        );
+    }
+    for v in -5..=8 {
+        assert_eq!(h.eq_rows(v).to_bits(), eq_rows_naive(&h, v).to_bits());
+    }
+}

@@ -1,0 +1,245 @@
+//! The measurement pass: every estimator variant against oracle truth.
+//!
+//! For each scenario in the tier, the harness computes the *true*
+//! selectivity of every workload query (engine [`CardinalityOracle`],
+//! cross-checked against the independent [`ExactExecutor`] on every third
+//! query) and then runs a fixed grid of estimator variants — error mode ×
+//! SIT pool × §3.4 pruning — recording per-query q-error and relative
+//! error. Both DP engines are run for every estimate and must agree bit
+//! for bit; the measurement doubles as a differential test.
+//!
+//! Aggregates use the *nearest-rank* percentile (deterministic, no
+//! interpolation) and every reported float is rounded to six decimals so
+//! the committed `ACCURACY.json` is byte-stable across platforms with
+//! identical math.
+//!
+//! [`CardinalityOracle`]: sqe_engine::CardinalityOracle
+
+use sqe_core::{build_pool, DpStrategy, ErrorMode, PoolSpec, SelectivityEstimator, SitCatalog};
+use sqe_engine::CardinalityOracle;
+
+use crate::exec::ExactExecutor;
+use crate::workload::{scenarios, OracleScenario, OracleTier};
+
+/// Accuracy of one estimator variant over one scenario's workload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VariantResult {
+    /// Variant key, e.g. `"diff-j2-pruned"` (error mode, SIT pool,
+    /// pruning).
+    pub variant: String,
+    /// Number of queries measured.
+    pub queries: usize,
+    /// Median q-error (`max(est/true, true/est)`), nearest rank.
+    pub median_q_error: f64,
+    /// 95th-percentile q-error, nearest rank.
+    pub p95_q_error: f64,
+    /// Worst q-error in the scenario.
+    pub max_q_error: f64,
+    /// Median relative error `|est − true| / true`, nearest rank.
+    pub median_rel_error: f64,
+    /// 95th-percentile relative error, nearest rank.
+    pub p95_rel_error: f64,
+}
+
+/// All variant results for one generated scenario.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScenarioAccuracy {
+    /// Scenario name from [`crate::workload`].
+    pub scenario: String,
+    /// Database fingerprint; the gate refuses to compare runs that
+    /// measured different data.
+    pub fingerprint: u64,
+    /// One entry per estimator variant, in the fixed grid order.
+    pub variants: Vec<VariantResult>,
+}
+
+/// The full report, serialized as `ACCURACY.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AccuracyReport {
+    /// `"smoke"` or `"full"` — reports from different tiers are not
+    /// comparable (different query counts and scenario sets).
+    pub tier: String,
+    /// One entry per scenario.
+    pub scenarios: Vec<ScenarioAccuracy>,
+}
+
+struct VariantSpec {
+    name: &'static str,
+    mode: ErrorMode,
+    pool_joins: usize,
+    pruned: bool,
+}
+
+/// The fixed variant grid. `nind-j0` is the no-SIT floor (base histograms
+/// with independence), `nind-j2` isolates what SITs buy the syntactic
+/// ranking, `diff-j2` the paper's best practical mode, and
+/// `diff-j2-pruned` proves §3.4 pruning does not wreck accuracy.
+const VARIANTS: &[VariantSpec] = &[
+    VariantSpec {
+        name: "nind-j0",
+        mode: ErrorMode::NInd,
+        pool_joins: 0,
+        pruned: false,
+    },
+    VariantSpec {
+        name: "nind-j2",
+        mode: ErrorMode::NInd,
+        pool_joins: 2,
+        pruned: false,
+    },
+    VariantSpec {
+        name: "diff-j2",
+        mode: ErrorMode::Diff,
+        pool_joins: 2,
+        pruned: false,
+    },
+    VariantSpec {
+        name: "diff-j2-pruned",
+        mode: ErrorMode::Diff,
+        pool_joins: 2,
+        pruned: true,
+    },
+];
+
+/// Runs the whole measurement for a tier. Panics on any internal
+/// inconsistency (executor disagreement, engine divergence, empty truth) —
+/// in this harness an inconsistency is a bug, not a data point.
+pub fn measure_accuracy(tier: OracleTier) -> AccuracyReport {
+    let report_scenarios = scenarios(tier).iter().map(measure_scenario).collect();
+    AccuracyReport {
+        tier: tier.label().to_string(),
+        scenarios: report_scenarios,
+    }
+}
+
+fn measure_scenario(sc: &OracleScenario) -> ScenarioAccuracy {
+    let db = &sc.db;
+    let pool_j0 = build_pool(db, &sc.queries, PoolSpec::ji(0)).expect("J0 pool");
+    let pool_j2 = build_pool(db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+
+    // True selectivities, differentially validated.
+    let mut oracle = CardinalityOracle::new(db);
+    let mut exact = ExactExecutor::new(db);
+    let truths: Vec<f64> = sc
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let card = oracle
+                .cardinality(&q.tables, &q.predicates)
+                .expect("oracle cardinality");
+            if i % 3 == 0 {
+                let mine = exact.cardinality(&q.tables, &q.predicates);
+                assert_eq!(mine, card, "{}: executors disagree on query {i}", sc.name);
+            }
+            let cross = db.cross_product_size(&q.tables).expect("cross product");
+            assert!(card > 0, "{}: workload query {i} is empty", sc.name);
+            card as f64 / cross as f64
+        })
+        .collect();
+
+    let variants = VARIANTS
+        .iter()
+        .map(|v| {
+            let pool = if v.pool_joins == 0 {
+                &pool_j0
+            } else {
+                &pool_j2
+            };
+            measure_variant(sc, pool, v, &truths)
+        })
+        .collect();
+
+    ScenarioAccuracy {
+        scenario: sc.name.to_string(),
+        fingerprint: sc.fingerprint,
+        variants,
+    }
+}
+
+fn measure_variant(
+    sc: &OracleScenario,
+    pool: &SitCatalog,
+    spec: &VariantSpec,
+    truths: &[f64],
+) -> VariantResult {
+    let mut q_errors = Vec::with_capacity(truths.len());
+    let mut rel_errors = Vec::with_capacity(truths.len());
+    for (q, &truth) in sc.queries.iter().zip(truths) {
+        let dense = estimate(sc, pool, spec, q, DpStrategy::Dense);
+        let recursive = estimate(sc, pool, spec, q, DpStrategy::Recursive);
+        assert_eq!(
+            dense.to_bits(),
+            recursive.to_bits(),
+            "{}/{}: DP engines diverged",
+            sc.name,
+            spec.name
+        );
+        // q-error is undefined at 0; clamp the estimate to a subnormal
+        // floor so a (wrong) zero estimate shows up as a huge-but-finite
+        // q-error instead of poisoning the aggregate with inf.
+        let est = dense.max(1e-300);
+        q_errors.push((est / truth).max(truth / est));
+        rel_errors.push((dense - truth).abs() / truth);
+    }
+    q_errors.sort_by(f64::total_cmp);
+    rel_errors.sort_by(f64::total_cmp);
+    VariantResult {
+        variant: spec.name.to_string(),
+        queries: truths.len(),
+        median_q_error: round6(percentile(&q_errors, 50.0)),
+        p95_q_error: round6(percentile(&q_errors, 95.0)),
+        max_q_error: round6(*q_errors.last().expect("non-empty workload")),
+        median_rel_error: round6(percentile(&rel_errors, 50.0)),
+        p95_rel_error: round6(percentile(&rel_errors, 95.0)),
+    }
+}
+
+fn estimate(
+    sc: &OracleScenario,
+    pool: &SitCatalog,
+    spec: &VariantSpec,
+    q: &sqe_engine::SpjQuery,
+    strategy: DpStrategy,
+) -> f64 {
+    let mut est = SelectivityEstimator::new(&sc.db, q, pool, spec.mode).with_strategy(strategy);
+    if spec.pruned {
+        est = est.with_sit_driven_pruning();
+    }
+    let all = est.context().all();
+    est.get_selectivity(all).0
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Rounds to six decimals so reports are byte-stable to serialize.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentile() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 95.0), 4.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn rounding_is_stable_and_lossless_for_large_values() {
+        assert_eq!(round6(0.123_456_789), 0.123_457);
+        assert_eq!(round6(1e15), 1e15);
+        let r = round6(2.0);
+        assert_eq!(r.to_bits(), 2.0f64.to_bits());
+    }
+}

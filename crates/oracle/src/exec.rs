@@ -1,0 +1,546 @@
+//! An exact relational executor, implemented independently of `sqe-engine`.
+//!
+//! The engine answers true cardinalities with pairwise hash joins
+//! ([`sqe_engine::exec`]) memoized per non-separable component
+//! ([`sqe_engine::CardinalityOracle`]). This executor computes the same
+//! numbers by a different algorithm — depth-first backtracking over the
+//! query's tables, binding one row per table and enumerating join matches
+//! through per-column value indexes — so the two can serve as differential
+//! oracles for each other: any bug in one's join/NULL/cross-product
+//! semantics shows up as a count mismatch, not as a silently wrong "truth".
+//!
+//! Semantics mirror the paper's (and the engine's): values are `i64` with
+//! SQL NULLs, a NULL never satisfies any predicate (so dangling foreign
+//! keys never join), and `Sel(P)` is the match count over the full
+//! cartesian product of the query's tables.
+//!
+//! Complexity is output-sensitive: disconnected table groups are counted
+//! independently and multiplied (Property 2 — the cross product is never
+//! enumerated), and within a group the backtracking only walks rows reached
+//! through an index probe on an already-bound join side. This is intended
+//! for the small, seeded scenario databases of [`crate::workload`], not for
+//! production-size data.
+
+use std::collections::HashMap;
+
+use sqe_engine::{ColRef, Database, Predicate, TableId};
+
+/// The backtracking exact executor. Holds lazily built per-column equality
+/// indexes (`value → rows with that value`, NULLs excluded), so repeated
+/// counts over one database reuse the index work.
+pub struct ExactExecutor<'a> {
+    db: &'a Database,
+    eq_index: HashMap<ColRef, HashMap<i64, Vec<u32>>>,
+}
+
+impl<'a> ExactExecutor<'a> {
+    /// An executor over `db`. Indexes are built on first use per column.
+    pub fn new(db: &'a Database) -> Self {
+        ExactExecutor {
+            db,
+            eq_index: HashMap::new(),
+        }
+    }
+
+    /// The database this executor counts against.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    fn ensure_index(&mut self, col: ColRef) {
+        if self.eq_index.contains_key(&col) {
+            return;
+        }
+        let column = self.db.column(col).expect("predicate column exists");
+        let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+        for row in 0..column.len() {
+            if let Some(v) = column.get(row) {
+                map.entry(v).or_default().push(row as u32);
+            }
+        }
+        self.eq_index.insert(col, map);
+    }
+
+    /// Exact number of tuples of `R1 × … × Rn` satisfying every predicate.
+    ///
+    /// `tables` may include tables no predicate touches; each contributes
+    /// its full row count as a factor (the paper's canonical form keeps
+    /// them in the product). Every predicate must reference only tables in
+    /// the set.
+    pub fn cardinality(&mut self, tables: &[TableId], preds: &[Predicate]) -> u128 {
+        let mut tabs = tables.to_vec();
+        tabs.sort_unstable();
+        tabs.dedup();
+        debug_assert!(
+            preds
+                .iter()
+                .all(|p| p.tables().iter().all(|t| tabs.contains(&t))),
+            "predicate references a table outside the set"
+        );
+        let mut total: u128 = 1;
+        for group in table_groups(&tabs, preds) {
+            let group_preds: Vec<Predicate> = preds
+                .iter()
+                .filter(|p| p.tables().iter().all(|t| group.contains(&t)))
+                .copied()
+                .collect();
+            total = total.saturating_mul(self.count_group(&group, &group_preds));
+        }
+        total
+    }
+
+    /// `cardinality / |R1 × … × Rn|`, or `None` when some table is empty
+    /// (the selectivity denominator vanishes).
+    pub fn selectivity(&mut self, tables: &[TableId], preds: &[Predicate]) -> Option<f64> {
+        let cross = self.db.cross_product_size(tables).ok()?;
+        if cross == 0 {
+            return None;
+        }
+        Some(self.cardinality(tables, preds) as f64 / cross as f64)
+    }
+
+    /// True conditional selectivity `Sel(P|Q) = Sel(P,Q) / Sel(Q)` over the
+    /// given table set (Definition 1). `None` when `Q` has no qualifying
+    /// tuples (the conditional is undefined).
+    pub fn conditional_selectivity(
+        &mut self,
+        tables: &[TableId],
+        p: &[Predicate],
+        q: &[Predicate],
+    ) -> Option<f64> {
+        let denom = self.cardinality(tables, q);
+        if denom == 0 {
+            return None;
+        }
+        let mut all = p.to_vec();
+        all.extend(q.iter().copied());
+        Some(self.cardinality(tables, &all) as f64 / denom as f64)
+    }
+
+    /// Counts matches within one connected table group.
+    fn count_group(&mut self, tables: &[TableId], preds: &[Predicate]) -> u128 {
+        // Rows of each table passing all of its single-table predicates.
+        let mut cand: Vec<Vec<u32>> = Vec::with_capacity(tables.len());
+        for &t in tables {
+            cand.push(self.filtered_rows(t, preds));
+        }
+        if tables.len() == 1 {
+            return cand[0].len() as u128;
+        }
+
+        // Visit order: smallest candidate list first, then greedily extend
+        // through join edges (within a group some edge always exists).
+        let order = visit_order(tables, preds, &cand);
+        let tables_ord: Vec<TableId> = order.iter().map(|&i| tables[i]).collect();
+        let cand_ord: Vec<Vec<u32>> = order.iter().map(|&i| cand[i].clone()).collect();
+        let in_cand: Vec<Vec<bool>> = tables_ord
+            .iter()
+            .zip(&cand_ord)
+            .map(|(&t, rows)| {
+                let n = self.db.row_count(t).expect("table exists");
+                let mut mask = vec![false; n];
+                for &r in rows {
+                    mask[r as usize] = true;
+                }
+                mask
+            })
+            .collect();
+
+        // Cross-table joins binding position k to earlier positions, as
+        // (my column, earlier position, earlier column).
+        let mut bound_joins: Vec<Vec<(u16, usize, u16)>> = vec![Vec::new(); tables_ord.len()];
+        for p in preds {
+            if let Predicate::Join { left, right } = p {
+                if left.table == right.table {
+                    continue; // single-table, already in `cand`
+                }
+                let li = pos_of(&tables_ord, left.table);
+                let ri = pos_of(&tables_ord, right.table);
+                let (late, early, late_col, early_col) = if li > ri {
+                    (li, ri, left.column, right.column)
+                } else {
+                    (ri, li, right.column, left.column)
+                };
+                bound_joins[late].push((late_col, early, early_col));
+            }
+        }
+        // The first binding join per position drives an index probe.
+        for (pos, joins) in bound_joins.iter().enumerate() {
+            if let Some(&(col, _, _)) = joins.first() {
+                self.ensure_index(ColRef::new(tables_ord[pos], col));
+            }
+        }
+
+        let search = GroupSearch {
+            db: self.db,
+            eq_index: &self.eq_index,
+            tables: &tables_ord,
+            cand: &cand_ord,
+            in_cand: &in_cand,
+            bound_joins: &bound_joins,
+        };
+        let mut assignment = Vec::with_capacity(tables_ord.len());
+        search.count(0, &mut assignment)
+    }
+
+    /// Rows of `t` satisfying every single-table predicate on `t` (filters,
+    /// ranges, and same-table joins; NULLs never qualify).
+    fn filtered_rows(&self, t: TableId, preds: &[Predicate]) -> Vec<u32> {
+        let table = self.db.table(t).expect("table exists");
+        let local: Vec<&Predicate> = preds
+            .iter()
+            .filter(|p| {
+                let mut it = p.tables().iter();
+                it.next() == Some(t) && it.next().is_none()
+            })
+            .collect();
+        (0..table.row_count() as u32)
+            .filter(|&row| {
+                local.iter().all(|p| match p {
+                    Predicate::Filter { col, op, value } => table
+                        .column(col.column)
+                        .and_then(|c| c.get(row as usize))
+                        .is_some_and(|v| op.eval(v, *value)),
+                    Predicate::Range { col, lo, hi } => table
+                        .column(col.column)
+                        .and_then(|c| c.get(row as usize))
+                        .is_some_and(|v| *lo <= v && v <= *hi),
+                    Predicate::Join { left, right } => {
+                        let l = table.column(left.column).and_then(|c| c.get(row as usize));
+                        let r = table.column(right.column).and_then(|c| c.get(row as usize));
+                        matches!((l, r), (Some(a), Some(b)) if a == b)
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// The per-group backtracking state: immutable context threaded through the
+/// recursion.
+struct GroupSearch<'b> {
+    db: &'b Database,
+    eq_index: &'b HashMap<ColRef, HashMap<i64, Vec<u32>>>,
+    tables: &'b [TableId],
+    cand: &'b [Vec<u32>],
+    in_cand: &'b [Vec<bool>],
+    bound_joins: &'b [Vec<(u16, usize, u16)>],
+}
+
+impl GroupSearch<'_> {
+    fn value(&self, pos: usize, row: u32, col: u16) -> Option<i64> {
+        self.db
+            .table(self.tables[pos])
+            .expect("table exists")
+            .column(col)
+            .and_then(|c| c.get(row as usize))
+    }
+
+    /// True when `row` at `pos` satisfies the binding joins in `joins`
+    /// against the current partial assignment.
+    fn joins_ok(&self, pos: usize, row: u32, joins: &[(u16, usize, u16)], assign: &[u32]) -> bool {
+        joins.iter().all(|&(my_col, epos, ecol)| {
+            match (
+                self.value(pos, row, my_col),
+                self.value(epos, assign[epos], ecol),
+            ) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+        })
+    }
+
+    fn count(&self, pos: usize, assign: &mut Vec<u32>) -> u128 {
+        if pos == self.tables.len() {
+            return 1;
+        }
+        let mut total: u128 = 0;
+        match self.bound_joins[pos].split_first() {
+            None => {
+                // Unconstrained by earlier tables (only the group's first
+                // position, by construction of the visit order).
+                for &row in &self.cand[pos] {
+                    assign.push(row);
+                    total += self.count(pos + 1, assign);
+                    assign.pop();
+                }
+            }
+            Some((&(my_col, epos, ecol), rest)) => {
+                // Probe the index with the bound side's value; a NULL on
+                // the bound side can never join.
+                let Some(v) = self.value(epos, assign[epos], ecol) else {
+                    return 0;
+                };
+                let col = ColRef::new(self.tables[pos], my_col);
+                let index = self
+                    .eq_index
+                    .get(&col)
+                    .expect("driver indexes pre-built per group");
+                let Some(rows) = index.get(&v) else {
+                    return 0;
+                };
+                for &row in rows {
+                    if !self.in_cand[pos][row as usize] {
+                        continue;
+                    }
+                    if !self.joins_ok(pos, row, rest, assign) {
+                        continue;
+                    }
+                    assign.push(row);
+                    total += self.count(pos + 1, assign);
+                    assign.pop();
+                }
+            }
+        }
+        total
+    }
+}
+
+fn pos_of(tables: &[TableId], t: TableId) -> usize {
+    tables
+        .iter()
+        .position(|&x| x == t)
+        .expect("join table is in the group")
+}
+
+/// Splits the table set into groups connected through cross-table join
+/// predicates (Property 2: disconnected groups factor exactly). Tables no
+/// join touches form singleton groups.
+fn table_groups(tables: &[TableId], preds: &[Predicate]) -> Vec<Vec<TableId>> {
+    let mut group_of: HashMap<TableId, usize> =
+        tables.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    for p in preds {
+        if let Predicate::Join { left, right } = p {
+            if left.table == right.table {
+                continue;
+            }
+            let a = group_of[&left.table];
+            let b = group_of[&right.table];
+            if a != b {
+                let (keep, merge) = (a.min(b), a.max(b));
+                for g in group_of.values_mut() {
+                    if *g == merge {
+                        *g = keep;
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<TableId>> = Vec::new();
+    let mut label_to_idx: HashMap<usize, usize> = HashMap::new();
+    for &t in tables {
+        let label = group_of[&t];
+        let idx = *label_to_idx.entry(label).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[idx].push(t);
+    }
+    groups
+}
+
+/// Visit order within a connected group: start at the table with the fewest
+/// filtered candidates, then repeatedly take the join-reachable table with
+/// the fewest candidates, so every later position is driven by an index
+/// probe.
+fn visit_order(tables: &[TableId], preds: &[Predicate], cand: &[Vec<u32>]) -> Vec<usize> {
+    let n = tables.len();
+    let mut adjacent = vec![vec![false; n]; n];
+    for p in preds {
+        if let Predicate::Join { left, right } = p {
+            if left.table == right.table {
+                continue;
+            }
+            let a = pos_of(tables, left.table);
+            let b = pos_of(tables, right.table);
+            adjacent[a][b] = true;
+            adjacent[b][a] = true;
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let start = (0..n)
+        .min_by_key(|&i| (cand[i].len(), tables[i]))
+        .expect("group is non-empty");
+    order.push(start);
+    used[start] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&i| !used[i])
+            .filter(|&i| order.iter().any(|&j| adjacent[i][j]))
+            .min_by_key(|&i| (cand[i].len(), tables[i]))
+            // A connected group always has a reachable next table; the
+            // fallback keeps the walk total just in case.
+            .unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("tables remain"));
+        order.push(next);
+        used[next] = true;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::brute::{count_brute_force, DEFAULT_LIMIT};
+    use sqe_engine::table::TableBuilder;
+    use sqe_engine::{execute, CardinalityOracle, CmpOp};
+
+    fn c(t: u32, col: u16) -> ColRef {
+        ColRef::new(TableId(t), col)
+    }
+
+    fn two_table_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 2, 3])
+                .nullable_column("fk", vec![Some(10), Some(20), None, Some(20)])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("pk", vec![10, 20, 30])
+                .column("b", vec![5, 6, 7])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn filters_ranges_and_nulls_count_by_hand() {
+        let db = two_table_db();
+        let mut exec = ExactExecutor::new(&db);
+        let t = [TableId(0)];
+        assert_eq!(
+            exec.cardinality(&t, &[Predicate::filter(c(0, 0), CmpOp::Eq, 2)]),
+            2
+        );
+        assert_eq!(exec.cardinality(&t, &[Predicate::range(c(0, 0), 2, 3)]), 3);
+        // NULL fk never satisfies anything, even `<>`.
+        assert_eq!(
+            exec.cardinality(&t, &[Predicate::filter(c(0, 1), CmpOp::Neq, 999)]),
+            3
+        );
+    }
+
+    #[test]
+    fn join_with_dangling_fk_counts_by_hand() {
+        let db = two_table_db();
+        let mut exec = ExactExecutor::new(&db);
+        let t = [TableId(0), TableId(1)];
+        let j = Predicate::join(c(0, 1), c(1, 0));
+        // fk=10 matches pk=10; two fk=20 rows match pk=20; NULL drops out.
+        assert_eq!(exec.cardinality(&t, &[j]), 3);
+        assert_eq!(exec.selectivity(&t, &[j]), Some(3.0 / 12.0));
+    }
+
+    #[test]
+    fn free_tables_multiply_into_the_product() {
+        let db = two_table_db();
+        let mut exec = ExactExecutor::new(&db);
+        let p = Predicate::filter(c(0, 0), CmpOp::Eq, 1);
+        // Table 1 is untouched: factor 3.
+        assert_eq!(exec.cardinality(&[TableId(0), TableId(1)], &[p]), 3);
+        assert_eq!(exec.cardinality(&[TableId(0), TableId(1)], &[]), 12);
+    }
+
+    #[test]
+    fn conditional_selectivity_is_a_count_ratio() {
+        let db = two_table_db();
+        let mut exec = ExactExecutor::new(&db);
+        let t = [TableId(0), TableId(1)];
+        let j = Predicate::join(c(0, 1), c(1, 0));
+        let f = Predicate::filter(c(1, 1), CmpOp::Eq, 6);
+        let cond = exec.conditional_selectivity(&t, &[f], &[j]).unwrap();
+        // Of the 3 join tuples, the two fk=20 rows see b=6.
+        assert!((cond - 2.0 / 3.0).abs() < 1e-15);
+        // Empty conditioning set: Sel(P|∅) = Sel(P).
+        let uncond = exec.conditional_selectivity(&t, &[j], &[]).unwrap();
+        assert_eq!(uncond, exec.selectivity(&t, &[j]).unwrap());
+    }
+
+    #[test]
+    fn undefined_denominators_are_none() {
+        let db = two_table_db();
+        let mut exec = ExactExecutor::new(&db);
+        let t = [TableId(0)];
+        let never = Predicate::filter(c(0, 0), CmpOp::Eq, 999);
+        assert_eq!(exec.conditional_selectivity(&t, &[], &[never]), None);
+
+        let mut empty_db = Database::new();
+        empty_db.add_table(TableBuilder::new("e").column("a", vec![]).build().unwrap());
+        let mut exec2 = ExactExecutor::new(&empty_db);
+        assert_eq!(exec2.selectivity(&[TableId(0)], &[]), None);
+    }
+
+    #[test]
+    fn same_table_join_is_a_row_level_filter() {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("t")
+                .nullable_column("a", vec![Some(1), Some(2), None])
+                .nullable_column("b", vec![Some(1), Some(3), None])
+                .build()
+                .unwrap(),
+        );
+        let mut exec = ExactExecutor::new(&db);
+        let p = Predicate::join(c(0, 0), c(0, 1));
+        // Only row 0 has a = b with both non-NULL.
+        assert_eq!(exec.cardinality(&[TableId(0)], &[p]), 1);
+    }
+
+    #[test]
+    fn agrees_with_engine_and_brute_force_on_a_three_way_join() {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("x")
+                .column("k", vec![1, 1, 2, 3, 3, 3])
+                .column("v", vec![0, 1, 2, 3, 4, 5])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("y")
+                .column("k", vec![1, 2, 2, 3])
+                .column("w", vec![7, 8, 9, 7])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("z")
+                .column("w", vec![7, 7, 9])
+                .build()
+                .unwrap(),
+        );
+        let preds = vec![
+            Predicate::join(c(0, 0), c(1, 0)),
+            Predicate::join(c(1, 1), c(2, 0)),
+            Predicate::range(c(0, 1), 0, 4),
+        ];
+        let tables = [TableId(0), TableId(1), TableId(2)];
+        let mut exec = ExactExecutor::new(&db);
+        let mine = exec.cardinality(&tables, &preds);
+        let engine = execute(&db, &tables, &preds).unwrap();
+        let brute = count_brute_force(&db, &tables, &preds, DEFAULT_LIMIT).unwrap();
+        let mut oracle = CardinalityOracle::new(&db);
+        let memoized = oracle.cardinality(&tables, &preds).unwrap();
+        assert_eq!(mine, engine);
+        assert_eq!(mine, brute as u128);
+        assert_eq!(mine, memoized);
+    }
+
+    #[test]
+    fn disconnected_groups_factor_exactly() {
+        let db = two_table_db();
+        let mut exec = ExactExecutor::new(&db);
+        let t = [TableId(0), TableId(1)];
+        let p0 = Predicate::filter(c(0, 0), CmpOp::Eq, 2);
+        let p1 = Predicate::filter(c(1, 1), CmpOp::Ge, 6);
+        let joint = exec.cardinality(&t, &[p0, p1]);
+        let a = exec.cardinality(&[TableId(0)], &[p0]);
+        let b = exec.cardinality(&[TableId(1)], &[p1]);
+        assert_eq!(joint, a * b);
+    }
+}

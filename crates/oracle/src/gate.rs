@@ -1,0 +1,187 @@
+//! The regression gate: a fresh [`AccuracyReport`] vs the committed
+//! baseline.
+//!
+//! The gate is deliberately one-sided — it only fails when accuracy gets
+//! *worse*. Improvements pass silently (and should be followed by
+//! re-baselining with `accuracy --write-baseline`). Before comparing any
+//! numbers it proves the two runs are comparable at all: same tier, same
+//! scenario set, byte-identical generated databases (fingerprints).
+//!
+//! Tolerance model: a metric regresses when
+//! `current > baseline · max_ratio + abs_slack`. The multiplicative part
+//! absorbs proportional noise on large q-errors; the additive slack keeps
+//! near-1.0 medians (where a 10% ratio is only ±0.1) from flapping on
+//! float-level drift.
+
+use crate::accuracy::AccuracyReport;
+
+/// Gate tolerances. [`GateConfig::default`] is what CI runs.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Multiplicative headroom on every gated metric.
+    pub max_ratio: f64,
+    /// Additive slack on every gated metric.
+    pub abs_slack: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            max_ratio: 1.10,
+            abs_slack: 0.05,
+        }
+    }
+}
+
+/// Compares `current` against `baseline`; returns one human-readable
+/// violation per problem, empty when the gate passes.
+pub fn compare_reports(
+    baseline: &AccuracyReport,
+    current: &AccuracyReport,
+    cfg: GateConfig,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.tier != current.tier {
+        violations.push(format!(
+            "tier mismatch: baseline is '{}', current is '{}' — reports are not comparable",
+            baseline.tier, current.tier
+        ));
+        return violations;
+    }
+    for base_sc in &baseline.scenarios {
+        let Some(cur_sc) = current
+            .scenarios
+            .iter()
+            .find(|s| s.scenario == base_sc.scenario)
+        else {
+            violations.push(format!(
+                "scenario '{}' present in baseline but missing from current run",
+                base_sc.scenario
+            ));
+            continue;
+        };
+        if base_sc.fingerprint != cur_sc.fingerprint {
+            violations.push(format!(
+                "scenario '{}': database fingerprint changed ({:#x} -> {:#x}); \
+                 the runs measured different data — re-baseline instead of gating",
+                base_sc.scenario, base_sc.fingerprint, cur_sc.fingerprint
+            ));
+            continue;
+        }
+        for base_v in &base_sc.variants {
+            let Some(cur_v) = cur_sc.variants.iter().find(|v| v.variant == base_v.variant) else {
+                violations.push(format!(
+                    "scenario '{}': variant '{}' missing from current run",
+                    base_sc.scenario, base_v.variant
+                ));
+                continue;
+            };
+            if cur_v.queries != base_v.queries {
+                violations.push(format!(
+                    "scenario '{}' variant '{}': query count changed ({} -> {})",
+                    base_sc.scenario, base_v.variant, base_v.queries, cur_v.queries
+                ));
+            }
+            for (metric, base_m, cur_m) in [
+                (
+                    "median q-error",
+                    base_v.median_q_error,
+                    cur_v.median_q_error,
+                ),
+                ("p95 q-error", base_v.p95_q_error, cur_v.p95_q_error),
+            ] {
+                let limit = base_m * cfg.max_ratio + cfg.abs_slack;
+                if cur_m > limit {
+                    violations.push(format!(
+                        "scenario '{}' variant '{}': {metric} regressed \
+                         {base_m} -> {cur_m} (limit {limit:.6})",
+                        base_sc.scenario, base_v.variant
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{ScenarioAccuracy, VariantResult};
+
+    fn variant(name: &str, median: f64, p95: f64) -> VariantResult {
+        VariantResult {
+            variant: name.to_string(),
+            queries: 6,
+            median_q_error: median,
+            p95_q_error: p95,
+            max_q_error: p95 * 2.0,
+            median_rel_error: median - 1.0,
+            p95_rel_error: p95 - 1.0,
+        }
+    }
+
+    fn report(fingerprint: u64, median: f64, p95: f64) -> AccuracyReport {
+        AccuracyReport {
+            tier: "smoke".to_string(),
+            scenarios: vec![ScenarioAccuracy {
+                scenario: "baseline".to_string(),
+                fingerprint,
+                variants: vec![variant("diff-j2", median, p95)],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(7, 1.4, 3.0);
+        assert!(compare_reports(&r, &r.clone(), GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn improvement_and_tolerated_noise_pass() {
+        let base = report(7, 1.4, 3.0);
+        assert!(compare_reports(&base, &report(7, 1.1, 2.0), GateConfig::default()).is_empty());
+        // Within ratio + slack: 1.4·1.1 + 0.05 = 1.59.
+        assert!(compare_reports(&base, &report(7, 1.58, 3.0), GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn regression_is_flagged_per_metric() {
+        let base = report(7, 1.4, 3.0);
+        let bad = report(7, 2.0, 9.0);
+        let v = compare_reports(&base, &bad, GateConfig::default());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("median q-error"), "{}", v[0]);
+        assert!(v[1].contains("p95 q-error"), "{}", v[1]);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_blocks_comparison() {
+        let base = report(7, 1.4, 3.0);
+        let other = report(8, 1.4, 3.0);
+        let v = compare_reports(&base, &other, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("fingerprint"), "{}", v[0]);
+    }
+
+    #[test]
+    fn missing_scenario_variant_and_tier_mismatch_are_violations() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        cur.scenarios[0].variants.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v.iter().any(|m| m.contains("variant 'diff-j2' missing")));
+
+        let mut cur = base.clone();
+        cur.scenarios.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v.iter().any(|m| m.contains("missing from current run")));
+
+        let mut cur = base.clone();
+        cur.tier = "full".to_string();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("tier mismatch"));
+    }
+}

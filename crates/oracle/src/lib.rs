@@ -1,0 +1,46 @@
+//! # sqe-oracle — ground truth and the differential accuracy harness
+//!
+//! Everything in this workspace ultimately claims to approximate one number:
+//! the true selectivity `Sel(P)` of a conjunctive SPJ predicate set. This
+//! crate owns the *ground truth* side of that claim and the harness that
+//! holds the estimator to it:
+//!
+//! * [`exec::ExactExecutor`] — a second, independently implemented exact
+//!   relational executor (backtracking join enumeration over per-column
+//!   value indexes, not the engine's pairwise hash joins). Two executors
+//!   built from different algorithms agreeing on every count is the
+//!   differential guarantee that "truth" in this harness is actually true;
+//! * [`workload`] — seeded, deterministic accuracy scenarios: snowflake
+//!   databases swept across skew / correlation / dangling-FK knobs plus
+//!   wide queries up to n = 12 predicates, each pinned by a byte-exact
+//!   database fingerprint;
+//! * [`invariants`] — exactness checks to float tolerance: the atomic
+//!   decomposition `Sel(P,Q) = Sel(P|Q)·Sel(Q)` on oracle truth (Property
+//!   1), executor differentials, Lemma 1 decomposition counts against the
+//!   exhaustive enumerator, error-mode laws, and a from-scratch reference
+//!   implementation of the `getSelectivity` recurrence that the optimized
+//!   DP engines must match bit for bit;
+//! * [`accuracy`] — the measurement pass: q-error and relative error of
+//!   every estimator variant (error mode × SIT pool × pruning) against
+//!   oracle truth, emitted as the committed `ACCURACY.json` report;
+//! * [`gate`] — the regression gate comparing a fresh report against the
+//!   committed baseline (`results/ACCURACY.baseline.json`), run in CI by
+//!   the `accuracy_gate` binary.
+//!
+//! The split matters: `sqe-engine` already has a [`CardinalityOracle`]
+//! (memoized hash joins), and the estimator is *tested against it* — so a
+//! shared bug in the engine's join semantics would silently poison both
+//! sides. [`exec::ExactExecutor`] shares no code with that path.
+//!
+//! [`CardinalityOracle`]: sqe_engine::CardinalityOracle
+
+pub mod accuracy;
+pub mod exec;
+pub mod gate;
+pub mod invariants;
+pub mod workload;
+
+pub use accuracy::{measure_accuracy, AccuracyReport, ScenarioAccuracy, VariantResult};
+pub use exec::ExactExecutor;
+pub use gate::{compare_reports, GateConfig};
+pub use workload::{scenarios, OracleScenario, OracleTier};

@@ -1,0 +1,254 @@
+//! Seeded, deterministic accuracy scenarios.
+//!
+//! Each scenario is a `(snowflake config, workload config)` pair chosen to
+//! stress one axis the paper cares about: foreign-key skew (Zipf `theta`),
+//! attribute–fan-out correlation (the [`SnowflakeConfig::correlation`]
+//! knob), dangling foreign keys, and query width up to **n = 12**
+//! predicates (7 joins + 5 filters — the full snowflake with the paper's
+//! maximum filter load). Everything derives from fixed seeds, and the
+//! generated database is pinned by a byte-exact fingerprint
+//! ([`database_fingerprint`]) so a baseline comparison can first prove both
+//! runs measured the same data.
+//!
+//! Tables are kept deliberately tiny (tens of rows): the harness runs two
+//! exact executors over every query, and their cost is bounded by true
+//! result sizes, not estimate quality.
+
+use sqe_datagen::snowflake::JoinEdge;
+use sqe_datagen::{
+    database_fingerprint, generate_workload, Snowflake, SnowflakeConfig, WorkloadConfig,
+};
+use sqe_engine::{ColRef, Database, SpjQuery};
+
+/// How much work the harness does: `Smoke` is the CI tier (a few queries
+/// per scenario, every scenario family represented), `Full` the
+/// local/baseline tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleTier {
+    /// CI tier: every scenario family, few queries each.
+    Smoke,
+    /// Full tier: more queries and the heavier scenario variants.
+    Full,
+}
+
+impl OracleTier {
+    /// Parses `"smoke"` / `"full"` (the `--tier` flag of the accuracy
+    /// binary).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(OracleTier::Smoke),
+            "full" => Some(OracleTier::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical name, as written into the report.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleTier::Smoke => "smoke",
+            OracleTier::Full => "full",
+        }
+    }
+}
+
+/// One generated scenario: a database, its join graph, and a non-empty
+/// query workload, all pinned by seeds.
+pub struct OracleScenario {
+    /// Stable scenario name (report key).
+    pub name: &'static str,
+    /// The generated database.
+    pub db: Database,
+    /// Join edges of the schema (pool construction needs them).
+    pub join_edges: Vec<JoinEdge>,
+    /// Columns eligible for filter predicates.
+    pub filter_columns: Vec<ColRef>,
+    /// The workload, every query non-empty by construction.
+    pub queries: Vec<SpjQuery>,
+    /// FNV-1a fingerprint of the canonical database export — two runs with
+    /// equal fingerprints measured byte-identical data.
+    pub fingerprint: u64,
+}
+
+struct Spec {
+    name: &'static str,
+    theta: f64,
+    correlation: f64,
+    dangling_frac: f64,
+    min_rows: usize,
+    db_seed: u64,
+    joins: usize,
+    filters: usize,
+    queries_full: usize,
+    wl_seed: u64,
+    full_only: bool,
+}
+
+const SPECS: &[Spec] = &[
+    // The paper's default setting: skewed fan out, full correlation.
+    Spec {
+        name: "baseline",
+        theta: 1.0,
+        correlation: 1.0,
+        dangling_frac: 0.10,
+        min_rows: 90,
+        db_seed: 0xACC0_0001,
+        joins: 3,
+        filters: 3,
+        queries_full: 12,
+        wl_seed: 0x0A11_0001,
+        full_only: false,
+    },
+    // Independence actually holds: SITs should stop mattering and every
+    // technique should look alike.
+    Spec {
+        name: "uniform-independent",
+        theta: 0.0,
+        correlation: 0.0,
+        dangling_frac: 0.0,
+        min_rows: 90,
+        db_seed: 0xACC0_0002,
+        joins: 2,
+        filters: 2,
+        queries_full: 12,
+        wl_seed: 0x0A11_0002,
+        full_only: false,
+    },
+    // Heavy Zipf skew: the regime where base-histogram independence is
+    // most wrong.
+    Spec {
+        name: "heavy-skew",
+        theta: 2.0,
+        correlation: 1.0,
+        dangling_frac: 0.10,
+        min_rows: 90,
+        db_seed: 0xACC0_0003,
+        joins: 3,
+        filters: 2,
+        queries_full: 12,
+        wl_seed: 0x0A11_0003,
+        full_only: false,
+    },
+    // A quarter of the fact-side join keys dangle: join selectivities
+    // shrink and NULL handling errors would show immediately.
+    Spec {
+        name: "dangling-heavy",
+        theta: 1.0,
+        correlation: 1.0,
+        dangling_frac: 0.25,
+        min_rows: 90,
+        db_seed: 0xACC0_0004,
+        joins: 3,
+        filters: 3,
+        queries_full: 10,
+        wl_seed: 0x0A11_0004,
+        full_only: true,
+    },
+    // The widest shape the bitset estimator supports in one query here:
+    // 7 joins spanning all 8 tables plus 5 filters — n = 12 predicates.
+    Spec {
+        name: "wide-n12",
+        theta: 1.0,
+        correlation: 1.0,
+        dangling_frac: 0.10,
+        min_rows: 70,
+        db_seed: 0xACC0_0005,
+        joins: 7,
+        filters: 5,
+        queries_full: 4,
+        wl_seed: 0x0A11_0005,
+        full_only: false,
+    },
+];
+
+/// Builds the scenario set for a tier, deterministically.
+pub fn scenarios(tier: OracleTier) -> Vec<OracleScenario> {
+    SPECS
+        .iter()
+        .filter(|s| !s.full_only || tier == OracleTier::Full)
+        .map(|s| build(s, tier))
+        .collect()
+}
+
+fn build(spec: &Spec, tier: OracleTier) -> OracleScenario {
+    let sf = Snowflake::generate(SnowflakeConfig {
+        scale: 0.0,
+        theta: spec.theta,
+        dangling_frac: spec.dangling_frac,
+        correlation: spec.correlation,
+        seed: spec.db_seed,
+        min_rows: spec.min_rows,
+    });
+    let queries = match tier {
+        OracleTier::Full => spec.queries_full,
+        OracleTier::Smoke => (spec.queries_full / 2).max(2),
+    };
+    let wl = generate_workload(
+        &sf.db,
+        &sf.join_edges,
+        &sf.filter_columns,
+        WorkloadConfig {
+            queries,
+            joins: spec.joins,
+            filters: spec.filters,
+            target_selectivity: 0.05,
+            seed: spec.wl_seed,
+        },
+    );
+    let fingerprint = database_fingerprint(&sf.db);
+    OracleScenario {
+        name: spec.name,
+        db: sf.db,
+        join_edges: sf.join_edges,
+        filter_columns: sf.filter_columns,
+        queries: wl,
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tier_is_a_prefix_of_full_per_scenario() {
+        let smoke = scenarios(OracleTier::Smoke);
+        let full = scenarios(OracleTier::Full);
+        assert!(smoke.len() < full.len(), "full adds scenario families");
+        for s in &smoke {
+            let f = full
+                .iter()
+                .find(|f| f.name == s.name)
+                .expect("smoke scenarios exist in full");
+            // Same seed, fewer queries: the generator walks the same RNG
+            // stream, so the smoke workload is a prefix of the full one.
+            assert_eq!(s.fingerprint, f.fingerprint, "{}", s.name);
+            assert_eq!(&f.queries[..s.queries.len()], &s.queries[..], "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_reproducible_and_distinct() {
+        let a = scenarios(OracleTier::Smoke);
+        let b = scenarios(OracleTier::Smoke);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.fingerprint, y.fingerprint);
+            assert_eq!(x.queries, y.queries);
+        }
+        // Different knobs produce different data.
+        let mut prints: Vec<u64> = a.iter().map(|s| s.fingerprint).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), a.len(), "scenario databases must differ");
+    }
+
+    #[test]
+    fn wide_scenario_reaches_twelve_predicates() {
+        let all = scenarios(OracleTier::Smoke);
+        let wide = all.iter().find(|s| s.name == "wide-n12").expect("present");
+        for q in &wide.queries {
+            assert_eq!(q.predicates.len(), 12);
+            assert_eq!(q.tables.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The differential suite: every exactness invariant, run over the smoke
+//! tier's generated scenarios, plus a property test pitting the
+//! backtracking executor against brute-force enumeration on random tiny
+//! databases (random NULLs, random join/filter/range mixes — shapes the
+//! seeded scenarios cannot produce).
+//!
+//! CI runs exactly this (`cargo test -p sqe-oracle --test differential`);
+//! the full tier adds queries but no new check kinds.
+
+use proptest::prelude::*;
+use sqe_core::{build_pool, ErrorMode, PoolSpec};
+use sqe_engine::brute::{count_brute_force, DEFAULT_LIMIT};
+use sqe_engine::table::TableBuilder;
+use sqe_engine::{CmpOp, ColRef, Database, Predicate, TableId};
+use sqe_oracle::invariants::{
+    check_atomic_decomposition, check_chosen_decomposition, check_executor_differential,
+    check_lemma1, check_reference_dp,
+};
+use sqe_oracle::{scenarios, ExactExecutor, OracleTier};
+
+/// Reference DP is the unmemoized-search blow-up (`Σ 3^n` subset pairs);
+/// cap it so `wide-n12` doesn't dominate the suite. Wider queries are
+/// still covered by [`check_chosen_decomposition`], which runs the
+/// production engines only.
+const REFERENCE_DP_MAX_PREDS: usize = 10;
+
+#[test]
+fn executors_agree_on_every_smoke_query() {
+    for sc in scenarios(OracleTier::Smoke) {
+        for (i, q) in sc.queries.iter().enumerate() {
+            check_executor_differential(&sc.db, &q.tables, &q.predicates)
+                .unwrap_or_else(|e| panic!("{} query {i}: {e}", sc.name));
+        }
+    }
+}
+
+#[test]
+fn atomic_decomposition_holds_on_oracle_truth() {
+    for sc in scenarios(OracleTier::Smoke) {
+        for (i, q) in sc.queries.iter().enumerate() {
+            check_atomic_decomposition(&sc.db, q)
+                .unwrap_or_else(|e| panic!("{} query {i}: {e}", sc.name));
+        }
+    }
+}
+
+#[test]
+fn lemma1_counts_match_the_enumerator() {
+    check_lemma1(6).unwrap();
+}
+
+#[test]
+fn production_dp_engines_match_the_reference_recurrence() {
+    for sc in scenarios(OracleTier::Smoke) {
+        let pool = build_pool(&sc.db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+        for (i, q) in sc.queries.iter().enumerate() {
+            if q.predicates.len() > REFERENCE_DP_MAX_PREDS {
+                continue;
+            }
+            for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+                check_reference_dp(&sc.db, q, &pool, mode)
+                    .unwrap_or_else(|e| panic!("{} query {i} {mode:?}: {e}", sc.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn chosen_decompositions_replay_to_the_dp_error() {
+    for sc in scenarios(OracleTier::Smoke) {
+        let pool = build_pool(&sc.db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+        for (i, q) in sc.queries.iter().enumerate() {
+            for mode in [ErrorMode::NInd, ErrorMode::Diff] {
+                check_chosen_decomposition(&sc.db, q, &pool, mode)
+                    .unwrap_or_else(|e| panic!("{} query {i} {mode:?}: {e}", sc.name));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random tiny databases: executor vs brute force.
+// ---------------------------------------------------------------------------
+
+/// Rows of one 3-table database: per table, `(val_a, null_a, val_b,
+/// null_b)` tuples (a value is NULL when its `null_*` byte is < 2, i.e.
+/// with probability 0.2).
+type RawTable = Vec<(i64, u8, i64, u8)>;
+
+fn build_db(tables: &[RawTable; 3]) -> Database {
+    let mut db = Database::new();
+    for (i, rows) in tables.iter().enumerate() {
+        let a: Vec<Option<i64>> = rows
+            .iter()
+            .map(|&(v, n, _, _)| (n >= 2).then_some(v))
+            .collect();
+        let b: Vec<Option<i64>> = rows
+            .iter()
+            .map(|&(_, _, v, n)| (n >= 2).then_some(v))
+            .collect();
+        db.add_table(
+            TableBuilder::new(format!("t{i}"))
+                .nullable_column("a", a)
+                .nullable_column("b", b)
+                .build()
+                .expect("columns have equal length"),
+        );
+    }
+    db
+}
+
+/// Decodes one raw predicate tuple into a join, filter, or range over the
+/// 3-table schema.
+fn decode_pred(kind: u8, t: u8, t2: u8, col: u8, col2: u8, x: i64, y: i64) -> Predicate {
+    let t = u32::from(t % 3);
+    let col = u16::from(col % 2);
+    match kind % 3 {
+        0 => {
+            // Cross-table join; degrade to the next table when both ends
+            // landed on the same one.
+            let other = u32::from(t2 % 3);
+            let other = if other == t { (t + 1) % 3 } else { other };
+            Predicate::join(
+                ColRef::new(TableId(t), col),
+                ColRef::new(TableId(other), u16::from(col2 % 2)),
+            )
+        }
+        1 => {
+            let op = [
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+                CmpOp::Eq,
+                CmpOp::Neq,
+            ][(t2 % 6) as usize];
+            Predicate::filter(ColRef::new(TableId(t), col), op, x)
+        }
+        _ => Predicate::range(ColRef::new(TableId(t), col), x.min(y), x.max(y)),
+    }
+}
+
+fn raw_table() -> impl Strategy<Value = RawTable> {
+    prop::collection::vec((0i64..5, 0u8..10, 0i64..5, 0u8..10), 1..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_databases_count_like_brute_force(
+        tables in (raw_table(), raw_table(), raw_table()),
+        raw_preds in prop::collection::vec(
+            (0u8..3, 0u8..3, 0u8..3, 0u8..2, 0u8..2, -1i64..6, -1i64..6),
+            0..5,
+        ),
+    ) {
+        let db = build_db(&[tables.0, tables.1, tables.2]);
+        let preds: Vec<Predicate> = raw_preds
+            .into_iter()
+            .map(|(k, t, t2, c, c2, x, y)| decode_pred(k, t, t2, c, c2, x, y))
+            .collect();
+        let all = [TableId(0), TableId(1), TableId(2)];
+
+        let mut exec = ExactExecutor::new(&db);
+        let mine = exec.cardinality(&all, &preds);
+        let brute = count_brute_force(&db, &all, &preds, DEFAULT_LIMIT)
+            .expect("cross product is tiny");
+        prop_assert_eq!(mine, u128::from(brute));
+
+        // And the full four-way differential on the same input.
+        check_executor_differential(&db, &all, &preds)?;
+    }
+}

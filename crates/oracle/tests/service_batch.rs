@@ -1,0 +1,123 @@
+//! Pins `estimate_batch` determinism: across `batch_threads ∈ {1, 2, 8}`
+//! every [`Estimate`] field except `cached` is bit-identical — and equal
+//! to a fresh single-threaded [`SelectivityEstimator`] over the same
+//! catalog — and the answers are sane against oracle ground truth.
+//!
+//! `cached` is excluded by design: it reports whether the whole-query
+//! cache answered, which depends on which worker got to a duplicate key
+//! first (see the field's rustdoc in `sqe-service`). The batches here
+//! contain each query twice precisely to exercise those races.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+use sqe_core::{build_pool, ErrorMode, PoolSpec, SelectivityEstimator};
+use sqe_engine::{CardinalityOracle, SpjQuery};
+use sqe_oracle::{scenarios, OracleTier};
+use sqe_service::{Estimate, EstimationService, ServiceConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A fresh service (fresh snapshot, cold cache) with the given worker
+/// count, so every thread-count run starts from identical cache state.
+fn fresh_service(
+    db: &Arc<sqe_engine::Database>,
+    catalog: &sqe_core::SitCatalog,
+    threads: usize,
+) -> EstimationService {
+    EstimationService::new(
+        Arc::clone(db),
+        catalog.clone(),
+        ServiceConfig {
+            mode: ErrorMode::Diff,
+            batch_threads: Some(NonZeroUsize::new(threads).expect("non-zero")),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+#[test]
+fn batch_is_deterministic_across_thread_counts() {
+    for sc in scenarios(OracleTier::Smoke) {
+        let catalog = build_pool(&sc.db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+        // Duplicate every query so parallel runs race the whole-query
+        // cache key; append reversed so duplicates land on far-apart slots.
+        let mut batch: Vec<SpjQuery> = sc.queries.clone();
+        batch.extend(sc.queries.iter().rev().cloned());
+        let db = Arc::new(sc.db);
+
+        let runs: Vec<Vec<Estimate>> = THREAD_COUNTS
+            .iter()
+            .map(|&t| fresh_service(&db, &catalog, t).estimate_batch(&batch))
+            .collect();
+
+        let reference = &runs[0];
+        for (run, &threads) in runs.iter().zip(&THREAD_COUNTS).skip(1) {
+            assert_eq!(run.len(), reference.len());
+            for (i, (a, b)) in reference.iter().zip(run).enumerate() {
+                assert_eq!(
+                    a.selectivity.to_bits(),
+                    b.selectivity.to_bits(),
+                    "{}: selectivity diverged at query {i} with {threads} threads",
+                    sc.name
+                );
+                assert_eq!(
+                    a.error.to_bits(),
+                    b.error.to_bits(),
+                    "{}: error diverged at query {i} with {threads} threads",
+                    sc.name
+                );
+                assert_eq!(
+                    a.cardinality.to_bits(),
+                    b.cardinality.to_bits(),
+                    "{}: cardinality diverged at query {i} with {threads} threads",
+                    sc.name
+                );
+                assert_eq!(a.epoch, b.epoch, "{}: epoch diverged at query {i}", sc.name);
+                // `cached` is deliberately NOT compared: it is the one
+                // scheduling-dependent field.
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_matches_a_fresh_single_threaded_estimator_and_oracle_truth() {
+    let sc = scenarios(OracleTier::Smoke)
+        .into_iter()
+        .next()
+        .expect("baseline scenario exists");
+    let catalog = build_pool(&sc.db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+    let db = Arc::new(sc.db);
+    let estimates = fresh_service(&db, &catalog, 8).estimate_batch(&sc.queries);
+
+    let mut oracle = CardinalityOracle::new(&db);
+    for (q, est) in sc.queries.iter().zip(&estimates) {
+        // Bit-identical to a from-scratch estimator over the same catalog:
+        // the service's sharing layers must not perturb the math.
+        let mut solo = SelectivityEstimator::new(&db, q, &catalog, ErrorMode::Diff);
+        let all = solo.context().all();
+        let (sel, err) = solo.get_selectivity(all);
+        assert_eq!(est.selectivity.to_bits(), sel.to_bits());
+        assert_eq!(est.error.to_bits(), err.to_bits());
+        assert_eq!(est.cardinality.to_bits(), solo.cardinality(all).to_bits());
+        assert_eq!(est.epoch, 0, "fresh service answers from epoch 0");
+
+        // Sane against ground truth: on this tiny seeded scenario the
+        // J2 Diff estimator stays within a generous q-error envelope.
+        let truth = oracle
+            .cardinality(&q.tables, &q.predicates)
+            .expect("oracle cardinality") as f64;
+        assert!(
+            truth > 0.0,
+            "workload queries are non-empty by construction"
+        );
+        let q_error =
+            (est.cardinality.max(1e-300) / truth).max(truth / est.cardinality.max(1e-300));
+        assert!(
+            q_error < 50.0,
+            "estimate {} vs truth {truth}: q-error {q_error}",
+            est.cardinality
+        );
+    }
+}

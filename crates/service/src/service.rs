@@ -123,6 +123,16 @@ pub struct Estimate {
     pub epoch: u64,
     /// True when the whole-query cache answered without constructing an
     /// estimator.
+    ///
+    /// This is the **only** field that depends on scheduling: in a
+    /// parallel [`EstimationService::estimate_batch`], two workers can
+    /// race the same whole-query key and both miss, or a duplicate later
+    /// in the batch can hit an entry its twin just published — so `cached`
+    /// may differ from run to run and across `batch_threads` settings.
+    /// `selectivity`, `error`, `cardinality`, and `epoch` are pure
+    /// functions of `(query, snapshot)` and are bit-identical regardless
+    /// of thread count (pinned by the `sqe-oracle` batch-determinism
+    /// suite). Don't assert on `cached` in tests that vary parallelism.
     pub cached: bool,
 }
 
