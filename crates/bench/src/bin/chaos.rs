@@ -1,0 +1,314 @@
+//! Chaos driver: a timed, randomized fault-injection run against the
+//! estimation service, built for the CI `chaos-smoke` job.
+//!
+//! Arms every workspace failpoint at deterministic rates, then hammers the
+//! service from 8 worker threads with randomized budgets (unlimited, tight
+//! deadlines, tiny quotas, cancellations) for `--seconds`. A heartbeat
+//! watchdog aborts the process if the workers stop making progress — a
+//! hang is exactly the failure class this driver exists to catch. The run
+//! log goes to stderr and a JSON summary to `results/chaos.json` (the CI
+//! artifact).
+//!
+//! Invariants checked continuously:
+//! * every request returns an answer or a clean `Overloaded` shed;
+//! * `full`-quality answers are bit-identical to a fault-free reference;
+//! * degraded answers always carry a reason;
+//!
+//! and at the end: with faults disarmed, the service returns to
+//! full-quality reference-identical answers.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin chaos [-- --seconds 30]
+//! ```
+
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use sqe_bench::report::write_json;
+use sqe_bench::{Args, Setup, SetupConfig};
+use sqe_core::failpoint::{self, Action};
+use sqe_core::{CancelToken, Quality};
+use sqe_service::{Budget, EstimationService, ServiceConfig, ServiceError};
+
+/// Deterministic xorshift64* stream per worker.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+#[derive(Serialize)]
+struct ChaosReport {
+    seconds: u64,
+    workers: usize,
+    requests: u64,
+    full: u64,
+    degraded: u64,
+    sheds: u64,
+    quarantines: u64,
+    installs: u64,
+    /// Full-answer divergences plus label violations observed mid-run.
+    violations: u64,
+    degrade_reasons: Vec<u64>,
+    recovered_full_quality: bool,
+}
+
+fn random_budget(rng: &mut Rng) -> Budget {
+    match rng.next() % 4 {
+        0 => Budget::unlimited(),
+        1 => Budget::unlimited().with_deadline(Duration::from_micros(50 + rng.next() % 5000)),
+        2 => Budget::unlimited().with_quota(rng.next() % 500),
+        _ => {
+            let c = CancelToken::new();
+            if rng.next().is_multiple_of(2) {
+                c.cancel();
+            }
+            Budget::unlimited().with_cancel(c)
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let seconds: u64 = args.get("seconds", 30);
+    let setup = Setup::new(SetupConfig::from_args(&args));
+    let joins: usize = args.get("joins", 3);
+    let pool_i: usize = args.get("pool", 1);
+
+    eprintln!("chaos: generating workload and J{pool_i} pool ...");
+    let workload = setup.workload(joins);
+    let pool = setup.pool(&workload, pool_i);
+    let db = Arc::new(setup.snowflake.db);
+    let svc = Arc::new(EstimationService::new(
+        Arc::clone(&db),
+        pool.clone(),
+        ServiceConfig {
+            dp_threads: std::num::NonZeroUsize::new(2),
+            max_in_flight: 32,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // Fault-free reference answers, computed before any failpoint arms.
+    let reference: Vec<f64> = workload
+        .iter()
+        .map(|q| svc.estimate(q).selectivity)
+        .collect();
+    // The reference pass warmed the snapshot cache; start chaos cold.
+    svc.install(pool.clone(), None);
+
+    // Silence the panic reports injected faults produce on purpose, but
+    // let genuine failures through.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        // An injected panic, or its propagation out of a poisoned
+        // rank-parallel peel slot, is expected noise; anything else is a
+        // genuine failure and gets the normal report.
+        let expected = |s: &str| {
+            s.contains("failpoint")
+                || s.contains("sibling worker")
+                || s.contains("scoped thread panicked")
+        };
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| expected(s))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| expected(s));
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+
+    failpoint::arm_with("dp::solve_mask", Action::Panic, 20_000, None, 11);
+    failpoint::arm_with("par::publish", Action::Panic, 2_000, None, 22);
+    failpoint::arm_with("service::cache_insert", Action::Sleep(1), 256, None, 33);
+    failpoint::arm_with("service::install", Action::Sleep(2), 4, None, 44);
+    eprintln!("chaos: armed {:?}", failpoint::armed_sites());
+
+    let heartbeat = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(AtomicU64::new(0));
+    let full = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
+    let sheds = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let workers = 8usize;
+
+    // Watchdog: if no worker completes a request for 30 s, the run is
+    // hung — print a diagnosis and abort with a nonzero exit code.
+    let watchdog = {
+        let heartbeat = Arc::clone(&heartbeat);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            loop {
+                std::thread::sleep(Duration::from_secs(5));
+                let now = heartbeat.load(Ordering::Relaxed);
+                if now == u64::MAX {
+                    return; // run finished
+                }
+                if now == last {
+                    let mut strikes = 1;
+                    while strikes < 6 {
+                        std::thread::sleep(Duration::from_secs(5));
+                        let again = heartbeat.load(Ordering::Relaxed);
+                        if again == u64::MAX {
+                            return;
+                        }
+                        if again != now {
+                            break;
+                        }
+                        strikes += 1;
+                    }
+                    if strikes >= 6 {
+                        eprintln!("chaos: WATCHDOG FIRED — no progress for 30 s, aborting");
+                        exit(2);
+                    }
+                }
+                last = heartbeat.load(Ordering::Relaxed);
+            }
+        })
+    };
+
+    std::thread::scope(|s| {
+        for worker in 0..workers as u64 {
+            let (svc, workload, reference, pool) = (&svc, &workload, &reference, &pool);
+            let (heartbeat, violations, full, degraded, sheds, stop) =
+                (&heartbeat, &violations, &full, &degraded, &sheds, &stop);
+            s.spawn(move || {
+                let mut rng = Rng(0xD1B54A32D192ED03 ^ (worker + 1));
+                let mut round = 0u64;
+                while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                    round += 1;
+                    if worker == 0 && round.is_multiple_of(64) {
+                        // Concurrent snapshot swaps keep caches cold and
+                        // race installs against in-flight estimates.
+                        svc.install(pool.clone(), None);
+                    }
+                    let idx = (rng.next() as usize) % workload.len();
+                    let outcome =
+                        svc.estimate_with_budget(&workload[idx], &random_budget(&mut rng));
+                    match outcome {
+                        Ok(e) => {
+                            if e.quality == Quality::Full {
+                                full.fetch_add(1, Ordering::Relaxed);
+                                if e.selectivity.to_bits() != reference[idx].to_bits() {
+                                    eprintln!(
+                                        "chaos: VIOLATION — full answer for query {idx} \
+                                         diverged from reference"
+                                    );
+                                    violations.fetch_add(1, Ordering::Relaxed);
+                                }
+                            } else {
+                                degraded.fetch_add(1, Ordering::Relaxed);
+                                if e.degraded_reason.is_none() {
+                                    eprintln!(
+                                        "chaos: VIOLATION — degraded answer without a reason"
+                                    );
+                                    violations.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(ServiceError::Overloaded { .. }) => {
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    heartbeat.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Progress log every ~2 s while the workers run.
+        while Instant::now() < deadline {
+            std::thread::sleep(
+                Duration::from_secs(2).min(deadline.saturating_duration_since(Instant::now())),
+            );
+            eprintln!(
+                "chaos: t={:>4.1}s requests={} full={} degraded={} sheds={}",
+                seconds as f64
+                    - deadline
+                        .saturating_duration_since(Instant::now())
+                        .as_secs_f64(),
+                heartbeat.load(Ordering::Relaxed),
+                full.load(Ordering::Relaxed),
+                degraded.load(Ordering::Relaxed),
+                sheds.load(Ordering::Relaxed),
+            );
+        }
+    });
+    heartbeat.store(u64::MAX, Ordering::Relaxed);
+    let _ = watchdog.join();
+
+    failpoint::disarm_all();
+    let _ = std::panic::take_hook(); // drop the filter hook
+
+    // Recovery: faults off, no budget — every answer must be Full and
+    // bit-identical to the fault-free reference.
+    let mut recovered = true;
+    for (i, (q, want)) in workload.iter().zip(&reference).enumerate() {
+        match svc.estimate_with_budget(q, &Budget::unlimited()) {
+            Ok(e) if e.quality == Quality::Full && e.selectivity.to_bits() == want.to_bits() => {}
+            Ok(e) => {
+                eprintln!(
+                    "chaos: VIOLATION — post-chaos query {i} came back {:?} instead of a \
+                     reference-identical full answer",
+                    e.quality
+                );
+                recovered = false;
+            }
+            Err(e) => {
+                eprintln!("chaos: VIOLATION — post-chaos query {i} shed: {e}");
+                recovered = false;
+            }
+        }
+    }
+
+    let stats = svc.stats();
+    let report = ChaosReport {
+        seconds,
+        workers,
+        requests: full.load(Ordering::Relaxed)
+            + degraded.load(Ordering::Relaxed)
+            + sheds.load(Ordering::Relaxed),
+        full: full.load(Ordering::Relaxed),
+        degraded: degraded.load(Ordering::Relaxed),
+        sheds: sheds.load(Ordering::Relaxed),
+        quarantines: stats.quarantines,
+        installs: stats.installs,
+        violations: violations.load(Ordering::Relaxed),
+        degrade_reasons: stats.degrade_reasons.to_vec(),
+        recovered_full_quality: recovered,
+    };
+    println!(
+        "chaos: done — {} requests ({} full / {} degraded / {} sheds), \
+         {} quarantines, {} installs",
+        report.requests,
+        report.full,
+        report.degraded,
+        report.sheds,
+        report.quarantines,
+        report.installs
+    );
+    match write_json("chaos", &report) {
+        Ok(p) => println!("chaos: report written to {}", p.display()),
+        Err(e) => eprintln!("chaos: could not write report: {e}"),
+    }
+
+    if report.violations > 0 || !recovered || report.full == 0 {
+        eprintln!("chaos: FAILED");
+        exit(1);
+    }
+    println!("chaos: PASS — no hangs, no mislabels, clean recovery");
+}

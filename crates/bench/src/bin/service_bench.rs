@@ -20,13 +20,13 @@
 
 use std::num::NonZeroUsize;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use sqe_bench::report::{render_table, round_us, write_json};
 use sqe_bench::{Args, Setup, SetupConfig};
 use sqe_engine::SpjQuery;
-use sqe_service::{EstimationService, ServiceConfig};
+use sqe_service::{Budget, EstimationService, Quality, ServiceConfig};
 
 #[derive(Serialize)]
 struct Row {
@@ -45,9 +45,21 @@ struct BatchRow {
 }
 
 #[derive(Serialize)]
+struct DegradedRow {
+    deadline: String,
+    p50_us: f64,
+    p99_us: f64,
+    full: u64,
+    pruned: u64,
+    greedy: u64,
+    independence: u64,
+}
+
+#[derive(Serialize)]
 struct Report {
     concurrency: Vec<Row>,
     batch: Vec<BatchRow>,
+    degraded: Vec<DegradedRow>,
 }
 
 /// Estimates/sec for `threads` workers each running `per_thread` streams.
@@ -193,9 +205,81 @@ fn main() {
         });
     }
 
+    // Degraded phase: budgeted estimates at three deadline settings on a
+    // cold cache, reporting the latency distribution and which rung of the
+    // degradation ladder answered. The `none` row doubles as the
+    // no-budget baseline: all answers must come back `full`.
+    println!("\ndegraded phase — budgeted estimates per deadline, cold cache");
+    let deadlines: [(&str, Option<Duration>); 3] = [
+        ("none", None),
+        ("5ms", Some(Duration::from_millis(5))),
+        ("250us", Some(Duration::from_micros(250))),
+    ];
+    let mut degraded_rows: Vec<DegradedRow> = Vec::new();
+    for (label, deadline) in deadlines {
+        let svc = EstimationService::new(Arc::clone(&db), pool.clone(), ServiceConfig::default());
+        let budget =
+            deadline.map_or_else(Budget::unlimited, |d| Budget::unlimited().with_deadline(d));
+        let mut lat_us: Vec<f64> = Vec::with_capacity(workload.len());
+        let mut mix = [0u64; 4]; // full / pruned / greedy / independence
+        for q in &workload {
+            let t = Instant::now();
+            let e = svc
+                .estimate_with_budget(q, &budget)
+                .expect("single-threaded driver never trips admission");
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            match e.quality {
+                Quality::Full => mix[0] += 1,
+                Quality::Pruned => mix[1] += 1,
+                Quality::Greedy => mix[2] += 1,
+                Quality::Independence => mix[3] += 1,
+            }
+        }
+        lat_us.sort_by(f64::total_cmp);
+        let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p).round() as usize];
+        if deadline.is_none() {
+            assert_eq!(
+                mix[0] as usize,
+                workload.len(),
+                "no budget must mean every answer is full quality"
+            );
+        }
+        degraded_rows.push(DegradedRow {
+            deadline: label.to_string(),
+            p50_us: round_us(pct(0.50)),
+            p99_us: round_us(pct(0.99)),
+            full: mix[0],
+            pruned: mix[1],
+            greedy: mix[2],
+            independence: mix[3],
+        });
+    }
+    let degraded_table: Vec<Vec<String>> = degraded_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.deadline.clone(),
+                format!("{:.1}", r.p50_us),
+                format!("{:.1}", r.p99_us),
+                r.full.to_string(),
+                r.pruned.to_string(),
+                r.greedy.to_string(),
+                r.independence.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["deadline", "p50 µs", "p99 µs", "full", "pruned", "greedy", "indep"],
+            &degraded_table
+        )
+    );
+
     let report = Report {
         concurrency: rows,
         batch: batch_rows,
+        degraded: degraded_rows,
     };
     match write_json("service_bench", &report) {
         Ok(p) => println!("\nresults written to {}", p.display()),

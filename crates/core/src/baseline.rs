@@ -7,11 +7,12 @@
 //! per-predicate base estimates, which is exactly what a traditional
 //! optimizer computes.
 
-use sqe_engine::{Database, SpjQuery};
+use sqe_engine::{ColRef, Database, Predicate, SpjQuery};
 
 use crate::error::ErrorMode;
 use crate::estimator::SelectivityEstimator;
-use crate::sit::SitCatalog;
+use crate::predset::QueryContext;
+use crate::sit::{Sit, SitCatalog};
 
 /// Factory for `noSit` estimators: owns the base-only catalog extracted
 /// from a (possibly SIT-rich) source catalog.
@@ -41,6 +42,53 @@ impl NoSitEstimator {
     pub fn estimator<'a>(&'a self, db: &'a Database, query: &SpjQuery) -> SelectivityEstimator<'a> {
         SelectivityEstimator::new(db, query, &self.catalog, ErrorMode::NInd)
     }
+}
+
+/// The base SIT (no conditioning expression) for `attr`, if the catalog
+/// holds one.
+fn base_sit(catalog: &SitCatalog, attr: ColRef) -> Option<&Sit> {
+    catalog
+        .for_attr(attr)
+        .iter()
+        .map(|&id| catalog.get(id))
+        .find(|s| s.is_base())
+}
+
+/// O(n) independence-only selectivity estimate — the terminal rung of the
+/// degradation ladder (see [`crate::ladder`]).
+///
+/// Unlike [`NoSitEstimator`] — which still runs the full `getSelectivity`
+/// DP, just over a base-only catalog — this is a straight product of
+/// per-predicate base estimates with **no subset enumeration at all**, so
+/// it completes in microseconds regardless of `n` and needs no budget
+/// polling. Per-predicate estimates mirror [`crate::gvm`]'s unassigned-slot
+/// fallbacks exactly: joins use the base-histogram join selectivity (or
+/// `1/max(|L|,|R|)` without histograms), filters use the base-histogram
+/// estimate (or the ⅓ magic constant).
+pub fn independence_selectivity(db: &Database, catalog: &SitCatalog, query: &SpjQuery) -> f64 {
+    let ctx = QueryContext::new(db, query);
+    let mut sel = 1.0f64;
+    for pred in ctx.predicates() {
+        sel *= match *pred {
+            Predicate::Join { left, right } => {
+                match (base_sit(catalog, left), base_sit(catalog, right)) {
+                    (Some(l), Some(r)) => l.histogram.join(&r.histogram).selectivity.max(1e-12),
+                    _ => {
+                        let nl = db.row_count(left.table).unwrap_or(1).max(1);
+                        let nr = db.row_count(right.table).unwrap_or(1).max(1);
+                        1.0 / nl.max(nr) as f64
+                    }
+                }
+            }
+            Predicate::Filter { col, .. } | Predicate::Range { col, .. } => {
+                match base_sit(catalog, col) {
+                    Some(sit) => crate::gvm::filter_sel(&sit.histogram, pred),
+                    None => 1.0 / 3.0,
+                }
+            }
+        };
+    }
+    sel.clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

@@ -56,19 +56,20 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate, SpjQuery};
 use sqe_histogram::Histogram;
 
+use crate::budget::{BudgetMeter, ExhaustReason};
 use crate::cache::SharedEstimatorCache;
 use crate::decomposition::ComponentTable;
 use crate::error::ErrorMode;
 use crate::flat::{peel_key, DenseMemo, FlatMemo};
 use crate::link::{CandIndex, LinkCtx, LinkState, DEFAULT_RANGE_SEL};
 use crate::matcher::SitMatcher;
-use crate::par::{Claim, OnceMap};
+use crate::par::{Claim, ClaimError, OnceMap};
 use crate::predset::{PredSet, QueryContext};
 use crate::sit::{SitCatalog, SitId};
 use crate::sit2::{Sit2Catalog, Sit2Id};
@@ -211,6 +212,11 @@ pub struct SelectivityEstimator<'a> {
     /// miss and written back on every computed link / join product (see
     /// [`crate::cache`] for the validity contract).
     shared: Option<&'a dyn SharedEstimatorCache>,
+    /// Optional resource meter (see [`crate::budget`]): DP loops charge it
+    /// — one unit per lattice mask solved plus one per freshly computed
+    /// peel — and unwind with [`ExhaustReason`] once it trips. `None`
+    /// leaves every path bit-identical to the unbudgeted estimator.
+    meter: Option<Arc<BudgetMeter>>,
 }
 
 impl<'a> SelectivityEstimator<'a> {
@@ -245,6 +251,7 @@ impl<'a> SelectivityEstimator<'a> {
             sit_driven: None,
             prune_table: None,
             shared: None,
+            meter: None,
         };
         est.apply_strategy(DpStrategy::Auto);
         est
@@ -283,6 +290,19 @@ impl<'a> SelectivityEstimator<'a> {
         }
         self.memo_sparse = FlatMemo::new();
         self.prune_table = None;
+    }
+
+    /// Attaches a shared [`BudgetMeter`]. Estimation then runs under that
+    /// meter's deadline / work-quota / cancellation limits: use
+    /// [`Self::try_get_selectivity`], which returns [`ExhaustReason`] when
+    /// the meter trips mid-fill (the infallible [`Self::get_selectivity`]
+    /// panics in that case). Rank-parallel workers poll the same meter, so
+    /// one trip stops the whole fill cooperatively. Charging is amortized:
+    /// the deadline clock is consulted roughly once per thousand work
+    /// units, never per mask.
+    pub fn with_budget_meter(mut self, meter: Arc<BudgetMeter>) -> Self {
+        self.meter = Some(meter);
+        self
     }
 
     /// Attaches a cross-query shared cache. The estimator consults it when
@@ -409,13 +429,25 @@ impl<'a> SelectivityEstimator<'a> {
 
     /// Algorithm `getSelectivity` (Figure 3): returns `(selectivity,
     /// error)` for the most accurate non-separable decomposition of
-    /// `Sel(P)`.
+    /// `Sel(P)`. Panics if an attached [`BudgetMeter`] trips — budgeted
+    /// callers use [`Self::try_get_selectivity`].
     pub fn get_selectivity(&mut self, p: PredSet) -> (f64, f64) {
+        self.try_get_selectivity(p)
+            .expect("budget exhausted: budgeted callers must use try_get_selectivity")
+    }
+
+    /// The fallible form of [`Self::get_selectivity`]: identical values on
+    /// success, `Err` with the trip reason when the attached meter
+    /// exhausts mid-computation. On `Err` the estimator's memo holds only
+    /// complete, exact values (aborted masks are never committed), but the
+    /// requested set is unsolved — callers degrade to a cheaper rung
+    /// rather than retrying.
+    pub fn try_get_selectivity(&mut self, p: PredSet) -> Result<(f64, f64), ExhaustReason> {
         if p.is_empty() {
-            return (1.0, 0.0);
+            return Ok((1.0, 0.0));
         }
         if let Some(r) = self.memo_get(p) {
-            return r;
+            return Ok(r);
         }
         if self.memo_dense.is_some() {
             self.fill_dense(p)
@@ -445,7 +477,7 @@ impl<'a> SelectivityEstimator<'a> {
 
     /// Dense engine entry point: fills the flat tables bottom-up for `p`
     /// (not yet memoized, non-empty) and returns its value.
-    fn fill_dense(&mut self, p: PredSet) -> (f64, f64) {
+    fn fill_dense(&mut self, p: PredSet) -> Result<(f64, f64), ExhaustReason> {
         if self.sit_driven.is_some() && self.prune_table.is_none() {
             self.build_prune_table();
         }
@@ -463,7 +495,7 @@ impl<'a> SelectivityEstimator<'a> {
             rest = rest.minus(c);
             let (s, e) = match self.memo_get(c) {
                 Some(r) => r,
-                None => self.fill_component(c),
+                None => self.fill_component(c)?,
             };
             sel *= s;
             err += e;
@@ -473,7 +505,7 @@ impl<'a> SelectivityEstimator<'a> {
             .as_mut()
             .expect("dense engine active")
             .set(p.0, result);
-        result
+        Ok(result)
     }
 
     /// Fills every subset of the non-separable component `comp` in
@@ -482,7 +514,7 @@ impl<'a> SelectivityEstimator<'a> {
     /// subset walk needs is a plain indexed load by the time it is read —
     /// and, because masks within one rank never read each other, a rank's
     /// masks can be solved concurrently (see [`Self::fill_rank_parallel`]).
-    fn fill_component(&mut self, comp: PredSet) -> (f64, f64) {
+    fn fill_component(&mut self, comp: PredSet) -> Result<(f64, f64), ExhaustReason> {
         for k in 1..=comp.len() {
             let pending: Vec<PredSet> = {
                 let memo = self.memo_dense.as_ref().expect("dense engine active");
@@ -492,10 +524,10 @@ impl<'a> SelectivityEstimator<'a> {
             };
             let workers = self.rank_workers(pending.len());
             if workers >= 2 {
-                self.fill_rank_parallel(&pending, workers);
+                self.fill_rank_parallel(&pending, workers)?;
             } else {
                 for &m in &pending {
-                    let result = self.solve_mask(m);
+                    let result = self.solve_mask(m)?;
                     self.memo_dense
                         .as_mut()
                         .expect("dense engine active")
@@ -503,8 +535,9 @@ impl<'a> SelectivityEstimator<'a> {
                 }
             }
         }
-        self.memo_get(comp)
-            .expect("comp is its own final popcount rank")
+        Ok(self
+            .memo_get(comp)
+            .expect("comp is its own final popcount rank"))
     }
 
     /// Worker count for one rank: the configured thread knob, scaled down
@@ -522,18 +555,22 @@ impl<'a> SelectivityEstimator<'a> {
 
     /// Solves one not-yet-memoized mask of the dense lattice, all proper
     /// subsets already filled (the serial per-mask step).
-    fn solve_mask(&mut self, m: PredSet) -> (f64, f64) {
+    fn solve_mask(&mut self, m: PredSet) -> Result<(f64, f64), ExhaustReason> {
+        crate::failpoint::fire("dp::solve_mask");
+        if let Some(meter) = self.meter.as_deref() {
+            meter.charge(1)?;
+        }
         if self.first_comp(m) != m {
             // Separable submask: product over its components, all filled
             // in earlier ranks.
             let ct = self.comp_table.as_mut().expect("dense engine active");
             let ctx = &self.ctx;
             let memo_dense = &self.memo_dense;
-            separable_product(
+            Ok(separable_product(
                 |rest| ct.ensure(ctx, rest),
                 |c| memo_dense.as_ref().expect("dense engine active").get(c.0),
                 m,
-            )
+            ))
         } else {
             self.solve_nonseparable(m)
         }
@@ -555,7 +592,17 @@ impl<'a> SelectivityEstimator<'a> {
     /// * **pure link caches** — workers fork the link state; every cached
     ///   value is a pure function of its key, so fork/absorb cannot change
     ///   any result.
-    fn fill_rank_parallel(&mut self, pending: &[PredSet], workers: usize) {
+    ///
+    /// Under a budget meter, every worker polls the same sticky trip flag:
+    /// the first trip makes all workers finish (or abandon) their current
+    /// mask and stop claiming new ones, waits on the [`OnceMap`] are
+    /// interrupted, and the whole rank returns `Err` without committing
+    /// anything — the memo never holds values from an aborted rank.
+    fn fill_rank_parallel(
+        &mut self,
+        pending: &[PredSet],
+        workers: usize,
+    ) -> Result<(), ExhaustReason> {
         // Workers probe the component table read-only: pre-ensure every
         // standard-decomposition chain they may walk.
         for &m in pending {
@@ -569,12 +616,14 @@ impl<'a> SelectivityEstimator<'a> {
             pending.iter().map(|_| Mutex::new(None)).collect();
         let once = OnceMap::new();
         let next = AtomicUsize::new(0);
+        let meter_arc = self.meter.clone();
         {
             let lc = link_ctx!(self);
             let dense: &DenseMemo = self.memo_dense.as_ref().expect("dense engine active");
             let comps: &ComponentTable = self.comp_table.as_ref().expect("dense engine active");
             let prune: Option<&[u32]> = self.prune_table.as_deref();
             let base_peel: &FlatMemo = &self.peel_memo;
+            let meter: Option<&BudgetMeter> = meter_arc.as_deref();
             let (lc, once, next, slots) = (&lc, &once, &next, &slots);
             std::thread::scope(|s| {
                 for st in forks.iter_mut() {
@@ -589,7 +638,7 @@ impl<'a> SelectivityEstimator<'a> {
                             if idx >= pending.len() {
                                 break;
                             }
-                            let r = par_solve_mask(
+                            match par_solve_mask(
                                 lc,
                                 st,
                                 dense,
@@ -598,13 +647,25 @@ impl<'a> SelectivityEstimator<'a> {
                                 base_peel,
                                 once,
                                 &mut local,
+                                meter,
                                 pending[idx],
-                            );
-                            *slots[idx].lock().expect("result slot") = Some(r);
+                            ) {
+                                Ok(r) => {
+                                    *slots[idx].lock().expect("result slot") = Some(r);
+                                }
+                                // Trips are sticky on the shared meter; the
+                                // reason is re-read after the scope joins.
+                                Err(_) => break,
+                            }
                         }
                     });
                 }
             });
+        }
+        if let Some(reason) = meter_arc.as_deref().and_then(BudgetMeter::tripped) {
+            // Aborted rank: discard all partial slots and the rank's peel
+            // claims so the memo only ever holds complete, exact values.
+            return Err(reason);
         }
         // Rank barrier: commit results in lattice order, merge worker
         // state, move freshly computed peels into the per-query memo so
@@ -622,13 +683,14 @@ impl<'a> SelectivityEstimator<'a> {
             self.links.absorb(fork);
         }
         once.drain_into(&mut self.peel_memo);
+        Ok(())
     }
 
     /// Lines 9-17 for a non-separable mask on the dense engine: every
     /// atomic decomposition `Sel(P′|Q)·Sel(Q)`, with `Sel(Q)` read straight
     /// from the flat table. Same descending-submask order and strict-`<`
     /// tie-break as the recursion — bit-identical by construction.
-    fn solve_nonseparable(&mut self, m: PredSet) -> (f64, f64) {
+    fn solve_nonseparable(&mut self, m: PredSet) -> Result<(f64, f64), ExhaustReason> {
         let lc = link_ctx!(self);
         let memo_dense = &self.memo_dense;
         let memo_sparse = &self.memo_sparse;
@@ -639,22 +701,33 @@ impl<'a> SelectivityEstimator<'a> {
         let peel_memo = &mut self.peel_memo;
         let links = &mut self.links;
         let oracle = &mut self.oracle;
-        solve_nonseparable_with(m, self.prune_table.as_deref(), memo, |p_prime, q| {
-            factor_with(
-                [lc.ctx.joins_in(p_prime), lc.ctx.filters_in(p_prime)],
-                p_prime,
-                q,
-                |i, cset| {
-                    let key = peel_key(i, cset.0);
-                    if let Some(r) = peel_memo.get(key) {
-                        return r;
-                    }
-                    let result = crate::link::compute_peel(&lc, links, oracle, i, cset);
-                    peel_memo.insert(key, result);
-                    result
-                },
-            )
-        })
+        let meter = self.meter.as_deref();
+        solve_nonseparable_with(
+            m,
+            self.prune_table.as_deref(),
+            memo,
+            |p_prime, q| {
+                factor_with(
+                    [lc.ctx.joins_in(p_prime), lc.ctx.filters_in(p_prime)],
+                    p_prime,
+                    q,
+                    |i, cset| {
+                        let key = peel_key(i, cset.0);
+                        if let Some(r) = peel_memo.get(key) {
+                            return Ok(r);
+                        }
+                        let result = crate::link::compute_peel(&lc, links, oracle, i, cset);
+                        peel_memo.insert(key, result);
+                        if let Some(mt) = meter {
+                            // Sticky: the walk's next poll observes the trip.
+                            let _ = mt.charge(1);
+                        }
+                        Ok(result)
+                    },
+                )
+            },
+            abort_poll(meter),
+        )
     }
 
     /// Subset-OR rollup of the §3.4 masks: `prune_table[q] = ⋃ {attr mask
@@ -681,7 +754,11 @@ impl<'a> SelectivityEstimator<'a> {
 
     /// The original top-down recursion (large `n`), on open-addressed
     /// memos and allocation-free decomposition chains.
-    fn compute_recursive(&mut self, p: PredSet) -> (f64, f64) {
+    fn compute_recursive(&mut self, p: PredSet) -> Result<(f64, f64), ExhaustReason> {
+        crate::failpoint::fire("dp::solve_mask");
+        if let Some(meter) = self.meter.as_deref() {
+            meter.charge(1)?;
+        }
         let first = self.ctx.first_component(p);
         let result = if first != p {
             // Lines 4-7: separable — solve each non-separable factor of the
@@ -692,7 +769,7 @@ impl<'a> SelectivityEstimator<'a> {
             while !rest.is_empty() {
                 let c = self.ctx.first_component(rest);
                 rest = rest.minus(c);
-                let (s, e) = self.get_selectivity(c);
+                let (s, e) = self.try_get_selectivity(c)?;
                 sel *= s;
                 err += e;
             }
@@ -700,9 +777,16 @@ impl<'a> SelectivityEstimator<'a> {
         } else {
             // Lines 9-17: non-separable — try every atomic decomposition
             // Sel(P′|Q)·Sel(Q).
+            let meter_arc = self.meter.clone();
+            let mut poll = abort_poll(meter_arc.as_deref());
             let mut best_err = f64::INFINITY;
             let mut best_sel = DEFAULT_RANGE_SEL.powi(p.len() as i32);
+            let mut iters = 0u32;
             for p_prime in p.subsets() {
+                iters = iters.wrapping_add(1);
+                if iters.is_multiple_of(POLL_STRIDE) {
+                    poll()?;
+                }
                 let q = p.minus(p_prime);
                 if let Some(masks) = &self.sit_driven {
                     // §3.4: skip decompositions no SIT could improve. The
@@ -715,7 +799,7 @@ impl<'a> SelectivityEstimator<'a> {
                         continue;
                     }
                 }
-                let (sel_q, err_q) = self.get_selectivity(q);
+                let (sel_q, err_q) = self.try_get_selectivity(q)?;
                 let (sel_f, err_f) = self.factor(p_prime, q);
                 let total = err_f + err_q;
                 if total < best_err {
@@ -726,7 +810,7 @@ impl<'a> SelectivityEstimator<'a> {
             (best_sel, best_err)
         };
         self.memo_sparse.insert(p.0 as u64, result);
-        result
+        Ok(result)
     }
 
     /// Approximates the single conditional factor `Sel(P′|Q)` with the best
@@ -742,12 +826,16 @@ impl<'a> SelectivityEstimator<'a> {
     /// by expanding it into the implicit single-predicate chain (joins
     /// first, then filters, ascending index — see [`factor_with`]).
     fn factor(&mut self, p_prime: PredSet, q: PredSet) -> (f64, f64) {
-        factor_with(
+        let r: Result<(f64, f64), std::convert::Infallible> = factor_with(
             [self.ctx.joins_in(p_prime), self.ctx.filters_in(p_prime)],
             p_prime,
             q,
-            |i, cset| self.peel(i, cset),
-        )
+            |i, cset| Ok(self.peel(i, cset)),
+        );
+        match r {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
     }
 
     /// The atomic decomposition chain `getSelectivity` chose for `p` — a
@@ -844,6 +932,11 @@ impl<'a> SelectivityEstimator<'a> {
         let lc = link_ctx!(self);
         let result = crate::link::compute_peel(&lc, &mut self.links, &mut self.oracle, i, cset);
         self.peel_memo.insert(key, result);
+        if let Some(meter) = self.meter.as_deref() {
+            // Sticky: enclosing subset walks observe the trip at their
+            // next poll; the computed value itself is exact.
+            let _ = meter.charge(1);
+        }
         result
     }
 
@@ -862,20 +955,54 @@ impl<'a> SelectivityEstimator<'a> {
     }
 }
 
+/// Subset-walk iterations between budget polls inside
+/// [`solve_nonseparable_with`]. Together with [`abort_poll`]'s internal
+/// 1-in-16 clock stride, a deadline is observed about once per thousand
+/// submask iterations — low overhead, bounded overshoot.
+const POLL_STRIDE: u32 = 64;
+
+/// Amortized abort check for subset walks: a relaxed sticky-trip load on
+/// most calls, a real deadline/cancellation poll every 16th. With no meter
+/// attached it compiles down to `Ok(())`.
+fn abort_poll(meter: Option<&BudgetMeter>) -> impl FnMut() -> Result<(), ExhaustReason> + '_ {
+    let mut calls = 0u32;
+    move || {
+        let Some(m) = meter else { return Ok(()) };
+        calls = calls.wrapping_add(1);
+        if calls.is_multiple_of(16) {
+            m.force_poll()
+        } else {
+            m.check()
+        }
+    }
+}
+
 /// Maximizes over every submask decomposition `m = P′ ∪ Q` (paper Fig. 3):
 /// best_err/best_sel over `factor(P′, Q) · memo(Q)`, with the same
 /// descending-submask walk, pruning test, and strict-`<` tie-break as the
 /// historical inline loop — shared verbatim by the serial and parallel
 /// fills so they cannot drift.
+///
+/// Fallibility: `factor` errors (an interrupted parallel peel wait) and
+/// `poll` errors (the amortized budget check, every [`POLL_STRIDE`]
+/// iterations) abort the walk; the partially accumulated argmin is
+/// discarded by construction because the `Err` propagates past every
+/// commit point.
 fn solve_nonseparable_with(
     m: PredSet,
     prune: Option<&[u32]>,
     memo: impl Fn(PredSet) -> Option<(f64, f64)>,
-    mut factor: impl FnMut(PredSet, PredSet) -> (f64, f64),
-) -> (f64, f64) {
+    mut factor: impl FnMut(PredSet, PredSet) -> Result<(f64, f64), ExhaustReason>,
+    mut poll: impl FnMut() -> Result<(), ExhaustReason>,
+) -> Result<(f64, f64), ExhaustReason> {
     let mut best_err = f64::INFINITY;
     let mut best_sel = DEFAULT_RANGE_SEL.powi(m.len() as i32);
+    let mut iters = 0u32;
     for p_prime in m.subsets() {
+        iters = iters.wrapping_add(1);
+        if iters.is_multiple_of(POLL_STRIDE) {
+            poll()?;
+        }
         let q = m.minus(p_prime);
         if let Some(table) = prune {
             let keep = p_prime == m || table[q.0 as usize] & p_prime.0 != 0;
@@ -888,27 +1015,29 @@ fn solve_nonseparable_with(
         } else {
             memo(q).expect("proper subsets fill in earlier ranks")
         };
-        let (sel_f, err_f) = factor(p_prime, q);
+        let (sel_f, err_f) = factor(p_prime, q)?;
         let total = err_f + err_q;
         if total < best_err {
             best_err = total;
             best_sel = (sel_f * sel_q).clamp(0.0, 1.0);
         }
     }
-    (best_sel, best_err)
+    Ok((best_sel, best_err))
 }
 
 /// Expands `Sel(P′|Q)` into the implicit single-predicate chain: peels
 /// joins first, then filters, each group in ascending index order —
 /// iterating the mask bits directly. `groups` is
 /// `[joins_in(P′), filters_in(P′)]`, passed pre-split so callers borrow the
-/// query context outside the `peel` closure.
-fn factor_with(
+/// query context outside the `peel` closure. Generic over the peel error
+/// so the serial paths instantiate it with `Infallible` while the parallel
+/// fill threads claim interruptions through.
+fn factor_with<E>(
     groups: [PredSet; 2],
     p_prime: PredSet,
     q: PredSet,
-    mut peel: impl FnMut(usize, PredSet) -> (f64, f64),
-) -> (f64, f64) {
+    mut peel: impl FnMut(usize, PredSet) -> Result<(f64, f64), E>,
+) -> Result<(f64, f64), E> {
     let mut remaining = p_prime;
     let mut sel = 1.0;
     let mut err = 0.0;
@@ -919,12 +1048,12 @@ fn factor_with(
             bits &= bits - 1;
             remaining = remaining.minus(PredSet::singleton(i));
             let cset = q.union(remaining);
-            let (s, e) = peel(i, cset);
+            let (s, e) = peel(i, cset)?;
             sel *= s;
             err += e;
         }
     }
-    (sel.clamp(0.0, 1.0), err)
+    Ok((sel.clamp(0.0, 1.0), err))
 }
 
 /// Multiplies the memoized results of a separable mask's connected
@@ -963,25 +1092,36 @@ fn par_solve_mask(
     base_peel: &FlatMemo,
     once: &OnceMap,
     local: &mut FlatMemo,
+    meter: Option<&BudgetMeter>,
     m: PredSet,
-) -> (f64, f64) {
+) -> Result<(f64, f64), ExhaustReason> {
+    crate::failpoint::fire("dp::solve_mask");
+    if let Some(mt) = meter {
+        mt.charge(1)?;
+    }
     let memo = |q: PredSet| dense.get(q.0);
     let fc = comps.get(m).expect("chain pre-ensured before the rank");
     if fc != m {
-        separable_product(
+        Ok(separable_product(
             |rest| comps.get(rest).expect("chain pre-ensured before the rank"),
             memo,
             m,
-        )
+        ))
     } else {
-        solve_nonseparable_with(m, prune, memo, |p_prime, q| {
-            factor_with(
-                [lc.ctx.joins_in(p_prime), lc.ctx.filters_in(p_prime)],
-                p_prime,
-                q,
-                |i, cset| par_peel(lc, st, base_peel, once, local, i, cset),
-            )
-        })
+        solve_nonseparable_with(
+            m,
+            prune,
+            memo,
+            |p_prime, q| {
+                factor_with(
+                    [lc.ctx.joins_in(p_prime), lc.ctx.filters_in(p_prime)],
+                    p_prime,
+                    q,
+                    |i, cset| par_peel(lc, st, base_peel, once, local, meter, i, cset),
+                )
+            },
+            abort_poll(meter),
+        )
     }
 }
 
@@ -989,32 +1129,53 @@ fn par_solve_mask(
 /// replica (both lock-free), then the rank's [`OnceMap`] — the claiming
 /// worker computes, everyone else reuses, so the set of computed peel keys
 /// matches the serial fill exactly.
+///
+/// A wait on another worker's in-flight computation is interrupted as soon
+/// as the shared meter trips; a poisoned slot (the claimant panicked)
+/// re-panics here so the scope join propagates one coherent panic instead
+/// of waiters hanging or silently recomputing.
+#[allow(clippy::too_many_arguments)]
 fn par_peel(
     lc: &LinkCtx,
     st: &mut LinkState,
     base_peel: &FlatMemo,
     once: &OnceMap,
     local: &mut FlatMemo,
+    meter: Option<&BudgetMeter>,
     i: usize,
     cset: PredSet,
-) -> (f64, f64) {
+) -> Result<(f64, f64), ExhaustReason> {
     let key = peel_key(i, cset.0);
     if let Some(r) = base_peel.get(key) {
-        return r;
+        return Ok(r);
     }
     if let Some(r) = local.get(key) {
-        return r;
+        return Ok(r);
     }
-    let result = match once.claim(key) {
-        Claim::Ready(v) => v,
-        Claim::Owned => {
+    let tripped = || meter.is_some_and(|m| m.tripped().is_some());
+    let result = match once.claim(key, tripped) {
+        Ok(Claim::Ready(v)) => v,
+        Ok(Claim::Owned(guard)) => {
+            // A panic in compute_peel (or an armed publish failpoint)
+            // drops `guard` unpublished, poisoning the slot for waiters.
             let result = crate::link::compute_peel(lc, st, &mut None, i, cset);
-            once.publish(key, result);
+            if let Some(mt) = meter {
+                let _ = mt.charge(1);
+            }
+            guard.publish(result);
             result
+        }
+        Err(ClaimError::Interrupted) => {
+            return Err(meter
+                .and_then(BudgetMeter::tripped)
+                .unwrap_or(ExhaustReason::Cancelled));
+        }
+        Err(ClaimError::Poisoned) => {
+            panic!("peel computation panicked in a sibling worker (key {key:#x})")
         }
     };
     local.insert(key, result);
-    result
+    Ok(result)
 }
 
 /// The distinct attributes mentioned by a query's predicates, in first-use

@@ -197,7 +197,9 @@ fn compatible(a: &Sit, b: &Sit) -> bool {
 
 /// Histogram estimate for a filter predicate (shared with the estimator's
 /// logic but kept separate so GVM has no dependency on its internals).
-fn filter_sel(h: &sqe_histogram::Histogram, pred: &Predicate) -> f64 {
+/// `pub(crate)` so the independence-only degradation floor in
+/// [`crate::baseline`] applies the identical per-filter estimate.
+pub(crate) fn filter_sel(h: &sqe_histogram::Histogram, pred: &Predicate) -> f64 {
     use sqe_engine::CmpOp;
     let sel = match *pred {
         Predicate::Range { lo, hi, .. } => h.range_selectivity(lo, hi),

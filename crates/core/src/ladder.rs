@@ -1,0 +1,291 @@
+//! The graceful-degradation ladder: budgeted estimation that always
+//! answers.
+//!
+//! A [`Budget`] bounds how much an estimation request may spend; this
+//! module turns "the budget ran out" from an error into a *coarser
+//! answer*. The [`Ladder`] walks four rungs, best to worst:
+//!
+//! 1. **Full** — the complete `getSelectivity` DP, identical bit-for-bit
+//!    to an unbudgeted run;
+//! 2. **Pruned** — the DP restricted by §3.4 SIT-driven pruning (the
+//!    paper's own answer to "too many atomic decompositions");
+//! 3. **Greedy** — the [`crate::gvm`] greedy view-matching chain: one
+//!    pass, no subset enumeration;
+//! 4. **Independence** — [`crate::baseline::independence_selectivity`]:
+//!    an O(n) product of base-histogram estimates. This floor always
+//!    completes, so every request gets *some* answer with an honest
+//!    [`Quality`] label and the [`DegradeReason`] that pushed it down.
+//!
+//! ## Budget slicing
+//!
+//! One caller budget funds the whole ladder, so each DP rung gets a
+//! *slice*, not the whole thing — otherwise the full rung would eat the
+//! entire allowance and leave the pruned rung nothing. With quota `Q` and
+//! deadline `D` (measured from entry):
+//!
+//! | rung  | work cap            | absolute deadline |
+//! |-------|---------------------|-------------------|
+//! | full  | `⌊Q/2⌋`             | `start + D/2`     |
+//! | pruned| `⌊⌈Q/2⌉/2⌋` (fresh) | `start + 3D/4`    |
+//! | greedy| none (fast)         | `start + D` (checked before) |
+//! | independence | none         | none              |
+//!
+//! Each cap is a floor of a monotone nondecreasing function of `Q`, so a
+//! *larger* budget can never fail a rung a smaller budget passed: the
+//! quality label is monotone in the quota (property-tested in
+//! `tests/budget_ladder.rs`). The greedy rung carries no quota — it does
+//! one chain pass — and is skipped only if the caller cancelled or the
+//! full deadline already passed.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sqe_engine::{Database, SpjQuery};
+
+use crate::baseline::independence_selectivity;
+use crate::budget::{Budget, BudgetMeter, DegradeReason, Quality};
+use crate::cache::SharedEstimatorCache;
+use crate::error::ErrorMode;
+use crate::estimator::{DpStrategy, EstimatorStats, SelectivityEstimator};
+use crate::gvm::GreedyViewMatching;
+use crate::sit::SitCatalog;
+use crate::sit2::Sit2Catalog;
+
+/// A budgeted estimation result: always a usable selectivity, honestly
+/// labeled with how it was obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetedEstimate {
+    /// The selectivity estimate for the full predicate set.
+    pub selectivity: f64,
+    /// The DP's error score for the chosen decomposition — present on the
+    /// [`Quality::Full`] and [`Quality::Pruned`] rungs, `None` below (the
+    /// greedy and independence paths carry no error model).
+    pub error: Option<f64>,
+    /// Which rung produced the answer.
+    pub quality: Quality,
+    /// Why the answer is below [`Quality::Full`]; `None` iff `quality`
+    /// is `Full`.
+    pub degraded_reason: Option<DegradeReason>,
+    /// Work units spent across the DP rungs (0 for an unlimited run —
+    /// the fast path skips accounting entirely).
+    pub work: u64,
+    /// Instrumentation from the rung that produced the answer (zeroed for
+    /// the independence floor, which runs no estimator).
+    pub stats: EstimatorStats,
+}
+
+/// Reusable ladder configuration for one `(database, catalog)` pair: the
+/// estimator knobs every rung shares. Build once, call
+/// [`Ladder::estimate`] per query.
+pub struct Ladder<'a> {
+    db: &'a Database,
+    catalog: &'a SitCatalog,
+    mode: ErrorMode,
+    strategy: DpStrategy,
+    dp_threads: usize,
+    pruning: bool,
+    sit2: Option<&'a Sit2Catalog>,
+    shared: Option<&'a dyn SharedEstimatorCache>,
+}
+
+impl<'a> Ladder<'a> {
+    pub fn new(db: &'a Database, catalog: &'a SitCatalog, mode: ErrorMode) -> Self {
+        Ladder {
+            db,
+            catalog,
+            mode,
+            strategy: DpStrategy::Auto,
+            dp_threads: 1,
+            pruning: false,
+            sit2: None,
+            shared: None,
+        }
+    }
+
+    /// DP engine selection for the DP rungs (see [`DpStrategy`]).
+    pub fn with_strategy(mut self, strategy: DpStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Worker threads for the dense rank-parallel fill.
+    pub fn with_dp_threads(mut self, threads: usize) -> Self {
+        self.dp_threads = threads.max(1);
+        self
+    }
+
+    /// Enables §3.4 pruning on the *full* rung too (the pruned rung always
+    /// prunes). With this set the first two rungs share a configuration
+    /// and differ only in their budget slice.
+    pub fn with_sit_driven_pruning(mut self) -> Self {
+        self.pruning = true;
+        self
+    }
+
+    /// Two-attribute SIT catalog, forwarded to the DP rungs.
+    pub fn with_sit2_catalog(mut self, catalog: &'a Sit2Catalog) -> Self {
+        self.sit2 = Some(catalog);
+        self
+    }
+
+    /// Cross-query shared cache, forwarded to the DP rungs. Peel factors
+    /// written back by a degraded run are still exact (pruning and budget
+    /// trips never alter an individual factor, only which ones get
+    /// computed), so the cache-validity contract of [`crate::cache`]
+    /// holds on every rung.
+    pub fn with_shared_cache(mut self, cache: &'a dyn SharedEstimatorCache) -> Self {
+        self.shared = Some(cache);
+        self
+    }
+
+    fn build_estimator(&self, query: &SpjQuery, pruned: bool) -> SelectivityEstimator<'a> {
+        let mut est = SelectivityEstimator::new(self.db, query, self.catalog, self.mode)
+            .with_strategy(self.strategy)
+            .with_dp_threads(self.dp_threads);
+        if let Some(s2) = self.sit2 {
+            est = est.with_sit2_catalog(s2);
+        }
+        if let Some(c) = self.shared {
+            est = est.with_shared_cache(c);
+        }
+        if pruned || self.pruning {
+            est = est.with_sit_driven_pruning();
+        }
+        est
+    }
+
+    /// Runs the ladder for `query` under `budget`. Never errors: the
+    /// independence floor guarantees an answer. An unlimited budget takes
+    /// a meter-free fast path bit-identical to calling the estimator
+    /// directly.
+    pub fn estimate(&self, query: &SpjQuery, budget: &Budget) -> BudgetedEstimate {
+        if budget.is_unlimited() {
+            let mut est = self.build_estimator(query, false);
+            let all = est.context().all();
+            let (selectivity, error) = est.get_selectivity(all);
+            return BudgetedEstimate {
+                selectivity,
+                error: Some(error),
+                quality: Quality::Full,
+                degraded_reason: None,
+                work: 0,
+                stats: est.stats(),
+            };
+        }
+
+        let start = Instant::now();
+
+        // A budget already exhausted at entry — a pre-cancelled token or a
+        // zero deadline — goes straight to the floor. Without this gate a
+        // query small enough to finish between amortized polls could still
+        // return `Full`, making cancellation nondeterministic.
+        let entry = BudgetMeter::from_parts(
+            budget.deadline.map(|d| start + d),
+            None,
+            budget.cancel.clone(),
+        );
+        if let Err(e) = entry.force_poll() {
+            return BudgetedEstimate {
+                selectivity: independence_selectivity(self.db, self.catalog, query),
+                error: None,
+                quality: Quality::Independence,
+                degraded_reason: Some(e.into()),
+                work: 0,
+                stats: EstimatorStats::default(),
+            };
+        }
+
+        let mut work = 0u64;
+        // Why the answer is degraded: the full rung's trip reason (every
+        // later rung only runs because the full rung failed).
+        let reason: DegradeReason;
+
+        // Rung 1: full DP on half the allowance.
+        let full_meter = Arc::new(BudgetMeter::from_parts(
+            budget.deadline.map(|d| start + d / 2),
+            budget.quota.map(|q| q / 2),
+            budget.cancel.clone(),
+        ));
+        {
+            let mut est = self
+                .build_estimator(query, false)
+                .with_budget_meter(full_meter.clone());
+            let all = est.context().all();
+            let r = est.try_get_selectivity(all);
+            work += full_meter.spent();
+            match r {
+                Ok((selectivity, error)) => {
+                    return BudgetedEstimate {
+                        selectivity,
+                        error: Some(error),
+                        quality: Quality::Full,
+                        degraded_reason: None,
+                        work,
+                        stats: est.stats(),
+                    };
+                }
+                Err(e) => reason = e.into(),
+            }
+        }
+
+        // Rung 2: pruned DP on a fresh half-of-the-remainder slice. Caps
+        // are floors of monotone functions of Q — never cumulative
+        // windows, which would break quota monotonicity.
+        let remainder = budget.quota.map(|q| q - q / 2);
+        let pruned_meter = Arc::new(BudgetMeter::from_parts(
+            budget.deadline.map(|d| start + d.mul_f64(0.75)),
+            remainder.map(|r| r / 2),
+            budget.cancel.clone(),
+        ));
+        {
+            let mut est = self
+                .build_estimator(query, true)
+                .with_budget_meter(pruned_meter.clone());
+            let all = est.context().all();
+            let r = est.try_get_selectivity(all);
+            work += pruned_meter.spent();
+            if let Ok((selectivity, error)) = r {
+                return BudgetedEstimate {
+                    selectivity,
+                    error: Some(error),
+                    quality: Quality::Pruned,
+                    degraded_reason: Some(reason),
+                    work,
+                    stats: est.stats(),
+                };
+            }
+        }
+
+        // Rung 3: greedy view matching — one chain pass, no quota. Only
+        // skipped if the caller cancelled or the full deadline already
+        // passed (the pass itself is microseconds-to-milliseconds).
+        let gate = BudgetMeter::from_parts(
+            budget.deadline.map(|d| start + d),
+            None,
+            budget.cancel.clone(),
+        );
+        if gate.force_poll().is_ok() {
+            let mut gvm = GreedyViewMatching::new(self.db, query, self.catalog);
+            let all = gvm.context().all();
+            let selectivity = gvm.selectivity(all);
+            return BudgetedEstimate {
+                selectivity,
+                error: None,
+                quality: Quality::Greedy,
+                degraded_reason: Some(reason),
+                work,
+                stats: gvm.stats(),
+            };
+        }
+
+        // Rung 4: the independence floor. O(n); always answers.
+        BudgetedEstimate {
+            selectivity: independence_selectivity(self.db, self.catalog, query),
+            error: None,
+            quality: Quality::Independence,
+            degraded_reason: Some(reason),
+            work,
+            stats: EstimatorStats::default(),
+        }
+    }
+}

@@ -36,14 +36,17 @@
 //!   mirroring a conventional optimizer).
 
 pub mod baseline;
+pub mod budget;
 pub mod cache;
 pub mod decomposition;
 pub mod error;
 pub mod estimator;
+pub mod failpoint;
 pub mod feedback;
 pub mod flat;
 pub mod groupby;
 pub mod gvm;
+pub mod ladder;
 mod link;
 pub mod matcher;
 mod par;
@@ -54,6 +57,7 @@ pub mod sit;
 pub mod sit2;
 
 pub use baseline::NoSitEstimator;
+pub use budget::{Budget, BudgetMeter, CancelToken, DegradeReason, ExhaustReason, Quality};
 pub use cache::{CacheKey, SharedEstimatorCache};
 pub use decomposition::{count_decompositions, decomposition_bounds, ComponentTable};
 pub use error::ErrorMode;
@@ -62,6 +66,7 @@ pub use feedback::{FeedbackStore, Observation};
 pub use flat::{DenseMemo, FlatMemo};
 pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
+pub use ladder::{BudgetedEstimate, Ladder};
 pub use persist::{clean_stale_temps, load_catalog, save_catalog, stale_temp_files};
 pub use pool::{build_pool, build_pool_threaded, build_pool_with, PoolSpec};
 pub use predset::{PredSet, QueryContext};

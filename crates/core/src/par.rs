@@ -8,12 +8,24 @@
 //! `vm_calls`, both pure functions of that set) is identical to the serial
 //! fill's, not merely the values.
 //!
+//! Two failure paths are first-class:
+//!
+//! * **Claimant panic** — a claim is returned as a [`ClaimGuard`]; if the
+//!   owner unwinds before publishing, the guard's destructor poisons the
+//!   slot and wakes every waiter, which observe [`ClaimError::Poisoned`]
+//!   instead of blocking on the condvar forever.
+//! * **Cooperative interruption** — [`OnceMap::claim`] waits in short
+//!   timed slices and consults the caller's `interrupted` predicate
+//!   between them, so a budget-exhausted worker stops waiting within a
+//!   millisecond instead of riding out another worker's computation.
+//!
 //! One `OnceMap` lives for one rank; at the rank barrier the estimator
 //! drains it into the per-query peel memo so later ranks (and later serial
 //! work) read the values as plain memo hits.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use crate::flat::FlatMemo;
 
@@ -22,21 +34,80 @@ use crate::flat::FlatMemo;
 /// modest shard count suffices.
 const SHARDS: usize = 64;
 
-/// Outcome of [`OnceMap::claim`].
-pub(crate) enum Claim {
+/// How long one condvar wait slice lasts before the waiter re-checks its
+/// interruption predicate.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+/// State of one claimed key.
+enum Slot {
+    /// Claimed, computation in flight.
+    Pending,
+    /// Published.
+    Ready((f64, f64)),
+    /// The claimant unwound without publishing.
+    Poisoned,
+}
+
+/// Why a [`OnceMap::claim`] did not produce a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClaimError {
+    /// The owning worker panicked before publishing.
+    Poisoned,
+    /// The caller's interruption predicate fired while waiting.
+    Interrupted,
+}
+
+/// Outcome of a successful [`OnceMap::claim`].
+pub(crate) enum Claim<'a> {
     /// The caller owns the key: compute the value, then
-    /// [`OnceMap::publish`] it. Failing to publish deadlocks waiters — the
-    /// compute path must be infallible (and is: peel evaluation returns
-    /// plain floats).
-    Owned,
+    /// [`ClaimGuard::publish`] it. If the computation unwinds instead, the
+    /// guard poisons the slot so waiters error out rather than hang.
+    Owned(ClaimGuard<'a>),
     /// Another worker already published the value.
     Ready((f64, f64)),
 }
 
+/// Ownership token for a claimed key. Dropping it without calling
+/// [`ClaimGuard::publish`] marks the key poisoned and wakes all waiters —
+/// the drop runs during unwinding, which is exactly the claimant-panic
+/// path.
+pub(crate) struct ClaimGuard<'a> {
+    map: &'a OnceMap,
+    key: u64,
+    armed: bool,
+}
+
+impl ClaimGuard<'_> {
+    /// Publishes the value and wakes every waiter. Disarms the poison
+    /// guard only once the publish has fully completed, so a panic *inside*
+    /// publishing (e.g. an armed failpoint) still poisons the slot.
+    pub fn publish(mut self, value: (f64, f64)) {
+        self.map.publish(self.key, value);
+        self.armed = false;
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.map.poison(self.key);
+        }
+    }
+}
+
 struct Shard {
-    /// `None` = claimed but not yet published; `Some(v)` = published.
-    entries: Mutex<HashMap<u64, Option<(f64, f64)>>>,
+    entries: Mutex<HashMap<u64, Slot>>,
     published: Condvar,
+}
+
+impl Shard {
+    /// Shard locks never guard multi-step invariants (every mutation is a
+    /// single insert), so a poisoned lock — a worker that panicked during a
+    /// `HashMap` operation — is safe to recover rather than propagate;
+    /// slot poisoning, not lock poisoning, is the failure channel.
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Slot>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A sharded claim-then-publish map keyed by peel keys.
@@ -64,49 +135,74 @@ impl OnceMap {
     }
 
     /// Claims `key` for computation, or waits for (and returns) the value
-    /// if another worker claimed it first.
-    pub fn claim(&self, key: u64) -> Claim {
+    /// if another worker claimed it first. Waiting is sliced: between
+    /// condvar waits the `interrupted` predicate is consulted, and a `true`
+    /// return surfaces as [`ClaimError::Interrupted`]. A poisoned slot
+    /// (claimant panicked) surfaces as [`ClaimError::Poisoned`].
+    pub fn claim(&self, key: u64, interrupted: impl Fn() -> bool) -> Result<Claim<'_>, ClaimError> {
         let shard = self.shard(key);
-        let mut entries = shard.entries.lock().expect("once-map shard poisoned");
+        let mut entries = shard.lock();
         loop {
             match entries.get(&key) {
                 None => {
-                    entries.insert(key, None);
-                    return Claim::Owned;
+                    entries.insert(key, Slot::Pending);
+                    return Ok(Claim::Owned(ClaimGuard {
+                        map: self,
+                        key,
+                        armed: true,
+                    }));
                 }
-                Some(Some(v)) => return Claim::Ready(*v),
-                Some(None) => {
-                    entries = shard
+                Some(Slot::Ready(v)) => return Ok(Claim::Ready(*v)),
+                Some(Slot::Poisoned) => return Err(ClaimError::Poisoned),
+                Some(Slot::Pending) => {
+                    if interrupted() {
+                        return Err(ClaimError::Interrupted);
+                    }
+                    (entries, _) = shard
                         .published
-                        .wait(entries)
-                        .expect("once-map shard poisoned");
+                        .wait_timeout(entries, WAIT_SLICE)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
     }
 
-    /// Publishes the value for a key previously claimed as [`Claim::Owned`]
-    /// and wakes every waiter.
-    pub fn publish(&self, key: u64, value: (f64, f64)) {
+    /// Publishes the value for a claimed key and wakes every waiter.
+    /// Internal — callers publish through their [`ClaimGuard`], which
+    /// keeps the poison guard armed until this returns.
+    fn publish(&self, key: u64, value: (f64, f64)) {
+        crate::failpoint::fire("par::publish");
         let shard = self.shard(key);
-        shard
-            .entries
-            .lock()
-            .expect("once-map shard poisoned")
-            .insert(key, Some(value));
+        shard.lock().insert(key, Slot::Ready(value));
+        shard.published.notify_all();
+    }
+
+    /// Marks a claimed-but-unpublished key poisoned and wakes waiters.
+    /// Never overwrites a published value (publish/poison race safety).
+    fn poison(&self, key: u64) {
+        let shard = self.shard(key);
+        let mut entries = shard.lock();
+        if let Some(slot @ Slot::Pending) = entries.get_mut(&key) {
+            *slot = Slot::Poisoned;
+        }
         shard.published.notify_all();
     }
 
     /// Moves every published value into `memo` (the rank barrier). Consumes
-    /// the map; every claimed key must have been published by now.
+    /// the map; only called on the success path, where every claimed key
+    /// has been published.
     pub fn drain_into(self, memo: &mut FlatMemo) {
         for shard in self.shards {
-            let entries = shard.entries.into_inner().expect("once-map shard poisoned");
-            for (key, value) in entries {
-                memo.insert(
-                    key,
-                    value.expect("claimed key published before the rank barrier"),
-                );
+            let entries = shard
+                .entries
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (key, slot) in entries {
+                match slot {
+                    Slot::Ready(value) => memo.insert(key, value),
+                    Slot::Pending => panic!("claimed key never published before the rank barrier"),
+                    Slot::Poisoned => panic!("poisoned peel slot survived to the rank barrier"),
+                }
             }
         }
     }
@@ -117,15 +213,21 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    fn claim_nowait(map: &OnceMap, key: u64) -> Result<Claim<'_>, ClaimError> {
+        map.claim(key, || false)
+    }
+
     #[test]
     fn first_claim_owns_then_ready_after_publish() {
         let map = OnceMap::new();
-        assert!(matches!(map.claim(42), Claim::Owned));
-        map.publish(42, (0.5, 1.0));
-        match map.claim(42) {
-            Claim::Ready(v) => assert_eq!(v, (0.5, 1.0)),
-            Claim::Owned => panic!("published key must be ready"),
+        match claim_nowait(&map, 42).unwrap() {
+            Claim::Owned(guard) => guard.publish((0.5, 1.0)),
+            Claim::Ready(_) => panic!("fresh key must be owned"),
         }
+        match claim_nowait(&map, 42).unwrap() {
+            Claim::Ready(v) => assert_eq!(v, (0.5, 1.0)),
+            Claim::Owned(_) => panic!("published key must be ready"),
+        };
     }
 
     /// 8 workers race claim/publish over a key space crafted to interleave
@@ -158,13 +260,13 @@ mod tests {
                             KEYS - 1 - step
                         };
                         let key = k * 37;
-                        match map.claim(key) {
-                            Claim::Owned => {
+                        match claim_nowait(map, key).unwrap() {
+                            Claim::Owned(guard) => {
                                 computed.fetch_add(1, Ordering::Relaxed);
                                 // Hold the claim long enough that at least
                                 // some other worker reaches the wait path.
                                 std::thread::sleep(std::time::Duration::from_micros(50));
-                                map.publish(key, (key as f64 + 0.5, -(key as f64)));
+                                guard.publish((key as f64 + 0.5, -(key as f64)));
                             }
                             Claim::Ready(v) => {
                                 observed.fetch_add(1, Ordering::Relaxed);
@@ -208,10 +310,10 @@ mod tests {
             for _ in 0..8 {
                 s.spawn(|| {
                     for key in 0u64..200 {
-                        match map.claim(key) {
-                            Claim::Owned => {
+                        match claim_nowait(&map, key).unwrap() {
+                            Claim::Owned(guard) => {
                                 computed.fetch_add(1, Ordering::Relaxed);
-                                map.publish(key, (key as f64, 0.0));
+                                guard.publish((key as f64, 0.0));
                             }
                             Claim::Ready(v) => assert_eq!(v.0, key as f64),
                         }
@@ -230,5 +332,107 @@ mod tests {
         for key in 0u64..200 {
             assert_eq!(memo.get(key), Some((key as f64, 0.0)));
         }
+    }
+
+    /// The satellite regression: a claimant that panics mid-computation
+    /// must not leave its 8 waiters on the condvar forever. The guard's
+    /// unwind path poisons the slot; every waiter observes
+    /// [`ClaimError::Poisoned`] and returns, and the scope joins.
+    #[test]
+    fn panicking_claimant_poisons_slot_and_releases_all_waiters() {
+        const KEY: u64 = 7;
+        let map = OnceMap::new();
+        let barrier = std::sync::Barrier::new(9);
+        let poisoned_seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // The claimant: owns the key, then dies before publishing.
+            {
+                let (map, barrier) = (&map, &barrier);
+                s.spawn(move || {
+                    let claim = claim_nowait(map, KEY).unwrap();
+                    assert!(matches!(claim, Claim::Owned(_)));
+                    barrier.wait(); // let the waiters pile up first
+                    std::thread::sleep(Duration::from_millis(10));
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _guard = match claim {
+                            Claim::Owned(g) => g,
+                            Claim::Ready(_) => unreachable!(),
+                        };
+                        panic!("claimant dies before publishing");
+                        // _guard drops during unwind -> slot poisoned
+                    }));
+                    assert!(result.is_err());
+                });
+            }
+            // 8 waiters, all blocked on the pending slot.
+            for _ in 0..8 {
+                let (map, barrier, poisoned_seen) = (&map, &barrier, &poisoned_seen);
+                s.spawn(move || {
+                    barrier.wait();
+                    match map.claim(KEY, || false) {
+                        Err(ClaimError::Poisoned) => {
+                            poisoned_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClaimError::Interrupted) => panic!("no interruption requested"),
+                        Ok(Claim::Ready(_)) => panic!("nothing was ever published"),
+                        Ok(Claim::Owned(_)) => panic!("key is already claimed"),
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            poisoned_seen.load(Ordering::Relaxed),
+            8,
+            "every waiter must observe the poisoned slot"
+        );
+        // Late claims see the poison too (no silent re-claim of a key whose
+        // computation never completed).
+        assert!(matches!(claim_nowait(&map, KEY), Err(ClaimError::Poisoned)));
+    }
+
+    /// Cooperative interruption: a waiter whose budget trips while the
+    /// owner computes must stop waiting promptly, while the owner's
+    /// publish still completes.
+    #[test]
+    fn interrupted_waiter_returns_instead_of_blocking() {
+        let map = OnceMap::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let guard = match claim_nowait(&map, 3).unwrap() {
+            Claim::Owned(g) => g,
+            Claim::Ready(_) => unreachable!(),
+        };
+        std::thread::scope(|s| {
+            let (map, stop) = (&map, &stop);
+            s.spawn(move || {
+                assert!(
+                    matches!(
+                        map.claim(3, || stop.load(Ordering::Relaxed)),
+                        Err(ClaimError::Interrupted)
+                    ),
+                    "waiter must be interrupted"
+                );
+            });
+            std::thread::sleep(Duration::from_millis(5));
+            stop.store(true, Ordering::Relaxed);
+        });
+        // The owner is unaffected by the waiter's abandonment.
+        guard.publish((1.0, 2.0));
+        match claim_nowait(&map, 3).unwrap() {
+            Claim::Ready(v) => assert_eq!(v, (1.0, 2.0)),
+            Claim::Owned(_) => panic!("value was published"),
+        };
+    }
+
+    /// A publish/poison race (guard drop after another code path published
+    /// through a different route) must never clobber a published value.
+    #[test]
+    fn poison_never_overwrites_published_value() {
+        let map = OnceMap::new();
+        map.publish(11, (0.25, 0.5));
+        map.poison(11);
+        match claim_nowait(&map, 11).unwrap() {
+            Claim::Ready(v) => assert_eq!(v, (0.25, 0.5)),
+            Claim::Owned(_) => panic!("value was published"),
+        };
     }
 }

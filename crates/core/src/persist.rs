@@ -23,6 +23,11 @@ use crate::sit::SitCatalog;
 /// half-written file.
 pub fn save_catalog(catalog: &SitCatalog, path: impl AsRef<Path>) -> io::Result<()> {
     let tmp = write_temp(catalog, path.as_ref())?;
+    // Crash-window failpoint: an injected error here aborts the save
+    // between the temp-file write and the rename — the widest window a
+    // real crash can hit — deliberately leaving the temporary behind, just
+    // like a crash would (the cleanup below only guards rename failures).
+    crate::failpoint::fire_err("persist::save")?;
     fs::rename(&tmp, path.as_ref()).inspect_err(|_| {
         let _ = fs::remove_file(&tmp);
     })
@@ -30,9 +35,9 @@ pub fn save_catalog(catalog: &SitCatalog, path: impl AsRef<Path>) -> io::Result<
 
 /// Serializes `catalog` into a fresh uniquely-named temporary file next to
 /// `path` and returns the temporary's location — the first half of
-/// [`save_catalog`], split out so the crash-safety tests can stop exactly
-/// between the write and the rename (the widest window a real crash can
-/// hit).
+/// [`save_catalog`], ahead of the `persist::save` failpoint the
+/// crash-safety tests arm to stop a save exactly between the write and the
+/// rename.
 fn write_temp(catalog: &SitCatalog, path: &Path) -> io::Result<std::path::PathBuf> {
     static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
     let json = serde_json::to_string_pretty(catalog)
@@ -133,6 +138,7 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_everything() {
+        let _g = crate::failpoint::test_serial_guard();
         let (_, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -154,6 +160,7 @@ mod tests {
 
     #[test]
     fn loaded_catalog_estimates_identically() {
+        let _g = crate::failpoint::test_serial_guard();
         let (db, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test2");
         std::fs::create_dir_all(&dir).unwrap();
@@ -174,6 +181,7 @@ mod tests {
 
     #[test]
     fn save_leaves_no_temporaries_and_overwrites_atomically() {
+        let _g = crate::failpoint::test_serial_guard();
         let (_, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test_atomic");
         std::fs::create_dir_all(&dir).unwrap();
@@ -197,6 +205,7 @@ mod tests {
 
     #[test]
     fn save_into_current_directory_relative_path_works() {
+        let _g = crate::failpoint::test_serial_guard();
         let (_, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test_rel");
         std::fs::create_dir_all(&dir).unwrap();
@@ -209,6 +218,8 @@ mod tests {
 
     #[test]
     fn crash_between_write_and_rename_leaves_original_intact() {
+        let _g = crate::failpoint::test_serial_guard();
+        crate::failpoint::disarm_all();
         let (db, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test_crash");
         let _ = std::fs::remove_dir_all(&dir);
@@ -216,8 +227,9 @@ mod tests {
         let path = dir.join("catalog.json");
 
         // A complete catalog is on disk; a later save crashes between the
-        // temp-file write and the rename (simulated by running exactly the
-        // first half of `save_catalog` and never renaming).
+        // temp-file write and the rename (simulated by arming the shared
+        // `persist::save` failpoint, which errors the save out exactly in
+        // that window).
         save_catalog(&cat, &path).unwrap();
         let before = std::fs::read_to_string(&path).unwrap();
         let mut bigger = SitCatalog::new();
@@ -225,7 +237,15 @@ mod tests {
             bigger.add(s.clone());
         }
         bigger.add(Sit::build_base(&db, ColRef::new(TableId(1), 0)).unwrap());
-        let tmp = write_temp(&bigger, &path).unwrap();
+        crate::failpoint::arm("persist::save", crate::failpoint::Action::Error);
+        let err = save_catalog(&bigger, &path).unwrap_err();
+        crate::failpoint::disarm_all();
+        assert!(err.to_string().contains("persist::save"), "{err}");
+        let stale_after_crash = stale_temp_files(&path).unwrap();
+        let [tmp] = stale_after_crash.as_slice() else {
+            panic!("crash leaves exactly one temporary behind: {stale_after_crash:?}");
+        };
+        let tmp = tmp.clone();
         assert!(tmp.exists(), "crash leaves the temporary behind");
 
         // The original catalog is byte-for-byte untouched and still loads.
@@ -246,17 +266,21 @@ mod tests {
 
     #[test]
     fn crash_before_any_catalog_exists_is_recoverable() {
+        let _g = crate::failpoint::test_serial_guard();
+        crate::failpoint::disarm_all();
         // First-ever save crashes: no catalog at `path`, one orphan temp.
         let (_, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test_crash_first");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("catalog.json");
-        let tmp = write_temp(&cat, &path).unwrap();
+        crate::failpoint::arm("persist::save", crate::failpoint::Action::Error);
+        assert!(save_catalog(&cat, &path).is_err());
+        crate::failpoint::disarm_all();
         assert!(!path.exists(), "no partial catalog ever appears at `path`");
-        assert_eq!(stale_temp_files(&path).unwrap(), vec![tmp]);
+        assert_eq!(stale_temp_files(&path).unwrap().len(), 1);
         assert_eq!(clean_stale_temps(&path).unwrap(), 1);
-        // A retried save then succeeds normally.
+        // A retried save (failpoint disarmed) then succeeds normally.
         save_catalog(&cat, &path).unwrap();
         assert!(load_catalog(&path).is_ok());
         assert!(stale_temp_files(&path).unwrap().is_empty());
@@ -265,6 +289,7 @@ mod tests {
 
     #[test]
     fn stale_detection_ignores_unrelated_files() {
+        let _g = crate::failpoint::test_serial_guard();
         let (_, cat) = sample_catalog();
         let dir = std::env::temp_dir().join("sqe_persist_test_stale_scope");
         let _ = std::fs::remove_dir_all(&dir);

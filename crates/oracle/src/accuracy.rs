@@ -15,7 +15,10 @@
 //!
 //! [`CardinalityOracle`]: sqe_engine::CardinalityOracle
 
-use sqe_core::{build_pool, DpStrategy, ErrorMode, PoolSpec, SelectivityEstimator, SitCatalog};
+use sqe_core::{
+    build_pool, Budget, DpStrategy, ErrorMode, Ladder, PoolSpec, Quality, SelectivityEstimator,
+    SitCatalog,
+};
 use sqe_engine::CardinalityOracle;
 
 use crate::exec::ExactExecutor;
@@ -39,6 +42,10 @@ pub struct VariantResult {
     pub median_rel_error: f64,
     /// 95th-percentile relative error, nearest rank.
     pub p95_rel_error: f64,
+    /// Estimates that came back below `Full` quality from the budgeted
+    /// path. Accuracy is only meaningful for unbudgeted answers, so the
+    /// gate rejects any report where this is nonzero.
+    pub non_full_samples: u64,
 }
 
 /// All variant results for one generated scenario.
@@ -165,6 +172,7 @@ fn measure_variant(
 ) -> VariantResult {
     let mut q_errors = Vec::with_capacity(truths.len());
     let mut rel_errors = Vec::with_capacity(truths.len());
+    let mut non_full_samples = 0u64;
     for (q, &truth) in sc.queries.iter().zip(truths) {
         let dense = estimate(sc, pool, spec, q, DpStrategy::Dense);
         let recursive = estimate(sc, pool, spec, q, DpStrategy::Recursive);
@@ -175,6 +183,22 @@ fn measure_variant(
             sc.name,
             spec.name
         );
+        // Third leg of the differential: the budgeted ladder with an
+        // unlimited budget must answer at Full quality, bit-identical to
+        // the direct estimator. Anything else is either a ladder bug or a
+        // sign the measurement ran under a budget — the gate rejects it.
+        let budgeted = budgeted_estimate(sc, pool, spec, q);
+        if budgeted.quality == Quality::Full {
+            assert_eq!(
+                budgeted.selectivity.to_bits(),
+                dense.to_bits(),
+                "{}/{}: budgeted Full answer diverged from the direct estimator",
+                sc.name,
+                spec.name
+            );
+        } else {
+            non_full_samples += 1;
+        }
         // q-error is undefined at 0; clamp the estimate to a subnormal
         // floor so a (wrong) zero estimate shows up as a huge-but-finite
         // q-error instead of poisoning the aggregate with inf.
@@ -192,7 +216,23 @@ fn measure_variant(
         max_q_error: round6(*q_errors.last().expect("non-empty workload")),
         median_rel_error: round6(percentile(&rel_errors, 50.0)),
         p95_rel_error: round6(percentile(&rel_errors, 95.0)),
+        non_full_samples,
     }
+}
+
+fn budgeted_estimate(
+    sc: &OracleScenario,
+    pool: &SitCatalog,
+    spec: &VariantSpec,
+    q: &sqe_engine::SpjQuery,
+) -> sqe_core::BudgetedEstimate {
+    let mut ladder = Ladder::new(&sc.db, pool, spec.mode)
+        .with_strategy(DpStrategy::Dense)
+        .with_dp_threads(1);
+    if spec.pruned {
+        ladder = ladder.with_sit_driven_pruning();
+    }
+    ladder.estimate(q, &Budget::unlimited())
 }
 
 fn estimate(

@@ -82,6 +82,13 @@ pub fn compare_reports(
                     base_sc.scenario, base_v.variant, base_v.queries, cur_v.queries
                 ));
             }
+            if cur_v.non_full_samples > 0 {
+                violations.push(format!(
+                    "scenario '{}' variant '{}': {} of {} samples were measured below \
+                     Full quality — accuracy baselines must be unbudgeted",
+                    base_sc.scenario, base_v.variant, cur_v.non_full_samples, cur_v.queries
+                ));
+            }
             for (metric, base_m, cur_m) in [
                 (
                     "median q-error",
@@ -118,6 +125,7 @@ mod tests {
             max_q_error: p95 * 2.0,
             median_rel_error: median - 1.0,
             p95_rel_error: p95 - 1.0,
+            non_full_samples: 0,
         }
     }
 
@@ -154,6 +162,16 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v[0].contains("median q-error"), "{}", v[0]);
         assert!(v[1].contains("p95 q-error"), "{}", v[1]);
+    }
+
+    #[test]
+    fn non_full_samples_are_rejected() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        cur.scenarios[0].variants[0].non_full_samples = 2;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("2 of 6 samples"), "{}", v[0]);
     }
 
     #[test]

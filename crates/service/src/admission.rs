@@ -1,0 +1,133 @@
+//! Admission control: a bounded pool of in-flight permits with load-shed.
+//!
+//! The budgeted endpoints acquire a [`Permit`] before doing any work; when
+//! every permit is taken the request is shed immediately with
+//! [`crate::ServiceError::Overloaded`] and a retry-after hint, instead of
+//! queueing behind work that is already missing its deadlines. Permits are
+//! RAII — a panicking request releases its permit during unwinding, so
+//! panic isolation never leaks capacity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded in-flight counter handing out RAII [`Permit`]s.
+#[derive(Debug)]
+pub(crate) struct AdmissionControl {
+    in_flight: AtomicUsize,
+    max: usize,
+}
+
+impl AdmissionControl {
+    /// Admission with at most `max` requests in flight; `0` disables the
+    /// bound entirely (every acquire succeeds).
+    pub fn new(max: usize) -> Self {
+        AdmissionControl {
+            in_flight: AtomicUsize::new(0),
+            max,
+        }
+    }
+
+    /// Currently admitted requests.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to admit one request. `None` means the service is at
+    /// capacity and the caller should shed.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        if self.max == 0 {
+            // Unbounded: still count in-flight for observability.
+            self.in_flight.fetch_add(1, Ordering::Relaxed);
+            return Some(Permit { pool: self });
+        }
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit { pool: self }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// One admitted request. Dropping it — normally or during a panic's
+/// unwind — releases the slot.
+#[derive(Debug)]
+pub(crate) struct Permit<'a> {
+    pool: &'a AdmissionControl,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.pool.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_bound_in_flight_and_release_on_drop() {
+        let pool = AdmissionControl::new(2);
+        let a = pool.try_acquire().expect("first");
+        let b = pool.try_acquire().expect("second");
+        assert!(pool.try_acquire().is_none(), "at capacity");
+        assert_eq!(pool.in_flight(), 2);
+        drop(a);
+        let c = pool.try_acquire().expect("slot freed");
+        assert!(pool.try_acquire().is_none());
+        drop(b);
+        drop(c);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_max_is_unbounded() {
+        let pool = AdmissionControl::new(0);
+        let permits: Vec<_> = (0..64).map(|_| pool.try_acquire().unwrap()).collect();
+        assert_eq!(pool.in_flight(), 64);
+        drop(permits);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn permit_released_during_unwind() {
+        let pool = AdmissionControl::new(1);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _p = pool.try_acquire().unwrap();
+            panic!("request dies");
+        }));
+        assert!(res.is_err());
+        assert_eq!(pool.in_flight(), 0, "unwind released the permit");
+        assert!(pool.try_acquire().is_some());
+    }
+
+    #[test]
+    fn contended_acquires_never_exceed_max() {
+        let pool = AdmissionControl::new(4);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (pool, peak) = (&pool, &peak);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        if let Some(_p) = pool.try_acquire() {
+                            peak.fetch_max(pool.in_flight(), Ordering::Relaxed);
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::Relaxed) <= 4);
+        assert_eq!(pool.in_flight(), 0);
+    }
+}

@@ -10,7 +10,7 @@
 
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use sqe_core::{CacheKey, SharedEstimatorCache, SitId};
@@ -46,6 +46,12 @@ pub struct ShardedCache {
     /// Fixed hasher so one key always maps to one shard.
     hasher: RandomState,
     mask: usize,
+    /// Set when a request panicked mid-estimate against this snapshot:
+    /// the cache can no longer prove which writes the dying estimator
+    /// completed, so every lookup misses and every insert is dropped
+    /// until the snapshot is replaced. `parking_lot` mutexes do not
+    /// poison, so this flag is the snapshot's poison channel.
+    quarantined: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -73,6 +79,7 @@ impl ShardedCache {
             shards,
             hasher: RandomState::new(),
             mask: count - 1,
+            quarantined: AtomicBool::new(false),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -111,6 +118,18 @@ impl ShardedCache {
         }
     }
 
+    /// Poisons the whole cache after a panic escaped an estimator using
+    /// it. Irreversible for this snapshot; the service installs a fresh
+    /// snapshot (same catalogs, cold cache) to recover.
+    pub fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Release);
+    }
+
+    /// Whether [`ShardedCache::quarantine`] has fired.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
     fn shard_for<K: Hash>(&self, key: &K) -> &Mutex<Shard> {
         let h = self.hasher.hash_one(key) as usize;
         &self.shards[h & self.mask]
@@ -133,6 +152,9 @@ impl ShardedCache {
 
     /// Cached whole-query result, if any.
     pub(crate) fn get_query(&self, key: &CacheKey) -> Option<QueryResult> {
+        if self.is_quarantined() {
+            return None;
+        }
         let found = self.shard_for(key).lock().queries.get(key).copied();
         self.record(&found);
         found
@@ -140,6 +162,10 @@ impl ShardedCache {
 
     /// Stores a whole-query result.
     pub(crate) fn put_query(&self, key: CacheKey, value: QueryResult) {
+        sqe_core::failpoint::fire("service::cache_insert");
+        if self.is_quarantined() {
+            return;
+        }
         let evicted = self.shard_for(&key).lock().queries.insert(key, value);
         self.record_insert(evicted);
     }
@@ -147,34 +173,52 @@ impl ShardedCache {
 
 impl SharedEstimatorCache for ShardedCache {
     fn get_link(&self, key: &CacheKey) -> Option<(f64, f64)> {
+        if self.is_quarantined() {
+            return None;
+        }
         let found = self.shard_for(key).lock().links.get(key).copied();
         self.record(&found);
         found
     }
 
     fn put_link(&self, key: CacheKey, value: (f64, f64)) {
+        if self.is_quarantined() {
+            return;
+        }
         let evicted = self.shard_for(&key).lock().links.insert(key, value);
         self.record_insert(evicted);
     }
 
     fn get_join(&self, pair: (SitId, SitId)) -> Option<f64> {
+        if self.is_quarantined() {
+            return None;
+        }
         let found = self.shard_for(&pair).lock().joins.get(&pair).copied();
         self.record(&found);
         found
     }
 
     fn put_join(&self, pair: (SitId, SitId), selectivity: f64) {
+        if self.is_quarantined() {
+            return;
+        }
         let evicted = self.shard_for(&pair).lock().joins.insert(pair, selectivity);
         self.record_insert(evicted);
     }
 
     fn get_h3(&self, pair: (SitId, SitId)) -> Option<(Histogram, f64)> {
+        if self.is_quarantined() {
+            return None;
+        }
         let found = self.shard_for(&pair).lock().h3.get(&pair).cloned();
         self.record(&found);
         found
     }
 
     fn put_h3(&self, pair: (SitId, SitId), value: (Histogram, f64)) {
+        if self.is_quarantined() {
+            return;
+        }
         let evicted = self.shard_for(&pair).lock().h3.insert(pair, value);
         self.record_insert(evicted);
     }

@@ -26,6 +26,7 @@
 //! `sqe_core::cache` for the contract, and `tests/service.rs` at the
 //! workspace root for the 8-thread equivalence test).
 
+mod admission;
 pub mod cache;
 pub mod lru;
 pub mod service;
@@ -33,9 +34,9 @@ pub mod stats;
 
 pub use cache::{CacheCounters, ShardedCache};
 pub use lru::LruMap;
-pub use service::{CatalogSnapshot, Estimate, EstimationService, ServiceConfig};
-pub use sqe_core::DpStrategy;
-pub use stats::{ServiceStatsSnapshot, LATENCY_BUCKETS};
+pub use service::{CatalogSnapshot, Estimate, EstimationService, ServiceConfig, ServiceError};
+pub use sqe_core::{Budget, CancelToken, DegradeReason, DpStrategy, Quality};
+pub use stats::{ServiceStatsSnapshot, LATENCY_BUCKETS, QUALITY_TIERS};
 
 /// The whole point of the crate: everything shared is thread-safe.
 #[allow(dead_code)]

@@ -2,17 +2,19 @@
 //! `estimate` / `estimate_batch` front end.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use sqe_core::{
-    build_pool_threaded, CacheKey, DpStrategy, ErrorMode, PoolSpec, SelectivityEstimator,
-    Sit2Catalog, SitCatalog, SitOptions,
+    build_pool_threaded, Budget, CacheKey, DegradeReason, DpStrategy, ErrorMode, Ladder, PoolSpec,
+    Quality, SelectivityEstimator, Sit2Catalog, SitCatalog, SitOptions,
 };
 use sqe_engine::{Database, Result as EngineResult, SpjQuery};
 
+use crate::admission::AdmissionControl;
 use crate::cache::ShardedCache;
 use crate::stats::{ServiceStats, ServiceStatsSnapshot};
 
@@ -47,6 +49,12 @@ pub struct ServiceConfig {
     /// fill, which is usually right when `batch_threads` already saturates
     /// the host — the two layers multiply.
     pub dp_threads: Option<NonZeroUsize>,
+    /// Admission bound for the *budgeted* endpoints
+    /// ([`EstimationService::estimate_with_budget`] and its batch
+    /// sibling): at most this many requests in flight, the rest shed with
+    /// [`ServiceError::Overloaded`]. `0` disables the bound. The
+    /// unbudgeted endpoints are unaffected.
+    pub max_in_flight: usize,
 }
 
 impl Default for ServiceConfig {
@@ -60,9 +68,40 @@ impl Default for ServiceConfig {
             dp_strategy: DpStrategy::Auto,
             batch_threads: None,
             dp_threads: None,
+            max_in_flight: 64,
         }
     }
 }
+
+/// Why a budgeted request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control is at capacity. Retry after the hinted delay
+    /// (the service's current mean estimate latency, clamped to
+    /// [1 ms, 1 s]).
+    Overloaded {
+        /// In-flight requests at the moment of the shed.
+        in_flight: usize,
+        /// Suggested back-off before retrying.
+        retry_after: Duration,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded {
+                in_flight,
+                retry_after,
+            } => write!(
+                f,
+                "overloaded: {in_flight} requests in flight, retry after {retry_after:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// An immutable view of the statistics state at one point in time.
 ///
@@ -134,6 +173,13 @@ pub struct Estimate {
     /// of thread count (pinned by the `sqe-oracle` batch-determinism
     /// suite). Don't assert on `cached` in tests that vary parallelism.
     pub cached: bool,
+    /// How the answer was obtained. The unbudgeted endpoints and every
+    /// in-budget request report [`Quality::Full`]; a budgeted request
+    /// that ran out reports the degradation-ladder rung that answered.
+    pub quality: Quality,
+    /// Why the answer is below [`Quality::Full`] (`None` iff `quality`
+    /// is `Full`).
+    pub degraded_reason: Option<DegradeReason>,
 }
 
 /// A concurrent selectivity-estimation service over one database.
@@ -150,11 +196,15 @@ pub struct EstimationService {
     config: ServiceConfig,
     current: RwLock<Arc<CatalogSnapshot>>,
     stats: ServiceStats,
+    admission: AdmissionControl,
 }
 
 impl EstimationService {
     /// A service answering with `catalog` over `db`.
     pub fn new(db: Arc<Database>, catalog: SitCatalog, config: ServiceConfig) -> Self {
+        // Chaos/fault-injection runs configure sites via SQE_FAILPOINTS;
+        // a no-op (one Once check) otherwise.
+        sqe_core::failpoint::init_from_env();
         let snapshot = Arc::new(CatalogSnapshot {
             db: Arc::clone(&db),
             sits: catalog,
@@ -167,6 +217,7 @@ impl EstimationService {
             config,
             current: RwLock::new(snapshot),
             stats: ServiceStats::default(),
+            admission: AdmissionControl::new(config.max_in_flight),
         }
     }
 
@@ -186,6 +237,7 @@ impl EstimationService {
     /// epoch. In-flight readers keep their old snapshot; new estimates see
     /// the new one.
     pub fn install(&self, catalog: SitCatalog, sit2: Option<Sit2Catalog>) {
+        sqe_core::failpoint::fire("service::install");
         let epoch = self.current.read().epoch + 1;
         let snapshot = Arc::new(CatalogSnapshot {
             db: Arc::clone(&self.db),
@@ -318,18 +370,235 @@ impl EstimationService {
                 (result, false)
             }
         };
-        let cardinality = match query.cross_product_size(&snapshot.db) {
-            Ok(cross) => result.0 * cross as f64,
-            Err(_) => f64::INFINITY,
-        };
         self.stats.record_estimate(start.elapsed(), cached);
         Estimate {
             selectivity: result.0,
             error: result.1,
-            cardinality,
+            cardinality: cardinality_of(snapshot, query, result.0),
             epoch: snapshot.epoch,
             cached,
+            quality: Quality::Full,
+            degraded_reason: None,
         }
+    }
+
+    /// Estimates one query under a [`Budget`], degrading instead of
+    /// blocking: if the budget runs out mid-DP the answer comes from a
+    /// coarser rung of the [`Ladder`] with an honest [`Estimate::quality`]
+    /// label. Unlike [`EstimationService::estimate`], this endpoint is
+    /// admission-controlled (at most [`ServiceConfig::max_in_flight`]
+    /// concurrent budgeted requests; the rest are shed with
+    /// [`ServiceError::Overloaded`] and a retry-after hint) and
+    /// panic-isolated: a panicking estimator is caught, its snapshot's
+    /// cache quarantined, a fresh snapshot installed, and the request
+    /// still answered from the independence floor with
+    /// [`DegradeReason::Panic`].
+    ///
+    /// An unlimited budget produces answers bit-identical to
+    /// [`EstimationService::estimate`], always labeled [`Quality::Full`].
+    pub fn estimate_with_budget(
+        &self,
+        query: &SpjQuery,
+        budget: &Budget,
+    ) -> Result<Estimate, ServiceError> {
+        let Some(_permit) = self.admission.try_acquire() else {
+            return Err(self.shed());
+        };
+        let snapshot = self.snapshot();
+        Ok(self.budgeted_guarded(&snapshot, query, budget))
+    }
+
+    /// Budgeted sibling of [`EstimationService::estimate_batch`]: one
+    /// consistent snapshot for the whole batch, the `budget` applied to
+    /// **each query individually** (a relative deadline restarts per
+    /// query; a shared wall-clock cutoff is expressed with a
+    /// [`sqe_core::CancelToken`] the caller trips). The batch takes a
+    /// single admission permit — shed decisions are per call, not per
+    /// query — and every worker is panic-isolated exactly like
+    /// [`EstimationService::estimate_with_budget`].
+    pub fn estimate_batch_with_budget(
+        &self,
+        queries: &[SpjQuery],
+        budget: &Budget,
+    ) -> Result<Vec<Estimate>, ServiceError> {
+        let Some(_permit) = self.admission.try_acquire() else {
+            return Err(self.shed());
+        };
+        self.stats.record_batch();
+        let snapshot = self.snapshot();
+        let workers = self.batch_workers(queries.len());
+        if workers < 2 {
+            return Ok(queries
+                .iter()
+                .map(|q| self.budgeted_guarded(&snapshot, q, budget))
+                .collect());
+        }
+        let slots: Vec<Mutex<Option<Estimate>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let (snapshot, next, slots) = (&snapshot, &next, &slots);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= queries.len() {
+                        break;
+                    }
+                    let e = self.budgeted_guarded(snapshot, &queries[idx], budget);
+                    *slots[idx].lock().expect("estimate slot poisoned") = Some(e);
+                });
+            }
+        });
+        Ok(slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("estimate slot poisoned")
+                    .expect("every batch index claimed by exactly one worker")
+            })
+            .collect())
+    }
+
+    /// Records a shed and builds the `Overloaded` error with its
+    /// retry-after hint (current mean latency, clamped to [1 ms, 1 s]).
+    fn shed(&self) -> ServiceError {
+        self.stats.record_shed();
+        ServiceError::Overloaded {
+            in_flight: self.admission.in_flight(),
+            retry_after: self
+                .stats
+                .mean_latency_hint()
+                .clamp(Duration::from_millis(1), Duration::from_secs(1)),
+        }
+    }
+
+    /// Runs one budgeted estimate with panic isolation: a panic anywhere
+    /// in the estimator is caught here, the snapshot recovered, and the
+    /// request answered from the independence floor.
+    fn budgeted_guarded(
+        &self,
+        snapshot: &CatalogSnapshot,
+        query: &SpjQuery,
+        budget: &Budget,
+    ) -> Estimate {
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.budgeted_on(snapshot, query, budget)
+        })) {
+            Ok(e) => e,
+            Err(_) => {
+                self.recover_after_panic(snapshot);
+                let selectivity = sqe_core::baseline::independence_selectivity(
+                    &snapshot.db,
+                    &snapshot.sits,
+                    query,
+                );
+                let latency = start.elapsed();
+                self.stats.record_estimate(latency, false);
+                self.stats.record_quality(
+                    Quality::Independence,
+                    Some(DegradeReason::Panic),
+                    latency,
+                );
+                Estimate {
+                    selectivity,
+                    error: f64::INFINITY,
+                    cardinality: cardinality_of(snapshot, query, selectivity),
+                    epoch: snapshot.epoch,
+                    cached: false,
+                    quality: Quality::Independence,
+                    degraded_reason: Some(DegradeReason::Panic),
+                }
+            }
+        }
+    }
+
+    fn budgeted_on(
+        &self,
+        snapshot: &CatalogSnapshot,
+        query: &SpjQuery,
+        budget: &Budget,
+    ) -> Estimate {
+        let start = Instant::now();
+        let key = CacheKey::query(self.config.mode, &query.predicates);
+        let (selectivity, error, quality, reason, cached) = match snapshot.cache.get_query(&key) {
+            // Only Full answers are ever inserted, so a hit *is* a Full
+            // answer regardless of this request's budget.
+            Some((s, e)) => (s, e, Quality::Full, None, true),
+            None => {
+                let mut ladder = Ladder::new(&snapshot.db, &snapshot.sits, self.config.mode)
+                    .with_strategy(self.config.dp_strategy)
+                    .with_dp_threads(self.config.dp_threads.map_or(1, NonZeroUsize::get))
+                    .with_shared_cache(&snapshot.cache);
+                if let Some(sit2) = &snapshot.sit2 {
+                    ladder = ladder.with_sit2_catalog(sit2);
+                }
+                if self.config.sit_driven_pruning {
+                    ladder = ladder.with_sit_driven_pruning();
+                }
+                let b = ladder.estimate(query, budget);
+                if b.quality == Quality::Full {
+                    let error = b.error.expect("full answers carry an error");
+                    snapshot.cache.put_query(key, (b.selectivity, error));
+                }
+                (
+                    b.selectivity,
+                    b.error.unwrap_or(f64::INFINITY),
+                    b.quality,
+                    b.degraded_reason,
+                    false,
+                )
+            }
+        };
+        let latency = start.elapsed();
+        self.stats.record_estimate(latency, cached);
+        self.stats.record_quality(quality, reason, latency);
+        Estimate {
+            selectivity,
+            error,
+            cardinality: cardinality_of(snapshot, query, selectivity),
+            epoch: snapshot.epoch,
+            cached,
+            quality,
+            degraded_reason: reason,
+        }
+    }
+
+    /// Recovery after a request panicked against `snapshot`: quarantine
+    /// its cache (the dying estimator may have left it half-written), and
+    /// — if that snapshot is still current — install a replacement with
+    /// the same catalogs and a cold cache. The epoch check under the
+    /// write lock makes concurrent recoveries idempotent: only the first
+    /// panic against a given epoch installs; later ones see a newer epoch
+    /// and return.
+    fn recover_after_panic(&self, snapshot: &CatalogSnapshot) {
+        snapshot.cache.quarantine();
+        self.stats.record_quarantine();
+        let mut current = self.current.write();
+        if current.epoch != snapshot.epoch {
+            return;
+        }
+        let replacement = Arc::new(CatalogSnapshot {
+            db: Arc::clone(&self.db),
+            sits: snapshot.sits.clone(),
+            sit2: snapshot.sit2.clone(),
+            cache: ShardedCache::new(
+                self.config.cache_shards,
+                self.config.cache_capacity_per_shard,
+            ),
+            epoch: current.epoch + 1,
+        });
+        *current = replacement;
+        drop(current);
+        self.stats.record_install();
+    }
+}
+
+/// `selectivity × |cartesian product|`; infinite if the product overflows.
+fn cardinality_of(snapshot: &CatalogSnapshot, query: &SpjQuery, selectivity: f64) -> f64 {
+    match query.cross_product_size(&snapshot.db) {
+        Ok(cross) => selectivity * cross as f64,
+        Err(_) => f64::INFINITY,
     }
 }
 
@@ -455,5 +724,151 @@ mod tests {
         let e = svc.estimate(&q);
         let cross = q.cross_product_size(&db).unwrap() as f64;
         assert_eq!(e.cardinality.to_bits(), (e.selectivity * cross).to_bits());
+    }
+
+    #[test]
+    fn unlimited_budget_is_full_quality_and_bit_identical() {
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(1);
+        let plain = svc.estimate(&q);
+        // Fresh service so the query cache is cold for the budgeted path.
+        let svc2 = service(&db);
+        let budgeted = svc2
+            .estimate_with_budget(&q, &Budget::unlimited())
+            .expect("admitted");
+        assert_eq!(budgeted.quality, Quality::Full);
+        assert_eq!(budgeted.degraded_reason, None);
+        assert!(!budgeted.cached);
+        assert_eq!(budgeted.selectivity.to_bits(), plain.selectivity.to_bits());
+        assert_eq!(budgeted.error.to_bits(), plain.error.to_bits());
+        assert_eq!(svc2.stats().quality_count(Quality::Full), 1);
+    }
+
+    #[test]
+    fn budgeted_full_answers_populate_and_hit_the_query_cache() {
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(2);
+        let cold = svc
+            .estimate_with_budget(&q, &Budget::unlimited())
+            .expect("admitted");
+        let warm = svc
+            .estimate_with_budget(&q, &Budget::unlimited())
+            .expect("admitted");
+        assert!(!cold.cached);
+        assert!(warm.cached);
+        assert_eq!(warm.quality, Quality::Full);
+        assert_eq!(cold.selectivity.to_bits(), warm.selectivity.to_bits());
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_with_an_honest_label() {
+        let db = small_db();
+        let svc = service(&db);
+        let cancel = sqe_core::CancelToken::new();
+        cancel.cancel();
+        let budget = Budget::unlimited().with_cancel(cancel);
+        let e = svc
+            .estimate_with_budget(&query(1), &budget)
+            .expect("admitted");
+        assert_eq!(e.quality, Quality::Independence);
+        assert_eq!(e.degraded_reason, Some(DegradeReason::Cancelled));
+        assert!(e.selectivity.is_finite());
+        assert!(e.error.is_infinite(), "no error model below the DP rungs");
+        let stats = svc.stats();
+        assert_eq!(stats.quality_count(Quality::Independence), 1);
+        assert_eq!(stats.degraded_by(DegradeReason::Cancelled), 1);
+    }
+
+    #[test]
+    fn admission_sheds_when_at_capacity() {
+        let db = small_db();
+        let workload = vec![query(1)];
+        let catalog = sqe_core::build_pool(&db, &workload, PoolSpec::ji(1)).unwrap();
+        let svc = EstimationService::new(
+            Arc::clone(&db),
+            catalog,
+            ServiceConfig {
+                max_in_flight: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Saturate the single slot directly (the permit type is private to
+        // the crate, so tests reach through the field).
+        let permit = svc.admission.try_acquire().expect("free");
+        let err = svc
+            .estimate_with_budget(&query(1), &Budget::unlimited())
+            .expect_err("must shed");
+        let ServiceError::Overloaded {
+            in_flight,
+            retry_after,
+        } = err;
+        assert_eq!(in_flight, 1);
+        assert!(retry_after >= Duration::from_millis(1));
+        assert!(retry_after <= Duration::from_secs(1));
+        assert_eq!(svc.stats().sheds, 1);
+        drop(permit);
+        assert!(svc
+            .estimate_with_budget(&query(1), &Budget::unlimited())
+            .is_ok());
+    }
+
+    #[test]
+    fn panicking_estimate_is_isolated_and_recovers() {
+        let _g = sqe_core::failpoint::test_serial_guard();
+        sqe_core::failpoint::disarm_all();
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(1);
+        let epoch0 = svc.snapshot().epoch();
+        sqe_core::failpoint::arm("dp::solve_mask", sqe_core::failpoint::Action::Panic);
+        let held = svc.snapshot();
+        let e = svc
+            .estimate_with_budget(&q, &Budget::unlimited())
+            .expect("panic is isolated, not propagated");
+        sqe_core::failpoint::disarm_all();
+
+        assert_eq!(e.quality, Quality::Independence);
+        assert_eq!(e.degraded_reason, Some(DegradeReason::Panic));
+        assert!(e.selectivity.is_finite());
+        assert!(held.cache().is_quarantined(), "panicked snapshot poisoned");
+
+        let now = svc.snapshot();
+        assert_eq!(now.epoch(), epoch0 + 1, "fresh snapshot installed");
+        assert!(!now.cache().is_quarantined());
+        let stats = svc.stats();
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(stats.degraded_by(DegradeReason::Panic), 1);
+
+        // Service keeps working at full quality afterwards.
+        let after = svc
+            .estimate_with_budget(&q, &Budget::unlimited())
+            .expect("admitted");
+        assert_eq!(after.quality, Quality::Full);
+        assert_eq!(after.epoch, epoch0 + 1);
+        assert_eq!(
+            svc.admission.in_flight(),
+            0,
+            "permit released on unwind path"
+        );
+    }
+
+    #[test]
+    fn budgeted_batch_answers_every_query_from_one_epoch() {
+        let db = small_db();
+        let svc = service(&db);
+        let queries: Vec<_> = (1..=4).map(query).collect();
+        let estimates = svc
+            .estimate_batch_with_budget(&queries, &Budget::unlimited())
+            .expect("admitted");
+        assert_eq!(estimates.len(), 4);
+        assert!(estimates.iter().all(|e| e.epoch == 0));
+        assert!(estimates.iter().all(|e| e.quality == Quality::Full));
+        // Matches the unbudgeted batch bit-for-bit.
+        let plain = svc.estimate_batch(&queries);
+        for (b, p) in estimates.iter().zip(&plain) {
+            assert_eq!(b.selectivity.to_bits(), p.selectivity.to_bits());
+        }
     }
 }

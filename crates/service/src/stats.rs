@@ -5,12 +5,35 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use sqe_core::{DegradeReason, Quality};
+
 use crate::cache::CacheCounters;
 
 /// Number of latency buckets. Bucket `i` counts estimates with latency in
 /// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1 µs`); the last bucket
 /// absorbs everything slower.
 pub const LATENCY_BUCKETS: usize = 16;
+
+/// Number of quality tiers ([`Quality::ALL`]).
+pub const QUALITY_TIERS: usize = Quality::ALL.len();
+
+/// Index of a tier in the per-quality arrays (worst-to-best order).
+fn quality_idx(q: Quality) -> usize {
+    Quality::ALL
+        .iter()
+        .position(|&t| t == q)
+        .expect("tier in ALL")
+}
+
+/// Index of a degrade reason in the outcome array.
+fn reason_idx(r: DegradeReason) -> usize {
+    match r {
+        DegradeReason::Deadline => 0,
+        DegradeReason::WorkQuota => 1,
+        DegradeReason::Cancelled => 2,
+        DegradeReason::Panic => 3,
+    }
+}
 
 /// Internal mutable counters (all relaxed: monitoring, not coordination).
 #[derive(Debug, Default)]
@@ -21,6 +44,18 @@ pub(crate) struct ServiceStats {
     installs: AtomicU64,
     total_latency_ns: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS],
+    /// Budgeted answers per quality tier (index = [`Quality::ALL`] order).
+    quality_counts: [AtomicU64; QUALITY_TIERS],
+    /// Summed latency per quality tier.
+    quality_latency_ns: [AtomicU64; QUALITY_TIERS],
+    /// Degraded answers per [`DegradeReason`]
+    /// (deadline / work-quota / cancelled / panic).
+    degrade_reasons: [AtomicU64; 4],
+    /// Requests refused by admission control.
+    sheds: AtomicU64,
+    /// Requests whose estimator panicked and was isolated; each also
+    /// quarantines its snapshot's cache.
+    quarantines: AtomicU64,
 }
 
 impl ServiceStats {
@@ -42,11 +77,50 @@ impl ServiceStats {
         self.installs.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_quality(
+        &self,
+        quality: Quality,
+        reason: Option<DegradeReason>,
+        latency: Duration,
+    ) {
+        let i = quality_idx(quality);
+        self.quality_counts[i].fetch_add(1, Ordering::Relaxed);
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.quality_latency_ns[i].fetch_add(ns, Ordering::Relaxed);
+        if let Some(r) = reason {
+            self.degrade_reasons[reason_idx(r)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean latency over everything served so far — the load-shed
+    /// retry-after hint. Zero when nothing was served yet.
+    pub(crate) fn mean_latency_hint(&self) -> Duration {
+        self.total_latency_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.estimates.load(Ordering::Relaxed))
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    pub(crate) fn record_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, cache: CacheCounters) -> ServiceStatsSnapshot {
         let mut buckets = [0u64; LATENCY_BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
         }
+        let load = |arr: &[AtomicU64]| -> [u64; 4] {
+            let mut out = [0u64; 4];
+            for (o, a) in out.iter_mut().zip(arr) {
+                *o = a.load(Ordering::Relaxed);
+            }
+            out
+        };
         ServiceStatsSnapshot {
             estimates: self.estimates.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -54,6 +128,11 @@ impl ServiceStats {
             installs: self.installs.load(Ordering::Relaxed),
             total_latency_ns: self.total_latency_ns.load(Ordering::Relaxed),
             latency_buckets: buckets,
+            quality_counts: load(&self.quality_counts),
+            quality_latency_ns: load(&self.quality_latency_ns),
+            degrade_reasons: load(&self.degrade_reasons),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
             cache,
         }
     }
@@ -83,6 +162,18 @@ pub struct ServiceStatsSnapshot {
     /// Power-of-two latency histogram; bucket `i` counts estimates in
     /// `[2^(i-1), 2^i)` µs, last bucket is unbounded above.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Budgeted answers per quality tier, indexed in [`Quality::ALL`]
+    /// order (worst-to-best: independence, greedy, pruned, full).
+    pub quality_counts: [u64; QUALITY_TIERS],
+    /// Summed latency per quality tier (same indexing).
+    pub quality_latency_ns: [u64; QUALITY_TIERS],
+    /// Degraded answers per reason: deadline, work-quota, cancelled,
+    /// panic.
+    pub degrade_reasons: [u64; 4],
+    /// Requests refused by admission control (load shed).
+    pub sheds: u64,
+    /// Panicking requests isolated; each quarantined a snapshot cache.
+    pub quarantines: u64,
     /// Counters of the *current* snapshot's sharded cache (reset on every
     /// install, since the cache is per snapshot).
     pub cache: CacheCounters,
@@ -95,6 +186,24 @@ impl ServiceStatsSnapshot {
             .checked_div(self.estimates)
             .map_or(Duration::ZERO, Duration::from_nanos)
     }
+
+    /// Budgeted answers for one quality tier.
+    pub fn quality_count(&self, q: Quality) -> u64 {
+        self.quality_counts[quality_idx(q)]
+    }
+
+    /// Mean latency of answers in one quality tier; zero when none.
+    pub fn quality_mean_latency(&self, q: Quality) -> Duration {
+        let i = quality_idx(q);
+        self.quality_latency_ns[i]
+            .checked_div(self.quality_counts[i])
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Degraded answers attributed to one reason.
+    pub fn degraded_by(&self, r: DegradeReason) -> u64 {
+        self.degrade_reasons[reason_idx(r)]
+    }
 }
 
 impl fmt::Display for ServiceStatsSnapshot {
@@ -105,6 +214,22 @@ impl fmt::Display for ServiceStatsSnapshot {
             self.estimates, self.query_cache_hits, self.batches, self.installs
         )?;
         writeln!(f, "mean latency: {:?}", self.mean_latency())?;
+        if self.quality_counts.iter().any(|&n| n > 0) || self.sheds > 0 || self.quarantines > 0 {
+            write!(f, "budgeted:")?;
+            for q in Quality::ALL.iter().rev() {
+                let n = self.quality_count(*q);
+                if n > 0 {
+                    write!(
+                        f,
+                        " {}={} ({:?})",
+                        q.label(),
+                        n,
+                        self.quality_mean_latency(*q)
+                    )?;
+                }
+            }
+            writeln!(f, " sheds={} quarantines={}", self.sheds, self.quarantines)?;
+        }
         writeln!(
             f,
             "shared cache: {} hits / {} misses ({:.1}% hit rate), {} insertions, {} evictions",

@@ -1,0 +1,257 @@
+//! Chaos suite: randomized failpoints, deadlines, and cancellations under
+//! an 8-thread budgeted batch load.
+//!
+//! Asserts the robustness contract of the resource-governance layer:
+//!
+//! * **no hang** — the whole run completes under a watchdog;
+//! * **no poisoned lock / leaked panic** — every request returns a value
+//!   or a clean `Overloaded` shed, never a propagated panic;
+//! * **honest labels** — `quality == Full` answers are bit-identical to a
+//!   fault-free unbudgeted run; degraded answers carry a reason;
+//! * **recovery** — after disarming every failpoint the service serves
+//!   `Full`-quality answers again.
+//!
+//! Failpoint state is process-global, so this file is its own test binary
+//! and runs the scenario in one `#[test]` (serialized with the shared
+//! guard for safety against future additions).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqe::core::failpoint::{self, Action};
+use sqe::engine::table::TableBuilder;
+use sqe::prelude::*;
+use sqe::service::Budget;
+
+/// Deterministic xorshift64* for budget/failpoint mixing.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+fn chaos_db() -> Arc<Database> {
+    let rows = 256usize;
+    let mut db = Database::new();
+    for t in 0..3 {
+        let a: Vec<i64> = (0..rows).map(|r| ((r * 7 + t * 3) % 23) as i64).collect();
+        let b: Vec<i64> = (0..rows).map(|r| ((r * 13 + t * 5) % 17) as i64).collect();
+        db.add_table(
+            TableBuilder::new(&format!("t{t}"))
+                .column("a", a)
+                .column("b", b)
+                .build()
+                .unwrap(),
+        );
+    }
+    Arc::new(db)
+}
+
+fn chaos_queries(db: &Database) -> Vec<SpjQuery> {
+    let mut queries = Vec::new();
+    for v in 0..4i64 {
+        for (l, r) in [(0u32, 1u32), (1, 2)] {
+            queries.push(
+                SpjQuery::from_predicates(vec![
+                    Predicate::join(ColRef::new(TableId(l), 0), ColRef::new(TableId(r), 0)),
+                    Predicate::filter(ColRef::new(TableId(l), 1), CmpOp::Eq, v),
+                    Predicate::range(ColRef::new(TableId(r), 1), 0, 8 + v),
+                ])
+                .unwrap(),
+            );
+        }
+    }
+    let _ = db;
+    queries
+}
+
+fn chaos_service(db: &Arc<Database>, catalog: SitCatalog) -> EstimationService {
+    EstimationService::new(
+        Arc::clone(db),
+        catalog,
+        ServiceConfig {
+            // Two layers of parallelism so the chaos load exercises the
+            // rank-parallel fill (and its OnceMap poisoning) too.
+            dp_threads: std::num::NonZeroUsize::new(2),
+            batch_threads: std::num::NonZeroUsize::new(2),
+            max_in_flight: 16,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// One randomized budget: unlimited / tight deadline / tiny quota /
+/// pre-cancelled, in rotation.
+fn random_budget(rng: &mut Rng) -> Budget {
+    match rng.next() % 4 {
+        0 => Budget::unlimited(),
+        1 => Budget::unlimited().with_deadline(Duration::from_micros(50 + rng.next() % 2000)),
+        2 => Budget::unlimited().with_quota(rng.next() % 200),
+        _ => {
+            let c = CancelToken::new();
+            if rng.next() % 2 == 0 {
+                c.cancel();
+            }
+            Budget::unlimited().with_cancel(c)
+        }
+    }
+}
+
+#[test]
+fn randomized_faults_never_hang_poison_or_mislabel() {
+    let _guard = failpoint::test_serial_guard();
+    failpoint::disarm_all();
+
+    let db = chaos_db();
+    let queries = chaos_queries(&db);
+    let catalog = sqe::core::build_pool(&db, &queries, PoolSpec::ji(1)).expect("pool");
+    let svc = Arc::new(chaos_service(&db, catalog.clone()));
+
+    // Fault-free reference: every query's Full answer, from a fresh
+    // service so the chaos run's caches can't influence it.
+    let reference: Vec<f64> = {
+        let clean = chaos_service(&db, catalog.clone());
+        queries
+            .iter()
+            .map(|q| clean.estimate(q).selectivity)
+            .collect()
+    };
+
+    // Quiet the panic reports the injected faults produce on purpose —
+    // the default hook would spam stderr for every isolated panic.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Arm the whole failpoint surface at low, deterministic rates.
+    failpoint::arm_with("dp::solve_mask", Action::Panic, 512, None, 11);
+    failpoint::arm_with("par::publish", Action::Panic, 256, None, 22);
+    failpoint::arm_with("service::cache_insert", Action::Sleep(1), 64, None, 33);
+    failpoint::arm_with("service::install", Action::Sleep(1), 4, None, 44);
+
+    let full_answers = AtomicU64::new(0);
+    let degraded_answers = AtomicU64::new(0);
+    let sheds = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+
+    // Watchdog: the chaos load runs in its own threads; the main thread
+    // fails the test if they don't all finish in time.
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        for worker in 0..8u64 {
+            let (svc, queries, reference, catalog) = (&svc, &queries, &reference, &catalog);
+            let (full_answers, degraded_answers, sheds, mismatches) =
+                (&full_answers, &degraded_answers, &sheds, &mismatches);
+            let done_tx = done_tx.clone();
+            s.spawn(move || {
+                let mut rng = Rng(0x9E3779B97F4A7C15 ^ (worker + 1));
+                for round in 0..120 {
+                    // Periodic concurrent installs keep the whole-query
+                    // cache cold — otherwise the chaos load degenerates to
+                    // cache hits and stops exercising the DP failpoints —
+                    // and race snapshot swaps against in-flight estimates.
+                    if worker == 0 && round % 8 == 7 {
+                        svc.install(catalog.clone(), None);
+                    }
+                    let idx = (rng.next() as usize) % queries.len();
+                    let budget = random_budget(&mut rng);
+                    let outcome = if round % 10 == 9 {
+                        // Periodic batch call to chaos the batch path too.
+                        svc.estimate_batch_with_budget(&queries[idx..=idx], &budget)
+                            .map(|v| v[0])
+                    } else {
+                        svc.estimate_with_budget(&queries[idx], &budget)
+                    };
+                    match outcome {
+                        Ok(e) => {
+                            assert!(
+                                e.selectivity.is_finite(),
+                                "non-finite selectivity under chaos"
+                            );
+                            if e.quality == Quality::Full {
+                                assert!(e.degraded_reason.is_none());
+                                full_answers.fetch_add(1, Ordering::Relaxed);
+                                if e.selectivity.to_bits() != reference[idx].to_bits() {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            } else {
+                                assert!(
+                                    e.degraded_reason.is_some(),
+                                    "degraded answer without a reason"
+                                );
+                                degraded_answers.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ServiceError::Overloaded { retry_after, .. }) => {
+                            assert!(retry_after >= Duration::from_millis(1));
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                done_tx.send(()).unwrap();
+            });
+        }
+        drop(done_tx);
+        for _ in 0..8 {
+            done_rx
+                .recv_timeout(Duration::from_secs(120))
+                .expect("chaos worker hung: watchdog fired");
+        }
+    });
+
+    failpoint::disarm_all();
+    std::panic::set_hook(prev_hook);
+
+    let (full, degraded, shed, bad) = (
+        full_answers.load(Ordering::Relaxed),
+        degraded_answers.load(Ordering::Relaxed),
+        sheds.load(Ordering::Relaxed),
+        mismatches.load(Ordering::Relaxed),
+    );
+    assert_eq!(
+        full + degraded + shed,
+        8 * 120,
+        "every request accounted for"
+    );
+    assert_eq!(
+        bad, 0,
+        "{bad} Full-quality answers diverged from the fault-free run"
+    );
+    assert!(
+        full > 0,
+        "chaos so aggressive nothing completed at Full quality"
+    );
+
+    // Recovery: with faults disarmed and no budget, the service is back
+    // to Full-quality, reference-identical answers on a fresh snapshot.
+    for (q, want) in queries.iter().zip(&reference) {
+        let e = svc
+            .estimate_with_budget(q, &Budget::unlimited())
+            .expect("no load left to shed");
+        assert_eq!(e.quality, Quality::Full);
+        assert_eq!(e.selectivity.to_bits(), want.to_bits());
+    }
+    let stats = svc.stats();
+    eprintln!(
+        "chaos mix: full={full} degraded={degraded} sheds={shed} \
+         quarantines={} degrade_reasons={:?}",
+        stats.quarantines, stats.degrade_reasons
+    );
+    assert!(
+        degraded > 0,
+        "pre-cancelled budgets guarantee some degraded answers"
+    );
+    assert_eq!(
+        stats.quality_counts.iter().sum::<u64>(),
+        stats.estimates,
+        "every request was budgeted, so per-quality counters cover them all"
+    );
+}
