@@ -1,0 +1,387 @@
+//! Live-catalog ingest soak: a seeded 10k-op mutation stream through a
+//! [`LiveCatalog`] publishing epoch-tagged partial snapshots into an
+//! [`EstimationService`].
+//!
+//! The soak asserts the delta-ingest subsystem's operational contract and
+//! exits non-zero on any violation (this is the CI `ingest-smoke` job):
+//!
+//! * every histogram stays within the configured staleness bound after
+//!   every batch;
+//! * the drifting fact measure triggers at least one drift rebuild;
+//! * only SITs over mutated tables are ever refreshed;
+//! * rebuild churn stays bounded — most maintenance is merges/deferrals,
+//!   not rebuilds;
+//! * partial installs invalidate exactly the cache entries whose keys
+//!   cover mutated tables: probe queries over untouched dimensions keep
+//!   hitting the whole-query cache across installs;
+//! * after draining the stream and forcing a refresh, estimates are
+//!   bit-identical to a cold catalog built from the final database state.
+//!
+//! ```text
+//! cargo run --release -p sqe-bench --bin ingest [-- --ops 10000 --batch 50]
+//! ```
+//!
+//! Results land in `results/ingest.json`.
+
+use std::sync::Arc;
+
+use sqe_bench::report::{render_table, write_json};
+use sqe_bench::Args;
+use sqe_core::{
+    build_pool, DeltaConfig, ErrorMode, LiveCatalog, PoolSpec, SelectivityEstimator, Sit,
+    SitCatalog,
+};
+use sqe_datagen::{
+    database_fingerprint, generate_mutations, generate_workload, MutationConfig, Snowflake,
+    SnowflakeConfig, WorkloadConfig,
+};
+use sqe_engine::{CmpOp, ColRef, Database, Predicate, SpjQuery, TableId};
+use sqe_service::{EstimationService, ServiceConfig};
+
+/// What the soak measured, serialized as `results/ingest.json`.
+#[derive(Debug, serde::Serialize)]
+struct IngestRunReport {
+    ops: usize,
+    batches: usize,
+    initial_db_fingerprint: u64,
+    stream_fingerprint: u64,
+    final_db_fingerprint: u64,
+    catalog_sits: usize,
+    merges: usize,
+    drift_rebuilds: usize,
+    staleness_rebuilds: usize,
+    deferrals: usize,
+    max_staleness_observed: f64,
+    staleness_bound: f64,
+    partial_installs: u64,
+    cache_carried: u64,
+    cache_dropped: u64,
+    untouched_probe_hits: usize,
+    untouched_probe_total: usize,
+    converged_bit_identical: bool,
+}
+
+/// True when `sit` reads any of `touched` (its attribute's table or any
+/// table of its conditioning expression).
+fn sit_reads(sit: &Sit, touched: &[TableId]) -> bool {
+    touched.contains(&sit.attr.table)
+        || sit
+            .cond
+            .iter()
+            .any(|p| p.tables().iter().any(|t| touched.contains(&t)))
+}
+
+/// A single-filter probe query over one dimension column, thresholded at
+/// the column's midpoint.
+fn probe(db: &Database, col: ColRef) -> SpjQuery {
+    let (lo, hi) = db
+        .column(col)
+        .expect("probe column exists")
+        .min_max()
+        .expect("probe column non-empty");
+    let mid = lo + (hi - lo) / 2;
+    SpjQuery::from_predicates(vec![Predicate::filter(col, CmpOp::Le, mid)])
+        .expect("single-filter probe is a valid query")
+}
+
+fn main() {
+    let args = Args::parse();
+    let ops: usize = args.get("ops", 10_000);
+    let batch_size: usize = args.get("batch", 50);
+
+    eprintln!("generating snowflake + workload ...");
+    let sf = Snowflake::generate(SnowflakeConfig {
+        scale: 0.0,
+        theta: 1.0,
+        dangling_frac: 0.10,
+        correlation: 1.0,
+        seed: 0x1A6E_5701,
+        min_rows: 150,
+    });
+    let initial_fp = database_fingerprint(&sf.db);
+
+    let stream = generate_mutations(
+        &sf.db,
+        MutationConfig {
+            ops,
+            batch_size,
+            seed: 0x1A6E_5702,
+            drift: 1.5,
+        },
+    );
+
+    // Workload: joins + filters over the snowflake, plus one query pinning
+    // the stream's drifting measure column (so the pool holds a base SIT
+    // that can drift-rebuild) and one probe per dimension (cache carry-over
+    // checks below).
+    let mut workload = generate_workload(
+        &sf.db,
+        &sf.join_edges,
+        &sf.filter_columns,
+        WorkloadConfig {
+            queries: 12,
+            joins: 3,
+            filters: 2,
+            target_selectivity: 0.05,
+            seed: 0x1A6E_5703,
+        },
+    );
+    workload.push(probe(&sf.db, stream.measure));
+    let probes: Vec<SpjQuery> = [
+        "customer.age",
+        "nation.gdp",
+        "product.price",
+        "category.margin",
+        "supplier.quality",
+        "store.size",
+        "region.climate",
+    ]
+    .iter()
+    .map(|q| {
+        let (t, c) = q.split_once('.').expect("table.column");
+        let (_, id) = sf.db.table_by_name(t).expect("dimension exists");
+        let schema = sf.db.schema(id).expect("schema");
+        let col = ColRef::new(id, schema.column_index(c).expect("column exists"));
+        probe(&sf.db, col)
+    })
+    .collect();
+    workload.extend(probes.iter().cloned());
+
+    eprintln!("building J2 pool ...");
+    let catalog = build_pool(&sf.db, &workload, PoolSpec::ji(2)).expect("pool build");
+    let config = DeltaConfig {
+        // Looser staleness + tighter drift than the defaults so the
+        // drifting measure hits its drift threshold before the staleness
+        // backstop does — the soak must see both rebuild triggers.
+        max_staleness: 0.15,
+        drift_threshold: 0.02,
+        ..DeltaConfig::default()
+    };
+    let mut live = LiveCatalog::new(sf.db.clone(), catalog.clone(), config);
+    let svc = EstimationService::new(
+        Arc::new(sf.db.clone()),
+        catalog.clone(),
+        ServiceConfig::default(),
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let check = |cond: bool, msg: String, failures: &mut Vec<String>| {
+        if !cond {
+            failures.push(msg);
+        }
+    };
+
+    eprintln!(
+        "ingesting {} ops in {} batches over {} SITs ...",
+        ops,
+        stream.batches.len(),
+        catalog.len()
+    );
+    let mut merges = 0usize;
+    let mut drift_rebuilds = 0usize;
+    let mut staleness_rebuilds = 0usize;
+    let mut deferrals = 0usize;
+    let mut max_staleness = 0.0f64;
+    let mut untouched_hits = 0usize;
+    let mut untouched_total = 0usize;
+    // Warm every probe so round 1's carry-over is observable.
+    for q in &probes {
+        svc.estimate(q);
+    }
+    for batch in &stream.batches {
+        let report = live.ingest(batch).expect("generated batch ingests");
+        merges += report.merges;
+        drift_rebuilds += report.drift_rebuilds;
+        staleness_rebuilds += report.staleness_rebuilds;
+        deferrals += report.sits_deferred;
+        let stale_now = live.max_staleness_observed();
+        max_staleness = max_staleness.max(stale_now);
+        check(
+            stale_now <= config.max_staleness + 1e-12,
+            format!(
+                "batch {}: staleness {stale_now:.4} exceeds bound {}",
+                batch.seq, config.max_staleness
+            ),
+            &mut failures,
+        );
+        for &id in &report.sits_refreshed {
+            check(
+                sit_reads(live.catalog().get(id), &report.tables_touched),
+                format!(
+                    "batch {}: SIT {id:?} refreshed without reading a mutated table",
+                    batch.seq
+                ),
+                &mut failures,
+            );
+        }
+
+        svc.partial_install(
+            Arc::new(live.db().clone()),
+            live.catalog().clone(),
+            None,
+            &report,
+        );
+        // Cache carry-over contract: a probe over tables this batch did
+        // not mutate must still hit the whole-query cache; one over a
+        // mutated table must recompute.
+        for q in &probes {
+            let table = q.tables[0];
+            let touched = report.tables_touched.contains(&table);
+            let e = svc.estimate(q);
+            check(
+                e.cached != touched,
+                format!(
+                    "batch {}: probe over table {table:?} cached={} but touched={touched}",
+                    batch.seq, e.cached
+                ),
+                &mut failures,
+            );
+            if !touched {
+                untouched_hits += e.cached as usize;
+                untouched_total += 1;
+            }
+        }
+    }
+
+    check(
+        drift_rebuilds >= 1,
+        format!("no drift rebuild fired over {ops} drifting ops"),
+        &mut failures,
+    );
+    check(
+        untouched_total > 0 && untouched_hits == untouched_total,
+        format!("untouched-probe hit rate {untouched_hits}/{untouched_total}, expected 100%"),
+        &mut failures,
+    );
+    let total_rebuilds = drift_rebuilds + staleness_rebuilds;
+    check(
+        total_rebuilds * 2 < stream.batches.len() * catalog.len(),
+        format!(
+            "rebuild churn unbounded: {total_rebuilds} rebuilds over {} batch-SIT slots",
+            stream.batches.len() * catalog.len()
+        ),
+        &mut failures,
+    );
+    check(
+        merges > 0 && deferrals > 0,
+        format!("maintenance never merged ({merges}) or deferred ({deferrals})"),
+        &mut failures,
+    );
+    let stats = svc.stats();
+    check(
+        stats.ingest.partial_installs == stream.batches.len() as u64,
+        format!(
+            "{} partial installs recorded for {} batches",
+            stats.ingest.partial_installs,
+            stream.batches.len()
+        ),
+        &mut failures,
+    );
+    check(
+        svc.snapshot().epoch() == stream.batches.len() as u64,
+        format!(
+            "epoch {} after {} installs",
+            svc.snapshot().epoch(),
+            stream.batches.len()
+        ),
+        &mut failures,
+    );
+
+    // Drain convergence: the live database must be byte-identical to the
+    // generator's final state, and after a forced refresh every estimate
+    // must be bit-identical to a cold catalog built from that state.
+    let final_fp = database_fingerprint(live.db());
+    check(
+        final_fp == database_fingerprint(&stream.final_db),
+        "drained database diverged from the generator's final state".to_string(),
+        &mut failures,
+    );
+    live.refresh_all().expect("refresh");
+    let cold = build_pool(live.db(), &workload, PoolSpec::ji(2)).expect("cold pool");
+    let converged = workload.iter().all(|q| {
+        let warm = estimate(live.db(), live.catalog(), q);
+        let coldest = estimate(live.db(), &cold, q);
+        warm.to_bits() == coldest.to_bits()
+    });
+    check(
+        converged,
+        "refreshed catalog is not bit-identical to a cold build".to_string(),
+        &mut failures,
+    );
+
+    let run = IngestRunReport {
+        ops,
+        batches: stream.batches.len(),
+        initial_db_fingerprint: initial_fp,
+        stream_fingerprint: stream.fingerprint,
+        final_db_fingerprint: final_fp,
+        catalog_sits: catalog.len(),
+        merges,
+        drift_rebuilds,
+        staleness_rebuilds,
+        deferrals,
+        max_staleness_observed: max_staleness,
+        staleness_bound: config.max_staleness,
+        partial_installs: stats.ingest.partial_installs,
+        cache_carried: stats.ingest.cache_carried,
+        cache_dropped: stats.ingest.cache_dropped,
+        untouched_probe_hits: untouched_hits,
+        untouched_probe_total: untouched_total,
+        converged_bit_identical: converged,
+    };
+
+    println!("Live-catalog ingest soak\n");
+    println!(
+        "{}",
+        render_table(
+            &["metric", "value"],
+            &[
+                vec!["ops".into(), run.ops.to_string()],
+                vec!["batches".into(), run.batches.to_string()],
+                vec!["SITs".into(), run.catalog_sits.to_string()],
+                vec!["merges".into(), run.merges.to_string()],
+                vec!["drift rebuilds".into(), run.drift_rebuilds.to_string()],
+                vec![
+                    "staleness rebuilds".into(),
+                    run.staleness_rebuilds.to_string()
+                ],
+                vec!["deferrals".into(), run.deferrals.to_string()],
+                vec![
+                    "max staleness".into(),
+                    format!("{:.4}", run.max_staleness_observed)
+                ],
+                vec!["cache carried".into(), run.cache_carried.to_string()],
+                vec!["cache dropped".into(), run.cache_dropped.to_string()],
+                vec![
+                    "untouched-probe hits".into(),
+                    format!("{}/{}", run.untouched_probe_hits, run.untouched_probe_total)
+                ],
+                vec!["converged".into(), run.converged_bit_identical.to_string()],
+            ],
+        )
+    );
+    println!("{}", svc.stats());
+
+    match write_json("ingest", &run) {
+        Ok(p) => println!("\nreport written to {}", p.display()),
+        Err(e) => {
+            eprintln!("could not write results/ingest.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\ningest soak FAIL ({} violation(s)):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\ningest soak PASS");
+}
+
+fn estimate(db: &Database, catalog: &SitCatalog, q: &SpjQuery) -> f64 {
+    let mut est = SelectivityEstimator::new(db, q, catalog, ErrorMode::Diff);
+    let all = est.context().all();
+    est.get_selectivity(all).0
+}

@@ -93,6 +93,18 @@ impl CacheKey {
     pub fn mode(&self) -> ErrorMode {
         self.mode
     }
+
+    /// True when any predicate of this key (estimated or conditioning)
+    /// reads one of `tables`. A key that touches no mutated table is still
+    /// valid after a partial catalog install — this is the predicate the
+    /// service's cache carry-over filters on.
+    pub fn touches(&self, tables: &[sqe_engine::TableId]) -> bool {
+        self.preds
+            .iter()
+            .chain(self.cond.iter())
+            .flat_map(|p| p.tables().iter())
+            .any(|t| tables.contains(&t))
+    }
 }
 
 /// Sorted + deduplicated copy of a predicate list.

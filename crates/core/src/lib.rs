@@ -29,6 +29,9 @@
 //!   mask-indexed value table and an open-addressed `u64`-keyed table;
 //! * [`cache`] — canonical cache keys and the cross-query shared-cache
 //!   interface consumed by the `sqe-service` estimation service;
+//! * [`delta`] — live catalogs: batched delta ingest with incremental
+//!   histogram maintenance, drift-triggered rebuilds, and per-SIT
+//!   staleness bounds;
 //! * [`gvm`] — the greedy view-matching baseline of \[4\] (SIGMOD 2002),
 //!   including its laminar compatibility restriction that prevents it from
 //!   combining overlapping SITs (the limitation that motivates this paper);
@@ -39,6 +42,7 @@ pub mod baseline;
 pub mod budget;
 pub mod cache;
 pub mod decomposition;
+pub mod delta;
 pub mod error;
 pub mod estimator;
 pub mod failpoint;
@@ -60,6 +64,7 @@ pub use baseline::NoSitEstimator;
 pub use budget::{Budget, BudgetMeter, CancelToken, DegradeReason, ExhaustReason, Quality};
 pub use cache::{CacheKey, SharedEstimatorCache};
 pub use decomposition::{count_decompositions, decomposition_bounds, ComponentTable};
+pub use delta::{DeltaConfig, IngestReport, LiveCatalog};
 pub use error::ErrorMode;
 pub use estimator::{DpStrategy, EstimatorStats, SelectivityEstimator};
 pub use feedback::{FeedbackStore, Observation};

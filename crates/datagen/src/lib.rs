@@ -21,12 +21,14 @@
 
 pub mod dist;
 pub mod export;
+pub mod mutation;
 pub mod scenarios;
 pub mod snowflake;
 pub mod workload;
 
 pub use dist::{CorrelatedMap, Zipf};
 pub use export::{database_fingerprint, export_database_json, save_database_json};
+pub use mutation::{generate_mutations, MutationConfig, MutationStream};
 pub use scenarios::{motivating_scenario, MotivatingConfig, MotivatingScenario};
 pub use snowflake::{JoinEdge, Snowflake, SnowflakeConfig};
 pub use workload::{generate_workload, WorkloadConfig};

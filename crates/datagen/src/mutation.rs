@@ -1,0 +1,416 @@
+//! Seeded mutation streams: TPC-C-flavoured churn over a generated
+//! database.
+//!
+//! The live-catalog subsystem needs a realistic write workload to soak
+//! against. This generator produces a deterministic stream of
+//! [`DeltaBatch`]es mimicking the shape of TPC-C's transaction mix over
+//! whatever schema it is pointed at:
+//!
+//! * **new-order inserts** (~50%) append rows to the *fact* table (the
+//!   largest table — `sales` on the snowflake schema). Each new row clones
+//!   a live row's attribute values — foreign keys stay valid by
+//!   construction — bumps the id column past the current maximum, and
+//!   applies a progressive upward shift to one "measure" column, so a long
+//!   stream genuinely moves that column's distribution (this is what makes
+//!   drift-triggered rebuilds reachable rather than theoretical);
+//! * **payment-style updates** (~30%) nudge a numeric attribute of a
+//!   random dimension row by a small signed delta;
+//! * **delivery-style deletes** (~10%) drop a random fact row;
+//! * **fact updates** (~10%) rewrite a fact measure in place.
+//!
+//! The generator maintains a shadow copy of the database (batches applied
+//! as they are sealed, via [`sqe_engine::delta::apply_batch`]), so every
+//! row index it emits is valid at its position in the stream, and the
+//! whole stream is pinned by an FNV-1a [`MutationStream::fingerprint`]
+//! over the op encoding — the oracle replays *exactly* this stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqe_engine::delta::{apply_batch, DeltaBatch, RowOp, TableDelta};
+use sqe_engine::{Database, TableId};
+
+/// Knobs for [`generate_mutations`]. Everything derives from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationConfig {
+    /// Total row ops in the stream.
+    pub ops: usize,
+    /// Ops per [`DeltaBatch`] (the last batch may be shorter).
+    pub batch_size: usize,
+    /// RNG seed; equal seeds over equal databases give byte-equal streams.
+    pub seed: u64,
+    /// How far the drifting fact measure shifts over the whole stream, as
+    /// a fraction of its initial value range (default 0.5): the knob that
+    /// decides whether a stream stays under the drift threshold or blows
+    /// through it.
+    pub drift: f64,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            ops: 1_000,
+            batch_size: 100,
+            seed: 0xC0FFEE,
+            drift: 0.5,
+        }
+    }
+}
+
+/// A generated stream: the batches, the database state after applying all
+/// of them, and a fingerprint pinning the exact op sequence.
+#[derive(Debug, Clone)]
+pub struct MutationStream {
+    /// Batches in application order, `seq` numbered from 0.
+    pub batches: Vec<DeltaBatch>,
+    /// The database after every batch is applied — what a fully drained
+    /// consumer must converge to.
+    pub final_db: Database,
+    /// FNV-1a over the canonical op encoding. Two streams with equal
+    /// fingerprints apply identical mutations.
+    pub fingerprint: u64,
+    /// The fact-table measure column the stream drifts upward — the column
+    /// to watch when asserting that drift-triggered rebuilds fire.
+    pub measure: sqe_engine::ColRef,
+}
+
+/// Generates a seeded mutation stream against `db` (which is not
+/// modified).
+///
+/// Panics if `db` has no table with at least one row or `batch_size == 0`
+/// — a mutation stream over nothing is a caller bug.
+pub fn generate_mutations(db: &Database, config: MutationConfig) -> MutationStream {
+    assert!(config.batch_size > 0, "batch_size must be positive");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Fact table: most rows, ties broken by arity (fact tables are wide —
+    // at scale 0 every snowflake table has `min_rows` rows, and `sales`
+    // wins on its 8 attributes). Dimensions: everything else with rows.
+    let fact = (0..db.table_count())
+        .map(|t| TableId(t as u32))
+        .max_by_key(|&t| {
+            (
+                db.row_count(t).expect("dense ids"),
+                db.schema(t).expect("dense ids").arity(),
+            )
+        })
+        .expect("non-empty database");
+    assert!(
+        db.row_count(fact).expect("dense ids") > 0,
+        "mutation stream needs at least one non-empty table"
+    );
+    let dims: Vec<TableId> = (0..db.table_count())
+        .map(|t| TableId(t as u32))
+        .filter(|&t| t != fact && db.row_count(t).unwrap_or(0) > 0)
+        .collect();
+
+    let fact_arity = db.schema(fact).expect("dense ids").arity();
+    // The drifting measure: last column of the fact table (snowflake:
+    // `sales.priority` is last, but `amount` is more interesting — pick
+    // the column with the widest value range among non-id columns).
+    let measure = (1..fact_arity as u16)
+        .max_by_key(|&c| {
+            db.column(sqe_engine::ColRef::new(fact, c))
+                .ok()
+                .and_then(|col| col.min_max())
+                .map_or(0, |(lo, hi)| hi.saturating_sub(lo))
+        })
+        .unwrap_or(0);
+    let measure_span = db
+        .column(sqe_engine::ColRef::new(fact, measure))
+        .ok()
+        .and_then(|c| c.min_max())
+        .map_or(100, |(lo, hi)| (hi - lo).max(1));
+    let mut next_id = db
+        .column(sqe_engine::ColRef::new(fact, 0))
+        .ok()
+        .and_then(|c| c.min_max())
+        .map_or(0, |(_, hi)| hi + 1);
+
+    let mut shadow = db.clone();
+    let mut batches = Vec::new();
+    let mut fp = Fnv::new();
+
+    // Live row counts per table, tracked intra-batch so emitted row
+    // indices are valid exactly where they apply.
+    let mut rows: Vec<usize> = (0..db.table_count())
+        .map(|t| db.row_count(TableId(t as u32)).expect("dense ids"))
+        .collect();
+
+    let mut emitted = 0usize;
+    let mut seq = 0u64;
+    while emitted < config.ops {
+        let take = config.batch_size.min(config.ops - emitted);
+        // One TableDelta per touched table, in first-touch order.
+        let mut deltas: Vec<TableDelta> = Vec::new();
+        for _ in 0..take {
+            let progress = emitted as f64 / config.ops.max(1) as f64;
+            let (table, op) = next_op(
+                &mut rng,
+                &shadow,
+                fact,
+                &dims,
+                measure,
+                measure_span,
+                &mut next_id,
+                &mut rows,
+                progress,
+                config.drift,
+            );
+            fp.op(table, &op);
+            match deltas.iter_mut().find(|d| d.table == table) {
+                Some(d) => d.ops.push(op),
+                None => deltas.push(TableDelta {
+                    table,
+                    ops: vec![op],
+                }),
+            }
+            emitted += 1;
+        }
+        let batch = DeltaBatch { seq, deltas };
+        let (next, _log) = apply_batch(&shadow, &batch).expect("generated batch applies");
+        shadow = next;
+        batches.push(batch);
+        seq += 1;
+    }
+
+    MutationStream {
+        batches,
+        final_db: shadow,
+        fingerprint: fp.finish(),
+        measure: sqe_engine::ColRef::new(fact, measure),
+    }
+}
+
+/// Emits one op of the TPC-C-flavoured mix, updating the intra-batch row
+/// counts.
+#[allow(clippy::too_many_arguments)]
+fn next_op(
+    rng: &mut StdRng,
+    shadow: &Database,
+    fact: TableId,
+    dims: &[TableId],
+    measure: u16,
+    measure_span: i64,
+    next_id: &mut i64,
+    rows: &mut [usize],
+    progress: f64,
+    drift: f64,
+) -> (TableId, RowOp) {
+    let fact_rows = rows[fact.0 as usize];
+    let roll = rng.gen_range(0..100u32);
+    // Deletes and dimension updates need live rows to hit; degrade to
+    // inserts when the stream has drained a table empty.
+    if roll < 50 || fact_rows == 0 {
+        // New-order insert: clone a live fact row's attributes (FKs stay
+        // valid), fresh id, drifted measure.
+        let template = shadow
+            .table(fact)
+            .expect("fact exists")
+            .columns()
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    None
+                } else {
+                    c.get(rng.gen_range(0..c.len()))
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut values = template;
+        values[0] = Some(*next_id);
+        *next_id += 1;
+        let shift = (drift * progress * measure_span as f64) as i64;
+        values[measure as usize] = Some(
+            values[measure as usize].unwrap_or(0) + shift + rng.gen_range(0..=measure_span / 20),
+        );
+        rows[fact.0 as usize] += 1;
+        (fact, RowOp::Insert { values })
+    } else if roll < 80 && !dims.is_empty() {
+        // Payment-style dimension update: nudge a numeric attribute.
+        let dim = dims[rng.gen_range(0..dims.len())];
+        let arity = shadow.schema(dim).expect("dim exists").arity() as u16;
+        let column = if arity > 1 {
+            rng.gen_range(1..arity)
+        } else {
+            0
+        };
+        let row = rng.gen_range(0..rows[dim.0 as usize]);
+        let old = shadow
+            .column(sqe_engine::ColRef::new(dim, column))
+            .ok()
+            .and_then(|c| c.get(row.min(c.len().saturating_sub(1))))
+            .unwrap_or(0);
+        let value = Some(old + rng.gen_range(-10..=10));
+        (dim, RowOp::Update { row, column, value })
+    } else if roll < 90 {
+        // Delivery-style delete from the fact table.
+        let row = rng.gen_range(0..fact_rows);
+        rows[fact.0 as usize] -= 1;
+        (fact, RowOp::Delete { row })
+    } else {
+        // In-place fact measure rewrite.
+        let row = rng.gen_range(0..fact_rows);
+        let value = Some(rng.gen_range(0..=measure_span));
+        (
+            fact,
+            RowOp::Update {
+                row,
+                column: measure,
+                value,
+            },
+        )
+    }
+}
+
+/// Incremental FNV-1a over a canonical op encoding.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn op(&mut self, table: TableId, op: &RowOp) {
+        self.i64(table.0 as i64);
+        match op {
+            RowOp::Insert { values } => {
+                self.bytes(b"I");
+                for v in values {
+                    self.i64(v.map_or(i64::MIN, |x| x));
+                    self.bytes(&[v.is_some() as u8]);
+                }
+            }
+            RowOp::Delete { row } => {
+                self.bytes(b"D");
+                self.i64(*row as i64);
+            }
+            RowOp::Update { row, column, value } => {
+                self.bytes(b"U");
+                self.i64(*row as i64);
+                self.i64(*column as i64);
+                self.i64(value.map_or(i64::MIN, |x| x));
+                self.bytes(&[value.is_some() as u8]);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snowflake::{Snowflake, SnowflakeConfig};
+
+    fn tiny_db() -> Database {
+        Snowflake::generate(SnowflakeConfig {
+            scale: 0.0,
+            min_rows: 40,
+            ..SnowflakeConfig::default()
+        })
+        .db
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let db = tiny_db();
+        let cfg = MutationConfig {
+            ops: 300,
+            batch_size: 50,
+            ..MutationConfig::default()
+        };
+        let a = generate_mutations(&db, cfg);
+        let b = generate_mutations(&db, cfg);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(
+            crate::export::database_fingerprint(&a.final_db),
+            crate::export::database_fingerprint(&b.final_db),
+        );
+        let c = generate_mutations(&db, MutationConfig { seed: 999, ..cfg });
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn replaying_batches_reaches_final_db() {
+        let db = tiny_db();
+        let stream = generate_mutations(
+            &db,
+            MutationConfig {
+                ops: 200,
+                batch_size: 37,
+                ..MutationConfig::default()
+            },
+        );
+        assert_eq!(stream.batches.len(), 200usize.div_ceil(37));
+        let mut replay = db.clone();
+        for batch in &stream.batches {
+            let (next, _) = apply_batch(&replay, batch).expect("replay applies");
+            replay = next;
+        }
+        assert_eq!(
+            crate::export::database_fingerprint(&replay),
+            crate::export::database_fingerprint(&stream.final_db),
+        );
+    }
+
+    #[test]
+    fn mix_touches_fact_and_dimensions() {
+        let db = tiny_db();
+        let stream = generate_mutations(
+            &db,
+            MutationConfig {
+                ops: 400,
+                batch_size: 100,
+                ..MutationConfig::default()
+            },
+        );
+        let mut touched: Vec<TableId> = stream.batches.iter().flat_map(|b| b.tables()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        assert!(touched.len() > 1, "stream should touch several tables");
+        let (_, fact) = db.table_by_name("sales").expect("snowflake fact");
+        assert!(touched.contains(&fact));
+        // Inserts dominate: the fact table must have grown net.
+        assert!(
+            stream.final_db.row_count(fact).unwrap() > db.row_count(fact).unwrap(),
+            "TPC-C-flavoured mix is insert-heavy"
+        );
+    }
+
+    #[test]
+    fn drift_shifts_the_measure_distribution() {
+        let db = tiny_db();
+        let stream = generate_mutations(
+            &db,
+            MutationConfig {
+                ops: 1_000,
+                batch_size: 100,
+                drift: 2.0,
+                ..MutationConfig::default()
+            },
+        );
+        let measure = stream.measure;
+        let mean = |d: &Database| {
+            let c = d.column(measure).unwrap();
+            c.iter_valid().sum::<i64>() as f64 / c.len().max(1) as f64
+        };
+        assert!(
+            mean(&stream.final_db) > mean(&db) * 1.2,
+            "heavy drift must move the measure's mean visibly"
+        );
+    }
+}

@@ -31,6 +31,20 @@ impl Database {
         &self.catalog
     }
 
+    /// Replaces a table's data in place, keeping its id. The new table must
+    /// have the same schema name and arity (the catalog entry is reused) —
+    /// this is the commit step of [`crate::delta::apply_batch`].
+    pub fn replace_table(&mut self, id: TableId, table: Table) -> Result<()> {
+        let schema = self.schema(id)?;
+        if schema.name != table.schema().name || schema.arity() != table.schema().arity() {
+            return Err(EngineError::RaggedTable {
+                table: table.schema().name.clone(),
+            });
+        }
+        self.tables[id.0 as usize] = table;
+        Ok(())
+    }
+
     /// Table data by id.
     pub fn table(&self, id: TableId) -> Result<&Table> {
         self.tables

@@ -1,0 +1,408 @@
+//! Batched row mutations over a [`Database`].
+//!
+//! The live-catalog subsystem (sqe-core's `delta` module) ingests streams
+//! of row-level changes. This module owns the *physical* half of that
+//! story: the change representation ([`RowOp`] / [`TableDelta`] /
+//! [`DeltaBatch`]) and the pure application function [`apply_batch`] that
+//! turns an immutable [`Database`] plus a batch into a new database and a
+//! per-column [`DeltaLog`] of exactly which values appeared and vanished.
+//!
+//! Two deliberate semantics choices:
+//!
+//! * **Deletes are `swap_remove`**: the last row moves into the deleted
+//!   slot. Row *order* is not part of any statistic this workspace
+//!   maintains (histograms and SITs are order-insensitive), and O(1)
+//!   deletes keep a 10k-op soak cheap. Row indices in a batch refer to the
+//!   table state *as previous ops of the same batch left it*.
+//! * **Updates log as delete-old + insert-new** on the touched column
+//!   only: downstream histogram maintenance needs value flows, not row
+//!   identity.
+
+use std::collections::BTreeMap;
+
+use crate::column::Column;
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::predicate::ColRef;
+use crate::schema::TableId;
+
+/// One row-level mutation against a single table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOp {
+    /// Appends a full row; `values` must match the table arity.
+    Insert {
+        /// One value per schema column, `None` = NULL.
+        values: Vec<Option<i64>>,
+    },
+    /// Removes the row at `row` (swap-remove: the last row takes its
+    /// index).
+    Delete {
+        /// Row index at the time this op applies.
+        row: usize,
+    },
+    /// Overwrites one cell.
+    Update {
+        /// Row index at the time this op applies.
+        row: usize,
+        /// Column index within the table.
+        column: u16,
+        /// New value, `None` = NULL.
+        value: Option<i64>,
+    },
+}
+
+/// All ops of one batch that target a single table, applied in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDelta {
+    /// Target table.
+    pub table: TableId,
+    /// Ops, applied first-to-last.
+    pub ops: Vec<RowOp>,
+}
+
+/// One ingestible unit: a sequence number plus per-table op lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaBatch {
+    /// Monotone position of this batch in its stream (for logging and
+    /// fingerprints; application does not interpret it).
+    pub seq: u64,
+    /// Per-table changes. A table may appear at most once per batch.
+    pub deltas: Vec<TableDelta>,
+}
+
+impl DeltaBatch {
+    /// Total number of row ops across all tables.
+    pub fn op_count(&self) -> usize {
+        self.deltas.iter().map(|d| d.ops.len()).sum()
+    }
+
+    /// The distinct tables this batch touches, ascending.
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut out: Vec<TableId> = self.deltas.iter().map(|d| d.table).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Net value flow through one column over a batch: which non-NULL values
+/// arrived, which left, and how the NULL count moved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnChanges {
+    /// Non-NULL values added (inserts + update-new sides).
+    pub inserted: Vec<i64>,
+    /// Non-NULL values removed (deletes + update-old sides).
+    pub deleted: Vec<i64>,
+    /// Net change to the column's NULL count.
+    pub null_delta: i64,
+}
+
+impl ColumnChanges {
+    /// Number of individual value movements recorded.
+    pub fn op_weight(&self) -> usize {
+        self.inserted.len() + self.deleted.len() + self.null_delta.unsigned_abs() as usize
+    }
+}
+
+/// What [`apply_batch`] did, per column — the input to incremental
+/// histogram maintenance. Ordered ([`BTreeMap`]) so iteration is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaLog {
+    changes: BTreeMap<ColRef, ColumnChanges>,
+    /// Row ops per table. Distinct from per-column value flows: one insert
+    /// moves a value through *every* column but is still one row op —
+    /// staleness accounting over multi-column tables needs this count, not
+    /// the per-column weights (which would overcount by the table arity).
+    ops_by_table: BTreeMap<TableId, usize>,
+    ops_applied: usize,
+}
+
+impl DeltaLog {
+    /// Per-column value flows, in `ColRef` order.
+    pub fn changes(&self) -> impl Iterator<Item = (ColRef, &ColumnChanges)> {
+        self.changes.iter().map(|(c, ch)| (*c, ch))
+    }
+
+    /// The value flow through one column, if it changed.
+    pub fn for_column(&self, col: ColRef) -> Option<&ColumnChanges> {
+        self.changes.get(&col)
+    }
+
+    /// Distinct tables with at least one change, ascending.
+    pub fn tables_touched(&self) -> Vec<TableId> {
+        let mut out: Vec<TableId> = self.changes.keys().map(|c| c.table).collect();
+        out.dedup(); // BTreeMap iterates in (table, column) order
+        out
+    }
+
+    /// Row ops applied to one table (0 if untouched). No-op updates still
+    /// count: they consumed an op even though no value moved.
+    pub fn ops_for_table(&self, table: TableId) -> usize {
+        self.ops_by_table.get(&table).copied().unwrap_or(0)
+    }
+
+    /// Total row ops applied.
+    pub fn ops_applied(&self) -> usize {
+        self.ops_applied
+    }
+}
+
+/// Applies a batch to an immutable database, producing the successor
+/// database and the per-column [`DeltaLog`].
+///
+/// Pure: on any error (bad arity, out-of-range row or column) the input
+/// database is untouched and no partial state escapes. A table may appear
+/// at most once per batch, so per-table op indices are unambiguous.
+pub fn apply_batch(db: &Database, batch: &DeltaBatch) -> Result<(Database, DeltaLog)> {
+    let mut tables = batch.deltas.iter().map(|d| d.table).collect::<Vec<_>>();
+    tables.sort_unstable();
+    tables.dedup();
+    if tables.len() != batch.deltas.len() {
+        return Err(EngineError::RaggedTable {
+            table: "duplicate table in delta batch".into(),
+        });
+    }
+
+    let mut out = db.clone();
+    let mut log = DeltaLog::default();
+    for delta in &batch.deltas {
+        let table = db.table(delta.table)?;
+        let arity = table.schema().arity();
+        // Materialize row-major-addressable column data once per table.
+        let mut cols: Vec<Vec<Option<i64>>> =
+            table.columns().iter().map(|c| c.iter().collect()).collect();
+        let mut rows = table.row_count();
+
+        for op in &delta.ops {
+            match op {
+                RowOp::Insert { values } => {
+                    if values.len() != arity {
+                        return Err(EngineError::RaggedTable {
+                            table: table.name().to_string(),
+                        });
+                    }
+                    for (idx, (col, v)) in cols.iter_mut().zip(values).enumerate() {
+                        col.push(*v);
+                        log.record(ColRef::new(delta.table, idx as u16), *v, 1);
+                    }
+                    rows += 1;
+                }
+                RowOp::Delete { row } => {
+                    if *row >= rows {
+                        return Err(EngineError::RowOutOfRange {
+                            table: delta.table,
+                            row: *row,
+                        });
+                    }
+                    for (idx, col) in cols.iter_mut().enumerate() {
+                        let old = col.swap_remove(*row);
+                        log.record(ColRef::new(delta.table, idx as u16), old, -1);
+                    }
+                    rows -= 1;
+                }
+                RowOp::Update { row, column, value } => {
+                    if *row >= rows {
+                        return Err(EngineError::RowOutOfRange {
+                            table: delta.table,
+                            row: *row,
+                        });
+                    }
+                    if *column as usize >= arity {
+                        return Err(EngineError::UnknownColumn {
+                            table: delta.table,
+                            column: *column,
+                        });
+                    }
+                    let cell = &mut cols[*column as usize][*row];
+                    let old = *cell;
+                    *cell = *value;
+                    if old != *value {
+                        let col = ColRef::new(delta.table, *column);
+                        log.record(col, old, -1);
+                        log.record(col, *value, 1);
+                    }
+                }
+            }
+            log.ops_applied += 1;
+            *log.ops_by_table.entry(delta.table).or_default() += 1;
+        }
+
+        let rebuilt = crate::table::Table::new(
+            table.schema().clone(),
+            cols.into_iter().map(Column::from_options).collect(),
+        )?;
+        out.replace_table(delta.table, rebuilt)?;
+    }
+    Ok((out, log))
+}
+
+impl DeltaLog {
+    /// Records one value arriving (`sign = 1`) or leaving (`sign = -1`).
+    fn record(&mut self, col: ColRef, value: Option<i64>, sign: i64) {
+        let entry = self.changes.entry(col).or_default();
+        match value {
+            Some(v) if sign > 0 => entry.inserted.push(v),
+            Some(v) => entry.deleted.push(v),
+            None => entry.null_delta += sign,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn db2() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("r")
+                .column("a", vec![1, 2, 3])
+                .nullable_column("b", vec![Some(10), None, Some(30)])
+                .build()
+                .unwrap(),
+        );
+        db.add_table(
+            TableBuilder::new("s")
+                .column("x", vec![7, 8])
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn insert_appends_and_logs() {
+        let db = db2();
+        let batch = DeltaBatch {
+            seq: 0,
+            deltas: vec![TableDelta {
+                table: TableId(0),
+                ops: vec![RowOp::Insert {
+                    values: vec![Some(4), None],
+                }],
+            }],
+        };
+        let (next, log) = apply_batch(&db, &batch).unwrap();
+        assert_eq!(next.row_count(TableId(0)).unwrap(), 4);
+        assert_eq!(db.row_count(TableId(0)).unwrap(), 3, "input untouched");
+        let a = log.for_column(ColRef::new(TableId(0), 0)).unwrap();
+        assert_eq!(a.inserted, vec![4]);
+        let b = log.for_column(ColRef::new(TableId(0), 1)).unwrap();
+        assert_eq!(b.null_delta, 1);
+        assert_eq!(log.tables_touched(), vec![TableId(0)]);
+        assert_eq!(log.ops_applied(), 1);
+    }
+
+    #[test]
+    fn delete_is_swap_remove() {
+        let db = db2();
+        let batch = DeltaBatch {
+            seq: 1,
+            deltas: vec![TableDelta {
+                table: TableId(0),
+                ops: vec![RowOp::Delete { row: 0 }],
+            }],
+        };
+        let (next, log) = apply_batch(&db, &batch).unwrap();
+        let t = next.table(TableId(0)).unwrap();
+        assert_eq!(t.row_count(), 2);
+        // Last row (3, 30) moved into slot 0.
+        assert_eq!(t.column(0).unwrap().get(0), Some(3));
+        assert_eq!(t.column(1).unwrap().get(0), Some(30));
+        let a = log.for_column(ColRef::new(TableId(0), 0)).unwrap();
+        assert_eq!(a.deleted, vec![1]);
+    }
+
+    #[test]
+    fn update_logs_value_flow_once() {
+        let db = db2();
+        let batch = DeltaBatch {
+            seq: 2,
+            deltas: vec![TableDelta {
+                table: TableId(0),
+                ops: vec![
+                    RowOp::Update {
+                        row: 1,
+                        column: 1,
+                        value: Some(99),
+                    },
+                    // No-op update must not pollute the log.
+                    RowOp::Update {
+                        row: 0,
+                        column: 0,
+                        value: Some(1),
+                    },
+                ],
+            }],
+        };
+        let (next, log) = apply_batch(&db, &batch).unwrap();
+        assert_eq!(
+            next.table(TableId(0)).unwrap().column(1).unwrap().get(1),
+            Some(99)
+        );
+        let b = log.for_column(ColRef::new(TableId(0), 1)).unwrap();
+        assert_eq!(b.inserted, vec![99]);
+        assert_eq!(b.null_delta, -1, "NULL replaced by a value");
+        assert!(log.for_column(ColRef::new(TableId(0), 0)).is_none());
+        assert_eq!(log.ops_applied(), 2);
+    }
+
+    #[test]
+    fn errors_leave_no_partial_state() {
+        let db = db2();
+        for bad in [
+            DeltaBatch {
+                seq: 0,
+                deltas: vec![TableDelta {
+                    table: TableId(0),
+                    ops: vec![RowOp::Insert {
+                        values: vec![Some(1)], // wrong arity
+                    }],
+                }],
+            },
+            DeltaBatch {
+                seq: 0,
+                deltas: vec![TableDelta {
+                    table: TableId(1),
+                    ops: vec![RowOp::Delete { row: 99 }],
+                }],
+            },
+            DeltaBatch {
+                seq: 0,
+                deltas: vec![
+                    TableDelta {
+                        table: TableId(0),
+                        ops: vec![],
+                    },
+                    TableDelta {
+                        table: TableId(0), // duplicate table
+                        ops: vec![],
+                    },
+                ],
+            },
+        ] {
+            assert!(apply_batch(&db, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn batch_accessors() {
+        let batch = DeltaBatch {
+            seq: 7,
+            deltas: vec![
+                TableDelta {
+                    table: TableId(1),
+                    ops: vec![RowOp::Delete { row: 0 }],
+                },
+                TableDelta {
+                    table: TableId(0),
+                    ops: vec![RowOp::Delete { row: 0 }, RowOp::Delete { row: 0 }],
+                },
+            ],
+        };
+        assert_eq!(batch.op_count(), 3);
+        assert_eq!(batch.tables(), vec![TableId(0), TableId(1)]);
+    }
+}

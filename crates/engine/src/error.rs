@@ -24,6 +24,8 @@ pub enum EngineError {
     CrossProductTooLarge { estimated_rows: u128, limit: u128 },
     /// A range predicate with `lo > hi`.
     EmptyRange { lo: i64, hi: i64 },
+    /// A delta op addresses a row index past the table's current length.
+    RowOutOfRange { table: TableId, row: usize },
     /// The operation needs at least one table.
     EmptyTableSet,
 }
@@ -52,6 +54,9 @@ impl fmt::Display for EngineError {
             ),
             EngineError::EmptyRange { lo, hi } => {
                 write!(f, "range predicate with lo {lo} > hi {hi}")
+            }
+            EngineError::RowOutOfRange { table, row } => {
+                write!(f, "row {row} out of range for table id {}", table.0)
             }
             EngineError::EmptyTableSet => write!(f, "operation requires at least one table"),
         }

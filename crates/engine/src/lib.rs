@@ -24,6 +24,7 @@
 pub mod brute;
 pub mod column;
 pub mod database;
+pub mod delta;
 pub mod dsu;
 pub mod error;
 pub mod exec;
@@ -36,6 +37,7 @@ pub mod table;
 
 pub use column::Column;
 pub use database::Database;
+pub use delta::{apply_batch, ColumnChanges, DeltaBatch, DeltaLog, RowOp, TableDelta};
 pub use error::{EngineError, Result};
 pub use exec::{execute, execute_connected, RowSet};
 pub use oracle::CardinalityOracle;

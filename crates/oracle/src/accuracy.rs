@@ -68,6 +68,9 @@ pub struct AccuracyReport {
     pub tier: String,
     /// One entry per scenario.
     pub scenarios: Vec<ScenarioAccuracy>,
+    /// Accuracy under incremental maintenance: one mutation-stream replay
+    /// per scenario family (see [`crate::staleness`]).
+    pub staleness: Vec<crate::staleness::StalenessScenario>,
 }
 
 struct VariantSpec {
@@ -116,6 +119,7 @@ pub fn measure_accuracy(tier: OracleTier) -> AccuracyReport {
     AccuracyReport {
         tier: tier.label().to_string(),
         scenarios: report_scenarios,
+        staleness: crate::staleness::measure_staleness(tier),
     }
 }
 
@@ -251,14 +255,14 @@ fn estimate(
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Rounds to six decimals so reports are byte-stable to serialize.
-fn round6(x: f64) -> f64 {
+pub(crate) fn round6(x: f64) -> f64 {
     (x * 1e6).round() / 1e6
 }
 

@@ -108,13 +108,76 @@ pub fn compare_reports(
             }
         }
     }
+    gate_staleness(baseline, current, cfg, &mut violations);
     violations
+}
+
+/// Gates the accuracy-under-staleness section with the same tolerance
+/// model, checkpoint by checkpoint. Stream fingerprints must match first:
+/// a changed mutation generator means the runs replayed different churn
+/// and must be re-baselined, not gated.
+fn gate_staleness(
+    baseline: &AccuracyReport,
+    current: &AccuracyReport,
+    cfg: GateConfig,
+    violations: &mut Vec<String>,
+) {
+    for base_sc in &baseline.staleness {
+        let Some(cur_sc) = current
+            .staleness
+            .iter()
+            .find(|s| s.scenario == base_sc.scenario)
+        else {
+            violations.push(format!(
+                "staleness scenario '{}' present in baseline but missing from current run",
+                base_sc.scenario
+            ));
+            continue;
+        };
+        if base_sc.fingerprint != cur_sc.fingerprint
+            || base_sc.stream_fingerprint != cur_sc.stream_fingerprint
+        {
+            violations.push(format!(
+                "staleness scenario '{}': database or mutation-stream fingerprint changed \
+                 — the runs replayed different churn; re-baseline instead of gating",
+                base_sc.scenario
+            ));
+            continue;
+        }
+        for base_p in &base_sc.points {
+            let Some(cur_p) = cur_sc.points.iter().find(|p| p.point == base_p.point) else {
+                violations.push(format!(
+                    "staleness scenario '{}': checkpoint '{}' missing from current run",
+                    base_sc.scenario, base_p.point
+                ));
+                continue;
+            };
+            for (metric, base_m, cur_m) in [
+                (
+                    "median q-error",
+                    base_p.median_q_error,
+                    cur_p.median_q_error,
+                ),
+                ("p95 q-error", base_p.p95_q_error, cur_p.p95_q_error),
+            ] {
+                let limit = base_m * cfg.max_ratio + cfg.abs_slack;
+                if cur_m > limit {
+                    violations.push(format!(
+                        "staleness scenario '{}' checkpoint '{}': {metric} regressed \
+                         {base_m} -> {cur_m} (limit {limit:.6})",
+                        base_sc.scenario, base_p.point
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accuracy::{ScenarioAccuracy, VariantResult};
+    use crate::staleness::{StalenessPoint, StalenessScenario};
 
     fn variant(name: &str, median: f64, p95: f64) -> VariantResult {
         VariantResult {
@@ -136,6 +199,22 @@ mod tests {
                 scenario: "baseline".to_string(),
                 fingerprint,
                 variants: vec![variant("diff-j2", median, p95)],
+            }],
+            staleness: vec![StalenessScenario {
+                scenario: "baseline".to_string(),
+                fingerprint,
+                stream_fingerprint: 99,
+                // Fixed metrics: staleness regressions are exercised by
+                // their own tests below, independent of the variant knobs.
+                points: vec![StalenessPoint {
+                    point: "drained".to_string(),
+                    ops_applied: 400,
+                    queries: 6,
+                    median_q_error: 1.2,
+                    p95_q_error: 2.5,
+                    max_staleness: 0.08,
+                    rebuilds: 3,
+                }],
             }],
         }
     }
@@ -178,9 +257,47 @@ mod tests {
     fn fingerprint_mismatch_blocks_comparison() {
         let base = report(7, 1.4, 3.0);
         let other = report(8, 1.4, 3.0);
+        // Both the main scenario and its staleness replay carry the
+        // database fingerprint, so both flag the mismatch.
         let v = compare_reports(&base, &other, GateConfig::default());
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("fingerprint"), "{}", v[0]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|m| m.contains("fingerprint")), "{v:?}");
+    }
+
+    #[test]
+    fn staleness_checkpoint_regression_is_flagged() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        cur.staleness[0].points[0].median_q_error = 5.0;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("staleness scenario 'baseline' checkpoint 'drained'"),
+            "{}",
+            v[0]
+        );
+    }
+
+    #[test]
+    fn staleness_stream_fingerprint_and_missing_checkpoint_are_violations() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        cur.staleness[0].stream_fingerprint = 100;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("mutation-stream fingerprint"), "{}", v[0]);
+
+        let mut cur = base.clone();
+        cur.staleness[0].points.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v.iter().any(|m| m.contains("checkpoint 'drained' missing")));
+
+        let mut cur = base.clone();
+        cur.staleness.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v
+            .iter()
+            .any(|m| m.contains("staleness scenario 'baseline' present in baseline")));
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * [`accuracy`] — the measurement pass: q-error and relative error of
 //!   every estimator variant (error mode × SIT pool × pruning) against
 //!   oracle truth, emitted as the committed `ACCURACY.json` report;
+//! * [`staleness`] — accuracy under mutation: replay a seeded delta
+//!   stream through a live catalog, measure q-error against exact truth
+//!   over the *current* (mutated) database at fresh / mid-stream /
+//!   drained / refreshed checkpoints, reported in the `staleness`
+//!   section of `ACCURACY.json`;
 //! * [`gate`] — the regression gate comparing a fresh report against the
 //!   committed baseline (`results/ACCURACY.baseline.json`), run in CI by
 //!   the `accuracy_gate` binary.
@@ -38,9 +43,11 @@ pub mod accuracy;
 pub mod exec;
 pub mod gate;
 pub mod invariants;
+pub mod staleness;
 pub mod workload;
 
 pub use accuracy::{measure_accuracy, AccuracyReport, ScenarioAccuracy, VariantResult};
 pub use exec::ExactExecutor;
 pub use gate::{compare_reports, GateConfig};
+pub use staleness::{measure_staleness, StalenessPoint, StalenessScenario};
 pub use workload::{scenarios, OracleScenario, OracleTier};

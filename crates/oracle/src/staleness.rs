@@ -1,0 +1,224 @@
+//! Accuracy under staleness: how much estimate quality decays when the
+//! catalog is maintained incrementally instead of rebuilt.
+//!
+//! For each scenario family the harness replays a seeded TPC-C-flavoured
+//! mutation stream ([`sqe_datagen::generate_mutations`]) through a
+//! [`LiveCatalog`] and, at fixed checkpoints, measures the q-error of the
+//! *maintained* catalog against oracle truth over the **current** (mutated)
+//! database:
+//!
+//! * `fresh` — before any mutation; the cold-built catalog, the same
+//!   number the main accuracy pass reports for `diff-j2`;
+//! * `mid-stream` — half the batches ingested, merges and deferred
+//!   rebuilds in flight;
+//! * `drained` — the whole stream ingested, every SIT within its
+//!   declared staleness bound;
+//! * `refreshed` — after [`LiveCatalog::refresh_all`], which is
+//!   bit-identical to a cold build from the final database state, so this
+//!   point is the floor the maintained catalog is allowed to decay from.
+//!
+//! Queries whose true selectivity drops to zero under churn are skipped
+//! (q-error is undefined at zero truth); the per-point `queries` count
+//! makes the skip visible. Everything is pinned by the database and
+//! mutation-stream fingerprints, so the regression gate can first prove
+//! two runs replayed identical churn.
+
+use sqe_core::{build_pool, DeltaConfig, ErrorMode, LiveCatalog, PoolSpec, SelectivityEstimator};
+use sqe_datagen::{generate_mutations, MutationConfig};
+use sqe_engine::{CardinalityOracle, Database, SpjQuery};
+
+use crate::accuracy::{percentile, round6};
+use crate::workload::{scenarios, OracleTier};
+
+/// One checkpoint of a staleness replay.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StalenessPoint {
+    /// Checkpoint name: `fresh`, `mid-stream`, `drained`, or `refreshed`.
+    pub point: String,
+    /// Row ops applied to the database by this checkpoint.
+    pub ops_applied: u64,
+    /// Queries measured (zero-truth queries under churn are skipped).
+    pub queries: usize,
+    /// Median q-error against truth over the *current* database.
+    pub median_q_error: f64,
+    /// 95th-percentile q-error, nearest rank.
+    pub p95_q_error: f64,
+    /// Largest per-SIT staleness at this checkpoint (must stay under the
+    /// configured bound except transiently at measurement instants).
+    pub max_staleness: f64,
+    /// Cumulative SIT rebuilds (drift- plus staleness-triggered) so far.
+    pub rebuilds: usize,
+}
+
+/// The staleness replay of one scenario family.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StalenessScenario {
+    /// Scenario name from [`crate::workload`].
+    pub scenario: String,
+    /// Fingerprint of the *initial* database (same as the main accuracy
+    /// section's, proving both measured the same seed data).
+    pub fingerprint: u64,
+    /// Fingerprint of the mutation stream; equal fingerprints mean two
+    /// runs replayed byte-identical churn.
+    pub stream_fingerprint: u64,
+    /// The four checkpoints, in replay order.
+    pub points: Vec<StalenessPoint>,
+}
+
+/// Ops per tier: enough churn to force both merge maintenance and
+/// drift/staleness rebuilds on the tiny oracle databases.
+fn stream_ops(tier: OracleTier) -> usize {
+    match tier {
+        OracleTier::Smoke => 400,
+        OracleTier::Full => 1000,
+    }
+}
+
+/// Replays the mutation stream for every scenario family in the tier.
+pub fn measure_staleness(tier: OracleTier) -> Vec<StalenessScenario> {
+    scenarios(tier)
+        .into_iter()
+        .map(|sc| {
+            let catalog = build_pool(&sc.db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+            let stream = generate_mutations(
+                &sc.db,
+                MutationConfig {
+                    ops: stream_ops(tier),
+                    batch_size: 50,
+                    seed: sc.fingerprint ^ 0x5741_1E0F_F00D_CAFE,
+                    drift: 0.5,
+                },
+            );
+
+            let mut live = LiveCatalog::new(sc.db.clone(), catalog, DeltaConfig::default());
+            let mut points = Vec::with_capacity(4);
+            let mut rebuilds = 0usize;
+            points.push(measure_point("fresh", &live, &sc.queries, rebuilds));
+
+            let half = stream.batches.len().div_ceil(2);
+            for batch in &stream.batches[..half] {
+                rebuilds += live.ingest(batch).expect("ingest").rebuilds();
+            }
+            points.push(measure_point("mid-stream", &live, &sc.queries, rebuilds));
+
+            for batch in &stream.batches[half..] {
+                rebuilds += live.ingest(batch).expect("ingest").rebuilds();
+            }
+            points.push(measure_point("drained", &live, &sc.queries, rebuilds));
+
+            rebuilds += live.refresh_all().expect("refresh").len();
+            points.push(measure_point("refreshed", &live, &sc.queries, rebuilds));
+
+            StalenessScenario {
+                scenario: sc.name.to_string(),
+                fingerprint: sc.fingerprint,
+                stream_fingerprint: stream.fingerprint,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Measures one checkpoint: q-error of the maintained catalog against
+/// truth over the live (mutated) database.
+fn measure_point(
+    name: &str,
+    live: &LiveCatalog,
+    queries: &[SpjQuery],
+    rebuilds: usize,
+) -> StalenessPoint {
+    let db = live.db();
+    let mut oracle = CardinalityOracle::new(db);
+    let mut q_errors = Vec::with_capacity(queries.len());
+    for q in queries {
+        let card = oracle
+            .cardinality(&q.tables, &q.predicates)
+            .expect("oracle cardinality");
+        if card == 0 {
+            continue; // churn emptied the result; q-error undefined
+        }
+        let cross = db.cross_product_size(&q.tables).expect("cross product");
+        let truth = card as f64 / cross as f64;
+        let est = estimate(db, live, q).max(1e-300);
+        q_errors.push((est / truth).max(truth / est));
+    }
+    assert!(
+        !q_errors.is_empty(),
+        "staleness point '{name}': churn emptied every workload query"
+    );
+    q_errors.sort_by(f64::total_cmp);
+    StalenessPoint {
+        point: name.to_string(),
+        ops_applied: live.ops_ingested(),
+        queries: q_errors.len(),
+        median_q_error: round6(percentile(&q_errors, 50.0)),
+        p95_q_error: round6(percentile(&q_errors, 95.0)),
+        max_staleness: round6(live.max_staleness_observed()),
+        rebuilds,
+    }
+}
+
+fn estimate(db: &Database, live: &LiveCatalog, q: &SpjQuery) -> f64 {
+    let mut est = SelectivityEstimator::new(db, q, live.catalog(), ErrorMode::Diff);
+    let all = est.context().all();
+    est.get_selectivity(all).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One cheap scenario end-to-end; the full sweep runs in the accuracy
+    /// binary, not under `cargo test`.
+    #[test]
+    fn baseline_scenario_replays_and_recovers() {
+        let sc = scenarios(OracleTier::Smoke)
+            .into_iter()
+            .find(|s| s.name == "baseline")
+            .expect("baseline scenario");
+        let catalog = build_pool(&sc.db, &sc.queries, PoolSpec::ji(2)).unwrap();
+        let stream = generate_mutations(
+            &sc.db,
+            MutationConfig {
+                ops: 200,
+                batch_size: 50,
+                seed: 7,
+                drift: 0.5,
+            },
+        );
+        let mut live = LiveCatalog::new(sc.db.clone(), catalog, DeltaConfig::default());
+        let fresh = measure_point("fresh", &live, &sc.queries, 0);
+        assert_eq!(fresh.ops_applied, 0);
+        assert_eq!(fresh.max_staleness, 0.0);
+        for b in &stream.batches {
+            live.ingest(b).unwrap();
+        }
+        let drained = measure_point("drained", &live, &sc.queries, 0);
+        assert_eq!(drained.ops_applied, 200);
+        assert!(
+            drained.max_staleness <= live.config().max_staleness + 1e-12,
+            "staleness bound violated: {}",
+            drained.max_staleness
+        );
+        live.refresh_all().unwrap();
+        let refreshed = measure_point("refreshed", &live, &sc.queries, 0);
+        assert_eq!(refreshed.max_staleness, 0.0);
+        assert!(refreshed.median_q_error.is_finite());
+    }
+
+    #[test]
+    fn replays_are_deterministic() {
+        // Two measurements of the same seeds must be byte-identical —
+        // this is what makes the committed baseline meaningful.
+        let a = measure_staleness(OracleTier::Smoke);
+        let b = measure_staleness(OracleTier::Smoke);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for sc in &a {
+            assert_eq!(sc.points.len(), 4);
+            assert_eq!(sc.points[0].point, "fresh");
+            assert_eq!(sc.points[3].point, "refreshed");
+            assert_eq!(sc.points[3].max_staleness, 0.0, "{}", sc.scenario);
+        }
+    }
+}

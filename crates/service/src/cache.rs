@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use sqe_core::{CacheKey, SharedEstimatorCache, SitId};
+use sqe_engine::TableId;
 use sqe_histogram::Histogram;
 
 use crate::lru::LruMap;
@@ -90,6 +91,75 @@ impl ShardedCache {
     /// Number of shards (always a power of two).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// A fresh cache pre-warmed with every entry of `old` that a partial
+    /// catalog install provably keeps valid:
+    ///
+    /// * link and whole-query entries survive unless their key
+    ///   [`CacheKey::touches`] a mutated table;
+    /// * join and `H3` entries survive unless either [`SitId`] of their
+    ///   pair is in `stale_sits` — the SITs whose histogram this install
+    ///   replaced, whether by full rebuild or incremental merge (a stale
+    ///   id names a *new* histogram — its old products are invalid even
+    ///   though the id itself is stable).
+    ///
+    /// A quarantined `old` carries nothing: quarantine means provenance
+    /// was lost, and carrying would launder unproven entries into a clean
+    /// snapshot. Entries replay cold-to-hot per shard so recency survives;
+    /// counters start at zero (they are per-snapshot monitoring state) and
+    /// the returned [`CarryStats`] reports the carried/dropped split.
+    pub fn carry_from(
+        shards: usize,
+        capacity_per_shard: usize,
+        old: &ShardedCache,
+        touched_tables: &[TableId],
+        stale_sits: &[SitId],
+    ) -> (Self, CarryStats) {
+        let new = ShardedCache::new(shards, capacity_per_shard);
+        let mut stats = CarryStats::default();
+        if old.is_quarantined() {
+            stats.dropped = old.len() as u64;
+            return (new, stats);
+        }
+        let pair_stale =
+            |pair: &(SitId, SitId)| stale_sits.contains(&pair.0) || stale_sits.contains(&pair.1);
+        for shard in old.shards.iter() {
+            let shard = shard.lock();
+            for (k, v) in shard.links.iter_lru() {
+                if k.touches(touched_tables) {
+                    stats.dropped += 1;
+                } else {
+                    new.shard_for(k).lock().links.insert(k.clone(), *v);
+                    stats.carried += 1;
+                }
+            }
+            for (k, v) in shard.queries.iter_lru() {
+                if k.touches(touched_tables) {
+                    stats.dropped += 1;
+                } else {
+                    new.shard_for(k).lock().queries.insert(k.clone(), *v);
+                    stats.carried += 1;
+                }
+            }
+            for (k, v) in shard.joins.iter_lru() {
+                if pair_stale(k) {
+                    stats.dropped += 1;
+                } else {
+                    new.shard_for(k).lock().joins.insert(*k, *v);
+                    stats.carried += 1;
+                }
+            }
+            for (k, v) in shard.h3.iter_lru() {
+                if pair_stale(k) {
+                    stats.dropped += 1;
+                } else {
+                    new.shard_for(k).lock().h3.insert(*k, v.clone());
+                    stats.carried += 1;
+                }
+            }
+        }
+        (new, stats)
     }
 
     /// Total live entries across all shards and maps.
@@ -224,6 +294,15 @@ impl SharedEstimatorCache for ShardedCache {
     }
 }
 
+/// What a [`ShardedCache::carry_from`] kept and shed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CarryStats {
+    /// Entries carried into the new cache.
+    pub carried: u64,
+    /// Entries invalidated by the install.
+    pub dropped: u64,
+}
+
 /// Point-in-time cache counters (monotone, process lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheCounters {
@@ -300,6 +379,54 @@ mod tests {
         assert_eq!(c.insertions, 3);
         assert_eq!(c.evictions, 1);
         assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carry_from_filters_by_touched_tables_and_refreshed_sits() {
+        let old = ShardedCache::new(2, 64);
+        let t0 = |i| {
+            let p = Predicate::filter(ColRef::new(TableId(0), 0), CmpOp::Eq, i);
+            CacheKey::conditional(ErrorMode::NInd, &[p], &[])
+        };
+        let t1 = |i| {
+            let p = Predicate::filter(ColRef::new(TableId(1), 0), CmpOp::Eq, i);
+            CacheKey::conditional(ErrorMode::NInd, &[p], &[])
+        };
+        old.put_link(t0(1), (0.1, 0.0));
+        old.put_link(t1(1), (0.2, 0.0));
+        old.put_query(t1(2), (0.3, 0.0));
+        old.put_join((SitId(0), SitId(1)), 0.5);
+        old.put_join((SitId(2), SitId(3)), 0.6);
+        old.put_h3((SitId(0), SitId(2)), (Histogram::default(), 0.7));
+
+        let (new, stats) = ShardedCache::carry_from(
+            2,
+            64,
+            &old,
+            &[TableId(0)], // table 0 mutated
+            &[SitId(0)],   // SIT 0 refreshed
+        );
+        // t0 link dropped; SIT-0 join and h3 dropped.
+        assert_eq!(stats.carried, 3);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(new.get_link(&t0(1)), None);
+        assert_eq!(new.get_link(&t1(1)), Some((0.2, 0.0)));
+        assert_eq!(new.get_query(&t1(2)), Some((0.3, 0.0)));
+        assert_eq!(new.get_join((SitId(0), SitId(1))), None);
+        assert_eq!(new.get_join((SitId(2), SitId(3))), Some(0.6));
+        assert!(new.get_h3((SitId(0), SitId(2))).is_none());
+    }
+
+    #[test]
+    fn carry_from_a_quarantined_cache_carries_nothing() {
+        let old = ShardedCache::new(1, 8);
+        old.put_link(key(1), (0.1, 0.0));
+        old.quarantine();
+        let (new, stats) = ShardedCache::carry_from(1, 8, &old, &[], &[]);
+        assert_eq!(stats.carried, 0);
+        assert_eq!(stats.dropped, 1);
+        assert!(new.is_empty());
+        assert!(!new.is_quarantined());
     }
 
     #[test]

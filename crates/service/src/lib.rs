@@ -32,11 +32,14 @@ pub mod lru;
 pub mod service;
 pub mod stats;
 
-pub use cache::{CacheCounters, ShardedCache};
+pub use cache::{CacheCounters, CarryStats, ShardedCache};
 pub use lru::LruMap;
-pub use service::{CatalogSnapshot, Estimate, EstimationService, ServiceConfig, ServiceError};
+pub use service::{
+    CatalogSnapshot, Estimate, EstimationService, PartialInstallOutcome, ServiceConfig,
+    ServiceError,
+};
 pub use sqe_core::{Budget, CancelToken, DegradeReason, DpStrategy, Quality};
-pub use stats::{ServiceStatsSnapshot, LATENCY_BUCKETS, QUALITY_TIERS};
+pub use stats::{IngestCounters, ServiceStatsSnapshot, LATENCY_BUCKETS, QUALITY_TIERS};
 
 /// The whole point of the crate: everything shared is thread-safe.
 #[allow(dead_code)]

@@ -134,6 +134,22 @@ impl<K: Hash + Eq + Clone, V> LruMap<K, V> {
         self.slab[idx].next = NIL;
     }
 
+    /// Iterates entries from least to most recently used (cold to hot),
+    /// without disturbing recency. Re-inserting into a fresh map in this
+    /// order reproduces the recency ordering — the cache carry-over of a
+    /// partial snapshot install walks it.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut at = self.tail;
+        std::iter::from_fn(move || {
+            if at == NIL {
+                return None;
+            }
+            let e = &self.slab[at];
+            at = e.prev;
+            Some((&e.key, &e.value))
+        })
+    }
+
     /// Links slot `idx` as the most recently used.
     fn push_front(&mut self, idx: usize) {
         self.slab[idx].prev = NIL;
@@ -205,6 +221,23 @@ mod tests {
         assert_eq!(m.get(&99), Some(&198));
         assert_eq!(m.get(&97), Some(&194));
         assert_eq!(m.get(&0), None);
+    }
+
+    #[test]
+    fn iter_lru_walks_cold_to_hot() {
+        let mut m = LruMap::new(4);
+        for i in 0..4 {
+            m.insert(i, i * 10);
+        }
+        m.get(&1);
+        let cold_to_hot: Vec<i32> = m.iter_lru().map(|(k, _)| *k).collect();
+        assert_eq!(cold_to_hot, vec![0, 2, 3, 1]);
+        // Replaying into a fresh map preserves recency.
+        let mut n = LruMap::new(4);
+        for (k, v) in m.iter_lru() {
+            n.insert(*k, *v);
+        }
+        assert_eq!(recency(&n), recency(&m));
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use sqe_core::{
-    build_pool_threaded, Budget, CacheKey, DegradeReason, DpStrategy, ErrorMode, Ladder, PoolSpec,
-    Quality, SelectivityEstimator, Sit2Catalog, SitCatalog, SitOptions,
+    build_pool_threaded, Budget, CacheKey, DegradeReason, DpStrategy, ErrorMode, IngestReport,
+    Ladder, PoolSpec, Quality, SelectivityEstimator, Sit2Catalog, SitCatalog, SitOptions,
 };
 use sqe_engine::{Database, Result as EngineResult, SpjQuery};
 
@@ -146,6 +146,18 @@ impl CatalogSnapshot {
     }
 }
 
+/// What a [`EstimationService::partial_install`] published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialInstallOutcome {
+    /// Epoch of the installed snapshot.
+    pub epoch: u64,
+    /// Cross-query cache entries carried into the new snapshot.
+    pub cache_carried: u64,
+    /// Cache entries invalidated (their keys covered mutated tables or
+    /// refreshed SITs).
+    pub cache_dropped: u64,
+}
+
 /// One answered estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
@@ -192,8 +204,10 @@ pub struct Estimate {
 /// stores values that are pure functions of `(predicates, conditioning set,
 /// mode, snapshot)`.
 pub struct EstimationService {
-    db: Arc<Database>,
     config: ServiceConfig,
+    /// The database lives inside each snapshot (not on the service):
+    /// partial installs can evolve it, and a reader's estimates must be
+    /// consistent with the database its catalog was built against.
     current: RwLock<Arc<CatalogSnapshot>>,
     stats: ServiceStats,
     admission: AdmissionControl,
@@ -206,14 +220,13 @@ impl EstimationService {
         // a no-op (one Once check) otherwise.
         sqe_core::failpoint::init_from_env();
         let snapshot = Arc::new(CatalogSnapshot {
-            db: Arc::clone(&db),
+            db,
             sits: catalog,
             sit2: None,
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
             epoch: 0,
         });
         EstimationService {
-            db,
             config,
             current: RwLock::new(snapshot),
             stats: ServiceStats::default(),
@@ -236,21 +249,86 @@ impl EstimationService {
     /// catalog) as the next snapshot, with a fresh cache and a bumped
     /// epoch. In-flight readers keep their old snapshot; new estimates see
     /// the new one.
+    ///
+    /// The epoch is computed and the snapshot swapped under **one** write
+    /// lock, so racing installs serialize and every published snapshot gets
+    /// a distinct, strictly increasing epoch. (Reading the epoch under a
+    /// separate read lock would let two racing installs both publish
+    /// `epoch + 1`.)
     pub fn install(&self, catalog: SitCatalog, sit2: Option<Sit2Catalog>) {
         sqe_core::failpoint::fire("service::install");
-        let epoch = self.current.read().epoch + 1;
+        let mut current = self.current.write();
         let snapshot = Arc::new(CatalogSnapshot {
-            db: Arc::clone(&self.db),
+            db: Arc::clone(&current.db),
             sits: catalog,
             sit2,
             cache: ShardedCache::new(
                 self.config.cache_shards,
                 self.config.cache_capacity_per_shard,
             ),
+            epoch: current.epoch + 1,
+        });
+        *current = snapshot;
+        drop(current);
+        self.stats.record_install();
+    }
+
+    /// Publishes a delta-ingested catalog as an **epoch-tagged partial
+    /// snapshot**: the new snapshot carries the evolved database and
+    /// catalog, and — unlike [`EstimationService::install`] — it *carries
+    /// over* every cross-query cache entry that the ingest could not have
+    /// invalidated. Link and whole-query entries survive unless one of
+    /// their predicates reads a mutated table; join-product and `H3`
+    /// entries survive unless either of their SITs was rebuilt (SIT
+    /// identities are preserved for untouched SITs, so the keys stay
+    /// meaningful).
+    ///
+    /// Epoch bump, cache carry-over, and snapshot swap all happen under one
+    /// write lock: a concurrent [`EstimationService::estimate`] either runs
+    /// entirely against the old snapshot or entirely against the new one —
+    /// never against a half-installed catalog — and racing installs get
+    /// distinct epochs.
+    pub fn partial_install(
+        &self,
+        db: Arc<Database>,
+        catalog: SitCatalog,
+        sit2: Option<Sit2Catalog>,
+        report: &IngestReport,
+    ) -> PartialInstallOutcome {
+        sqe_core::failpoint::fire("service::partial_install");
+        // Both rebuilt *and* incrementally merged SITs carry new
+        // histograms under a stable id, so cached SIT-pair products from
+        // either are stale; only deferred SITs keep their entries valid.
+        let mut stale_sits = report.sits_refreshed.clone();
+        stale_sits.extend_from_slice(&report.sits_merged);
+        let mut current = self.current.write();
+        let (cache, carry) = ShardedCache::carry_from(
+            self.config.cache_shards,
+            self.config.cache_capacity_per_shard,
+            &current.cache,
+            &report.tables_touched,
+            &stale_sits,
+        );
+        let epoch = current.epoch + 1;
+        *current = Arc::new(CatalogSnapshot {
+            db,
+            sits: catalog,
+            sit2,
+            cache,
             epoch,
         });
-        *self.current.write() = snapshot;
-        self.stats.record_install();
+        drop(current);
+        self.stats.record_partial_install(
+            report.ops_applied as u64,
+            report.sits_refreshed.len() as u64,
+            carry.carried,
+            carry.dropped,
+        );
+        PartialInstallOutcome {
+            epoch,
+            cache_carried: carry.carried,
+            cache_dropped: carry.dropped,
+        }
     }
 
     /// Builds the `J_i` SIT pool for `workload` on this service's build
@@ -266,7 +344,14 @@ impl EstimationService {
         let threads = self.config.build_threads.unwrap_or_else(|| {
             std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("non-zero"))
         });
-        let catalog = build_pool_threaded(&self.db, workload, spec, opts, threads)?;
+        // Build against the database of the *current* snapshot (partial
+        // installs may have evolved it past the one the service started
+        // with). A partial install racing the build wins the data race
+        // benignly: install() re-reads the then-current db under the write
+        // lock, but the catalog built here could be one generation behind —
+        // callers serialize rebuilds with ingest for exact results.
+        let db = Arc::clone(&self.snapshot().db);
+        let catalog = build_pool_threaded(&db, workload, spec, opts, threads)?;
         self.install(catalog, None);
         Ok(())
     }
@@ -579,7 +664,7 @@ impl EstimationService {
             return;
         }
         let replacement = Arc::new(CatalogSnapshot {
-            db: Arc::clone(&self.db),
+            db: Arc::clone(&snapshot.db),
             sits: snapshot.sits.clone(),
             sit2: snapshot.sit2.clone(),
             cache: ShardedCache::new(
@@ -690,6 +775,79 @@ mod tests {
         assert!(now.cache().is_empty(), "new snapshot starts cold");
         assert_eq!(svc.estimate(&q).epoch, 1);
         assert_eq!(svc.stats().installs, 1);
+    }
+
+    #[test]
+    fn partial_install_carries_untouched_cache_and_drops_touched() {
+        let db = small_db();
+        let svc = service(&db);
+        let q = query(1);
+        svc.estimate(&q);
+        assert!(!svc.snapshot().cache().is_empty());
+
+        // An ingest touching no tables and refreshing no SITs carries the
+        // whole cache across: the repeat estimate still hits.
+        let snap = svc.snapshot();
+        let out = svc.partial_install(
+            Arc::clone(&db),
+            snap.sits().clone(),
+            None,
+            &IngestReport::default(),
+        );
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.cache_dropped, 0);
+        assert!(out.cache_carried > 0);
+        let warm = svc.estimate(&q);
+        assert!(warm.cached, "query entry survived the partial install");
+        assert_eq!(warm.epoch, 1);
+
+        // Touching table 0 invalidates every key reading it — the repeat
+        // estimate recomputes.
+        let report = IngestReport {
+            tables_touched: vec![TableId(0)],
+            ..IngestReport::default()
+        };
+        let out = svc.partial_install(
+            Arc::clone(&db),
+            svc.snapshot().sits().clone(),
+            None,
+            &report,
+        );
+        assert_eq!(out.epoch, 2);
+        assert!(out.cache_dropped > 0);
+        assert!(!svc.estimate(&q).cached);
+
+        let stats = svc.stats();
+        assert_eq!(stats.installs, 2, "partial installs count as installs");
+        assert_eq!(stats.ingest.partial_installs, 2);
+        assert_eq!(stats.ingest.cache_dropped, out.cache_dropped);
+    }
+
+    #[test]
+    fn racing_installs_publish_distinct_increasing_epochs() {
+        // Regression: install() used to read the epoch under a read lock
+        // and swap under a separate write lock, so two racing installs
+        // could both publish `epoch + 1`. Epoch now advances under the one
+        // write lock that swaps the snapshot.
+        let db = small_db();
+        let svc = service(&db);
+        let catalog = svc.snapshot().sits().clone();
+        let svc = &svc;
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let catalog = catalog.clone();
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    if i % 2 == 0 {
+                        svc.install(catalog, None);
+                    } else {
+                        svc.partial_install(db, catalog, None, &IngestReport::default());
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.snapshot().epoch(), 8, "every install got its own epoch");
+        assert_eq!(svc.stats().installs, 8);
     }
 
     #[test]

@@ -56,6 +56,18 @@ pub(crate) struct ServiceStats {
     /// Requests whose estimator panicked and was isolated; each also
     /// quarantines its snapshot's cache.
     quarantines: AtomicU64,
+    /// Partial snapshot installs (delta-ingest publishes).
+    partial_installs: AtomicU64,
+    /// Delta batches published through partial installs.
+    ingest_batches: AtomicU64,
+    /// Row ops covered by those batches.
+    ingest_ops: AtomicU64,
+    /// SITs rebuilt (drift- or staleness-triggered) across all ingests.
+    sits_refreshed: AtomicU64,
+    /// Cache entries carried across partial installs.
+    cache_carried: AtomicU64,
+    /// Cache entries invalidated by partial installs.
+    cache_dropped: AtomicU64,
 }
 
 impl ServiceStats {
@@ -75,6 +87,22 @@ impl ServiceStats {
 
     pub(crate) fn record_install(&self) {
         self.installs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_partial_install(
+        &self,
+        ops: u64,
+        refreshed: u64,
+        carried: u64,
+        dropped: u64,
+    ) {
+        self.installs.fetch_add(1, Ordering::Relaxed);
+        self.partial_installs.fetch_add(1, Ordering::Relaxed);
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_ops.fetch_add(ops, Ordering::Relaxed);
+        self.sits_refreshed.fetch_add(refreshed, Ordering::Relaxed);
+        self.cache_carried.fetch_add(carried, Ordering::Relaxed);
+        self.cache_dropped.fetch_add(dropped, Ordering::Relaxed);
     }
 
     pub(crate) fn record_quality(
@@ -133,9 +161,34 @@ impl ServiceStats {
             degrade_reasons: load(&self.degrade_reasons),
             sheds: self.sheds.load(Ordering::Relaxed),
             quarantines: self.quarantines.load(Ordering::Relaxed),
+            ingest: IngestCounters {
+                partial_installs: self.partial_installs.load(Ordering::Relaxed),
+                batches: self.ingest_batches.load(Ordering::Relaxed),
+                ops: self.ingest_ops.load(Ordering::Relaxed),
+                sits_refreshed: self.sits_refreshed.load(Ordering::Relaxed),
+                cache_carried: self.cache_carried.load(Ordering::Relaxed),
+                cache_dropped: self.cache_dropped.load(Ordering::Relaxed),
+            },
             cache,
         }
     }
+}
+
+/// Point-in-time delta-ingest counters (partial snapshot installs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestCounters {
+    /// Partial snapshot installs published.
+    pub partial_installs: u64,
+    /// Delta batches those installs covered.
+    pub batches: u64,
+    /// Row ops those batches applied.
+    pub ops: u64,
+    /// SITs rebuilt across all ingests.
+    pub sits_refreshed: u64,
+    /// Cache entries carried across partial installs.
+    pub cache_carried: u64,
+    /// Cache entries invalidated by partial installs.
+    pub cache_dropped: u64,
 }
 
 /// Bucket index for a latency in nanoseconds.
@@ -174,6 +227,8 @@ pub struct ServiceStatsSnapshot {
     pub sheds: u64,
     /// Panicking requests isolated; each quarantined a snapshot cache.
     pub quarantines: u64,
+    /// Delta-ingest counters (partial snapshot installs).
+    pub ingest: IngestCounters,
     /// Counters of the *current* snapshot's sharded cache (reset on every
     /// install, since the cache is per snapshot).
     pub cache: CacheCounters,
@@ -229,6 +284,19 @@ impl fmt::Display for ServiceStatsSnapshot {
                 }
             }
             writeln!(f, " sheds={} quarantines={}", self.sheds, self.quarantines)?;
+        }
+        if self.ingest.partial_installs > 0 {
+            writeln!(
+                f,
+                "ingest: {} partial installs ({} batches, {} ops), {} SIT refreshes, \
+                 cache carried {} / dropped {}",
+                self.ingest.partial_installs,
+                self.ingest.batches,
+                self.ingest.ops,
+                self.ingest.sits_refreshed,
+                self.ingest.cache_carried,
+                self.ingest.cache_dropped
+            )?;
         }
         writeln!(
             f,

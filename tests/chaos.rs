@@ -15,12 +15,15 @@
 //! and runs the scenario in one `#[test]` (serialized with the shared
 //! guard for safety against future additions).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use sqe::core::failpoint::{self, Action};
+use sqe::core::{DeltaConfig, LiveCatalog};
+use sqe::datagen::database_fingerprint;
+use sqe::engine::delta::{DeltaBatch, RowOp, TableDelta};
 use sqe::engine::table::TableBuilder;
 use sqe::prelude::*;
 use sqe::service::Budget;
@@ -254,4 +257,202 @@ fn randomized_faults_never_hang_poison_or_mislabel() {
         stats.estimates,
         "every request was budgeted, so per-quality counters cover them all"
     );
+}
+
+/// Deterministic mutation batches over the 3-table chaos database:
+/// inserts, updates, and deletes in rotation, with row indices tracked
+/// against the running row count so every op is valid when it applies.
+fn chaos_batches(batches: usize, ops_per_batch: usize) -> Vec<DeltaBatch> {
+    let mut rng = Rng(0xC4A0_5BA7C4);
+    let mut rows = [256usize; 3];
+    (0..batches)
+        .map(|seq| {
+            // One TableDelta per table per batch (apply_batch rejects
+            // duplicates); within a table, ops keep generation order so
+            // the tracked row counts stay valid at application time.
+            let mut per_table: [Vec<RowOp>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for _ in 0..ops_per_batch {
+                let t = (rng.next() % 3) as usize;
+                let op = match rng.next() % 4 {
+                    0 | 1 => {
+                        rows[t] += 1;
+                        RowOp::Insert {
+                            values: vec![
+                                Some((rng.next() % 23) as i64),
+                                Some((rng.next() % 17) as i64),
+                            ],
+                        }
+                    }
+                    2 => RowOp::Update {
+                        row: (rng.next() as usize) % rows[t],
+                        column: (rng.next() % 2) as u16,
+                        value: Some((rng.next() % 23) as i64),
+                    },
+                    _ => {
+                        if rows[t] > 64 {
+                            rows[t] -= 1;
+                            RowOp::Delete {
+                                row: (rng.next() as usize) % (rows[t] + 1),
+                            }
+                        } else {
+                            rows[t] += 1;
+                            RowOp::Insert {
+                                values: vec![Some(0), Some(0)],
+                            }
+                        }
+                    }
+                };
+                per_table[t].push(op);
+            }
+            DeltaBatch {
+                seq: seq as u64,
+                deltas: per_table
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, ops)| !ops.is_empty())
+                    .map(|(t, ops)| TableDelta {
+                        table: TableId(t as u32),
+                        ops,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Chaos on the ingest path: `delta::apply_batch` panics mid-stream and
+/// `service::partial_install` stalls, while estimate workers hammer the
+/// service across the resulting partial snapshot installs. The contract:
+///
+/// * an injected ingest panic loses nothing — the batch retries and the
+///   drained live catalog is bit-identical to a fault-free replay of the
+///   same stream (database fingerprint, every ingest report, every SIT);
+/// * the faulty service's final answers — served through a cache that was
+///   carried across every partial install — are bit-identical to a clean
+///   service built cold over the replayed final state;
+/// * recovery is clean: after disarming, the service keeps serving and
+///   the snapshot epoch counts exactly one install per batch.
+#[test]
+fn ingest_faults_retry_cleanly_and_converge_bit_identically() {
+    let _guard = failpoint::test_serial_guard();
+    failpoint::disarm_all();
+
+    let db = chaos_db();
+    let queries = chaos_queries(&db);
+    let catalog = sqe::core::build_pool(&db, &queries, PoolSpec::ji(1)).expect("pool");
+    let batches = chaos_batches(30, 12);
+
+    let svc = Arc::new(chaos_service(&db, catalog.clone()));
+    let mut live = LiveCatalog::new((*db).clone(), catalog.clone(), DeltaConfig::default());
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    failpoint::arm_with("delta::apply_batch", Action::Panic, 3, None, 55);
+    failpoint::arm_with("service::partial_install", Action::Sleep(1), 4, None, 66);
+
+    let retries = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let mut faulty_reports = Vec::new();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        // Estimate workers run for the whole ingest, racing the partial
+        // installs (and their injected stalls).
+        for _ in 0..4 {
+            let (svc, queries, stop) = (&svc, &queries, &stop);
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let e = svc.estimate(&queries[i % queries.len()]);
+                    assert!(e.selectivity.is_finite(), "non-finite under ingest chaos");
+                    i += 1;
+                }
+            });
+        }
+        // The ingest worker: every batch must land exactly once, however
+        // many injected panics it takes.
+        {
+            let (svc, retries, stop) = (&svc, &retries, &stop);
+            let (live, faulty_reports) = (&mut live, &mut faulty_reports);
+            let batches = &batches;
+            let done_tx = done_tx.clone();
+            s.spawn(move || {
+                // Raise the flag however this thread exits — if it
+                // panics, the estimate workers must still terminate or
+                // the scope would deadlock behind a muted panic.
+                struct StopOnDrop<'a>(&'a AtomicBool);
+                impl Drop for StopOnDrop<'_> {
+                    fn drop(&mut self) {
+                        self.0.store(true, Ordering::Release);
+                    }
+                }
+                let _stop = StopOnDrop(stop);
+                for batch in batches {
+                    let report = loop {
+                        let attempt =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                live.ingest(batch)
+                            }));
+                        match attempt {
+                            Ok(r) => break r.expect("ingest on a well-formed batch"),
+                            Err(_) => {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    };
+                    svc.partial_install(
+                        Arc::new(live.db().clone()),
+                        live.catalog().clone(),
+                        None,
+                        &report,
+                    );
+                    faulty_reports.push(report);
+                }
+                done_tx.send(()).unwrap();
+            });
+        }
+        drop(done_tx);
+        done_rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("ingest chaos hung: watchdog fired");
+    });
+
+    failpoint::disarm_all();
+    std::panic::set_hook(prev_hook);
+    assert!(
+        retries.load(Ordering::Relaxed) > 0,
+        "a 1-in-3 panic rate over 30 batches must have fired at least once"
+    );
+
+    // Fault-free replay of the identical stream: the faulty run must have
+    // lost nothing and duplicated nothing.
+    let mut replay = LiveCatalog::new((*db).clone(), catalog, DeltaConfig::default());
+    let replay_reports: Vec<_> = batches
+        .iter()
+        .map(|b| replay.ingest(b).expect("fault-free ingest"))
+        .collect();
+    assert_eq!(faulty_reports, replay_reports, "ingest reports diverged");
+    assert_eq!(
+        database_fingerprint(live.db()),
+        database_fingerprint(replay.db()),
+        "faulty and fault-free runs landed on different databases"
+    );
+    for ((id, a), (_, b)) in live.catalog().iter().zip(replay.catalog().iter()) {
+        assert_eq!(a.histogram, b.histogram, "{id:?} diverged from replay");
+        assert_eq!(a.diff.to_bits(), b.diff.to_bits(), "{id:?}");
+    }
+
+    // Recovery: the faulty service — whose cache was carried across every
+    // partial install — answers bit-identically to a clean service built
+    // cold over the replayed final state.
+    let final_db = Arc::new(replay.db().clone());
+    let clean = chaos_service(&final_db, replay.catalog().clone());
+    for q in &queries {
+        assert_eq!(
+            svc.estimate(q).selectivity.to_bits(),
+            clean.estimate(q).selectivity.to_bits(),
+            "carried cache served a stale answer after the install stream"
+        );
+    }
+    assert_eq!(svc.snapshot().epoch(), batches.len() as u64);
+    assert_eq!(svc.stats().ingest.partial_installs, batches.len() as u64);
 }

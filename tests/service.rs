@@ -11,7 +11,10 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use sqe::core::cache::CacheKey;
-use sqe::core::{build_pool_threaded, PoolSpec, SitOptions};
+use sqe::core::{
+    build_pool_threaded, DeltaConfig, IngestReport, LiveCatalog, PoolSpec, SitOptions,
+};
+use sqe::datagen::{generate_mutations, MutationConfig};
 use sqe::prelude::*;
 use sqe::service::{EstimationService, ServiceConfig};
 
@@ -190,6 +193,105 @@ fn install_landing_mid_batch_never_tears_a_parallel_batch() {
             );
         }
     }
+}
+
+/// Concurrent estimates racing `partial_install` must never observe a
+/// half-installed catalog: every estimate pins one snapshot, and its value
+/// bits must match the single-threaded reference for exactly the catalog
+/// generation its epoch names. An installer thread flips the service
+/// between two fully-known states — the seed catalog (A) and a
+/// delta-maintained catalog over a mutated database (B) — while worker
+/// threads stream the workload; a torn install (epoch bumped before the
+/// catalog/db/cache swap, or a stale cache entry surviving into the wrong
+/// generation) would surface as an estimate whose bits belong to neither
+/// state, or to the wrong state for its epoch.
+#[test]
+fn estimates_racing_partial_install_never_see_a_half_installed_catalog() {
+    use sqe::core::SitId;
+    use std::collections::BTreeSet;
+
+    let (db, wl, svc) = service_setup(ErrorMode::Diff);
+    let catalog_a = build_pool(&db, &wl, PoolSpec::ji(2)).unwrap();
+    let expected_a = reference(&db, &wl, &catalog_a, ErrorMode::Diff);
+
+    // State B: replay a seeded mutation stream through a live catalog,
+    // then force-refresh so B is exactly the cold build over the mutated
+    // database. The synthetic install report carries the union of touched
+    // tables and every SIT whose histogram ever changed, so the cache
+    // carry-over is valid in both install directions (A -> B and B -> A).
+    let stream = generate_mutations(
+        &db,
+        MutationConfig {
+            ops: 300,
+            batch_size: 50,
+            seed: 0x9E10_C4EC,
+            drift: 1.5,
+        },
+    );
+    let mut live = LiveCatalog::new((*db).clone(), catalog_a.clone(), DeltaConfig::default());
+    let mut touched = BTreeSet::new();
+    let mut stale: BTreeSet<SitId> = BTreeSet::new();
+    let mut ops = 0usize;
+    for batch in &stream.batches {
+        let r = live.ingest(batch).unwrap();
+        touched.extend(r.tables_touched.iter().copied());
+        stale.extend(r.sits_refreshed.iter().copied());
+        stale.extend(r.sits_merged.iter().copied());
+        ops += r.ops_applied;
+    }
+    stale.extend(live.refresh_all().unwrap());
+    let db_b = Arc::new(live.db().clone());
+    let catalog_b = live.catalog().clone();
+    let expected_b = reference(&db_b, &wl, &catalog_b, ErrorMode::Diff);
+    assert_ne!(
+        expected_a, expected_b,
+        "the stream must actually change some estimates or the race proves nothing"
+    );
+    let report = IngestReport {
+        ops_applied: ops,
+        tables_touched: touched.into_iter().collect(),
+        sits_refreshed: stale.into_iter().collect(),
+        ..IngestReport::default()
+    };
+
+    // Epoch 0 is state A; the installer alternates B, A, B, ... so odd
+    // epochs are B and even epochs are A.
+    const INSTALLS: usize = 6;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..INSTALLS {
+                if i % 2 == 0 {
+                    svc.partial_install(Arc::clone(&db_b), catalog_b.clone(), None, &report);
+                } else {
+                    svc.partial_install(Arc::clone(&db), catalog_a.clone(), None, &report);
+                }
+            }
+        });
+        for _ in 0..4 {
+            let (svc, wl, expected_a, expected_b) = (&svc, &wl, &expected_a, &expected_b);
+            s.spawn(move || {
+                for _pass in 0..4 {
+                    for (j, q) in wl.iter().enumerate() {
+                        let got = svc.estimate(q);
+                        let want = if got.epoch % 2 == 0 {
+                            expected_a[j]
+                        } else {
+                            expected_b[j]
+                        };
+                        assert_eq!(
+                            got.selectivity.to_bits(),
+                            want,
+                            "query {j} at epoch {}: bits belong to the wrong catalog \
+                             generation — the snapshot was torn",
+                            got.epoch
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(svc.snapshot().epoch(), INSTALLS as u64);
+    assert_eq!(svc.stats().ingest.partial_installs, INSTALLS as u64);
 }
 
 /// A fixed universe of distinct predicates over a 3-table schema; subsets
