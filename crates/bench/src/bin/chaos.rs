@@ -31,7 +31,7 @@ use sqe_bench::report::write_json;
 use sqe_bench::{Args, Setup, SetupConfig};
 use sqe_core::failpoint::{self, Action};
 use sqe_core::{CancelToken, Quality};
-use sqe_service::{Budget, EstimationService, ServiceConfig, ServiceError};
+use sqe_service::{Budget, DpThreadsMode, EstimationService, ServiceConfig, ServiceError};
 
 /// Deterministic xorshift64* stream per worker.
 struct Rng(u64);
@@ -93,7 +93,7 @@ fn main() {
         Arc::clone(&db),
         pool.clone(),
         ServiceConfig {
-            dp_threads: std::num::NonZeroUsize::new(2),
+            dp_threads: DpThreadsMode::Fixed(std::num::NonZeroUsize::new(2).unwrap()),
             max_in_flight: 32,
             ..ServiceConfig::default()
         },

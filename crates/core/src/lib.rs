@@ -59,6 +59,7 @@ pub mod pool;
 pub mod predset;
 pub mod sit;
 pub mod sit2;
+mod steal;
 
 pub use baseline::NoSitEstimator;
 pub use budget::{Budget, BudgetMeter, CancelToken, DegradeReason, ExhaustReason, Quality};
@@ -66,9 +67,11 @@ pub use cache::{CacheKey, SharedEstimatorCache};
 pub use decomposition::{count_decompositions, decomposition_bounds, ComponentTable};
 pub use delta::{DeltaConfig, IngestReport, LiveCatalog};
 pub use error::ErrorMode;
-pub use estimator::{DpStrategy, EstimatorStats, SelectivityEstimator};
+pub use estimator::{
+    DpStrategy, EstimatorStats, FillSchedule, SelectivityEstimator, WS_MIN_LATTICE_MASKS,
+};
 pub use feedback::{FeedbackStore, Observation};
-pub use flat::{DenseMemo, FlatMemo};
+pub use flat::{DenseMemo, FlatMemo, PeelMemo};
 pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
 pub use ladder::{BudgetedEstimate, Ladder};
@@ -77,3 +80,4 @@ pub use pool::{build_pool, build_pool_threaded, build_pool_with, PoolSpec};
 pub use predset::{PredSet, QueryContext};
 pub use sit::{Sit, SitCatalog, SitId, SitOptions};
 pub use sit2::{build_pool2, Sit2, Sit2Catalog, Sit2Id};
+pub use steal::FillStats;

@@ -18,6 +18,7 @@
 //! parallel fill in `Opt` mode (see `rank_workers`).
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate};
@@ -58,6 +59,30 @@ pub(crate) struct LinkCtx<'e> {
     pub shared: Option<&'e dyn SharedEstimatorCache>,
 }
 
+/// Per-peel scratch arenas, reset at every [`compute_peel`] entry. The
+/// candidate and option lists built while evaluating one link are small,
+/// short-lived, and allocated `O(n·2ⁿ)` times per query — a bump arena
+/// turns each of those heap round-trips into a length reset plus appends
+/// into already-warm capacity. Callers hold `Range<usize>` views instead of
+/// owned `Vec`s; ranges never outlive the peel that produced them.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Candidate-SIT arena backing [`mask_candidates`] results.
+    pub sits: Vec<SitId>,
+    /// Option arena backing [`peel_filter`]'s `(error, coverage, estimate)`
+    /// candidates, appended to by [`push_sit2_options`].
+    pub opts: Vec<(f64, usize, f64)>,
+}
+
+impl Scratch {
+    /// Drops all live ranges (there are none between peels) but keeps the
+    /// allocated capacity.
+    fn reset(&mut self) {
+        self.sits.clear();
+        self.opts.clear();
+    }
+}
+
 /// The mutable memoization state of peel evaluation: value caches keyed by
 /// ids/predicates (pure functions of their keys) plus the instrumentation
 /// counters. Fork one per worker thread; absorb the forks afterwards.
@@ -86,6 +111,9 @@ pub(crate) struct LinkState {
     /// View-matching calls issued from the peel path (the estimator's
     /// [`crate::matcher::SitMatcher`] counter covers the non-peel callers).
     pub vm_calls: u64,
+    /// Per-peel bump arenas (candidates, options). Not a cache: contents
+    /// are meaningless outside the current [`compute_peel`] call.
+    pub scratch: Scratch,
 }
 
 impl LinkState {
@@ -105,11 +133,13 @@ impl LinkState {
             cond2_cache: self.cond2_cache.clone(),
             hist_time: Duration::ZERO,
             vm_calls: 0,
+            scratch: Scratch::default(),
         }
     }
 
     /// Merges a fork back. Cache values are pure functions of their keys,
     /// so overwrite order between forks is irrelevant; counters add.
+    /// Scratch arenas are per-peel transients and are deliberately dropped.
     pub fn absorb(&mut self, other: LinkState) {
         self.filter_sel_cache.extend(other.filter_sel_cache);
         self.h3_sel_cache.extend(other.h3_sel_cache);
@@ -132,6 +162,7 @@ pub(crate) fn compute_peel(
     i: usize,
     cset: PredSet,
 ) -> (f64, f64) {
+    st.scratch.reset();
     let pred = *lc.ctx.predicate(i);
     // Cross-query lookup: the link's value depends only on the predicate,
     // the conditioning *set*, and the mode (every in-link choice below
@@ -162,13 +193,17 @@ pub(crate) fn compute_peel(
 /// returns for `predicates_of(cset)`, with both tests reduced to bitwise
 /// operations (conditions map injectively to predicate-index masks, so set
 /// inclusion ≡ mask inclusion). Counts one view-matching call.
-fn mask_candidates(lc: &LinkCtx, st: &mut LinkState, attr: ColRef, cset: PredSet) -> Vec<SitId> {
+///
+/// Results are appended to the `st.scratch.sits` arena and returned as a
+/// range into it — no allocation on the per-mask hot path. The range stays
+/// valid for the rest of the current peel (later calls only append).
+fn mask_candidates(lc: &LinkCtx, st: &mut LinkState, attr: ColRef, cset: PredSet) -> Range<usize> {
     st.vm_calls += 1;
+    let start = st.scratch.sits.len();
     let Some(list) = lc.cand_index.get(&attr) else {
-        return Vec::new();
+        return start..start;
     };
     let outside = !cset.0;
-    let mut out = Vec::with_capacity(list.len());
     for (k, &(id, m)) in list.iter().enumerate() {
         if m & outside != 0 {
             continue;
@@ -178,10 +213,10 @@ fn mask_candidates(lc: &LinkCtx, st: &mut LinkState, attr: ColRef, cset: PredSet
             .enumerate()
             .any(|(j, &(_, om))| j != k && om & outside == 0 && om != m && m & !om == 0);
         if !dominated {
-            out.push(id);
+            st.scratch.sits.push(id);
         }
     }
-    out
+    start..st.scratch.sits.len()
 }
 
 /// `Sel(x = y | cset)`: join the best SITs for both sides.
@@ -208,8 +243,8 @@ fn peel_join(
     }
     match lc.mode {
         ErrorMode::NInd | ErrorMode::Diff => {
-            let (l, el) = pick_best(lc.catalog, lc.mode, &cand_l, cset);
-            let (r, er) = pick_best(lc.catalog, lc.mode, &cand_r, cset);
+            let (l, el) = pick_best(lc.catalog, lc.mode, &st.scratch.sits[cand_l], cset);
+            let (r, er) = pick_best(lc.catalog, lc.mode, &st.scratch.sits[cand_r], cset);
             let est = join_selectivity(lc, st, l, r);
             // A join uses two statistics; each side's uncovered
             // conditioning (or divergence shortfall) is its own set of
@@ -218,11 +253,13 @@ fn peel_join(
         }
         ErrorMode::Opt => {
             // Oracle mode: try every candidate pair, score by true
-            // deviation.
+            // deviation. Index loops: the arena lives in `st`, which
+            // `join_selectivity` also borrows mutably.
             let truth = true_conditional(lc, oracle, i, cset);
             let mut best = (f64::INFINITY, MIN_SEL);
-            for &l in &cand_l {
-                for &r in &cand_r {
+            for li in cand_l {
+                for ri in cand_r.clone() {
+                    let (l, r) = (st.scratch.sits[li], st.scratch.sits[ri]);
                     let est = join_selectivity(lc, st, l, r);
                     let dev = opt_deviation(est, truth);
                     if dev < best.0 {
@@ -256,10 +293,12 @@ fn peel_filter(
     // of the option itself — never its position — so the choice is
     // invariant under predicate reordering, which cross-query link caching
     // relies on (two queries listing the same conditioning set in
-    // different orders assemble this vector in different orders).
-    let mut options: Vec<(f64, usize, f64)> = Vec::new();
+    // different orders assemble this list in different orders). Options
+    // accumulate in the `opts` arena from `mark` onward.
+    let mark = st.scratch.opts.len();
 
-    for id in mask_candidates(lc, st, col, cset) {
+    for ci in mask_candidates(lc, st, col, cset) {
+        let id = st.scratch.sits[ci];
         let sit = lc.catalog.get(id);
         let est = match st.filter_sel_cache.get(&(id, i)) {
             Some(&e) => e,
@@ -275,7 +314,7 @@ fn peel_filter(
             (ErrorMode::Opt, Some(t)) => opt_deviation(est, t),
             _ => lc.mode.sit_error(cset.len(), sit.cond.len(), sit.diff),
         };
-        options.push((err, sit.cond.len(), est));
+        st.scratch.opts.push((err, sit.cond.len(), est));
     }
 
     // H3: for a join j = (col = other) in cset, join the two sides' SITs
@@ -296,8 +335,8 @@ fn peel_filter(
         let cand_c = mask_candidates(lc, st, col, sub);
         let cand_o = mask_candidates(lc, st, other, sub);
         let (Some((sc, _)), Some((so, _))) = (
-            pick_best_opt(lc.catalog, lc.mode, &cand_c, sub),
-            pick_best_opt(lc.catalog, lc.mode, &cand_o, sub),
+            pick_best_opt(lc.catalog, lc.mode, &st.scratch.sits[cand_c], sub),
+            pick_best_opt(lc.catalog, lc.mode, &st.scratch.sits[cand_o], sub),
         ) else {
             continue;
         };
@@ -329,12 +368,14 @@ fn peel_filter(
             (ErrorMode::Diff, _) => 1.0 - h3_diff.clamp(0.0, 1.0),
             _ => (cset.len() - coverage) as f64,
         };
-        options.push((err, coverage, est));
+        st.scratch.opts.push((err, coverage, est));
     }
 
-    push_sit2_options(lc, st, &mut options, col, pred, cset, truth);
+    push_sit2_options(lc, st, col, pred, cset, truth);
 
-    match options.into_iter().min_by(|a, b| {
+    // `Iterator::min_by` keeps the *first* of equally-minimal elements,
+    // matching the owned-vector version bit for bit.
+    match st.scratch.opts[mark..].iter().copied().min_by(|a, b| {
         a.0.total_cmp(&b.0)
             .then(b.1.cmp(&a.1))
             .then(a.2.total_cmp(&b.2))
@@ -350,12 +391,11 @@ fn peel_filter(
 
 /// Adds the multidimensional-SIT options (§3.3) for a filter peel:
 /// carried-`H3` distributions through joins in the conditioning set, and
-/// conditionals on co-located filters.
-#[allow(clippy::too_many_arguments)]
+/// conditionals on co-located filters. Options are appended to the
+/// `st.scratch.opts` arena (the caller holds the start mark).
 fn push_sit2_options(
     lc: &LinkCtx,
     st: &mut LinkState,
-    options: &mut Vec<(f64, usize, f64)>,
     col: ColRef,
     pred: &Predicate,
     cset: PredSet,
@@ -373,7 +413,10 @@ fn push_sit2_options(
     // competes when no such SIT exists (the maximality spirit of §3.3's
     // rule 3).
     let direct = mask_candidates(lc, st, col, cset);
-    if direct.iter().any(|&id| !lc.catalog.get(id).cond.is_empty()) {
+    if st.scratch.sits[direct]
+        .iter()
+        .any(|&id| !lc.catalog.get(id).cond.is_empty())
+    {
         return;
     }
     for j in lc.ctx.joins_in(cset).iter() {
@@ -400,7 +443,9 @@ fn push_sit2_options(
                 continue;
             }
             let cand_far = mask_candidates(lc, st, far, sub);
-            let Some((far_id, _)) = pick_best_opt(lc.catalog, lc.mode, &cand_far, sub) else {
+            let Some((far_id, _)) =
+                pick_best_opt(lc.catalog, lc.mode, &st.scratch.sits[cand_far], sub)
+            else {
                 continue;
             };
             for s2_id in candidates {
@@ -422,7 +467,7 @@ fn push_sit2_options(
                     (ErrorMode::Diff, _) => 1.0 - divergence,
                     _ => (cset.len() - coverage) as f64,
                 };
-                options.push((err, coverage, est));
+                st.scratch.opts.push((err, coverage, est));
             }
         }
     }
@@ -469,7 +514,7 @@ fn push_sit2_options(
                 (ErrorMode::Diff, _) => 1.0 - divergence,
                 _ => (cset.len() - coverage) as f64,
             };
-            options.push((err, coverage, est));
+            st.scratch.opts.push((err, coverage, est));
         }
     }
 }

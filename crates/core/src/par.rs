@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
+#[cfg(test)]
 use crate::flat::FlatMemo;
 
 /// Shard count (power of two). Contention is per-key-claim, not per-probe —
@@ -188,10 +189,10 @@ impl OnceMap {
         shard.published.notify_all();
     }
 
-    /// Moves every published value into `memo` (the rank barrier). Consumes
-    /// the map; only called on the success path, where every claimed key
-    /// has been published.
-    pub fn drain_into(self, memo: &mut FlatMemo) {
+    /// Visits every published value (the fill's success-path barrier).
+    /// Consumes the map; only called on the success path, where every
+    /// claimed key has been published.
+    pub fn drain(self, mut sink: impl FnMut(u64, (f64, f64))) {
         for shard in self.shards {
             let entries = shard
                 .entries
@@ -199,12 +200,18 @@ impl OnceMap {
                 .unwrap_or_else(PoisonError::into_inner);
             for (key, slot) in entries {
                 match slot {
-                    Slot::Ready(value) => memo.insert(key, value),
+                    Slot::Ready(value) => sink(key, value),
                     Slot::Pending => panic!("claimed key never published before the rank barrier"),
                     Slot::Poisoned => panic!("poisoned peel slot survived to the rank barrier"),
                 }
             }
         }
+    }
+
+    /// [`Self::drain`] into an open-addressed memo.
+    #[cfg(test)]
+    pub fn drain_into(self, memo: &mut FlatMemo) {
+        self.drain(|key, value| memo.insert(key, value));
     }
 }
 

@@ -1,0 +1,430 @@
+//! Dependency-counted work-stealing scheduler for the dense lattice fill.
+//!
+//! The rank-barrier fill ([`crate::estimator`]'s historical parallel
+//! engine) synchronizes all workers at every popcount rank: a skewed rank —
+//! one mask with a huge subset walk next to dozens of trivial ones — idles
+//! every worker behind the slowest. This module removes the barrier:
+//!
+//! * **Every non-empty subset of the component is a scheduler node**, each
+//!   carrying an atomic count of its unfilled immediate predecessors
+//!   (`mask \ {bit}` for each member bit). Singletons have no predecessor
+//!   nodes and seed the queues.
+//! * Completing a node decrements the counter of each immediate superset;
+//!   a counter hitting zero makes that superset *ready* — by induction,
+//!   every proper subset of a ready mask has completed, so all its memo
+//!   reads are plain loads.
+//! * Ready masks go into **per-worker deques**: the owner pushes and pops
+//!   at the back (LIFO — depth-first, cache-warm), thieves steal from the
+//!   front (FIFO — the oldest, typically shallowest and widest work).
+//!   Newly-ready masks are pushed in one batch per completed node, so
+//!   queue traffic is amortized at low ranks.
+//! * Masks that are **already memoized** (a previous request filled part of
+//!   the lattice) are *no-op completion nodes*: they publish their existing
+//!   value and gate their supersets like any other node, but are processed
+//!   inline off a local stack — an already-filled region of the lattice
+//!   cascades without touching the deques, solving nothing and charging no
+//!   budget. (They cannot be skipped outright: a superset's only
+//!   predecessors may all be memoized while deeper subsets are not, so
+//!   "instantly satisfied" counting would release masks whose memo reads
+//!   are not loads yet.)
+//!
+//! ## Memory ordering
+//!
+//! A worker reading `value(q)` for a subset `q` of its popped mask must
+//! observe the completed store. The happens-before chain: the completing
+//! worker stores the value (`Relaxed`), then runs `fetch_sub(AcqRel)` on
+//! each dependent counter — the RMW chain on one counter forms a release
+//! sequence, so the final decrementer's acquire side orders after *every*
+//! predecessor's value store — and hands the ready mask through a deque
+//! `Mutex` (another synchronizing edge) to whichever worker pops or steals
+//! it. `remaining` is decremented last (`AcqRel`), so `done()` implies all
+//! stores are visible.
+//!
+//! ## Failure paths
+//!
+//! * A worker whose budget trips sets the shared `abort` flag and exits;
+//!   the others observe it at their next loop head. The estimator then
+//!   commits **nothing** from the aborted fill.
+//! * A worker that panics sets `abort` from [`AbortOnExit`]'s unwind path,
+//!   so the siblings drain out instead of spinning on a lattice that will
+//!   never finish; the scope join propagates the panic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Cumulative instrumentation for the work-stealing lattice fills run by
+/// one estimator (see [`crate::estimator::SelectivityEstimator::fill_stats`]).
+/// All counters sum over every parallel fill the estimator executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FillStats {
+    /// Work-stealing component fills executed.
+    pub parallel_fills: u64,
+    /// Scheduler nodes completed (solved masks + memoized no-op nodes).
+    pub tasks: u64,
+    /// Masks actually solved (excludes pre-memoized no-op completions).
+    pub solved: u64,
+    /// Successful steals (a worker took a mask from another's deque).
+    pub steals: u64,
+    /// Idle loop iterations (empty own deque, nothing to steal, fill not
+    /// done) — the work-starvation signal the rank barrier used to hide.
+    pub idle_spins: u64,
+    /// Largest own-deque depth observed at any push.
+    pub max_queue_depth: u64,
+    /// Masks solved per popcount rank (`rank_tasks[k]` = solved masks with
+    /// `k` predicates) — makes rank skew diagnosable from bench output.
+    pub rank_tasks: Vec<u64>,
+}
+
+/// Popcount of a `u32` mask is at most 32; one slot per rank plus rank 0.
+pub(crate) const MAX_RANKS: usize = 33;
+
+/// One worker's private counters, merged into [`FillStats`] after the
+/// scope joins (no shared-cache traffic on the hot path).
+#[derive(Debug)]
+pub(crate) struct WorkerStats {
+    pub tasks: u64,
+    pub solved: u64,
+    pub steals: u64,
+    pub idle_spins: u64,
+    pub max_queue_depth: u64,
+    pub rank_tasks: [u64; MAX_RANKS],
+}
+
+impl Default for WorkerStats {
+    fn default() -> Self {
+        WorkerStats {
+            tasks: 0,
+            solved: 0,
+            steals: 0,
+            idle_spins: 0,
+            max_queue_depth: 0,
+            rank_tasks: [0; MAX_RANKS],
+        }
+    }
+}
+
+impl FillStats {
+    /// Folds one worker's counters in.
+    pub(crate) fn merge_worker(&mut self, w: &WorkerStats) {
+        self.tasks += w.tasks;
+        self.solved += w.solved;
+        self.steals += w.steals;
+        self.idle_spins += w.idle_spins;
+        self.max_queue_depth = self.max_queue_depth.max(w.max_queue_depth);
+        if self.rank_tasks.len() < MAX_RANKS {
+            self.rank_tasks.resize(MAX_RANKS, 0);
+        }
+        for (dst, src) in self.rank_tasks.iter_mut().zip(w.rank_tasks.iter()) {
+            *dst += src;
+        }
+    }
+}
+
+/// The shared state of one component fill: dependency counters, published
+/// values, per-worker deques, and the two control atomics.
+pub(crate) struct StealScheduler {
+    /// The component mask; nodes are its non-empty subsets.
+    comp: u32,
+    /// `counters[m]` = not-yet-completed immediate predecessor nodes of
+    /// `m` (`popcount(m)` initially for `popcount ≥ 2`, singletons seed).
+    counters: Vec<AtomicU32>,
+    /// Published `(sel, err)` values, as `f64` bit patterns. Valid for a
+    /// mask once all its subsets completed — which the dependency counts
+    /// guarantee before any reader pops it.
+    sel_bits: Vec<AtomicU64>,
+    err_bits: Vec<AtomicU64>,
+    /// Per-worker deques: owner pushes/pops back, thieves pop front.
+    queues: Vec<Mutex<VecDeque<u32>>>,
+    /// Nodes not yet completed; `0` means the fill is done.
+    remaining: AtomicUsize,
+    /// Cooperative shutdown: budget trip or sibling panic.
+    abort: AtomicBool,
+}
+
+impl StealScheduler {
+    /// Builds the scheduler for the non-empty subsets of `comp`, with
+    /// `workers` deques. Arrays are indexed directly by mask.
+    pub fn new(comp: u32, workers: usize) -> Self {
+        let size = comp as usize + 1;
+        let mut counters = Vec::with_capacity(size);
+        counters.resize_with(size, || AtomicU32::new(0));
+        let mut sel_bits = Vec::with_capacity(size);
+        sel_bits.resize_with(size, || AtomicU64::new(0));
+        let mut err_bits = Vec::with_capacity(size);
+        err_bits.resize_with(size, || AtomicU64::new(0));
+        let mut nodes = 0usize;
+        let mut s = comp;
+        while s != 0 {
+            nodes += 1;
+            let k = s.count_ones();
+            if k >= 2 {
+                *counters[s as usize].get_mut() = k;
+            }
+            s = (s - 1) & comp;
+        }
+        StealScheduler {
+            comp,
+            counters,
+            sel_bits,
+            err_bits,
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            remaining: AtomicUsize::new(nodes),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of worker deques.
+    #[cfg(test)]
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Distributes the seed nodes (the component's singletons) round-robin
+    /// across the deques so every worker starts with local work.
+    pub fn seed(&self) {
+        let mut w = 0usize;
+        let mut bits = self.comp;
+        while bits != 0 {
+            let m = bits & bits.wrapping_neg();
+            bits &= bits - 1;
+            self.lock(w).push_back(m);
+            w = (w + 1) % self.queues.len();
+        }
+    }
+
+    /// Deque locks guard single push/pop operations only, so a lock
+    /// poisoned by a panicking worker is safe to recover; the `abort` flag
+    /// (set by [`AbortOnExit`]) is the failure channel.
+    fn lock(&self, w: usize) -> MutexGuard<'_, VecDeque<u32>> {
+        self.queues[w]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The published value of a completed mask.
+    #[inline]
+    pub fn value(&self, mask: u32) -> (f64, f64) {
+        (
+            f64::from_bits(self.sel_bits[mask as usize].load(Ordering::Relaxed)),
+            f64::from_bits(self.err_bits[mask as usize].load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Publishes a mask's value. `Relaxed` suffices: readers are ordered
+    /// behind this store by the `AcqRel` counter decrements and the deque
+    /// mutexes (see the module docs).
+    #[inline]
+    pub fn store(&self, mask: u32, (sel, err): (f64, f64)) {
+        self.sel_bits[mask as usize].store(sel.to_bits(), Ordering::Relaxed);
+        self.err_bits[mask as usize].store(err.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records `mask`'s completion against its immediate supersets:
+    /// decrements each `mask | bit` counter and appends those that hit
+    /// zero to `ready`. Call after [`Self::store`].
+    pub fn complete(&self, mask: u32, ready: &mut Vec<u32>) {
+        let mut rest = self.comp & !mask;
+        while rest != 0 {
+            let bit = rest & rest.wrapping_neg();
+            rest &= rest - 1;
+            let sup = mask | bit;
+            if self.counters[sup as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.push(sup);
+            }
+        }
+    }
+
+    /// Retires one node from the fill's remaining count. Call only after
+    /// the node's successors have been enqueued — otherwise `done()` can
+    /// fire while ready work is still in a worker's hands.
+    pub fn retire(&self) {
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// True once every node has completed.
+    pub fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Pushes a batch of ready masks onto worker `w`'s deque under one
+    /// lock acquisition; returns the deque depth afterwards.
+    pub fn push_batch(&self, w: usize, masks: &[u32]) -> usize {
+        let mut q = self.lock(w);
+        q.extend(masks.iter().copied());
+        q.len()
+    }
+
+    /// Owner pop: LIFO from the back of `w`'s own deque.
+    pub fn pop(&self, w: usize) -> Option<u32> {
+        self.lock(w).pop_back()
+    }
+
+    /// Steal attempt: FIFO from the front of the other deques, scanning
+    /// from the thief's right-hand neighbour.
+    pub fn steal(&self, thief: usize) -> Option<u32> {
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (thief + off) % n;
+            if let Some(m) = self.lock(victim).pop_front() {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Requests cooperative shutdown (budget trip or sibling panic).
+    pub fn set_abort(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown was requested.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+}
+
+/// Worker panic guard: dropped without [`AbortOnExit::disarm`] (i.e. during
+/// unwinding), it aborts the fill so sibling workers stop spinning on a
+/// lattice that will never complete. The scope join then propagates the
+/// panic.
+pub(crate) struct AbortOnExit<'a> {
+    sched: &'a StealScheduler,
+    armed: bool,
+}
+
+impl<'a> AbortOnExit<'a> {
+    pub fn new(sched: &'a StealScheduler) -> Self {
+        AbortOnExit { sched, armed: true }
+    }
+
+    /// Normal exit: the guard does nothing on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for AbortOnExit<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sched.set_abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_match_predecessor_node_counts() {
+        let mut sched = StealScheduler::new(0b1011, 2);
+        // Singletons: no predecessor nodes.
+        for m in [0b0001u32, 0b0010, 0b1000] {
+            assert_eq!(*sched.counters[m as usize].get_mut(), 0, "mask {m:#b}");
+        }
+        // Pairs and above: one predecessor per member bit.
+        assert_eq!(*sched.counters[0b0011].get_mut(), 2);
+        assert_eq!(*sched.counters[0b1010].get_mut(), 2);
+        assert_eq!(*sched.counters[0b1011].get_mut(), 3);
+        // Non-subsets of comp stay untouched.
+        assert_eq!(*sched.counters[0b0100].get_mut(), 0);
+        assert_eq!(sched.remaining.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn seed_distributes_singletons_round_robin() {
+        let sched = StealScheduler::new(0b10111, 2);
+        sched.seed();
+        let q0: Vec<u32> = sched.lock(0).iter().copied().collect();
+        let q1: Vec<u32> = sched.lock(1).iter().copied().collect();
+        assert_eq!(q0, vec![0b00001, 0b00100]);
+        assert_eq!(q1, vec![0b00010, 0b10000]);
+    }
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let sched = StealScheduler::new(0b111, 2);
+        sched.push_batch(0, &[1, 2, 4]);
+        assert_eq!(sched.steal(1), Some(1), "thief takes the oldest");
+        assert_eq!(sched.pop(0), Some(4), "owner takes the newest");
+        assert_eq!(sched.pop(0), Some(2));
+        assert_eq!(sched.pop(0), None);
+        assert_eq!(sched.steal(1), None);
+    }
+
+    /// Full-lattice smoke: 4 threads drain a 10-bit component, each node's
+    /// "solve" asserting every immediate predecessor already published
+    /// (value = popcount, so a dependency violation is observable as a
+    /// wrong value, not just a race).
+    #[test]
+    fn parallel_drain_respects_dependencies_and_completes() {
+        const COMP: u32 = 0b11_1111_1111;
+        let sched = StealScheduler::new(COMP, 4);
+        sched.seed();
+        let completed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..sched.workers() {
+                let (sched, completed) = (&sched, &completed);
+                scope.spawn(move || {
+                    let mut ready = Vec::new();
+                    loop {
+                        let Some(m) = sched.pop(w).or_else(|| sched.steal(w)) else {
+                            if sched.done() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        // Every immediate predecessor node must have
+                        // published popcount(pred) before we run.
+                        let mut bits = m;
+                        while bits != 0 {
+                            let bit = bits & bits.wrapping_neg();
+                            bits &= bits - 1;
+                            let pred = m ^ bit;
+                            if pred != 0 {
+                                assert_eq!(
+                                    sched.value(pred).0,
+                                    pred.count_ones() as f64,
+                                    "predecessor {pred:#b} of {m:#b} not completed"
+                                );
+                            }
+                        }
+                        sched.store(m, (m.count_ones() as f64, 0.0));
+                        sched.complete(m, &mut ready);
+                        if !ready.is_empty() {
+                            sched.push_batch(w, &ready);
+                            ready.clear();
+                        }
+                        sched.retire();
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(completed.load(Ordering::Relaxed), (1usize << 10) - 1);
+        assert!(sched.done());
+        let mut s = COMP;
+        while s != 0 {
+            assert_eq!(sched.value(s).0, s.count_ones() as f64);
+            s = (s - 1) & COMP;
+        }
+    }
+
+    #[test]
+    fn abort_guard_fires_on_unwind_only() {
+        let sched = StealScheduler::new(0b11, 1);
+        let guard = AbortOnExit::new(&sched);
+        guard.disarm();
+        assert!(!sched.aborted(), "disarmed guard must not abort");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = AbortOnExit::new(&sched);
+            panic!("worker dies");
+        }));
+        assert!(result.is_err());
+        assert!(sched.aborted(), "unwinding guard must abort the fill");
+    }
+}

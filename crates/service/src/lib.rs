@@ -35,8 +35,8 @@ pub mod stats;
 pub use cache::{CacheCounters, CarryStats, ShardedCache};
 pub use lru::LruMap;
 pub use service::{
-    CatalogSnapshot, Estimate, EstimationService, PartialInstallOutcome, ServiceConfig,
-    ServiceError,
+    CatalogSnapshot, DpThreadsMode, Estimate, EstimationService, PartialInstallOutcome,
+    ServiceConfig, ServiceError,
 };
 pub use sqe_core::{Budget, CancelToken, DegradeReason, DpStrategy, Quality};
 pub use stats::{IngestCounters, ServiceStatsSnapshot, LATENCY_BUCKETS, QUALITY_TIERS};

@@ -18,6 +18,42 @@ use crate::admission::AdmissionControl;
 use crate::cache::ShardedCache;
 use crate::stats::{ServiceStats, ServiceStatsSnapshot};
 
+/// How many worker threads each estimator's dense DP fill gets
+/// (`SelectivityEstimator::with_dp_threads`).
+///
+/// This is the *outer* knob; the estimator's own `FillSchedule::Auto`
+/// heuristic still decides per component whether those threads are worth
+/// using — components below `sqe_core::WS_MIN_LATTICE_MASKS` lattice masks
+/// run serially even under `Auto`/`Fixed`, because the committed
+/// measurements show fork/steal overhead dominating there (see `DESIGN.md`
+/// §4h).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DpThreadsMode {
+    /// Serial fill — the right default when `batch_threads` already
+    /// saturates the host, since the two thread layers multiply.
+    #[default]
+    Serial,
+    /// Exactly this many fill workers per estimator.
+    Fixed(NonZeroUsize),
+    /// One fill worker per available core
+    /// ([`std::thread::available_parallelism`]); single-core hosts resolve
+    /// to the serial fill.
+    Auto,
+}
+
+impl DpThreadsMode {
+    /// The concrete thread count to hand the estimator.
+    pub fn resolve(self) -> usize {
+        match self {
+            DpThreadsMode::Serial => 1,
+            DpThreadsMode::Fixed(n) => n.get(),
+            DpThreadsMode::Auto => {
+                std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+            }
+        }
+    }
+}
+
 /// Configuration of an [`EstimationService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -44,11 +80,10 @@ pub struct ServiceConfig {
     /// sequential path. Parallel batches are bit-identical to sequential
     /// ones (see the `estimate_batch` docs).
     pub batch_threads: Option<NonZeroUsize>,
-    /// Threads for each estimator's rank-parallel dense DP fill
-    /// (`SelectivityEstimator::with_dp_threads`); `None` keeps the serial
-    /// fill, which is usually right when `batch_threads` already saturates
-    /// the host — the two layers multiply.
-    pub dp_threads: Option<NonZeroUsize>,
+    /// Threads for each estimator's parallel dense DP fill (see
+    /// [`DpThreadsMode`]). Every mode is bit-identical to the serial fill;
+    /// only speed differs.
+    pub dp_threads: DpThreadsMode,
     /// Admission bound for the *budgeted* endpoints
     /// ([`EstimationService::estimate_with_budget`] and its batch
     /// sibling): at most this many requests in flight, the rest shed with
@@ -67,7 +102,7 @@ impl Default for ServiceConfig {
             sit_driven_pruning: false,
             dp_strategy: DpStrategy::Auto,
             batch_threads: None,
-            dp_threads: None,
+            dp_threads: DpThreadsMode::Serial,
             max_in_flight: 64,
         }
     }
@@ -441,7 +476,7 @@ impl EstimationService {
                     self.config.mode,
                 )
                 .with_strategy(self.config.dp_strategy)
-                .with_dp_threads(self.config.dp_threads.map_or(1, NonZeroUsize::get))
+                .with_dp_threads(self.config.dp_threads.resolve())
                 .with_shared_cache(&snapshot.cache);
                 if let Some(sit2) = &snapshot.sit2 {
                     est = est.with_sit2_catalog(sit2);
@@ -613,7 +648,7 @@ impl EstimationService {
             None => {
                 let mut ladder = Ladder::new(&snapshot.db, &snapshot.sits, self.config.mode)
                     .with_strategy(self.config.dp_strategy)
-                    .with_dp_threads(self.config.dp_threads.map_or(1, NonZeroUsize::get))
+                    .with_dp_threads(self.config.dp_threads.resolve())
                     .with_shared_cache(&snapshot.cache);
                 if let Some(sit2) = &snapshot.sit2 {
                     ladder = ladder.with_sit2_catalog(sit2);

@@ -83,8 +83,8 @@ fn chaos_service(db: &Arc<Database>, catalog: SitCatalog) -> EstimationService {
         catalog,
         ServiceConfig {
             // Two layers of parallelism so the chaos load exercises the
-            // rank-parallel fill (and its OnceMap poisoning) too.
-            dp_threads: std::num::NonZeroUsize::new(2),
+            // parallel fill (and its OnceMap poisoning) too.
+            dp_threads: DpThreadsMode::Fixed(std::num::NonZeroUsize::new(2).unwrap()),
             batch_threads: std::num::NonZeroUsize::new(2),
             max_in_flight: 16,
             ..ServiceConfig::default()

@@ -16,7 +16,7 @@ use sqe::core::{
 };
 use sqe::datagen::{generate_mutations, MutationConfig};
 use sqe::prelude::*;
-use sqe::service::{EstimationService, ServiceConfig};
+use sqe::service::{DpThreadsMode, EstimationService, ServiceConfig};
 
 fn service_setup(mode: ErrorMode) -> (Arc<Database>, Vec<SpjQuery>, EstimationService) {
     let sf = Snowflake::generate(SnowflakeConfig {
@@ -443,7 +443,7 @@ proptest! {
         let config = |batch: usize, dp: usize| ServiceConfig {
             mode,
             batch_threads: Some(NonZeroUsize::new(batch).unwrap()),
-            dp_threads: Some(NonZeroUsize::new(dp).unwrap()),
+            dp_threads: DpThreadsMode::Fixed(NonZeroUsize::new(dp).unwrap()),
             ..ServiceConfig::default()
         };
         let sequential = EstimationService::new(Arc::clone(&db), pool(), config(1, 1));
