@@ -52,6 +52,37 @@ fn main() {
         )
     );
 
+    if !report.beam.is_empty() {
+        println!("\nBeam error envelope on the wide scenarios (diff-j2, width swept)\n");
+        let mut rows = Vec::new();
+        for sc in &report.beam {
+            for p in &sc.points {
+                rows.push(vec![
+                    sc.scenario.to_string(),
+                    p.width.to_string(),
+                    fmt_num(p.median_q_error),
+                    fmt_num(p.max_q_error),
+                    fmt_num(sc.exact_max_q_error),
+                    fmt_num(p.max_q_ratio_vs_exact),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "scenario",
+                    "width",
+                    "med qerr",
+                    "max qerr",
+                    "exact max",
+                    "vs exact",
+                ],
+                &rows,
+            )
+        );
+    }
+
     match write_json_root("ACCURACY", &report) {
         Ok(p) => println!("report written to {}", p.display()),
         Err(e) => {

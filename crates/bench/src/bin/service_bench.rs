@@ -50,6 +50,7 @@ struct DegradedRow {
     p50_us: f64,
     p99_us: f64,
     full: u64,
+    beam: u64,
     pruned: u64,
     greedy: u64,
     independence: u64,
@@ -221,7 +222,7 @@ fn main() {
         let budget =
             deadline.map_or_else(Budget::unlimited, |d| Budget::unlimited().with_deadline(d));
         let mut lat_us: Vec<f64> = Vec::with_capacity(workload.len());
-        let mut mix = [0u64; 4]; // full / pruned / greedy / independence
+        let mut mix = [0u64; 5]; // full / beam / pruned / greedy / independence
         for q in &workload {
             let t = Instant::now();
             let e = svc
@@ -230,9 +231,10 @@ fn main() {
             lat_us.push(t.elapsed().as_secs_f64() * 1e6);
             match e.quality {
                 Quality::Full => mix[0] += 1,
-                Quality::Pruned => mix[1] += 1,
-                Quality::Greedy => mix[2] += 1,
-                Quality::Independence => mix[3] += 1,
+                Quality::Beam => mix[1] += 1,
+                Quality::Pruned => mix[2] += 1,
+                Quality::Greedy => mix[3] += 1,
+                Quality::Independence => mix[4] += 1,
             }
         }
         lat_us.sort_by(f64::total_cmp);
@@ -249,9 +251,10 @@ fn main() {
             p50_us: round_us(pct(0.50)),
             p99_us: round_us(pct(0.99)),
             full: mix[0],
-            pruned: mix[1],
-            greedy: mix[2],
-            independence: mix[3],
+            beam: mix[1],
+            pruned: mix[2],
+            greedy: mix[3],
+            independence: mix[4],
         });
     }
     let degraded_table: Vec<Vec<String>> = degraded_rows
@@ -262,6 +265,7 @@ fn main() {
                 format!("{:.1}", r.p50_us),
                 format!("{:.1}", r.p99_us),
                 r.full.to_string(),
+                r.beam.to_string(),
                 r.pruned.to_string(),
                 r.greedy.to_string(),
                 r.independence.to_string(),
@@ -271,7 +275,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["deadline", "p50 µs", "p99 µs", "full", "pruned", "greedy", "indep"],
+            &["deadline", "p50 µs", "p99 µs", "full", "beam", "pruned", "greedy", "indep"],
             &degraded_table
         )
     );

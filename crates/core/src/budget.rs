@@ -154,6 +154,13 @@ pub enum Quality {
     Greedy,
     /// §3.4 SIT-driven-pruned DP.
     Pruned,
+    /// Beam-search approximate DP (see [`crate::beam`]): a bounded
+    /// frontier of decompositions instead of the full lattice. Better than
+    /// `Pruned` (it scores and ranks every generated candidate, pruning
+    /// only by measured bound) but below `Full` (wide-width exactness is
+    /// not guaranteed at service widths) — and the *only* tier reachable
+    /// for queries wider than the exact engines' n = 20 cliff.
+    Beam,
     /// The full dynamic program — identical to an unbudgeted run.
     Full,
 }
@@ -164,15 +171,17 @@ impl Quality {
             Quality::Independence => "independence",
             Quality::Greedy => "greedy",
             Quality::Pruned => "pruned",
+            Quality::Beam => "beam",
             Quality::Full => "full",
         }
     }
 
     /// All tiers, worst-to-best (the `Ord` order).
-    pub const ALL: [Quality; 4] = [
+    pub const ALL: [Quality; 5] = [
         Quality::Independence,
         Quality::Greedy,
         Quality::Pruned,
+        Quality::Beam,
         Quality::Full,
     ];
 }
@@ -403,10 +412,12 @@ mod tests {
     fn quality_tiers_are_ordered_worst_to_best() {
         assert!(Quality::Independence < Quality::Greedy);
         assert!(Quality::Greedy < Quality::Pruned);
-        assert!(Quality::Pruned < Quality::Full);
-        assert_eq!(Quality::ALL.len(), 4);
+        assert!(Quality::Pruned < Quality::Beam);
+        assert!(Quality::Beam < Quality::Full);
+        assert_eq!(Quality::ALL.len(), 5);
         assert!(Quality::ALL.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(Quality::Full.label(), "full");
+        assert_eq!(Quality::Beam.label(), "beam");
     }
 
     #[test]

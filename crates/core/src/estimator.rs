@@ -62,6 +62,7 @@ use std::time::Duration;
 use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate, SpjQuery};
 use sqe_histogram::Histogram;
 
+use crate::beam::{BeamConfig, BeamStats, Scored};
 use crate::budget::{BudgetMeter, ExhaustReason};
 use crate::cache::SharedEstimatorCache;
 use crate::decomposition::ComponentTable;
@@ -121,8 +122,16 @@ pub enum DpStrategy {
     /// Force the flat `2ⁿ` tables (capped at `n ≤ 20`; larger queries fall
     /// back to recursive regardless).
     Dense,
-    /// Force the top-down recursion with open-addressed memos.
+    /// Force the top-down recursion with open-addressed memos. Exact at
+    /// any `n`, but the walk is O(3ⁿ) — past `n = 20` expect seconds to
+    /// hours per query. Serial: `dp_threads` is ignored (surfaced via
+    /// [`FillStats::dp_threads_ignored`]).
     Recursive,
+    /// Force the beam-search approximate engine (see [`crate::beam`]):
+    /// bounded-frontier best-first decomposition search on the sparse
+    /// memo, exact only at [`BeamConfig::UNBOUNDED`]. What `Auto` routes
+    /// `n > 20` to instead of the recursive cliff.
+    Beam,
 }
 
 impl DpStrategy {
@@ -131,7 +140,20 @@ impl DpStrategy {
         match self {
             DpStrategy::Auto => n <= DENSE_AUTO_MAX,
             DpStrategy::Dense => n <= DENSE_HARD_MAX,
-            DpStrategy::Recursive => false,
+            DpStrategy::Recursive | DpStrategy::Beam => false,
+        }
+    }
+
+    /// Whether an `n`-predicate query runs on the beam-search approximate
+    /// engine. `Auto` stays exact through `n = 20` (dense to 16, recursive
+    /// above) and routes wider queries to the beam — an *approximate*
+    /// answer in bounded time instead of an exact one in O(3ⁿ); the
+    /// quality ladder labels such answers [`crate::Quality::Beam`].
+    pub fn use_beam(self, n: usize) -> bool {
+        match self {
+            DpStrategy::Auto => n > DENSE_HARD_MAX,
+            DpStrategy::Beam => true,
+            DpStrategy::Dense | DpStrategy::Recursive => false,
         }
     }
 }
@@ -232,13 +254,31 @@ pub struct SelectivityEstimator<'a> {
     /// hundreds of millions of times at `n = 16`), open-addressed
     /// otherwise.
     peel_memo: PeelMemo,
+    /// The resolved strategy (drives the per-request engine dispatch; the
+    /// memo layouts above are its materialization).
+    strategy: DpStrategy,
+    /// Knobs of the beam-search approximate engine (only consulted when
+    /// `strategy.use_beam(n)` holds).
+    beam_cfg: BeamConfig,
+    /// Beam-search observability, cumulative over the estimator's
+    /// requests (see [`Self::beam_stats`]).
+    beam_stats: BeamStats,
+    /// §3.4 guidance masks `(attribute mask, condition mask)` reused by
+    /// the beam engine as a candidate *generator*; built lazily on the
+    /// first beam expansion (independent of the pruning toggle).
+    beam_guidance: Option<Vec<(u32, u32)>>,
+    /// Live conditioning-set recursion depth of the beam walk (feeds
+    /// `BeamStats::frontier_peak`).
+    beam_depth: usize,
     oracle: Option<CardinalityOracle<'a>>,
     /// Optional multidimensional SITs (§3.3's `SIT(x, X|Q)`), consulted by
     /// filter peels for carried-`H3` and filter-on-filter estimates.
     sit2: Option<&'a Sit2Catalog>,
     /// Worker threads for the parallel dense fill (1 = serial). Set via
-    /// [`Self::with_dp_threads`]; ignored by the recursive engine and
-    /// under `Opt` mode (the oracle is inherently sequential).
+    /// [`Self::with_dp_threads`]; ignored — with
+    /// [`FillStats::dp_threads_ignored`] raised — by the recursive and
+    /// beam engines, and under `Opt` mode (the oracle is inherently
+    /// sequential).
     dp_threads: usize,
     /// Which parallel fill runs when `dp_threads ≥ 2` (see
     /// [`FillSchedule`]).
@@ -291,6 +331,11 @@ impl<'a> SelectivityEstimator<'a> {
             memo_sparse: FlatMemo::new(),
             comp_table: None,
             peel_memo: PeelMemo::sparse(),
+            strategy: DpStrategy::Auto,
+            beam_cfg: BeamConfig::default(),
+            beam_stats: BeamStats::default(),
+            beam_guidance: None,
+            beam_depth: 0,
             oracle,
             sit2: None,
             dp_threads: 1,
@@ -320,7 +365,10 @@ impl<'a> SelectivityEstimator<'a> {
     /// (see `DESIGN.md` §4h) and smaller ones stay serial; results are
     /// **bit-identical** to the serial fill either way. `Opt` mode stays
     /// serial regardless (its cardinality oracle is inherently
-    /// sequential), as does the recursive engine.
+    /// sequential), as do the recursive and beam engines — when one of
+    /// those runs with `threads ≥ 2` the knob is ignored and
+    /// [`FillStats::dp_threads_ignored`] is raised so the configuration
+    /// mismatch is observable.
     pub fn with_dp_threads(mut self, threads: usize) -> Self {
         self.dp_threads = threads.max(1);
         self
@@ -333,7 +381,30 @@ impl<'a> SelectivityEstimator<'a> {
         self
     }
 
+    /// Sets the beam-search knobs (see [`BeamConfig`]); only consulted
+    /// when the resolved strategy routes this query to the beam engine.
+    pub fn with_beam_config(mut self, cfg: BeamConfig) -> Self {
+        self.beam_cfg = cfg;
+        self
+    }
+
+    /// Whether this estimator's answers come from the beam-search
+    /// approximate engine — i.e. the resolved strategy routes this query's
+    /// width to the bounded-frontier walk instead of an exact lattice.
+    /// Ladder and service label such answers [`crate::Quality::Beam`].
+    pub fn is_beam(&self) -> bool {
+        self.strategy.use_beam(self.ctx.predicates().len())
+    }
+
+    /// Beam-search instrumentation, cumulative over every request this
+    /// estimator served (all zeros when the beam engine never ran). Feeds
+    /// the wide-`n` diagnostics in `estimator_bench`.
+    pub fn beam_stats(&self) -> &BeamStats {
+        &self.beam_stats
+    }
+
     fn apply_strategy(&mut self, strategy: DpStrategy) {
+        self.strategy = strategy;
         let n = self.ctx.predicates().len();
         if strategy.use_dense(n) {
             self.memo_dense = Some(DenseMemo::new(n));
@@ -416,29 +487,26 @@ impl<'a> SelectivityEstimator<'a> {
     /// orderings whose estimates coincide with unpruned ones, so accuracy
     /// is preserved in practice while the explored space shrinks sharply.
     pub fn with_sit_driven_pruning(mut self) -> Self {
-        // Precompute, per usable non-base SIT, (attribute-predicate mask,
-        // condition mask) over this query's predicate indices. SITs whose
-        // expression mentions predicates outside the query can never apply.
+        self.sit_driven = Some(self.sit_guidance_masks());
+        self.prune_table = None;
+        self
+    }
+
+    /// Per usable non-base SIT, `(attribute-predicate mask, condition
+    /// mask)` over this query's predicate indices — the §3.4 masks, shared
+    /// by the pruning filter and the beam engine's candidate generator.
+    /// SITs whose expression mentions predicates outside the query can
+    /// never apply and are dropped.
+    fn sit_guidance_masks(&self) -> Vec<(u32, u32)> {
         let mut masks: Vec<(u32, u32)> = Vec::new();
-        let preds = self.ctx.predicates().to_vec();
+        let preds = self.ctx.predicates();
         for (_, sit) in self.matcher.catalog().iter() {
             if sit.is_base() {
                 continue;
             }
-            let mut cond_mask = 0u32;
-            let mut usable = true;
-            for c in &sit.cond {
-                match preds.iter().position(|p| p == c) {
-                    Some(i) => cond_mask |= 1 << i,
-                    None => {
-                        usable = false;
-                        break;
-                    }
-                }
-            }
-            if !usable {
+            let Some(cond_mask) = cond_to_mask(&sit.cond, preds) else {
                 continue;
-            }
+            };
             let mut attr_mask = 0u32;
             for (i, p) in preds.iter().enumerate() {
                 if p.columns().iter().any(|c| c == sit.attr) {
@@ -451,9 +519,7 @@ impl<'a> SelectivityEstimator<'a> {
         }
         masks.sort_unstable();
         masks.dedup();
-        self.sit_driven = Some(masks);
-        self.prune_table = None;
-        self
+        masks
     }
 
     /// The query context (predicate indexing).
@@ -521,7 +587,16 @@ impl<'a> SelectivityEstimator<'a> {
             return Ok(r);
         }
         if self.memo_dense.is_some() {
-            self.fill_dense(p)
+            return self.fill_dense(p);
+        }
+        if self.dp_threads >= 2 && self.fill_stats.dp_threads_ignored == 0 {
+            // The recursive and beam engines are serial: a configured
+            // thread knob buys nothing here. Surface it instead of
+            // silently ignoring it (the knob only drives dense fills).
+            self.fill_stats.dp_threads_ignored = 1;
+        }
+        if self.is_beam() {
+            self.compute_beam(p)
         } else {
             self.compute_recursive(p)
         }
@@ -1089,6 +1164,189 @@ impl<'a> SelectivityEstimator<'a> {
         };
         self.memo_sparse.insert(p.0 as u64, result);
         Ok(result)
+    }
+
+    /// The beam-search approximate engine (see [`crate::beam`]): the same
+    /// top-down structure as [`Self::compute_recursive`] on the same
+    /// sparse memos, but each non-separable set expands a bounded
+    /// candidate frontier instead of every submask. At
+    /// [`BeamConfig::UNBOUNDED`] the walk is the recursion verbatim —
+    /// values, memo entry sets, and peel counts bit-identical.
+    fn compute_beam(&mut self, p: PredSet) -> Result<(f64, f64), ExhaustReason> {
+        crate::failpoint::fire("dp::solve_mask");
+        if let Some(meter) = self.meter.as_deref() {
+            meter.charge(1)?;
+        }
+        let first = self.ctx.first_component(p);
+        let result = if first != p {
+            // Lines 4-7: separable — exact by Property 2, the beam only
+            // approximates inside non-separable components.
+            let mut sel = 1.0;
+            let mut err = 0.0;
+            let mut rest = p;
+            while !rest.is_empty() {
+                let c = self.ctx.first_component(rest);
+                rest = rest.minus(c);
+                let (s, e) = self.try_get_selectivity(c)?;
+                sel *= s;
+                err += e;
+            }
+            (sel, err)
+        } else {
+            self.beam_depth += 1;
+            self.beam_stats.frontier_peak = self.beam_stats.frontier_peak.max(self.beam_depth);
+            let r = self.beam_nonseparable(p);
+            self.beam_depth -= 1;
+            r?
+        };
+        self.memo_sparse.insert(p.0 as u64, result);
+        Ok(result)
+    }
+
+    /// One beam expansion (lines 9-17, bounded): generate a candidate
+    /// family, score each candidate's conditional factor (the admissible
+    /// lower bound), keep the fallback plus the `width` best, and only
+    /// evaluate — i.e. recurse into `Sel(Q)` — the survivors, in the exact
+    /// engines' descending-submask order with the same strict-`<`
+    /// tie-break.
+    fn beam_nonseparable(&mut self, m: PredSet) -> Result<(f64, f64), ExhaustReason> {
+        let cfg = self.beam_cfg;
+        let capped = self.beam_stats.expansions >= cfg.expansions_cap;
+        self.beam_stats.expansions += 1;
+        if cfg.exhaustive_for(m.len()) && !capped {
+            return self.beam_exhaustive(m);
+        }
+
+        let meter_arc = self.meter.clone();
+        let mut poll = abort_poll(meter_arc.as_deref());
+        // Phase 1: generate. Past the expansions cap the set closes with
+        // the always-valid `P′ = m` fallback alone (no recursion: its
+        // conditioning set is empty), which bounds total work per query.
+        let mut cands = Vec::new();
+        if capped {
+            self.beam_stats.cap_fallbacks += 1;
+            cands.push(m.0);
+        } else {
+            if self.beam_guidance.is_none() {
+                self.beam_guidance = Some(self.sit_guidance_masks());
+            }
+            let guidance = self.beam_guidance.as_deref().unwrap_or(&[]);
+            crate::beam::generate_candidates(m.0, guidance, &mut cands);
+        }
+        self.beam_stats.generated += cands.len() as u64;
+
+        // Phase 2: score — the factor error is the admissible bound. The
+        // §3.4 keep test runs *before* scoring so pruned candidates cost
+        // nothing, exactly as in the exact walks.
+        let mut scored: Vec<Scored> = Vec::with_capacity(cands.len());
+        let mut iters = 0u32;
+        for &mask in &cands {
+            iters = iters.wrapping_add(1);
+            if iters.is_multiple_of(POLL_STRIDE) {
+                poll()?;
+            }
+            let p_prime = PredSet(mask);
+            let q = m.minus(p_prime);
+            if let Some(masks) = &self.sit_driven {
+                let keep = p_prime == m
+                    || masks
+                        .iter()
+                        .any(|&(a, c)| a & p_prime.0 != 0 && c & !q.0 == 0);
+                if !keep {
+                    continue;
+                }
+            }
+            let (sel_f, err_f) = self.factor(p_prime, q);
+            scored.push(Scored { mask, sel_f, err_f });
+        }
+        self.beam_stats.scored += scored.len() as u64;
+
+        // Phase 3: select the frontier.
+        let (mut order, mut keep) = (Vec::new(), Vec::new());
+        self.beam_stats.pruned +=
+            crate::beam::select_width(&scored, cfg.width, &mut order, &mut keep);
+
+        // Phase 4: evaluate survivors — recursion happens only here.
+        let mut best_err = f64::INFINITY;
+        let mut best_sel = DEFAULT_RANGE_SEL.powi(m.len() as i32);
+        let mut best_bound = f64::INFINITY;
+        for (idx, s) in scored.iter().enumerate() {
+            if !keep[idx] {
+                continue;
+            }
+            poll()?;
+            let q = m.minus(PredSet(s.mask));
+            let (sel_q, err_q) = self.try_get_selectivity(q)?;
+            let total = s.err_f + err_q;
+            if total < best_err {
+                best_err = total;
+                best_sel = (s.sel_f * sel_q).clamp(0.0, 1.0);
+                best_bound = s.err_f;
+            }
+        }
+        self.record_tightness(best_bound, best_err);
+        Ok((best_sel, best_err))
+    }
+
+    /// The unbounded-width expansion: [`Self::compute_recursive`]'s
+    /// non-separable loop verbatim (same interleaving of `Sel(Q)`
+    /// recursion and factor evaluation, same §3.4 keep test, same poll
+    /// cadence), so the beam engine at [`BeamConfig::UNBOUNDED`] is
+    /// bit-identical to the recursive engine — only the stats counters
+    /// differ.
+    fn beam_exhaustive(&mut self, m: PredSet) -> Result<(f64, f64), ExhaustReason> {
+        let meter_arc = self.meter.clone();
+        let mut poll = abort_poll(meter_arc.as_deref());
+        let mut best_err = f64::INFINITY;
+        let mut best_sel = DEFAULT_RANGE_SEL.powi(m.len() as i32);
+        let mut best_bound = f64::INFINITY;
+        let mut iters = 0u32;
+        let mut generated = 0u64;
+        let mut scored = 0u64;
+        for p_prime in m.subsets() {
+            generated += 1;
+            iters = iters.wrapping_add(1);
+            if iters.is_multiple_of(POLL_STRIDE) {
+                poll()?;
+            }
+            let q = m.minus(p_prime);
+            if let Some(masks) = &self.sit_driven {
+                let keep = p_prime == m
+                    || masks
+                        .iter()
+                        .any(|&(a, c)| a & p_prime.0 != 0 && c & !q.0 == 0);
+                if !keep {
+                    continue;
+                }
+            }
+            let (sel_q, err_q) = self.try_get_selectivity(q)?;
+            let (sel_f, err_f) = self.factor(p_prime, q);
+            scored += 1;
+            let total = err_f + err_q;
+            if total < best_err {
+                best_err = total;
+                best_sel = (sel_f * sel_q).clamp(0.0, 1.0);
+                best_bound = err_f;
+            }
+        }
+        self.beam_stats.generated += generated;
+        self.beam_stats.scored += scored;
+        self.record_tightness(best_bound, best_err);
+        Ok((best_sel, best_err))
+    }
+
+    /// Accumulates the chosen decomposition's bound tightness
+    /// (`err_f / total`, 1 when the recursion contributed nothing) into
+    /// the stats — skipped if the set somehow produced no finite argmin.
+    fn record_tightness(&mut self, best_bound: f64, best_err: f64) {
+        if best_err.is_finite() {
+            let t = if best_err > 0.0 {
+                (best_bound / best_err).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            self.beam_stats.tightness_sum += t;
+        }
     }
 
     /// Approximates the single conditional factor `Sel(P′|Q)` with the best

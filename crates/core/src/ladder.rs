@@ -3,30 +3,46 @@
 //!
 //! A [`Budget`] bounds how much an estimation request may spend; this
 //! module turns "the budget ran out" from an error into a *coarser
-//! answer*. The [`Ladder`] walks four rungs, best to worst:
+//! answer*. The [`Ladder`] walks five rungs, best to worst:
 //!
 //! 1. **Full** — the complete `getSelectivity` DP, identical bit-for-bit
 //!    to an unbudgeted run;
-//! 2. **Pruned** — the DP restricted by §3.4 SIT-driven pruning (the
+//! 2. **Beam** — the [`crate::beam`] bounded-frontier approximate DP:
+//!    width-limited best-first decomposition search, far cheaper than the
+//!    full walk but carrying a real (approximate) error model;
+//! 3. **Pruned** — the DP restricted by §3.4 SIT-driven pruning (the
 //!    paper's own answer to "too many atomic decompositions");
-//! 3. **Greedy** — the [`crate::gvm`] greedy view-matching chain: one
+//! 4. **Greedy** — the [`crate::gvm`] greedy view-matching chain: one
 //!    pass, no subset enumeration;
-//! 4. **Independence** — [`crate::baseline::independence_selectivity`]:
+//! 5. **Independence** — [`crate::baseline::independence_selectivity`]:
 //!    an O(n) product of base-histogram estimates. This floor always
 //!    completes, so every request gets *some* answer with an honest
 //!    [`Quality`] label and the [`DegradeReason`] that pushed it down.
+//!
+//! ## Beam routing
+//!
+//! When the configured [`DpStrategy`] routes the query's width to the
+//! beam engine (`Auto` does for `n > 20`, where the exact walk is an
+//! O(3ⁿ) cliff), `Beam` *is* the top rung: the ladder starts there with
+//! the full rung's budget slice, labels an undegraded success
+//! [`Quality::Beam`] with no degrade reason — honest "this is the best
+//! the routing allows" — and the pruned rung below runs the *pruned
+//! beam* engine. Exact-width queries instead get the beam as a middle
+//! rung between full and pruned.
 //!
 //! ## Budget slicing
 //!
 //! One caller budget funds the whole ladder, so each DP rung gets a
 //! *slice*, not the whole thing — otherwise the full rung would eat the
 //! entire allowance and leave the pruned rung nothing. With quota `Q` and
-//! deadline `D` (measured from entry):
+//! deadline `D` (measured from entry), and `R₁ = Q − ⌊Q/2⌋`,
+//! `R₂ = R₁ − ⌊R₁/2⌋`:
 //!
 //! | rung  | work cap            | absolute deadline |
 //! |-------|---------------------|-------------------|
-//! | full  | `⌊Q/2⌋`             | `start + D/2`     |
-//! | pruned| `⌊⌈Q/2⌉/2⌋` (fresh) | `start + 3D/4`    |
+//! | full *(or beam when routed)* | `⌊Q/2⌋` | `start + D/2` |
+//! | beam *(exact-width queries only)* | `⌊R₁/2⌋` (fresh) | `start + 5D/8` |
+//! | pruned| `⌊R₂/2⌋` (fresh; `⌊R₁/2⌋` when routed) | `start + 3D/4` |
 //! | greedy| none (fast)         | `start + D` (checked before) |
 //! | independence | none         | none              |
 //!
@@ -43,6 +59,7 @@ use std::time::Instant;
 use sqe_engine::{Database, SpjQuery};
 
 use crate::baseline::independence_selectivity;
+use crate::beam::BeamConfig;
 use crate::budget::{Budget, BudgetMeter, DegradeReason, Quality};
 use crate::cache::SharedEstimatorCache;
 use crate::error::ErrorMode;
@@ -58,13 +75,16 @@ pub struct BudgetedEstimate {
     /// The selectivity estimate for the full predicate set.
     pub selectivity: f64,
     /// The DP's error score for the chosen decomposition — present on the
-    /// [`Quality::Full`] and [`Quality::Pruned`] rungs, `None` below (the
-    /// greedy and independence paths carry no error model).
+    /// [`Quality::Full`], [`Quality::Beam`], and [`Quality::Pruned`] rungs,
+    /// `None` below (the greedy and independence paths carry no error
+    /// model).
     pub error: Option<f64>,
     /// Which rung produced the answer.
     pub quality: Quality,
-    /// Why the answer is below [`Quality::Full`]; `None` iff `quality`
-    /// is `Full`.
+    /// Why the answer is degraded below the best rung this query can
+    /// reach; `None` iff the top rung answered — `Full` for exact-width
+    /// queries, `Beam` when the strategy routes the query to the beam
+    /// engine (an undegraded beam answer is the best the routing allows).
     pub degraded_reason: Option<DegradeReason>,
     /// Work units spent across the DP rungs (0 for an unlimited run —
     /// the fast path skips accounting entirely).
@@ -84,6 +104,7 @@ pub struct Ladder<'a> {
     strategy: DpStrategy,
     dp_threads: usize,
     pruning: bool,
+    beam: BeamConfig,
     sit2: Option<&'a Sit2Catalog>,
     shared: Option<&'a dyn SharedEstimatorCache>,
 }
@@ -97,6 +118,7 @@ impl<'a> Ladder<'a> {
             strategy: DpStrategy::Auto,
             dp_threads: 1,
             pruning: false,
+            beam: BeamConfig::default(),
             sit2: None,
             shared: None,
         }
@@ -105,6 +127,13 @@ impl<'a> Ladder<'a> {
     /// DP engine selection for the DP rungs (see [`DpStrategy`]).
     pub fn with_strategy(mut self, strategy: DpStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Knobs of the beam rung (and of every DP rung when the strategy
+    /// routes the query to the beam engine).
+    pub fn with_beam_config(mut self, cfg: BeamConfig) -> Self {
+        self.beam = cfg;
         self
     }
 
@@ -139,14 +168,31 @@ impl<'a> Ladder<'a> {
     }
 
     fn build_estimator(&self, query: &SpjQuery, pruned: bool) -> SelectivityEstimator<'a> {
+        self.build_estimator_as(query, pruned, self.strategy)
+    }
+
+    fn build_estimator_as(
+        &self,
+        query: &SpjQuery,
+        pruned: bool,
+        strategy: DpStrategy,
+    ) -> SelectivityEstimator<'a> {
         let mut est = SelectivityEstimator::new(self.db, query, self.catalog, self.mode)
-            .with_strategy(self.strategy)
+            .with_strategy(strategy)
+            .with_beam_config(self.beam)
             .with_dp_threads(self.dp_threads);
         if let Some(s2) = self.sit2 {
             est = est.with_sit2_catalog(s2);
         }
         if let Some(c) = self.shared {
-            est = est.with_shared_cache(c);
+            // Beam rungs run cache-free: at the widths that use the beam,
+            // per-link cache round-trips cost more wall-clock than the
+            // bounded walk saves by reuse (measured 4–5× on the seeded
+            // 32-predicate workload), and beam answers never enter the
+            // query-level cache anyway — only exact `Full` ones do.
+            if !strategy.use_beam(query.predicates.len()) {
+                est = est.with_shared_cache(c);
+            }
         }
         if pruned || self.pruning {
             est = est.with_sit_driven_pruning();
@@ -163,10 +209,15 @@ impl<'a> Ladder<'a> {
             let mut est = self.build_estimator(query, false);
             let all = est.context().all();
             let (selectivity, error) = est.get_selectivity(all);
+            let quality = if est.is_beam() {
+                Quality::Beam
+            } else {
+                Quality::Full
+            };
             return BudgetedEstimate {
                 selectivity,
                 error: Some(error),
-                quality: Quality::Full,
+                quality,
                 degraded_reason: None,
                 work: 0,
                 stats: est.stats(),
@@ -196,11 +247,17 @@ impl<'a> Ladder<'a> {
         }
 
         let mut work = 0u64;
-        // Why the answer is degraded: the full rung's trip reason (every
-        // later rung only runs because the full rung failed).
+        // Whether the strategy routes this query's width to the beam
+        // engine: the top rung is then the beam itself (the exact walk is
+        // unaffordable by construction) and the dedicated middle rung is
+        // redundant.
+        let routed = self.strategy.use_beam(query.predicates.len());
+        // Why the answer is degraded: the top rung's trip reason (every
+        // later rung only runs because the top rung failed).
         let reason: DegradeReason;
 
-        // Rung 1: full DP on half the allowance.
+        // Rung 1: the best DP this query can get — full exact, or beam
+        // when routed — on half the allowance.
         let full_meter = Arc::new(BudgetMeter::from_parts(
             budget.deadline.map(|d| start + d / 2),
             budget.quota.map(|q| q / 2),
@@ -218,7 +275,7 @@ impl<'a> Ladder<'a> {
                     return BudgetedEstimate {
                         selectivity,
                         error: Some(error),
-                        quality: Quality::Full,
+                        quality: if routed { Quality::Beam } else { Quality::Full },
                         degraded_reason: None,
                         work,
                         stats: est.stats(),
@@ -228,13 +285,42 @@ impl<'a> Ladder<'a> {
             }
         }
 
-        // Rung 2: pruned DP on a fresh half-of-the-remainder slice. Caps
-        // are floors of monotone functions of Q — never cumulative
-        // windows, which would break quota monotonicity.
-        let remainder = budget.quota.map(|q| q - q / 2);
+        // Rung 2 (exact-width queries only): the beam engine on a fresh
+        // half-of-the-remainder slice — an approximate DP answer with a
+        // real error model, far cheaper than the full walk that just
+        // tripped. Caps are floors of monotone functions of Q — never
+        // cumulative windows, which would break quota monotonicity.
+        let r1 = budget.quota.map(|q| q - q / 2);
+        if !routed {
+            let beam_meter = Arc::new(BudgetMeter::from_parts(
+                budget.deadline.map(|d| start + d.mul_f64(0.625)),
+                r1.map(|r| r / 2),
+                budget.cancel.clone(),
+            ));
+            let mut est = self
+                .build_estimator_as(query, false, DpStrategy::Beam)
+                .with_budget_meter(beam_meter.clone());
+            let all = est.context().all();
+            let r = est.try_get_selectivity(all);
+            work += beam_meter.spent();
+            if let Ok((selectivity, error)) = r {
+                return BudgetedEstimate {
+                    selectivity,
+                    error: Some(error),
+                    quality: Quality::Beam,
+                    degraded_reason: Some(reason),
+                    work,
+                    stats: est.stats(),
+                };
+            }
+        }
+
+        // Rung 3: pruned DP (the pruned *beam* engine when routed) on a
+        // fresh slice of what the rungs above left notionally unspent.
+        let r2 = if routed { r1 } else { r1.map(|r| r - r / 2) };
         let pruned_meter = Arc::new(BudgetMeter::from_parts(
             budget.deadline.map(|d| start + d.mul_f64(0.75)),
-            remainder.map(|r| r / 2),
+            r2.map(|r| r / 2),
             budget.cancel.clone(),
         ));
         {
@@ -256,7 +342,7 @@ impl<'a> Ladder<'a> {
             }
         }
 
-        // Rung 3: greedy view matching — one chain pass, no quota. Only
+        // Rung 4: greedy view matching — one chain pass, no quota. Only
         // skipped if the caller cancelled or the full deadline already
         // passed (the pass itself is microseconds-to-milliseconds).
         let gate = BudgetMeter::from_parts(
@@ -278,7 +364,7 @@ impl<'a> Ladder<'a> {
             };
         }
 
-        // Rung 4: the independence floor. O(n); always answers.
+        // Rung 5: the independence floor. O(n); always answers.
         BudgetedEstimate {
             selectivity: independence_selectivity(self.db, self.catalog, query),
             error: None,

@@ -39,6 +39,7 @@
 //!   mirroring a conventional optimizer).
 
 pub mod baseline;
+pub mod beam;
 pub mod budget;
 pub mod cache;
 pub mod decomposition;
@@ -62,6 +63,7 @@ pub mod sit2;
 mod steal;
 
 pub use baseline::NoSitEstimator;
+pub use beam::{BeamConfig, BeamStats};
 pub use budget::{Budget, BudgetMeter, CancelToken, DegradeReason, ExhaustReason, Quality};
 pub use cache::{CacheKey, SharedEstimatorCache};
 pub use decomposition::{count_decompositions, decomposition_bounds, ComponentTable};

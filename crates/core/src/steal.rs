@@ -74,6 +74,12 @@ pub struct FillStats {
     /// Masks solved per popcount rank (`rank_tasks[k]` = solved masks with
     /// `k` predicates) — makes rank skew diagnosable from bench output.
     pub rank_tasks: Vec<u64>,
+    /// Set to 1 when a serial-only engine (recursive or beam) ran while
+    /// `dp_threads ≥ 2` was configured — the thread knob only drives dense
+    /// lattice fills, and this flag makes the silently ignored
+    /// configuration observable instead of leaving callers to wonder why
+    /// their wide query never parallelized.
+    pub dp_threads_ignored: u64,
 }
 
 /// Popcount of a `u32` mask is at most 32; one slot per rank plus rank 0.

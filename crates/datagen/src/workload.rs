@@ -98,8 +98,18 @@ fn try_generate_query(
         .filter(|c| tables.contains(&c.table))
         .collect();
     candidates.shuffle(rng);
-    if candidates.len() < config.filters {
+    if candidates.is_empty() {
         return None;
+    }
+    // Wide workloads (F larger than the distinct filter columns the chosen
+    // tables offer) cycle the shuffled candidates: a column may then carry
+    // several independent ranges, whose conjunction is their intersection.
+    if candidates.len() < config.filters {
+        let base = candidates.len();
+        for i in 0..config.filters - base {
+            let repeat = candidates[i % base];
+            candidates.push(repeat);
+        }
     }
     candidates.truncate(config.filters);
 
@@ -303,6 +313,30 @@ mod tests {
                 tables.dedup();
                 assert_eq!(tables.len(), k + 1);
             }
+        }
+    }
+
+    #[test]
+    fn wide_filter_counts_cycle_columns() {
+        let sf = small_snowflake();
+        // More filters than the schema has distinct filter columns: the
+        // generator cycles columns instead of giving up, enabling the
+        // 32-predicate (7 joins + 25 filters) beam workloads.
+        let cfg = WorkloadConfig {
+            queries: 2,
+            joins: 7,
+            filters: 25,
+            target_selectivity: 0.5,
+            ..WorkloadConfig::default()
+        };
+        let wl = generate_workload(&sf.db, &sf.join_edges, &sf.filter_columns, cfg);
+        let mut oracle = CardinalityOracle::new(&sf.db);
+        for q in &wl {
+            assert_eq!(q.join_count(), 7);
+            assert_eq!(q.filter_count(), 25);
+            assert_eq!(q.predicates.len(), 32);
+            let card = oracle.cardinality(&q.tables, &q.predicates).unwrap();
+            assert!(card > 0, "wide query produced empty result");
         }
     }
 

@@ -71,6 +71,11 @@ pub struct AccuracyReport {
     /// Accuracy under incremental maintenance: one mutation-stream replay
     /// per scenario family (see [`crate::staleness`]).
     pub staleness: Vec<crate::staleness::StalenessScenario>,
+    /// Beam-search error envelope on the wide scenarios (see
+    /// [`crate::beam_envelope`]). Defaults empty so reports written before
+    /// the beam engine existed still deserialize.
+    #[serde(default)]
+    pub beam: Vec<crate::beam_envelope::BeamEnvelopeScenario>,
 }
 
 struct VariantSpec {
@@ -120,6 +125,7 @@ pub fn measure_accuracy(tier: OracleTier) -> AccuracyReport {
         tier: tier.label().to_string(),
         scenarios: report_scenarios,
         staleness: crate::staleness::measure_staleness(tier),
+        beam: crate::beam_envelope::measure_beam_envelope(tier),
     }
 }
 

@@ -109,6 +109,7 @@ pub fn compare_reports(
         }
     }
     gate_staleness(baseline, current, cfg, &mut violations);
+    gate_beam(baseline, current, cfg, &mut violations);
     violations
 }
 
@@ -173,10 +174,83 @@ fn gate_staleness(
     }
 }
 
+/// Gates the beam error-envelope section with the same tolerance model,
+/// width point by width point. Comparability first: fingerprint, query
+/// width `n`, and query count must match — a changed wide workload means
+/// the envelopes measured different queries and must be re-baselined. The
+/// gated metrics are the beam-vs-truth q-errors *and* the worst per-query
+/// ratio against the exact engine, so the beam can neither drift in
+/// absolute accuracy nor quietly fall behind the reference it exists to
+/// approximate.
+fn gate_beam(
+    baseline: &AccuracyReport,
+    current: &AccuracyReport,
+    cfg: GateConfig,
+    violations: &mut Vec<String>,
+) {
+    for base_sc in &baseline.beam {
+        let Some(cur_sc) = current.beam.iter().find(|s| s.scenario == base_sc.scenario) else {
+            violations.push(format!(
+                "beam scenario '{}' present in baseline but missing from current run",
+                base_sc.scenario
+            ));
+            continue;
+        };
+        if base_sc.fingerprint != cur_sc.fingerprint
+            || base_sc.n != cur_sc.n
+            || base_sc.queries != cur_sc.queries
+        {
+            violations.push(format!(
+                "beam scenario '{}': database fingerprint, width, or query count changed \
+                 — the runs measured different envelopes; re-baseline instead of gating",
+                base_sc.scenario
+            ));
+            continue;
+        }
+        for base_p in &base_sc.points {
+            let Some(cur_p) = cur_sc
+                .points
+                .iter()
+                .find(|p| p.width == base_p.width && p.expansions_cap == base_p.expansions_cap)
+            else {
+                violations.push(format!(
+                    "beam scenario '{}': width {} (cap {}) missing from current run",
+                    base_sc.scenario, base_p.width, base_p.expansions_cap
+                ));
+                continue;
+            };
+            for (metric, base_m, cur_m) in [
+                (
+                    "median q-error",
+                    base_p.median_q_error,
+                    cur_p.median_q_error,
+                ),
+                ("p95 q-error", base_p.p95_q_error, cur_p.p95_q_error),
+                ("max q-error", base_p.max_q_error, cur_p.max_q_error),
+                (
+                    "q-error ratio vs exact",
+                    base_p.max_q_ratio_vs_exact,
+                    cur_p.max_q_ratio_vs_exact,
+                ),
+            ] {
+                let limit = base_m * cfg.max_ratio + cfg.abs_slack;
+                if cur_m > limit {
+                    violations.push(format!(
+                        "beam scenario '{}' width {}: {metric} regressed \
+                         {base_m} -> {cur_m} (limit {limit:.6})",
+                        base_sc.scenario, base_p.width
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accuracy::{ScenarioAccuracy, VariantResult};
+    use crate::beam_envelope::{BeamEnvelopePoint, BeamEnvelopeScenario};
     use crate::staleness::{StalenessPoint, StalenessScenario};
 
     fn variant(name: &str, median: f64, p95: f64) -> VariantResult {
@@ -214,6 +288,24 @@ mod tests {
                     p95_q_error: 2.5,
                     max_staleness: 0.08,
                     rebuilds: 3,
+                }],
+            }],
+            beam: vec![BeamEnvelopeScenario {
+                scenario: "wide-n16".to_string(),
+                fingerprint,
+                n: 16,
+                queries: 2,
+                exact_median_q_error: 1.3,
+                exact_max_q_error: 2.0,
+                // Fixed metrics, like the staleness fixture: beam
+                // regressions are exercised by dedicated tests below.
+                points: vec![BeamEnvelopePoint {
+                    width: 4,
+                    expansions_cap: 512,
+                    median_q_error: 1.4,
+                    p95_q_error: 2.6,
+                    max_q_error: 2.6,
+                    max_q_ratio_vs_exact: 1.3,
                 }],
             }],
         }
@@ -257,11 +349,52 @@ mod tests {
     fn fingerprint_mismatch_blocks_comparison() {
         let base = report(7, 1.4, 3.0);
         let other = report(8, 1.4, 3.0);
-        // Both the main scenario and its staleness replay carry the
-        // database fingerprint, so both flag the mismatch.
+        // The main scenario, its staleness replay, and the beam envelope
+        // all carry the database fingerprint, so all three flag the
+        // mismatch.
         let v = compare_reports(&base, &other, GateConfig::default());
-        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v.len(), 3, "{v:?}");
         assert!(v.iter().all(|m| m.contains("fingerprint")), "{v:?}");
+    }
+
+    #[test]
+    fn beam_envelope_regression_is_flagged() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        cur.beam[0].points[0].p95_q_error = 9.0;
+        cur.beam[0].points[0].max_q_ratio_vs_exact = 4.0;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(
+            v[0].contains("beam scenario 'wide-n16' width 4") && v[0].contains("p95 q-error"),
+            "{}",
+            v[0]
+        );
+        assert!(v[1].contains("q-error ratio vs exact"), "{}", v[1]);
+    }
+
+    #[test]
+    fn beam_envelope_comparability_is_checked() {
+        let base = report(7, 1.4, 3.0);
+        // A changed workload width is not gateable.
+        let mut cur = base.clone();
+        cur.beam[0].n = 12;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("re-baseline"), "{}", v[0]);
+
+        // A missing width point is a violation, as is a missing scenario.
+        let mut cur = base.clone();
+        cur.beam[0].points.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v.iter().any(|m| m.contains("width 4 (cap 512) missing")));
+
+        let mut cur = base.clone();
+        cur.beam.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v
+            .iter()
+            .any(|m| m.contains("beam scenario 'wide-n16' present in baseline")));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`accuracy`] — the measurement pass: q-error and relative error of
 //!   every estimator variant (error mode × SIT pool × pruning) against
 //!   oracle truth, emitted as the committed `ACCURACY.json` report;
+//! * [`beam_envelope`] — the beam engine's error envelope: q-error of the
+//!   width-swept approximate DP vs truth *and* vs the exact engine on the
+//!   wide scenarios (n = 12, 16), gated like every other accuracy metric;
 //! * [`staleness`] — accuracy under mutation: replay a seeded delta
 //!   stream through a live catalog, measure q-error against exact truth
 //!   over the *current* (mutated) database at fresh / mid-stream /
@@ -40,6 +43,7 @@
 //! [`CardinalityOracle`]: sqe_engine::CardinalityOracle
 
 pub mod accuracy;
+pub mod beam_envelope;
 pub mod exec;
 pub mod gate;
 pub mod invariants;
@@ -47,6 +51,7 @@ pub mod staleness;
 pub mod workload;
 
 pub use accuracy::{measure_accuracy, AccuracyReport, ScenarioAccuracy, VariantResult};
+pub use beam_envelope::{measure_beam_envelope, BeamEnvelopePoint, BeamEnvelopeScenario};
 pub use exec::ExactExecutor;
 pub use gate::{compare_reports, GateConfig};
 pub use staleness::{measure_staleness, StalenessPoint, StalenessScenario};

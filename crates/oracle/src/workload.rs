@@ -158,6 +158,24 @@ const SPECS: &[Spec] = &[
         wl_seed: 0x0A11_0005,
         full_only: false,
     },
+    // The exact engines' last affordable width: 7 joins + 9 filters —
+    // n = 16, the top of the dense auto range. Wide enough that the beam
+    // engine's bounded frontier really prunes, narrow enough that the
+    // exact DP still provides the reference the beam error envelope (see
+    // `beam_envelope`) is gated against.
+    Spec {
+        name: "wide-n16",
+        theta: 1.0,
+        correlation: 1.0,
+        dangling_frac: 0.10,
+        min_rows: 70,
+        db_seed: 0xACC0_0006,
+        joins: 7,
+        filters: 9,
+        queries_full: 4,
+        wl_seed: 0x0A11_0006,
+        full_only: false,
+    },
 ];
 
 /// Builds the scenario set for a tier, deterministically.
@@ -243,12 +261,14 @@ mod tests {
     }
 
     #[test]
-    fn wide_scenario_reaches_twelve_predicates() {
+    fn wide_scenarios_reach_their_advertised_widths() {
         let all = scenarios(OracleTier::Smoke);
-        let wide = all.iter().find(|s| s.name == "wide-n12").expect("present");
-        for q in &wide.queries {
-            assert_eq!(q.predicates.len(), 12);
-            assert_eq!(q.tables.len(), 8);
+        for (name, n) in [("wide-n12", 12), ("wide-n16", 16)] {
+            let wide = all.iter().find(|s| s.name == name).expect("present");
+            for q in &wide.queries {
+                assert_eq!(q.predicates.len(), n, "{name}");
+                assert_eq!(q.tables.len(), 8, "{name}");
+            }
         }
     }
 }

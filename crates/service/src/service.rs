@@ -9,8 +9,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use sqe_core::{
-    build_pool_threaded, Budget, CacheKey, DegradeReason, DpStrategy, ErrorMode, IngestReport,
-    Ladder, PoolSpec, Quality, SelectivityEstimator, Sit2Catalog, SitCatalog, SitOptions,
+    build_pool_threaded, BeamConfig, Budget, CacheKey, DegradeReason, DpStrategy, ErrorMode,
+    IngestReport, Ladder, PoolSpec, Quality, SelectivityEstimator, Sit2Catalog, SitCatalog,
+    SitOptions,
 };
 use sqe_engine::{Database, Result as EngineResult, SpjQuery};
 
@@ -90,6 +91,18 @@ pub struct ServiceConfig {
     /// [`ServiceError::Overloaded`]. `0` disables the bound. The
     /// unbudgeted endpoints are unaffected.
     pub max_in_flight: usize,
+    /// Knobs of the beam-search approximate engine (see
+    /// [`sqe_core::BeamConfig`]), used whenever `dp_strategy` routes a
+    /// query's width to the beam — under the default `Auto`, every query
+    /// wider than 20 predicates.
+    pub beam: BeamConfig,
+    /// The service-level deadline [`EstimationService::default_budget`]
+    /// hands out: the latency envelope a budgeted request is expected to
+    /// answer within — by degrading, never by erroring. Wide queries
+    /// routed to the beam engine are tuned (width 8, see
+    /// `BENCH_estimator.json`'s wide-`n` rows) to fit a 32-predicate
+    /// estimate inside this deadline on a single core.
+    pub default_deadline: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -104,6 +117,8 @@ impl Default for ServiceConfig {
             batch_threads: None,
             dp_threads: DpThreadsMode::Serial,
             max_in_flight: 64,
+            beam: BeamConfig::default(),
+            default_deadline: Duration::from_millis(250),
         }
     }
 }
@@ -221,11 +236,15 @@ pub struct Estimate {
     /// suite). Don't assert on `cached` in tests that vary parallelism.
     pub cached: bool,
     /// How the answer was obtained. The unbudgeted endpoints and every
-    /// in-budget request report [`Quality::Full`]; a budgeted request
-    /// that ran out reports the degradation-ladder rung that answered.
+    /// in-budget request report [`Quality::Full`] — or [`Quality::Beam`]
+    /// when [`ServiceConfig::dp_strategy`] routes the query's width to
+    /// the beam-search approximate engine (under `Auto`, `n > 20`); a
+    /// budgeted request that ran out reports the degradation-ladder rung
+    /// that answered.
     pub quality: Quality,
-    /// Why the answer is below [`Quality::Full`] (`None` iff `quality`
-    /// is `Full`).
+    /// Why the answer is degraded below the best rung the query's routing
+    /// allows (`None` iff the answer is undegraded: `Full`, or `Beam` for
+    /// beam-routed queries).
     pub degraded_reason: Option<DegradeReason>,
 }
 
@@ -463,10 +482,25 @@ impl EstimationService {
         self.stats.snapshot(self.snapshot().cache.counters())
     }
 
+    /// The budget a caller with no latency requirements of its own should
+    /// use: unlimited work, capped by [`ServiceConfig::default_deadline`].
+    /// Under it a seeded 32-predicate query answers with a
+    /// [`Quality::Beam`] label on a single core (the `tests/beam.rs`
+    /// acceptance bar); narrower queries answer `Full` as before.
+    pub fn default_budget(&self) -> Budget {
+        Budget::unlimited().with_deadline(self.config.default_deadline)
+    }
+
     fn estimate_on(&self, snapshot: &CatalogSnapshot, query: &SpjQuery) -> Estimate {
         let start = Instant::now();
+        // Queries the strategy routes to the beam engine get approximate
+        // answers, which must never enter the whole-query cache (only
+        // exact `Full` answers are cached — the invariant budgeted cache
+        // hits rely on) and are labeled honestly.
+        let routed = self.config.dp_strategy.use_beam(query.predicates.len());
         let key = CacheKey::query(self.config.mode, &query.predicates);
-        let (result, cached) = match snapshot.cache.get_query(&key) {
+        let hit = (!routed).then(|| snapshot.cache.get_query(&key)).flatten();
+        let (result, cached) = match hit {
             Some(hit) => (hit, true),
             None => {
                 let mut est = SelectivityEstimator::new(
@@ -476,8 +510,14 @@ impl EstimationService {
                     self.config.mode,
                 )
                 .with_strategy(self.config.dp_strategy)
-                .with_dp_threads(self.config.dp_threads.resolve())
-                .with_shared_cache(&snapshot.cache);
+                .with_beam_config(self.config.beam)
+                .with_dp_threads(self.config.dp_threads.resolve());
+                if !routed {
+                    // Beam-routed widths skip the link cache too: the
+                    // bounded walk recomputes less than the per-link
+                    // round-trips cost (see `Ladder::build_estimator_as`).
+                    est = est.with_shared_cache(&snapshot.cache);
+                }
                 if let Some(sit2) = &snapshot.sit2 {
                     est = est.with_sit2_catalog(sit2);
                 }
@@ -486,7 +526,9 @@ impl EstimationService {
                 }
                 let all = est.context().all();
                 let result = est.get_selectivity(all);
-                snapshot.cache.put_query(key, result);
+                if !routed {
+                    snapshot.cache.put_query(key, result);
+                }
                 (result, false)
             }
         };
@@ -497,7 +539,7 @@ impl EstimationService {
             cardinality: cardinality_of(snapshot, query, result.0),
             epoch: snapshot.epoch,
             cached,
-            quality: Quality::Full,
+            quality: if routed { Quality::Beam } else { Quality::Full },
             degraded_reason: None,
         }
     }
@@ -515,7 +557,8 @@ impl EstimationService {
     /// [`DegradeReason::Panic`].
     ///
     /// An unlimited budget produces answers bit-identical to
-    /// [`EstimationService::estimate`], always labeled [`Quality::Full`].
+    /// [`EstimationService::estimate`], labeled [`Quality::Full`] (or
+    /// [`Quality::Beam`] for beam-routed widths).
     pub fn estimate_with_budget(
         &self,
         query: &SpjQuery,
@@ -648,6 +691,7 @@ impl EstimationService {
             None => {
                 let mut ladder = Ladder::new(&snapshot.db, &snapshot.sits, self.config.mode)
                     .with_strategy(self.config.dp_strategy)
+                    .with_beam_config(self.config.beam)
                     .with_dp_threads(self.config.dp_threads.resolve())
                     .with_shared_cache(&snapshot.cache);
                 if let Some(sit2) = &snapshot.sit2 {

@@ -142,13 +142,13 @@ impl ServiceStats {
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
         }
-        let load = |arr: &[AtomicU64]| -> [u64; 4] {
-            let mut out = [0u64; 4];
+        fn load<const N: usize>(arr: &[AtomicU64; N]) -> [u64; N] {
+            let mut out = [0u64; N];
             for (o, a) in out.iter_mut().zip(arr) {
                 *o = a.load(Ordering::Relaxed);
             }
             out
-        };
+        }
         ServiceStatsSnapshot {
             estimates: self.estimates.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -216,7 +216,7 @@ pub struct ServiceStatsSnapshot {
     /// `[2^(i-1), 2^i)` µs, last bucket is unbounded above.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
     /// Budgeted answers per quality tier, indexed in [`Quality::ALL`]
-    /// order (worst-to-best: independence, greedy, pruned, full).
+    /// order (worst-to-best: independence, greedy, pruned, beam, full).
     pub quality_counts: [u64; QUALITY_TIERS],
     /// Summed latency per quality tier (same indexing).
     pub quality_latency_ns: [u64; QUALITY_TIERS],

@@ -60,10 +60,10 @@ pub use sqe_service as service;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use sqe_core::{
-        build_pool, build_pool2, load_catalog, save_catalog, Budget, BudgetedEstimate, CancelToken,
-        DegradeReason, DpStrategy, ErrorMode, GreedyViewMatching, Ladder, NoSitEstimator, PoolSpec,
-        PredSet, Quality, QueryContext, SelectivityEstimator, Sit, Sit2, Sit2Catalog, SitCatalog,
-        SitOptions,
+        build_pool, build_pool2, load_catalog, save_catalog, BeamConfig, BeamStats, Budget,
+        BudgetedEstimate, CancelToken, DegradeReason, DpStrategy, ErrorMode, GreedyViewMatching,
+        Ladder, NoSitEstimator, PoolSpec, PredSet, Quality, QueryContext, SelectivityEstimator,
+        Sit, Sit2, Sit2Catalog, SitCatalog, SitOptions,
     };
     pub use sqe_datagen::{
         generate_workload, motivating_scenario, Snowflake, SnowflakeConfig, WorkloadConfig,
