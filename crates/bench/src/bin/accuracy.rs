@@ -83,6 +83,24 @@ fn main() {
         );
     }
 
+    if !report.bounds.is_empty() {
+        println!("\nPessimistic upper-bound audit (bound / true cardinality)\n");
+        let mut rows = Vec::new();
+        for b in &report.bounds {
+            rows.push(vec![
+                b.scenario.to_string(),
+                b.queries.to_string(),
+                b.underestimates.to_string(),
+                fmt_num(b.median_ratio),
+                fmt_num(b.max_ratio),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["scenario", "q", "under", "med ratio", "max ratio"], &rows,)
+        );
+    }
+
     match write_json_root("ACCURACY", &report) {
         Ok(p) => println!("report written to {}", p.display()),
         Err(e) => {

@@ -136,6 +136,9 @@ fn main() {
     failpoint::arm_with("par::publish", Action::Panic, 2_000, None, 22);
     failpoint::arm_with("service::cache_insert", Action::Sleep(1), 256, None, 33);
     failpoint::arm_with("service::install", Action::Sleep(2), 4, None, 44);
+    // The bound sketch runs on every budgeted answer (panic-isolated), so
+    // its failpoint exercises the backend-panic floor under load too.
+    failpoint::arm_with("pessimistic::bound", Action::Panic, 10_000, None, 55);
     eprintln!("chaos: armed {:?}", failpoint::armed_sites());
 
     let heartbeat = Arc::new(AtomicU64::new(0));

@@ -222,7 +222,7 @@ fn main() {
         let budget =
             deadline.map_or_else(Budget::unlimited, |d| Budget::unlimited().with_deadline(d));
         let mut lat_us: Vec<f64> = Vec::with_capacity(workload.len());
-        let mut mix = [0u64; 5]; // full / beam / pruned / greedy / independence
+        let mut mix = [0u64; 6]; // full / beam / pruned / greedy / independence / bound
         for q in &workload {
             let t = Instant::now();
             let e = svc
@@ -235,6 +235,7 @@ fn main() {
                 Quality::Pruned => mix[2] += 1,
                 Quality::Greedy => mix[3] += 1,
                 Quality::Independence => mix[4] += 1,
+                Quality::Bound => mix[5] += 1,
             }
         }
         lat_us.sort_by(f64::total_cmp);

@@ -1,0 +1,645 @@
+//! Bayesian-network atomic-estimate backend (Chow-Liu trees).
+//!
+//! The default peel machinery estimates a filter conditioned on co-located
+//! filters under independence unless a matching multidimensional SIT
+//! exists. This backend factors each table's joint attribute distribution
+//! into a tree-structured Bayesian network instead, following the
+//! Chow-Liu construction used by Halford et al. (arXiv 1907.06295,
+//! 2009.09883):
+//!
+//! 1. per table, build a [`Hist2d`] over every pair of attributes and take
+//!    its [`Hist2d::mutual_information`] as the edge weight;
+//! 2. keep a maximum-weight spanning forest (Kruskal with deterministic
+//!    tie-breaks on column names), dropping zero-information edges — so a
+//!    table with fully independent columns gets an edge-free network;
+//! 3. store bucket-granularity marginals per attribute and joint mass
+//!    matrices per kept edge, all on *fixed per-attribute maxDiff bucket
+//!    boundaries* so every edge incident to an attribute shares its
+//!    bucketization.
+//!
+//! [`BnBackend::peel`] then intercepts a filter peel whose conditioning
+//! set contains a filter on a *different, tree-connected* attribute of the
+//! same table and answers `Sel(p | F) = P(p ∧ F) / P(F)` by sum-product
+//! message passing over the tree, at bucket granularity with continuous
+//! interpolation at partial overlaps — no independence assumption between
+//! connected attributes. Everything else (joins, unconnected conditioning,
+//! `Opt` mode, predicates without value bounds) delegates to the default
+//! machinery, so on independent data the backend is bit-identical to
+//! [`crate::backend::DiffBackend`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqe_engine::predicate::PredColumns;
+use sqe_engine::{Database, TableId};
+use sqe_histogram::{build_maxdiff, Hist2d};
+
+use crate::backend::{PeelQuery, SelectivityBackend};
+use crate::error::ErrorMode;
+use crate::failpoint;
+use crate::link::{filter_bounds, MIN_SEL};
+
+/// Buckets per attribute dimension. Small enough that per-pair grids stay
+/// cheap, fine enough to resolve the 5%-window workload filters.
+pub const BN_BUCKETS: usize = 16;
+
+/// Mutual-information floor below which an edge is considered noise and
+/// dropped. Exactly independent grids produce MI 0 (clamped), so
+/// independent columns reliably yield an edge-free network.
+const MI_EPS: f64 = 1e-6;
+
+/// Per-attribute node: fixed maxDiff bucket boundaries and marginal bucket
+/// masses over the column's valid values.
+#[derive(Debug, Clone)]
+struct BnNode {
+    bounds: Vec<(i64, i64)>,
+    masses: Vec<f64>,
+    total: f64,
+}
+
+/// One kept tree edge: joint bucket masses between attributes `a` and `b`
+/// (`a < b`), `a`-major on the two nodes' fixed boundaries.
+#[derive(Debug, Clone)]
+struct BnEdge {
+    a: u16,
+    b: u16,
+    joint: Vec<f64>,
+    /// Mutual information that selected this edge (reporting/tests).
+    mi: f64,
+}
+
+/// One table's network: nodes, kept edges, adjacency, and connected
+/// components of the forest.
+#[derive(Debug, Clone, Default)]
+struct BnTable {
+    nodes: Vec<Option<BnNode>>,
+    edges: Vec<BnEdge>,
+    /// Per column: `(neighbor column, edge index)` pairs.
+    adj: Vec<Vec<(u16, usize)>>,
+    /// Forest component id per column (columns without nodes keep a
+    /// singleton id).
+    comp: Vec<u32>,
+}
+
+/// The per-database catalog of tree-structured per-table networks.
+#[derive(Debug, Clone, Default)]
+pub struct BnCatalog {
+    tables: Vec<BnTable>,
+}
+
+impl BnCatalog {
+    /// Builds the networks for every table of `db`: pairwise [`Hist2d`]
+    /// grids, mutual-information edge weights, Kruskal maximum spanning
+    /// forest, then bucket-granularity marginals and joint matrices for
+    /// the kept edges.
+    pub fn build(db: &Database) -> Self {
+        failpoint::fire("bn::build");
+        let mut tables = Vec::with_capacity(db.table_count());
+        for t in 0..db.table_count() as u32 {
+            tables.push(build_table(db, TableId(t)));
+        }
+        BnCatalog { tables }
+    }
+
+    /// The kept edges of `table`'s network as `(column a, column b,
+    /// mutual information)` triples, `a < b`.
+    pub fn edges(&self, table: TableId) -> Vec<(u16, u16, f64)> {
+        self.tables
+            .get(table.0 as usize)
+            .map(|t| t.edges.iter().map(|e| (e.a, e.b, e.mi)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Probability that a row of `table` satisfies every `(column, lo,
+    /// hi)` range simultaneously, by sum-product message passing over the
+    /// forest (independent components multiply). `None` when the table is
+    /// unknown or a referenced column has no statistics.
+    pub fn conjunction_probability(
+        &self,
+        table: TableId,
+        ranges: &[(u16, i64, i64)],
+    ) -> Option<f64> {
+        let t = self.tables.get(table.0 as usize)?;
+        let mut evidence: HashMap<u16, (i64, i64)> = HashMap::new();
+        for &(col, lo, hi) in ranges {
+            t.nodes.get(col as usize).and_then(|n| n.as_ref())?;
+            intersect_into(&mut evidence, col, lo, hi);
+        }
+        // One root per distinct component among the evidence columns.
+        let mut done: Vec<u32> = Vec::new();
+        let mut prob = 1.0;
+        let mut roots: Vec<u16> = evidence.keys().copied().collect();
+        roots.sort_unstable();
+        for root in roots {
+            let c = t.comp[root as usize];
+            if done.contains(&c) {
+                continue;
+            }
+            done.push(c);
+            prob *= t.prob(root, &evidence)?;
+        }
+        Some(prob.clamp(0.0, 1.0))
+    }
+
+    fn table(&self, id: TableId) -> Option<&BnTable> {
+        self.tables.get(id.0 as usize)
+    }
+}
+
+/// One spanning-forest candidate: `(mutual information, column a, column
+/// b, the valid (a, b) value pairs the joint matrix is built from)`.
+type EdgeCandidate = (f64, u16, u16, Vec<(i64, i64)>);
+
+fn build_table(db: &Database, id: TableId) -> BnTable {
+    let Ok(table) = db.table(id) else {
+        return BnTable::default();
+    };
+    let ncols = table.columns().len();
+    // Fixed per-attribute bucketization from each column's own values.
+    let mut nodes: Vec<Option<BnNode>> = Vec::with_capacity(ncols);
+    for col in table.columns() {
+        let valid = col.valid_values();
+        if valid.is_empty() {
+            nodes.push(None);
+            continue;
+        }
+        let h = build_maxdiff(&valid, col.null_count(), BN_BUCKETS);
+        let bounds: Vec<(i64, i64)> = h.buckets().iter().map(|b| (b.lo, b.hi)).collect();
+        let masses: Vec<f64> = h.buckets().iter().map(|b| b.freq).collect();
+        let total: f64 = masses.iter().sum::<f64>() + col.null_count() as f64;
+        nodes.push(Some(BnNode {
+            bounds,
+            masses,
+            total,
+        }));
+    }
+    // Candidate edges: every pair with both nodes present and positive
+    // mutual information on the pairwise grid.
+    let mut candidates: Vec<EdgeCandidate> = Vec::new();
+    for (i, ni) in nodes.iter().enumerate() {
+        if ni.is_none() {
+            continue;
+        }
+        for (j, nj) in nodes.iter().enumerate().skip(i + 1) {
+            if nj.is_none() {
+                continue;
+            }
+            let (ci, cj) = (
+                table.column(i as u16).unwrap(),
+                table.column(j as u16).unwrap(),
+            );
+            let mut pairs = Vec::new();
+            let mut nulls = 0usize;
+            for r in 0..table.row_count() {
+                match (ci.get(r), cj.get(r)) {
+                    (Some(x), Some(y)) => pairs.push((x, y)),
+                    _ => nulls += 1,
+                }
+            }
+            if pairs.is_empty() {
+                continue;
+            }
+            let grid = Hist2d::build(&pairs, nulls, BN_BUCKETS, BN_BUCKETS);
+            let mi = grid.mutual_information();
+            if mi > MI_EPS {
+                candidates.push((mi, i as u16, j as u16, pairs));
+            }
+        }
+    }
+    // Kruskal maximum spanning forest. Ties broken on column *names* so
+    // the tree is invariant to attribute order.
+    let name = |c: u16| {
+        db.schema(id)
+            .ok()
+            .and_then(|s| s.columns.get(c as usize))
+            .map(|c| c.name.clone())
+            .unwrap_or_default()
+    };
+    candidates.sort_by(|x, y| {
+        y.0.total_cmp(&x.0)
+            .then_with(|| name(x.1).min(name(x.2)).cmp(&name(y.1).min(name(y.2))))
+            .then_with(|| name(x.1).max(name(x.2)).cmp(&name(y.1).max(name(y.2))))
+    });
+    let mut parent: Vec<usize> = (0..ncols).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    let mut edges = Vec::new();
+    let mut adj: Vec<Vec<(u16, usize)>> = vec![Vec::new(); ncols];
+    for (mi, a, b, pairs) in candidates {
+        let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+        if ra == rb {
+            continue;
+        }
+        parent[ra] = rb;
+        // Joint masses on the two nodes' fixed boundaries.
+        let (na, nb) = (
+            nodes[a as usize].as_ref().unwrap(),
+            nodes[b as usize].as_ref().unwrap(),
+        );
+        let mut joint = vec![0.0f64; na.bounds.len() * nb.bounds.len()];
+        for (x, y) in pairs {
+            if let (Some(ai), Some(bi)) = (bucket_of(&na.bounds, x), bucket_of(&nb.bounds, y)) {
+                joint[ai * nb.bounds.len() + bi] += 1.0;
+            }
+        }
+        let e = edges.len();
+        adj[a as usize].push((b, e));
+        adj[b as usize].push((a, e));
+        edges.push(BnEdge { a, b, joint, mi });
+    }
+    let comp: Vec<u32> = (0..ncols).map(|c| find(&mut parent, c) as u32).collect();
+    BnTable {
+        nodes,
+        edges,
+        adj,
+        comp,
+    }
+}
+
+impl BnTable {
+    /// `P(evidence)` restricted to the forest component containing `root`
+    /// (evidence in other components is ignored — it cancels in the
+    /// conditional ratios the backend computes). Sum-product from `root`.
+    fn prob(&self, root: u16, evidence: &HashMap<u16, (i64, i64)>) -> Option<f64> {
+        let node = self.nodes.get(root as usize)?.as_ref()?;
+        if node.total <= 0.0 {
+            return None;
+        }
+        let mut prob = 0.0;
+        for (bi, &(lo, hi)) in node.bounds.iter().enumerate() {
+            let w = evidence_weight(evidence.get(&root), lo, hi);
+            if w <= 0.0 {
+                continue;
+            }
+            let down = self.subtree(root, bi, usize::MAX, evidence);
+            prob += node.masses[bi] / node.total * w * down;
+        }
+        Some(prob.clamp(0.0, 1.0))
+    }
+
+    /// Product of the messages flowing into `(node, bucket)` from every
+    /// incident edge except `from_edge`.
+    fn subtree(
+        &self,
+        node: u16,
+        bucket: usize,
+        from_edge: usize,
+        evidence: &HashMap<u16, (i64, i64)>,
+    ) -> f64 {
+        let mut m = 1.0;
+        for &(_, e) in &self.adj[node as usize] {
+            if e != from_edge {
+                m *= self.message(e, node, bucket, evidence);
+            }
+        }
+        m
+    }
+
+    /// The message `Σ_b P(child ∈ b | parent bucket) · w(b) · subtree(b)`
+    /// along `edge` toward `parent`.
+    fn message(
+        &self,
+        edge: usize,
+        parent: u16,
+        pbi: usize,
+        evidence: &HashMap<u16, (i64, i64)>,
+    ) -> f64 {
+        let e = &self.edges[edge];
+        let child = if e.a == parent { e.b } else { e.a };
+        let cn = self.nodes[child as usize]
+            .as_ref()
+            .expect("edges connect existing nodes");
+        let ncb = cn.bounds.len();
+        let joint_at = |cbi: usize| {
+            if e.a == parent {
+                e.joint[pbi * ncb + cbi]
+            } else {
+                e.joint[cbi * self.nodes[e.b as usize].as_ref().unwrap().bounds.len() + pbi]
+            }
+        };
+        let row_total: f64 = (0..ncb).map(&joint_at).sum();
+        let mut msg = 0.0;
+        for (cbi, &(lo, hi)) in cn.bounds.iter().enumerate() {
+            let w = evidence_weight(evidence.get(&child), lo, hi);
+            if w <= 0.0 {
+                continue;
+            }
+            // Conditional from the joint; a parent bucket the joint never
+            // observed (null-pattern asymmetry) falls back to the child's
+            // marginal — the local independence default.
+            let cond = if row_total > 0.0 {
+                joint_at(cbi) / row_total
+            } else if cn.total > 0.0 {
+                cn.masses[cbi] / cn.total
+            } else {
+                0.0
+            };
+            if cond > 0.0 {
+                msg += cond * w * self.subtree(child, cbi, edge, evidence);
+            }
+        }
+        msg
+    }
+}
+
+/// Fraction of bucket `[blo, bhi]` admitted by an optional evidence range
+/// (continuous interpolation, matching `Hist2d`'s overlap rule).
+fn evidence_weight(range: Option<&(i64, i64)>, blo: i64, bhi: i64) -> f64 {
+    let Some(&(lo, hi)) = range else {
+        return 1.0;
+    };
+    let o_lo = blo.max(lo);
+    let o_hi = bhi.min(hi);
+    if o_lo > o_hi {
+        0.0
+    } else {
+        (o_hi as i128 - o_lo as i128 + 1) as f64 / (bhi as i128 - blo as i128 + 1) as f64
+    }
+}
+
+fn bucket_of(bounds: &[(i64, i64)], v: i64) -> Option<usize> {
+    let idx = bounds.partition_point(|&(_, hi)| hi < v);
+    match bounds.get(idx) {
+        Some(&(lo, hi)) if lo <= v && v <= hi => Some(idx),
+        _ => None,
+    }
+}
+
+fn intersect_into(evidence: &mut HashMap<u16, (i64, i64)>, col: u16, lo: i64, hi: i64) {
+    evidence
+        .entry(col)
+        .and_modify(|r| {
+            r.0 = r.0.max(lo);
+            r.1 = r.1.min(hi);
+        })
+        .or_insert((lo, hi));
+}
+
+/// The backend: intercepts conjunctive filter peels whose conditioning is
+/// tree-connected; everything else delegates.
+#[derive(Debug, Clone)]
+pub struct BnBackend {
+    catalog: Arc<BnCatalog>,
+}
+
+impl BnBackend {
+    /// Wraps a prebuilt catalog (share one across estimators per
+    /// database snapshot).
+    pub fn new(catalog: Arc<BnCatalog>) -> Self {
+        BnBackend { catalog }
+    }
+
+    /// Convenience: build the catalog and wrap it.
+    pub fn from_db(db: &Database) -> Self {
+        BnBackend::new(Arc::new(BnCatalog::build(db)))
+    }
+}
+
+impl SelectivityBackend for BnBackend {
+    fn name(&self) -> &'static str {
+        "bn"
+    }
+
+    fn peel(&self, q: &PeelQuery<'_>) -> Option<(f64, f64)> {
+        // Opt mode is the oracle baseline — leave it untouched.
+        if matches!(q.mode(), ErrorMode::Opt) {
+            return None;
+        }
+        let pred = q.predicate();
+        let col = match pred.columns() {
+            PredColumns::One(c) => c,
+            PredColumns::Two(..) => return None,
+        };
+        let (plo, phi) = filter_bounds(&pred)?;
+        let t = self.catalog.table(col.table)?;
+        let node = t.nodes.get(col.column as usize)?.as_ref()?;
+        let _ = node;
+        let comp = t.comp[col.column as usize];
+
+        // Fold the usable same-table conditioning filters into evidence.
+        // Interception requires at least one on a *different*,
+        // tree-connected attribute — otherwise the network adds nothing
+        // beyond independence and the default machinery keeps the peel
+        // (which also keeps independent-column behavior bit-identical).
+        let mut evidence: HashMap<u16, (i64, i64)> = HashMap::new();
+        let mut covered = 0usize;
+        let mut connected = false;
+        for cp in q.conditioning() {
+            let cc = match cp.columns() {
+                PredColumns::One(c) => c,
+                PredColumns::Two(..) => continue,
+            };
+            if cc.table != col.table {
+                continue;
+            }
+            let Some((lo, hi)) = filter_bounds(&cp) else {
+                continue;
+            };
+            if t.nodes
+                .get(cc.column as usize)
+                .and_then(|n| n.as_ref())
+                .is_none()
+            {
+                continue;
+            }
+            if t.comp[cc.column as usize] != comp {
+                continue;
+            }
+            if cc.column != col.column {
+                connected = true;
+            }
+            intersect_into(&mut evidence, cc.column, lo, hi);
+            covered += 1;
+        }
+        if !connected {
+            return None;
+        }
+        failpoint::fire("bn::peel");
+        let den = t.prob(col.column, &evidence)?;
+        if den <= 0.0 {
+            return None;
+        }
+        intersect_into(&mut evidence, col.column, plo, phi);
+        let num = t.prob(col.column, &evidence)?;
+        let sel = (num / den).clamp(MIN_SEL, 1.0);
+        // Error charge: the conditioning predicates the network could not
+        // absorb (joins, other tables, other components) keep the
+        // independence charge of one unit each; absorbed ones are free.
+        let err = (q.conditioning_len() - covered.min(q.conditioning_len())) as f64;
+        Some((sel, err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqe_engine::table::TableBuilder;
+
+    /// Markov-chain table: x uniform over 0..16, y = x/2, z = y/2 — the
+    /// joint factors exactly over the chain x—y—z (deterministic links),
+    /// and every value fits its own bucket at `BN_BUCKETS = 16`.
+    fn chain_db() -> Database {
+        let x: Vec<i64> = (0..256).map(|r| (r * 37 + 11) % 16).collect();
+        let y: Vec<i64> = x.iter().map(|v| v / 2).collect();
+        let z: Vec<i64> = y.iter().map(|v| v / 2).collect();
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("chain")
+                .column("x", x)
+                .column("y", y)
+                .column("z", z)
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    /// Brute-force truth on the base data.
+    fn true_prob(db: &Database, ranges: &[(u16, i64, i64)]) -> f64 {
+        let t = db.table(TableId(0)).unwrap();
+        let hit = (0..t.row_count())
+            .filter(|&r| {
+                ranges.iter().all(|&(c, lo, hi)| {
+                    t.column(c)
+                        .unwrap()
+                        .get(r)
+                        .map(|v| lo <= v && v <= hi)
+                        .unwrap_or(false)
+                })
+            })
+            .count();
+        hit as f64 / t.row_count() as f64
+    }
+
+    #[test]
+    fn message_passing_matches_brute_force_on_markov_chain() {
+        let db = chain_db();
+        let bn = BnCatalog::build(&db);
+        assert_eq!(
+            bn.edges(TableId(0)).len(),
+            2,
+            "three dependent attributes form a 2-edge tree"
+        );
+        for ranges in [
+            vec![(0u16, 4i64, 11i64), (1u16, 2i64, 5i64)],
+            vec![(0, 0, 7), (2, 0, 1)],
+            vec![(0, 4, 11), (1, 2, 5), (2, 1, 2)],
+            vec![(1, 0, 3), (2, 2, 3)],
+            vec![(0, 0, 15)],
+        ] {
+            let got = bn
+                .conjunction_probability(TableId(0), &ranges)
+                .expect("all columns known");
+            let want = true_prob(&db, &ranges);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "ranges {ranges:?}: bn {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn chow_liu_tree_is_invariant_to_attribute_order() {
+        let x: Vec<i64> = (0..300).map(|r| (r * 53 + 7) % 32).collect();
+        let y: Vec<i64> = x.iter().map(|v| v / 3 + (v % 5)).collect();
+        let z: Vec<i64> = x.iter().map(|v| v / 7).collect();
+        let mut fwd = Database::new();
+        fwd.add_table(
+            TableBuilder::new("t")
+                .column("x", x.clone())
+                .column("y", y.clone())
+                .column("z", z.clone())
+                .build()
+                .unwrap(),
+        );
+        let mut rev = Database::new();
+        rev.add_table(
+            TableBuilder::new("t")
+                .column("z", z)
+                .column("y", y)
+                .column("x", x)
+                .build()
+                .unwrap(),
+        );
+        let name = |db: &Database, c: u16| {
+            db.schema(TableId(0)).unwrap().columns[c as usize]
+                .name
+                .clone()
+        };
+        let mut ef: Vec<(String, String)> = BnCatalog::build(&fwd)
+            .edges(TableId(0))
+            .iter()
+            .map(|&(a, b, _)| {
+                let (x, y) = (name(&fwd, a), name(&fwd, b));
+                (x.clone().min(y.clone()), x.max(y))
+            })
+            .collect();
+        let mut er: Vec<(String, String)> = BnCatalog::build(&rev)
+            .edges(TableId(0))
+            .iter()
+            .map(|&(a, b, _)| {
+                let (x, y) = (name(&rev, a), name(&rev, b));
+                (x.clone().min(y.clone()), x.max(y))
+            })
+            .collect();
+        ef.sort();
+        er.sort();
+        assert_eq!(ef, er, "edge set must not depend on column order");
+        assert!(!ef.is_empty());
+    }
+
+    #[test]
+    fn independent_columns_build_an_edge_free_network() {
+        // Every (a, b) combination exactly once: exact independence.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..16i64 {
+            for j in 0..16i64 {
+                a.push(i);
+                b.push(j);
+            }
+        }
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("ind")
+                .column("a", a)
+                .column("b", b)
+                .build()
+                .unwrap(),
+        );
+        let bn = BnCatalog::build(&db);
+        assert!(bn.edges(TableId(0)).is_empty());
+    }
+
+    #[test]
+    fn single_attribute_table_has_no_edges_and_sane_marginal() {
+        let mut db = Database::new();
+        db.add_table(
+            TableBuilder::new("solo")
+                .column("a", (0..64i64).map(|v| v % 8).collect())
+                .build()
+                .unwrap(),
+        );
+        let bn = BnCatalog::build(&db);
+        assert!(bn.edges(TableId(0)).is_empty());
+        let p = bn
+            .conjunction_probability(TableId(0), &[(0, 0, 3)])
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-9, "{p}");
+        let all = bn
+            .conjunction_probability(TableId(0), &[(0, 0, 7)])
+            .unwrap();
+        assert!((all - 1.0).abs() < 1e-9, "{all}");
+    }
+}

@@ -148,6 +148,11 @@ impl std::fmt::Display for DegradeReason {
 /// walks this enum downward from [`Quality::Full`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Quality {
+    /// Guaranteed-sound upper bound from the pessimistic backend's degree
+    /// sketch (see [`crate::pessimistic`]): not a point estimate at all,
+    /// just the safety envelope — the coarsest answer the ladder can give,
+    /// but one with a hard correctness guarantee the tiers above lack.
+    Bound,
     /// Independence-only baseline: O(n), no subset enumeration.
     Independence,
     /// Greedy view matching (single chain, no DP).
@@ -168,6 +173,7 @@ pub enum Quality {
 impl Quality {
     pub fn label(self) -> &'static str {
         match self {
+            Quality::Bound => "bound",
             Quality::Independence => "independence",
             Quality::Greedy => "greedy",
             Quality::Pruned => "pruned",
@@ -177,7 +183,8 @@ impl Quality {
     }
 
     /// All tiers, worst-to-best (the `Ord` order).
-    pub const ALL: [Quality; 5] = [
+    pub const ALL: [Quality; 6] = [
+        Quality::Bound,
         Quality::Independence,
         Quality::Greedy,
         Quality::Pruned,
@@ -410,14 +417,16 @@ mod tests {
 
     #[test]
     fn quality_tiers_are_ordered_worst_to_best() {
+        assert!(Quality::Bound < Quality::Independence);
         assert!(Quality::Independence < Quality::Greedy);
         assert!(Quality::Greedy < Quality::Pruned);
         assert!(Quality::Pruned < Quality::Beam);
         assert!(Quality::Beam < Quality::Full);
-        assert_eq!(Quality::ALL.len(), 5);
+        assert_eq!(Quality::ALL.len(), 6);
         assert!(Quality::ALL.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(Quality::Full.label(), "full");
         assert_eq!(Quality::Beam.label(), "beam");
+        assert_eq!(Quality::Bound.label(), "bound");
     }
 
     #[test]

@@ -62,6 +62,7 @@ use std::time::Duration;
 use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate, SpjQuery};
 use sqe_histogram::Histogram;
 
+use crate::backend::{DiffBackend, SelectivityBackend};
 use crate::beam::{BeamConfig, BeamStats, Scored};
 use crate::budget::{BudgetMeter, ExhaustReason};
 use crate::cache::SharedEstimatorCache;
@@ -210,6 +211,7 @@ macro_rules! link_ctx {
             sit2: $est.sit2,
             sit2_index: &$est.sit2_index,
             shared: $est.shared,
+            backend: &*$est.backend,
         }
     };
 }
@@ -303,6 +305,10 @@ pub struct SelectivityEstimator<'a> {
     /// peel — and unwind with [`ExhaustReason`] once it trips. `None`
     /// leaves every path bit-identical to the unbudgeted estimator.
     meter: Option<Arc<BudgetMeter>>,
+    /// The atomic-estimate backend consulted at the top of every peel (see
+    /// [`crate::backend`]). The default [`DiffBackend`] intercepts nothing,
+    /// leaving every path bit-identical to the pre-trait estimator.
+    backend: Arc<dyn SelectivityBackend>,
 }
 
 impl<'a> SelectivityEstimator<'a> {
@@ -345,9 +351,18 @@ impl<'a> SelectivityEstimator<'a> {
             prune_table: None,
             shared: None,
             meter: None,
+            backend: Arc::new(DiffBackend),
         };
         est.apply_strategy(DpStrategy::Auto);
         est
+    }
+
+    /// Replaces the atomic-estimate backend (see [`crate::backend`]).
+    /// Passing [`DiffBackend`] explicitly is bit-identical — values and
+    /// instrumentation counts — to the default construction.
+    pub fn with_backend(mut self, backend: Arc<dyn SelectivityBackend>) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Selects the DP engine explicitly (see [`DpStrategy`]). Resets the

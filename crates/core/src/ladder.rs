@@ -18,6 +18,11 @@
 //!    an O(n) product of base-histogram estimates. This floor always
 //!    completes, so every request gets *some* answer with an honest
 //!    [`Quality`] label and the [`DegradeReason`] that pushed it down.
+//!    When the configured [`crate::backend::SelectivityBackend`] publishes
+//!    a guaranteed cardinality upper bound (the pessimistic backend), the
+//!    floor caps the independence product by that bound and labels the
+//!    answer [`Quality::Bound`] — the rung below independence on the
+//!    honesty ladder, since the answer leans on a worst-case sketch.
 //!
 //! ## Beam routing
 //!
@@ -58,6 +63,7 @@ use std::time::Instant;
 
 use sqe_engine::{Database, SpjQuery};
 
+use crate::backend::{DiffBackend, SelectivityBackend};
 use crate::baseline::independence_selectivity;
 use crate::beam::BeamConfig;
 use crate::budget::{Budget, BudgetMeter, DegradeReason, Quality};
@@ -107,6 +113,7 @@ pub struct Ladder<'a> {
     beam: BeamConfig,
     sit2: Option<&'a Sit2Catalog>,
     shared: Option<&'a dyn SharedEstimatorCache>,
+    backend: Arc<dyn SelectivityBackend>,
 }
 
 impl<'a> Ladder<'a> {
@@ -121,7 +128,17 @@ impl<'a> Ladder<'a> {
             beam: BeamConfig::default(),
             sit2: None,
             shared: None,
+            backend: Arc::new(DiffBackend),
         }
+    }
+
+    /// Selectivity backend forwarded to every DP rung. A backend that
+    /// publishes [`SelectivityBackend::upper_bound`] additionally turns the
+    /// independence floor into the [`Quality::Bound`] floor: the floor
+    /// answer is capped by the guaranteed bound and labeled accordingly.
+    pub fn with_backend(mut self, backend: Arc<dyn SelectivityBackend>) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// DP engine selection for the DP rungs (see [`DpStrategy`]).
@@ -197,7 +214,46 @@ impl<'a> Ladder<'a> {
         if pruned || self.pruning {
             est = est.with_sit_driven_pruning();
         }
-        est
+        est.with_backend(self.backend.clone())
+    }
+
+    /// The floor: independence by default, upgraded-in-honesty to the
+    /// [`Quality::Bound`] rung when the backend publishes a guaranteed
+    /// cardinality upper bound. The bound caps the independence product —
+    /// a sound ceiling can only tighten an unconditioned estimate — and the
+    /// label records that the answer leans on the bound sketch rather than
+    /// on the uniform-independence model alone.
+    fn floor(
+        &self,
+        query: &SpjQuery,
+        reason: Option<DegradeReason>,
+        work: u64,
+    ) -> BudgetedEstimate {
+        let independence = independence_selectivity(self.db, self.catalog, query);
+        if let Some(bound) = self.backend.upper_bound(query) {
+            if let Ok(cross) = self.db.cross_product_size(&query.tables) {
+                let cross = cross as f64;
+                if cross > 0.0 && bound.is_finite() {
+                    let cap = (bound / cross).clamp(0.0, 1.0);
+                    return BudgetedEstimate {
+                        selectivity: independence.min(cap),
+                        error: None,
+                        quality: Quality::Bound,
+                        degraded_reason: reason,
+                        work,
+                        stats: EstimatorStats::default(),
+                    };
+                }
+            }
+        }
+        BudgetedEstimate {
+            selectivity: independence,
+            error: None,
+            quality: Quality::Independence,
+            degraded_reason: reason,
+            work,
+            stats: EstimatorStats::default(),
+        }
     }
 
     /// Runs the ladder for `query` under `budget`. Never errors: the
@@ -236,14 +292,7 @@ impl<'a> Ladder<'a> {
             budget.cancel.clone(),
         );
         if let Err(e) = entry.force_poll() {
-            return BudgetedEstimate {
-                selectivity: independence_selectivity(self.db, self.catalog, query),
-                error: None,
-                quality: Quality::Independence,
-                degraded_reason: Some(e.into()),
-                work: 0,
-                stats: EstimatorStats::default(),
-            };
+            return self.floor(query, Some(e.into()), 0);
         }
 
         let mut work = 0u64;
@@ -364,14 +413,9 @@ impl<'a> Ladder<'a> {
             };
         }
 
-        // Rung 5: the independence floor. O(n); always answers.
-        BudgetedEstimate {
-            selectivity: independence_selectivity(self.db, self.catalog, query),
-            error: None,
-            quality: Quality::Independence,
-            degraded_reason: Some(reason),
-            work,
-            stats: EstimatorStats::default(),
-        }
+        // Rung 5: the floor — independence, or the bound-capped
+        // `Quality::Bound` variant when the backend publishes one. O(n);
+        // always answers.
+        self.floor(query, Some(reason), work)
     }
 }

@@ -38,8 +38,10 @@
 //! * [`baseline`] — the `noSit` estimator (base-table statistics only,
 //!   mirroring a conventional optimizer).
 
+pub mod backend;
 pub mod baseline;
 pub mod beam;
+pub mod bn;
 pub mod budget;
 pub mod cache;
 pub mod decomposition;
@@ -56,14 +58,17 @@ mod link;
 pub mod matcher;
 mod par;
 pub mod persist;
+pub mod pessimistic;
 pub mod pool;
 pub mod predset;
 pub mod sit;
 pub mod sit2;
 mod steal;
 
+pub use backend::{BackendKind, DiffBackend, PeelQuery, SelectivityBackend};
 pub use baseline::NoSitEstimator;
 pub use beam::{BeamConfig, BeamStats};
+pub use bn::{BnBackend, BnCatalog};
 pub use budget::{Budget, BudgetMeter, CancelToken, DegradeReason, ExhaustReason, Quality};
 pub use cache::{CacheKey, SharedEstimatorCache};
 pub use decomposition::{count_decompositions, decomposition_bounds, ComponentTable};
@@ -78,6 +83,7 @@ pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
 pub use ladder::{BudgetedEstimate, Ladder};
 pub use persist::{clean_stale_temps, load_catalog, save_catalog, stale_temp_files};
+pub use pessimistic::{BoundSketch, PessimisticBackend};
 pub use pool::{build_pool, build_pool_threaded, build_pool_with, PoolSpec};
 pub use predset::{PredSet, QueryContext};
 pub use sit::{Sit, SitCatalog, SitId, SitOptions};

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use sqe_engine::{CardinalityOracle, ColRef, Database, Predicate};
 use sqe_histogram::Histogram;
 
+use crate::backend::{PeelQuery, SelectivityBackend};
 use crate::cache::{CacheKey, SharedEstimatorCache};
 use crate::error::ErrorMode;
 use crate::predset::{PredSet, QueryContext};
@@ -57,6 +58,9 @@ pub(crate) struct LinkCtx<'e> {
     pub sit2: Option<&'e Sit2Catalog>,
     pub sit2_index: &'e HashMap<ColRef, Vec<(Sit2Id, u32)>>,
     pub shared: Option<&'e dyn SharedEstimatorCache>,
+    /// The atomic-estimate backend. [`crate::backend::DiffBackend`] is the
+    /// default and intercepts nothing.
+    pub backend: &'e dyn SelectivityBackend,
 }
 
 /// Per-peel scratch arenas, reset at every [`compute_peel`] entry. The
@@ -164,6 +168,21 @@ pub(crate) fn compute_peel(
 ) -> (f64, f64) {
     st.scratch.reset();
     let pred = *lc.ctx.predicate(i);
+    // Backend interception happens *before* the shared-cache consult: link
+    // cache keys do not encode backend identity, so a backend that answers
+    // this factor itself must neither read nor populate entries the
+    // default machinery owns. `DiffBackend` returns `None` here, making
+    // the remaining path byte-for-byte the pre-trait code.
+    if let Some(result) = lc.backend.peel(&PeelQuery {
+        db: lc.db,
+        ctx: lc.ctx,
+        mode: lc.mode,
+        pred_index: i,
+        cset,
+    }) {
+        debug_assert!(result.0.is_finite() && result.1.is_finite());
+        return result;
+    }
     // Cross-query lookup: the link's value depends only on the predicate,
     // the conditioning *set*, and the mode (every in-link choice below
     // breaks ties by value, never by within-query ordering), so the

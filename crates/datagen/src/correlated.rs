@@ -1,0 +1,198 @@
+//! High-correlation star scenario for estimator-backend comparisons.
+//!
+//! A deliberately adversarial-for-independence schema: a small star of
+//! `fact(id, dim_fk, a, b, c)` ⋈ `dim(id, d)` where the three fact
+//! attributes are *near-duplicates of each other* (`b ≈ a + ε`,
+//! `c ≈ a + ε'`) while the join key is drawn independently of all of them.
+//! A conjunction of range filters over `{a, b, c}` therefore selects
+//! almost exactly the rows the narrowest single filter selects — but any
+//! estimator that multiplies per-filter conditionals (the maxDiff/`diff`
+//! path has no statistic connecting two filters *on the same table*)
+//! underestimates it by the product of the redundant factors.
+//!
+//! The Bayesian-network backend (`sqe_core::bn`) exists for exactly this
+//! shape: its per-table Chow-Liu tree links `a—b—c` with near-maximal
+//! mutual information and conditions each filter on its already-applied
+//! same-table neighbors. The `corr-*` scenario family in the oracle
+//! accuracy harness is built from this generator, and the CI accuracy gate
+//! (`gate_bn`) holds the BN backend to a better max q-error than `diff` on
+//! it. Keeping the join key independent of `a/b/c` isolates the effect:
+//! whatever the DP does with the join factor is identical under both
+//! backends, so the measured gap is purely the same-table conditioning.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqe_engine::{Column, Database, Table, TableSchema};
+
+use crate::dist::Zipf;
+use crate::snowflake::{JoinEdge, Snowflake};
+
+/// Knobs of the correlated star. Everything is deterministic per seed.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelatedStarConfig {
+    /// Rows of the fact table.
+    pub rows: usize,
+    /// Rows of the dimension table.
+    pub dims: usize,
+    /// Value domain of the base attribute `a` (`0..domain`).
+    pub domain: i64,
+    /// Half-width of the uniform noise tying `b` and `c` to `a`. Small
+    /// relative to `domain` ⇒ near-deterministic dependence.
+    pub noise: i64,
+    /// Zipf exponent of the fact→dim fan-out (skewing the join changes
+    /// nothing about the filter correlation — the key stays independent of
+    /// `a/b/c` — but keeps the join factor realistic).
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorrelatedStarConfig {
+    fn default() -> Self {
+        CorrelatedStarConfig {
+            rows: 160,
+            dims: 40,
+            domain: 200,
+            noise: 6,
+            theta: 1.0,
+            seed: 0xC0_5217,
+        }
+    }
+}
+
+/// Generates the correlated star, packaged as a [`Snowflake`] so the
+/// workload generator and pool builders consume it unchanged. Only the
+/// correlated fact attributes are filterable — every generated filter
+/// conjunction lands on the dependence structure under test.
+pub fn correlated_star(config: CorrelatedStarConfig) -> Snowflake {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(config.dims.max(1), config.theta);
+
+    let n = config.rows;
+    let mut dim_fk = Vec::with_capacity(n);
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    let mut c = Vec::with_capacity(n);
+    let eps = |rng: &mut StdRng| rng.gen_range(-config.noise..=config.noise);
+    for _ in 0..n {
+        dim_fk.push(Some(zipf.sample(&mut rng) as i64));
+        let base = rng.gen_range(0..config.domain);
+        a.push(base);
+        b.push((base + eps(&mut rng)).clamp(0, config.domain - 1));
+        c.push((base + eps(&mut rng)).clamp(0, config.domain - 1));
+    }
+    let fact = Table::new(
+        TableSchema::new("fact", &["id", "dim_fk", "a", "b", "c"]),
+        vec![
+            Column::from_values((0..n as i64).collect()),
+            Column::from_options(dim_fk),
+            Column::from_values(a),
+            Column::from_values(b),
+            Column::from_values(c),
+        ],
+    )
+    .expect("consistent fact table");
+
+    let dim = Table::new(
+        TableSchema::new("dim", &["id", "d"]),
+        vec![
+            Column::from_values((0..config.dims as i64).collect()),
+            Column::from_values((0..config.dims).map(|_| rng.gen_range(0..100)).collect()),
+        ],
+    )
+    .expect("consistent dim table");
+
+    let mut db = Database::new();
+    let tables = vec![db.add_table(fact), db.add_table(dim)];
+    let col = |q: &str| db.col(q).expect("generated column exists");
+
+    let join_edges = vec![JoinEdge {
+        fk: col("fact.dim_fk"),
+        pk: col("dim.id"),
+    }];
+    let filter_columns = vec![col("fact.a"), col("fact.b"), col("fact.c")];
+
+    Snowflake {
+        db,
+        join_edges,
+        filter_columns,
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::pearson;
+    use sqe_engine::execute;
+
+    fn star() -> Snowflake {
+        correlated_star(CorrelatedStarConfig::default())
+    }
+
+    #[test]
+    fn attributes_are_strongly_correlated_and_key_is_not() {
+        let sf = star();
+        let vals = |q: &str| -> Vec<f64> {
+            sf.db
+                .column(sf.col(q))
+                .unwrap()
+                .iter()
+                .map(|v| v.unwrap_or(0) as f64)
+                .collect()
+        };
+        let (a, b, c, fk) = (
+            vals("fact.a"),
+            vals("fact.b"),
+            vals("fact.c"),
+            vals("fact.dim_fk"),
+        );
+        assert!(pearson(&a, &b) > 0.95, "a–b r = {}", pearson(&a, &b));
+        assert!(pearson(&a, &c) > 0.95, "a–c r = {}", pearson(&a, &c));
+        assert!(
+            pearson(&a, &fk).abs() < 0.25,
+            "join key must stay independent of a: r = {}",
+            pearson(&a, &fk)
+        );
+    }
+
+    #[test]
+    fn star_is_deterministic_and_join_is_nonempty() {
+        let x = star();
+        let y = star();
+        let (tx, _) = x.db.table_by_name("fact").unwrap();
+        let (ty, _) = y.db.table_by_name("fact").unwrap();
+        assert_eq!(tx.columns(), ty.columns());
+
+        let e = x.join_edges[0];
+        let card = execute(&x.db, &[e.fk.table, e.pk.table], &[e.predicate()]).unwrap();
+        assert!(card > 0);
+    }
+
+    #[test]
+    fn conjunction_of_matched_ranges_defies_independence() {
+        // The defining property: P(a∈W ∧ b∈W) ≈ P(a∈W), far above
+        // P(a∈W)·P(b∈W) — the gap the BN backend closes.
+        let sf = star();
+        let (fact, _) = sf.db.table_by_name("fact").unwrap();
+        let (a, b) = (
+            fact.column_by_name("a").unwrap(),
+            fact.column_by_name("b").unwrap(),
+        );
+        let win = |v: Option<i64>| matches!(v, Some(x) if (40..=100).contains(&x));
+        let n = fact.row_count() as f64;
+        let pa = (0..fact.row_count()).filter(|&r| win(a.get(r))).count() as f64 / n;
+        let pb = (0..fact.row_count()).filter(|&r| win(b.get(r))).count() as f64 / n;
+        let pab = (0..fact.row_count())
+            .filter(|&r| win(a.get(r)) && win(b.get(r)))
+            .count() as f64
+            / n;
+        assert!(pab > 0.8 * pa, "conjunction {pab} ≈ marginal {pa}");
+        assert!(
+            pab > 2.0 * pa * pb,
+            "conjunction {pab} must dwarf the independence product {}",
+            pa * pb
+        );
+    }
+}

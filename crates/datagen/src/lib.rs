@@ -19,6 +19,7 @@
 //!
 //! Everything is deterministic given a `u64` seed.
 
+pub mod correlated;
 pub mod dist;
 pub mod export;
 pub mod mutation;
@@ -26,6 +27,7 @@ pub mod scenarios;
 pub mod snowflake;
 pub mod workload;
 
+pub use correlated::{correlated_star, CorrelatedStarConfig};
 pub use dist::{CorrelatedMap, Zipf};
 pub use export::{database_fingerprint, export_database_json, save_database_json};
 pub use mutation::{generate_mutations, MutationConfig, MutationStream};

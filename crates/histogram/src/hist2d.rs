@@ -94,6 +94,54 @@ impl Hist2d {
         (self.x_bounds.len(), self.y_bounds.len())
     }
 
+    /// X-dimension bucket ranges (sorted, disjoint, inclusive).
+    pub fn x_bounds(&self) -> &[(i64, i64)] {
+        &self.x_bounds
+    }
+
+    /// Y-dimension bucket ranges (sorted, disjoint, inclusive).
+    pub fn y_bounds(&self) -> &[(i64, i64)] {
+        &self.y_bounds
+    }
+
+    /// Raw mass of cell `(xi, yi)`.
+    pub fn cell_mass(&self, xi: usize, yi: usize) -> f64 {
+        self.cell(xi, yi)
+    }
+
+    /// Mutual information (in nats) between the bucketized `x` and `y`
+    /// dimensions: `Σ p(x,y)·ln(p(x,y) / (p(x)p(y)))` over non-empty cells.
+    /// Zero iff the grid factors exactly into its marginals — the edge
+    /// weight Chow-Liu tree construction maximizes.
+    pub fn mutual_information(&self) -> f64 {
+        let n = self.valid_rows();
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let (bx, by) = self.shape();
+        let mut px = vec![0.0f64; bx];
+        let mut py = vec![0.0f64; by];
+        for (xi, pxi) in px.iter_mut().enumerate() {
+            for (yi, pyi) in py.iter_mut().enumerate() {
+                let c = self.cell(xi, yi);
+                *pxi += c;
+                *pyi += c;
+            }
+        }
+        let mut mi = 0.0;
+        for (xi, &pxi) in px.iter().enumerate() {
+            for (yi, &pyi) in py.iter().enumerate() {
+                let pxy = self.cell(xi, yi) / n;
+                if pxy > 0.0 {
+                    mi += pxy * (pxy * n * n / (pxi * pyi)).ln();
+                }
+            }
+        }
+        // Clamp the tiny negative values float cancellation can produce on
+        // exactly-independent grids, so "no dependence" is a clean zero.
+        mi.max(0.0)
+    }
+
     fn cell(&self, xi: usize, yi: usize) -> f64 {
         self.cells[xi * self.y_bounds.len() + yi]
     }
@@ -341,6 +389,31 @@ mod tests {
             carried.range_selectivity(90, 90) > 0.99,
             "carried should be all y=90"
         );
+    }
+
+    #[test]
+    fn mutual_information_separates_dependence_from_independence() {
+        // Functional dependence: y = 10·x on a fine grid has high MI.
+        let dep = Hist2d::build(&correlated_pairs(), 0, 16, 16);
+        // Exact independence: every (x, y) combination equally often.
+        let mut ind_pairs = Vec::new();
+        for x in 0..8i64 {
+            for y in 0..8i64 {
+                ind_pairs.push((x, y));
+            }
+        }
+        let ind = Hist2d::build(&ind_pairs, 0, 16, 16);
+        assert!(
+            dep.mutual_information() > 1.0,
+            "{}",
+            dep.mutual_information()
+        );
+        assert!(
+            ind.mutual_information() < 1e-9,
+            "{}",
+            ind.mutual_information()
+        );
+        assert_eq!(Hist2d::build(&[], 0, 8, 8).mutual_information(), 0.0);
     }
 
     #[test]

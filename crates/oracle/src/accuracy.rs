@@ -15,9 +15,12 @@
 //!
 //! [`CardinalityOracle`]: sqe_engine::CardinalityOracle
 
+use std::sync::Arc;
+
 use sqe_core::{
-    build_pool, Budget, DpStrategy, ErrorMode, Ladder, PoolSpec, Quality, SelectivityEstimator,
-    SitCatalog,
+    build_pool, BackendKind, BnBackend, BnCatalog, BoundSketch, Budget, DiffBackend, DpStrategy,
+    ErrorMode, Ladder, PessimisticBackend, PoolSpec, Quality, SelectivityBackend,
+    SelectivityEstimator, SitCatalog,
 };
 use sqe_engine::CardinalityOracle;
 
@@ -76,6 +79,30 @@ pub struct AccuracyReport {
     /// the beam engine existed still deserialize.
     #[serde(default)]
     pub beam: Vec<crate::beam_envelope::BeamEnvelopeScenario>,
+    /// Soundness audit of the pessimistic bound sketch: one entry per
+    /// scenario, counting queries whose "guaranteed" upper bound came in
+    /// below the true cardinality (must be zero — `gate_bound`). Defaults
+    /// empty so pre-backend reports still deserialize.
+    #[serde(default)]
+    pub bounds: Vec<BoundsScenario>,
+}
+
+/// Pessimistic-bound soundness and tightness over one scenario's workload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BoundsScenario {
+    /// Scenario name from [`crate::workload`].
+    pub scenario: String,
+    /// Database fingerprint (comparability check, as for accuracy).
+    pub fingerprint: u64,
+    /// Number of queries audited.
+    pub queries: usize,
+    /// Queries with `bound < true cardinality`. Any nonzero value means
+    /// the sketch is unsound; the gate fails the run.
+    pub underestimates: u64,
+    /// Worst `bound / truth` ratio — tightness, `>= 1` whenever sound.
+    pub max_ratio: f64,
+    /// Median `bound / truth` ratio, nearest rank.
+    pub median_ratio: f64,
 }
 
 struct VariantSpec {
@@ -83,36 +110,50 @@ struct VariantSpec {
     mode: ErrorMode,
     pool_joins: usize,
     pruned: bool,
+    backend: BackendKind,
 }
 
 /// The fixed variant grid. `nind-j0` is the no-SIT floor (base histograms
 /// with independence), `nind-j2` isolates what SITs buy the syntactic
-/// ranking, `diff-j2` the paper's best practical mode, and
-/// `diff-j2-pruned` proves §3.4 pruning does not wreck accuracy.
+/// ranking, `diff-j2` the paper's best practical mode, `diff-j2-pruned`
+/// proves §3.4 pruning does not wreck accuracy, and `bn-j2` swaps in the
+/// Bayesian-network backend over the same pool — `gate_bn` holds it to a
+/// better worst case than `diff-j2` on the `corr-*` family.
 const VARIANTS: &[VariantSpec] = &[
     VariantSpec {
         name: "nind-j0",
         mode: ErrorMode::NInd,
         pool_joins: 0,
         pruned: false,
+        backend: BackendKind::Diff,
     },
     VariantSpec {
         name: "nind-j2",
         mode: ErrorMode::NInd,
         pool_joins: 2,
         pruned: false,
+        backend: BackendKind::Diff,
     },
     VariantSpec {
         name: "diff-j2",
         mode: ErrorMode::Diff,
         pool_joins: 2,
         pruned: false,
+        backend: BackendKind::Diff,
     },
     VariantSpec {
         name: "diff-j2-pruned",
         mode: ErrorMode::Diff,
         pool_joins: 2,
         pruned: true,
+        backend: BackendKind::Diff,
+    },
+    VariantSpec {
+        name: "bn-j2",
+        mode: ErrorMode::Diff,
+        pool_joins: 2,
+        pruned: false,
+        backend: BackendKind::Bn,
     },
 ];
 
@@ -120,40 +161,48 @@ const VARIANTS: &[VariantSpec] = &[
 /// inconsistency (executor disagreement, engine divergence, empty truth) —
 /// in this harness an inconsistency is a bug, not a data point.
 pub fn measure_accuracy(tier: OracleTier) -> AccuracyReport {
-    let report_scenarios = scenarios(tier).iter().map(measure_scenario).collect();
+    let mut report_scenarios = Vec::new();
+    let mut bounds = Vec::new();
+    for sc in &scenarios(tier) {
+        let (acc, bd) = measure_scenario(sc);
+        report_scenarios.push(acc);
+        bounds.push(bd);
+    }
     AccuracyReport {
         tier: tier.label().to_string(),
         scenarios: report_scenarios,
         staleness: crate::staleness::measure_staleness(tier),
         beam: crate::beam_envelope::measure_beam_envelope(tier),
+        bounds,
     }
 }
 
-fn measure_scenario(sc: &OracleScenario) -> ScenarioAccuracy {
+fn measure_scenario(sc: &OracleScenario) -> (ScenarioAccuracy, BoundsScenario) {
     let db = &sc.db;
     let pool_j0 = build_pool(db, &sc.queries, PoolSpec::ji(0)).expect("J0 pool");
     let pool_j2 = build_pool(db, &sc.queries, PoolSpec::ji(2)).expect("J2 pool");
+    // Backend state, built once per scenario database.
+    let bn = Arc::new(BnCatalog::build(db));
+    let sketch = Arc::new(BoundSketch::build(db));
 
-    // True selectivities, differentially validated.
+    // True selectivities and cardinalities, differentially validated.
     let mut oracle = CardinalityOracle::new(db);
     let mut exact = ExactExecutor::new(db);
-    let truths: Vec<f64> = sc
-        .queries
-        .iter()
-        .enumerate()
-        .map(|(i, q)| {
-            let card = oracle
-                .cardinality(&q.tables, &q.predicates)
-                .expect("oracle cardinality");
-            if i % 3 == 0 {
-                let mine = exact.cardinality(&q.tables, &q.predicates);
-                assert_eq!(mine, card, "{}: executors disagree on query {i}", sc.name);
-            }
-            let cross = db.cross_product_size(&q.tables).expect("cross product");
-            assert!(card > 0, "{}: workload query {i} is empty", sc.name);
-            card as f64 / cross as f64
-        })
-        .collect();
+    let mut truths = Vec::with_capacity(sc.queries.len());
+    let mut cards = Vec::with_capacity(sc.queries.len());
+    for (i, q) in sc.queries.iter().enumerate() {
+        let card = oracle
+            .cardinality(&q.tables, &q.predicates)
+            .expect("oracle cardinality");
+        if i % 3 == 0 {
+            let mine = exact.cardinality(&q.tables, &q.predicates);
+            assert_eq!(mine, card, "{}: executors disagree on query {i}", sc.name);
+        }
+        let cross = db.cross_product_size(&q.tables).expect("cross product");
+        assert!(card > 0, "{}: workload query {i} is empty", sc.name);
+        truths.push(card as f64 / cross as f64);
+        cards.push(card as f64);
+    }
 
     let variants = VARIANTS
         .iter()
@@ -163,14 +212,45 @@ fn measure_scenario(sc: &OracleScenario) -> ScenarioAccuracy {
             } else {
                 &pool_j2
             };
-            measure_variant(sc, pool, v, &truths)
+            let backend: Arc<dyn SelectivityBackend> = match v.backend {
+                BackendKind::Diff => Arc::new(DiffBackend),
+                BackendKind::Bn => Arc::new(BnBackend::new(Arc::clone(&bn))),
+                BackendKind::Pessimistic => Arc::new(PessimisticBackend::new(Arc::clone(&sketch))),
+            };
+            measure_variant(sc, pool, v, &truths, &backend)
         })
         .collect();
 
-    ScenarioAccuracy {
+    let accuracy = ScenarioAccuracy {
         scenario: sc.name.to_string(),
         fingerprint: sc.fingerprint,
         variants,
+    };
+    (accuracy, measure_bounds(sc, &sketch, &cards))
+}
+
+/// Audits the bound sketch against true cardinalities: soundness means
+/// every ratio is `>= 1`; the aggregate ratios track tightness over time.
+fn measure_bounds(sc: &OracleScenario, sketch: &BoundSketch, cards: &[f64]) -> BoundsScenario {
+    let mut underestimates = 0u64;
+    let mut ratios = Vec::with_capacity(cards.len());
+    for (q, &card) in sc.queries.iter().zip(cards) {
+        let bound = sketch
+            .upper_bound(q)
+            .expect("sketch was built from the scenario database");
+        if bound < card {
+            underestimates += 1;
+        }
+        ratios.push(bound / card);
+    }
+    ratios.sort_by(f64::total_cmp);
+    BoundsScenario {
+        scenario: sc.name.to_string(),
+        fingerprint: sc.fingerprint,
+        queries: cards.len(),
+        underestimates,
+        max_ratio: round6(*ratios.last().expect("non-empty workload")),
+        median_ratio: round6(percentile(&ratios, 50.0)),
     }
 }
 
@@ -179,13 +259,14 @@ fn measure_variant(
     pool: &SitCatalog,
     spec: &VariantSpec,
     truths: &[f64],
+    backend: &Arc<dyn SelectivityBackend>,
 ) -> VariantResult {
     let mut q_errors = Vec::with_capacity(truths.len());
     let mut rel_errors = Vec::with_capacity(truths.len());
     let mut non_full_samples = 0u64;
     for (q, &truth) in sc.queries.iter().zip(truths) {
-        let dense = estimate(sc, pool, spec, q, DpStrategy::Dense);
-        let recursive = estimate(sc, pool, spec, q, DpStrategy::Recursive);
+        let dense = estimate(sc, pool, spec, q, DpStrategy::Dense, backend);
+        let recursive = estimate(sc, pool, spec, q, DpStrategy::Recursive, backend);
         assert_eq!(
             dense.to_bits(),
             recursive.to_bits(),
@@ -197,7 +278,7 @@ fn measure_variant(
         // unlimited budget must answer at Full quality, bit-identical to
         // the direct estimator. Anything else is either a ladder bug or a
         // sign the measurement ran under a budget — the gate rejects it.
-        let budgeted = budgeted_estimate(sc, pool, spec, q);
+        let budgeted = budgeted_estimate(sc, pool, spec, q, backend);
         if budgeted.quality == Quality::Full {
             assert_eq!(
                 budgeted.selectivity.to_bits(),
@@ -235,10 +316,12 @@ fn budgeted_estimate(
     pool: &SitCatalog,
     spec: &VariantSpec,
     q: &sqe_engine::SpjQuery,
+    backend: &Arc<dyn SelectivityBackend>,
 ) -> sqe_core::BudgetedEstimate {
     let mut ladder = Ladder::new(&sc.db, pool, spec.mode)
         .with_strategy(DpStrategy::Dense)
-        .with_dp_threads(1);
+        .with_dp_threads(1)
+        .with_backend(Arc::clone(backend));
     if spec.pruned {
         ladder = ladder.with_sit_driven_pruning();
     }
@@ -251,8 +334,11 @@ fn estimate(
     spec: &VariantSpec,
     q: &sqe_engine::SpjQuery,
     strategy: DpStrategy,
+    backend: &Arc<dyn SelectivityBackend>,
 ) -> f64 {
-    let mut est = SelectivityEstimator::new(&sc.db, q, pool, spec.mode).with_strategy(strategy);
+    let mut est = SelectivityEstimator::new(&sc.db, q, pool, spec.mode)
+        .with_strategy(strategy)
+        .with_backend(Arc::clone(backend));
     if spec.pruned {
         est = est.with_sit_driven_pruning();
     }

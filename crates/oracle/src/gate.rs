@@ -110,7 +110,103 @@ pub fn compare_reports(
     }
     gate_staleness(baseline, current, cfg, &mut violations);
     gate_beam(baseline, current, cfg, &mut violations);
+    gate_bn(current, &mut violations);
+    gate_bound(baseline, current, cfg, &mut violations);
     violations
+}
+
+/// Gates the Bayesian-network backend's raison d'être: on every
+/// correlated-family scenario (`corr-*`) of the **current** report,
+/// `bn-j2` must beat `diff-j2`'s worst-case q-error. This is an absolute,
+/// within-report property — not a baseline diff — so it keeps holding
+/// right through a re-baseline, and a report that dropped the correlated
+/// family entirely fails rather than passing vacuously.
+fn gate_bn(current: &AccuracyReport, violations: &mut Vec<String>) {
+    let mut seen = false;
+    for sc in current
+        .scenarios
+        .iter()
+        .filter(|s| s.scenario.starts_with("corr"))
+    {
+        seen = true;
+        let find = |name: &str| sc.variants.iter().find(|v| v.variant == name);
+        let (Some(bn), Some(diff)) = (find("bn-j2"), find("diff-j2")) else {
+            violations.push(format!(
+                "scenario '{}': correlated-family scenarios must measure both                  'bn-j2' and 'diff-j2'",
+                sc.scenario
+            ));
+            continue;
+        };
+        if bn.max_q_error >= diff.max_q_error {
+            violations.push(format!(
+                "scenario '{}': BN backend failed to beat diff's worst case                  (bn-j2 max q-error {} >= diff-j2 {}) — the correlated family                  exists to prove the opposite",
+                sc.scenario, bn.max_q_error, diff.max_q_error
+            ));
+        }
+    }
+    if !seen {
+        violations.push(
+            "no 'corr-*' scenario in current report: the BN-vs-diff gate has nothing to gate"
+                .to_string(),
+        );
+    }
+}
+
+/// Gates the pessimistic bound sketch. Soundness is absolute: any query in
+/// the **current** report whose "guaranteed" upper bound fell below the
+/// true cardinality fails the gate, baseline or not. Tightness (the
+/// bound/truth ratio aggregates) is gated against the baseline with the
+/// standard tolerance envelope, fingerprints checked first.
+fn gate_bound(
+    baseline: &AccuracyReport,
+    current: &AccuracyReport,
+    cfg: GateConfig,
+    violations: &mut Vec<String>,
+) {
+    for sc in &current.bounds {
+        if sc.underestimates > 0 {
+            violations.push(format!(
+                "bounds scenario '{}': {} of {} upper bounds fell below the true                  cardinality — the pessimistic sketch is unsound",
+                sc.scenario, sc.underestimates, sc.queries
+            ));
+        }
+    }
+    for base_sc in &baseline.bounds {
+        let Some(cur_sc) = current
+            .bounds
+            .iter()
+            .find(|s| s.scenario == base_sc.scenario)
+        else {
+            violations.push(format!(
+                "bounds scenario '{}' present in baseline but missing from current run",
+                base_sc.scenario
+            ));
+            continue;
+        };
+        if base_sc.fingerprint != cur_sc.fingerprint || base_sc.queries != cur_sc.queries {
+            violations.push(format!(
+                "bounds scenario '{}': database fingerprint or query count changed                  — the runs bounded different workloads; re-baseline instead of gating",
+                base_sc.scenario
+            ));
+            continue;
+        }
+        for (metric, base_m, cur_m) in [
+            ("max bound ratio", base_sc.max_ratio, cur_sc.max_ratio),
+            (
+                "median bound ratio",
+                base_sc.median_ratio,
+                cur_sc.median_ratio,
+            ),
+        ] {
+            let limit = base_m * cfg.max_ratio + cfg.abs_slack;
+            if cur_m > limit {
+                violations.push(format!(
+                    "bounds scenario '{}': {metric} loosened                      {base_m} -> {cur_m} (limit {limit:.6})",
+                    base_sc.scenario
+                ));
+            }
+        }
+    }
 }
 
 /// Gates the accuracy-under-staleness section with the same tolerance
@@ -249,7 +345,7 @@ fn gate_beam(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::accuracy::{ScenarioAccuracy, VariantResult};
+    use crate::accuracy::{BoundsScenario, ScenarioAccuracy, VariantResult};
     use crate::beam_envelope::{BeamEnvelopePoint, BeamEnvelopeScenario};
     use crate::staleness::{StalenessPoint, StalenessScenario};
 
@@ -269,11 +365,20 @@ mod tests {
     fn report(fingerprint: u64, median: f64, p95: f64) -> AccuracyReport {
         AccuracyReport {
             tier: "smoke".to_string(),
-            scenarios: vec![ScenarioAccuracy {
-                scenario: "baseline".to_string(),
-                fingerprint,
-                variants: vec![variant("diff-j2", median, p95)],
-            }],
+            scenarios: vec![
+                ScenarioAccuracy {
+                    scenario: "baseline".to_string(),
+                    fingerprint,
+                    variants: vec![variant("diff-j2", median, p95)],
+                },
+                // Fixed metrics: the within-report BN gate is exercised by
+                // its own tests, independent of the median/p95 knobs.
+                ScenarioAccuracy {
+                    scenario: "corr-pair".to_string(),
+                    fingerprint: fingerprint.wrapping_add(1),
+                    variants: vec![variant("diff-j2", 3.0, 40.0), variant("bn-j2", 1.5, 4.0)],
+                },
+            ],
             staleness: vec![StalenessScenario {
                 scenario: "baseline".to_string(),
                 fingerprint,
@@ -307,6 +412,14 @@ mod tests {
                     max_q_error: 2.6,
                     max_q_ratio_vs_exact: 1.3,
                 }],
+            }],
+            bounds: vec![BoundsScenario {
+                scenario: "baseline".to_string(),
+                fingerprint,
+                queries: 6,
+                underestimates: 0,
+                max_ratio: 30.0,
+                median_ratio: 8.0,
             }],
         }
     }
@@ -349,11 +462,11 @@ mod tests {
     fn fingerprint_mismatch_blocks_comparison() {
         let base = report(7, 1.4, 3.0);
         let other = report(8, 1.4, 3.0);
-        // The main scenario, its staleness replay, and the beam envelope
-        // all carry the database fingerprint, so all three flag the
-        // mismatch.
+        // Both main scenarios, the staleness replay, the beam envelope,
+        // and the bounds audit all carry the database fingerprint, so all
+        // five flag the mismatch.
         let v = compare_reports(&base, &other, GateConfig::default());
-        assert_eq!(v.len(), 3, "{v:?}");
+        assert_eq!(v.len(), 5, "{v:?}");
         assert!(v.iter().all(|m| m.contains("fingerprint")), "{v:?}");
     }
 
@@ -451,5 +564,58 @@ mod tests {
         let v = compare_reports(&base, &cur, GateConfig::default());
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("tier mismatch"));
+    }
+
+    #[test]
+    fn bn_must_beat_diff_on_the_correlated_family() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        // bn-j2's worst case creeps up to diff-j2's: no longer a win.
+        cur.scenarios[1].variants[1].max_q_error = 80.0;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("failed to beat diff"), "{}", v[0]);
+
+        // A report that silently dropped the correlated family fails too.
+        let mut cur = base.clone();
+        cur.scenarios.remove(1);
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v.iter().any(|m| m.contains("nothing to gate")), "{v:?}");
+
+        // As does one measuring the family without the BN variant.
+        let mut cur = base.clone();
+        cur.scenarios[1].variants.pop();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(v.iter().any(|m| m.contains("must measure both")), "{v:?}");
+    }
+
+    #[test]
+    fn bound_underestimates_fail_absolutely() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        cur.bounds[0].underestimates = 1;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("unsound"), "{}", v[0]);
+    }
+
+    #[test]
+    fn bound_tightness_regression_and_comparability_are_gated() {
+        let base = report(7, 1.4, 3.0);
+        let mut cur = base.clone();
+        // Base max ratio 30.0 → limit 30·1.1 + 0.05 = 33.05.
+        cur.bounds[0].max_ratio = 50.0;
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("max bound ratio"), "{}", v[0]);
+
+        let mut cur = base.clone();
+        cur.bounds.clear();
+        let v = compare_reports(&base, &cur, GateConfig::default());
+        assert!(
+            v.iter()
+                .any(|m| m.contains("bounds scenario 'baseline' present in baseline")),
+            "{v:?}"
+        );
     }
 }

@@ -50,7 +50,9 @@ pub mod invariants;
 pub mod staleness;
 pub mod workload;
 
-pub use accuracy::{measure_accuracy, AccuracyReport, ScenarioAccuracy, VariantResult};
+pub use accuracy::{
+    measure_accuracy, AccuracyReport, BoundsScenario, ScenarioAccuracy, VariantResult,
+};
 pub use beam_envelope::{measure_beam_envelope, BeamEnvelopePoint, BeamEnvelopeScenario};
 pub use exec::ExactExecutor;
 pub use gate::{compare_reports, GateConfig};

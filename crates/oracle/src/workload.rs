@@ -16,7 +16,8 @@
 
 use sqe_datagen::snowflake::JoinEdge;
 use sqe_datagen::{
-    database_fingerprint, generate_workload, Snowflake, SnowflakeConfig, WorkloadConfig,
+    correlated_star, database_fingerprint, generate_workload, CorrelatedStarConfig, Snowflake,
+    SnowflakeConfig, WorkloadConfig,
 };
 use sqe_engine::{ColRef, Database, SpjQuery};
 
@@ -69,8 +70,21 @@ pub struct OracleScenario {
     pub fingerprint: u64,
 }
 
+/// Which generator builds the scenario database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// The 8-table snowflake of §5 ([`Snowflake::generate`]).
+    Snowflake,
+    /// The high-correlation star ([`correlated_star`]): near-duplicate
+    /// same-table filter attributes, the shape the Bayesian-network
+    /// backend exists for. `theta` maps to the join fan-out exponent;
+    /// `correlation` and `dangling_frac` are not knobs of this generator.
+    CorrelatedStar,
+}
+
 struct Spec {
     name: &'static str,
+    family: Family,
     theta: f64,
     correlation: f64,
     dangling_frac: f64,
@@ -87,6 +101,7 @@ const SPECS: &[Spec] = &[
     // The paper's default setting: skewed fan out, full correlation.
     Spec {
         name: "baseline",
+        family: Family::Snowflake,
         theta: 1.0,
         correlation: 1.0,
         dangling_frac: 0.10,
@@ -102,6 +117,7 @@ const SPECS: &[Spec] = &[
     // technique should look alike.
     Spec {
         name: "uniform-independent",
+        family: Family::Snowflake,
         theta: 0.0,
         correlation: 0.0,
         dangling_frac: 0.0,
@@ -117,6 +133,7 @@ const SPECS: &[Spec] = &[
     // most wrong.
     Spec {
         name: "heavy-skew",
+        family: Family::Snowflake,
         theta: 2.0,
         correlation: 1.0,
         dangling_frac: 0.10,
@@ -132,6 +149,7 @@ const SPECS: &[Spec] = &[
     // shrink and NULL handling errors would show immediately.
     Spec {
         name: "dangling-heavy",
+        family: Family::Snowflake,
         theta: 1.0,
         correlation: 1.0,
         dangling_frac: 0.25,
@@ -147,6 +165,7 @@ const SPECS: &[Spec] = &[
     // 7 joins spanning all 8 tables plus 5 filters — n = 12 predicates.
     Spec {
         name: "wide-n12",
+        family: Family::Snowflake,
         theta: 1.0,
         correlation: 1.0,
         dangling_frac: 0.10,
@@ -165,6 +184,7 @@ const SPECS: &[Spec] = &[
     // `beam_envelope`) is gated against.
     Spec {
         name: "wide-n16",
+        family: Family::Snowflake,
         theta: 1.0,
         correlation: 1.0,
         dangling_frac: 0.10,
@@ -174,6 +194,41 @@ const SPECS: &[Spec] = &[
         filters: 9,
         queries_full: 4,
         wl_seed: 0x0A11_0006,
+        full_only: false,
+    },
+    // The correlated-attribute family: pairs of near-duplicate same-table
+    // filters. Independence between same-table filters (the diff path has
+    // no statistic connecting them) underestimates the conjunction badly;
+    // the BN backend's Chow-Liu conditioning is gated to beat diff here
+    // (`gate_bn`).
+    Spec {
+        name: "corr-pair",
+        family: Family::CorrelatedStar,
+        theta: 1.0,
+        correlation: 1.0,
+        dangling_frac: 0.0,
+        min_rows: 160,
+        db_seed: 0xACC0_0007,
+        joins: 1,
+        filters: 2,
+        queries_full: 12,
+        wl_seed: 0x0A11_0007,
+        full_only: false,
+    },
+    // Same structure, three stacked correlated filters: the conjunction
+    // error compounds once per redundant factor, so the diff/BN gap grows.
+    Spec {
+        name: "corr-triple",
+        family: Family::CorrelatedStar,
+        theta: 1.0,
+        correlation: 1.0,
+        dangling_frac: 0.0,
+        min_rows: 160,
+        db_seed: 0xACC0_0008,
+        joins: 1,
+        filters: 3,
+        queries_full: 10,
+        wl_seed: 0x0A11_0008,
         full_only: false,
     },
 ];
@@ -188,14 +243,22 @@ pub fn scenarios(tier: OracleTier) -> Vec<OracleScenario> {
 }
 
 fn build(spec: &Spec, tier: OracleTier) -> OracleScenario {
-    let sf = Snowflake::generate(SnowflakeConfig {
-        scale: 0.0,
-        theta: spec.theta,
-        dangling_frac: spec.dangling_frac,
-        correlation: spec.correlation,
-        seed: spec.db_seed,
-        min_rows: spec.min_rows,
-    });
+    let sf = match spec.family {
+        Family::Snowflake => Snowflake::generate(SnowflakeConfig {
+            scale: 0.0,
+            theta: spec.theta,
+            dangling_frac: spec.dangling_frac,
+            correlation: spec.correlation,
+            seed: spec.db_seed,
+            min_rows: spec.min_rows,
+        }),
+        Family::CorrelatedStar => correlated_star(CorrelatedStarConfig {
+            rows: spec.min_rows,
+            theta: spec.theta,
+            seed: spec.db_seed,
+            ..CorrelatedStarConfig::default()
+        }),
+    };
     let queries = match tier {
         OracleTier::Full => spec.queries_full,
         OracleTier::Smoke => (spec.queries_full / 2).max(2),

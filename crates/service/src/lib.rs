@@ -38,7 +38,10 @@ pub use service::{
     CatalogSnapshot, DpThreadsMode, Estimate, EstimationService, PartialInstallOutcome,
     ServiceConfig, ServiceError,
 };
-pub use sqe_core::{Budget, CancelToken, DegradeReason, DpStrategy, Quality};
+pub use sqe_core::{
+    BackendKind, BoundSketch, Budget, CancelToken, DegradeReason, DpStrategy, Quality,
+    SelectivityBackend,
+};
 pub use stats::{IngestCounters, ServiceStatsSnapshot, LATENCY_BUCKETS, QUALITY_TIERS};
 
 /// The whole point of the crate: everything shared is thread-safe.

@@ -9,9 +9,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use sqe_core::{
-    build_pool_threaded, BeamConfig, Budget, CacheKey, DegradeReason, DpStrategy, ErrorMode,
-    IngestReport, Ladder, PoolSpec, Quality, SelectivityEstimator, Sit2Catalog, SitCatalog,
-    SitOptions,
+    build_pool_threaded, BackendKind, BeamConfig, BnBackend, BnCatalog, BoundSketch, Budget,
+    CacheKey, DegradeReason, DiffBackend, DpStrategy, ErrorMode, IngestReport, Ladder,
+    PessimisticBackend, PoolSpec, Quality, SelectivityBackend, SelectivityEstimator, Sit2Catalog,
+    SitCatalog, SitOptions,
 };
 use sqe_engine::{Database, Result as EngineResult, SpjQuery};
 
@@ -103,6 +104,18 @@ pub struct ServiceConfig {
     /// `BENCH_estimator.json`'s wide-`n` rows) to fit a 32-predicate
     /// estimate inside this deadline on a single core.
     pub default_deadline: Duration,
+    /// Which [`SelectivityBackend`] every estimator runs with (see the
+    /// backend-selection table in the README). `Diff` — the default —
+    /// keeps the paper's maxDiff/`diff` machinery and is bit-identical to
+    /// a service built before this knob existed. `Bn` conditions
+    /// correlated same-table filters through a Chow-Liu Bayesian network
+    /// built per snapshot. `Pessimistic` keeps diff point estimates but
+    /// drives the degradation floor through the guaranteed bound
+    /// ([`Quality::Bound`]). Regardless of the choice, every snapshot
+    /// carries a [`BoundSketch`] and every [`Estimate`] reports the sound
+    /// [`Estimate::upper_bound`]. Fixed per service, like
+    /// [`ServiceConfig::mode`], so cached values stay comparable.
+    pub backend: BackendKind,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +132,7 @@ impl Default for ServiceConfig {
             max_in_flight: 64,
             beam: BeamConfig::default(),
             default_deadline: Duration::from_millis(250),
+            backend: BackendKind::Diff,
         }
     }
 }
@@ -167,6 +181,13 @@ pub struct CatalogSnapshot {
     sit2: Option<Sit2Catalog>,
     cache: ShardedCache,
     epoch: u64,
+    /// Degree-sequence bound sketch over `db` — always present so every
+    /// [`Estimate`] can report a sound [`Estimate::upper_bound`].
+    bound: Arc<BoundSketch>,
+    /// The estimator backend for this snapshot, resolved once from
+    /// [`ServiceConfig::backend`] (the Bayesian-network catalog, when
+    /// selected, is built here so it always matches `db`).
+    backend: Arc<dyn SelectivityBackend>,
 }
 
 impl CatalogSnapshot {
@@ -194,6 +215,32 @@ impl CatalogSnapshot {
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// The degree-sequence bound sketch over this snapshot's database.
+    pub fn bound_sketch(&self) -> &BoundSketch {
+        &self.bound
+    }
+
+    /// The selectivity backend estimators against this snapshot run with.
+    pub fn backend(&self) -> &dyn SelectivityBackend {
+        &*self.backend
+    }
+}
+
+/// Per-snapshot backend state: the always-on bound sketch plus the
+/// configured backend instance (building the Bayesian-network catalog
+/// when — and only when — [`BackendKind::Bn`] is selected).
+fn backend_state(
+    db: &Database,
+    kind: BackendKind,
+) -> (Arc<BoundSketch>, Arc<dyn SelectivityBackend>) {
+    let bound = Arc::new(BoundSketch::build(db));
+    let backend: Arc<dyn SelectivityBackend> = match kind {
+        BackendKind::Diff => Arc::new(DiffBackend),
+        BackendKind::Bn => Arc::new(BnBackend::new(Arc::new(BnCatalog::build(db)))),
+        BackendKind::Pessimistic => Arc::new(PessimisticBackend::new(Arc::clone(&bound))),
+    };
+    (bound, backend)
 }
 
 /// What a [`EstimationService::partial_install`] published.
@@ -246,6 +293,14 @@ pub struct Estimate {
     /// allows (`None` iff the answer is undegraded: `Full`, or `Beam` for
     /// beam-routed queries).
     pub degraded_reason: Option<DegradeReason>,
+    /// A **guaranteed** upper bound on the query's result cardinality,
+    /// from the snapshot's degree-sequence [`BoundSketch`] — reported on
+    /// every estimate regardless of [`ServiceConfig::backend`], and sound
+    /// no matter how approximate the point estimate above it is. `None`
+    /// only when the sketch does not know a referenced table (a
+    /// sketch/database mismatch) or the answer came from the
+    /// panic-recovery path (where no backend code is trusted to run).
+    pub upper_bound: Option<f64>,
 }
 
 /// A concurrent selectivity-estimation service over one database.
@@ -273,12 +328,15 @@ impl EstimationService {
         // Chaos/fault-injection runs configure sites via SQE_FAILPOINTS;
         // a no-op (one Once check) otherwise.
         sqe_core::failpoint::init_from_env();
+        let (bound, backend) = backend_state(&db, config.backend);
         let snapshot = Arc::new(CatalogSnapshot {
             db,
             sits: catalog,
             sit2: None,
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
             epoch: 0,
+            bound,
+            backend,
         });
         EstimationService {
             config,
@@ -312,6 +370,8 @@ impl EstimationService {
     pub fn install(&self, catalog: SitCatalog, sit2: Option<Sit2Catalog>) {
         sqe_core::failpoint::fire("service::install");
         let mut current = self.current.write();
+        // The database is unchanged, so the data-derived backend state
+        // carries over by reference — no rescan.
         let snapshot = Arc::new(CatalogSnapshot {
             db: Arc::clone(&current.db),
             sits: catalog,
@@ -321,6 +381,8 @@ impl EstimationService {
                 self.config.cache_capacity_per_shard,
             ),
             epoch: current.epoch + 1,
+            bound: Arc::clone(&current.bound),
+            backend: Arc::clone(&current.backend),
         });
         *current = snapshot;
         drop(current);
@@ -355,6 +417,10 @@ impl EstimationService {
         // either are stale; only deferred SITs keep their entries valid.
         let mut stale_sits = report.sits_refreshed.clone();
         stale_sits.extend_from_slice(&report.sits_merged);
+        // The ingested database differs from the old snapshot's, so the
+        // data-derived backend state must be rebuilt against it — outside
+        // the write lock, so readers are never blocked on the rescan.
+        let (bound, backend) = backend_state(&db, self.config.backend);
         let mut current = self.current.write();
         let (cache, carry) = ShardedCache::carry_from(
             self.config.cache_shards,
@@ -370,6 +436,8 @@ impl EstimationService {
             sit2,
             cache,
             epoch,
+            bound,
+            backend,
         });
         drop(current);
         self.stats.record_partial_install(
@@ -511,7 +579,8 @@ impl EstimationService {
                 )
                 .with_strategy(self.config.dp_strategy)
                 .with_beam_config(self.config.beam)
-                .with_dp_threads(self.config.dp_threads.resolve());
+                .with_dp_threads(self.config.dp_threads.resolve())
+                .with_backend(Arc::clone(&snapshot.backend));
                 if !routed {
                     // Beam-routed widths skip the link cache too: the
                     // bounded walk recomputes less than the per-link
@@ -541,6 +610,7 @@ impl EstimationService {
             cached,
             quality: if routed { Quality::Beam } else { Quality::Full },
             degraded_reason: None,
+            upper_bound: snapshot.bound.upper_bound(query),
         }
     }
 
@@ -671,6 +741,10 @@ impl EstimationService {
                     cached: false,
                     quality: Quality::Independence,
                     degraded_reason: Some(DegradeReason::Panic),
+                    // The panic may have come from the backend itself (the
+                    // chaos suite arms exactly that), so no backend code —
+                    // including the bound sketch — runs on this path.
+                    upper_bound: None,
                 }
             }
         }
@@ -693,6 +767,7 @@ impl EstimationService {
                     .with_strategy(self.config.dp_strategy)
                     .with_beam_config(self.config.beam)
                     .with_dp_threads(self.config.dp_threads.resolve())
+                    .with_backend(Arc::clone(&snapshot.backend))
                     .with_shared_cache(&snapshot.cache);
                 if let Some(sit2) = &snapshot.sit2 {
                     ladder = ladder.with_sit2_catalog(sit2);
@@ -725,6 +800,7 @@ impl EstimationService {
             cached,
             quality,
             degraded_reason: reason,
+            upper_bound: snapshot.bound.upper_bound(query),
         }
     }
 
@@ -751,6 +827,8 @@ impl EstimationService {
                 self.config.cache_capacity_per_shard,
             ),
             epoch: current.epoch + 1,
+            bound: Arc::clone(&snapshot.bound),
+            backend: Arc::clone(&snapshot.backend),
         });
         *current = replacement;
         drop(current);

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sqe::core::failpoint::{self, Action};
-use sqe::core::{DeltaConfig, LiveCatalog};
+use sqe::core::{BackendKind, BnCatalog, DeltaConfig, LiveCatalog};
 use sqe::datagen::database_fingerprint;
 use sqe::engine::delta::{DeltaBatch, RowOp, TableDelta};
 use sqe::engine::table::TableBuilder;
@@ -257,6 +257,171 @@ fn randomized_faults_never_hang_poison_or_mislabel() {
         stats.estimates,
         "every request was budgeted, so per-quality counters cover them all"
     );
+}
+
+/// Queries with two same-table filters, the shape the BN backend
+/// intercepts (so an armed `bn::peel` actually fires during the DP).
+fn backend_queries() -> Vec<SpjQuery> {
+    let mut queries = Vec::new();
+    for v in 0..4i64 {
+        for (l, r) in [(0u32, 1u32), (1, 2)] {
+            queries.push(
+                SpjQuery::from_predicates(vec![
+                    Predicate::join(ColRef::new(TableId(l), 0), ColRef::new(TableId(r), 0)),
+                    Predicate::filter(ColRef::new(TableId(l), 0), CmpOp::Le, 12 + v),
+                    Predicate::range(ColRef::new(TableId(l), 1), 0, 8 + v),
+                ])
+                .unwrap(),
+            );
+        }
+    }
+    queries
+}
+
+fn backend_service(
+    db: &Arc<Database>,
+    catalog: SitCatalog,
+    backend: BackendKind,
+) -> EstimationService {
+    EstimationService::new(
+        Arc::clone(db),
+        catalog,
+        ServiceConfig {
+            backend,
+            max_in_flight: 16,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Chaos on the backend seam: the two backend failpoints (`bn::build`,
+/// `pessimistic::bound` — plus `bn::peel` inside the DP) are armed and the
+/// contracts hold:
+///
+/// * an injected `bn::build` panic retries to a network **bit-identical**
+///   to a fault-free build (edge set and message-passing probabilities);
+/// * a backend panic during a budgeted estimate is caught and lands on
+///   the labeled independence floor — `Quality::Independence`,
+///   `DegradeReason::Panic`, no upper bound — never a propagated panic;
+/// * once the fault budget is exhausted and the sites disarmed, the same
+///   service answers `Full` again, bit-identical to a clean service.
+#[test]
+fn backend_faults_land_on_the_labeled_floor_and_recover() {
+    let _guard = failpoint::test_serial_guard();
+    failpoint::disarm_all();
+
+    let db = chaos_db();
+    let queries = backend_queries();
+    let catalog = sqe::core::build_pool(&db, &queries, PoolSpec::ji(1)).expect("pool");
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Catalog construction: injected panics lose nothing once they stop.
+    let clean_bn = BnCatalog::build(&db);
+    failpoint::arm_with("bn::build", Action::Panic, 1, Some(2), 77);
+    let mut retries = 0u32;
+    let bn = loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| BnCatalog::build(&db))) {
+            Ok(c) => break c,
+            Err(_) => retries += 1,
+        }
+    };
+    failpoint::disarm("bn::build");
+    assert_eq!(retries, 2, "a limit of 2 fires exactly twice");
+    for t in 0..3u32 {
+        assert_eq!(
+            bn.edges(TableId(t)),
+            clean_bn.edges(TableId(t)),
+            "t{t}: retried build diverged from fault-free build"
+        );
+    }
+    let probe = [(0u16, 0i64, 11i64), (1u16, 2i64, 9i64)];
+    assert_eq!(
+        bn.conjunction_probability(TableId(0), &probe)
+            .expect("known columns")
+            .to_bits(),
+        clean_bn
+            .conjunction_probability(TableId(0), &probe)
+            .expect("known columns")
+            .to_bits(),
+        "retried build answers different probabilities"
+    );
+
+    // Backend panics inside budgeted estimates: labeled floor, then
+    // bit-identical recovery.
+    for (kind, site) in [
+        (BackendKind::Pessimistic, "pessimistic::bound"),
+        (BackendKind::Bn, "bn::peel"),
+    ] {
+        let clean = backend_service(&db, catalog.clone(), kind);
+        let reference: Vec<Estimate> = queries
+            .iter()
+            .map(|q| {
+                clean
+                    .estimate_with_budget(q, &Budget::unlimited())
+                    .expect("nothing to shed")
+            })
+            .collect();
+        assert!(reference.iter().all(|e| e.quality == Quality::Full));
+
+        let svc = backend_service(&db, catalog.clone(), kind);
+        failpoint::arm_with(site, Action::Panic, 1, Some(queries.len() as u32), 88);
+        let mut floors = 0u32;
+        for (q, want) in queries.iter().zip(&reference) {
+            let e = svc
+                .estimate_with_budget(q, &Budget::unlimited())
+                .expect("nothing to shed");
+            assert!(e.selectivity.is_finite(), "{site}: non-finite under chaos");
+            if e.quality == Quality::Full {
+                // The failpoint did not fire for this query (e.g. no
+                // interceptable peel): the answer must be exact.
+                assert_eq!(
+                    e.selectivity.to_bits(),
+                    want.selectivity.to_bits(),
+                    "{site}"
+                );
+            } else {
+                assert_eq!(
+                    e.quality,
+                    Quality::Independence,
+                    "{site}: backend panic must land on the independence floor"
+                );
+                assert_eq!(e.degraded_reason, Some(DegradeReason::Panic), "{site}");
+                assert!(
+                    e.upper_bound.is_none(),
+                    "{site}: no backend code may run after its own panic"
+                );
+                floors += 1;
+            }
+        }
+        assert!(floors > 0, "{site}: armed failpoint never fired");
+        failpoint::disarm(site);
+
+        for (q, want) in queries.iter().zip(&reference) {
+            let e = svc
+                .estimate_with_budget(q, &Budget::unlimited())
+                .expect("nothing to shed");
+            assert_eq!(e.quality, Quality::Full, "{site}: no recovery");
+            assert_eq!(
+                e.selectivity.to_bits(),
+                want.selectivity.to_bits(),
+                "{site}: recovered answer diverged from the clean service"
+            );
+            assert_eq!(
+                e.upper_bound.map(f64::to_bits),
+                want.upper_bound.map(f64::to_bits),
+                "{site}: recovered bound diverged from the clean service"
+            );
+        }
+        let stats = svc.stats();
+        assert!(
+            stats.quarantines >= 1,
+            "{site}: panics quarantine snapshots"
+        );
+    }
+
+    std::panic::set_hook(prev_hook);
 }
 
 /// Deterministic mutation batches over the 3-table chaos database:
