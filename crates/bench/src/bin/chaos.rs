@@ -26,11 +26,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::io::{Read, Write};
+
 use serde::Serialize;
 use sqe_bench::report::write_json;
 use sqe_bench::{Args, Setup, SetupConfig};
 use sqe_core::failpoint::{self, Action};
-use sqe_core::{CancelToken, Quality};
+use sqe_core::{CancelToken, DeltaConfig, Quality, SitCatalog};
+use sqe_engine::{Database, Predicate, SpjQuery};
+use sqe_server::{FrontDoor, QuotaConfig, TenantConfig};
 use sqe_service::{Budget, DpThreadsMode, EstimationService, ServiceConfig, ServiceError};
 
 /// Deterministic xorshift64* stream per worker.
@@ -61,6 +65,141 @@ struct ChaosReport {
     violations: u64,
     degrade_reasons: Vec<u64>,
     recovered_full_quality: bool,
+    server: ServerPhase,
+}
+
+/// Results of the front-end phase: the reactor's three loss failpoints
+/// (`server::accept`, `server::read`, `server::respond`) plus a
+/// mid-request `server::handle` panic, driven over real loopback sockets.
+#[derive(Serialize)]
+struct ServerPhase {
+    requests: u64,
+    responses: u64,
+    lost_accept: u64,
+    lost_read: u64,
+    lost_respond: u64,
+    handler_panics: u64,
+    answered_500: u64,
+    /// `requests == responses + respond_failures` held exactly.
+    accounting_exact: bool,
+    /// Tenant + global in-flight pools read zero after the load.
+    pools_idle: bool,
+    /// A clean request answered 200/full after disarming.
+    recovered: bool,
+}
+
+/// Drives the TCP front end with all four server failpoints armed and
+/// checks that lost requests never corrupt the admission accounting.
+fn server_phase(db: &Database, pool: &SitCatalog, workload: &[SpjQuery]) -> ServerPhase {
+    #[derive(Serialize)]
+    struct Wire {
+        tables: Vec<u32>,
+        predicates: Vec<Predicate>,
+        deadline_ms: Option<u64>,
+    }
+    let door = Arc::new(FrontDoor::new(8));
+    let tenant = door.add_tenant(
+        "chaos",
+        db.clone(),
+        pool.clone(),
+        TenantConfig {
+            quota: QuotaConfig {
+                rate: 1e6,
+                burst: 1e6,
+                max_in_flight: 8,
+                deadline_ceiling: Duration::from_secs(5),
+            },
+            service: ServiceConfig::default(),
+            delta: DeltaConfig::default(),
+        },
+    );
+    let handle = sqe_server::spawn(Arc::clone(&door), "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr();
+    let roundtrip = |raw: &[u8]| -> Option<String> {
+        let mut stream = std::net::TcpStream::connect(addr).ok()?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .ok()?;
+        stream.write_all(raw).ok()?;
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).ok()?;
+        String::from_utf8(out)
+            .ok()
+            .filter(|t| t.starts_with("HTTP/1.1 "))
+    };
+    let raw_estimate = |q: &SpjQuery| {
+        let body = serde_json::to_string(&Wire {
+            tables: q.tables.iter().map(|t| t.0).collect(),
+            predicates: q.predicates.clone(),
+            deadline_ms: Some(5_000),
+        })
+        .expect("estimate body");
+        format!(
+            "POST /v1/chaos/estimate HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+
+    // Quiet the injected handler panics (the reactor catches them).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    failpoint::arm_with("server::accept", Action::Error, 4, None, 91);
+    failpoint::arm_with("server::read", Action::Error, 4, None, 92);
+    failpoint::arm_with("server::respond", Action::Error, 4, None, 93);
+    failpoint::arm_with("server::handle", Action::Panic, 6, None, 94);
+    let mut ok_200 = 0u64;
+    let mut answered_500 = 0u64;
+    let mut lost = 0u64;
+    for i in 0..160usize {
+        let raw = raw_estimate(&workload[i % workload.len()]);
+        match roundtrip(raw.as_bytes()) {
+            Some(resp) if resp.contains("200 OK") => ok_200 += 1,
+            Some(_) => answered_500 += 1,
+            None => lost += 1,
+        }
+    }
+    for site in [
+        "server::accept",
+        "server::read",
+        "server::respond",
+        "server::handle",
+    ] {
+        failpoint::disarm(site);
+    }
+    std::panic::set_hook(prev_hook);
+
+    // Recovery probe after disarming.
+    let recovered = roundtrip(raw_estimate(&workload[0]).as_bytes())
+        .is_some_and(|r| r.contains("200 OK") && r.contains("\"quality\""));
+    let stats = Arc::clone(handle.stats());
+    handle.shutdown();
+
+    let requests = stats.requests.load(Ordering::Relaxed);
+    let responses = stats.responses.load(Ordering::Relaxed);
+    let respond_failures = stats.respond_failures.load(Ordering::Relaxed);
+    let phase = ServerPhase {
+        requests,
+        responses,
+        lost_accept: stats.accept_failures.load(Ordering::Relaxed),
+        lost_read: stats.read_failures.load(Ordering::Relaxed),
+        lost_respond: respond_failures,
+        handler_panics: stats.handler_panics.load(Ordering::Relaxed),
+        answered_500,
+        accounting_exact: requests == responses + respond_failures,
+        pools_idle: tenant.admission().in_flight() == 0 && door.global_admission().in_flight() == 0,
+        recovered,
+    };
+    eprintln!(
+        "chaos: server phase — {ok_200} ok / {answered_500} 500s / {lost} lost \
+         (accept {} read {} respond {} panics {}), accounting_exact={} pools_idle={}",
+        phase.lost_accept,
+        phase.lost_read,
+        phase.lost_respond,
+        phase.handler_panics,
+        phase.accounting_exact,
+        phase.pools_idle
+    );
+    phase
 }
 
 fn random_budget(rng: &mut Rng) -> Budget {
@@ -278,6 +417,9 @@ fn main() {
         }
     }
 
+    // Front-end phase: reactor failpoints over real sockets.
+    let server = server_phase(&db, &pool, &workload);
+
     let stats = svc.stats();
     let report = ChaosReport {
         seconds,
@@ -293,6 +435,7 @@ fn main() {
         violations: violations.load(Ordering::Relaxed),
         degrade_reasons: stats.degrade_reasons.to_vec(),
         recovered_full_quality: recovered,
+        server,
     };
     println!(
         "chaos: done — {} requests ({} full / {} degraded / {} sheds), \
@@ -309,9 +452,16 @@ fn main() {
         Err(e) => eprintln!("chaos: could not write report: {e}"),
     }
 
-    if report.violations > 0 || !recovered || report.full == 0 {
+    let server_ok = report.server.accounting_exact
+        && report.server.pools_idle
+        && report.server.recovered
+        && report.server.lost_accept > 0
+        && report.server.lost_read > 0
+        && report.server.lost_respond > 0
+        && report.server.handler_panics > 0;
+    if report.violations > 0 || !recovered || report.full == 0 || !server_ok {
         eprintln!("chaos: FAILED");
         exit(1);
     }
-    println!("chaos: PASS — no hangs, no mislabels, clean recovery");
+    println!("chaos: PASS — no hangs, no mislabels, exact front-end accounting, clean recovery");
 }

@@ -71,6 +71,7 @@ use crate::cache::SharedEstimatorCache;
 use crate::error::ErrorMode;
 use crate::estimator::{DpStrategy, EstimatorStats, SelectivityEstimator};
 use crate::gvm::GreedyViewMatching;
+use crate::metrics::{MetricsSink, NullSink};
 use crate::sit::SitCatalog;
 use crate::sit2::Sit2Catalog;
 
@@ -114,7 +115,11 @@ pub struct Ladder<'a> {
     sit2: Option<&'a Sit2Catalog>,
     shared: Option<&'a dyn SharedEstimatorCache>,
     backend: Arc<dyn SelectivityBackend>,
+    metrics: &'a dyn MetricsSink,
 }
+
+/// The shared no-op sink every ladder starts with.
+static NULL_SINK: NullSink = NullSink;
 
 impl<'a> Ladder<'a> {
     pub fn new(db: &'a Database, catalog: &'a SitCatalog, mode: ErrorMode) -> Self {
@@ -129,7 +134,18 @@ impl<'a> Ladder<'a> {
             sit2: None,
             shared: None,
             backend: Arc::new(DiffBackend),
+            metrics: &NULL_SINK,
         }
+    }
+
+    /// Installs a [`MetricsSink`] observing the rung walk: one
+    /// [`MetricsSink::rung_attempted`] per rung tried, one
+    /// [`MetricsSink::rung_answered`] for the rung that answered. Sinks
+    /// observe only — the walk and every answer are bit-identical with or
+    /// without one.
+    pub fn with_metrics(mut self, sink: &'a dyn MetricsSink) -> Self {
+        self.metrics = sink;
+        self
     }
 
     /// Selectivity backend forwarded to every DP rung. A backend that
@@ -235,6 +251,8 @@ impl<'a> Ladder<'a> {
                 let cross = cross as f64;
                 if cross > 0.0 && bound.is_finite() {
                     let cap = (bound / cross).clamp(0.0, 1.0);
+                    self.metrics.rung_attempted(Quality::Bound);
+                    self.metrics.rung_answered(Quality::Bound, reason);
                     return BudgetedEstimate {
                         selectivity: independence.min(cap),
                         error: None,
@@ -246,6 +264,8 @@ impl<'a> Ladder<'a> {
                 }
             }
         }
+        self.metrics.rung_attempted(Quality::Independence);
+        self.metrics.rung_answered(Quality::Independence, reason);
         BudgetedEstimate {
             selectivity: independence,
             error: None,
@@ -270,6 +290,8 @@ impl<'a> Ladder<'a> {
             } else {
                 Quality::Full
             };
+            self.metrics.rung_attempted(quality);
+            self.metrics.rung_answered(quality, None);
             return BudgetedEstimate {
                 selectivity,
                 error: Some(error),
@@ -313,6 +335,8 @@ impl<'a> Ladder<'a> {
             budget.cancel.clone(),
         ));
         {
+            let top = if routed { Quality::Beam } else { Quality::Full };
+            self.metrics.rung_attempted(top);
             let mut est = self
                 .build_estimator(query, false)
                 .with_budget_meter(full_meter.clone());
@@ -321,10 +345,11 @@ impl<'a> Ladder<'a> {
             work += full_meter.spent();
             match r {
                 Ok((selectivity, error)) => {
+                    self.metrics.rung_answered(top, None);
                     return BudgetedEstimate {
                         selectivity,
                         error: Some(error),
-                        quality: if routed { Quality::Beam } else { Quality::Full },
+                        quality: top,
                         degraded_reason: None,
                         work,
                         stats: est.stats(),
@@ -341,6 +366,7 @@ impl<'a> Ladder<'a> {
         // cumulative windows, which would break quota monotonicity.
         let r1 = budget.quota.map(|q| q - q / 2);
         if !routed {
+            self.metrics.rung_attempted(Quality::Beam);
             let beam_meter = Arc::new(BudgetMeter::from_parts(
                 budget.deadline.map(|d| start + d.mul_f64(0.625)),
                 r1.map(|r| r / 2),
@@ -353,6 +379,7 @@ impl<'a> Ladder<'a> {
             let r = est.try_get_selectivity(all);
             work += beam_meter.spent();
             if let Ok((selectivity, error)) = r {
+                self.metrics.rung_answered(Quality::Beam, Some(reason));
                 return BudgetedEstimate {
                     selectivity,
                     error: Some(error),
@@ -373,6 +400,7 @@ impl<'a> Ladder<'a> {
             budget.cancel.clone(),
         ));
         {
+            self.metrics.rung_attempted(Quality::Pruned);
             let mut est = self
                 .build_estimator(query, true)
                 .with_budget_meter(pruned_meter.clone());
@@ -380,6 +408,7 @@ impl<'a> Ladder<'a> {
             let r = est.try_get_selectivity(all);
             work += pruned_meter.spent();
             if let Ok((selectivity, error)) = r {
+                self.metrics.rung_answered(Quality::Pruned, Some(reason));
                 return BudgetedEstimate {
                     selectivity,
                     error: Some(error),
@@ -400,9 +429,11 @@ impl<'a> Ladder<'a> {
             budget.cancel.clone(),
         );
         if gate.force_poll().is_ok() {
+            self.metrics.rung_attempted(Quality::Greedy);
             let mut gvm = GreedyViewMatching::new(self.db, query, self.catalog);
             let all = gvm.context().all();
             let selectivity = gvm.selectivity(all);
+            self.metrics.rung_answered(Quality::Greedy, Some(reason));
             return BudgetedEstimate {
                 selectivity,
                 error: None,

@@ -56,6 +56,7 @@ pub mod gvm;
 pub mod ladder;
 mod link;
 pub mod matcher;
+pub mod metrics;
 mod par;
 pub mod persist;
 pub mod pessimistic;
@@ -82,6 +83,7 @@ pub use flat::{DenseMemo, FlatMemo, PeelMemo};
 pub use groupby::{cardenas, true_group_count};
 pub use gvm::GreedyViewMatching;
 pub use ladder::{BudgetedEstimate, Ladder};
+pub use metrics::{MetricsSink, NullSink};
 pub use persist::{clean_stale_temps, load_catalog, save_catalog, stale_temp_files};
 pub use pessimistic::{BoundSketch, PessimisticBackend};
 pub use pool::{build_pool, build_pool_threaded, build_pool_with, PoolSpec};

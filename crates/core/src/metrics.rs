@@ -1,0 +1,110 @@
+//! `MetricsSink` — a per-request instrumentation seam threaded through the
+//! engine and the service layers.
+//!
+//! The pattern follows SpacetimeDB's `ExecutionMetrics`: the hot path is
+//! handed a sink *trait object* and reports what it did (which ladder rung
+//! answered, how wide the safety envelope was, which catalog epoch it
+//! observed); the sink decides what to aggregate. Production front ends
+//! (the `sqe-server` crate) install one sink per tenant so rung mix,
+//! shed/quarantine counts, and latency percentiles are attributable
+//! without reconstructing them from logs; everything else runs with
+//! [`NullSink`], whose methods are no-op defaults the optimizer erases.
+//!
+//! Sinks **observe** — they must never influence an answer. Every method
+//! takes `&self` (sinks are shared across threads) and has an empty
+//! default body, so implementors opt into exactly the events they care
+//! about. All counters are recorded with relaxed atomics by the provided
+//! implementations: these are monitoring signals, not synchronization.
+
+use crate::budget::{DegradeReason, Quality};
+
+/// Observer for per-request engine and service events.
+///
+/// Implementations must be cheap and non-blocking: methods are called on
+/// the estimate hot path (once per rung attempt / answer, not per DP
+/// node). The default for every method is a no-op, so a sink implements
+/// only what it aggregates.
+pub trait MetricsSink: Send + Sync {
+    /// The degradation ladder is about to try a rung. Called once per
+    /// attempted rung in descending-quality order; an unbudgeted (or
+    /// unlimited-budget) estimate reports a single attempt at its top
+    /// rung.
+    fn rung_attempted(&self, _quality: Quality) {}
+
+    /// The ladder answered from `quality`; `reason` is why anything below
+    /// the top rung was needed (`None` for undegraded answers).
+    fn rung_answered(&self, _quality: Quality, _reason: Option<DegradeReason>) {}
+
+    /// One estimate completed end-to-end in `latency_ns`, answered from
+    /// `quality` (`cached` = the whole-query cache answered).
+    fn estimate_served(&self, _latency_ns: u64, _quality: Quality, _cached: bool) {}
+
+    /// A request was refused by admission control or a quota, with this
+    /// retry hint (nanoseconds).
+    fn shed(&self, _retry_after_ns: u64) {}
+
+    /// A panicking request quarantined its snapshot's cache.
+    fn quarantine(&self) {}
+
+    /// Width of the safety envelope for one answer: the guaranteed upper
+    /// bound divided by the (max(1) clamped) point cardinality estimate —
+    /// `1.0` means the bound is tight against the estimate, larger means
+    /// a wider envelope. Only reported when the bound is known and finite.
+    fn bound_width(&self, _ratio: f64) {}
+
+    /// The catalog epoch that answered one request (monotone per tenant;
+    /// sinks typically keep the max, exposing the ingest generation the
+    /// tenant's traffic has observed).
+    fn ingest_epoch_observed(&self, _epoch: u64) {}
+}
+
+/// The default sink: ignores every event. Zero-sized, so threading it
+/// through costs one vtable pointer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Counting {
+        attempts: AtomicU64,
+        answers: AtomicU64,
+    }
+
+    impl MetricsSink for Counting {
+        fn rung_attempted(&self, _q: Quality) {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+        }
+        fn rung_answered(&self, _q: Quality, _r: Option<DegradeReason>) {
+            self.answers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn null_sink_accepts_every_event() {
+        let s = NullSink;
+        s.rung_attempted(Quality::Full);
+        s.rung_answered(Quality::Independence, Some(DegradeReason::Deadline));
+        s.estimate_served(1_000, Quality::Full, false);
+        s.shed(5_000_000);
+        s.quarantine();
+        s.bound_width(2.5);
+        s.ingest_epoch_observed(7);
+    }
+
+    #[test]
+    fn custom_sinks_override_only_what_they_need() {
+        let s = Counting::default();
+        s.rung_attempted(Quality::Full);
+        s.rung_attempted(Quality::Pruned);
+        s.rung_answered(Quality::Pruned, Some(DegradeReason::Deadline));
+        s.estimate_served(10, Quality::Pruned, false); // default no-op
+        assert_eq!(s.attempts.load(Ordering::Relaxed), 2);
+        assert_eq!(s.answers.load(Ordering::Relaxed), 1);
+    }
+}

@@ -25,6 +25,7 @@ pub mod export;
 pub mod mutation;
 pub mod scenarios;
 pub mod snowflake;
+pub mod tpcc;
 pub mod workload;
 
 pub use correlated::{correlated_star, CorrelatedStarConfig};
@@ -33,4 +34,5 @@ pub use export::{database_fingerprint, export_database_json, save_database_json}
 pub use mutation::{generate_mutations, MutationConfig, MutationStream};
 pub use scenarios::{motivating_scenario, MotivatingConfig, MotivatingScenario};
 pub use snowflake::{JoinEdge, Snowflake, SnowflakeConfig};
+pub use tpcc::{Tpcc, TpccConfig};
 pub use workload::{generate_workload, WorkloadConfig};

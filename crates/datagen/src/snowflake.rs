@@ -459,9 +459,10 @@ impl Snowflake {
     }
 }
 
-/// How a non-key attribute is generated.
+/// How a non-key attribute is generated (shared with the TPC-C-flavoured
+/// generator in [`crate::tpcc`]).
 #[derive(Debug, Clone, Copy)]
-enum AttrKind {
+pub(crate) enum AttrKind {
     /// Uniform over `[lo, hi]`.
     Uniform { lo: i64, hi: i64 },
     /// Zipf-distributed over `0..domain` (value skew, not rank skew).
@@ -481,11 +482,16 @@ fn gen_attr(kind: AttrKind, row: usize, rng: &mut StdRng, zipf_cache: &mut Optio
     }
 }
 
-fn build_dim(name: &str, rows: usize, attrs: &[(&str, AttrKind)], rng: &mut StdRng) -> Table {
+pub(crate) fn build_dim(
+    name: &str,
+    rows: usize,
+    attrs: &[(&str, AttrKind)],
+    rng: &mut StdRng,
+) -> Table {
     build_dim_with_fks(name, rows, &[], attrs, 0.0, rng)
 }
 
-fn build_dim_with_fks(
+pub(crate) fn build_dim_with_fks(
     name: &str,
     rows: usize,
     fks: &[(&str, usize)],
@@ -516,7 +522,7 @@ fn build_dim_with_fks(
 
 /// NULLs out `frac` of `fk_col`, preferring rows with the highest values of
 /// `corr_col` (the paper's "correlated with attribute values" variant).
-fn make_dangling_correlated(
+pub(crate) fn make_dangling_correlated(
     table: &mut Table,
     fk_col: &str,
     corr_col: &str,

@@ -1,0 +1,474 @@
+//! A TPC-C-flavoured schema for the multi-tenant soak harness.
+//!
+//! Six tables in the classic order-entry chain:
+//!
+//! ```text
+//! order_line ──< orders ──< customer ──< district ──< warehouse
+//!      ╰──────< item
+//! ```
+//!
+//! The shape intentionally differs from the snowflake of §5: a *deep*
+//! FK chain (four hops from `order_line` to `warehouse`) instead of a
+//! wide star, so tenant workloads generated over it stress long join
+//! paths. The correlation structure that makes SITs matter is kept:
+//!
+//! * order fan-out is Zipfian (popular customers, popular items);
+//! * `customer.balance` is rank-correlated — big-balance customers are
+//!   the *unpopular* (low-fan-out) ones;
+//! * `item.price` is rank-anti-correlated with popularity — cheap items
+//!   sell the most — and `order_line.amount` follows the item's rank, so
+//!   an amount filter selects systematically skewed join partners;
+//! * undelivered orders (`carrier = 0`, ~10%) concentrate on recent ids;
+//! * dangling FKs: a random fraction of `orders.c_fk` is NULL (walk-in
+//!   customers) and `order_line.i_fk` is NULLed *correlated with amount*
+//!   (expensive special-order lines reference no catalog item).
+//!
+//! Cardinality ratios follow TPC-C's per-warehouse multiplicities
+//! (1 warehouse : 10 districts : 3k customers : 3k orders : ~30k order
+//! lines : 100k shared items), scaled like the snowflake generator.
+//! Everything is deterministic given the seed, and the output plugs
+//! directly into [`crate::generate_workload`] (via [`Tpcc::join_edges`] /
+//! [`Tpcc::filter_columns`]) and [`crate::generate_mutations`] (whose
+//! fact-table heuristic picks `order_line` — most rows, widest).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqe_engine::{ColRef, Column, Database, Table, TableId, TableSchema};
+
+use crate::dist::{CorrelatedMap, Zipf};
+use crate::snowflake::{
+    build_dim, build_dim_with_fks, make_dangling_correlated, AttrKind, JoinEdge,
+};
+
+/// Configuration for the TPC-C-flavoured generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Multiplier on the base table sizes (1.0 → 1K warehouses, 1M order
+    /// lines). The default keeps a tenant's catalog build sub-second.
+    pub scale: f64,
+    /// Zipf exponent for order/item popularity skew.
+    pub theta: f64,
+    /// Fraction of dangling FKs on the two affected edges.
+    pub dangling_frac: f64,
+    /// RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+    /// Minimum rows per table after scaling.
+    pub min_rows: usize,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            scale: 0.01,
+            theta: 1.0,
+            dangling_frac: 0.08,
+            seed: 0x7C_C0DE,
+            min_rows: 200,
+        }
+    }
+}
+
+/// A generated TPC-C-flavoured database with its schema metadata — the
+/// same shape as [`crate::Snowflake`], so workload and mutation
+/// generation work unchanged.
+#[derive(Debug)]
+pub struct Tpcc {
+    /// The populated database.
+    pub db: Database,
+    /// The five FK edges of the order-entry chain.
+    pub join_edges: Vec<JoinEdge>,
+    /// Non-key columns suitable for filter predicates.
+    pub filter_columns: Vec<ColRef>,
+    /// Table ids in generation order:
+    /// `order_line, orders, customer, district, warehouse, item`.
+    pub tables: Vec<TableId>,
+}
+
+impl Tpcc {
+    /// Looks up a column by `"table.column"`.
+    pub fn col(&self, qualified: &str) -> ColRef {
+        self.db
+            .col(qualified)
+            .unwrap_or_else(|| panic!("tpcc column {qualified} exists"))
+    }
+
+    /// Generates the database.
+    pub fn generate(config: TpccConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let size =
+            |base: usize| -> usize { ((base as f64 * config.scale) as usize).max(config.min_rows) };
+
+        let mut db = Database::new();
+
+        // --- Dimensions, root first -------------------------------------
+        // warehouse(id, state, tax, ytd)
+        let n_warehouse = size(1_000);
+        let warehouse = build_dim(
+            "warehouse",
+            n_warehouse,
+            &[
+                ("state", AttrKind::Uniform { lo: 0, hi: 49 }),
+                ("tax", AttrKind::Uniform { lo: 0, hi: 20 }),
+                (
+                    "ytd",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(10_000, 25.0, 500),
+                    },
+                ),
+            ],
+            &mut rng,
+        );
+        // district(id, w_fk, tax, next_o_id)
+        let n_district = size(10_000);
+        let district = build_dim_with_fks(
+            "district",
+            n_district,
+            &[("w_fk", n_warehouse)],
+            &[
+                ("tax", AttrKind::Uniform { lo: 0, hi: 20 }),
+                (
+                    "next_o_id",
+                    AttrKind::Zipfy {
+                        domain: 3_000,
+                        theta: config.theta,
+                    },
+                ),
+            ],
+            config.theta,
+            &mut rng,
+        );
+        // item(id, price, im_id, stock_level): cheap items are the popular
+        // (low-rank) ones, exactly the snowflake `product.price` pattern.
+        let n_item = size(100_000);
+        let item = build_dim(
+            "item",
+            n_item,
+            &[
+                (
+                    "price",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(100, 0.9, 80),
+                    },
+                ),
+                ("im_id", AttrKind::Uniform { lo: 1, hi: 10_000 }),
+                (
+                    "stock_level",
+                    AttrKind::Zipfy {
+                        domain: 500,
+                        theta: config.theta,
+                    },
+                ),
+            ],
+            &mut rng,
+        );
+        // customer(id, d_fk, balance, credit_lim, discount)
+        let n_customer = size(300_000);
+        let customer = build_dim_with_fks(
+            "customer",
+            n_customer,
+            &[("d_fk", n_district)],
+            &[
+                // Popular (low-rank) customers carry low balances: a
+                // high-balance filter selects low-fan-out customers.
+                (
+                    "balance",
+                    AttrKind::RankCorrelated {
+                        map: CorrelatedMap::new(0, 0.4, 60),
+                    },
+                ),
+                (
+                    "credit_lim",
+                    AttrKind::Uniform {
+                        lo: 1_000,
+                        hi: 50_000,
+                    },
+                ),
+                (
+                    "discount",
+                    AttrKind::Zipfy {
+                        domain: 50,
+                        theta: config.theta,
+                    },
+                ),
+            ],
+            config.theta,
+            &mut rng,
+        );
+
+        // --- orders(id, c_fk, carrier, ol_cnt, all_local) ---------------
+        // Built by hand: carrier deliveries concentrate on *old* orders
+        // (recent ids are the undelivered ~10%), an id-correlated pattern
+        // build_dim cannot express.
+        let n_orders = size(300_000);
+        let zipf_cust = Zipf::new(n_customer, config.theta);
+        let mut o_id = Vec::with_capacity(n_orders);
+        let mut o_cust = Vec::with_capacity(n_orders);
+        let mut o_carrier = Vec::with_capacity(n_orders);
+        let mut o_cnt = Vec::with_capacity(n_orders);
+        let mut o_local = Vec::with_capacity(n_orders);
+        let delivered_upto = n_orders - n_orders / 10;
+        for i in 0..n_orders {
+            o_id.push(i as i64);
+            // Walk-in customers: random dangling c_fk.
+            if rng.gen_bool(config.dangling_frac) {
+                o_cust.push(None);
+            } else {
+                o_cust.push(Some(zipf_cust.sample(&mut rng) as i64));
+            }
+            // carrier 1..=10 for delivered orders, 0 for the recent tail.
+            o_carrier.push(if i < delivered_upto {
+                rng.gen_range(1..=10)
+            } else {
+                0
+            });
+            o_cnt.push(rng.gen_range(5..=15));
+            o_local.push(i64::from(rng.gen_bool(0.9)));
+        }
+        let orders = Table::new(
+            TableSchema::new("orders", &["id", "c_fk", "carrier", "ol_cnt", "all_local"]),
+            vec![
+                Column::from_values(o_id),
+                Column::from_options(o_cust),
+                Column::from_values(o_carrier),
+                Column::from_values(o_cnt),
+                Column::from_values(o_local),
+            ],
+        )
+        .expect("consistent orders table");
+
+        // --- order_line fact --------------------------------------------
+        // order_line(id, o_fk, i_fk, quantity, amount, supply_delay)
+        let n_lines = size(1_000_000);
+        let zipf_order = Zipf::new(n_orders, config.theta * 0.5);
+        let zipf_item = Zipf::new(n_item, config.theta);
+        let amount_map = CorrelatedMap::new(10, 0.03, 25);
+        let mut l_id = Vec::with_capacity(n_lines);
+        let mut l_order = Vec::with_capacity(n_lines);
+        let mut l_item = Vec::with_capacity(n_lines);
+        let mut l_qty = Vec::with_capacity(n_lines);
+        let mut l_amount = Vec::with_capacity(n_lines);
+        let mut l_delay = Vec::with_capacity(n_lines);
+        for i in 0..n_lines {
+            l_id.push(i as i64);
+            l_order.push(Some(zipf_order.sample(&mut rng) as i64));
+            let it = zipf_item.sample(&mut rng);
+            l_item.push(Some(it as i64));
+            let qty = rng.gen_range(1..=10);
+            l_qty.push(qty);
+            // amount follows the item's popularity rank (popular = cheap),
+            // scaled by quantity — the cross-table correlation SITs catch.
+            l_amount.push((amount_map.apply(it as i64, &mut rng).max(1)) * qty);
+            l_delay.push(rng.gen_range(0..=30));
+        }
+        let mut order_line = Table::new(
+            TableSchema::new(
+                "order_line",
+                &["id", "o_fk", "i_fk", "quantity", "amount", "supply_delay"],
+            ),
+            vec![
+                Column::from_values(l_id),
+                Column::from_options(l_order),
+                Column::from_options(l_item),
+                Column::from_values(l_qty),
+                Column::from_values(l_amount),
+                Column::from_values(l_delay),
+            ],
+        )
+        .expect("consistent order_line table");
+        // Expensive special-order lines reference no catalog item.
+        make_dangling_correlated(
+            &mut order_line,
+            "i_fk",
+            "amount",
+            config.dangling_frac,
+            &mut rng,
+        );
+
+        // --- Register everything ----------------------------------------
+        let mut tables = Vec::new();
+        for t in [order_line, orders, customer, district, warehouse, item] {
+            tables.push(db.add_table(t));
+        }
+        let col = |q: &str| db.col(q).expect("generated column exists");
+        let join_edges = vec![
+            JoinEdge {
+                fk: col("order_line.o_fk"),
+                pk: col("orders.id"),
+            },
+            JoinEdge {
+                fk: col("order_line.i_fk"),
+                pk: col("item.id"),
+            },
+            JoinEdge {
+                fk: col("orders.c_fk"),
+                pk: col("customer.id"),
+            },
+            JoinEdge {
+                fk: col("customer.d_fk"),
+                pk: col("district.id"),
+            },
+            JoinEdge {
+                fk: col("district.w_fk"),
+                pk: col("warehouse.id"),
+            },
+        ];
+        let filter_columns = [
+            "order_line.quantity",
+            "order_line.amount",
+            "order_line.supply_delay",
+            "orders.carrier",
+            "orders.ol_cnt",
+            "customer.balance",
+            "customer.credit_lim",
+            "customer.discount",
+            "district.tax",
+            "district.next_o_id",
+            "warehouse.state",
+            "warehouse.tax",
+            "warehouse.ytd",
+            "item.price",
+            "item.im_id",
+            "item.stock_level",
+        ]
+        .iter()
+        .map(|q| col(q))
+        .collect();
+
+        Tpcc {
+            db,
+            join_edges,
+            filter_columns,
+            tables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::{generate_mutations, MutationConfig};
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use sqe_engine::execute;
+
+    fn small() -> Tpcc {
+        Tpcc::generate(TpccConfig {
+            scale: 0.002,
+            min_rows: 100,
+            ..TpccConfig::default()
+        })
+    }
+
+    #[test]
+    fn has_six_tables_with_expected_arity() {
+        let t = small();
+        assert_eq!(t.db.table_count(), 6);
+        for (name, arity) in [
+            ("order_line", 6),
+            ("orders", 5),
+            ("customer", 5),
+            ("district", 4),
+            ("warehouse", 4),
+            ("item", 4),
+        ] {
+            let (tab, _) = t.db.table_by_name(name).unwrap();
+            assert_eq!(tab.schema().arity(), arity, "{name}");
+            assert!(tab.row_count() >= 100, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        for name in ["order_line", "orders", "customer"] {
+            let (ta, _) = a.db.table_by_name(name).unwrap();
+            let (tb, _) = b.db.table_by_name(name).unwrap();
+            assert_eq!(ta.columns(), tb.columns(), "{name} differs across runs");
+        }
+    }
+
+    #[test]
+    fn join_chain_executes_nonempty() {
+        let t = small();
+        for e in &t.join_edges {
+            let tables = [e.fk.table, e.pk.table];
+            let card = execute(&t.db, &tables, &[e.predicate()]).unwrap();
+            assert!(card > 0, "join edge produced empty result");
+        }
+    }
+
+    #[test]
+    fn dangling_lines_are_amount_correlated() {
+        let t = small();
+        let (lines, _) = t.db.table_by_name("order_line").unwrap();
+        let amount = lines.column_by_name("amount").unwrap();
+        let item_fk = lines.column_by_name("i_fk").unwrap();
+        assert!(item_fk.null_count() > 0, "no dangling order lines");
+        let (mut sum_d, mut n_d, mut sum_i, mut n_i) = (0f64, 0f64, 0f64, 0f64);
+        for r in 0..lines.row_count() {
+            let a = amount.get(r).unwrap() as f64;
+            if item_fk.get(r).is_none() {
+                sum_d += a;
+                n_d += 1.0;
+            } else {
+                sum_i += a;
+                n_i += 1.0;
+            }
+        }
+        assert!(sum_d / n_d > sum_i / n_i, "dangling not amount-correlated");
+    }
+
+    #[test]
+    fn undelivered_orders_are_the_recent_tail() {
+        let t = small();
+        let (orders, _) = t.db.table_by_name("orders").unwrap();
+        let carrier = orders.column_by_name("carrier").unwrap();
+        let n = orders.row_count();
+        // Every undelivered order (carrier 0) sits in the last tenth.
+        for r in 0..n {
+            if carrier.get(r) == Some(0) {
+                assert!(r >= n - n / 10, "old order {r} undelivered");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_and_mutations_generate_over_tpcc() {
+        let t = small();
+        let queries = generate_workload(
+            &t.db,
+            &t.join_edges,
+            &t.filter_columns,
+            WorkloadConfig {
+                queries: 5,
+                joins: 3,
+                filters: 2,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert_eq!(queries.len(), 5);
+        let stream = generate_mutations(
+            &t.db,
+            MutationConfig {
+                ops: 200,
+                batch_size: 50,
+                ..MutationConfig::default()
+            },
+        );
+        assert!(!stream.batches.is_empty());
+        // The fact heuristic must pick the widest, biggest table.
+        let (order_line_id, _) = {
+            let (_, id) = t.db.table_by_name("order_line").unwrap();
+            (id, ())
+        };
+        assert!(
+            stream
+                .batches
+                .iter()
+                .flat_map(|b| &b.deltas)
+                .any(|d| d.table == order_line_id),
+            "mutation stream never touches the order_line fact table"
+        );
+    }
+}

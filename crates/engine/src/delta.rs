@@ -22,12 +22,12 @@ use std::collections::BTreeMap;
 
 use crate::column::Column;
 use crate::database::Database;
-use crate::error::{EngineError, Result};
+use crate::error::{EngineError, Result as EngineResult};
 use crate::predicate::ColRef;
 use crate::schema::TableId;
 
 /// One row-level mutation against a single table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RowOp {
     /// Appends a full row; `values` must match the table arity.
     Insert {
@@ -52,7 +52,7 @@ pub enum RowOp {
 }
 
 /// All ops of one batch that target a single table, applied in order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TableDelta {
     /// Target table.
     pub table: TableId,
@@ -61,7 +61,7 @@ pub struct TableDelta {
 }
 
 /// One ingestible unit: a sequence number plus per-table op lists.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DeltaBatch {
     /// Monotone position of this batch in its stream (for logging and
     /// fingerprints; application does not interpret it).
@@ -154,7 +154,7 @@ impl DeltaLog {
 /// Pure: on any error (bad arity, out-of-range row or column) the input
 /// database is untouched and no partial state escapes. A table may appear
 /// at most once per batch, so per-table op indices are unambiguous.
-pub fn apply_batch(db: &Database, batch: &DeltaBatch) -> Result<(Database, DeltaLog)> {
+pub fn apply_batch(db: &Database, batch: &DeltaBatch) -> EngineResult<(Database, DeltaLog)> {
     let mut tables = batch.deltas.iter().map(|d| d.table).collect::<Vec<_>>();
     tables.sort_unstable();
     tables.dedup();

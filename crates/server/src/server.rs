@@ -1,0 +1,284 @@
+//! The reactor: a single-threaded non-blocking accept/read/respond loop
+//! over `std::net::TcpListener` — no executor, no external event
+//! library.
+//!
+//! Design: the listener and every accepted connection run in
+//! non-blocking mode; the loop round-robins (accept once, then pump
+//! every live connection), sleeping briefly when an iteration moved no
+//! bytes. On a one-estimate-per-millisecond service the poll sleep
+//! (≤ 500 µs) is noise, and a single thread is *deliberate*: request
+//! handling itself fans out through the tenant's `EstimationService`,
+//! so the reactor only parses, dispatches, and serializes.
+//!
+//! ## Failpoints
+//!
+//! Three chaos sites model the ways a front end loses a request, each at
+//! a point where the admission accounting makes leaks impossible by
+//! construction:
+//!
+//! - `server::accept` — fires **before** the connection is tracked: the
+//!   socket is dropped (client sees a reset), nothing was acquired.
+//! - `server::read` — fires **before** dispatch: the connection dies
+//!   with bytes in its buffer; no token or permit was taken yet.
+//! - `server::respond` — fires **after** [`FrontDoor::handle`] returned:
+//!   every token was spent and every RAII permit already released inside
+//!   `handle`; the client just never hears the answer (connection
+//!   closed). The chaos suite asserts both pools return to idle.
+//!
+//! A panic inside `handle` (e.g. an armed estimator failpoint) is caught
+//! with `catch_unwind`, answered as a 500, and the connection keeps
+//! serving — the service layer has already quarantined and recovered.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqe_core::failpoint;
+
+use crate::http::{parse_request, Parse, Response, MAX_BODY, MAX_HEAD};
+use crate::tenant::FrontDoor;
+
+/// Poll sleep when an iteration moved no bytes.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Reactor counters (relaxed; monitoring only).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Requests fully parsed and dispatched.
+    pub requests: AtomicU64,
+    /// Responses written back.
+    pub responses: AtomicU64,
+    /// Connections dropped for unparseable input.
+    pub parse_errors: AtomicU64,
+    /// Connections killed by the `server::accept` failpoint.
+    pub accept_failures: AtomicU64,
+    /// Connections killed by the `server::read` failpoint or IO errors.
+    pub read_failures: AtomicU64,
+    /// Responses suppressed by the `server::respond` failpoint.
+    pub respond_failures: AtomicU64,
+    /// Dispatches that panicked and were answered 500.
+    pub handler_panics: AtomicU64,
+}
+
+/// A running server: address, stop flag, reactor thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 in `spawn` to get an ephemeral one).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Reactor counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Signals the reactor to exit and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One live connection's buffers.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    close_after_flush: bool,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and runs the reactor on a new
+/// thread until the handle is shut down or dropped.
+pub fn spawn(door: Arc<FrontDoor>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let thread = {
+        let (stop, stats) = (Arc::clone(&stop), Arc::clone(&stats));
+        std::thread::Builder::new()
+            .name("sqe-server".to_string())
+            .spawn(move || reactor(listener, door, stop, stats))?
+    };
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        stats,
+        thread: Some(thread),
+    })
+}
+
+fn reactor(
+    listener: TcpListener,
+    door: Arc<FrontDoor>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    while !stop.load(Ordering::Acquire) {
+        let mut moved = false;
+        // Accept every pending connection this iteration.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    moved = true;
+                    if failpoint::fire_err("server::accept").is_err() {
+                        // Dropped before tracking: the peer sees a reset,
+                        // and no server-side state was created.
+                        stats.accept_failures.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    conns.push(Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        close_after_flush: false,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        // Pump every connection; retain the live ones.
+        conns.retain_mut(|conn| match pump(conn, &door, &stats, &mut scratch) {
+            Pump::Idle => true,
+            Pump::Moved => {
+                moved = true;
+                true
+            }
+            Pump::Close => {
+                moved = true;
+                false
+            }
+        });
+        if !moved {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+enum Pump {
+    /// Nothing to do on this connection.
+    Idle,
+    /// Bytes moved; poll again immediately.
+    Moved,
+    /// Connection finished or failed; drop it.
+    Close,
+}
+
+fn pump(conn: &mut Conn, door: &FrontDoor, stats: &ServerStats, scratch: &mut [u8]) -> Pump {
+    // Flush pending output first: a response already produced must not
+    // wait behind new input.
+    if !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => return Pump::Close,
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+                if conn.outbuf.is_empty() && conn.close_after_flush {
+                    return Pump::Close;
+                }
+                return Pump::Moved;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Pump::Idle,
+            Err(_) => return Pump::Close,
+        }
+    }
+    if conn.close_after_flush {
+        return Pump::Close;
+    }
+    match conn.stream.read(scratch) {
+        Ok(0) => Pump::Close, // peer closed
+        Ok(n) => {
+            if failpoint::fire_err("server::read").is_err() {
+                // Connection dies mid-read: bytes discarded before any
+                // token or permit was taken.
+                stats.read_failures.fetch_add(1, Ordering::Relaxed);
+                return Pump::Close;
+            }
+            conn.inbuf.extend_from_slice(&scratch[..n]);
+            if conn.inbuf.len() > MAX_HEAD + MAX_BODY + 4 {
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                return Pump::Close;
+            }
+            // Drain every complete pipelined request in the buffer.
+            loop {
+                match parse_request(&conn.inbuf) {
+                    Parse::Incomplete => break,
+                    Parse::Bad(why) => {
+                        stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::text(400, format!("{why}\n"));
+                        conn.outbuf.extend_from_slice(&resp.to_bytes(false));
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                    Parse::Done { request, consumed } => {
+                        conn.inbuf.drain(..consumed);
+                        stats.requests.fetch_add(1, Ordering::Relaxed);
+                        let response = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            door.handle(&request)
+                        })) {
+                            Ok(r) => r,
+                            Err(_) => {
+                                // The service layer has already
+                                // quarantined + recovered; the front
+                                // end just reports the loss.
+                                stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                                Response::text(500, "internal error\n")
+                            }
+                        };
+                        if failpoint::fire_err("server::respond").is_err() {
+                            // All accounting inside handle() is settled
+                            // (tokens spent, permits released); only the
+                            // bytes are lost.
+                            stats.respond_failures.fetch_add(1, Ordering::Relaxed);
+                            return Pump::Close;
+                        }
+                        let keep_alive = !request.wants_close();
+                        conn.outbuf
+                            .extend_from_slice(&response.to_bytes(keep_alive));
+                        stats.responses.fetch_add(1, Ordering::Relaxed);
+                        if !keep_alive {
+                            conn.close_after_flush = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Pump::Moved
+        }
+        Err(e) if e.kind() == ErrorKind::WouldBlock => Pump::Idle,
+        Err(_) => {
+            stats.read_failures.fetch_add(1, Ordering::Relaxed);
+            Pump::Close
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Admission control: a bounded pool of in-flight permits with load-shed.
+//! Admission control: a bounded pool of in-flight permits with load-shed
+//! and release telemetry.
 //!
 //! The budgeted endpoints acquire a [`Permit`] before doing any work; when
 //! every permit is taken the request is shed immediately with
@@ -6,14 +7,47 @@
 //! queueing behind work that is already missing its deadlines. Permits are
 //! RAII — a panicking request releases its permit during unwinding, so
 //! panic isolation never leaks capacity.
+//!
+//! ## Retry hints from release telemetry
+//!
+//! Every permit release feeds an EWMA of how long permits are actually
+//! held ([`AdmissionControl::ewma_hold`]); sheds between releases count
+//! queued demand. The hint a shed request receives is
+//!
+//! ```text
+//! retry_after ≈ ewma_hold × (1 + sheds_since_last_release) / max_permits
+//! ```
+//!
+//! — with `max` permits cycling, a slot frees roughly every
+//! `hold / max`, and each shed already waiting ahead pushes the caller
+//! one more release into the future. The hint is *monotone in load*:
+//! every additional shed without an intervening release strictly grows
+//! it (pinned by a unit test below), unlike the old global mean-latency
+//! guess, which ignored queueing entirely. One `AdmissionControl` can be
+//! shared by several services (the multi-tenant front door does this) so
+//! the budget it bounds is process-wide.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// EWMA smoothing: `new = old + (sample - old) / 2^EWMA_SHIFT`.
+const EWMA_SHIFT: u32 = 3;
 
 /// A bounded in-flight counter handing out RAII [`Permit`]s.
 #[derive(Debug)]
-pub(crate) struct AdmissionControl {
+pub struct AdmissionControl {
     in_flight: AtomicUsize,
     max: usize,
+    /// EWMA of permit hold time in nanoseconds (0 = no release observed
+    /// yet). Updated racily with relaxed loads/stores: this is telemetry
+    /// for retry hints, not coordination, and a lost update only makes
+    /// the average marginally staler.
+    hold_ewma_ns: AtomicU64,
+    /// Permits released so far (0 means [`AdmissionControl::retry_hint`]
+    /// has no telemetry to extrapolate from).
+    releases: AtomicU64,
+    /// Sheds since the last release — queued demand for the next slot.
+    sheds_since_release: AtomicU64,
 }
 
 impl AdmissionControl {
@@ -23,7 +57,15 @@ impl AdmissionControl {
         AdmissionControl {
             in_flight: AtomicUsize::new(0),
             max,
+            hold_ewma_ns: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            sheds_since_release: AtomicU64::new(0),
         }
+    }
+
+    /// The configured bound (`0` = unbounded).
+    pub fn max_in_flight(&self) -> usize {
+        self.max
     }
 
     /// Currently admitted requests.
@@ -37,7 +79,10 @@ impl AdmissionControl {
         if self.max == 0 {
             // Unbounded: still count in-flight for observability.
             self.in_flight.fetch_add(1, Ordering::Relaxed);
-            return Some(Permit { pool: self });
+            return Some(Permit {
+                pool: self,
+                acquired: Instant::now(),
+            });
         }
         let mut cur = self.in_flight.load(Ordering::Relaxed);
         loop {
@@ -50,23 +95,78 @@ impl AdmissionControl {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(Permit { pool: self }),
+                Ok(_) => {
+                    return Some(Permit {
+                        pool: self,
+                        acquired: Instant::now(),
+                    })
+                }
                 Err(now) => cur = now,
             }
         }
     }
+
+    /// Records one shed (a failed acquire the caller turned into an
+    /// `Overloaded` response) and returns the retry hint for it, or
+    /// `None` when no permit has ever been released — there is no
+    /// telemetry yet, and the caller should fall back to its own guess.
+    pub fn note_shed(&self) -> Option<Duration> {
+        self.sheds_since_release.fetch_add(1, Ordering::Relaxed);
+        self.retry_hint()
+    }
+
+    /// The current retry hint from release telemetry (see the module
+    /// docs for the formula); `None` before the first release.
+    pub fn retry_hint(&self) -> Option<Duration> {
+        if self.releases.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let hold = self.hold_ewma_ns.load(Ordering::Relaxed);
+        let queued = self.sheds_since_release.load(Ordering::Relaxed);
+        let per_slot = hold / self.max.max(1) as u64;
+        // `.max(1)` keeps the hint strictly monotone in `queued` even for
+        // sub-nanosecond-per-slot holds.
+        Some(Duration::from_nanos(
+            per_slot.max(1).saturating_mul(1 + queued),
+        ))
+    }
+
+    /// The smoothed permit hold time observed so far (zero before the
+    /// first release).
+    pub fn ewma_hold(&self) -> Duration {
+        Duration::from_nanos(self.hold_ewma_ns.load(Ordering::Relaxed))
+    }
+
+    /// Called from [`Permit::drop`]: fold `held` into the EWMA and reset
+    /// the queued-demand counter (a release means the queue advanced).
+    fn note_release(&self, held: Duration) {
+        let ns = held.as_nanos().min(u64::MAX as u128) as u64;
+        let old = self.hold_ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            ns
+        } else {
+            // old + (ns - old) / 2^k, computed in signed space so samples
+            // below the average pull it down.
+            (old as i64 + ((ns as i64 - old as i64) >> EWMA_SHIFT)).max(1) as u64
+        };
+        self.hold_ewma_ns.store(new, Ordering::Relaxed);
+        self.releases.fetch_add(1, Ordering::Relaxed);
+        self.sheds_since_release.store(0, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
 }
 
 /// One admitted request. Dropping it — normally or during a panic's
-/// unwind — releases the slot.
+/// unwind — releases the slot and feeds the hold-time telemetry.
 #[derive(Debug)]
-pub(crate) struct Permit<'a> {
+pub struct Permit<'a> {
     pool: &'a AdmissionControl,
+    acquired: Instant,
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        self.pool.in_flight.fetch_sub(1, Ordering::Release);
+        self.pool.note_release(self.acquired.elapsed());
     }
 }
 
@@ -129,5 +229,60 @@ mod tests {
         });
         assert!(peak.load(Ordering::Relaxed) <= 4);
         assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn no_hint_before_any_release() {
+        let pool = AdmissionControl::new(1);
+        assert_eq!(pool.retry_hint(), None);
+        let _p = pool.try_acquire().unwrap();
+        assert_eq!(pool.note_shed(), None, "no telemetry yet");
+    }
+
+    /// The satellite's acceptance bar: more load (sheds piling up without
+    /// a release) must produce strictly larger retry hints.
+    #[test]
+    fn retry_hint_is_monotone_in_load() {
+        let pool = AdmissionControl::new(2);
+        // Seed the hold-time EWMA with one completed request.
+        {
+            let p = pool.try_acquire().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+            drop(p);
+        }
+        assert!(pool.ewma_hold() >= Duration::from_millis(2));
+        // Saturate, then shed repeatedly: each shed without an
+        // intervening release must grow the hint.
+        let _a = pool.try_acquire().unwrap();
+        let _b = pool.try_acquire().unwrap();
+        let mut last = Duration::ZERO;
+        for i in 0..16 {
+            assert!(pool.try_acquire().is_none(), "still saturated");
+            let hint = pool.note_shed().expect("telemetry seeded");
+            assert!(
+                hint > last,
+                "shed {i}: hint {hint:?} did not grow past {last:?}"
+            );
+            last = hint;
+        }
+        // A release drains the queue estimate: the next shed's hint
+        // restarts low.
+        drop(_a);
+        let _c = pool.try_acquire().unwrap();
+        let after = pool.note_shed().expect("telemetry");
+        assert!(after < last, "release must reset queued demand");
+    }
+
+    #[test]
+    fn ewma_tracks_hold_time_scale() {
+        let pool = AdmissionControl::new(1);
+        for _ in 0..8 {
+            let p = pool.try_acquire().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+            drop(p);
+        }
+        let ewma = pool.ewma_hold();
+        assert!(ewma >= Duration::from_micros(900), "ewma {ewma:?} too low");
+        assert!(ewma < Duration::from_millis(100), "ewma {ewma:?} too high");
     }
 }

@@ -26,12 +26,13 @@
 //! `sqe_core::cache` for the contract, and `tests/service.rs` at the
 //! workspace root for the 8-thread equivalence test).
 
-mod admission;
+pub mod admission;
 pub mod cache;
 pub mod lru;
 pub mod service;
 pub mod stats;
 
+pub use admission::{AdmissionControl, Permit};
 pub use cache::{CacheCounters, CarryStats, ShardedCache};
 pub use lru::LruMap;
 pub use service::{
@@ -39,8 +40,8 @@ pub use service::{
     ServiceConfig, ServiceError,
 };
 pub use sqe_core::{
-    BackendKind, BoundSketch, Budget, CancelToken, DegradeReason, DpStrategy, Quality,
-    SelectivityBackend,
+    BackendKind, BoundSketch, Budget, CancelToken, DegradeReason, DpStrategy, MetricsSink,
+    NullSink, Quality, SelectivityBackend,
 };
 pub use stats::{IngestCounters, ServiceStatsSnapshot, LATENCY_BUCKETS, QUALITY_TIERS};
 

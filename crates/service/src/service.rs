@@ -10,9 +10,9 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use sqe_core::{
     build_pool_threaded, BackendKind, BeamConfig, BnBackend, BnCatalog, BoundSketch, Budget,
-    CacheKey, DegradeReason, DiffBackend, DpStrategy, ErrorMode, IngestReport, Ladder,
-    PessimisticBackend, PoolSpec, Quality, SelectivityBackend, SelectivityEstimator, Sit2Catalog,
-    SitCatalog, SitOptions,
+    CacheKey, DegradeReason, DiffBackend, DpStrategy, ErrorMode, IngestReport, Ladder, MetricsSink,
+    NullSink, PessimisticBackend, PoolSpec, Quality, SelectivityBackend, SelectivityEstimator,
+    Sit2Catalog, SitCatalog, SitOptions,
 };
 use sqe_engine::{Database, Result as EngineResult, SpjQuery};
 
@@ -140,9 +140,13 @@ impl Default for ServiceConfig {
 /// Why a budgeted request was not served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceError {
-    /// Admission control is at capacity. Retry after the hinted delay
-    /// (the service's current mean estimate latency, clamped to
-    /// [1 ms, 1 s]).
+    /// Admission control is at capacity. Retry after the hinted delay,
+    /// computed from actual permit-release telemetry — the EWMA of how
+    /// long permits are held, scaled by the sheds queued since the last
+    /// release (see [`crate::AdmissionControl::retry_hint`]) — clamped to
+    /// [1 ms, 1 s]. Before any permit has been released there is no
+    /// telemetry, and the hint falls back to the service's mean estimate
+    /// latency.
     Overloaded {
         /// In-flight requests at the moment of the shed.
         in_flight: usize,
@@ -319,7 +323,14 @@ pub struct EstimationService {
     /// consistent with the database its catalog was built against.
     current: RwLock<Arc<CatalogSnapshot>>,
     stats: ServiceStats,
-    admission: AdmissionControl,
+    /// Shared so several services (one per tenant behind a front door)
+    /// can draw on one process-wide in-flight budget — see
+    /// [`EstimationService::with_shared_admission`].
+    admission: Arc<AdmissionControl>,
+    /// Per-request observer (rung mix, sheds, quarantines, bound width,
+    /// ingest epochs). [`NullSink`] — free — unless a front end installs
+    /// a real one via [`EstimationService::with_metrics`].
+    metrics: Arc<dyn MetricsSink>,
 }
 
 impl EstimationService {
@@ -342,8 +353,38 @@ impl EstimationService {
             config,
             current: RwLock::new(snapshot),
             stats: ServiceStats::default(),
-            admission: AdmissionControl::new(config.max_in_flight),
+            admission: Arc::new(AdmissionControl::new(config.max_in_flight)),
+            metrics: Arc::new(NullSink),
         }
+    }
+
+    /// Replaces this service's admission control with a shared one, so
+    /// several services draw permits from a single process-wide budget.
+    /// The multi-tenant front door (`sqe-server`) gives every tenant its
+    /// own service — own snapshots, cache, stats — but one global
+    /// [`AdmissionControl`], so aggregate in-flight work stays bounded no
+    /// matter how many tenants exist. [`ServiceConfig::max_in_flight`] is
+    /// ignored in favor of the shared pool's bound. Call before serving
+    /// traffic.
+    pub fn with_shared_admission(mut self, admission: Arc<AdmissionControl>) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Installs a [`MetricsSink`] observing every request: per-rung
+    /// attempts and answers (threaded into the core [`Ladder`]), served
+    /// estimates with latency and quality, sheds with their retry hints,
+    /// quarantines, bound widths, and observed ingest epochs. Sinks only
+    /// observe — answers are bit-identical with or without one. Call
+    /// before serving traffic.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = sink;
+        self
+    }
+
+    /// The admission pool this service draws budgeted permits from.
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
     }
 
     /// The service configuration.
@@ -601,8 +642,9 @@ impl EstimationService {
                 (result, false)
             }
         };
-        self.stats.record_estimate(start.elapsed(), cached);
-        Estimate {
+        let latency = start.elapsed();
+        self.stats.record_estimate(latency, cached);
+        let estimate = Estimate {
             selectivity: result.0,
             error: result.1,
             cardinality: cardinality_of(snapshot, query, result.0),
@@ -611,7 +653,23 @@ impl EstimationService {
             quality: if routed { Quality::Beam } else { Quality::Full },
             degraded_reason: None,
             upper_bound: snapshot.bound.upper_bound(query),
+        };
+        self.observe(&estimate, latency);
+        estimate
+    }
+
+    /// Reports one served estimate to the installed [`MetricsSink`]:
+    /// latency + quality, the safety-envelope width when the bound is
+    /// known, and the snapshot epoch that answered.
+    fn observe(&self, e: &Estimate, latency: Duration) {
+        self.metrics
+            .estimate_served(latency.as_nanos() as u64, e.quality, e.cached);
+        if let Some(bound) = e.upper_bound {
+            if bound.is_finite() && e.cardinality.is_finite() {
+                self.metrics.bound_width(bound / e.cardinality.max(1.0));
+            }
         }
+        self.metrics.ingest_epoch_observed(e.epoch);
     }
 
     /// Estimates one query under a [`Budget`], degrading instead of
@@ -693,15 +751,21 @@ impl EstimationService {
     }
 
     /// Records a shed and builds the `Overloaded` error with its
-    /// retry-after hint (current mean latency, clamped to [1 ms, 1 s]).
+    /// retry-after hint: permit-release telemetry (EWMA hold time scaled
+    /// by queued demand — see [`AdmissionControl::retry_hint`]) when any
+    /// permit has completed, the mean estimate latency before that, both
+    /// clamped to [1 ms, 1 s].
     fn shed(&self) -> ServiceError {
         self.stats.record_shed();
+        let retry_after = self
+            .admission
+            .note_shed()
+            .unwrap_or_else(|| self.stats.mean_latency_hint())
+            .clamp(Duration::from_millis(1), Duration::from_secs(1));
+        self.metrics.shed(retry_after.as_nanos() as u64);
         ServiceError::Overloaded {
             in_flight: self.admission.in_flight(),
-            retry_after: self
-                .stats
-                .mean_latency_hint()
-                .clamp(Duration::from_millis(1), Duration::from_secs(1)),
+            retry_after,
         }
     }
 
@@ -732,6 +796,13 @@ impl EstimationService {
                     Quality::Independence,
                     Some(DegradeReason::Panic),
                     latency,
+                );
+                self.metrics
+                    .rung_answered(Quality::Independence, Some(DegradeReason::Panic));
+                self.metrics.estimate_served(
+                    latency.as_nanos() as u64,
+                    Quality::Independence,
+                    false,
                 );
                 Estimate {
                     selectivity,
@@ -764,6 +835,7 @@ impl EstimationService {
             Some((s, e)) => (s, e, Quality::Full, None, true),
             None => {
                 let mut ladder = Ladder::new(&snapshot.db, &snapshot.sits, self.config.mode)
+                    .with_metrics(&*self.metrics)
                     .with_strategy(self.config.dp_strategy)
                     .with_beam_config(self.config.beam)
                     .with_dp_threads(self.config.dp_threads.resolve())
@@ -792,7 +864,7 @@ impl EstimationService {
         let latency = start.elapsed();
         self.stats.record_estimate(latency, cached);
         self.stats.record_quality(quality, reason, latency);
-        Estimate {
+        let estimate = Estimate {
             selectivity,
             error,
             cardinality: cardinality_of(snapshot, query, selectivity),
@@ -801,7 +873,9 @@ impl EstimationService {
             quality,
             degraded_reason: reason,
             upper_bound: snapshot.bound.upper_bound(query),
-        }
+        };
+        self.observe(&estimate, latency);
+        estimate
     }
 
     /// Recovery after a request panicked against `snapshot`: quarantine
@@ -814,6 +888,7 @@ impl EstimationService {
     fn recover_after_panic(&self, snapshot: &CatalogSnapshot) {
         snapshot.cache.quarantine();
         self.stats.record_quarantine();
+        self.metrics.quarantine();
         let mut current = self.current.write();
         if current.epoch != snapshot.epoch {
             return;

@@ -43,6 +43,7 @@
 //! | [`core`] | `sqe-core` | conditional selectivity, SITs, `getSelectivity`, GVM |
 //! | [`optimizer`] | `sqe-optimizer` | mini-Cascades memo + §4 coupled estimation |
 //! | [`service`] | `sqe-service` | concurrent estimation service: snapshots, sharded cross-query cache, metrics |
+//! | [`server`] | `sqe-server` | HTTP/JSON front end: multi-tenant front door, quotas, reactor, /metrics |
 //! | [`oracle`] | `sqe-oracle` | ground-truth exact executor, differential invariants, accuracy harness + gate |
 //!
 //! Run the paper's experiments with the binaries in `sqe-bench`
@@ -55,6 +56,7 @@ pub use sqe_engine as engine;
 pub use sqe_histogram as histogram;
 pub use sqe_optimizer as optimizer;
 pub use sqe_oracle as oracle;
+pub use sqe_server as server;
 pub use sqe_service as service;
 
 /// Commonly used items, re-exported flat.
